@@ -1,0 +1,131 @@
+// Fig. 10: processing time of the velocity-dependent path (CostmapGen +
+// Path Tracking + Velocity Multiplexer) under different numbers of threads
+// and trajectory samples, on the three platforms. Only Path Tracking's
+// scoreTrajectory is parallel (Fig. 5); the costmap update and mux are
+// sequential — which is why parallelization saturates around 4 threads and
+// the high-frequency gateway beats the manycore cloud here.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "control/trajectory_rollout.h"
+#include "control/velocity_mux.h"
+#include "perception/costmap2d.h"
+#include "perception/occupancy_grid.h"
+#include "platform/calibration.h"
+#include "platform/cost_model.h"
+#include "sim/lidar.h"
+#include "sim/scenario.h"
+
+using namespace lgv;
+
+namespace {
+
+struct VdpFixture {
+  sim::Scenario scenario = sim::make_lab_scenario();
+  perception::Costmap2D costmap;
+  msg::LaserScan scan;
+  msg::PathMsg path;
+  Pose2D pose;
+
+  VdpFixture()
+      : costmap(scenario.world.frame().origin, scenario.world.width_m(),
+                scenario.world.height_m()) {
+    costmap.set_static_map(perception::OccupancyGrid::from_binary(
+                               scenario.world.frame(), scenario.world.grid())
+                               .to_msg(0.0));
+    costmap.inflate();
+    pose = scenario.start;
+    sim::LidarConfig lc;
+    lc.range_noise_sigma = 0.0;
+    sim::Lidar lidar(lc);
+    scan = lidar.scan(scenario.world, pose, 0.0);
+    for (double x = pose.x; x < pose.x + 3.0; x += 0.25) {
+      path.poses.emplace_back(x, pose.y + 0.4 * (x - pose.x), 0.3);
+    }
+  }
+};
+
+/// One VDP pass: costmap update + rollout + mux, with `samples` trajectories
+/// and `threads` workers for the parallel kernel. Returns the work profile.
+platform::WorkProfile vdp_profile(VdpFixture& fx, int samples, int threads) {
+  platform::ExecutionContext ctx(nullptr, threads);
+  const perception::CostmapUpdateStats cg = fx.costmap.update(fx.pose, fx.scan);
+  ctx.serial_work(static_cast<double>(cg.raytraced_cells) *
+                      platform::calib::kCostmapRaytraceCyclesPerCell +
+                  static_cast<double>(cg.inflated_cells) *
+                      platform::calib::kInflationCyclesPerCell);
+  control::RolloutConfig rc;
+  rc.samples = samples;
+  control::TrajectoryRollout rollout(rc);
+  rollout.compute(fx.costmap, fx.path, fx.pose, {0.2, 0.0}, 0.6, ctx);
+  ctx.serial_work(platform::calib::kVelMuxCyclesPerCommand);
+  return ctx.profile();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "Fig. 10 — VDP (CG + PT + VM) processing time vs threads × samples");
+  VdpFixture fx;
+
+  const std::vector<int> sample_counts = {200, 600, 1000, 2000};
+  struct PlatformCase {
+    const char* label;
+    platform::CostModel model;
+    std::vector<int> threads;
+  };
+  const std::vector<PlatformCase> platforms = {
+      {"(a) Turtlebot3", platform::CostModel(platform::turtlebot3_spec()), {1, 2, 4}},
+      {"(b) Edge gateway", platform::CostModel(platform::edge_gateway_spec()),
+       {1, 2, 4, 8}},
+      {"(c) Cloud server", platform::CostModel(platform::cloud_server_spec()),
+       {1, 2, 4, 8, 12, 24}},
+  };
+
+  std::vector<double> baseline;  // local, single thread
+  for (int s : sample_counts) {
+    baseline.push_back(platforms[0].model.execution_time(vdp_profile(fx, s, 1)));
+  }
+
+  double best_gw = 0.0, best_cloud = 0.0;
+  std::vector<double> gw_times_by_thread;  // at max samples, for plateau check
+  for (const PlatformCase& pc : platforms) {
+    bench::print_subtitle(std::string(pc.label) + " — milliseconds per VDP pass");
+    std::vector<std::string> cols;
+    for (int s : sample_counts) cols.push_back("S=" + std::to_string(s));
+    std::vector<std::string> rows;
+    std::vector<std::vector<std::string>> cells;
+    for (int t : pc.threads) {
+      rows.push_back("N=" + std::to_string(t));
+      std::vector<std::string> line;
+      for (size_t si = 0; si < sample_counts.size(); ++si) {
+        const double time = pc.model.execution_time(vdp_profile(fx, sample_counts[si], t));
+        line.push_back(bench::fmt(time * 1e3, 1));
+        const double speedup = baseline[si] / time;
+        if (pc.label[1] == 'b') {
+          best_gw = std::max(best_gw, speedup);
+          if (si == sample_counts.size() - 1) gw_times_by_thread.push_back(time);
+        }
+        if (pc.label[1] == 'c') best_cloud = std::max(best_cloud, speedup);
+      }
+      cells.push_back(std::move(line));
+    }
+    bench::print_grid("threads\\smpls", cols, rows, cells);
+  }
+
+  bench::print_subtitle("Headline numbers");
+  std::printf("edge gateway : up to %.2fx vs local  (paper: up to 23.92x)\n", best_gw);
+  std::printf("cloud server : up to %.2fx vs local  (paper: up to 17.29x)\n", best_cloud);
+  std::printf("shape checks : gateway > cloud for VDP: %s\n",
+              best_gw > best_cloud ? "YES" : "NO");
+  if (gw_times_by_thread.size() >= 4) {
+    const double gain_past_4 =
+        gw_times_by_thread[2] / gw_times_by_thread[3];  // N=4 → N=8
+    std::printf("             : gateway gain from 4 to 8 threads only %.2fx "
+                "(paper: parallelization has no impact past 4 threads)\n",
+                gain_past_4);
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Wall-clock microbenchmarks (google-benchmark) of the real kernels backing
+// the reproduction: scan matching, costmap updates, trajectory scoring,
+// message serialization and the thread pool. These measure HOST performance —
+// the paper-facing numbers (Figs. 9/10) use the platform cost models instead;
+// this suite exists to keep the actual implementations honest (no
+// accidentally quadratic kernels) and to profile optimization work.
+#include <benchmark/benchmark.h>
+
+#include "common/thread_pool.h"
+#include "control/trajectory_rollout.h"
+#include "msg/messages.h"
+#include "perception/amcl.h"
+#include "perception/costmap2d.h"
+#include "perception/gmapping.h"
+#include "perception/scan_matcher.h"
+#include "planning/grid_search.h"
+#include "sim/lidar.h"
+#include "sim/scenario.h"
+
+using namespace lgv;
+
+namespace {
+
+struct Fixture {
+  sim::Scenario scenario = sim::make_lab_scenario();
+  sim::Lidar lidar{sim::LidarConfig{}, 7};
+  msg::LaserScan scan;
+  perception::OccupancyGrid map;
+  perception::Costmap2D costmap;
+  msg::PathMsg path;
+
+  Fixture()
+      : map(perception::OccupancyGrid::from_binary(scenario.world.frame(),
+                                                   scenario.world.grid())),
+        costmap(scenario.world.frame().origin, scenario.world.width_m(),
+                scenario.world.height_m()) {
+    scan = lidar.scan(scenario.world, scenario.start, 0.0);
+    costmap.set_static_map(map.to_msg(0.0));
+    costmap.inflate();
+    for (double t = 0.0; t <= 3.0; t += 0.25) {
+      path.poses.emplace_back(scenario.start.x + t, scenario.start.y + 0.3 * t, 0.2);
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture fx;
+  return fx;
+}
+
+void BM_ScanMatchScore(benchmark::State& state) {
+  Fixture& fx = fixture();
+  perception::ScanMatcher matcher;
+  size_t evals = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        matcher.score(fx.map, fx.scenario.start, fx.scan, &evals));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(evals));
+}
+BENCHMARK(BM_ScanMatchScore);
+
+void BM_ScanMatchRefine(benchmark::State& state) {
+  Fixture& fx = fixture();
+  perception::ScanMatcher matcher;
+  const Pose2D perturbed{fx.scenario.start.x + 0.08, fx.scenario.start.y - 0.05,
+                         fx.scenario.start.theta + 0.04};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(fx.map, perturbed, fx.scan));
+  }
+}
+BENCHMARK(BM_ScanMatchRefine);
+
+void BM_CostmapUpdate(benchmark::State& state) {
+  Fixture& fx = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.costmap.update(fx.scenario.start, fx.scan));
+  }
+}
+BENCHMARK(BM_CostmapUpdate);
+
+void BM_TrajectoryRollout(benchmark::State& state) {
+  Fixture& fx = fixture();
+  control::RolloutConfig cfg;
+  cfg.samples = static_cast<int>(state.range(0));
+  control::TrajectoryRollout rollout(cfg);
+  platform::ExecutionContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rollout.compute(fx.costmap, fx.path, fx.scenario.start,
+                                             {0.2, 0.0}, 0.6, ctx));
+    ctx.reset();
+  }
+}
+BENCHMARK(BM_TrajectoryRollout)->Arg(200)->Arg(2000);
+
+void BM_TrajectoryRolloutPooled(benchmark::State& state) {
+  Fixture& fx = fixture();
+  control::RolloutConfig cfg;
+  cfg.samples = 2000;
+  control::TrajectoryRollout rollout(cfg);
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  platform::ExecutionContext ctx(&pool, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rollout.compute(fx.costmap, fx.path, fx.scenario.start,
+                                             {0.2, 0.0}, 0.6, ctx));
+    ctx.reset();
+  }
+}
+BENCHMARK(BM_TrajectoryRolloutPooled)->Arg(2)->Arg(4);
+
+void BM_AStarPlan(benchmark::State& state) {
+  Fixture& fx = fixture();
+  const CellIndex start = fx.costmap.frame().world_to_cell(fx.scenario.start.position());
+  const CellIndex goal = fx.costmap.frame().world_to_cell(fx.scenario.goal.position());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planning::plan_on_costmap(fx.costmap, start, goal));
+  }
+}
+BENCHMARK(BM_AStarPlan);
+
+void BM_GmappingUpdate(benchmark::State& state) {
+  perception::GmappingConfig cfg;
+  cfg.particles = static_cast<int>(state.range(0));
+  const auto log = sim::record_scan_log(fixture().scenario, 0.4, 0.2, 6);
+  for (auto _ : state) {
+    perception::Gmapping slam(cfg, {0, 0}, 12.0, 10.0, 3);
+    slam.initialize(log[0].odom_pose);
+    platform::ExecutionContext ctx;
+    for (const auto& e : log) {
+      msg::Odometry odom;
+      odom.pose = e.odom_pose;
+      slam.process(odom, e.scan, ctx);
+    }
+    benchmark::DoNotOptimize(slam.best_pose());
+  }
+}
+BENCHMARK(BM_GmappingUpdate)->Arg(10)->Arg(30);
+
+void BM_SerializeLaserScan(benchmark::State& state) {
+  Fixture& fx = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serialize_to_bytes(fx.scan));
+  }
+}
+BENCHMARK(BM_SerializeLaserScan);
+
+void BM_DeserializeLaserScan(benchmark::State& state) {
+  const auto bytes = serialize_to_bytes(fixture().scan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deserialize_from_bytes<msg::LaserScan>(bytes));
+  }
+}
+BENCHMARK(BM_DeserializeLaserScan);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    pool.parallel_for(256, [](size_t i) { benchmark::DoNotOptimize(i * i); });
+  }
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table I: maximum power consumption of each LGV component (W), plus a
+// verification that the implemented power models actually hit those budgets
+// at their operating extremes.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "platform/platform_spec.h"
+#include "sim/power.h"
+
+using namespace lgv;
+
+namespace {
+
+void print_budget_row(const sim::ComponentBudget& b) {
+  const double total = b.total();
+  std::printf("%-14s %6.2f (%2.0f%%) %6.2f (%2.0f%%) %6.2f (%2.0f%%) %6.2f (%2.0f%%)\n",
+              b.lgv_name.c_str(), b.sensor_w, 100.0 * b.sensor_w / total, b.motor_w,
+              100.0 * b.motor_w / total, b.microcontroller_w,
+              100.0 * b.microcontroller_w / total, b.embedded_computer_w,
+              100.0 * b.embedded_computer_w / total);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "Table I — Maximum power consumption of each component (Watt)");
+  std::printf("%-14s %13s %13s %13s %13s\n", "LGV", "Sensor", "Motor",
+              "Microcontr.", "Computer");
+  print_budget_row(sim::turtlebot2_budget());
+  print_budget_row(sim::turtlebot3_budget());
+  print_budget_row(sim::pioneer3dx_budget());
+
+  bench::print_subtitle("Model cross-check (Turtlebot3 operating extremes)");
+  sim::PowerModel pm;
+  const auto spec = platform::turtlebot3_spec();
+  const double full_load_cycles =
+      spec.cores * spec.freq_ghz * 1e9 * spec.ipc;  // all 4 cores busy
+  std::printf("sensor  (LDS-01 constant draw):          %5.2f W (budget %.2f W)\n",
+              pm.sensor_power(), sim::turtlebot3_budget().sensor_w);
+  std::printf("microcontroller (OpenCR constant draw):  %5.2f W (budget %.2f W)\n",
+              pm.microcontroller_power(), sim::turtlebot3_budget().microcontroller_w);
+  std::printf("computer (Eq.1c at full 4-core load):    %5.2f W (budget %.2f W)\n",
+              pm.computer_power(full_load_cycles, spec.freq_ghz),
+              sim::turtlebot3_budget().embedded_computer_w);
+  std::printf("computer (idle floor):                   %5.2f W\n",
+              pm.computer_power(0.0, spec.freq_ghz));
+  std::printf("motor   (Eq.1d at 1.0 m/s, a=0.5 m/s2):  %5.2f W (budget %.2f W)\n",
+              pm.motor_power(1.0, 0.5), sim::turtlebot3_budget().motor_w);
+  std::printf("motor   (Eq.1d cruising 0.22 m/s):       %5.2f W\n",
+              pm.motor_power(0.22, 0.0));
+  std::printf("wireless transmit power (Eq.1b P_trans): %5.2f W\n",
+              pm.config().transmit_power_w);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared formatting helpers for the experiment harnesses. Each bench binary
+// regenerates one table or figure of the paper (see DESIGN.md's experiment
+// index) and prints it as aligned text plus, where useful, CSV-ish series
+// that can be piped into a plotting tool.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lgv::bench {
+
+inline void print_title(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_subtitle(const std::string& s) {
+  std::printf("\n--- %s ---\n", s.c_str());
+}
+
+/// Pretty seconds: ms below 1 s, s above.
+inline std::string fmt_time(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Print a labeled grid: rows × cols of strings with a header.
+inline void print_grid(const std::string& corner, const std::vector<std::string>& col_names,
+                       const std::vector<std::string>& row_names,
+                       const std::vector<std::vector<std::string>>& cells) {
+  std::printf("%-14s", corner.c_str());
+  for (const auto& c : col_names) std::printf("%12s", c.c_str());
+  std::printf("\n");
+  for (size_t r = 0; r < row_names.size(); ++r) {
+    std::printf("%-14s", row_names[r].c_str());
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      std::printf("%12s", cells[r][c].c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace lgv::bench

@@ -1,0 +1,60 @@
+// Network-robustness demo (§VI): the route crosses a wireless dead zone far
+// from the access point. A statically offloaded stack strands the vehicle —
+// velocity commands from the remote Path Tracking node stop arriving and the
+// multiplexer times out to a safety stop. With Algorithm 2 the Profiler's
+// bandwidth/direction observables trigger migration back to the LGV, and the
+// mission survives. Prints the live network trace of both runs.
+#include <cstdio>
+
+#include "core/mission_runner.h"
+
+using namespace lgv;
+
+namespace {
+
+core::MissionReport run(bool adaptive) {
+  core::DeploymentPlan plan = core::offload_plan(
+      adaptive ? "adaptive" : "static", platform::Host::kEdgeGateway, 8,
+      core::WorkloadKind::kNavigationWithMap);
+  plan.adaptive = adaptive;
+  core::MissionConfig cfg;
+  cfg.timeout = 600.0;
+  cfg.rollout_samples = 800;
+  // Aggressive indoor path loss: the link dies ~6 m from the WAP, and the
+  // goal is ~8.5 m out.
+  cfg.channel.path_loss_exponent = 6.0;
+  core::MissionRunner runner(sim::make_open_scenario(), plan, cfg);
+  return runner.run();
+}
+
+void print_trace(const core::MissionReport& r) {
+  std::printf("  %6s %12s %10s %10s %10s\n", "t(s)", "latency(ms)", "bw(Hz)",
+              "dir", "placement");
+  for (size_t i = 0; i < r.network_trace.size(); i += 20) {  // every 10 s
+    const core::NetworkSample& s = r.network_trace[i];
+    std::printf("  %6.0f %12.1f %10.1f %10.2f %10s\n", s.t, s.latency_ms,
+                s.bandwidth_hz, s.direction, s.remote ? "remote" : "LOCAL");
+  }
+  std::printf("  -> %s in %.0f s, standby %.0f s, %llu placement switch(es)\n\n",
+              r.success ? "SUCCESS" : "FAILED", r.completion_time, r.standby_time,
+              static_cast<unsigned long long>(r.placement_switches));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Adaptive offloading under a wireless dead zone\n");
+  std::printf("==============================================\n\n");
+
+  std::printf("1) static offloading (Algorithm 2 OFF):\n");
+  print_trace(run(/*adaptive=*/false));
+
+  std::printf("2) adaptive offloading (Algorithm 2 ON, threshold 4 Hz of the 5 Hz\n"
+              "   stream + signal direction):\n");
+  print_trace(run(/*adaptive=*/true));
+
+  std::printf("The static run strands once the kernel buffer blocks (Fig. 7): the\n"
+              "last measured latency still looks healthy, but bandwidth collapses\n"
+              "— exactly why Algorithm 2 monitors bandwidth, not tail latency.\n");
+  return 0;
+}

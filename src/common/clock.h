@@ -1,0 +1,27 @@
+// Simulated time. The whole system runs on virtual time so that platform
+// cost models (src/platform) — not host wall-clock — determine node latency.
+#pragma once
+
+#include <cstdint>
+
+namespace lgv {
+
+/// Virtual time in seconds since the start of the experiment.
+using SimTime = double;
+
+/// A monotonically advancing virtual clock owned by the simulation engine.
+/// Components hold a const reference and read `now()`; only the engine
+/// advances it.
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+
+  void advance(SimTime dt) { now_ += dt; }
+  void set(SimTime t) { now_ = t; }
+  void reset() { now_ = 0.0; }
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+}  // namespace lgv

@@ -1,0 +1,70 @@
+// Dense row-major 2D grid container used by occupancy grids and costmaps.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace lgv {
+
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+  Grid(int width, int height, T fill = T{})
+      : width_(width), height_(height), cells_(static_cast<size_t>(width) * height, fill) {
+    assert(width >= 0 && height >= 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  size_t size() const { return cells_.size(); }
+
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+  bool in_bounds(CellIndex c) const { return in_bounds(c.x, c.y); }
+
+  T& at(int x, int y) {
+    assert(in_bounds(x, y));
+    return cells_[static_cast<size_t>(y) * width_ + x];
+  }
+  const T& at(int x, int y) const {
+    assert(in_bounds(x, y));
+    return cells_[static_cast<size_t>(y) * width_ + x];
+  }
+  T& at(CellIndex c) { return at(c.x, c.y); }
+  const T& at(CellIndex c) const { return at(c.x, c.y); }
+
+  void fill(T value) { cells_.assign(cells_.size(), value); }
+
+  std::vector<T>& data() { return cells_; }
+  const std::vector<T>& data() const { return cells_; }
+
+  bool operator==(const Grid& o) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> cells_;
+};
+
+/// Mapping between continuous world coordinates and grid cells.
+struct GridFrame {
+  Point2D origin;          ///< world position of cell (0,0)'s lower-left corner
+  double resolution = 0.05;  ///< meters per cell
+
+  CellIndex world_to_cell(const Point2D& p) const {
+    return {static_cast<int>(std::floor((p.x - origin.x) / resolution)),
+            static_cast<int>(std::floor((p.y - origin.y) / resolution))};
+  }
+  Point2D cell_to_world(CellIndex c) const {
+    return {origin.x + (c.x + 0.5) * resolution, origin.y + (c.y + 0.5) * resolution};
+  }
+
+  bool operator==(const GridFrame& o) const = default;
+};
+
+}  // namespace lgv

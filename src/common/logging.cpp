@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <iostream>
+#include <mutex>
+
+namespace lgv {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::mutex g_log_mutex;
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& tag, const std::string& message) {
+  const std::scoped_lock lock(g_log_mutex);
+  std::cerr << "[" << level_name(level) << "] " << tag << ": " << message << "\n";
+}
+
+}  // namespace lgv

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Quiet by default so tests and benches stay clean;
+// examples turn it up for narrative output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lgv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& tag, const std::string& message);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+template <typename... Args>
+std::string format_log(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+#define LGV_LOG(lgv_lvl, tag, ...)                                       \
+  do {                                                                   \
+    if (static_cast<int>(lgv_lvl) >=                                     \
+        static_cast<int>(::lgv::Logger::instance().level())) {           \
+      ::lgv::Logger::instance().write(lgv_lvl, tag,                      \
+                                      ::lgv::detail::format_log(__VA_ARGS__)); \
+    }                                                                    \
+  } while (0)
+
+#define LGV_DEBUG(tag, ...) LGV_LOG(::lgv::LogLevel::kDebug, tag, __VA_ARGS__)
+#define LGV_INFO(tag, ...) LGV_LOG(::lgv::LogLevel::kInfo, tag, __VA_ARGS__)
+#define LGV_WARN(tag, ...) LGV_LOG(::lgv::LogLevel::kWarn, tag, __VA_ARGS__)
+#define LGV_ERROR(tag, ...) LGV_LOG(::lgv::LogLevel::kError, tag, __VA_ARGS__)
+
+}  // namespace lgv

@@ -1,0 +1,47 @@
+// Deterministic random number generation. Every stochastic component in the
+// library takes an explicit Rng so experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace lgv {
+
+/// Seedable pseudo-random source (Mersenne Twister under the hood) with the
+/// handful of draws the robotics stack needs. Not thread-safe by design:
+/// parallel code forks per-thread child generators via `fork()`.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Derive an independent child generator; deterministic given this
+  /// generator's current state and `salt`.
+  Rng fork(uint64_t salt) {
+    return Rng(engine_() ^ (salt * 0x9e3779b97f4a7c15ULL));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace lgv

@@ -1,0 +1,127 @@
+#include "common/serialization.h"
+
+namespace lgv {
+
+void WireWriter::put_varint(uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(v));
+}
+
+void WireWriter::put_double(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+}
+
+void WireWriter::put_float(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+}
+
+void WireWriter::put_string(const std::string& s) {
+  put_varint(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void WireWriter::put_bytes(const void* data, size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+}
+
+void WireWriter::put_repeated_varint(const std::vector<uint64_t>& values) {
+  put_varint(values.size());
+  for (uint64_t v : values) put_varint(v);
+}
+
+void WireWriter::put_repeated_i8(const std::vector<int8_t>& values) {
+  put_varint(values.size());
+  for (int8_t v : values) buffer_.push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t WireReader::get_varint() {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    require(1);
+    const uint8_t byte = data_[pos_++];
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) throw std::out_of_range("WireReader: varint too long");
+  }
+  return result;
+}
+
+double WireReader::get_double() {
+  require(8);
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+float WireReader::get_float() {
+  require(4);
+  uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) bits |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::get_string() {
+  const size_t n = get_varint();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<uint8_t> WireReader::get_raw(size_t n) {
+  require(n);
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+std::vector<double> WireReader::get_repeated_double() {
+  const size_t n = get_varint();
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(get_double());
+  return out;
+}
+
+std::vector<float> WireReader::get_repeated_float() {
+  const size_t n = get_varint();
+  std::vector<float> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(get_float());
+  return out;
+}
+
+std::vector<uint64_t> WireReader::get_repeated_varint() {
+  const size_t n = get_varint();
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(get_varint());
+  return out;
+}
+
+std::vector<int8_t> WireReader::get_repeated_i8() {
+  const size_t n = get_varint();
+  require(n);
+  std::vector<int8_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<int8_t>(data_[pos_ + i]);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace lgv

@@ -1,0 +1,105 @@
+// Compact binary wire format used by the Switcher to ship ROS-style messages
+// between the LGV and the remote worker (§VII: "we use protobuf to serialize
+// ROS message for efficient data transmission"). This is a small
+// protobuf-inspired encoder: varint integers, zigzag signed values, raw
+// little-endian doubles, and length-prefixed repeated fields.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lgv {
+
+class WireWriter {
+ public:
+  void put_varint(uint64_t v);
+  void put_signed(int64_t v) { put_varint(zigzag_encode(v)); }
+  void put_double(double v);
+  void put_float(float v);
+  void put_bool(bool v) { put_varint(v ? 1 : 0); }
+  void put_string(const std::string& s);
+  void put_bytes(const void* data, size_t size);
+
+  template <typename T>
+  void put_repeated_double(const std::vector<T>& values) {
+    put_varint(values.size());
+    for (const T& v : values) put_double(static_cast<double>(v));
+  }
+  template <typename T>
+  void put_repeated_float(const std::vector<T>& values) {
+    put_varint(values.size());
+    for (const T& v : values) put_float(static_cast<float>(v));
+  }
+  void put_repeated_varint(const std::vector<uint64_t>& values);
+  void put_repeated_i8(const std::vector<int8_t>& values);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+  static uint64_t zigzag_encode(int64_t v) {
+    return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<uint8_t>& buffer)
+      : data_(buffer.data()), size_(buffer.size()) {}
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint64_t get_varint();
+  int64_t get_signed() { return zigzag_decode(get_varint()); }
+  double get_double();
+  float get_float();
+  bool get_bool() { return get_varint() != 0; }
+  std::string get_string();
+
+  /// Read `n` raw bytes (as written by put_bytes).
+  std::vector<uint8_t> get_raw(size_t n);
+
+  std::vector<double> get_repeated_double();
+  std::vector<float> get_repeated_float();
+  std::vector<uint64_t> get_repeated_varint();
+  std::vector<int8_t> get_repeated_i8();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+
+  static int64_t zigzag_decode(uint64_t v) {
+    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+  }
+
+ private:
+  void require(size_t n) const {
+    if (pos_ + n > size_) throw std::out_of_range("WireReader: truncated buffer");
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// A type is wire-serializable if it provides:
+///   void serialize(WireWriter&) const;
+///   static T deserialize(WireReader&);
+template <typename T>
+std::vector<uint8_t> serialize_to_bytes(const T& value) {
+  WireWriter w;
+  value.serialize(w);
+  return w.take();
+}
+
+template <typename T>
+T deserialize_from_bytes(const std::vector<uint8_t>& bytes) {
+  WireReader r(bytes);
+  return T::deserialize(r);
+}
+
+}  // namespace lgv

@@ -1,0 +1,65 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lgv {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+void TimeWindow::add(double t, double value) {
+  entries_.emplace_back(t, value);
+  expire(t);
+}
+
+void TimeWindow::expire(double t) {
+  while (!entries_.empty() && entries_.front().first < t - horizon_) {
+    entries_.pop_front();
+  }
+}
+
+double TimeWindow::sum() const {
+  double s = 0.0;
+  for (const auto& [t, v] : entries_) s += v;
+  return s;
+}
+
+double TimeWindow::mean() const {
+  return entries_.empty() ? 0.0 : sum() / static_cast<double>(entries_.size());
+}
+
+double TimeWindow::rate(double t) {
+  expire(t);
+  return static_cast<double>(entries_.size()) / horizon_;
+}
+
+}  // namespace lgv

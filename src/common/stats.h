@@ -1,0 +1,56 @@
+// Small statistics helpers used by the Profiler (latency/bandwidth windows)
+// and by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace lgv {
+
+/// Streaming mean / min / max / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation, p in [0, 100]).
+double percentile(std::vector<double> samples, double p);
+
+/// Sliding window over (timestamp, value) pairs; used for the 1 s bandwidth
+/// window Algorithm 2 reads.
+class TimeWindow {
+ public:
+  explicit TimeWindow(double horizon_sec) : horizon_(horizon_sec) {}
+
+  void add(double t, double value);
+  /// Drop entries older than t - horizon.
+  void expire(double t);
+
+  size_t count() const { return entries_.size(); }
+  double sum() const;
+  double mean() const;
+  /// Events per second over the window ending at t (count / horizon).
+  double rate(double t);
+
+ private:
+  double horizon_;
+  std::deque<std::pair<double, double>> entries_;
+};
+
+}  // namespace lgv

@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace lgv {
+
+ChunkRange chunk_range(size_t count, size_t chunks, size_t chunk) {
+  assert(chunks > 0 && chunk < chunks);
+  const size_t base = count / chunks;
+  const size_t extra = count % chunks;
+  const size_t begin = chunk * base + std::min(chunk, extra);
+  const size_t len = base + (chunk < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::scoped_lock lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(size_t count, const std::function<void(size_t)>& fn) {
+  parallel_chunks(count, num_threads(), [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_chunks(size_t count, size_t chunks,
+                                 const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  chunks = std::max<size_t>(1, std::min(chunks, count));
+  if (chunks == 1) {
+    fn(0, count);
+    return;
+  }
+  std::atomic<size_t> remaining{chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (size_t c = 0; c < chunks; ++c) {
+    const ChunkRange r = chunk_range(count, chunks, c);
+    submit([&, r] {
+      fn(r.begin, r.end);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::scoped_lock lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace lgv

@@ -1,0 +1,68 @@
+// Fixed-size worker pool used by the cloud-acceleration kernels (parallel
+// scanMatch, Fig. 6; parallel scoreTrajectory, Fig. 5). The pool mirrors the
+// paper's design: a main thread partitions M work items into N chunks and
+// blocks until all chunks complete.
+//
+// Concurrency hygiene follows the C++ Core Guidelines: RAII locks only
+// (CP.20), condition waits always have a predicate (CP.42), threads are
+// joined in the destructor (CP.23/CP.25), tasks are the unit of work (CP.4).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lgv {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Run fn(i) for i in [0, count) across the pool, blocking until done.
+  /// Work is partitioned into contiguous chunks, one per worker, matching the
+  /// static partitioning the paper describes for both parallel kernels.
+  void parallel_for(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Chunked variant: fn(begin, end) once per chunk. `chunks` defaults to the
+  /// worker count. Exposed so callers can meter per-chunk work.
+  void parallel_chunks(size_t count, size_t chunks,
+                       const std::function<void(size_t begin, size_t end)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Compute the contiguous [begin, end) range of chunk `chunk` out of `chunks`
+/// over `count` items, distributing the remainder over the leading chunks.
+struct ChunkRange {
+  size_t begin;
+  size_t end;
+};
+ChunkRange chunk_range(size_t count, size_t chunks, size_t chunk);
+
+}  // namespace lgv

@@ -1,0 +1,52 @@
+#include "control/recovery.h"
+
+#include <cmath>
+
+namespace lgv::control {
+
+std::optional<Velocity2D> RecoveryBehavior::update(double now, double speed,
+                                                   bool has_goal,
+                                                   std::optional<double> heading_error) {
+  switch (phase_) {
+    case Phase::kIdle: {
+      if (!has_goal || speed > config_.stuck_speed ||
+          now - last_recovery_end_ < config_.cooldown) {
+        stuck_since_ = -1.0;
+        return std::nullopt;
+      }
+      if (stuck_since_ < 0.0) stuck_since_ = now;
+      if (now - stuck_since_ < config_.stuck_time) return std::nullopt;
+      // Stuck: begin recovery.
+      phase_ = Phase::kBackup;
+      phase_started_ = now;
+      recovery_started_ = now;
+      ++recoveries_;
+      return Velocity2D{config_.backup_speed, 0.0};
+    }
+    case Phase::kBackup: {
+      if (now - recovery_started_ > config_.max_recovery_time) break;
+      if (now - phase_started_ < config_.backup_time) {
+        return Velocity2D{config_.backup_speed, 0.0};
+      }
+      phase_ = Phase::kRotate;
+      phase_started_ = now;
+      [[fallthrough]];
+    }
+    case Phase::kRotate: {
+      if (now - recovery_started_ > config_.max_recovery_time) break;
+      if (!heading_error.has_value() ||
+          std::abs(*heading_error) < config_.aligned_tolerance) {
+        break;  // aligned (or nothing to align to): recovery complete
+      }
+      const double w = *heading_error > 0 ? config_.rotate_speed : -config_.rotate_speed;
+      return Velocity2D{0.0, w};
+    }
+  }
+  // Recovery finished or aborted.
+  phase_ = Phase::kIdle;
+  stuck_since_ = -1.0;
+  last_recovery_end_ = now;
+  return std::nullopt;
+}
+
+}  // namespace lgv::control

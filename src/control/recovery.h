@@ -1,0 +1,53 @@
+// Stuck-recovery state machine in the spirit of ROS navigation's recovery
+// behaviors: when the base has a goal but creeps below a speed floor for too
+// long (a DWA local minimum — typically nosed against inflated clutter), back
+// up briefly, then rotate in place toward the path, then hand control back
+// to Path Tracking. Runs on the LGV at a mux priority between safety and
+// path tracking.
+#pragma once
+
+#include <optional>
+
+#include "common/geometry.h"
+
+namespace lgv::control {
+
+struct RecoveryConfig {
+  double stuck_speed = 0.05;      ///< below this the base counts as stuck…
+  double stuck_time = 6.0;        ///< …for this long, with a goal pending
+  double backup_time = 1.5;       ///< phase 1: reverse out of the inflation
+  double backup_speed = -0.06;
+  double rotate_speed = 0.5;      ///< phase 2: spin toward the path carrot
+  double aligned_tolerance = 0.3; ///< done when |heading error| below this
+  double max_recovery_time = 14.0;///< abort a recovery that isn't working
+  double cooldown = 4.0;          ///< minimum gap between recoveries
+};
+
+class RecoveryBehavior {
+ public:
+  explicit RecoveryBehavior(RecoveryConfig config = {}) : config_(config) {}
+
+  /// Call every control tick. `speed` is the current base speed, `has_goal`
+  /// whether navigation is active, `heading_error` the signed bearing from
+  /// the base heading to the path carrot (nullopt when no path). Returns the
+  /// recovery command while a recovery is in progress, nullopt otherwise.
+  std::optional<Velocity2D> update(double now, double speed, bool has_goal,
+                                   std::optional<double> heading_error);
+
+  bool recovering() const { return phase_ != Phase::kIdle; }
+  int recoveries_triggered() const { return recoveries_; }
+  const RecoveryConfig& config() const { return config_; }
+
+ private:
+  enum class Phase { kIdle, kBackup, kRotate };
+
+  RecoveryConfig config_;
+  Phase phase_ = Phase::kIdle;
+  double stuck_since_ = -1.0;   ///< <0: not currently slow
+  double phase_started_ = 0.0;
+  double recovery_started_ = 0.0;
+  double last_recovery_end_ = -1e18;
+  int recoveries_ = 0;
+};
+
+}  // namespace lgv::control

@@ -1,0 +1,23 @@
+#include "control/safety_controller.h"
+
+#include <cmath>
+
+namespace lgv::control {
+
+std::optional<Velocity2D> SafetyController::evaluate(const msg::LaserScan& scan) const {
+  // Consider the forward 90° cone only — the direction of travel.
+  double min_forward = scan.range_max + 1.0;
+  for (size_t i = 0; i < scan.ranges.size(); ++i) {
+    const double angle = scan.angle_of(i);
+    if (std::abs(normalize_angle(angle)) > 0.7854) continue;
+    const double r = static_cast<double>(scan.ranges[i]);
+    if (r < scan.range_min || r > scan.range_max) continue;
+    min_forward = std::min(min_forward, r);
+  }
+  if (min_forward <= config_.stop_distance) {
+    return Velocity2D{config_.backoff_speed, 0.0};
+  }
+  return std::nullopt;
+}
+
+}  // namespace lgv::control

@@ -1,0 +1,37 @@
+// Minimal reactive safety controller: watches the raw scan and, when an
+// obstacle is inside the stop distance, injects a high-priority stop/backoff
+// command into the Velocity Multiplexer. The paper's §IX notes such
+// safety-critical nodes must never be offloaded — the runtime pins this node
+// to the LGV.
+#pragma once
+
+#include <optional>
+
+#include "common/geometry.h"
+#include "msg/messages.h"
+
+namespace lgv::control {
+
+struct SafetyConfig {
+  double stop_distance = 0.16;   ///< back off when anything is this close ahead
+  double backoff_speed = -0.05;  ///< m/s while escaping
+};
+
+class SafetyController {
+ public:
+  explicit SafetyController(SafetyConfig config = {}) : config_(config) {}
+
+  /// A backoff command when something is inside the stop distance ahead,
+  /// nullopt otherwise. Intervention is deliberately minimal: anything
+  /// smarter (slowing near obstacles, steering) belongs to Path Tracking —
+  /// a high-priority source that keeps commanding forward motion would
+  /// livelock the vehicle against a wall.
+  std::optional<Velocity2D> evaluate(const msg::LaserScan& scan) const;
+
+  const SafetyConfig& config() const { return config_; }
+
+ private:
+  SafetyConfig config_;
+};
+
+}  // namespace lgv::control

@@ -1,0 +1,44 @@
+#include "control/velocity_mux.h"
+
+#include <stdexcept>
+
+#include "platform/calibration.h"
+
+namespace lgv::control {
+
+void VelocityMultiplexer::add_input(const MuxInput& input) {
+  slots_[input.name] = Slot{input, {}, -1e18};
+}
+
+void VelocityMultiplexer::set_timeout(const std::string& source, double timeout_s) {
+  const auto it = slots_.find(source);
+  if (it == slots_.end()) throw std::invalid_argument("unknown mux source: " + source);
+  it->second.input.timeout_s = timeout_s;
+}
+
+void VelocityMultiplexer::on_command(const std::string& source, const Velocity2D& cmd,
+                                     double now) {
+  const auto it = slots_.find(source);
+  if (it == slots_.end()) throw std::invalid_argument("unknown mux source: " + source);
+  it->second.last_cmd = cmd;
+  it->second.last_time = now;
+}
+
+Velocity2D VelocityMultiplexer::select(double now, platform::ExecutionContext& ctx) {
+  ctx.serial_work(platform::calib::kVelMuxCyclesPerCommand);
+  const Slot* best = nullptr;
+  for (const auto& [name, slot] : slots_) {
+    if (now - slot.last_time > slot.input.timeout_s) continue;  // stale
+    if (best == nullptr || slot.input.priority > best->input.priority) {
+      best = &slot;
+    }
+  }
+  if (best == nullptr) {
+    active_.reset();
+    return {};  // safety stop
+  }
+  active_ = best->input.name;
+  return best->last_cmd;
+}
+
+}  // namespace lgv::control

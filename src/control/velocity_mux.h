@@ -1,0 +1,53 @@
+// Velocity Multiplexer in the style of Yujin Robot's yocs_cmd_vel_mux [50]:
+// several sources (path tracking, safety controller, joystick, …) publish
+// velocity commands with priorities; the mux forwards the highest-priority
+// command that is still fresh. The final hop of the VDP.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/geometry.h"
+#include "msg/messages.h"
+#include "platform/execution_context.h"
+
+namespace lgv::control {
+
+struct MuxInput {
+  std::string name;
+  int priority = 0;       ///< higher wins
+  double timeout_s = 0.5; ///< command expires after this long
+};
+
+class VelocityMultiplexer {
+ public:
+  void add_input(const MuxInput& input);
+
+  /// Retune an input's freshness window at runtime (the Controller widens it
+  /// when the VDP makespan grows so a slow-but-alive pipeline keeps driving).
+  void set_timeout(const std::string& source, double timeout_s);
+
+  /// Feed a command from a registered source at virtual time `now`.
+  void on_command(const std::string& source, const Velocity2D& cmd, double now);
+
+  /// The command to forward to the actuators at `now`: highest-priority
+  /// unexpired input, or zero velocity when everything timed out (safety
+  /// stop — this is what halts the LGV when the VDP stalls under a dead
+  /// network). Charges its (tiny) arbitration cost to ctx.
+  Velocity2D select(double now, platform::ExecutionContext& ctx);
+
+  /// Name of the source that won the last select(), if any.
+  const std::optional<std::string>& active_source() const { return active_; }
+
+ private:
+  struct Slot {
+    MuxInput input;
+    Velocity2D last_cmd;
+    double last_time = -1e18;
+  };
+  std::map<std::string, Slot> slots_;
+  std::optional<std::string> active_;
+};
+
+}  // namespace lgv::control

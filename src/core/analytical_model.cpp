@@ -1,0 +1,48 @@
+#include "core/analytical_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lgv::core {
+
+double max_velocity(double tp, double a_max, double stopping_distance) {
+  tp = std::max(0.0, tp);
+  return a_max * (std::sqrt(tp * tp + 2.0 * stopping_distance / a_max) - tp);
+}
+
+double max_processing_time_for_velocity(double v, double a_max,
+                                        double stopping_distance) {
+  // From v = a(√(tp²+2d/a) − tp):  tp = (2·d·a − v²) / (2·a·v).
+  if (v <= 0.0) return std::numeric_limits<double>::infinity();
+  const double v_ceiling = std::sqrt(2.0 * stopping_distance * a_max);
+  if (v >= v_ceiling) return 0.0;
+  return (2.0 * stopping_distance * a_max - v * v) / (2.0 * a_max * v);
+}
+
+double vdp_makespan(double t_robot, double t_cloud, double t_network) {
+  return t_robot + t_cloud + t_network;
+}
+
+double transmission_energy(double p_trans_w, double bytes, double uplink_bps) {
+  if (uplink_bps <= 0.0) return 0.0;
+  return p_trans_w * (bytes * 8.0 / uplink_bps);
+}
+
+double compute_power(double k, double cycles_per_sec, double freq_ghz) {
+  return k * cycles_per_sec * freq_ghz * freq_ghz;
+}
+
+double motor_power(double p_loss_w, double mass_kg, double accel, double friction,
+                   double velocity) {
+  if (std::abs(velocity) < 1e-6) return 0.0;
+  constexpr double g = 9.81;
+  return p_loss_w + mass_kg * (std::max(0.0, accel) + g * friction) * std::abs(velocity);
+}
+
+double estimated_moving_time(double distance, double tp, double a_max,
+                             double stopping_distance) {
+  const double v = max_velocity(tp, a_max, stopping_distance);
+  return v > 1e-9 ? distance / v : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace lgv::core

@@ -1,0 +1,38 @@
+// The analytical model of §III-A (Eqs. 1a–1d, 2a–2c): the closed-form
+// relationships between computation placement, energy and mission time that
+// drive every offloading decision in the framework.
+#pragma once
+
+namespace lgv::core {
+
+/// Eq. 2c: the maximum safe velocity given the VDP processing time tp (s),
+/// the acceleration limit a_max (m/s²) and the required stopping distance d
+/// (m):  v_max = a_max · (√(tp² + 2d/a_max) − tp).
+/// Monotonically decreasing in tp; ceiling √(2·d·a_max) at tp = 0.
+double max_velocity(double tp, double a_max, double stopping_distance);
+
+/// Inverse of Eq. 2c: the largest tp that still allows velocity v.
+double max_processing_time_for_velocity(double v, double a_max, double stopping_distance);
+
+/// Eq. 2b: standby-time proxy — the decision latency is the sum of robot
+/// processing time, cloud processing time and network latency.
+double vdp_makespan(double t_robot, double t_cloud, double t_network);
+
+/// Eq. 1b: transmission energy for D bytes at uplink rate R (bits/s) with
+/// transmit power P (W).
+double transmission_energy(double p_trans_w, double bytes, double uplink_bps);
+
+/// Eq. 1c: embedded-computer dynamic power at cycle rate L (cycles/s) and
+/// clock f (GHz): P = k · L · f².
+double compute_power(double k, double cycles_per_sec, double freq_ghz);
+
+/// Eq. 1d: motor power P_m = P_l + m(a + gμ)v.
+double motor_power(double p_loss_w, double mass_kg, double accel, double friction,
+                   double velocity);
+
+/// Eq. 2c-based estimate of moving time over `distance` meters at the
+/// velocity allowed by `tp` (used by Algorithm 1's what-if comparison).
+double estimated_moving_time(double distance, double tp, double a_max,
+                             double stopping_distance);
+
+}  // namespace lgv::core

@@ -1,0 +1,60 @@
+// The Controller thread of §VII: turns profiling data into runtime actions —
+// the Eq. 2c maximum-velocity adjustment and the decision-accuracy /
+// parallelization knobs (rollout samples, SLAM particles, thread counts).
+#pragma once
+
+#include <algorithm>
+
+#include "core/analytical_model.h"
+#include "platform/calibration.h"
+
+namespace lgv::core {
+
+struct ControllerConfig {
+  double a_max = platform::calib::kMaxAccel;
+  double stopping_distance = platform::calib::kStoppingDistance;
+  /// Floor so the vehicle keeps crawling even under terrible makespans.
+  double min_velocity = 0.04;
+  double hard_max_velocity = 1.2;  ///< mechanical ceiling
+};
+
+class Controller {
+ public:
+  explicit Controller(ControllerConfig config = {}) : config_(config) {}
+
+  const ControllerConfig& config() const { return config_; }
+
+  /// Eq. 2c: velocityOA(T_c) — the maximum safe velocity for the measured
+  /// VDP makespan.
+  double velocity_cap(double vdp_makespan_s) const {
+    const double v =
+        max_velocity(vdp_makespan_s, config_.a_max, config_.stopping_distance);
+    return std::clamp(v, config_.min_velocity, config_.hard_max_velocity);
+  }
+
+  /// Angular analog of the Eq. 2c cap: a velocity command persists for one
+  /// VDP makespan, so bound the turn rate such that a single stale decision
+  /// swings the heading by at most ~0.6 rad. Slow pipelines get slow,
+  /// accurate steering; fast pipelines keep the mechanical limit.
+  double angular_cap(double vdp_makespan_s, double hard_max_angular) const {
+    if (vdp_makespan_s <= 1e-6) return hard_max_angular;
+    return std::clamp(0.6 / vdp_makespan_s, 0.12, hard_max_angular);
+  }
+
+  /// §VIII-E adaptivity: when the environment phase prevents reaching the
+  /// cap (obstacles/turns), scale back the cloud parallelization to save
+  /// cloud cost. Returns a recommended thread count.
+  int recommend_threads(double real_velocity, double cap_velocity,
+                        int configured_threads) const {
+    if (cap_velocity <= 1e-6 || configured_threads <= 1) return configured_threads;
+    const double utilization = std::clamp(real_velocity / cap_velocity, 0.0, 1.0);
+    if (utilization > 0.7) return configured_threads;
+    // The vehicle can't use the speed; halve the pool (min 1).
+    return std::max(1, configured_threads / 2);
+  }
+
+ private:
+  ControllerConfig config_;
+};
+
+}  // namespace lgv::core

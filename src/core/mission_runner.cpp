@@ -1,0 +1,585 @@
+#include "core/mission_runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/calibration.h"
+
+namespace lgv::core {
+
+namespace calib = platform::calib;
+using platform::Host;
+
+namespace {
+constexpr double kMinMuxTimeout = 0.8;
+constexpr double kMaxMuxTimeout = 6.0;
+}  // namespace
+
+MissionRunner::MissionRunner(sim::Scenario scenario, DeploymentPlan plan,
+                             MissionConfig config)
+    : scenario_(std::move(scenario)),
+      config_(config),
+      runtime_(std::move(plan), scenario_.wap_position, config.channel),
+      robot_({}, scenario_.start, config.seed ^ 0xb0b),
+      lidar_({}, config.seed ^ 0x11d),
+      battery_(config.battery_wh),
+      costmap_(scenario_.world.frame().origin, scenario_.world.width_m(),
+               scenario_.world.height_m()),
+      rollout_() {
+  rollout_.set_samples(config_.rollout_samples);
+
+  const bool exploration =
+      runtime_.plan().workload == WorkloadKind::kExplorationWithoutMap;
+  if (exploration) {
+    perception::GmappingConfig gc;
+    gc.particles = config_.slam_particles;
+    slam_.emplace(gc, scenario_.world.frame().origin, scenario_.world.width_m(),
+                  scenario_.world.height_m(), config_.seed ^ 0x51a);
+    slam_->initialize(scenario_.start);
+  } else {
+    // "CostmapGen uses existing map data" — seed the known map from ground
+    // truth, as a previously recorded SLAM map would be.
+    perception::OccupancyGridConfig map_cfg;
+    map_cfg.resolution = scenario_.world.frame().resolution;
+    known_map_ = perception::OccupancyGrid::from_binary(
+        scenario_.world.frame(), scenario_.world.grid(), map_cfg);
+    if (config_.localization == LocalizationBackend::kVision) {
+      // §IX vision-based LGV: corner landmarks + forward camera + VO.
+      auto landmarks = perception::extract_landmarks(scenario_.world);
+      camera_.emplace(perception::CameraConfig{}, landmarks, config_.seed ^ 0xca3);
+      vo_.emplace(perception::VisualOdometryConfig{}, std::move(landmarks));
+      vo_->initialize(scenario_.start);
+      vo_last_odom_ = scenario_.start;
+    } else {
+      amcl_.emplace(perception::AmclConfig{}, &known_map_, config_.seed ^ 0xa3c1);
+      amcl_->initialize(scenario_.start);
+    }
+    costmap_.set_static_map(known_map_.to_msg(0.0));
+    goal_ = scenario_.goal;
+  }
+
+  pose_estimate_ = scenario_.start;
+  mux_.add_input({"path_tracking", 10, kMinMuxTimeout});
+  mux_.add_input({"recovery", 50, 0.3});
+  mux_.add_input({"safety", 100, 0.25});
+
+  setup_graph();
+}
+
+void MissionRunner::setup_graph() {
+  mw::Graph& g = runtime_.graph();
+  scan_pub_ = g.advertise<msg::LaserScan>("lidar_driver", "scan");
+  odom_pub_ = g.advertise<msg::Odometry>("lidar_driver", "odom");
+  pose_pub_ = g.advertise<msg::PoseStamped>(node_name(NodeId::kLocalization), "pose");
+  tf_pub_ = g.advertise<msg::PoseStamped>(node_name(NodeId::kLocalization), "map_to_odom");
+  cmd_pub_ = g.advertise<msg::TwistMsg>(node_name(NodeId::kPathTracking), "cmd_vel");
+
+  g.subscribe<msg::LaserScan>(node_name(NodeId::kLocalization), "scan",
+                              [this](const msg::LaserScan& s) { scan_for_loc_ = s; });
+  g.subscribe<msg::LaserScan>(node_name(NodeId::kCostmapGen), "scan",
+                              [this](const msg::LaserScan& s) { scan_for_cg_ = s; });
+  g.subscribe<msg::Odometry>(node_name(NodeId::kLocalization), "odom",
+                             [this](const msg::Odometry& o) { latest_odom_ = o; });
+  // The pose estimate flows back to the vehicle side (and to path tracking,
+  // wherever it runs).
+  g.subscribe<msg::PoseStamped>("base_controller", "pose",
+                                [this](const msg::PoseStamped& p) {
+                                  pose_estimate_ = p.pose;
+                                  pose_stamp_ = p.header.stamp;
+                                });
+  g.subscribe<msg::PoseStamped>("base_controller", "map_to_odom",
+                                [this](const msg::PoseStamped& p) {
+                                  map_to_odom_ = p.pose;
+                                });
+  g.subscribe<msg::TwistMsg>(node_name(NodeId::kVelocityMux), "cmd_vel",
+                             [this](const msg::TwistMsg& t) {
+                               const double now = runtime_.clock().now();
+                               mux_.on_command("path_tracking", t.velocity, now);
+                               // VDP makespan: scan capture → command arrival.
+                               const double makespan = now - t.header.stamp;
+                               if (makespan >= 0.0) {
+                                 runtime_.profiler().record_vdp_makespan(
+                                     runtime_.vdp_placement(), makespan);
+                               }
+                             });
+
+  runtime_.switcher().set_stream_callback([this](double sent, double now) {
+    runtime_.profiler().on_stream_packet(now);
+    runtime_.profiler().record_rtt(sent, sent + 2.0 * (now - sent));
+  });
+}
+
+void MissionRunner::defer(double due, std::function<void()> fn) {
+  deferred_.push_back({due, std::move(fn)});
+}
+
+void MissionRunner::pump(double now) {
+  // Run every deferred completion that is due; completions may enqueue
+  // publishes, so loop until stable.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (size_t i = 0; i < deferred_.size();) {
+      if (deferred_[i].due <= now) {
+        auto fn = std::move(deferred_[i].fn);
+        deferred_.erase(deferred_.begin() + static_cast<std::ptrdiff_t>(i));
+        fn();
+        progressed = true;
+      } else {
+        ++i;
+      }
+    }
+    runtime_.switcher().step();
+    if (runtime_.graph().spin() > 0) progressed = true;
+  }
+}
+
+double MissionRunner::current_velocity_cap() const {
+  const auto& profiler = runtime_.profiler();
+  const auto measured = profiler.vdp_makespan(runtime_.vdp_placement());
+  // Before the first command round-trips, assume one scan period of latency.
+  const double tp = measured.value_or(config_.scan_period * 2.0);
+  return runtime_.controller().velocity_cap(tp);
+}
+
+void MissionRunner::on_scan_tick(double now) {
+  msg::LaserScan scan = lidar_.scan(scenario_.world, robot_.pose(), now);
+  scan.header.seq = scan_seq_;
+  msg::Odometry odom = robot_.odometry(now, scan_seq_);
+  ++scan_seq_;
+
+  // Safety controller watches the raw scan locally (never offloaded, §IX).
+  if (const auto intervention = safety_.evaluate(scan)) {
+    mux_.on_command("safety", *intervention, now);
+  }
+
+  scan_pub_.publish(scan);
+  odom_pub_.publish(odom);
+
+  // Vision-based LGV: the camera frames at the scan rate (sensor local).
+  if (camera_.has_value()) {
+    frame_for_loc_ = camera_->capture(scenario_.world, robot_.pose(), now);
+  }
+
+  // Charge the (tiny) velocity-mux arbitration for this cycle.
+  platform::ExecutionContext mux_ctx = runtime_.make_context(NodeId::kVelocityMux);
+  mux_ctx.serial_work(calib::kVelMuxCyclesPerCommand);
+  runtime_.finish(NodeId::kVelocityMux, mux_ctx);
+
+  // Fixed-rate measurement stream for Algorithm 2 (velocity messages when
+  // path tracking is remote; 48 B probes otherwise — see DESIGN.md).
+  if (runtime_.plan().offload && runtime_.plan().adaptive) {
+    runtime_.switcher().send_stream_packet();
+  }
+  runtime_.profiler().on_robot_position(robot_.pose().position());
+}
+
+void MissionRunner::run_localization(double now) {
+  const bool vision = vo_.has_value();
+  if (vision) {
+    if (!frame_for_loc_.has_value() || now < loc_busy_until_ || now < frozen_until_)
+      return;
+  } else if (!scan_for_loc_.has_value() || now < loc_busy_until_ ||
+             now < frozen_until_) {
+    return;
+  }
+
+  platform::ExecutionContext ctx = runtime_.make_context(NodeId::kLocalization);
+  const Pose2D odom_used = latest_odom_.pose;
+  Pose2D estimate;
+  double frame_stamp = 0.0;
+  if (vision) {
+    const perception::VisualFrame frame = *frame_for_loc_;
+    frame_for_loc_.reset();
+    frame_stamp = frame.stamp;
+    const Pose2D delta = vo_last_odom_.between(latest_odom_.pose);
+    vo_last_odom_ = latest_odom_.pose;
+    vo_->update(delta, frame, ctx);
+    estimate = vo_->pose();
+  } else if (slam_.has_value()) {
+    const msg::LaserScan scan = *scan_for_loc_;
+    scan_for_loc_.reset();
+    frame_stamp = scan.header.stamp;
+    slam_->process(latest_odom_, scan, ctx);
+    estimate = slam_->best_pose();
+  } else {
+    const msg::LaserScan scan = *scan_for_loc_;
+    scan_for_loc_.reset();
+    frame_stamp = scan.header.stamp;
+    amcl_->update(latest_odom_, scan, ctx);
+    estimate = amcl_->estimate();
+  }
+  const double t = runtime_.finish(NodeId::kLocalization, ctx);
+  loc_busy_until_ = now + t;
+
+  // map→odom correction: map_pose = correction ∘ odom_pose at match time.
+  const Pose2D correction = estimate.compose(odom_used.inverse());
+  defer(loc_busy_until_, [this, estimate, correction, stamp = frame_stamp] {
+    msg::PoseStamped p;
+    p.header.stamp = stamp;
+    p.pose = estimate;
+    pose_pub_.publish(p);
+    msg::PoseStamped tf;
+    tf.header.stamp = stamp;
+    tf.pose = correction;
+    tf_pub_.publish(tf);
+  });
+}
+
+void MissionRunner::run_costmap(double now) {
+  if (!scan_for_cg_.has_value() || now < cg_busy_until_ || now < frozen_until_) return;
+  const msg::LaserScan scan = *scan_for_cg_;
+  scan_for_cg_.reset();
+
+  // Exploration: refresh the static layer from the SLAM map so the costmap
+  // covers newly mapped terrain (Fig. 2's map→costmap edge).
+  if (slam_.has_value()) {
+    costmap_.set_static_map(slam_->best_map().to_msg(now));
+  }
+
+  platform::ExecutionContext ctx = runtime_.make_context(NodeId::kCostmapGen);
+  const perception::CostmapUpdateStats stats = costmap_.update(current_pose(), scan);
+  ctx.serial_work(static_cast<double>(stats.raytraced_cells) *
+                      calib::kCostmapRaytraceCyclesPerCell +
+                  static_cast<double>(stats.inflated_cells) *
+                      calib::kInflationCyclesPerCell);
+  const double t = runtime_.finish(NodeId::kCostmapGen, ctx);
+  cg_busy_until_ = now + t;
+  defer(cg_busy_until_,
+        [this, stamp = scan.header.stamp] { costmap_stamp_ = stamp; });
+}
+
+void MissionRunner::run_tracking(double now) {
+  if (costmap_stamp_ <= tracked_costmap_stamp_ || now < pt_busy_until_ ||
+      now < frozen_until_ || path_.poses.empty()) {
+    return;
+  }
+  tracked_costmap_stamp_ = costmap_stamp_;
+
+  platform::ExecutionContext ctx = runtime_.make_context(NodeId::kPathTracking);
+  double cap = current_velocity_cap();
+  // Controller: bound the turn rate so one stale decision can't swing the
+  // heading wildly while the next command is still in flight.
+  const double makespan = runtime_.profiler()
+                              .vdp_makespan(runtime_.vdp_placement())
+                              .value_or(config_.scan_period * 2.0);
+  double angular_cap =
+      runtime_.controller().angular_cap(makespan, rollout_.config().max_angular);
+  if (vo_.has_value()) {
+    // §IX vision constraint: never rotate faster than the tracker can follow
+    // between frames, and crawl while tracking is lost so it can relock.
+    angular_cap = std::min(
+        angular_cap, perception::max_trackable_angular_rate(
+                         camera_->config().fov_rad, config_.scan_period, 0.75));
+    if (vo_->lost()) cap = std::min(cap, 0.08);
+  }
+  rollout_.set_angular_limit(angular_cap);
+  const control::RolloutDecision decision = rollout_.compute(
+      costmap_, path_, current_pose(), robot_.velocity(), cap, ctx);
+  const double t = runtime_.finish(NodeId::kPathTracking, ctx);
+  pt_busy_until_ = now + t;
+
+  defer(pt_busy_until_, [this, decision, stamp = costmap_stamp_] {
+    msg::TwistMsg cmd;
+    cmd.header.stamp = stamp;  // originating scan time → VDP makespan
+    cmd.velocity = decision.command;
+    cmd_pub_.publish(cmd);
+  });
+}
+
+void MissionRunner::run_planning(double now, bool force) {
+  if (!goal_.has_value() || now < pp_busy_until_) return;
+  if (!force && now - last_replan_ < config_.replan_period) return;
+  last_replan_ = now;
+
+  platform::ExecutionContext ctx = runtime_.make_context(NodeId::kPathPlanning);
+  const planning::PlanResult result =
+      planner_.plan(costmap_, {current_pose(), *goal_}, ctx);
+  const double t = runtime_.finish(NodeId::kPathPlanning, ctx);
+  pp_busy_until_ = now + t;
+  if (result.success) {
+    defer(pp_busy_until_, [this, path = result.path] { path_ = path; });
+  }
+}
+
+void MissionRunner::run_exploration(double now) {
+  if (!slam_.has_value()) return;
+
+  // Give up on a frontier goal that made no progress for a while: slivers
+  // inside inflation or behind clutter are unreachable in practice.
+  if (goal_.has_value()) {
+    const double d = distance(robot_.pose().position(), goal_->position());
+    if (d < explore_best_dist_ - 0.1) {
+      explore_best_dist_ = d;
+      explore_goal_set_time_ = now;
+    }
+    if (now - explore_goal_set_time_ > 40.0) {
+      frontier_blacklist_.push_back(goal_->position());
+      goal_.reset();
+      path_.poses.clear();
+    }
+  }
+
+  platform::ExecutionContext ctx = runtime_.make_context(NodeId::kExploration);
+  const planning::FrontierResult result =
+      frontier_.detect(slam_->best_map().to_msg(now), current_pose(), ctx);
+  runtime_.finish(NodeId::kExploration, ctx);
+
+  // Drop blacklisted frontiers; any surviving cluster keeps exploration
+  // going (frontiers can legitimately be doorway-sized).
+  std::optional<Point2D> next_goal;
+  for (const planning::Frontier& f : result.frontiers) {
+    const bool blacklisted =
+        std::any_of(frontier_blacklist_.begin(), frontier_blacklist_.end(),
+                    [&](const Point2D& b) { return distance(b, f.centroid) < 0.6; });
+    if (blacklisted) continue;
+    next_goal = f.centroid;
+    break;
+  }
+
+  if (next_goal.has_value()) {
+    const Pose2D new_goal{next_goal->x, next_goal->y, 0.0};
+    if (!goal_.has_value() || distance(goal_->position(), new_goal.position()) > 0.5) {
+      goal_ = new_goal;
+      explore_best_dist_ = 1e18;
+      explore_goal_set_time_ = now;
+      run_planning(now, /*force=*/true);
+    }
+  } else if (now > config_.explore_done_grace &&
+             slam_->best_map().known_area_m2() > 4.0) {
+    // No (reachable) frontier mass left: the environment is mapped.
+    explored_ = true;
+  }
+}
+
+void MissionRunner::run_adjustment(double now) {
+  auto& profiler = runtime_.profiler();
+
+  // Widen the command freshness window to ride out slow pipelines without
+  // stuttering, while still timing out under genuine network death.
+  const double makespan =
+      profiler.vdp_makespan(runtime_.vdp_placement()).value_or(config_.scan_period);
+  mux_.set_timeout("path_tracking",
+                   std::clamp(1.5 * makespan, kMinMuxTimeout, kMaxMuxTimeout));
+
+  // §VIII-E: shed cloud parallelism when the vehicle can't use the speed
+  // (obstacle-dense or turning phases) — saves cloud cost at no mission cost.
+  if (config_.adaptive_parallelism && runtime_.plan().offload) {
+    const double cap = current_velocity_cap();
+    const int rec = runtime_.controller().recommend_threads(
+        std::abs(robot_.velocity().linear), cap, runtime_.active_threads());
+    if (rec != runtime_.active_threads()) {
+      runtime_.set_active_threads(rec);
+    } else if (std::abs(robot_.velocity().linear) > 0.85 * cap) {
+      // Back to full parallelism when the vehicle is using the headroom.
+      runtime_.set_active_threads(runtime_.plan().remote_threads);
+    }
+    report_.min_active_threads =
+        std::min(report_.min_active_threads, runtime_.active_threads());
+  }
+
+  if (!runtime_.plan().offload || !runtime_.plan().adaptive) return;
+
+  // ---- Algorithm 2: bandwidth + signal direction → placement.
+  const NetworkObservation obs = profiler.observe(now);
+  VdpPlacement wanted = runtime_.network_controller().update(obs);
+
+  // ---- Algorithm 1 (MCT goal): confirm remote placement still pays off.
+  if (wanted == VdpPlacement::kRemote &&
+      runtime_.plan().goal == Goal::kCompletionTime) {
+    const auto tl = profiler.vdp_makespan(VdpPlacement::kLocal);
+    const auto tc = profiler.vdp_makespan(VdpPlacement::kRemote);
+    if (tl.has_value() && tc.has_value() && *tc > *tl) {
+      wanted = VdpPlacement::kLocal;
+      runtime_.network_controller().force(VdpPlacement::kLocal);
+    }
+  }
+
+  if (runtime_.set_vdp_placement(wanted)) {
+    // State migration: the costmap snapshot plus — for exploration — the
+    // actual serialized RBPF state (particle poses, weights and maps). The
+    // byte counts are real; the transfer itself is modeled on the TCP link.
+    const double costmap_bytes =
+        static_cast<double>(serialize_to_bytes(costmap_.to_msg(now)).size());
+    const double slam_bytes =
+        slam_.has_value() ? static_cast<double>(slam_->serialize_state().size()) : 0.0;
+    frozen_until_ = runtime_.switcher().migrate_state(
+        costmap_bytes + slam_bytes, wanted == VdpPlacement::kRemote);
+  }
+}
+
+void MissionRunner::integrate_energy(double now, double prev_speed) {
+  (void)now;
+  const double v = std::abs(robot_.velocity().linear);
+  const double a = (v - prev_speed) / config_.tick;
+  sim::PowerDraw draw;
+  const auto& pm = runtime_.power();
+  draw.sensor = pm.sensor_power();
+  draw.microcontroller = pm.microcontroller_power();
+  draw.motor = pm.motor_power(v, a);
+  draw.computer = pm.config().computer_idle_w;  // Eq. 1c dynamic part is
+                                                // charged per execution
+  runtime_.energy().accumulate(draw, config_.tick);
+  runtime_.charge_cloud_time(config_.tick);
+
+  // Drain the battery by everything consumed since the last tick (including
+  // per-execution Eq. 1c and per-message Eq. 1b charges).
+  const double total = runtime_.energy().energy().total();
+  battery_.drain(total - battery_drained_j_);
+  battery_drained_j_ = total;
+}
+
+MissionReport MissionRunner::run() {
+  report_ = MissionReport{};
+  report_.deployment = runtime_.plan().name;
+  report_.min_active_threads = runtime_.active_threads();
+  report_.workload = runtime_.plan().workload == WorkloadKind::kNavigationWithMap
+                         ? "navigation"
+                         : "exploration";
+
+  runtime_.apply_initial_placement();
+
+  SimClock& clock = runtime_.clock();
+  bool done = false;
+
+  while (!done && clock.now() < config_.timeout) {
+    const double now = clock.now();
+
+    // ---- sensing at the scan rate
+    if (now - last_scan_time_ >= config_.scan_period - 1e-9) {
+      last_scan_time_ = now;
+      on_scan_tick(now);
+    }
+
+    // ---- dataflow: deliveries, then any node whose input is ready
+    pump(now);
+    run_localization(now);
+    run_costmap(now);
+    if (slam_.has_value() && now - last_replan_ >= config_.replan_period) {
+      run_exploration(now);
+    }
+    run_planning(now, /*force=*/path_.poses.empty());
+    run_tracking(now);
+    pump(now);
+
+    // ---- runtime adjustment (Algorithms 1 & 2)
+    if (now - last_adjust_ >= config_.adjust_period) {
+      last_adjust_ = now;
+      run_adjustment(now);
+    }
+
+    // ---- stuck recovery (local, ROS-style recovery behavior)
+    {
+      std::optional<double> heading_error;
+      const Pose2D here = current_pose();
+      for (const Pose2D& wp : path_.poses) {
+        if (distance(wp.position(), here.position()) > 0.5) {
+          const double bearing =
+              std::atan2(wp.y - here.y, wp.x - here.x);
+          heading_error = angle_diff(bearing, here.theta);
+          break;
+        }
+      }
+      const bool nav_active = goal_.has_value() && !path_.poses.empty();
+      if (const auto cmd = recovery_.update(now, std::abs(robot_.velocity().linear),
+                                            nav_active, heading_error)) {
+        mux_.on_command("recovery", *cmd, now);
+      }
+    }
+
+    // ---- actuation + physics
+    platform::ExecutionContext dummy;
+    const Velocity2D cmd = mux_.select(now, dummy);
+    robot_.set_command(cmd);
+    const double prev_speed = std::abs(robot_.velocity().linear);
+    robot_.step(scenario_.world, config_.tick);
+    runtime_.channel().set_robot_position(robot_.pose().position());
+    integrate_energy(now, prev_speed);
+
+    if (observer_) {
+      TickState ts;
+      ts.t = now;
+      ts.robot_pose = robot_.pose();
+      ts.estimated_pose = current_pose();
+      ts.command = cmd;
+      ts.velocity_cap = current_velocity_cap();
+      ts.path_waypoints = path_.poses.size();
+      ts.goal = goal_;
+      ts.collided = robot_.collided();
+      ts.mux_source = mux_.active_source().has_value()
+                          ? mux_.active_source()->c_str()
+                          : "(none)";
+      observer_(ts);
+    }
+
+    if (std::abs(robot_.velocity().linear) < 0.02) {
+      report_.standby_time += config_.tick;
+    }
+
+    // ---- traces
+    if (now - last_trace_ >= config_.trace_period) {
+      last_trace_ = now;
+      const double cap = current_velocity_cap();
+      report_.velocity_trace.push_back(
+          {now, cap, std::abs(robot_.velocity().linear)});
+      // Skip the optimistic pre-measurement default at mission start.
+      if (now > 10.0) {
+        report_.peak_velocity_cap = std::max(report_.peak_velocity_cap, cap);
+      }
+      NetworkSample ns;
+      ns.t = now;
+      ns.latency_ms = runtime_.profiler().rtt().value_or(0.0) * 1000.0 / 2.0;
+      const NetworkObservation obs = runtime_.profiler().observe(now);
+      ns.bandwidth_hz = obs.bandwidth_hz;
+      ns.direction = obs.signal_direction;
+      ns.remote = runtime_.vdp_placement() == VdpPlacement::kRemote;
+      report_.network_trace.push_back(ns);
+    }
+
+    // ---- completion
+    if (goal_.has_value() && !slam_.has_value()) {
+      const double d = distance(robot_.pose().position(), scenario_.goal.position());
+      if (d < best_goal_distance_ - 0.05) {
+        best_goal_distance_ = d;
+        last_progress_time_ = now;
+      }
+      if (d < config_.goal_tolerance) {
+        report_.success = true;
+        done = true;
+      }
+      if (now - last_progress_time_ > 60.0) {
+        run_planning(now, /*force=*/true);
+        last_progress_time_ = now;
+      }
+    }
+    if (explored_) {
+      report_.success = true;
+      done = true;
+    }
+    if (battery_.depleted()) {
+      report_.success = false;
+      done = true;
+    }
+
+    clock.advance(config_.tick);
+  }
+
+  report_.completion_time = clock.now();
+  report_.distance_traveled = robot_.distance_traveled();
+  report_.average_velocity =
+      report_.completion_time > 0 ? report_.distance_traveled / report_.completion_time
+                                  : 0.0;
+  report_.energy = runtime_.energy().energy();
+  report_.network = runtime_.switcher().stats();
+  report_.placement_switches = runtime_.network_controller().switches();
+  report_.battery_state_of_charge = battery_.state_of_charge();
+  report_.cloud_core_seconds = runtime_.cloud_core_seconds();
+  if (slam_.has_value()) report_.explored_area_m2 = slam_->best_map().known_area_m2();
+  for (const std::string& name : runtime_.meter().node_names()) {
+    report_.node_cycles[name] = runtime_.meter().cycles(name);
+    report_.node_invocations[name] = runtime_.meter().invocations(name);
+  }
+  return report_;
+}
+
+}  // namespace lgv::core

@@ -1,0 +1,228 @@
+// MissionRunner: the end-to-end experiment driver behind Figs. 11–14. It
+// wires the Fig. 2 pipeline (lidar → localization/SLAM, costmap generation →
+// path tracking → velocity multiplexer, plus path planning and exploration)
+// onto an OffloadRuntime deployment and steps the whole system — robot
+// physics, wireless network, node execution with platform-modeled timing,
+// per-component energy, Algorithm 1 placement and Algorithm 2 adaptation —
+// in virtual time until the mission completes.
+//
+// Execution is asynchronous dataflow at a fixed tick: a node starts when its
+// input arrives and it is idle, runs for the cost-model execution time of its
+// current host, and its outputs publish when it finishes. Commands crossing
+// hosts ride the emulated UDP links and can be lost; a starved Velocity
+// Multiplexer times out to a safety stop, which is exactly how poor network
+// quality strands an offloaded LGV (§VI).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "control/recovery.h"
+#include "control/safety_controller.h"
+#include "control/trajectory_rollout.h"
+#include "control/velocity_mux.h"
+#include "core/offload_runtime.h"
+#include "perception/amcl.h"
+#include "perception/costmap2d.h"
+#include "perception/gmapping.h"
+#include "perception/visual_odometry.h"
+#include "planning/frontier.h"
+#include "planning/global_planner.h"
+#include "sim/lidar.h"
+#include "sim/robot.h"
+#include "sim/scenario.h"
+
+namespace lgv::core {
+
+/// Which Localization node implementation the mission runs (§IX: the paper's
+/// strategies transfer to vision-based LGVs; the vision backend adds the
+/// localization-failure speed constraint).
+enum class LocalizationBackend { kLaser, kVision };
+
+struct MissionConfig {
+  double tick = 0.02;          ///< simulation step (s)
+  double scan_period = 0.2;    ///< 5 Hz LDS
+  double timeout = 1500.0;     ///< give up after this much virtual time
+  double goal_tolerance = 0.35;
+  double mux_timeout = 0.8;    ///< command freshness window
+  double replan_period = 2.0;
+  double adjust_period = 1.0;  ///< Algorithm 1/2 evaluation cadence
+  double trace_period = 0.5;   ///< sampling of the report traces
+  int rollout_samples = 2000;  ///< Fig. 10's default operating point
+  int slam_particles = 30;
+  double explore_done_grace = 8.0;  ///< min mission time before "explored"
+  uint64_t seed = 0x5eed;
+  /// Wireless environment (WAP position comes from the scenario).
+  net::ChannelConfig channel;
+  /// Battery capacity (Wh); the mission fails if it empties (Turtlebot3
+  /// ships a 19.98 Wh pack — §I).
+  double battery_wh = 19.98;
+  /// §VIII-E: let the Controller shed cloud parallelism when the vehicle
+  /// cannot reach the velocity cap (saves cloud cost; off by default so the
+  /// headline figures run at fixed thread counts).
+  bool adaptive_parallelism = false;
+  /// Localization node implementation (navigation workload only; exploration
+  /// always runs laser SLAM).
+  LocalizationBackend localization = LocalizationBackend::kLaser;
+};
+
+struct VelocitySample {
+  double t = 0.0;
+  double cap = 0.0;   ///< Eq. 2c maximum velocity at t
+  double real = 0.0;  ///< actual base speed at t
+};
+
+struct NetworkSample {
+  double t = 0.0;
+  double latency_ms = 0.0;    ///< latest measured RTT
+  double bandwidth_hz = 0.0;  ///< Algorithm 2's r_t
+  double direction = 0.0;     ///< Algorithm 2's d_t
+  bool remote = false;        ///< VDP placement at t
+};
+
+struct MissionReport {
+  std::string deployment;
+  std::string workload;
+  bool success = false;
+  double completion_time = 0.0;  ///< T of Eq. 2a
+  double standby_time = 0.0;     ///< Ts (vehicle halted while mission active)
+  double distance_traveled = 0.0;
+  double average_velocity = 0.0;
+  double peak_velocity_cap = 0.0;
+  sim::EnergyBreakdown energy;   ///< Fig. 13's stacked components
+  SwitcherStats network;
+  uint64_t placement_switches = 0;  ///< Algorithm 2 activations
+  double explored_area_m2 = 0.0;    ///< exploration workload only
+  double battery_state_of_charge = 1.0;  ///< remaining fraction at mission end
+  int min_active_threads = 1;  ///< lowest worker count (§VIII-E shedding)
+  double cloud_core_seconds = 0.0;  ///< reserved remote core-seconds (cost proxy)
+  std::vector<VelocitySample> velocity_trace;
+  std::vector<NetworkSample> network_trace;
+  /// Per-node cycle totals and invocation counts (Table II's raw data).
+  std::map<std::string, double> node_cycles;
+  std::map<std::string, size_t> node_invocations;
+};
+
+/// Live snapshot passed to the tick observer (debugging / visualization).
+struct TickState {
+  double t = 0.0;
+  Pose2D robot_pose;
+  Pose2D estimated_pose;
+  Velocity2D command;
+  double velocity_cap = 0.0;
+  size_t path_waypoints = 0;
+  std::optional<Pose2D> goal;
+  bool collided = false;
+  const char* mux_source = "";
+};
+
+class MissionRunner {
+ public:
+  MissionRunner(sim::Scenario scenario, DeploymentPlan plan, MissionConfig config = {});
+
+  /// Run the mission to completion (or timeout) and return the report.
+  MissionReport run();
+
+  /// Invoked once per simulation tick with the live state. Install before
+  /// run(); used by examples for visualization and by debugging tools.
+  void set_tick_observer(std::function<void(const TickState&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  OffloadRuntime& runtime() { return runtime_; }
+
+ private:
+  struct DeferredAction {
+    double due;
+    std::function<void()> fn;
+  };
+
+  void setup_graph();
+  void on_scan_tick(double now);
+  void run_localization(double now);
+  void run_costmap(double now);
+  void run_tracking(double now);
+  void run_planning(double now, bool force);
+  void run_exploration(double now);
+  void run_adjustment(double now);
+  void integrate_energy(double now, double prev_speed);
+  void defer(double due, std::function<void()> fn);
+  void pump(double now);
+  double current_velocity_cap() const;
+
+  sim::Scenario scenario_;
+  MissionConfig config_;
+  OffloadRuntime runtime_;
+
+  // physical world
+  sim::DiffDriveRobot robot_;
+  sim::Lidar lidar_;
+  sim::Battery battery_;
+  double battery_drained_j_ = 0.0;
+
+  // pipeline algorithm state
+  perception::OccupancyGrid known_map_;       ///< navigation ground-truth map
+  std::optional<perception::Amcl> amcl_;      ///< with-a-map laser localization
+  std::optional<perception::Gmapping> slam_;  ///< without-a-map localization
+  std::optional<perception::Camera> camera_;  ///< vision-based LGV (§IX)
+  std::optional<perception::VisualOdometry> vo_;
+  std::optional<perception::VisualFrame> frame_for_loc_;
+  Pose2D vo_last_odom_;
+  perception::Costmap2D costmap_;
+  planning::GlobalPlanner planner_;
+  planning::FrontierExplorer frontier_;
+  control::TrajectoryRollout rollout_;
+  control::VelocityMultiplexer mux_;
+  control::SafetyController safety_;
+  control::RecoveryBehavior recovery_;
+
+  // dataflow state
+  std::optional<msg::LaserScan> scan_for_loc_;
+  std::optional<msg::LaserScan> scan_for_cg_;
+  msg::Odometry latest_odom_;
+  Pose2D pose_estimate_;
+  double pose_stamp_ = 0.0;
+  /// Localization publishes the map→odom correction; composing it with fresh
+  /// odometry gives an up-to-date pose even while SLAM/AMCL lag (standard
+  /// ROS TF practice). The correction itself can be stale/lossy — odometry
+  /// drifts slowly, so that is safe.
+  Pose2D map_to_odom_;
+  Pose2D current_pose() const { return map_to_odom_.compose(latest_odom_.pose); }
+  double costmap_stamp_ = -1.0;
+  double tracked_costmap_stamp_ = -1.0;
+  msg::PathMsg path_;
+  std::optional<Pose2D> goal_;
+  double loc_busy_until_ = 0.0;
+  double cg_busy_until_ = 0.0;
+  double pt_busy_until_ = 0.0;
+  double pp_busy_until_ = 0.0;
+  std::vector<DeferredAction> deferred_;
+
+  // publishers
+  mw::Publisher<msg::LaserScan> scan_pub_;
+  mw::Publisher<msg::Odometry> odom_pub_;
+  mw::Publisher<msg::PoseStamped> pose_pub_;
+  mw::Publisher<msg::PoseStamped> tf_pub_;
+  mw::Publisher<msg::TwistMsg> cmd_pub_;
+
+  // bookkeeping
+  MissionReport report_;
+  uint64_t scan_seq_ = 0;
+  double last_scan_time_ = -1e9;
+  double last_replan_ = -1e9;
+  double last_adjust_ = -1e9;
+  double last_trace_ = -1e9;
+  double last_progress_time_ = 0.0;
+  double best_goal_distance_ = 1e18;
+  double frozen_until_ = 0.0;  ///< state-migration freeze (Algorithm 2)
+  bool explored_ = false;
+  /// Frontier goals that made no progress for a while — treated as
+  /// unreachable (e.g. slivers inside inflation) and skipped.
+  std::vector<Point2D> frontier_blacklist_;
+  double explore_goal_set_time_ = 0.0;
+  double explore_best_dist_ = 1e18;
+  std::function<void(const TickState&)> observer_;
+};
+
+}  // namespace lgv::core

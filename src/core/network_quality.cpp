@@ -1,0 +1,32 @@
+#include "core/network_quality.h"
+
+namespace lgv::core {
+
+VdpPlacement NetworkQualityController::update(const NetworkObservation& obs) {
+  int vote = 0;  // +1 → wants remote, −1 → wants local
+  if (obs.bandwidth_hz < config_.bandwidth_threshold_hz && obs.signal_direction < 0.0) {
+    vote = -1;
+  } else if (obs.bandwidth_hz > config_.bandwidth_threshold_hz &&
+             obs.signal_direction > 0.0) {
+    vote = +1;
+  }
+
+  if (vote == 0) {
+    pending_ = 0;
+    return placement_;
+  }
+  const VdpPlacement wanted = vote > 0 ? VdpPlacement::kRemote : VdpPlacement::kLocal;
+  if (wanted == placement_) {
+    pending_ = 0;
+    return placement_;
+  }
+  pending_ += vote;
+  if (pending_ >= config_.hysteresis_samples || -pending_ >= config_.hysteresis_samples) {
+    placement_ = wanted;
+    pending_ = 0;
+    ++switches_;
+  }
+  return placement_;
+}
+
+}  // namespace lgv::core

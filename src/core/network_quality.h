@@ -1,0 +1,53 @@
+// Algorithm 2 — Offload Network Quality Control (§VI-A). Predicts network
+// quality from receive-side packet bandwidth and the signal direction
+// (LGV heading toward/away from the WAP), instead of tail latency which UDP's
+// kernel-buffer drops make blind (Fig. 7). Switches the offloaded node set
+// between the remote server and the LGV.
+#pragma once
+
+#include <cstdint>
+
+namespace lgv::core {
+
+enum class VdpPlacement { kLocal, kRemote };
+
+struct NetworkQualityConfig {
+  /// r_t threshold (packets/s). The paper sets 4 for a 5 Hz stream (§VIII-C).
+  double bandwidth_threshold_hz = 4.0;
+  /// Consecutive agreeing observations required before switching — debounce
+  /// so a single noisy window can't flap the placement.
+  int hysteresis_samples = 2;
+};
+
+struct NetworkObservation {
+  double bandwidth_hz = 0.0;    ///< r_t, from BandwidthMeter
+  double signal_direction = 0.0;///< d_t, from SignalDirectionEstimator
+};
+
+class NetworkQualityController {
+ public:
+  explicit NetworkQualityController(NetworkQualityConfig config = {},
+                                    VdpPlacement initial = VdpPlacement::kRemote)
+      : config_(config), placement_(initial) {}
+
+  /// One Algorithm 2 step:
+  ///   if r_t < threshold and d_t < 0 → invoke nodes on the LGV locally
+  ///   if r_t > threshold and d_t > 0 → invoke nodes on the remote server
+  /// Returns the (possibly changed) placement.
+  VdpPlacement update(const NetworkObservation& obs);
+
+  VdpPlacement placement() const { return placement_; }
+  uint64_t switches() const { return switches_; }
+  void force(VdpPlacement p) {
+    placement_ = p;
+    pending_ = 0;
+  }
+
+ private:
+  NetworkQualityConfig config_;
+  VdpPlacement placement_;
+  int pending_ = 0;  ///< signed count of consecutive switch votes
+  uint64_t switches_ = 0;
+};
+
+}  // namespace lgv::core

@@ -1,0 +1,64 @@
+#include "core/node_classifier.h"
+
+namespace lgv::core {
+
+const char* node_name(NodeId id) {
+  switch (id) {
+    case NodeId::kLocalization: return "localization";
+    case NodeId::kCostmapGen: return "costmap_gen";
+    case NodeId::kPathPlanning: return "path_planning";
+    case NodeId::kExploration: return "exploration";
+    case NodeId::kPathTracking: return "path_tracking";
+    case NodeId::kVelocityMux: return "velocity_mux";
+  }
+  return "?";
+}
+
+std::vector<NodeId> all_nodes() {
+  return {NodeId::kLocalization, NodeId::kCostmapGen,  NodeId::kPathPlanning,
+          NodeId::kExploration,  NodeId::kPathTracking, NodeId::kVelocityMux};
+}
+
+bool NodeClassifier::is_on_vdp(NodeId id) {
+  // Fig. 2: scan → CostmapGen → Path Tracking → Velocity Multiplexer is the
+  // longest velocity-dependent execution flow (§IV-A).
+  return id == NodeId::kCostmapGen || id == NodeId::kPathTracking ||
+         id == NodeId::kVelocityMux;
+}
+
+NodeTraits NodeClassifier::static_traits(NodeId id, WorkloadKind workload) {
+  NodeTraits t;
+  t.on_vdp = is_on_vdp(id);
+  switch (id) {
+    case NodeId::kCostmapGen:
+    case NodeId::kPathTracking:
+      t.energy_critical = true;  // both workloads (Table II)
+      break;
+    case NodeId::kLocalization:
+      // SLAM is an ECN; AMCL is not.
+      t.energy_critical = workload == WorkloadKind::kExplorationWithoutMap;
+      break;
+    default:
+      t.energy_critical = false;
+  }
+  return t;
+}
+
+std::map<NodeId, NodeTraits> NodeClassifier::classify(const platform::WorkMeter& meter,
+                                                      WorkloadKind workload) const {
+  std::map<NodeId, NodeTraits> out;
+  const double total = meter.total_cycles();
+  for (NodeId id : all_nodes()) {
+    NodeTraits t;
+    t.on_vdp = is_on_vdp(id);
+    if (total > 0.0) {
+      t.energy_critical = meter.fraction(node_name(id)) >= threshold_;
+    } else {
+      t.energy_critical = static_traits(id, workload).energy_critical;
+    }
+    out[id] = t;
+  }
+  return out;
+}
+
+}  // namespace lgv::core

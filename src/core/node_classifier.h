@@ -1,0 +1,67 @@
+// Node taxonomy of §IV / Fig. 4: Energy-Critical Nodes (ECN) and membership
+// in the Velocity-Dependent Path (VDP) partition the workload into
+//   T1 = ECN ∉ VDP   (SLAM)            — offload for energy
+//   T2 = ¬ECN ∈ VDP  (Velocity Mux)    — keep local (no gain from offload)
+//   T3 = ECN ∈ VDP   (CostmapGen, Path Tracking) — offload for both goals
+//   T4 = ¬ECN ∉ VDP  (AMCL, Path Planning, Exploration) — keep local
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "platform/work_meter.h"
+
+namespace lgv::core {
+
+/// The functional nodes of the Fig. 2 pipeline.
+enum class NodeId {
+  kLocalization,  ///< AMCL (with map) or SLAM (without map)
+  kCostmapGen,
+  kPathPlanning,
+  kExploration,
+  kPathTracking,
+  kVelocityMux,
+};
+
+const char* node_name(NodeId id);
+std::vector<NodeId> all_nodes();
+
+enum class WorkloadKind { kNavigationWithMap, kExplorationWithoutMap };
+
+enum class NodeClass { kT1, kT2, kT3, kT4 };
+
+struct NodeTraits {
+  bool energy_critical = false;
+  bool on_vdp = false;
+
+  NodeClass node_class() const {
+    if (energy_critical) return on_vdp ? NodeClass::kT3 : NodeClass::kT1;
+    return on_vdp ? NodeClass::kT2 : NodeClass::kT4;
+  }
+};
+
+class NodeClassifier {
+ public:
+  /// ECN threshold: a node is energy-critical when it accounts for at least
+  /// this fraction of total workload cycles (Table II identifies nodes at
+  /// ≥ ~12% as ECNs).
+  explicit NodeClassifier(double ecn_fraction_threshold = 0.10)
+      : threshold_(ecn_fraction_threshold) {}
+
+  /// Static classification from the paper's Table II analysis.
+  static NodeTraits static_traits(NodeId id, WorkloadKind workload);
+
+  /// Measurement-driven classification from profiled cycle shares. VDP
+  /// membership is structural (CostmapGen → PathTracking → VelocityMux);
+  /// ECN membership comes from the measured fractions.
+  std::map<NodeId, NodeTraits> classify(const platform::WorkMeter& meter,
+                                        WorkloadKind workload) const;
+
+  static bool is_on_vdp(NodeId id);
+
+ private:
+  double threshold_;
+};
+
+}  // namespace lgv::core

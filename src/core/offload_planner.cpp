@@ -1,0 +1,45 @@
+#include "core/offload_planner.h"
+
+namespace lgv::core {
+
+const char* goal_name(Goal g) {
+  return g == Goal::kEnergy ? "EC" : "MCT";
+}
+
+OffloadDecision OffloadPlanner::decide(const std::map<NodeId, NodeTraits>& traits,
+                                       double vdp_local_s, double vdp_cloud_s) const {
+  OffloadDecision out;
+  // Start everything local.
+  for (const auto& [id, t] : traits) out.placement[id] = platform::Host::kLgv;
+
+  // "submit all nodes ∈ ECN to the remote server": T1 + T3.
+  for (const auto& [id, t] : traits) {
+    if (t.energy_critical) out.placement[id] = remote_;
+  }
+
+  // MCT: if the cloud VDP time (incl. network latency) exceeds the local VDP
+  // time, migrate the T3 nodes back — offloading would slow the mission.
+  const bool cloud_worse = vdp_cloud_s > vdp_local_s;
+  if (goal_ == Goal::kCompletionTime && cloud_worse) {
+    for (const auto& [id, t] : traits) {
+      if (t.node_class() == NodeClass::kT3) out.placement[id] = platform::Host::kLgv;
+    }
+  }
+  if (goal_ == Goal::kCompletionTime) {
+    // MCT does not offload T1 (no completion-time benefit from SLAM being
+    // remote — §IV-B keeps only VDP ECNs remote for this goal).
+    for (const auto& [id, t] : traits) {
+      if (t.node_class() == NodeClass::kT1) out.placement[id] = remote_;
+    }
+  }
+
+  for (const auto& [id, t] : traits) {
+    if (t.node_class() == NodeClass::kT3 &&
+        out.placement.at(id) != platform::Host::kLgv) {
+      out.vdp_offloaded = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace lgv::core

@@ -1,0 +1,46 @@
+// Algorithm 1 — the fine-grained migration strategy of §IV-B. Given the node
+// classification, an optimization goal (EC = reduce energy consumption,
+// MCT = shorten mission completion time), and the measured local vs. cloud
+// VDP makespans, decide where every node runs.
+#pragma once
+
+#include <map>
+
+#include "core/node_classifier.h"
+#include "platform/platform_spec.h"
+
+namespace lgv::core {
+
+enum class Goal { kEnergy, kCompletionTime };  // EC / MCT in the paper
+
+const char* goal_name(Goal g);
+
+struct OffloadDecision {
+  std::map<NodeId, platform::Host> placement;
+  /// Whether the T3 (ECN ∩ VDP) nodes ended up remote.
+  bool vdp_offloaded = false;
+};
+
+class OffloadPlanner {
+ public:
+  OffloadPlanner(Goal goal, platform::Host remote_host)
+      : goal_(goal), remote_(remote_host) {}
+
+  Goal goal() const { return goal_; }
+  platform::Host remote_host() const { return remote_; }
+
+  /// Algorithm 1. `vdp_local_s` is T_l^v (overall VDP node processing time
+  /// when all nodes are local at max velocity); `vdp_cloud_s` is T_c (VDP
+  /// processing time with T3 offloaded, *including* network latency).
+  ///
+  ///   submit all ECN nodes to the remote server
+  ///   if goal == MCT and Tc > Tl:  migrate T3 nodes back to the LGV
+  OffloadDecision decide(const std::map<NodeId, NodeTraits>& traits,
+                         double vdp_local_s, double vdp_cloud_s) const;
+
+ private:
+  Goal goal_;
+  platform::Host remote_;
+};
+
+}  // namespace lgv::core

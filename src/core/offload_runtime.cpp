@@ -1,0 +1,164 @@
+#include "core/offload_runtime.h"
+
+#include <algorithm>
+
+namespace lgv::core {
+
+DeploymentPlan local_plan(WorkloadKind workload) {
+  DeploymentPlan p;
+  p.name = "local";
+  p.offload = false;
+  p.adaptive = false;
+  p.workload = workload;
+  return p;
+}
+
+DeploymentPlan offload_plan(const std::string& name, platform::Host remote, int threads,
+                            WorkloadKind workload, Goal goal) {
+  DeploymentPlan p;
+  p.name = name;
+  p.offload = true;
+  p.remote_host = remote;
+  p.remote_threads = threads;
+  p.goal = goal;
+  p.workload = workload;
+  return p;
+}
+
+namespace {
+net::ChannelConfig adjust_channel(net::ChannelConfig cfg, Point2D wap,
+                                  platform::Host remote) {
+  cfg.wap_position = wap;
+  // Packets to the datacenter continue over the WAN (§VIII-A: a VM from a
+  // public cloud provider); the edge gateway sits on the lab LAN.
+  cfg.wan_latency_s = remote == platform::Host::kCloudServer ? 0.012 : 0.0;
+  return cfg;
+}
+}  // namespace
+
+OffloadRuntime::OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
+                               net::ChannelConfig channel_config)
+    : plan_(std::move(plan)),
+      channel_(adjust_channel(channel_config, wap_position, plan_.remote_host)),
+      power_(),
+      switcher_(&graph_, &channel_, &clock_, &energy_, &power_),
+      profiler_({}, wap_position),
+      controller_(),
+      netctl_({}, plan_.offload ? VdpPlacement::kRemote : VdpPlacement::kLocal),
+      planner_(plan_.goal, plan_.remote_host),
+      vdp_placement_(plan_.offload ? VdpPlacement::kRemote : VdpPlacement::kLocal) {
+  cost_models_.emplace(platform::Host::kLgv,
+                       platform::CostModel(platform::turtlebot3_spec()));
+  cost_models_.emplace(platform::Host::kEdgeGateway,
+                       platform::CostModel(platform::edge_gateway_spec()));
+  cost_models_.emplace(platform::Host::kCloudServer,
+                       platform::CostModel(platform::cloud_server_spec()));
+
+  for (NodeId id : all_nodes()) {
+    traits_[id] = NodeClassifier::static_traits(id, plan_.workload);
+    placement_[id] = platform::Host::kLgv;
+    graph_.register_node(node_name(id), platform::Host::kLgv);
+  }
+  // Sensor driver and base controller always live on the vehicle.
+  graph_.register_node("lidar_driver", platform::Host::kLgv);
+  graph_.register_node("base_controller", platform::Host::kLgv);
+  // Remote worker endpoint (Fig. 8's WORKER module).
+  graph_.register_node("worker", plan_.remote_host);
+  graph_.set_remote_transport(&switcher_);
+
+  if (plan_.offload && plan_.remote_threads > 1) {
+    // Genuine worker pool for the parallel kernels (Figs. 5/6). Timing still
+    // comes from the cost model; the pool provides real concurrent execution.
+    remote_pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(plan_.remote_threads));
+  }
+  active_threads_ = plan_.offload ? plan_.remote_threads : 1;
+}
+
+void OffloadRuntime::set_active_threads(int threads) {
+  active_threads_ = std::clamp(threads, 1, std::max(1, plan_.remote_threads));
+}
+
+void OffloadRuntime::charge_cloud_time(double dt) {
+  bool any_remote = false;
+  for (const auto& [id, host] : placement_) {
+    any_remote |= host != platform::Host::kLgv;
+  }
+  if (any_remote) {
+    cloud_core_seconds_ += static_cast<double>(active_threads_) * dt;
+  }
+}
+
+platform::Host OffloadRuntime::host_of(NodeId id) const { return placement_.at(id); }
+
+void OffloadRuntime::place(NodeId id, platform::Host host) {
+  placement_[id] = host;
+  graph_.set_host(node_name(id), host);
+}
+
+OffloadDecision OffloadRuntime::apply_initial_placement() {
+  OffloadDecision decision;
+  if (!plan_.offload) {
+    for (NodeId id : all_nodes()) decision.placement[id] = platform::Host::kLgv;
+  } else {
+    // T_l^v and T_c from the profiler when available, otherwise from the cost
+    // models' first-principles prediction (no history yet at mission start).
+    const double tl = profiler_.vdp_makespan(VdpPlacement::kLocal).value_or(1.0);
+    const double tc = profiler_.vdp_makespan(VdpPlacement::kRemote)
+                          .value_or(0.1 + predicted_network_latency());
+    decision = planner_.decide(traits_, tl, tc);
+  }
+  for (const auto& [id, host] : decision.placement) place(id, host);
+  vdp_placement_ = decision.vdp_offloaded ? VdpPlacement::kRemote : VdpPlacement::kLocal;
+  netctl_.force(vdp_placement_);
+  return decision;
+}
+
+bool OffloadRuntime::set_vdp_placement(VdpPlacement placement) {
+  if (placement == vdp_placement_) return false;
+  vdp_placement_ = placement;
+  for (NodeId id : all_nodes()) {
+    const NodeClass cls = traits_.at(id).node_class();
+    const bool offloadable =
+        cls == NodeClass::kT3 || (plan_.goal == Goal::kEnergy && cls == NodeClass::kT1) ||
+        (plan_.goal == Goal::kCompletionTime && cls == NodeClass::kT1);
+    if (!offloadable) continue;
+    place(id, placement == VdpPlacement::kRemote ? plan_.remote_host
+                                                 : platform::Host::kLgv);
+  }
+  return true;
+}
+
+platform::ExecutionContext OffloadRuntime::make_context(NodeId id) {
+  const platform::Host host = host_of(id);
+  const bool parallel_kernels =
+      id == NodeId::kPathTracking || id == NodeId::kLocalization;
+  if (host != platform::Host::kLgv && remote_pool_ != nullptr && parallel_kernels &&
+      active_threads_ > 1) {
+    return platform::ExecutionContext(remote_pool_.get(), active_threads_);
+  }
+  return platform::ExecutionContext(nullptr, 1);
+}
+
+double OffloadRuntime::finish(NodeId id, platform::ExecutionContext& ctx) {
+  const platform::Host host = host_of(id);
+  const platform::CostModel& model = cost_models_.at(host);
+  const double t = model.execution_time(ctx.profile());
+  meter_.charge(node_name(id), ctx.profile().total_cycles());
+  if (host == platform::Host::kLgv) {
+    energy_.add_computer_energy(model.dynamic_energy(ctx.profile()));
+  }
+  profiler_.record_node_time(id, host, t);
+  return t;
+}
+
+const platform::CostModel& OffloadRuntime::cost_model(platform::Host host) const {
+  return cost_models_.at(host);
+}
+
+double OffloadRuntime::predicted_network_latency() {
+  // One scan up + one velocity command down.
+  return channel_.sample_latency(3000) + channel_.sample_latency(64);
+}
+
+}  // namespace lgv::core

@@ -1,0 +1,128 @@
+// OffloadRuntime assembles the Fig. 8 system: the computation graph, the
+// emulated wireless network, the Switcher transport, the Profiler, the
+// Controller, Algorithm 1 (initial placement) and Algorithm 2 (runtime
+// switching), plus the platform cost models and the remote thread pool used
+// for cloud acceleration. MissionRunner drives it; examples and tests can
+// also use it directly.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "core/controller.h"
+#include "core/network_quality.h"
+#include "core/node_classifier.h"
+#include "core/offload_planner.h"
+#include "core/profiler.h"
+#include "core/switcher.h"
+#include "middleware/graph.h"
+#include "net/wireless_channel.h"
+#include "platform/cost_model.h"
+#include "platform/execution_context.h"
+#include "platform/work_meter.h"
+#include "sim/power.h"
+
+namespace lgv::core {
+
+/// One evaluated deployment (the legend entries of Figs. 12/13).
+struct DeploymentPlan {
+  std::string name = "local";
+  bool offload = false;                     ///< any remote execution at all
+  platform::Host remote_host = platform::Host::kEdgeGateway;
+  int remote_threads = 1;                   ///< >1 enables §V parallelization
+  Goal goal = Goal::kCompletionTime;        ///< Algorithm 1 optimization goal
+  bool adaptive = true;                     ///< Algorithm 2 enabled
+  WorkloadKind workload = WorkloadKind::kNavigationWithMap;
+};
+
+DeploymentPlan local_plan(WorkloadKind workload);
+DeploymentPlan offload_plan(const std::string& name, platform::Host remote, int threads,
+                            WorkloadKind workload, Goal goal = Goal::kCompletionTime);
+
+class OffloadRuntime {
+ public:
+  OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
+                 net::ChannelConfig channel_config = {});
+
+  const DeploymentPlan& plan() const { return plan_; }
+
+  // ---- shared infrastructure ----
+  SimClock& clock() { return clock_; }
+  mw::Graph& graph() { return graph_; }
+  net::WirelessChannel& channel() { return channel_; }
+  Switcher& switcher() { return switcher_; }
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
+  Controller& controller() { return controller_; }
+  const Controller& controller() const { return controller_; }
+  NetworkQualityController& network_controller() { return netctl_; }
+  platform::WorkMeter& meter() { return meter_; }
+  sim::EnergyMeter& energy() { return energy_; }
+  const sim::PowerModel& power() const { return power_; }
+
+  // ---- placement ----
+  platform::Host host_of(NodeId id) const;
+  void place(NodeId id, platform::Host host);
+  /// Run Algorithm 1 with the current profiled VDP times and apply it.
+  OffloadDecision apply_initial_placement();
+  /// Algorithm 2 outcome: move every currently-remote node local (or the
+  /// plan's remote set back out). Returns true when anything moved.
+  bool set_vdp_placement(VdpPlacement placement);
+  VdpPlacement vdp_placement() const { return vdp_placement_; }
+
+  // ---- execution ----
+  /// Context for running `id`'s kernel right now: remote nodes with
+  /// parallelization enabled get the remote pool, everything else is serial.
+  platform::ExecutionContext make_context(NodeId id);
+
+  /// §VIII-E adaptivity: shrink/grow the worker count used by parallel
+  /// kernels at runtime (the pool keeps plan().remote_threads threads; fewer
+  /// chunks are dispatched). Clamped to [1, plan().remote_threads].
+  void set_active_threads(int threads);
+  int active_threads() const { return active_threads_; }
+
+  /// Accrue cloud/edge resource usage for `dt` seconds of virtual time:
+  /// while any node is remote, the reservation is active_threads() cores.
+  /// §VIII-E: shedding unused parallelism "saves the financial cost and
+  /// resource usage on the cloud servers".
+  void charge_cloud_time(double dt);
+  /// Reserved core-seconds accrued so far.
+  double cloud_core_seconds() const { return cloud_core_seconds_; }
+  /// Finish an execution: convert the recorded work to virtual time on the
+  /// node's platform, charge the work meter, charge Eq. 1c energy when the
+  /// node ran on the LGV, and feed the Profiler. Returns the virtual
+  /// processing time (s).
+  double finish(NodeId id, platform::ExecutionContext& ctx);
+
+  const platform::CostModel& cost_model(platform::Host host) const;
+
+  /// Estimated one-way uplink network latency for a scan-sized message under
+  /// current conditions (used for T_c prediction).
+  double predicted_network_latency();
+
+ private:
+  DeploymentPlan plan_;
+  SimClock clock_;
+  mw::Graph graph_;
+  net::WirelessChannel channel_;
+  sim::PowerModel power_;
+  sim::EnergyMeter energy_;
+  Switcher switcher_;
+  Profiler profiler_;
+  Controller controller_;
+  NetworkQualityController netctl_;
+  OffloadPlanner planner_;
+  platform::WorkMeter meter_;
+  std::map<NodeId, platform::Host> placement_;
+  std::map<NodeId, NodeTraits> traits_;
+  std::unique_ptr<ThreadPool> remote_pool_;
+  std::map<platform::Host, platform::CostModel> cost_models_;
+  VdpPlacement vdp_placement_ = VdpPlacement::kLocal;
+  int active_threads_ = 1;
+  double cloud_core_seconds_ = 0.0;
+};
+
+}  // namespace lgv::core

@@ -1,0 +1,48 @@
+#include "core/profiler.h"
+
+namespace lgv::core {
+
+Profiler::Profiler(ProfilerConfig config, Point2D wap_position)
+    : config_(config),
+      bandwidth_(config.bandwidth_window_s),
+      direction_(wap_position, config.direction_history) {}
+
+void Profiler::record_node_time(NodeId node, platform::Host host, double seconds) {
+  const auto key = std::make_pair(node, host);
+  const auto it = node_times_.find(key);
+  if (it == node_times_.end()) {
+    node_times_[key] = seconds;
+  } else {
+    it->second = config_.ema_alpha * seconds + (1.0 - config_.ema_alpha) * it->second;
+  }
+}
+
+std::optional<double> Profiler::node_time(NodeId node, platform::Host host) const {
+  const auto it = node_times_.find(std::make_pair(node, host));
+  if (it == node_times_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Profiler::record_vdp_makespan(VdpPlacement placement, double seconds) {
+  const auto it = vdp_times_.find(placement);
+  if (it == vdp_times_.end()) {
+    vdp_times_[placement] = seconds;
+  } else {
+    it->second = config_.ema_alpha * seconds + (1.0 - config_.ema_alpha) * it->second;
+  }
+}
+
+std::optional<double> Profiler::vdp_makespan(VdpPlacement placement) const {
+  const auto it = vdp_times_.find(placement);
+  if (it == vdp_times_.end()) return std::nullopt;
+  return it->second;
+}
+
+NetworkObservation Profiler::observe(double now) {
+  NetworkObservation obs;
+  obs.bandwidth_hz = bandwidth_.rate(now);
+  obs.signal_direction = direction_.direction();
+  return obs;
+}
+
+}  // namespace lgv::core

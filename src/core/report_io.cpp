@@ -1,0 +1,76 @@
+#include "core/report_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace lgv::core {
+
+void write_velocity_trace_csv(std::ostream& os, const MissionReport& report) {
+  os << "t,cap,real\n";
+  for (const VelocitySample& s : report.velocity_trace) {
+    os << s.t << "," << s.cap << "," << s.real << "\n";
+  }
+}
+
+void write_network_trace_csv(std::ostream& os, const MissionReport& report) {
+  os << "t,latency_ms,bandwidth_hz,direction,placement\n";
+  for (const NetworkSample& s : report.network_trace) {
+    os << s.t << "," << s.latency_ms << "," << s.bandwidth_hz << "," << s.direction
+       << "," << (s.remote ? "remote" : "local") << "\n";
+  }
+}
+
+void write_node_work_csv(std::ostream& os, const MissionReport& report) {
+  os << "node,cycles,invocations\n";
+  for (const auto& [name, cycles] : report.node_cycles) {
+    const auto it = report.node_invocations.find(name);
+    os << name << "," << cycles << ","
+       << (it != report.node_invocations.end() ? it->second : 0) << "\n";
+  }
+}
+
+std::string summarize(const MissionReport& report) {
+  std::ostringstream os;
+  os << "mission " << report.workload << " [" << report.deployment << "] "
+     << (report.success ? "SUCCEEDED" : "FAILED") << " in " << report.completion_time
+     << " s\n";
+  os << "  distance " << report.distance_traveled << " m, avg velocity "
+     << report.average_velocity << " m/s, standby " << report.standby_time << " s\n";
+  os << "  energy " << report.energy.total() << " J (motor " << report.energy.motor
+     << ", computer " << report.energy.computer << ", sensor " << report.energy.sensor
+     << ", micro " << report.energy.microcontroller << ", wireless "
+     << report.energy.wireless << ")\n";
+  os << "  battery " << report.battery_state_of_charge * 100.0 << "% remaining";
+  if (report.network.uplink_messages > 0) {
+    os << "; network up " << report.network.uplink_messages << " msgs / "
+       << report.network.uplink_bytes << " B, down " << report.network.downlink_messages
+       << " msgs, " << report.placement_switches << " placement switch(es)";
+  }
+  os << "\n";
+  if (report.explored_area_m2 > 0.0) {
+    os << "  explored " << report.explored_area_m2 << " m^2\n";
+  }
+  return os.str();
+}
+
+bool write_report_files(const std::string& prefix, const MissionReport& report) {
+  {
+    std::ofstream f(prefix + "_velocity.csv");
+    if (!f) return false;
+    write_velocity_trace_csv(f, report);
+  }
+  {
+    std::ofstream f(prefix + "_network.csv");
+    if (!f) return false;
+    write_network_trace_csv(f, report);
+  }
+  {
+    std::ofstream f(prefix + "_nodes.csv");
+    if (!f) return false;
+    write_node_work_csv(f, report);
+  }
+  return true;
+}
+
+}  // namespace lgv::core

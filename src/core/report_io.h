@@ -1,0 +1,28 @@
+// Serialization of MissionReports for offline analysis: CSV traces (one row
+// per sample, ready for any plotting tool) and a human-readable summary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/mission_runner.h"
+
+namespace lgv::core {
+
+/// velocity trace as CSV: t,cap,real
+void write_velocity_trace_csv(std::ostream& os, const MissionReport& report);
+
+/// network trace as CSV: t,latency_ms,bandwidth_hz,direction,placement
+void write_network_trace_csv(std::ostream& os, const MissionReport& report);
+
+/// per-node work as CSV: node,cycles,invocations
+void write_node_work_csv(std::ostream& os, const MissionReport& report);
+
+/// Multi-line human-readable summary (what the examples print).
+std::string summarize(const MissionReport& report);
+
+/// Write all three CSVs next to each other: <prefix>_velocity.csv,
+/// <prefix>_network.csv, <prefix>_nodes.csv. Returns false on I/O failure.
+bool write_report_files(const std::string& prefix, const MissionReport& report);
+
+}  // namespace lgv::core

@@ -1,0 +1,114 @@
+#include "core/switcher.h"
+
+#include <algorithm>
+
+namespace lgv::core {
+
+namespace {
+// Envelope framing: topic, destination node, payload.
+std::vector<uint8_t> pack_envelope(const std::string& topic, const std::string& dst,
+                                   const std::vector<uint8_t>& payload) {
+  WireWriter w;
+  w.put_string(topic);
+  w.put_string(dst);
+  w.put_varint(payload.size());
+  w.put_bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+struct Envelope {
+  std::string topic;
+  std::string dst;
+  std::vector<uint8_t> payload;
+};
+
+Envelope unpack_envelope(const std::vector<uint8_t>& bytes) {
+  WireReader r(bytes);
+  Envelope e;
+  e.topic = r.get_string();
+  e.dst = r.get_string();
+  const size_t n = r.get_varint();
+  e.payload = r.get_raw(n);
+  return e;
+}
+}  // namespace
+
+Switcher::Switcher(mw::Graph* graph, net::WirelessChannel* channel, const SimClock* clock,
+                   sim::EnergyMeter* energy, const sim::PowerModel* power,
+                   size_t kernel_buffer_capacity)
+    : graph_(graph),
+      channel_(channel),
+      clock_(clock),
+      energy_(energy),
+      power_(power),
+      uplink_(channel, kernel_buffer_capacity),
+      downlink_(channel, kernel_buffer_capacity),
+      control_(channel) {}
+
+void Switcher::send(const mw::TopicName& topic, const mw::NodeName& dst,
+                    platform::Host src_host, platform::Host dst_host,
+                    std::vector<uint8_t> bytes) {
+  (void)dst_host;
+  const double now = clock_->now();
+  stats_.max_message_bytes =
+      std::max(stats_.max_message_bytes, static_cast<double>(bytes.size()));
+  std::vector<uint8_t> env = pack_envelope(topic, dst, bytes);
+  if (src_host == platform::Host::kLgv) {
+    ++stats_.uplink_messages;
+    stats_.uplink_bytes += static_cast<double>(env.size());
+    // Eq. 1b: uplink transmission costs the wireless controller energy.
+    if (energy_ != nullptr) {
+      energy_->add_wireless_energy(power_->transmission_energy(
+          static_cast<double>(env.size()), channel_->effective_uplink_bps()));
+    }
+    uplink_.send(std::move(env), now);
+  } else {
+    ++stats_.downlink_messages;
+    stats_.downlink_bytes += static_cast<double>(env.size());
+    downlink_.send(std::move(env), now);
+  }
+}
+
+void Switcher::deliver(const net::Packet& packet) {
+  const Envelope e = unpack_envelope(packet.payload);
+  if (e.topic == "__stream__") {
+    if (stream_callback_) stream_callback_(packet.send_time, clock_->now());
+    return;
+  }
+  graph_->deliver_serialized(e.topic, e.dst, e.payload);
+}
+
+void Switcher::step() {
+  const double now = clock_->now();
+  uplink_.step(now);
+  downlink_.step(now);
+  control_.step(now);
+  for (const net::Packet& p : uplink_.poll_delivered(now)) deliver(p);
+  for (const net::Packet& p : downlink_.poll_delivered(now)) deliver(p);
+  for (const net::Packet& p : control_.poll_delivered(now)) deliver(p);
+}
+
+double Switcher::migrate_state(double bytes, bool uplink) {
+  ++stats_.state_migrations;
+  stats_.state_migration_bytes += bytes;
+  const double now = clock_->now();
+  if (uplink && energy_ != nullptr) {
+    energy_->add_wireless_energy(
+        power_->transmission_energy(bytes, channel_->effective_uplink_bps()));
+  }
+  // Reliable transfer time: serialization at the effective rate plus one
+  // latency sample; degraded links stretch it via the retry model.
+  const double rate = std::max(1e5, channel_->effective_uplink_bps());
+  return now + bytes * 8.0 / rate + channel_->sample_latency(1200);
+}
+
+void Switcher::send_stream_packet() {
+  // 48 B velocity message (§III-A) as the fixed-rate measurement stream.
+  std::vector<uint8_t> payload(32, 0);
+  std::vector<uint8_t> env = pack_envelope("__stream__", "lgv", payload);
+  ++stats_.downlink_messages;
+  stats_.downlink_bytes += static_cast<double>(env.size());
+  downlink_.send(std::move(env), clock_->now());
+}
+
+}  // namespace lgv::core

@@ -1,0 +1,79 @@
+// The Switcher threads of §VII: maintain data communication between worker
+// nodes on the LGV and on the remote server. Implements the middleware's
+// RemoteTransport over the emulated wireless link — messages are serialized
+// (the paper uses protobuf; we use the equivalent wire format in
+// common/serialization.h), stamped, and shipped over UDP with one-length
+// queues; state migration rides the reliable TCP link. Uplink transmissions
+// charge Eq. 1b energy to the wireless controller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/clock.h"
+#include "middleware/graph.h"
+#include "net/link.h"
+#include "net/wireless_channel.h"
+#include "sim/power.h"
+
+namespace lgv::core {
+
+struct SwitcherStats {
+  uint64_t uplink_messages = 0;
+  uint64_t downlink_messages = 0;
+  double uplink_bytes = 0.0;
+  double downlink_bytes = 0.0;
+  uint64_t state_migrations = 0;
+  double state_migration_bytes = 0.0;
+  double max_message_bytes = 0.0;  ///< the paper reports 2.94 KB (laser scan)
+};
+
+class Switcher final : public mw::RemoteTransport {
+ public:
+  Switcher(mw::Graph* graph, net::WirelessChannel* channel, const SimClock* clock,
+           sim::EnergyMeter* energy, const sim::PowerModel* power,
+           size_t kernel_buffer_capacity = 4);
+
+  // mw::RemoteTransport — called by the Graph for cross-host publications.
+  void send(const mw::TopicName& topic, const mw::NodeName& dst,
+            platform::Host src_host, platform::Host dst_host,
+            std::vector<uint8_t> bytes) override;
+
+  /// Advance links and deliver everything that arrived by now.
+  void step();
+
+  /// Migrate `bytes` of node state (e.g. particle set + map) over TCP;
+  /// returns the estimated transfer completion time. The Controller freezes
+  /// the node until then.
+  double migrate_state(double bytes, bool uplink);
+
+  /// Send a 48 B measurement-stream packet (velocity message or probe) on the
+  /// downlink; Profiler bandwidth is counted on arrival via the callback,
+  /// which receives (send_time, arrival_time).
+  void send_stream_packet();
+  void set_stream_callback(std::function<void(double sent, double now)> cb) {
+    stream_callback_ = std::move(cb);
+  }
+
+  const SwitcherStats& stats() const { return stats_; }
+  net::UdpLink& uplink() { return uplink_; }
+  net::UdpLink& downlink() { return downlink_; }
+  net::TcpLink& control_link() { return control_; }
+
+ private:
+  void deliver(const net::Packet& packet);
+
+  mw::Graph* graph_;
+  net::WirelessChannel* channel_;
+  const SimClock* clock_;
+  sim::EnergyMeter* energy_;
+  const sim::PowerModel* power_;
+  net::UdpLink uplink_;    ///< LGV → remote (scans; large)
+  net::UdpLink downlink_;  ///< remote → LGV (velocities, poses; small)
+  net::TcpLink control_;   ///< reliable control/state channel
+  SwitcherStats stats_;
+  std::function<void(double, double)> stream_callback_;
+};
+
+}  // namespace lgv::core

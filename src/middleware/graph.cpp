@@ -1,0 +1,113 @@
+#include "middleware/graph.h"
+
+#include <stdexcept>
+
+namespace lgv::mw {
+
+void Graph::register_node(const NodeName& node, Host host) { hosts_[node] = host; }
+
+Host Graph::host_of(const NodeName& node) const {
+  const auto it = hosts_.find(node);
+  if (it == hosts_.end()) throw std::invalid_argument("unknown node: " + node);
+  return it->second;
+}
+
+void Graph::set_host(const NodeName& node, Host host) {
+  if (!has_node(node)) throw std::invalid_argument("unknown node: " + node);
+  hosts_[node] = host;
+}
+
+std::vector<NodeName> Graph::nodes() const {
+  std::vector<NodeName> out;
+  out.reserve(hosts_.size());
+  for (const auto& [name, host] : hosts_) out.push_back(name);
+  return out;
+}
+
+void Graph::enqueue(detail::SubscriptionRec& sub, const detail::ErasedMessage& msg,
+                    TopicStats& stats) {
+  if (sub.queue.size() >= sub.max_queue) {
+    // Bounded queue, freshest wins: drop the oldest (ROS queue_size semantics).
+    sub.queue.pop_front();
+    ++sub.dropped;
+    ++stats.dropped_queue;
+  }
+  sub.queue.push_back(msg);
+}
+
+void Graph::dispatch(detail::TopicRec& rec, const NodeName& publisher,
+                     const detail::ErasedMessage& msg, const std::vector<uint8_t>* bytes) {
+  const Host src = host_of(publisher);
+  for (auto& sub : rec.subs) {
+    const Host dst = host_of(sub->subscriber);
+    if (dst == src || transport_ == nullptr) {
+      enqueue(*sub, msg, rec.stats);
+      ++rec.stats.delivered_local;
+    } else {
+      ++rec.stats.sent_remote;
+      transport_->send(rec.name, sub->subscriber, src, dst, *bytes);
+    }
+  }
+}
+
+void Graph::deliver_serialized(const TopicName& topic, const NodeName& dst,
+                               const std::vector<uint8_t>& bytes) {
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  detail::TopicRec& rec = it->second;
+  detail::ErasedMessage msg = rec.deserialize(bytes);
+  for (auto& sub : rec.subs) {
+    if (sub->subscriber == dst) {
+      enqueue(*sub, msg, rec.stats);
+      return;
+    }
+  }
+}
+
+size_t Graph::spin() {
+  size_t invoked = 0;
+  // Two-phase drain so that callbacks publishing new messages don't recurse
+  // into queues we're iterating.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto& [name, rec] : topics_) {
+      for (auto& sub : rec.subs) {
+        while (!sub->queue.empty()) {
+          detail::ErasedMessage msg = sub->queue.front();
+          sub->queue.pop_front();
+          ++sub->received;
+          sub->callback(msg);
+          ++invoked;
+          progressed = true;
+        }
+      }
+    }
+  }
+  return invoked;
+}
+
+std::optional<Host> Graph::service_host(const std::string& service) const {
+  const auto it = services_.find(service);
+  if (it == services_.end()) return std::nullopt;
+  return host_of(it->second.first);
+}
+
+const TopicStats* Graph::topic_stats(const TopicName& topic) const {
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : &it->second.stats;
+}
+
+std::vector<TopicName> Graph::topics() const {
+  std::vector<TopicName> out;
+  out.reserve(topics_.size());
+  for (const auto& [name, rec] : topics_) out.push_back(name);
+  return out;
+}
+
+size_t Graph::last_message_bytes(const TopicName& topic) const {
+  const auto it = last_bytes_.find(topic);
+  return it == last_bytes_.end() ? 0 : it->second;
+}
+
+}  // namespace lgv::mw

@@ -1,0 +1,246 @@
+// ROS-like computation graph: named nodes publish and subscribe typed topics
+// in the subscriber/publisher mode of Fig. 2, plus a client/server facility
+// for the Path Planning service (dashed arrows).
+//
+// Every node is registered on a Host (LGV / edge / cloud — Fig. 8). Delivery
+// between same-host endpoints is immediate and loss-free (intra-process ROS
+// transport). Delivery across hosts is delegated to a RemoteTransport — the
+// Switcher (src/core) installs one backed by the emulated wireless link, so
+// offloaded topics experience real latency, loss and kernel-buffer drops.
+// Migration is a single set_host() call: routing updates automatically.
+//
+// Subscriptions default to a ONE-LENGTH queue that drops the oldest message:
+// the freshness-over-reliability policy the paper's VDP streams use (§VI).
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "common/serialization.h"
+#include "platform/platform_spec.h"
+
+namespace lgv::mw {
+
+using NodeName = std::string;
+using TopicName = std::string;
+using platform::Host;
+
+struct TopicStats {
+  uint64_t published = 0;
+  uint64_t delivered_local = 0;
+  uint64_t sent_remote = 0;
+  uint64_t dropped_queue = 0;  ///< overwritten in a full bounded queue
+};
+
+/// Installed by the Switcher to carry serialized messages across hosts.
+class RemoteTransport {
+ public:
+  virtual ~RemoteTransport() = default;
+  /// Ship `bytes` for `topic` toward the subscriber node `dst` on `dst_host`.
+  /// The transport reads virtual time from its own clock and later calls
+  /// Graph::deliver_serialized() on arrival.
+  virtual void send(const TopicName& topic, const NodeName& dst, Host src_host,
+                    Host dst_host, std::vector<uint8_t> bytes) = 0;
+};
+
+class Graph;
+
+namespace detail {
+
+using ErasedMessage = std::shared_ptr<const void>;
+
+struct SubscriptionRec {
+  NodeName subscriber;
+  size_t max_queue = 1;
+  std::deque<ErasedMessage> queue;
+  std::function<void(const ErasedMessage&)> callback;
+  uint64_t dropped = 0;
+  uint64_t received = 0;
+};
+
+struct TopicRec {
+  TopicName name;
+  std::type_index type{typeid(void)};
+  std::function<std::vector<uint8_t>(const void*)> serialize;
+  std::function<ErasedMessage(const std::vector<uint8_t>&)> deserialize;
+  std::vector<std::unique_ptr<SubscriptionRec>> subs;
+  std::optional<ErasedMessage> latched;
+  bool latch = false;
+  TopicStats stats;
+};
+
+}  // namespace detail
+
+/// Typed publisher handle.
+template <typename T>
+class Publisher {
+ public:
+  Publisher() = default;
+  void publish(const T& message);
+  bool valid() const { return graph_ != nullptr; }
+  const TopicName& topic() const { return topic_; }
+
+ private:
+  friend class Graph;
+  Publisher(Graph* graph, NodeName node, TopicName topic)
+      : graph_(graph), node_(std::move(node)), topic_(std::move(topic)) {}
+  Graph* graph_ = nullptr;
+  NodeName node_;
+  TopicName topic_;
+};
+
+/// The broker. Single-threaded by design: the mission loop calls spin() at
+/// each virtual tick; callbacks run inline.
+class Graph {
+ public:
+  // ---- node registry ----
+  void register_node(const NodeName& node, Host host);
+  bool has_node(const NodeName& node) const { return hosts_.count(node) > 0; }
+  Host host_of(const NodeName& node) const;
+  /// Migrate a node; future deliveries re-route automatically (§IV, §VI).
+  void set_host(const NodeName& node, Host host);
+  std::vector<NodeName> nodes() const;
+
+  // ---- pub/sub ----
+  template <typename T>
+  Publisher<T> advertise(const NodeName& node, const TopicName& topic, bool latch = false);
+
+  template <typename T>
+  void subscribe(const NodeName& node, const TopicName& topic,
+                 std::function<void(const T&)> callback, size_t queue_size = 1);
+
+  /// Deliver everything queued; returns number of callbacks invoked.
+  size_t spin();
+
+  // ---- remote path ----
+  void set_remote_transport(RemoteTransport* transport) { transport_ = transport; }
+  /// Called by the transport when a cross-host message arrives.
+  void deliver_serialized(const TopicName& topic, const NodeName& dst,
+                          const std::vector<uint8_t>& bytes);
+
+  // ---- services (client/server paradigm) ----
+  template <typename Req, typename Res>
+  void advertise_service(const NodeName& node, const std::string& service,
+                         std::function<Res(const Req&)> handler);
+  template <typename Req, typename Res>
+  std::optional<Res> call_service(const std::string& service, const Req& request);
+  /// Host of the node serving `service` (so callers can account for network
+  /// time on cross-host calls).
+  std::optional<Host> service_host(const std::string& service) const;
+
+  // ---- introspection ----
+  const TopicStats* topic_stats(const TopicName& topic) const;
+  std::vector<TopicName> topics() const;
+  /// Serialized size of the last message published on `topic` (bytes).
+  size_t last_message_bytes(const TopicName& topic) const;
+
+ private:
+  template <typename T>
+  detail::TopicRec& topic_rec(const TopicName& topic);
+  void dispatch(detail::TopicRec& rec, const NodeName& publisher,
+                const detail::ErasedMessage& msg, const std::vector<uint8_t>* bytes);
+  static void enqueue(detail::SubscriptionRec& sub, const detail::ErasedMessage& msg,
+                      TopicStats& stats);
+
+  template <typename T>
+  friend class Publisher;
+  template <typename T>
+  void publish_impl(const NodeName& node, const TopicName& topic, const T& message);
+
+  std::map<NodeName, Host> hosts_;
+  std::map<TopicName, detail::TopicRec> topics_;
+  std::map<std::string, std::pair<NodeName, std::function<detail::ErasedMessage(const void*)>>>
+      services_;
+  std::map<TopicName, size_t> last_bytes_;
+  RemoteTransport* transport_ = nullptr;
+};
+
+// ---- template implementations ----
+
+template <typename T>
+void Publisher<T>::publish(const T& message) {
+  assert(graph_ != nullptr);
+  graph_->publish_impl<T>(node_, topic_, message);
+}
+
+template <typename T>
+detail::TopicRec& Graph::topic_rec(const TopicName& topic) {
+  auto [it, inserted] = topics_.try_emplace(topic);
+  detail::TopicRec& rec = it->second;
+  if (inserted) {
+    rec.name = topic;
+    rec.type = std::type_index(typeid(T));
+    rec.serialize = [](const void* p) {
+      return serialize_to_bytes(*static_cast<const T*>(p));
+    };
+    rec.deserialize = [](const std::vector<uint8_t>& bytes) -> detail::ErasedMessage {
+      return std::make_shared<const T>(deserialize_from_bytes<T>(bytes));
+    };
+  } else {
+    assert(rec.type == std::type_index(typeid(T)) && "topic type mismatch");
+  }
+  return rec;
+}
+
+template <typename T>
+Publisher<T> Graph::advertise(const NodeName& node, const TopicName& topic, bool latch) {
+  assert(has_node(node));
+  detail::TopicRec& rec = topic_rec<T>(topic);
+  rec.latch = rec.latch || latch;
+  return Publisher<T>(this, node, topic);
+}
+
+template <typename T>
+void Graph::subscribe(const NodeName& node, const TopicName& topic,
+                      std::function<void(const T&)> callback, size_t queue_size) {
+  assert(has_node(node));
+  detail::TopicRec& rec = topic_rec<T>(topic);
+  auto sub = std::make_unique<detail::SubscriptionRec>();
+  sub->subscriber = node;
+  sub->max_queue = queue_size == 0 ? 1 : queue_size;
+  sub->callback = [cb = std::move(callback)](const detail::ErasedMessage& msg) {
+    cb(*static_cast<const T*>(msg.get()));
+  };
+  if (rec.latch && rec.latched.has_value()) {
+    enqueue(*sub, *rec.latched, rec.stats);
+  }
+  rec.subs.push_back(std::move(sub));
+}
+
+template <typename T>
+void Graph::publish_impl(const NodeName& node, const TopicName& topic, const T& message) {
+  detail::TopicRec& rec = topic_rec<T>(topic);
+  auto msg = std::make_shared<const T>(message);
+  std::vector<uint8_t> bytes = rec.serialize(msg.get());
+  last_bytes_[topic] = bytes.size();
+  if (rec.latch) rec.latched = msg;
+  ++rec.stats.published;
+  dispatch(rec, node, msg, &bytes);
+}
+
+template <typename Req, typename Res>
+void Graph::advertise_service(const NodeName& node, const std::string& service,
+                              std::function<Res(const Req&)> handler) {
+  assert(has_node(node));
+  services_[service] = {node, [h = std::move(handler)](const void* req) {
+                          return std::make_shared<const Res>(
+                              h(*static_cast<const Req*>(req)));
+                        }};
+}
+
+template <typename Req, typename Res>
+std::optional<Res> Graph::call_service(const std::string& service, const Req& request) {
+  const auto it = services_.find(service);
+  if (it == services_.end()) return std::nullopt;
+  detail::ErasedMessage res = it->second.second(&request);
+  return *static_cast<const Res*>(res.get());
+}
+
+}  // namespace lgv::mw

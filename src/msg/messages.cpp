@@ -1,0 +1,173 @@
+#include "msg/messages.h"
+
+namespace lgv::msg {
+
+void Header::serialize(WireWriter& w) const {
+  w.put_varint(seq);
+  w.put_double(stamp);
+  w.put_string(frame_id);
+}
+
+Header Header::deserialize(WireReader& r) {
+  Header h;
+  h.seq = r.get_varint();
+  h.stamp = r.get_double();
+  h.frame_id = r.get_string();
+  return h;
+}
+
+void serialize_pose(WireWriter& w, const Pose2D& p) {
+  w.put_double(p.x);
+  w.put_double(p.y);
+  w.put_double(p.theta);
+}
+
+Pose2D deserialize_pose(WireReader& r) {
+  const double x = r.get_double();
+  const double y = r.get_double();
+  const double th = r.get_double();
+  return {x, y, th};
+}
+
+void LaserScan::serialize(WireWriter& w) const {
+  header.serialize(w);
+  w.put_double(angle_min);
+  w.put_double(angle_max);
+  w.put_double(angle_increment);
+  w.put_double(range_min);
+  w.put_double(range_max);
+  w.put_repeated_float(ranges);
+}
+
+LaserScan LaserScan::deserialize(WireReader& r) {
+  LaserScan s;
+  s.header = Header::deserialize(r);
+  s.angle_min = r.get_double();
+  s.angle_max = r.get_double();
+  s.angle_increment = r.get_double();
+  s.range_min = r.get_double();
+  s.range_max = r.get_double();
+  s.ranges = r.get_repeated_float();
+  return s;
+}
+
+void TwistMsg::serialize(WireWriter& w) const {
+  header.serialize(w);
+  w.put_double(velocity.linear);
+  w.put_double(velocity.angular);
+}
+
+TwistMsg TwistMsg::deserialize(WireReader& r) {
+  TwistMsg t;
+  t.header = Header::deserialize(r);
+  t.velocity.linear = r.get_double();
+  t.velocity.angular = r.get_double();
+  return t;
+}
+
+void PrioritizedTwist::serialize(WireWriter& w) const {
+  twist.serialize(w);
+  w.put_signed(priority);
+  w.put_string(source);
+}
+
+PrioritizedTwist PrioritizedTwist::deserialize(WireReader& r) {
+  PrioritizedTwist p;
+  p.twist = TwistMsg::deserialize(r);
+  p.priority = static_cast<int>(r.get_signed());
+  p.source = r.get_string();
+  return p;
+}
+
+void Odometry::serialize(WireWriter& w) const {
+  header.serialize(w);
+  serialize_pose(w, pose);
+  w.put_double(velocity.linear);
+  w.put_double(velocity.angular);
+}
+
+Odometry Odometry::deserialize(WireReader& r) {
+  Odometry o;
+  o.header = Header::deserialize(r);
+  o.pose = deserialize_pose(r);
+  o.velocity.linear = r.get_double();
+  o.velocity.angular = r.get_double();
+  return o;
+}
+
+void PoseStamped::serialize(WireWriter& w) const {
+  header.serialize(w);
+  serialize_pose(w, pose);
+}
+
+PoseStamped PoseStamped::deserialize(WireReader& r) {
+  PoseStamped p;
+  p.header = Header::deserialize(r);
+  p.pose = deserialize_pose(r);
+  return p;
+}
+
+void OccupancyGridMsg::serialize(WireWriter& w) const {
+  header.serialize(w);
+  w.put_double(frame.origin.x);
+  w.put_double(frame.origin.y);
+  w.put_double(frame.resolution);
+  w.put_signed(width);
+  w.put_signed(height);
+  w.put_repeated_i8(data);
+}
+
+OccupancyGridMsg OccupancyGridMsg::deserialize(WireReader& r) {
+  OccupancyGridMsg g;
+  g.header = Header::deserialize(r);
+  g.frame.origin.x = r.get_double();
+  g.frame.origin.y = r.get_double();
+  g.frame.resolution = r.get_double();
+  g.width = static_cast<int>(r.get_signed());
+  g.height = static_cast<int>(r.get_signed());
+  g.data = r.get_repeated_i8();
+  return g;
+}
+
+void PathMsg::serialize(WireWriter& w) const {
+  header.serialize(w);
+  w.put_varint(poses.size());
+  for (const Pose2D& p : poses) serialize_pose(w, p);
+}
+
+PathMsg PathMsg::deserialize(WireReader& r) {
+  PathMsg m;
+  m.header = Header::deserialize(r);
+  const size_t n = r.get_varint();
+  m.poses.reserve(n);
+  for (size_t i = 0; i < n; ++i) m.poses.push_back(deserialize_pose(r));
+  return m;
+}
+
+void GoalMsg::serialize(WireWriter& w) const {
+  header.serialize(w);
+  serialize_pose(w, target);
+}
+
+GoalMsg GoalMsg::deserialize(WireReader& r) {
+  GoalMsg g;
+  g.header = Header::deserialize(r);
+  g.target = deserialize_pose(r);
+  return g;
+}
+
+void TimingReport::serialize(WireWriter& w) const {
+  header.serialize(w);
+  w.put_string(node_name);
+  w.put_double(processing_time);
+}
+
+TimingReport TimingReport::deserialize(WireReader& r) {
+  TimingReport t;
+  t.header = Header::deserialize(r);
+  t.node_name = r.get_string();
+  t.processing_time = r.get_double();
+  return t;
+}
+
+}  // namespace lgv::msg

@@ -1,0 +1,147 @@
+// ROS-style message types exchanged on the node graph of Fig. 2. Every type
+// carries a Header (sequence number + virtual timestamp) that the Profiler
+// uses to measure VDP makespans, and implements the wire-serialization
+// interface the Switcher needs to ship messages across the network link.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/geometry.h"
+#include "common/grid.h"
+#include "common/serialization.h"
+
+namespace lgv::msg {
+
+/// Common metadata prefix (ROS std_msgs/Header analog).
+struct Header {
+  uint64_t seq = 0;
+  SimTime stamp = 0.0;
+  std::string frame_id;
+
+  void serialize(WireWriter& w) const;
+  static Header deserialize(WireReader& r);
+  bool operator==(const Header&) const = default;
+};
+
+void serialize_pose(WireWriter& w, const Pose2D& p);
+Pose2D deserialize_pose(WireReader& r);
+
+/// 2D lidar sweep (sensor_msgs/LaserScan analog). This is the largest message
+/// on the wire — the paper measures its maximum size at 2.94 KB.
+struct LaserScan {
+  Header header;
+  double angle_min = 0.0;
+  double angle_max = 0.0;
+  double angle_increment = 0.0;
+  double range_min = 0.0;
+  double range_max = 0.0;
+  std::vector<float> ranges;  ///< meters; > range_max means "no return"
+
+  size_t beam_count() const { return ranges.size(); }
+  double angle_of(size_t i) const { return angle_min + angle_increment * static_cast<double>(i); }
+
+  void serialize(WireWriter& w) const;
+  static LaserScan deserialize(WireReader& r);
+  bool operator==(const LaserScan&) const = default;
+};
+
+/// Velocity command (geometry_msgs/Twist analog). The paper notes these are
+/// ~48 B on the wire — the smallest message class.
+struct TwistMsg {
+  Header header;
+  Velocity2D velocity;
+
+  void serialize(WireWriter& w) const;
+  static TwistMsg deserialize(WireReader& r);
+  bool operator==(const TwistMsg&) const = default;
+};
+
+/// Velocity command with a mux priority attached (input to VelocityMultiplexer).
+struct PrioritizedTwist {
+  TwistMsg twist;
+  int priority = 0;         ///< higher wins
+  std::string source;       ///< e.g. "path_tracking", "safety", "joystick"
+
+  void serialize(WireWriter& w) const;
+  static PrioritizedTwist deserialize(WireReader& r);
+  bool operator==(const PrioritizedTwist&) const = default;
+};
+
+/// Dead-reckoned base state (nav_msgs/Odometry analog).
+struct Odometry {
+  Header header;
+  Pose2D pose;
+  Velocity2D velocity;
+
+  void serialize(WireWriter& w) const;
+  static Odometry deserialize(WireReader& r);
+  bool operator==(const Odometry&) const = default;
+};
+
+/// Stamped pose (geometry_msgs/PoseStamped analog); also used for goals and
+/// for the Localization/SLAM pose estimate.
+struct PoseStamped {
+  Header header;
+  Pose2D pose;
+
+  void serialize(WireWriter& w) const;
+  static PoseStamped deserialize(WireReader& r);
+  bool operator==(const PoseStamped&) const = default;
+};
+
+/// Occupancy values follow the ROS convention: -1 unknown, 0 free … 100 occupied.
+constexpr int8_t kUnknownCell = -1;
+constexpr int8_t kFreeCell = 0;
+constexpr int8_t kOccupiedCell = 100;
+
+/// nav_msgs/OccupancyGrid analog; published by SLAM and consumed by CostmapGen.
+struct OccupancyGridMsg {
+  Header header;
+  GridFrame frame;
+  int width = 0;
+  int height = 0;
+  std::vector<int8_t> data;  ///< row-major, width*height entries
+
+  int8_t at(int x, int y) const { return data[static_cast<size_t>(y) * width + x]; }
+
+  void serialize(WireWriter& w) const;
+  static OccupancyGridMsg deserialize(WireReader& r);
+  bool operator==(const OccupancyGridMsg&) const = default;
+};
+
+/// Planned path (nav_msgs/Path analog), world-frame waypoints.
+struct PathMsg {
+  Header header;
+  std::vector<Pose2D> poses;
+
+  void serialize(WireWriter& w) const;
+  static PathMsg deserialize(WireReader& r);
+  bool operator==(const PathMsg&) const = default;
+};
+
+/// Navigation goal.
+struct GoalMsg {
+  Header header;
+  Pose2D target;
+
+  void serialize(WireWriter& w) const;
+  static GoalMsg deserialize(WireReader& r);
+  bool operator==(const GoalMsg&) const = default;
+};
+
+/// Per-node timing report published by the Profiler (§VII): the measured
+/// processing time of one node invocation, in virtual seconds.
+struct TimingReport {
+  Header header;
+  std::string node_name;
+  double processing_time = 0.0;
+
+  void serialize(WireWriter& w) const;
+  static TimingReport deserialize(WireReader& r);
+  bool operator==(const TimingReport&) const = default;
+};
+
+}  // namespace lgv::msg

@@ -1,0 +1,37 @@
+#include "net/ap_selector.h"
+
+#include <stdexcept>
+
+namespace lgv::net {
+
+size_t ApSelector::add_access_point(ChannelConfig config, uint64_t seed) {
+  channels_.push_back(std::make_unique<WirelessChannel>(config, seed));
+  return channels_.size() - 1;
+}
+
+bool ApSelector::update(const Point2D& robot, double now) {
+  if (channels_.empty()) throw std::logic_error("ApSelector: no access points");
+  for (auto& ch : channels_) ch->set_robot_position(robot);
+  if (now < next_scan_) return false;
+  next_scan_ = now + config_.scan_period_s;
+
+  size_t best = active_;
+  double best_rssi = channels_[active_]->mean_rssi_dbm() + config_.roam_margin_db;
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    if (i == active_) continue;
+    const double rssi = channels_[i]->mean_rssi_dbm();
+    if (rssi > best_rssi) {
+      best_rssi = rssi;
+      best = i;
+    }
+  }
+  if (best == active_) return false;
+  active_ = best;
+  handoff_until_ = now + config_.handoff_time_s;
+  ++handoffs_;
+  return true;
+}
+
+WirelessChannel& ApSelector::active_channel() { return *channels_[active_]; }
+
+}  // namespace lgv::net

@@ -1,0 +1,62 @@
+// The related-work baseline of §X: access-point selection [63]–[67] keeps a
+// moving client connected by switching among multiple candidate WAPs based
+// on bandwidth/signal assessment. The paper's critique: "this method cannot
+// work when there are no multiple optional communication links" — Algorithm 2
+// instead changes *where computation runs*. This module implements the
+// baseline so the two strategies can be compared head-to-head
+// (bench_baseline_ap_selection).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/wireless_channel.h"
+
+namespace lgv::net {
+
+struct ApSelectorConfig {
+  /// Re-evaluate the association at this period (roaming scans are not free).
+  double scan_period_s = 1.0;
+  /// Only roam when the best candidate beats the current AP by this margin
+  /// (dB) — standard hysteresis against ping-ponging.
+  double roam_margin_db = 4.0;
+  /// Association handshake outage after a roam (s).
+  double handoff_time_s = 0.35;
+};
+
+/// Tracks several WAPs (one WirelessChannel per AP, all fed the same robot
+/// position) and keeps the client associated with the best one.
+class ApSelector {
+ public:
+  explicit ApSelector(ApSelectorConfig config = {}) : config_(config) {}
+
+  /// Register a candidate access point. Returns its index.
+  size_t add_access_point(ChannelConfig config, uint64_t seed);
+
+  /// Update the robot position and (at the scan period) re-evaluate the
+  /// association. Returns true when a handoff was initiated.
+  bool update(const Point2D& robot, double now);
+
+  /// The channel of the currently associated AP.
+  WirelessChannel& active_channel();
+  size_t active_index() const { return active_; }
+  size_t access_point_count() const { return channels_.size(); }
+
+  /// True while a handoff handshake is in flight (the link is down).
+  bool in_handoff(double now) const { return now < handoff_until_; }
+  uint64_t handoffs() const { return handoffs_; }
+
+  /// Mean RSSI the client would see from AP `i` at the current position.
+  double candidate_rssi(size_t i) const { return channels_[i]->mean_rssi_dbm(); }
+
+ private:
+  ApSelectorConfig config_;
+  std::vector<std::unique_ptr<WirelessChannel>> channels_;
+  size_t active_ = 0;
+  double next_scan_ = 0.0;
+  double handoff_until_ = -1.0;
+  uint64_t handoffs_ = 0;
+};
+
+}  // namespace lgv::net

@@ -1,0 +1,22 @@
+#include "net/kernel_buffer.h"
+
+namespace lgv::net {
+
+bool KernelBuffer::enqueue(const Datagram& d) {
+  if (full()) {
+    ++discarded_;
+    return false;
+  }
+  queue_.push_back(d);
+  ++accepted_;
+  return true;
+}
+
+std::optional<Datagram> KernelBuffer::dequeue() {
+  if (queue_.empty()) return std::nullopt;
+  Datagram d = queue_.front();
+  queue_.pop_front();
+  return d;
+}
+
+}  // namespace lgv::net

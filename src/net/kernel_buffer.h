@@ -1,0 +1,57 @@
+// The kernel socket send buffer of Fig. 7. With a nonblocking UDP socket:
+//  - sendto() copies the datagram into this buffer if there is room and the
+//    driver is transmitting;
+//  - when the driver detects a weak signal it stops draining the buffer
+//    ("blocks"), so subsequent sendto() calls find the buffer full and the
+//    datagram is silently DISCARDED — no error reaches the application and,
+//    crucially, no latency sample ever records the loss. This is why tail
+//    latency cannot measure UDP link quality (§VI) and why Algorithm 2 uses
+//    receive-side bandwidth instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace lgv::net {
+
+struct Datagram {
+  uint64_t id = 0;
+  size_t bytes = 0;
+  double enqueue_time = 0.0;
+};
+
+class KernelBuffer {
+ public:
+  /// `capacity` in datagrams (real kernels bound by bytes; datagrams of one
+  /// stream are near-constant size so the simplification is faithful).
+  explicit KernelBuffer(size_t capacity = 4) : capacity_(capacity) {}
+
+  /// Application-side sendto(): true if the datagram was accepted into the
+  /// buffer, false if it was discarded (buffer full — EWOULDBLOCK on a
+  /// nonblocking socket, which senders of fresh periodic data ignore).
+  bool enqueue(const Datagram& d);
+
+  /// Driver-side: pop the next datagram for transmission (empty when the
+  /// buffer has drained). Only called while the driver is not blocked.
+  std::optional<Datagram> dequeue();
+
+  size_t size() const { return queue_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool full() const { return queue_.size() >= capacity_; }
+  bool empty() const { return queue_.empty(); }
+
+  uint64_t accepted() const { return accepted_; }
+  uint64_t discarded() const { return discarded_; }
+
+  void clear() { queue_.clear(); }
+
+ private:
+  size_t capacity_;
+  std::deque<Datagram> queue_;
+  uint64_t accepted_ = 0;
+  uint64_t discarded_ = 0;
+};
+
+}  // namespace lgv::net

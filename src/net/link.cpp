@@ -1,0 +1,117 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace lgv::net {
+
+UdpLink::UdpLink(WirelessChannel* channel, size_t kernel_buffer_capacity)
+    : channel_(channel), buffer_(kernel_buffer_capacity) {}
+
+bool UdpLink::send(std::vector<uint8_t> payload, double now) {
+  ++stats_.sent;
+  Datagram d;
+  d.id = next_id_++;
+  d.bytes = payload.size();
+  d.enqueue_time = now;
+  if (!buffer_.enqueue(d)) {
+    ++stats_.dropped_buffer;
+    return false;
+  }
+  payloads_.emplace(d.id, std::move(payload));
+  return true;
+}
+
+void UdpLink::step(double now) {
+  // The driver drains the buffer only while the signal is strong enough to
+  // transmit (Fig. 7: a weak signal blocks the buffer and later sendto()
+  // calls find it full).
+  while (!buffer_.empty() && !channel_->in_outage()) {
+    const Datagram d = *buffer_.dequeue();
+    auto it = payloads_.find(d.id);
+    std::vector<uint8_t> payload = std::move(it->second);
+    payloads_.erase(it);
+
+    // Per-packet Bernoulli loss at the instantaneous channel quality.
+    if (rng_.bernoulli(channel_->loss_probability())) {
+      ++stats_.dropped_channel;
+      continue;
+    }
+    Packet pkt;
+    pkt.id = d.id;
+    pkt.payload = std::move(payload);
+    pkt.send_time = d.enqueue_time;
+    pkt.deliver_time = now + channel_->sample_latency(d.bytes);
+    in_flight_.push_back(std::move(pkt));
+  }
+}
+
+std::vector<Packet> UdpLink::poll_delivered(double now) {
+  std::vector<Packet> out;
+  auto it = in_flight_.begin();
+  while (it != in_flight_.end()) {
+    if (it->deliver_time <= now) {
+      out.push_back(std::move(*it));
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Packet& a, const Packet& b) { return a.deliver_time < b.deliver_time; });
+  stats_.delivered += out.size();
+  return out;
+}
+
+TcpLink::TcpLink(WirelessChannel* channel, double retransmit_timeout_s)
+    : channel_(channel), rto_(retransmit_timeout_s) {}
+
+void TcpLink::send(std::vector<uint8_t> payload, double now) {
+  ++stats_.sent;
+  PendingSegment seg;
+  seg.packet.id = next_id_++;
+  seg.packet.payload = std::move(payload);
+  seg.packet.send_time = now;
+  seg.next_attempt = now;
+  pending_.push_back(std::move(seg));
+}
+
+void TcpLink::step(double now) {
+  auto it = pending_.begin();
+  while (it != pending_.end()) {
+    if (it->next_attempt > now || channel_->in_outage()) {
+      ++it;
+      continue;
+    }
+    if (rng_.bernoulli(channel_->loss_probability())) {
+      ++stats_.dropped_channel;  // counted, but TCP will retransmit
+      it->next_attempt = now + rto_;
+      ++it->retries;
+      ++it;
+      continue;
+    }
+    Packet pkt = std::move(it->packet);
+    pkt.deliver_time =
+        now + channel_->sample_latency(pkt.payload.size()) * (1.0 + 0.1 * it->retries);
+    in_flight_.push_back(std::move(pkt));
+    it = pending_.erase(it);
+  }
+}
+
+std::vector<Packet> TcpLink::poll_delivered(double now) {
+  std::vector<Packet> out;
+  auto it = in_flight_.begin();
+  while (it != in_flight_.end()) {
+    if (it->deliver_time <= now) {
+      out.push_back(std::move(*it));
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Packet& a, const Packet& b) { return a.deliver_time < b.deliver_time; });
+  stats_.delivered += out.size();
+  return out;
+}
+
+}  // namespace lgv::net

@@ -1,0 +1,99 @@
+// Point-to-point transport emulation over the wireless channel, in virtual
+// time. UdpLink reproduces the paper's freshness-over-reliability pattern
+// (nonblocking socket + kernel buffer of Fig. 7); TcpLink is the reliable
+// control channel the Switcher uses for state migration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/kernel_buffer.h"
+#include "net/wireless_channel.h"
+
+namespace lgv::net {
+
+struct Packet {
+  uint64_t id = 0;
+  std::vector<uint8_t> payload;
+  double send_time = 0.0;     ///< when the application issued sendto()
+  double deliver_time = 0.0;  ///< when the receiver sees it
+};
+
+struct LinkStats {
+  uint64_t sent = 0;             ///< application sendto() calls
+  uint64_t dropped_buffer = 0;   ///< discarded at a full kernel buffer (Fig. 7)
+  uint64_t dropped_channel = 0;  ///< lost in the air
+  uint64_t delivered = 0;
+
+  double delivery_ratio() const {
+    return sent ? static_cast<double>(delivered) / static_cast<double>(sent) : 0.0;
+  }
+};
+
+/// Best-effort datagram link. Usage per virtual tick:
+///   link.send(bytes, now);   // any number of times
+///   link.step(now);          // drain driver, move packets through the air
+///   for (auto& p : link.poll_delivered(now)) ...
+class UdpLink {
+ public:
+  UdpLink(WirelessChannel* channel, size_t kernel_buffer_capacity = 4);
+
+  /// Nonblocking sendto(). Returns false when the datagram was discarded at
+  /// the kernel buffer; callers of periodic fresh data ignore the result,
+  /// exactly as the paper's VDP streams do.
+  bool send(std::vector<uint8_t> payload, double now);
+
+  /// Advance the driver: while the signal is not in outage, drain the kernel
+  /// buffer onto the air, applying per-packet loss and latency.
+  void step(double now);
+
+  /// Packets whose arrival time has passed, in arrival order.
+  std::vector<Packet> poll_delivered(double now);
+
+  const LinkStats& stats() const { return stats_; }
+  const KernelBuffer& kernel_buffer() const { return buffer_; }
+  WirelessChannel& channel() { return *channel_; }
+
+ private:
+  WirelessChannel* channel_;
+  KernelBuffer buffer_;
+  std::map<uint64_t, std::vector<uint8_t>> payloads_;  ///< buffered, not yet on air
+  std::vector<Packet> in_flight_;
+  uint64_t next_id_ = 1;
+  LinkStats stats_;
+  Rng rng_{0x7d1f};
+};
+
+/// Reliable stream link: every send is eventually delivered; loss shows up as
+/// retransmission latency instead (which is why TCP "hides packet loss in the
+/// communication timestamps", §VI).
+class TcpLink {
+ public:
+  TcpLink(WirelessChannel* channel, double retransmit_timeout_s = 0.2);
+
+  void send(std::vector<uint8_t> payload, double now);
+  void step(double now);
+  std::vector<Packet> poll_delivered(double now);
+
+  const LinkStats& stats() const { return stats_; }
+  size_t unacked() const { return pending_.size(); }
+
+ private:
+  struct PendingSegment {
+    Packet packet;
+    double next_attempt = 0.0;
+    int retries = 0;
+  };
+
+  WirelessChannel* channel_;
+  double rto_;
+  std::vector<PendingSegment> pending_;
+  std::vector<Packet> in_flight_;
+  uint64_t next_id_ = 1;
+  LinkStats stats_;
+  Rng rng_{0x7cb2};
+};
+
+}  // namespace lgv::net

@@ -1,0 +1,29 @@
+#include "net/meters.h"
+
+namespace lgv::net {
+
+void RttMeter::on_response(double sent_at, double received_at) {
+  const double rtt = received_at - sent_at;
+  stats_.add(rtt);
+  latest_ = rtt;
+}
+
+std::optional<double> RttMeter::latest() const { return latest_; }
+
+void SignalDirectionEstimator::on_position(const Point2D& robot) {
+  distances_.push_back(distance(robot, wap_));
+  while (distances_.size() > history_) distances_.pop_front();
+}
+
+double SignalDirectionEstimator::direction() const {
+  if (distances_.size() < 2) return 0.0;
+  // Mean slope across the window: positive slope = distance growing =
+  // receding, so direction is the negated slope.
+  const double first = distances_.front();
+  const double last = distances_.back();
+  const double slope = (last - first) / static_cast<double>(distances_.size() - 1);
+  if (std::abs(slope) < 1e-4) return 0.0;
+  return -slope;
+}
+
+}  // namespace lgv::net

@@ -1,0 +1,68 @@
+// The observables Algorithm 2 consumes: receive-side packet bandwidth over a
+// sliding window, RTT from request/response pairs, and the signal-direction
+// estimate (is the LGV driving toward or away from the WAP?).
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/geometry.h"
+#include "common/stats.h"
+
+namespace lgv::net {
+
+/// Receive-side packet rate (Hz) over a fixed window — the "packet bandwidth"
+/// metric of Algorithm 2. With a stable sending rate, a drop below the send
+/// rate directly measures packet loss.
+class BandwidthMeter {
+ public:
+  explicit BandwidthMeter(double window_sec = 1.0) : window_(window_sec) {}
+
+  void on_packet(double now) { window_.add(now, 1.0); }
+  /// Packets per second over the trailing window.
+  double rate(double now) { return window_.rate(now); }
+
+ private:
+  TimeWindow window_;
+};
+
+/// Round-trip-time tracker. The Profiler stamps each uplink message and the
+/// remote Switcher echoes the stamp back (§VII).
+class RttMeter {
+ public:
+  void on_response(double sent_at, double received_at);
+
+  std::optional<double> latest() const;
+  double mean() const { return stats_.mean(); }
+  double max() const { return stats_.max(); }
+  size_t count() const { return stats_.count(); }
+
+ private:
+  RunningStats stats_;
+  std::optional<double> latest_;
+};
+
+/// Signal direction d_t of Algorithm 2: positive when the LGV is closing on
+/// the WAP, negative when it is driving away. Computed from the WAP position
+/// marked in the LGV's internal map and a short history of robot positions
+/// (smoothed so path wiggles don't flip the sign every tick).
+class SignalDirectionEstimator {
+ public:
+  explicit SignalDirectionEstimator(Point2D wap_position, size_t history = 8)
+      : wap_(wap_position), history_(history) {}
+
+  void on_position(const Point2D& robot);
+
+  /// Smoothed signed direction: >0 approaching the WAP, <0 receding,
+  /// 0 when undetermined (not enough history / stationary).
+  double direction() const;
+
+  const Point2D& wap_position() const { return wap_; }
+
+ private:
+  Point2D wap_;
+  size_t history_;
+  std::deque<double> distances_;
+};
+
+}  // namespace lgv::net

@@ -1,0 +1,69 @@
+#include "net/wireless_channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lgv::net {
+
+WirelessChannel::WirelessChannel(ChannelConfig config, uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+double WirelessChannel::distance_to_wap() const {
+  return std::max(1.0, distance(robot_, config_.wap_position));
+}
+
+double WirelessChannel::mean_rssi_dbm() const {
+  // Log-distance path loss: RSSI(d) = RSSI(1m) - 10·n·log10(d).
+  return config_.reference_rssi_dbm -
+         10.0 * config_.path_loss_exponent * std::log10(distance_to_wap());
+}
+
+double WirelessChannel::sample_rssi_dbm() {
+  return mean_rssi_dbm() + rng_.gaussian(0.0, config_.shadowing_sigma_db);
+}
+
+bool WirelessChannel::in_outage() {
+  return snr_db(sample_rssi_dbm()) < config_.outage_snr_db;
+}
+
+double WirelessChannel::loss_from_snr(double snr) const {
+  if (snr >= config_.good_snr_db) return 0.0;
+  if (snr <= config_.outage_snr_db) return 1.0;
+  // Smooth ramp between the two thresholds; quadratic so that loss stays low
+  // until the link is genuinely marginal (matches the sharp knee in Fig. 11).
+  const double x =
+      (config_.good_snr_db - snr) / (config_.good_snr_db - config_.outage_snr_db);
+  return x * x;
+}
+
+double WirelessChannel::loss_probability() {
+  return loss_from_snr(snr_db(sample_rssi_dbm()));
+}
+
+double WirelessChannel::sample_latency(size_t bytes) {
+  const double serialization =
+      static_cast<double>(bytes) * 8.0 / effective_uplink_bps();
+  const double jitter = std::abs(rng_.gaussian(0.0, config_.latency_jitter_s));
+  // Weak links retransmit at the MAC layer before giving up, inflating
+  // latency as SNR drops.
+  const double snr = snr_db(mean_rssi_dbm());
+  double mac_retry_factor = 1.0;
+  if (snr < config_.good_snr_db) {
+    const double x = (config_.good_snr_db - snr) /
+                     (config_.good_snr_db - config_.outage_snr_db);
+    mac_retry_factor = 1.0 + 3.0 * std::clamp(x, 0.0, 1.5);
+  }
+  return (config_.base_latency_s + serialization) * mac_retry_factor + jitter +
+         config_.wan_latency_s;
+}
+
+double WirelessChannel::effective_uplink_bps() {
+  const double snr = snr_db(mean_rssi_dbm());
+  const double quality =
+      std::clamp((snr - config_.outage_snr_db) /
+                     (config_.good_snr_db - config_.outage_snr_db),
+                 0.05, 1.0);
+  return config_.uplink_rate_bps * quality;
+}
+
+}  // namespace lgv::net

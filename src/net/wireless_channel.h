@@ -1,0 +1,70 @@
+// Wireless channel emulation between the LGV and the wireless access point
+// (WAP). Implements a log-distance path-loss model with shadowing; signal
+// quality degrades as the robot drives away from the WAP, which is exactly
+// the mobility-induced failure mode §VI targets. The channel exposes the
+// *physical* observables (RSSI, outage, per-packet loss/latency); everything
+// Algorithm 2 measures is derived downstream from packet arrivals.
+#pragma once
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace lgv::net {
+
+struct ChannelConfig {
+  Point2D wap_position;              ///< where the access point sits (world frame)
+  double reference_rssi_dbm = -38.0; ///< RSSI at 1 m
+  double path_loss_exponent = 3.0;   ///< indoor with walls ≈ 2.7–3.5
+  double noise_floor_dbm = -92.0;
+  double shadowing_sigma_db = 1.5;   ///< log-normal shadowing
+  /// SNR above which the link is clean (loss ≈ 0).
+  double good_snr_db = 28.0;
+  /// SNR below which the driver sees a weak signal and *blocks* the kernel
+  /// buffer instead of transmitting (the Fig. 7 behaviour).
+  double outage_snr_db = 9.0;
+  double base_latency_s = 0.0025;    ///< one-hop wireless latency
+  double latency_jitter_s = 0.0008;
+  /// Extra wired latency for packets continuing to the datacenter (0 for the
+  /// in-lab edge gateway).
+  double wan_latency_s = 0.0;
+  double uplink_rate_bps = 20e6;     ///< nominal 5 GHz-band uplink
+};
+
+/// Channel conditions depend on the robot position, which the simulation
+/// updates every tick via set_robot_position().
+class WirelessChannel {
+ public:
+  explicit WirelessChannel(ChannelConfig config, uint64_t seed = 0x11acce55);
+
+  void set_robot_position(const Point2D& p) { robot_ = p; }
+  const Point2D& robot_position() const { return robot_; }
+  const ChannelConfig& config() const { return config_; }
+
+  double distance_to_wap() const;
+  /// Mean received signal strength at the current position (no shadowing).
+  double mean_rssi_dbm() const;
+  /// Instantaneous RSSI sample (shadowing applied; deterministic per seed).
+  double sample_rssi_dbm();
+  double snr_db(double rssi_dbm) const { return rssi_dbm - config_.noise_floor_dbm; }
+
+  /// True when the driver currently considers the signal too weak to
+  /// transmit: packets pile up in the kernel buffer (Fig. 7).
+  bool in_outage();
+  /// Per-packet loss probability given current conditions, in [0, 1].
+  double loss_probability();
+  /// One-way latency sample for a packet of `bytes` (s).
+  double sample_latency(size_t bytes);
+  /// Effective uplink rate degraded by signal quality (bps); Eq. 1b's R.
+  double effective_uplink_bps();
+
+  /// Map an SNR to loss probability: 0 above good_snr, 1 below outage_snr,
+  /// smooth in between. Exposed for tests.
+  double loss_from_snr(double snr_db) const;
+
+ private:
+  ChannelConfig config_;
+  Point2D robot_;
+  Rng rng_;
+};
+
+}  // namespace lgv::net

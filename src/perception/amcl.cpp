@@ -1,0 +1,168 @@
+#include "perception/amcl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "platform/calibration.h"
+
+namespace lgv::perception {
+
+namespace calib = platform::calib;
+
+Amcl::Amcl(AmclConfig config, const OccupancyGrid* map, uint64_t seed)
+    : config_(config), map_(map), rng_(seed) {}
+
+void Amcl::initialize(const Pose2D& start, double spread_xy, double spread_theta) {
+  poses_.clear();
+  weights_.clear();
+  const int n = std::min(config_.max_particles,
+                         std::max(config_.min_particles, config_.min_particles * 2));
+  for (int i = 0; i < n; ++i) {
+    poses_.emplace_back(start.x + rng_.gaussian(0.0, spread_xy),
+                        start.y + rng_.gaussian(0.0, spread_xy),
+                        start.theta + rng_.gaussian(0.0, spread_theta));
+  }
+  weights_.assign(poses_.size(), 1.0 / static_cast<double>(poses_.size()));
+  have_last_odom_ = false;
+}
+
+void Amcl::initialize_global(size_t count) {
+  poses_.clear();
+  const auto& f = map_->frame();
+  const double w = map_->width() * f.resolution;
+  const double h = map_->height() * f.resolution;
+  while (poses_.size() < count) {
+    const Point2D p{f.origin.x + rng_.uniform(0.0, w), f.origin.y + rng_.uniform(0.0, h)};
+    if (map_->is_free(f.world_to_cell(p))) {
+      poses_.emplace_back(p.x, p.y, rng_.uniform(-3.14159, 3.14159));
+    }
+  }
+  weights_.assign(poses_.size(), 1.0 / static_cast<double>(poses_.size()));
+  have_last_odom_ = false;
+}
+
+double Amcl::measurement_weight(const Pose2D& pose, const msg::LaserScan& scan,
+                                size_t* evals) const {
+  double log_w = 0.0;
+  for (size_t i = 0; i < scan.ranges.size(); i += static_cast<size_t>(config_.beam_stride)) {
+    const double r = static_cast<double>(scan.ranges[i]);
+    if (r > scan.range_max || r < scan.range_min) continue;
+    ++(*evals);
+    const double angle = pose.theta + scan.angle_of(i);
+    const Point2D end{pose.x + std::cos(angle) * r, pose.y + std::sin(angle) * r};
+    const CellIndex c = map_->frame().world_to_cell(end);
+    // Likelihood-field style: closest occupied cell in the 3×3 neighborhood.
+    double d2_min = 9.0 * config_.sigma_hit * config_.sigma_hit;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const CellIndex cc{c.x + dx, c.y + dy};
+        if (!map_->is_occupied(cc)) continue;
+        const double d = distance(map_->frame().cell_to_world(cc), end);
+        d2_min = std::min(d2_min, d * d);
+      }
+    }
+    const double p_hit =
+        std::exp(-d2_min / (2.0 * config_.sigma_hit * config_.sigma_hit));
+    log_w += std::log(config_.z_hit * p_hit + config_.z_rand + 1e-6);
+  }
+  return log_w;
+}
+
+AmclUpdateStats Amcl::update(const msg::Odometry& odom, const msg::LaserScan& scan,
+                             platform::ExecutionContext& ctx) {
+  AmclUpdateStats stats;
+  Pose2D delta;
+  if (have_last_odom_) delta = last_odom_.between(odom.pose);
+  last_odom_ = odom.pose;
+  const bool first = !have_last_odom_;
+  have_last_odom_ = true;
+
+  const double trans = std::hypot(delta.x, delta.y);
+  const double rot = std::abs(delta.theta);
+
+  // Motion sampling is inherently sequential over one RNG; it is cheap
+  // (Table II: ~1%), so AMCL stays single-threaded as in the paper.
+  std::vector<double> log_weights(poses_.size(), 0.0);
+  size_t evals = 0;
+  for (size_t i = 0; i < poses_.size(); ++i) {
+    Pose2D noisy = delta;
+    noisy.x += rng_.gaussian(0.0, config_.motion_noise_trans * trans + 1e-4);
+    noisy.y += rng_.gaussian(0.0, config_.motion_noise_trans * trans * 0.5 + 1e-4);
+    noisy.theta = normalize_angle(
+        noisy.theta + rng_.gaussian(0.0, config_.motion_noise_rot * rot + 1e-4));
+    poses_[i] = poses_[i].compose(noisy);
+    if (!first) log_weights[i] = measurement_weight(poses_[i], scan, &evals);
+  }
+  stats.beam_evaluations = evals;
+  ctx.serial_work(static_cast<double>(evals) * calib::kAmclCyclesPerBeamEval +
+                  static_cast<double>(poses_.size()) * calib::kAmclMotionCyclesPerParticle);
+
+  // Normalize.
+  const double max_log = *std::max_element(log_weights.begin(), log_weights.end());
+  double sum = 0.0;
+  for (size_t i = 0; i < poses_.size(); ++i) {
+    weights_[i] *= std::exp(log_weights[i] - max_log);
+    sum += weights_[i];
+  }
+  if (sum <= 1e-300) {
+    weights_.assign(poses_.size(), 1.0 / static_cast<double>(poses_.size()));
+  } else {
+    for (double& w : weights_) w /= sum;
+  }
+
+  double sum_sq = 0.0;
+  for (double w : weights_) sum_sq += w * w;
+  stats.neff = sum_sq > 0 ? 1.0 / sum_sq : 0.0;
+
+  if (stats.neff < config_.resample_threshold * static_cast<double>(poses_.size())) {
+    resample_adaptive();
+    stats.resampled = true;
+  }
+  stats.particle_count = particle_count();
+  return stats;
+}
+
+void Amcl::resample_adaptive() {
+  // KLD-style size adaptation: count occupied (x, y, θ) bins, target
+  // kld_k × bins particles within [min, max].
+  std::set<std::tuple<int, int, int>> bins;
+  for (const Pose2D& p : poses_) {
+    bins.insert({static_cast<int>(std::floor(p.x / config_.kld_bin_xy)),
+                 static_cast<int>(std::floor(p.y / config_.kld_bin_xy)),
+                 static_cast<int>(std::floor(p.theta / config_.kld_bin_theta))});
+  }
+  const int target = std::clamp(
+      static_cast<int>(config_.kld_k * static_cast<double>(bins.size())),
+      config_.min_particles, config_.max_particles);
+
+  std::vector<Pose2D> next;
+  next.reserve(static_cast<size_t>(target));
+  const double step = 1.0 / static_cast<double>(target);
+  double u = rng_.uniform(0.0, step);
+  double cumulative = weights_[0];
+  size_t i = 0;
+  for (int k = 0; k < target; ++k) {
+    const double t = u + static_cast<double>(k) * step;
+    while (cumulative < t && i + 1 < poses_.size()) {
+      ++i;
+      cumulative += weights_[i];
+    }
+    next.push_back(poses_[i]);
+  }
+  poses_ = std::move(next);
+  weights_.assign(poses_.size(), 1.0 / static_cast<double>(poses_.size()));
+}
+
+Pose2D Amcl::estimate() const {
+  double x = 0.0, y = 0.0, sc = 0.0, ss = 0.0;
+  for (size_t i = 0; i < poses_.size(); ++i) {
+    x += weights_[i] * poses_[i].x;
+    y += weights_[i] * poses_[i].y;
+    sc += weights_[i] * std::cos(poses_[i].theta);
+    ss += weights_[i] * std::sin(poses_[i].theta);
+  }
+  return {x, y, std::atan2(ss, sc)};
+}
+
+}  // namespace lgv::perception

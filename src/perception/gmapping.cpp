@@ -1,0 +1,210 @@
+#include "perception/gmapping.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "platform/calibration.h"
+
+namespace lgv::perception {
+
+namespace calib = platform::calib;
+
+Gmapping::Gmapping(GmappingConfig config, Point2D map_origin, double width_m,
+                   double height_m, uint64_t seed)
+    : config_(config), matcher_(config.matcher), rng_(seed) {
+  particles_.reserve(static_cast<size_t>(config_.particles));
+  for (int i = 0; i < config_.particles; ++i) {
+    Particle p;
+    p.map = OccupancyGrid(map_origin, width_m, height_m, config_.map);
+    p.weight = 1.0 / static_cast<double>(config_.particles);
+    p.rng = rng_.fork(static_cast<uint64_t>(i) + 1);
+    particles_.push_back(std::move(p));
+  }
+}
+
+void Gmapping::initialize(const Pose2D& start) {
+  for (Particle& p : particles_) {
+    p.pose = start;
+    p.log_weight = 0.0;
+    p.weight = 1.0 / static_cast<double>(particles_.size());
+  }
+  have_last_odom_ = false;
+  neff_ = static_cast<double>(particles_.size());
+}
+
+SlamUpdateStats Gmapping::process(const msg::Odometry& odom, const msg::LaserScan& scan,
+                                  platform::ExecutionContext& ctx) {
+  SlamUpdateStats stats;
+
+  Pose2D delta;  // motion since the previous update, in the old body frame
+  if (have_last_odom_) {
+    delta = last_odom_.between(odom.pose);
+  }
+  last_odom_ = odom.pose;
+
+  const bool first_scan = !have_last_odom_;
+  have_last_odom_ = true;
+
+  std::atomic<size_t> beam_evals{0};
+  std::atomic<size_t> cells_updated{0};
+
+  // ---- Parallel per-particle phase (Fig. 6): motion sample, scanMatch,
+  // weight, map integrate. Returns the cycles that particle cost.
+  ctx.parallel_kernel(particles_.size(), [&](size_t i) -> double {
+    Particle& p = particles_[i];
+    // Motion model: apply the odometry delta corrupted by sampled noise.
+    const double trans = std::hypot(delta.x, delta.y);
+    const double rot = std::abs(delta.theta);
+    Pose2D noisy = delta;
+    noisy.x += p.rng.gaussian(0.0, config_.motion_noise_trans * trans +
+                                       config_.motion_noise_mix * rot);
+    noisy.y += p.rng.gaussian(0.0, config_.motion_noise_trans * trans * 0.5 +
+                                       config_.motion_noise_mix * rot);
+    noisy.theta = normalize_angle(
+        noisy.theta + p.rng.gaussian(0.0, config_.motion_noise_rot * rot +
+                                              config_.motion_noise_mix * trans));
+    p.pose = p.pose.compose(noisy);
+
+    size_t evals = 0;
+    if (!first_scan) {
+      // scanMatch refinement against this particle's own map.
+      const MatchResult m = matcher_.match(p.map, p.pose, scan);
+      evals = m.beam_evaluations;
+      p.pose = m.pose;
+      p.log_weight += std::log(m.score + 1e-3);
+    }
+    // Integrate the scan into this particle's map.
+    const size_t touched = p.map.integrate_scan(p.pose, scan);
+    beam_evals.fetch_add(evals, std::memory_order_relaxed);
+    cells_updated.fetch_add(touched, std::memory_order_relaxed);
+
+    return static_cast<double>(evals) * calib::kScanMatchCyclesPerBeamEval +
+           static_cast<double>(touched) * calib::kMapUpdateCyclesPerCell;
+  });
+
+  stats.beam_evaluations = beam_evals.load();
+  stats.map_cells_updated = cells_updated.load();
+
+  // ---- Sequential phase: updateTreeWeights + selective resampling.
+  normalize_weights();
+  std::vector<double> weights;
+  weights.reserve(particles_.size());
+  for (const Particle& p : particles_) weights.push_back(p.weight);
+  neff_ = effective_sample_size(weights);
+  stats.neff = neff_;
+
+  ctx.serial_work(static_cast<double>(particles_.size()) *
+                  calib::kResampleCyclesPerParticle);
+  if (neff_ < config_.resample_threshold * static_cast<double>(particles_.size())) {
+    resample();
+    stats.resampled = true;
+  }
+  return stats;
+}
+
+void Gmapping::normalize_weights() {
+  double max_log = -std::numeric_limits<double>::infinity();
+  for (const Particle& p : particles_) max_log = std::max(max_log, p.log_weight);
+  double sum = 0.0;
+  for (Particle& p : particles_) {
+    p.weight = std::exp(p.log_weight - max_log);
+    sum += p.weight;
+  }
+  if (sum <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(particles_.size());
+    for (Particle& p : particles_) p.weight = uniform;
+    return;
+  }
+  for (Particle& p : particles_) p.weight /= sum;
+}
+
+double Gmapping::effective_sample_size(const std::vector<double>& weights) {
+  double sum_sq = 0.0;
+  for (double w : weights) sum_sq += w * w;
+  return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+}
+
+void Gmapping::resample() {
+  // Low-variance (systematic) resampling.
+  const size_t n = particles_.size();
+  std::vector<Particle> next;
+  next.reserve(n);
+  const double step = 1.0 / static_cast<double>(n);
+  double u = rng_.uniform(0.0, step);
+  double cumulative = particles_[0].weight;
+  size_t i = 0;
+  for (size_t k = 0; k < n; ++k) {
+    const double target = u + static_cast<double>(k) * step;
+    while (cumulative < target && i + 1 < n) {
+      ++i;
+      cumulative += particles_[i].weight;
+    }
+    Particle copy = particles_[i];  // deep copy incl. the map
+    copy.log_weight = 0.0;
+    copy.weight = step;
+    copy.rng = rng_.fork(k + 0x7e5a);
+    next.push_back(std::move(copy));
+  }
+  particles_ = std::move(next);
+  neff_ = static_cast<double>(n);
+}
+
+size_t Gmapping::best_index() const {
+  size_t best = 0;
+  for (size_t i = 1; i < particles_.size(); ++i) {
+    if (particles_[i].weight > particles_[best].weight) best = i;
+  }
+  return best;
+}
+
+std::vector<uint8_t> Gmapping::serialize_state() const {
+  WireWriter w;
+  w.put_varint(particles_.size());
+  w.put_bool(have_last_odom_);
+  w.put_double(last_odom_.x);
+  w.put_double(last_odom_.y);
+  w.put_double(last_odom_.theta);
+  w.put_double(neff_);
+  for (const Particle& p : particles_) {
+    w.put_double(p.pose.x);
+    w.put_double(p.pose.y);
+    w.put_double(p.pose.theta);
+    w.put_double(p.log_weight);
+    w.put_double(p.weight);
+    p.map.serialize(w);
+  }
+  return w.take();
+}
+
+void Gmapping::restore_state(const std::vector<uint8_t>& bytes) {
+  WireReader r(bytes);
+  const size_t n = r.get_varint();
+  have_last_odom_ = r.get_bool();
+  const double ox = r.get_double();
+  const double oy = r.get_double();
+  const double oth = r.get_double();
+  last_odom_ = {ox, oy, oth};
+  neff_ = r.get_double();
+  std::vector<Particle> particles;
+  particles.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Particle p;
+    const double x = r.get_double();
+    const double y = r.get_double();
+    const double th = r.get_double();
+    p.pose = {x, y, th};
+    p.log_weight = r.get_double();
+    p.weight = r.get_double();
+    p.map = OccupancyGrid::deserialize(r);
+    p.rng = rng_.fork(i + 0xfee1);
+    particles.push_back(std::move(p));
+  }
+  particles_ = std::move(particles);
+}
+
+const Pose2D& Gmapping::best_pose() const { return particles_[best_index()].pose; }
+
+const OccupancyGrid& Gmapping::best_map() const { return particles_[best_index()].map; }
+
+}  // namespace lgv::perception

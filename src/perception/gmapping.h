@@ -1,0 +1,93 @@
+// Rao-Blackwellized particle filter SLAM in the style of GMapping [42], with
+// the paper's Fig. 6 parallelization: each thread-pool worker runs scanMatch
+// (and map integration) for its share of the M particles; the weight-tree
+// update and resampling stay sequential on the main thread.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "msg/messages.h"
+#include "perception/occupancy_grid.h"
+#include "perception/scan_matcher.h"
+#include "platform/execution_context.h"
+
+namespace lgv::perception {
+
+struct GmappingConfig {
+  int particles = 30;  ///< M — the accuracy/cost knob swept in Fig. 9
+  double motion_noise_trans = 0.02;  ///< m of noise per meter traveled
+  double motion_noise_rot = 0.02;    ///< rad of noise per rad turned
+  double motion_noise_mix = 0.01;    ///< cross terms
+  /// Resample when Neff / M drops below this (selective resampling [42]).
+  double resample_threshold = 0.5;
+  OccupancyGridConfig map;
+  ScanMatcherConfig matcher;
+};
+
+struct Particle {
+  Pose2D pose;
+  double log_weight = 0.0;
+  double weight = 0.0;
+  OccupancyGrid map;
+  Rng rng{0};
+};
+
+/// Statistics of one SLAM update (also the source of its work accounting).
+struct SlamUpdateStats {
+  size_t beam_evaluations = 0;  ///< scanMatch work across all particles
+  size_t map_cells_updated = 0;
+  bool resampled = false;
+  double neff = 0.0;
+};
+
+class Gmapping {
+ public:
+  /// The map extent must be fixed up front (all particle maps share it).
+  Gmapping(GmappingConfig config, Point2D map_origin, double width_m, double height_m,
+           uint64_t seed = 0x51a);
+
+  const GmappingConfig& config() const { return config_; }
+  int particle_count() const { return static_cast<int>(particles_.size()); }
+
+  /// Seed every particle at `start` and integrate nothing yet.
+  void initialize(const Pose2D& start);
+
+  /// One SLAM iteration: motion-sample each particle from the odometry
+  /// delta, scanMatch-refine, weight, selectively resample, and integrate the
+  /// scan into each surviving particle's map. The per-particle phase runs
+  /// through ctx.parallel_kernel (Fig. 6); resampling is sequential.
+  SlamUpdateStats process(const msg::Odometry& odom, const msg::LaserScan& scan,
+                          platform::ExecutionContext& ctx);
+
+  /// Highest-weight particle's pose — what Localization publishes.
+  const Pose2D& best_pose() const;
+  const OccupancyGrid& best_map() const;
+  double neff() const { return neff_; }
+  const std::vector<Particle>& particles() const { return particles_; }
+
+  /// Effective number of particles for a weight vector (exposed for tests).
+  static double effective_sample_size(const std::vector<double>& weights);
+
+  /// Full filter state (poses, weights, per-particle maps) — what the
+  /// Switcher actually ships when Algorithm 2 migrates the SLAM node.
+  /// The receiving side restores into an equivalently-configured instance.
+  std::vector<uint8_t> serialize_state() const;
+  void restore_state(const std::vector<uint8_t>& bytes);
+
+ private:
+  void normalize_weights();
+  void resample();
+  size_t best_index() const;
+
+  GmappingConfig config_;
+  std::vector<Particle> particles_;
+  ScanMatcher matcher_;
+  Rng rng_;
+  bool have_last_odom_ = false;
+  Pose2D last_odom_;
+  double neff_ = 0.0;
+};
+
+}  // namespace lgv::perception

@@ -1,0 +1,159 @@
+#include "perception/occupancy_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lgv::perception {
+
+OccupancyGrid::OccupancyGrid(Point2D origin, double width_m, double height_m,
+                             OccupancyGridConfig config)
+    : config_(config) {
+  frame_.origin = origin;
+  frame_.resolution = config.resolution;
+  log_odds_ = Grid<float>(static_cast<int>(std::ceil(width_m / config.resolution)),
+                          static_cast<int>(std::ceil(height_m / config.resolution)),
+                          0.0f);
+}
+
+double OccupancyGrid::log_odds_at(CellIndex c) const {
+  return log_odds_.in_bounds(c) ? static_cast<double>(log_odds_.at(c)) : 0.0;
+}
+
+double OccupancyGrid::probability_at(CellIndex c) const {
+  const double l = log_odds_at(c);
+  return 1.0 - 1.0 / (1.0 + std::exp(l));
+}
+
+bool OccupancyGrid::is_occupied(CellIndex c) const {
+  return log_odds_.in_bounds(c) && probability_at(c) > config_.occupied_threshold;
+}
+
+bool OccupancyGrid::is_free(CellIndex c) const {
+  return log_odds_.in_bounds(c) && probability_at(c) < config_.free_threshold &&
+         log_odds_.at(c) != 0.0f;
+}
+
+bool OccupancyGrid::is_unknown(CellIndex c) const {
+  return !log_odds_.in_bounds(c) || log_odds_.at(c) == 0.0f;
+}
+
+void OccupancyGrid::update_cell(CellIndex c, double delta) {
+  if (!log_odds_.in_bounds(c)) return;
+  float& l = log_odds_.at(c);
+  if (l == 0.0f) ++known_cells_;
+  l = static_cast<float>(std::clamp(static_cast<double>(l) + delta,
+                                    config_.log_odds_min, config_.log_odds_max));
+  if (l == 0.0f) l = delta < 0 ? -1e-3f : 1e-3f;  // stay "known"
+}
+
+size_t OccupancyGrid::integrate_scan(const Pose2D& pose, const msg::LaserScan& scan) {
+  size_t touched = 0;
+  const CellIndex origin_cell = frame_.world_to_cell(pose.position());
+  for (size_t i = 0; i < scan.ranges.size(); ++i) {
+    const double r = static_cast<double>(scan.ranges[i]);
+    const bool hit = r <= scan.range_max;
+    const double reach = hit ? r : scan.range_max;
+    const double angle = pose.theta + scan.angle_of(i);
+    const Point2D end{pose.x + std::cos(angle) * reach, pose.y + std::sin(angle) * reach};
+    const CellIndex end_cell = frame_.world_to_cell(end);
+    const auto cells = bresenham_line(origin_cell, end_cell);
+    // Free space along the beam (excluding the endpoint when it is a hit).
+    const size_t n_free = cells.size() - (hit ? 1 : 0);
+    for (size_t k = 0; k < n_free; ++k) update_cell(cells[k], config_.log_odds_miss);
+    if (hit) update_cell(end_cell, config_.log_odds_hit);
+    touched += cells.size();
+  }
+  return touched;
+}
+
+double OccupancyGrid::known_area_m2() const {
+  return static_cast<double>(known_cells_) * frame_.resolution * frame_.resolution;
+}
+
+msg::OccupancyGridMsg OccupancyGrid::to_msg(double stamp) const {
+  msg::OccupancyGridMsg m;
+  m.header.stamp = stamp;
+  m.header.frame_id = "map";
+  m.frame = frame_;
+  m.width = log_odds_.width();
+  m.height = log_odds_.height();
+  m.data.resize(static_cast<size_t>(m.width) * m.height, msg::kUnknownCell);
+  for (int y = 0; y < m.height; ++y) {
+    for (int x = 0; x < m.width; ++x) {
+      const CellIndex c{x, y};
+      if (is_unknown(c)) continue;
+      const double p = probability_at(c);
+      m.data[static_cast<size_t>(y) * m.width + x] =
+          static_cast<int8_t>(std::lround(p * 100.0));
+    }
+  }
+  return m;
+}
+
+OccupancyGrid OccupancyGrid::from_msg(const msg::OccupancyGridMsg& m,
+                                      OccupancyGridConfig config) {
+  config.resolution = m.frame.resolution;
+  OccupancyGrid g(m.frame.origin, m.width * m.frame.resolution,
+                  m.height * m.frame.resolution, config);
+  for (int y = 0; y < m.height && y < g.height(); ++y) {
+    for (int x = 0; x < m.width && x < g.width(); ++x) {
+      const int8_t v = m.at(x, y);
+      if (v < 0) continue;
+      const double p = std::clamp(static_cast<double>(v) / 100.0, 0.01, 0.99);
+      const double l = std::log(p / (1.0 - p));
+      g.update_cell({x, y}, l);
+    }
+  }
+  return g;
+}
+
+void OccupancyGrid::serialize(WireWriter& w) const {
+  w.put_double(frame_.origin.x);
+  w.put_double(frame_.origin.y);
+  w.put_double(frame_.resolution);
+  w.put_signed(log_odds_.width());
+  w.put_signed(log_odds_.height());
+  w.put_double(config_.log_odds_hit);
+  w.put_double(config_.log_odds_miss);
+  w.put_double(config_.log_odds_min);
+  w.put_double(config_.log_odds_max);
+  w.put_double(config_.occupied_threshold);
+  w.put_double(config_.free_threshold);
+  w.put_varint(known_cells_);
+  w.put_repeated_float(log_odds_.data());
+}
+
+OccupancyGrid OccupancyGrid::deserialize(WireReader& r) {
+  OccupancyGrid g;
+  g.frame_.origin.x = r.get_double();
+  g.frame_.origin.y = r.get_double();
+  g.frame_.resolution = r.get_double();
+  const int w = static_cast<int>(r.get_signed());
+  const int h = static_cast<int>(r.get_signed());
+  g.config_.resolution = g.frame_.resolution;
+  g.config_.log_odds_hit = r.get_double();
+  g.config_.log_odds_miss = r.get_double();
+  g.config_.log_odds_min = r.get_double();
+  g.config_.log_odds_max = r.get_double();
+  g.config_.occupied_threshold = r.get_double();
+  g.config_.free_threshold = r.get_double();
+  g.known_cells_ = r.get_varint();
+  g.log_odds_ = Grid<float>(w, h, 0.0f);
+  g.log_odds_.data() = r.get_repeated_float();
+  return g;
+}
+
+OccupancyGrid OccupancyGrid::from_binary(const GridFrame& frame, const Grid<uint8_t>& solid,
+                                         OccupancyGridConfig config) {
+  config.resolution = frame.resolution;
+  OccupancyGrid g(frame.origin, solid.width() * frame.resolution,
+                  solid.height() * frame.resolution, config);
+  for (int y = 0; y < solid.height(); ++y) {
+    for (int x = 0; x < solid.width(); ++x) {
+      g.update_cell({x, y}, solid.at(x, y) != 0 ? config.log_odds_max : config.log_odds_min);
+    }
+  }
+  return g;
+}
+
+}  // namespace lgv::perception

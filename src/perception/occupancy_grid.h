@@ -1,0 +1,74 @@
+// Log-odds occupancy grid: the map representation maintained by each RBPF
+// particle and published to the rest of the pipeline as OccupancyGridMsg.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geometry.h"
+#include "common/grid.h"
+#include "msg/messages.h"
+
+namespace lgv::perception {
+
+struct OccupancyGridConfig {
+  double resolution = 0.1;     ///< m/cell (SLAM map; costmaps run finer)
+  double log_odds_hit = 0.9;   ///< evidence added per occupied observation
+  double log_odds_miss = -0.4; ///< evidence removed per free observation
+  double log_odds_min = -4.0;
+  double log_odds_max = 4.0;
+  double occupied_threshold = 0.65;  ///< probability above which a cell is solid
+  double free_threshold = 0.35;      ///< probability below which a cell is free
+};
+
+class OccupancyGrid {
+ public:
+  OccupancyGrid() = default;
+  /// Fixed extent map covering [origin, origin + size] meters.
+  OccupancyGrid(Point2D origin, double width_m, double height_m,
+                OccupancyGridConfig config = {});
+
+  const GridFrame& frame() const { return frame_; }
+  int width() const { return log_odds_.width(); }
+  int height() const { return log_odds_.height(); }
+  const OccupancyGridConfig& config() const { return config_; }
+
+  double log_odds_at(CellIndex c) const;
+  double probability_at(CellIndex c) const;
+  bool is_occupied(CellIndex c) const;
+  bool is_free(CellIndex c) const;
+  bool is_unknown(CellIndex c) const;
+  bool in_bounds(CellIndex c) const { return log_odds_.in_bounds(c); }
+
+  /// Integrate one scan taken from `pose`. Beams with range beyond
+  /// max_usable clear only. Returns the number of cells touched (the work
+  /// unit Fig. 6's map-update cost is charged by).
+  size_t integrate_scan(const Pose2D& pose, const msg::LaserScan& scan);
+
+  /// Known/unknown bookkeeping for exploration.
+  size_t known_cells() const { return known_cells_; }
+  double known_area_m2() const;
+
+  msg::OccupancyGridMsg to_msg(double stamp) const;
+  /// Rebuild from a message (used when the map migrates across hosts).
+  static OccupancyGrid from_msg(const msg::OccupancyGridMsg& m,
+                                OccupancyGridConfig config = {});
+
+  /// Lossless state serialization (log-odds preserved exactly) — the wire
+  /// format the Switcher ships during Algorithm 2 state migration.
+  void serialize(WireWriter& w) const;
+  static OccupancyGrid deserialize(WireReader& r);
+
+  /// Seed from ground truth (tests & known-map navigation).
+  static OccupancyGrid from_binary(const GridFrame& frame, const Grid<uint8_t>& solid,
+                                   OccupancyGridConfig config = {});
+
+ private:
+  void update_cell(CellIndex c, double delta);
+
+  GridFrame frame_;
+  Grid<float> log_odds_;
+  OccupancyGridConfig config_;
+  size_t known_cells_ = 0;
+};
+
+}  // namespace lgv::perception

@@ -1,0 +1,84 @@
+#include "perception/scan_matcher.h"
+
+#include <array>
+#include <cmath>
+
+namespace lgv::perception {
+
+double ScanMatcher::score(const OccupancyGrid& map, const Pose2D& pose,
+                          const msg::LaserScan& scan, size_t* evaluations) const {
+  double total = 0.0;
+  size_t evals = 0;
+  const double res = map.frame().resolution;
+  for (size_t i = 0; i < scan.ranges.size(); i += static_cast<size_t>(config_.beam_stride)) {
+    const double r = static_cast<double>(scan.ranges[i]);
+    if (r > scan.range_max || r < scan.range_min) continue;
+    ++evals;
+    const double angle = pose.theta + scan.angle_of(i);
+    const double cx = std::cos(angle), sy = std::sin(angle);
+    const Point2D end{pose.x + cx * r, pose.y + sy * r};
+    // A valid hit has free space just before the endpoint.
+    const Point2D before{pose.x + cx * (r - res), pose.y + sy * (r - res)};
+    const CellIndex end_cell = map.frame().world_to_cell(end);
+    const CellIndex before_cell = map.frame().world_to_cell(before);
+
+    // Search the 3×3 neighborhood of the endpoint for the best occupied cell.
+    double best = -1.0;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const CellIndex c{end_cell.x + dx, end_cell.y + dy};
+        if (!map.is_occupied(c)) continue;
+        const Point2D cw = map.frame().cell_to_world(c);
+        const double d = distance(cw, end);
+        const double s = std::exp(-d * d / (2.0 * config_.sigma * config_.sigma));
+        best = std::max(best, s);
+      }
+    }
+    if (best > 0.0 && !map.is_occupied(before_cell)) {
+      total += best;
+    } else if (map.is_unknown(end_cell)) {
+      // Unknown terrain is neutral-slightly-positive so exploration scans
+      // don't get repelled from frontier poses.
+      total += 0.05;
+    }
+  }
+  if (evaluations != nullptr) *evaluations += evals;
+  return total;
+}
+
+MatchResult ScanMatcher::match(const OccupancyGrid& map, const Pose2D& initial,
+                               const msg::LaserScan& scan) const {
+  MatchResult result;
+  result.pose = initial;
+  result.score = score(map, initial, scan, &result.beam_evaluations);
+
+  double step_xy = config_.search_step_xy;
+  double step_th = config_.search_step_theta;
+  for (int iter = 0; iter < config_.refinement_iterations; ++iter) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      const std::array<Pose2D, 6> candidates = {
+          Pose2D{result.pose.x + step_xy, result.pose.y, result.pose.theta},
+          Pose2D{result.pose.x - step_xy, result.pose.y, result.pose.theta},
+          Pose2D{result.pose.x, result.pose.y + step_xy, result.pose.theta},
+          Pose2D{result.pose.x, result.pose.y - step_xy, result.pose.theta},
+          Pose2D{result.pose.x, result.pose.y, result.pose.theta + step_th},
+          Pose2D{result.pose.x, result.pose.y, result.pose.theta - step_th},
+      };
+      for (const Pose2D& cand : candidates) {
+        const double s = score(map, cand, scan, &result.beam_evaluations);
+        if (s > result.score + 1e-9) {
+          result.score = s;
+          result.pose = cand;
+          improved = true;
+        }
+      }
+    }
+    step_xy *= 0.5;
+    step_th *= 0.5;
+  }
+  return result;
+}
+
+}  // namespace lgv::perception

@@ -1,0 +1,142 @@
+#include "perception/visual_odometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/calibration.h"
+
+namespace lgv::perception {
+
+std::vector<Landmark> extract_landmarks(const sim::World& world) {
+  std::vector<Landmark> out;
+  const auto& grid = world.grid();
+  uint32_t next_id = 1;
+  for (int y = 1; y + 1 < grid.height(); ++y) {
+    for (int x = 1; x + 1 < grid.width(); ++x) {
+      if (grid.at(x, y) == 0) continue;
+      int free_neighbors = 0;
+      free_neighbors += grid.at(x + 1, y) == 0;
+      free_neighbors += grid.at(x - 1, y) == 0;
+      free_neighbors += grid.at(x, y + 1) == 0;
+      free_neighbors += grid.at(x, y - 1) == 0;
+      if (free_neighbors >= 2) {
+        out.push_back({next_id++, world.frame().cell_to_world({x, y})});
+      }
+    }
+  }
+  return out;
+}
+
+Camera::Camera(CameraConfig config, std::vector<Landmark> landmarks, uint64_t seed)
+    : config_(config), landmarks_(std::move(landmarks)), rng_(seed) {}
+
+VisualFrame Camera::capture(const sim::World& world, const Pose2D& pose, double stamp) {
+  VisualFrame frame;
+  frame.stamp = stamp;
+  for (const Landmark& lm : landmarks_) {
+    const Point2D rel = pose.inverse_transform(lm.position);
+    const double range = rel.norm();
+    if (range > config_.max_range || range < 0.05) continue;
+    const double bearing = std::atan2(rel.y, rel.x);
+    if (std::abs(bearing) > config_.fov_rad / 2.0) continue;
+    // The landmark must actually be visible (not behind a wall). Its own
+    // cell is solid, so check sight up to just short of it.
+    const Point2D toward = pose.position() + (lm.position - pose.position()) *
+                                                 ((range - 0.12) / range);
+    if (!world.line_of_sight(pose.position(), toward)) continue;
+    if (!rng_.bernoulli(config_.detection_probability)) continue;
+    Point2D measured = rel;
+    measured.x += rng_.gaussian(0.0, config_.pixel_noise);
+    measured.y += rng_.gaussian(0.0, config_.pixel_noise);
+    frame.ids.push_back(lm.id);
+    frame.observations.push_back(measured);
+  }
+  return frame;
+}
+
+VisualOdometry::VisualOdometry(VisualOdometryConfig config, std::vector<Landmark> map)
+    : config_(config), map_(std::move(map)) {
+  std::sort(map_.begin(), map_.end(),
+            [](const Landmark& a, const Landmark& b) { return a.id < b.id; });
+}
+
+void VisualOdometry::initialize(const Pose2D& start) {
+  pose_ = start;
+  frames_lost_ = 0;
+}
+
+std::optional<Pose2D> VisualOdometry::align(const std::vector<Point2D>& body,
+                                            const std::vector<Point2D>& world) {
+  if (body.size() < 2 || body.size() != world.size()) return std::nullopt;
+  const double n = static_cast<double>(body.size());
+  Point2D cb{0, 0}, cw{0, 0};
+  for (size_t i = 0; i < body.size(); ++i) {
+    cb = cb + body[i];
+    cw = cw + world[i];
+  }
+  cb = cb * (1.0 / n);
+  cw = cw * (1.0 / n);
+  // 2D Kabsch: θ = atan2(Σ cross, Σ dot) of centered pairs.
+  double s_cross = 0.0, s_dot = 0.0;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const Point2D b = body[i] - cb;
+    const Point2D w = world[i] - cw;
+    s_cross += b.cross(w);
+    s_dot += b.dot(w);
+  }
+  if (std::abs(s_cross) < 1e-12 && std::abs(s_dot) < 1e-12) return std::nullopt;
+  const double theta = std::atan2(s_cross, s_dot);
+  const double c = std::cos(theta), s = std::sin(theta);
+  // T(p) = R·p + t with t chosen so centroids map onto each other.
+  const Point2D t{cw.x - (c * cb.x - s * cb.y), cw.y - (s * cb.x + c * cb.y)};
+  return Pose2D{t.x, t.y, theta};
+}
+
+VoUpdateStats VisualOdometry::update(const Pose2D& odom_delta, const VisualFrame& frame,
+                                     platform::ExecutionContext& ctx) {
+  VoUpdateStats stats;
+  // Dead-reckon first; vision then corrects.
+  pose_ = pose_.compose(odom_delta);
+
+  // Associate observations with the landmark map by id. The plausibility
+  // gate widens with loss duration — relocalization must tolerate the
+  // odometric drift accumulated while blind.
+  const double gate =
+      config_.max_match_jump *
+      (1.0 + 0.3 * static_cast<double>(std::min<size_t>(frames_lost_, 20)));
+  std::vector<Point2D> body, world;
+  for (size_t i = 0; i < frame.ids.size(); ++i) {
+    const auto it = std::lower_bound(
+        map_.begin(), map_.end(), frame.ids[i],
+        [](const Landmark& lm, uint32_t id) { return lm.id < id; });
+    if (it == map_.end() || it->id != frame.ids[i]) continue;
+    const Point2D predicted = pose_.transform(frame.observations[i]);
+    if (distance(predicted, it->position) > gate) continue;
+    body.push_back(frame.observations[i]);
+    world.push_back(it->position);
+  }
+  stats.matches = body.size();
+  ctx.serial_work(static_cast<double>(frame.ids.size()) *
+                      platform::calib::kAmclCyclesPerBeamEval +
+                  static_cast<double>(body.size()) * 5000.0);
+
+  if (static_cast<int>(body.size()) >= config_.min_matches) {
+    if (const auto aligned = align(body, world)) {
+      pose_ = *aligned;
+      frames_lost_ = 0;
+      stats.tracked = true;
+    }
+  }
+  if (!stats.tracked) ++frames_lost_;
+  stats.frames_lost = frames_lost_;
+  return stats;
+}
+
+double max_trackable_angular_rate(double fov_rad, double frame_period_s,
+                                  double safety_margin) {
+  // Rotating by fov·(1 − margin) per frame still leaves a sliver of shared
+  // view; beyond that, consecutive frames are disjoint and tracking dies.
+  return fov_rad * (1.0 - safety_margin) / frame_period_s;
+}
+
+}  // namespace lgv::perception

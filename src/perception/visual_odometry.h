@@ -1,0 +1,118 @@
+// Vision-based localization for camera LGVs (§IX "Other robotic devices"):
+// the paper notes its strategies transfer to vision-based LGVs, with one new
+// effect — localization failure when the scene changes faster than features
+// can be tracked, requiring a lower driving speed.
+//
+// This module implements that substrate: a pinhole-style 2D camera that
+// observes point landmarks (corners extracted from the world), a
+// frame-to-frame tracker that matches landmarks by id, and a pose update via
+// closed-form 2D rigid alignment (Kabsch/Umeyama in the plane) of the
+// matched sets. Tracking genuinely fails under fast rotation or low feature
+// density — the co-visible set shrinks below the minimum — at which point
+// the estimate free-runs on odometry until a successful relocalization.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "platform/execution_context.h"
+#include "sim/world.h"
+
+namespace lgv::perception {
+
+/// A point landmark with a stable identity (a visual corner).
+struct Landmark {
+  uint32_t id = 0;
+  Point2D position;  ///< world frame
+};
+
+/// Extract corner-like landmarks from the world: occupied cells with at
+/// least two free 4-neighbors (convex corners of walls and furniture).
+std::vector<Landmark> extract_landmarks(const sim::World& world);
+
+struct CameraConfig {
+  double fov_rad = 2.0;         ///< ~115° wide-angle forward field of view
+  double max_range = 6.0;       ///< feature detection range
+  double pixel_noise = 0.01;    ///< measurement noise on bearings/ranges (m)
+  /// Per-frame detection probability of a visible landmark (texture/blur).
+  double detection_probability = 0.95;
+};
+
+/// One camera frame: landmarks seen this frame, measured in the ROBOT frame.
+struct VisualFrame {
+  double stamp = 0.0;
+  std::vector<uint32_t> ids;
+  std::vector<Point2D> observations;  ///< robot-frame positions
+};
+
+/// Simulated forward camera: projects world landmarks into the robot frame,
+/// respecting FOV, range and line of sight.
+class Camera {
+ public:
+  Camera(CameraConfig config, std::vector<Landmark> landmarks, uint64_t seed = 0xca3);
+
+  VisualFrame capture(const sim::World& world, const Pose2D& pose, double stamp);
+
+  const CameraConfig& config() const { return config_; }
+  size_t landmark_count() const { return landmarks_.size(); }
+
+ private:
+  CameraConfig config_;
+  std::vector<Landmark> landmarks_;
+  Rng rng_;
+};
+
+struct VisualOdometryConfig {
+  int min_matches = 3;          ///< matched landmarks needed for a pose update
+  double max_match_jump = 0.8;  ///< reject matches moving implausibly far (m)
+};
+
+struct VoUpdateStats {
+  size_t matches = 0;
+  bool tracked = false;   ///< pose updated from vision this frame
+  size_t frames_lost = 0; ///< consecutive tracking failures so far
+};
+
+/// Frame-to-frame visual odometry with landmark-map relocalization: pose is
+/// estimated by rigidly aligning the current frame's robot-frame
+/// observations to the landmark map. Between successful updates the estimate
+/// free-runs on the odometry delta supplied by the caller.
+class VisualOdometry {
+ public:
+  VisualOdometry(VisualOdometryConfig config, std::vector<Landmark> map);
+
+  void initialize(const Pose2D& start);
+
+  /// One frame: dead-reckon by `odom_delta` (body frame), then correct from
+  /// the frame's landmark observations when enough match. Work is charged to
+  /// `ctx` (per-landmark association + alignment).
+  VoUpdateStats update(const Pose2D& odom_delta, const VisualFrame& frame,
+                       platform::ExecutionContext& ctx);
+
+  const Pose2D& pose() const { return pose_; }
+  bool lost() const { return frames_lost_ >= 3; }
+  size_t frames_lost() const { return frames_lost_; }
+
+  /// Closed-form 2D rigid alignment: the pose T minimizing Σ|T·body_i −
+  /// world_i|². Exposed for tests. Returns nullopt for < 2 pairs.
+  static std::optional<Pose2D> align(const std::vector<Point2D>& body,
+                                     const std::vector<Point2D>& world);
+
+ private:
+  VisualOdometryConfig config_;
+  std::vector<Landmark> map_;  ///< sorted by id for O(log n) association
+  Pose2D pose_;
+  size_t frames_lost_ = 0;
+};
+
+/// §IX's driving constraint: the largest angular rate at which two
+/// consecutive frames (period dt) still share at least `min_matches`
+/// landmarks of a FOV `fov`: rotating by more than (fov − margin) per frame
+/// guarantees loss. Used by the Controller to cap ω for vision LGVs.
+double max_trackable_angular_rate(double fov_rad, double frame_period_s,
+                                  double safety_margin = 0.5);
+
+}  // namespace lgv::perception

@@ -1,0 +1,86 @@
+#include "planning/frontier.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/grid.h"
+#include "platform/calibration.h"
+
+namespace lgv::planning {
+
+FrontierResult FrontierExplorer::detect(const msg::OccupancyGridMsg& map,
+                                        const Pose2D& robot,
+                                        platform::ExecutionContext& ctx) const {
+  FrontierResult out;
+  const int w = map.width, h = map.height;
+  auto at = [&](int x, int y) -> int8_t {
+    return map.data[static_cast<size_t>(y) * w + x];
+  };
+  auto is_free = [&](int x, int y) { return at(x, y) >= 0 && at(x, y) < 35; };
+  auto is_unknown = [&](int x, int y) { return at(x, y) < 0; };
+
+  // A frontier cell is free with at least one unknown 4-neighbor.
+  Grid<uint8_t> frontier_mask(w, h, 0);
+  for (int y = 1; y + 1 < h; ++y) {
+    for (int x = 1; x + 1 < w; ++x) {
+      ++out.cells_scanned;
+      if (!is_free(x, y)) continue;
+      if (is_unknown(x + 1, y) || is_unknown(x - 1, y) || is_unknown(x, y + 1) ||
+          is_unknown(x, y - 1)) {
+        frontier_mask.at(x, y) = 1;
+      }
+    }
+  }
+  ctx.serial_work(static_cast<double>(out.cells_scanned) *
+                  platform::calib::kFrontierCyclesPerCell);
+
+  // Connected-component clustering (8-connectivity BFS).
+  Grid<uint8_t> visited(w, h, 0);
+  for (int y = 1; y + 1 < h; ++y) {
+    for (int x = 1; x + 1 < w; ++x) {
+      if (frontier_mask.at(x, y) == 0 || visited.at(x, y) != 0) continue;
+      std::queue<CellIndex> bfs;
+      bfs.push({x, y});
+      visited.at(x, y) = 1;
+      double sx = 0.0, sy = 0.0;
+      size_t count = 0;
+      while (!bfs.empty()) {
+        const CellIndex c = bfs.front();
+        bfs.pop();
+        const Point2D wp = map.frame.cell_to_world(c);
+        sx += wp.x;
+        sy += wp.y;
+        ++count;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const CellIndex n{c.x + dx, c.y + dy};
+            if (n.x < 1 || n.x + 1 >= w || n.y < 1 || n.y + 1 >= h) continue;
+            if (frontier_mask.at(n) == 0 || visited.at(n) != 0) continue;
+            visited.at(n) = 1;
+            bfs.push(n);
+          }
+        }
+      }
+      if (count < static_cast<size_t>(config_.min_cluster_cells)) continue;
+      Frontier f;
+      f.centroid = {sx / static_cast<double>(count), sy / static_cast<double>(count)};
+      f.cells = count;
+      f.distance_m = distance(f.centroid, robot.position());
+      if (f.distance_m < config_.min_distance_m) continue;
+      out.frontiers.push_back(f);
+    }
+  }
+
+  std::sort(out.frontiers.begin(), out.frontiers.end(),
+            [this](const Frontier& a, const Frontier& b) {
+              const double sa = config_.size_weight * static_cast<double>(a.cells) -
+                                config_.distance_weight * a.distance_m;
+              const double sb = config_.size_weight * static_cast<double>(b.cells) -
+                                config_.distance_weight * b.distance_m;
+              return sa > sb;
+            });
+  if (!out.frontiers.empty()) out.next_goal = out.frontiers.front().centroid;
+  return out;
+}
+
+}  // namespace lgv::planning

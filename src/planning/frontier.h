@@ -1,0 +1,47 @@
+// Frontier-based exploration [47]: find the boundary cells between known-free
+// and unknown space in the SLAM map, cluster them, and send the best frontier
+// centroid to Path Planning as the next goal (Fig. 2's ⑧⑨ flow).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "msg/messages.h"
+#include "platform/execution_context.h"
+
+namespace lgv::planning {
+
+struct FrontierConfig {
+  int min_cluster_cells = 6;    ///< discard specks
+  double min_distance_m = 0.4;  ///< ignore frontiers under the robot
+  /// Score = size_weight·cells − distance_weight·distance (greedy nearest-ish).
+  double size_weight = 0.4;
+  double distance_weight = 1.0;
+};
+
+struct Frontier {
+  Point2D centroid;
+  size_t cells = 0;
+  double distance_m = 0.0;  ///< straight-line from the robot
+};
+
+struct FrontierResult {
+  std::vector<Frontier> frontiers;  ///< sorted best-first
+  size_t cells_scanned = 0;
+  /// Empty when exploration is complete (no reachable frontier).
+  std::optional<Point2D> next_goal;
+};
+
+class FrontierExplorer {
+ public:
+  explicit FrontierExplorer(FrontierConfig config = {}) : config_(config) {}
+
+  FrontierResult detect(const msg::OccupancyGridMsg& map, const Pose2D& robot,
+                        platform::ExecutionContext& ctx) const;
+
+ private:
+  FrontierConfig config_;
+};
+
+}  // namespace lgv::planning

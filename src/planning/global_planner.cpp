@@ -1,0 +1,64 @@
+#include "planning/global_planner.h"
+
+#include <cmath>
+
+#include "platform/calibration.h"
+
+namespace lgv::planning {
+
+PlanResult GlobalPlanner::plan(const perception::Costmap2D& costmap,
+                               const PlanRequest& request,
+                               platform::ExecutionContext& ctx) const {
+  PlanResult out;
+  const CellIndex start = costmap.frame().world_to_cell(request.start.position());
+  CellIndex goal = costmap.frame().world_to_cell(request.goal.position());
+
+  // If the goal cell itself is untraversable (e.g. goal set slightly inside
+  // inflation), search a small neighborhood for the nearest traversable cell.
+  if (!costmap.is_traversable(goal)) {
+    double best_d = std::numeric_limits<double>::infinity();
+    CellIndex best = goal;
+    for (int dy = -8; dy <= 8; ++dy) {
+      for (int dx = -8; dx <= 8; ++dx) {
+        const CellIndex c{goal.x + dx, goal.y + dy};
+        if (!costmap.is_traversable(c)) continue;
+        const double d = std::hypot(dx, dy);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+    }
+    goal = best;
+  }
+
+  const SearchResult r = plan_on_costmap(costmap, start, goal, config_.search);
+  ctx.serial_work(static_cast<double>(r.expansions) *
+                  platform::calib::kSearchCyclesPerExpansion);
+  out.expansions = r.expansions;
+  if (!r.success) return out;
+
+  out.success = true;
+  out.cost = r.cost;
+  out.path.header.frame_id = "map";
+  const int stride = std::max(1, config_.waypoint_stride);
+  for (size_t i = 0; i < r.cells.size(); i += static_cast<size_t>(stride)) {
+    const Point2D p = costmap.frame().cell_to_world(r.cells[i]);
+    out.path.poses.emplace_back(p.x, p.y, 0.0);
+  }
+  const Point2D last = costmap.frame().cell_to_world(r.cells.back());
+  if (out.path.poses.empty() || distance(out.path.poses.back().position(), last) > 1e-6) {
+    out.path.poses.emplace_back(last.x, last.y, 0.0);
+  }
+  // Headings along the path.
+  for (size_t i = 0; i + 1 < out.path.poses.size(); ++i) {
+    const Point2D d = out.path.poses[i + 1].position() - out.path.poses[i].position();
+    out.path.poses[i].theta = std::atan2(d.y, d.x);
+  }
+  if (out.path.poses.size() >= 2) {
+    out.path.poses.back().theta = out.path.poses[out.path.poses.size() - 2].theta;
+  }
+  return out;
+}
+
+}  // namespace lgv::planning

@@ -1,0 +1,44 @@
+// The Path Planning node (PP): answers "shortest collision-free path from
+// here to the goal" as a service, as in Fig. 2's client/server arrows.
+#pragma once
+
+#include "msg/messages.h"
+#include "planning/grid_search.h"
+#include "platform/execution_context.h"
+
+namespace lgv::planning {
+
+struct GlobalPlannerConfig {
+  SearchConfig search;
+  /// Keep every k-th cell as a waypoint (plus the goal).
+  int waypoint_stride = 4;
+};
+
+struct PlanRequest {
+  Pose2D start;
+  Pose2D goal;
+};
+
+struct PlanResult {
+  msg::PathMsg path;
+  bool success = false;
+  double cost = 0.0;
+  size_t expansions = 0;
+};
+
+class GlobalPlanner {
+ public:
+  explicit GlobalPlanner(GlobalPlannerConfig config = {}) : config_(config) {}
+
+  const GlobalPlannerConfig& config() const { return config_; }
+  void set_algorithm(SearchAlgorithm a) { config_.search.algorithm = a; }
+
+  /// Plan on the given costmap; charges search work to `ctx`.
+  PlanResult plan(const perception::Costmap2D& costmap, const PlanRequest& request,
+                  platform::ExecutionContext& ctx) const;
+
+ private:
+  GlobalPlannerConfig config_;
+};
+
+}  // namespace lgv::planning

@@ -1,0 +1,94 @@
+#include "planning/grid_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace lgv::planning {
+
+namespace {
+
+struct OpenEntry {
+  double f;
+  double g;
+  int index;
+  bool operator>(const OpenEntry& o) const { return f > o.f; }
+};
+
+double octile(CellIndex a, CellIndex b) {
+  const double dx = std::abs(a.x - b.x);
+  const double dy = std::abs(a.y - b.y);
+  return (dx + dy) + (std::numbers::sqrt2 - 2.0) * std::min(dx, dy);
+}
+
+}  // namespace
+
+SearchResult plan_on_costmap(const perception::Costmap2D& costmap, CellIndex start,
+                             CellIndex goal, const SearchConfig& config) {
+  SearchResult result;
+  const int w = costmap.width(), h = costmap.height();
+  auto idx = [w](CellIndex c) { return c.y * w + c.x; };
+  auto cell_of = [w](int i) { return CellIndex{i % w, i / w}; };
+
+  if (!costmap.is_traversable(start) || !costmap.is_traversable(goal)) return result;
+
+  const size_t n = static_cast<size_t>(w) * h;
+  std::vector<double> g(n, std::numeric_limits<double>::infinity());
+  std::vector<int> parent(n, -1);
+  std::vector<uint8_t> closed(n, 0);
+  std::priority_queue<OpenEntry, std::vector<OpenEntry>, std::greater<>> open;
+
+  const bool astar = config.algorithm == SearchAlgorithm::kAStar;
+  g[idx(start)] = 0.0;
+  open.push({astar ? octile(start, goal) : 0.0, 0.0, idx(start)});
+
+  constexpr int dx[] = {1, -1, 0, 0, 1, 1, -1, -1};
+  constexpr int dy[] = {0, 0, 1, -1, 1, -1, 1, -1};
+  constexpr double step_len[] = {1, 1, 1, 1, std::numbers::sqrt2, std::numbers::sqrt2,
+                                 std::numbers::sqrt2, std::numbers::sqrt2};
+
+  while (!open.empty()) {
+    const OpenEntry top = open.top();
+    open.pop();
+    if (closed[static_cast<size_t>(top.index)]) continue;
+    closed[static_cast<size_t>(top.index)] = 1;
+    ++result.expansions;
+    const CellIndex cur = cell_of(top.index);
+    if (cur == goal) {
+      result.success = true;
+      result.cost = top.g;
+      break;
+    }
+    for (int k = 0; k < 8; ++k) {
+      const CellIndex nb{cur.x + dx[k], cur.y + dy[k]};
+      if (nb.x < 0 || nb.x >= w || nb.y < 0 || nb.y >= h) continue;
+      if (!costmap.is_traversable(nb)) continue;
+      const size_t ni = static_cast<size_t>(idx(nb));
+      if (closed[ni]) continue;
+      const double cell_cost = static_cast<double>(costmap.cost_at(nb));
+      const double step =
+          step_len[k] * (config.neutral_cost + config.cost_factor * cell_cost);
+      const double ng = top.g + step;
+      if (ng < g[ni]) {
+        g[ni] = ng;
+        parent[ni] = top.index;
+        const double f = astar ? ng + octile(nb, goal) * config.neutral_cost : ng;
+        open.push({f, ng, static_cast<int>(ni)});
+      }
+    }
+  }
+
+  if (!result.success) return result;
+
+  // Walk parents back from the goal.
+  std::vector<CellIndex> rev;
+  int cur = idx(goal);
+  while (cur != -1) {
+    rev.push_back(cell_of(cur));
+    cur = parent[static_cast<size_t>(cur)];
+  }
+  result.cells.assign(rev.rbegin(), rev.rend());
+  return result;
+}
+
+}  // namespace lgv::planning

@@ -1,0 +1,38 @@
+// Grid path search over a costmap: one core supporting both A* [45] (with an
+// admissible octile heuristic) and Dijkstra [46] (heuristic = 0), the two
+// algorithms the paper pairs with the ROS global planner. Cell traversal cost
+// blends distance with costmap values so paths keep clearance.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "perception/costmap2d.h"
+
+namespace lgv::planning {
+
+enum class SearchAlgorithm { kAStar, kDijkstra };
+
+struct SearchResult {
+  std::vector<CellIndex> cells;  ///< start → goal inclusive
+  double cost = 0.0;             ///< accumulated g-value of the goal
+  size_t expansions = 0;         ///< work units (nodes popped)
+  bool success = false;
+};
+
+struct SearchConfig {
+  SearchAlgorithm algorithm = SearchAlgorithm::kAStar;
+  /// Weight of costmap cell cost relative to distance (ROS
+  /// global_planner's cost_factor analog): extra cost per step through a
+  /// cell of value 253 is cost_factor × 253 neutral units.
+  double cost_factor = 3.0 / 254.0;
+  /// Fixed per-cell charge (keeps paths short).
+  double neutral_cost = 1.0;
+};
+
+/// Plan on the costmap from `start` to `goal` (cell coordinates).
+SearchResult plan_on_costmap(const perception::Costmap2D& costmap, CellIndex start,
+                             CellIndex goal, const SearchConfig& config = {});
+
+}  // namespace lgv::planning

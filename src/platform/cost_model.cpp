@@ -1,0 +1,41 @@
+#include "platform/cost_model.h"
+
+#include "platform/calibration.h"
+
+namespace lgv::platform {
+
+double CostModel::execution_time(const WorkProfile& profile) const {
+  const double ops_per_sec = spec_.single_thread_ops_per_sec();
+  double t = profile.serial_cycles / ops_per_sec;
+  for (const ParallelRegion& region : profile.regions) {
+    const int chunks = region.chunks();
+    if (chunks == 0) continue;
+    // Per-chunk throughput when all chunks run concurrently: the platform
+    // offers parallel_throughput(chunks) core-equivalents shared evenly,
+    // discounted by the per-thread synchronization tax.
+    const double effective =
+        spec_.parallel_throughput(chunks) /
+        (1.0 + spec_.sync_tax_per_thread * static_cast<double>(chunks - 1));
+    const double share = effective / static_cast<double>(chunks);
+    t += static_cast<double>(chunks) * spec_.dispatch_overhead_s;
+    t += region.longest() / (ops_per_sec * share);
+  }
+  return t;
+}
+
+double CostModel::serialized_time(const WorkProfile& profile) const {
+  return profile.total_cycles() / spec_.single_thread_ops_per_sec();
+}
+
+double CostModel::dynamic_energy(const WorkProfile& profile) const {
+  // E = k · L · f² with L in cycles and f in GHz (Eq. 1c integrated over the
+  // execution: ∫ k·L(t)·f² dt = k·f²·total_cycles).
+  return calib::kSwitchedCapacitance * profile.total_cycles() * spec_.freq_ghz *
+         spec_.freq_ghz;
+}
+
+double CostModel::dynamic_power(double cycles_per_sec) const {
+  return calib::kSwitchedCapacitance * cycles_per_sec * spec_.freq_ghz * spec_.freq_ghz;
+}
+
+}  // namespace lgv::platform

@@ -1,0 +1,40 @@
+// Converts a WorkProfile into virtual processing time and Eq. 1c energy on a
+// given platform. This is the reproduction's replacement for "run it on the
+// real silicon and read a stopwatch / power meter".
+#pragma once
+
+#include "platform/platform_spec.h"
+#include "platform/work_profile.h"
+
+namespace lgv::platform {
+
+class CostModel {
+ public:
+  explicit CostModel(PlatformSpec spec) : spec_(std::move(spec)) {}
+
+  const PlatformSpec& spec() const { return spec_; }
+
+  /// Virtual wall time of executing `profile` on this platform.
+  /// Serial cycles run on one thread; each parallel region runs its chunks
+  /// concurrently subject to the platform's throughput curve and pays a
+  /// per-chunk dispatch overhead (the term that flattens Fig. 10 past 4
+  /// threads).
+  double execution_time(const WorkProfile& profile) const;
+
+  /// Single-thread time of the same work (the "no parallel optimization"
+  /// deployment in Figs. 12/13).
+  double serialized_time(const WorkProfile& profile) const;
+
+  /// Dynamic energy (J) of executing `profile` *on the LGV's embedded
+  /// computer*, per Eq. 1c: E = k · L · f². Only meaningful for the
+  /// Turtlebot3 spec — offloaded cycles cost the robot nothing.
+  double dynamic_energy(const WorkProfile& profile) const;
+
+  /// Eq. 1c instantaneous power at a given cycle rate (cycles/s).
+  double dynamic_power(double cycles_per_sec) const;
+
+ private:
+  PlatformSpec spec_;
+};
+
+}  // namespace lgv::platform

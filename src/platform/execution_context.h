@@ -1,0 +1,46 @@
+// ExecutionContext is the handle an algorithm kernel receives when it runs.
+// It carries the thread pool of the host platform (null on the LGV's
+// in-order cores or when parallel optimization is disabled), the configured
+// thread count, and the WorkProfile being recorded for this invocation.
+//
+// parallel_kernel() is the bridge between *real* execution and *modeled*
+// timing: the per-item functor genuinely runs (on the pool when available)
+// and returns the cycles it performed; the context groups those cycles into
+// per-chunk totals exactly matching the static partitioning of Figs. 5/6.
+#pragma once
+
+#include <functional>
+
+#include "common/thread_pool.h"
+#include "platform/work_profile.h"
+
+namespace lgv::platform {
+
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+  ExecutionContext(ThreadPool* pool, int threads) : pool_(pool), threads_(threads) {}
+
+  int threads() const { return threads_; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// Record `cycles` of sequential work (already performed by the caller).
+  void serial_work(double cycles) { profile_.add_serial(cycles); }
+
+  /// Execute fn(i) for i in [0, count); fn returns the cycles item i cost.
+  /// Items are partitioned into `threads()` contiguous chunks; each chunk's
+  /// cycles are recorded so the cost model charges the longest chunk.
+  /// fn must be safe to invoke concurrently for distinct items.
+  void parallel_kernel(size_t count, const std::function<double(size_t)>& fn);
+
+  WorkProfile& profile() { return profile_; }
+  const WorkProfile& profile() const { return profile_; }
+  void reset() { profile_.clear(); }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  int threads_ = 1;
+  WorkProfile profile_;
+};
+
+}  // namespace lgv::platform

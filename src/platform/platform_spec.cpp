@@ -1,0 +1,76 @@
+#include "platform/platform_spec.h"
+
+#include <algorithm>
+
+namespace lgv::platform {
+
+const char* host_name(Host h) {
+  switch (h) {
+    case Host::kLgv: return "lgv";
+    case Host::kEdgeGateway: return "edge_gateway";
+    case Host::kCloudServer: return "cloud_server";
+  }
+  return "?";
+}
+
+double PlatformSpec::parallel_throughput(int threads) const {
+  threads = std::max(1, threads);
+  if (threads <= cores) return static_cast<double>(threads);
+  const int smt = std::min(threads, hw_threads) - cores;
+  // Beyond hw_threads, extra software threads only time-share; no extra
+  // throughput.
+  return static_cast<double>(cores) + smt_efficiency * static_cast<double>(smt);
+}
+
+PlatformSpec turtlebot3_spec() {
+  PlatformSpec s;
+  s.name = "Turtlebot3 (Raspberry Pi 3B+)";
+  s.freq_ghz = 1.4;
+  s.cores = 4;
+  s.hw_threads = 4;
+  s.ipc = 0.6;  // in-order Cortex-A53
+  s.smt_efficiency = 0.0;
+  s.dispatch_overhead_s = 60e-6;  // slow memory + kernel on the Pi
+  s.memory_gb = 1.0;
+  return s;
+}
+
+PlatformSpec edge_gateway_spec() {
+  PlatformSpec s;
+  s.name = "Edge gateway (Intel i7-7700K)";
+  s.freq_ghz = 4.2;
+  s.cores = 4;
+  s.hw_threads = 8;
+  s.ipc = 2.0;  // wide out-of-order core at high clocks
+  s.smt_efficiency = 0.35;
+  s.dispatch_overhead_s = 8e-6;
+  s.memory_gb = 16.0;
+  return s;
+}
+
+PlatformSpec cloud_server_spec() {
+  PlatformSpec s;
+  s.name = "Cloud server (Intel Xeon Gold 6149)";
+  s.freq_ghz = 3.1;
+  s.cores = 24;
+  s.hw_threads = 48;
+  s.ipc = 1.6;
+  s.smt_efficiency = 0.3;
+  // Server-class uncore (big L3, many memory channels) pays less
+  // synchronization tax per thread than the desktop part.
+  s.sync_tax_per_thread = 0.09;
+  s.dispatch_overhead_s = 10e-6;
+  s.memory_gb = 768.0;
+  return s;
+}
+
+PlatformSpec spec_for(Host h) {
+  switch (h) {
+    case Host::kLgv: return turtlebot3_spec();
+    case Host::kEdgeGateway: return edge_gateway_spec();
+    case Host::kCloudServer: return cloud_server_spec();
+  }
+  return turtlebot3_spec();
+}
+
+}  // namespace lgv::platform

@@ -1,0 +1,75 @@
+#include "platform/work_meter.h"
+
+#include "platform/execution_context.h"
+
+namespace lgv::platform {
+
+void ExecutionContext::parallel_kernel(size_t count,
+                                       const std::function<double(size_t)>& fn) {
+  if (count == 0) return;
+  const size_t chunks =
+      std::max<size_t>(1, std::min<size_t>(static_cast<size_t>(threads_), count));
+  ParallelRegion region;
+  region.chunk_cycles.assign(chunks, 0.0);
+
+  auto run_chunk = [&](size_t chunk) {
+    const ChunkRange r = chunk_range(count, chunks, chunk);
+    double cycles = 0.0;
+    for (size_t i = r.begin; i < r.end; ++i) cycles += fn(i);
+    region.chunk_cycles[chunk] = cycles;  // one writer per slot
+  };
+
+  if (pool_ != nullptr && chunks > 1) {
+    pool_->parallel_chunks(chunks, chunks,
+                           [&](size_t begin, size_t end) {
+                             for (size_t c = begin; c < end; ++c) run_chunk(c);
+                           });
+  } else {
+    for (size_t c = 0; c < chunks; ++c) run_chunk(c);
+  }
+
+  if (chunks == 1) {
+    // A single chunk is just serial work; don't charge dispatch overhead.
+    profile_.add_serial(region.chunk_cycles[0]);
+  } else {
+    profile_.add_region(std::move(region));
+  }
+}
+
+void WorkMeter::charge(const std::string& node, double cycles) {
+  Entry& e = entries_[node];
+  e.cycles += cycles;
+  ++e.invocations;
+}
+
+double WorkMeter::cycles(const std::string& node) const {
+  const auto it = entries_.find(node);
+  return it == entries_.end() ? 0.0 : it->second.cycles;
+}
+
+size_t WorkMeter::invocations(const std::string& node) const {
+  const auto it = entries_.find(node);
+  return it == entries_.end() ? 0 : it->second.invocations;
+}
+
+double WorkMeter::total_cycles() const {
+  double t = 0.0;
+  for (const auto& [name, e] : entries_) t += e.cycles;
+  return t;
+}
+
+double WorkMeter::fraction(const std::string& node) const {
+  const double total = total_cycles();
+  return total > 0.0 ? cycles(node) / total : 0.0;
+}
+
+std::vector<std::string> WorkMeter::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) names.push_back(name);
+  return names;
+}
+
+void WorkMeter::reset() { entries_.clear(); }
+
+}  // namespace lgv::platform

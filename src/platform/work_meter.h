@@ -1,0 +1,34 @@
+// Cumulative per-node work accounting across a whole mission — the
+// instrumentation behind Table II's cycle breakdown.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lgv::platform {
+
+class WorkMeter {
+ public:
+  /// Charge `cycles` of work to the named node.
+  void charge(const std::string& node, double cycles);
+
+  double cycles(const std::string& node) const;
+  size_t invocations(const std::string& node) const;
+  double total_cycles() const;
+
+  /// Share of total cycles attributed to `node`, in [0, 1].
+  double fraction(const std::string& node) const;
+
+  std::vector<std::string> node_names() const;
+  void reset();
+
+ private:
+  struct Entry {
+    double cycles = 0.0;
+    size_t invocations = 0;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace lgv::platform

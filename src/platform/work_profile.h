@@ -1,0 +1,55 @@
+// The record of computational work one node invocation performed, expressed
+// in platform-independent cycles. Serial work accumulates into one counter;
+// each parallel region keeps per-chunk totals so the cost model can charge
+// the *longest* chunk (real load imbalance shows up in the timing).
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace lgv::platform {
+
+struct ParallelRegion {
+  /// Cycles executed by each chunk (chunk count == thread count requested).
+  std::vector<double> chunk_cycles;
+
+  double total() const {
+    return std::accumulate(chunk_cycles.begin(), chunk_cycles.end(), 0.0);
+  }
+  double longest() const {
+    return chunk_cycles.empty()
+               ? 0.0
+               : *std::max_element(chunk_cycles.begin(), chunk_cycles.end());
+  }
+  int chunks() const { return static_cast<int>(chunk_cycles.size()); }
+};
+
+struct WorkProfile {
+  double serial_cycles = 0.0;
+  std::vector<ParallelRegion> regions;
+
+  void add_serial(double cycles) { serial_cycles += cycles; }
+  void add_region(ParallelRegion region) { regions.push_back(std::move(region)); }
+
+  /// Total cycles regardless of parallel structure (Table II currency).
+  double total_cycles() const {
+    double t = serial_cycles;
+    for (const auto& r : regions) t += r.total();
+    return t;
+  }
+
+  void clear() {
+    serial_cycles = 0.0;
+    regions.clear();
+  }
+
+  /// Merge another profile into this one (used when one node invocation is
+  /// assembled from several kernels).
+  void merge(const WorkProfile& other) {
+    serial_cycles += other.serial_cycles;
+    regions.insert(regions.end(), other.regions.begin(), other.regions.end());
+  }
+};
+
+}  // namespace lgv::platform

@@ -1,0 +1,32 @@
+#include "sim/lidar.h"
+
+#include <algorithm>
+
+namespace lgv::sim {
+
+msg::LaserScan Lidar::scan(const World& world, const Pose2D& pose, double stamp) {
+  msg::LaserScan s;
+  s.header.stamp = stamp;
+  s.header.frame_id = "base_scan";
+  s.angle_min = -config_.fov_rad / 2.0;
+  s.angle_max = config_.fov_rad / 2.0;
+  s.angle_increment = config_.fov_rad / static_cast<double>(config_.beams);
+  s.range_min = config_.min_range;
+  s.range_max = config_.max_range;
+  s.ranges.resize(static_cast<size_t>(config_.beams));
+  for (int i = 0; i < config_.beams; ++i) {
+    const double beam_angle = pose.theta + s.angle_min + s.angle_increment * i;
+    double r = world.raycast(pose.position(), beam_angle, config_.max_range);
+    if (r < config_.max_range) {
+      r += rng_.gaussian(0.0, config_.range_noise_sigma);
+      r = std::clamp(r, config_.min_range, config_.max_range);
+      s.ranges[static_cast<size_t>(i)] = static_cast<float>(r);
+    } else {
+      // No return: encode as just beyond max_range, consumers treat as free.
+      s.ranges[static_cast<size_t>(i)] = static_cast<float>(config_.max_range + 1.0);
+    }
+  }
+  return s;
+}
+
+}  // namespace lgv::sim

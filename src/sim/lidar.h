@@ -1,0 +1,35 @@
+// 360° laser distance sensor (Turtlebot3's LDS-01) simulated by ray-casting
+// the world. Produces the LaserScan messages the perception stage consumes.
+#pragma once
+
+#include "common/rng.h"
+#include "msg/messages.h"
+#include "sim/world.h"
+
+namespace lgv::sim {
+
+struct LidarConfig {
+  int beams = 360;
+  double fov_rad = 2.0 * 3.14159265358979323846;  ///< full revolution
+  double min_range = 0.12;   ///< LDS-01 datasheet
+  double max_range = 3.5;
+  double range_noise_sigma = 0.01;  ///< 1 cm gaussian range noise
+  double rate_hz = 5.0;             ///< scan publication rate
+};
+
+class Lidar {
+ public:
+  explicit Lidar(LidarConfig config = {}, uint64_t seed = 0x11da5)
+      : config_(config), rng_(seed) {}
+
+  const LidarConfig& config() const { return config_; }
+
+  /// One sweep from `pose` in `world` at virtual time `stamp`.
+  msg::LaserScan scan(const World& world, const Pose2D& pose, double stamp);
+
+ private:
+  LidarConfig config_;
+  Rng rng_;
+};
+
+}  // namespace lgv::sim

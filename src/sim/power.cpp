@@ -1,0 +1,47 @@
+#include "sim/power.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lgv::sim {
+
+ComponentBudget turtlebot2_budget() {
+  return {"Turtlebot2", 2.5, 9.0, 4.6, 15.0};
+}
+
+ComponentBudget turtlebot3_budget() {
+  return {"Turtlebot3", 1.0, 6.7, 1.0, 6.5};
+}
+
+ComponentBudget pioneer3dx_budget() {
+  return {"Pioneer 3DX", 0.82, 10.6, 4.6, 15.0};
+}
+
+double PowerModel::motor_power(double v, double a) const {
+  v = std::abs(v);
+  if (v < 1e-4) return 0.0;
+  const double traction =
+      config_.mass_kg * (std::max(0.0, a) + platform::calib::kGravity * config_.friction);
+  return config_.transforming_loss_w + traction * v;
+}
+
+double PowerModel::computer_power(double cycles_per_sec, double freq_ghz) const {
+  return config_.computer_idle_w +
+         platform::calib::kSwitchedCapacitance * cycles_per_sec * freq_ghz * freq_ghz;
+}
+
+double PowerModel::transmission_energy(double bytes, double uplink_bps) const {
+  if (uplink_bps <= 0.0) return 0.0;
+  const double t = bytes * 8.0 / uplink_bps;
+  return config_.transmit_power_w * t;
+}
+
+void EnergyMeter::accumulate(const PowerDraw& draw, double dt) {
+  energy_.sensor += draw.sensor * dt;
+  energy_.motor += draw.motor * dt;
+  energy_.microcontroller += draw.microcontroller * dt;
+  energy_.computer += draw.computer * dt;
+  energy_.wireless += draw.wireless * dt;
+}
+
+}  // namespace lgv::sim

@@ -1,0 +1,121 @@
+// Per-component power and energy models of §III-A:
+//   Eq. 1a  E_total = E_ec + E_m + E_trans (+ sensors & microcontroller)
+//   Eq. 1b  E_trans = P_trans · D_trans / R_uplink
+//   Eq. 1c  P_c^n(t) = k · L_{n,t} · f_t²          (embedded computer)
+//   Eq. 1d  P_m(t) = P_l + m(a + gμ)v              (motors)
+// Component budget constants come from Table I.
+#pragma once
+
+#include <string>
+
+#include "platform/calibration.h"
+
+namespace lgv::sim {
+
+/// Table I: maximum power consumption per component (W).
+struct ComponentBudget {
+  std::string lgv_name;
+  double sensor_w = 0.0;
+  double motor_w = 0.0;
+  double microcontroller_w = 0.0;
+  double embedded_computer_w = 0.0;
+
+  double total() const {
+    return sensor_w + motor_w + microcontroller_w + embedded_computer_w;
+  }
+};
+
+ComponentBudget turtlebot2_budget();
+ComponentBudget turtlebot3_budget();
+ComponentBudget pioneer3dx_budget();
+
+/// Instantaneous per-component power draw (W).
+struct PowerDraw {
+  double sensor = 0.0;
+  double motor = 0.0;
+  double microcontroller = 0.0;
+  double computer = 0.0;
+  double wireless = 0.0;
+
+  double total() const { return sensor + motor + microcontroller + computer + wireless; }
+};
+
+/// Integrated per-component energy (J).
+struct EnergyBreakdown {
+  double sensor = 0.0;
+  double motor = 0.0;
+  double microcontroller = 0.0;
+  double computer = 0.0;
+  double wireless = 0.0;
+
+  double total() const { return sensor + motor + microcontroller + computer + wireless; }
+};
+
+struct PowerModelConfig {
+  double sensor_w = 1.0;           ///< Table I, Turtlebot3 LDS
+  double microcontroller_w = 1.0;  ///< Table I, OpenCR board
+  double mass_kg = platform::calib::kRobotMassKg;
+  double friction = platform::calib::kGroundFriction;
+  double transforming_loss_w = platform::calib::kTransformingLossW;
+  double computer_idle_w = platform::calib::kEmbeddedIdlePowerW;
+  double transmit_power_w = platform::calib::kTransmitPowerW;
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(PowerModelConfig config = {}) : config_(config) {}
+
+  const PowerModelConfig& config() const { return config_; }
+
+  /// Eq. 1d: motor power at velocity v (m/s) and acceleration a (m/s²).
+  /// Zero when parked (drivers de-energize the coils).
+  double motor_power(double v, double a) const;
+
+  /// Eq. 1c: embedded computer power given the current useful cycle rate
+  /// (cycles/s) at clock f (GHz), plus the idle floor.
+  double computer_power(double cycles_per_sec, double freq_ghz) const;
+
+  /// Eq. 1b: energy to transmit `bytes` at uplink rate `uplink_bps`.
+  double transmission_energy(double bytes, double uplink_bps) const;
+
+  double sensor_power() const { return config_.sensor_w; }
+  double microcontroller_power() const { return config_.microcontroller_w; }
+
+ private:
+  PowerModelConfig config_;
+};
+
+/// Integrates PowerDraw over virtual time into the Fig. 13 stacked breakdown.
+class EnergyMeter {
+ public:
+  void accumulate(const PowerDraw& draw, double dt);
+  /// Directly add transmission energy (computed per message via Eq. 1b).
+  void add_wireless_energy(double joules) { energy_.wireless += joules; }
+  /// Directly add embedded-computer dynamic energy (Eq. 1c per execution).
+  void add_computer_energy(double joules) { energy_.computer += joules; }
+
+  const EnergyBreakdown& energy() const { return energy_; }
+  void reset() { energy_ = {}; }
+
+ private:
+  EnergyBreakdown energy_;
+};
+
+/// The LGV's battery (19.98 Wh lithium polymer on a Turtlebot3).
+class Battery {
+ public:
+  explicit Battery(double capacity_wh = 19.98) : capacity_j_(capacity_wh * 3600.0) {}
+
+  void drain(double joules) { used_j_ += joules; }
+  double capacity_j() const { return capacity_j_; }
+  double used_j() const { return used_j_; }
+  double remaining_j() const { return capacity_j_ - used_j_; }
+  double state_of_charge() const { return remaining_j() / capacity_j_; }
+  bool depleted() const { return used_j_ >= capacity_j_; }
+
+ private:
+  double capacity_j_;
+  double used_j_ = 0.0;
+};
+
+}  // namespace lgv::sim

@@ -1,0 +1,56 @@
+#include "sim/random_world.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace lgv::sim {
+
+Scenario make_random_scenario(uint64_t seed, RandomWorldConfig config) {
+  Rng rng(seed);
+  Scenario s{World(config.width_m, config.height_m),
+             Pose2D(1.0, 1.0, 0.0),
+             Pose2D(config.width_m - 1.0, config.height_m - 1.0, 0.0),
+             Point2D(0.8, 0.8),
+             {}};
+  s.world.add_outer_walls(0.15);
+
+  auto clear_of_endpoints = [&](const Point2D& p, double radius) {
+    return distance(p, s.start.position()) > config.keep_out_radius + radius &&
+           distance(p, s.goal.position()) > config.keep_out_radius + radius;
+  };
+
+  int placed_discs = 0, attempts = 0;
+  while (placed_discs < config.disc_obstacles && attempts < 200) {
+    ++attempts;
+    const Point2D c{rng.uniform(0.8, config.width_m - 0.8),
+                    rng.uniform(0.8, config.height_m - 0.8)};
+    const double r =
+        rng.uniform(config.min_obstacle_radius, config.max_obstacle_radius);
+    if (!clear_of_endpoints(c, r)) continue;
+    s.world.add_disc(c, r);
+    ++placed_discs;
+  }
+
+  int placed_boxes = 0;
+  attempts = 0;
+  while (placed_boxes < config.box_obstacles && attempts < 200) {
+    ++attempts;
+    const Point2D c{rng.uniform(1.0, config.width_m - 1.0),
+                    rng.uniform(1.0, config.height_m - 1.0)};
+    const double hw = rng.uniform(0.2, 0.5);
+    const double hh = rng.uniform(0.2, 0.5);
+    if (!clear_of_endpoints(c, std::max(hw, hh))) continue;
+    s.world.add_box({c.x - hw, c.y - hh}, {c.x + hw, c.y + hh});
+    ++placed_boxes;
+  }
+
+  // A simple scripted tour for scan-log generation: the four quadrants.
+  s.waypoints = {s.start.position(),
+                 {config.width_m - 1.2, 1.2},
+                 {config.width_m - 1.2, config.height_m - 1.2},
+                 {1.2, config.height_m - 1.2}};
+  return s;
+}
+
+}  // namespace lgv::sim

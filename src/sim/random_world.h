@@ -1,0 +1,28 @@
+// Seeded random environment generation: cluttered arenas for robustness
+// sweeps (navigation should succeed across many layouts, not just the
+// hand-built scenarios).
+#pragma once
+
+#include "sim/scenario.h"
+
+namespace lgv::sim {
+
+struct RandomWorldConfig {
+  double width_m = 10.0;
+  double height_m = 10.0;
+  int disc_obstacles = 5;
+  int box_obstacles = 3;
+  double min_obstacle_radius = 0.2;
+  double max_obstacle_radius = 0.45;
+  /// Keep a clear disc of this radius around the start and goal.
+  double keep_out_radius = 1.0;
+};
+
+/// Generate a cluttered arena with a guaranteed-free start (near one corner)
+/// and goal (near the opposite corner). Obstacles never touch the keep-out
+/// zones, so the mission is always *plausible*; whether a path exists through
+/// the clutter is up to the planner (the generator retries placements that
+/// would seal off the direct corridor entirely).
+Scenario make_random_scenario(uint64_t seed, RandomWorldConfig config = {});
+
+}  // namespace lgv::sim

@@ -1,0 +1,86 @@
+#include "sim/robot.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lgv::sim {
+
+namespace {
+double approach(double current, double target, double max_delta) {
+  if (target > current) return std::min(target, current + max_delta);
+  return std::max(target, current - max_delta);
+}
+}  // namespace
+
+DiffDriveRobot::DiffDriveRobot(RobotConfig config, Pose2D start, uint64_t seed)
+    : config_(config), pose_(start), odom_pose_(start), rng_(seed) {}
+
+void DiffDriveRobot::step(const World& world, double dt) {
+  // Clamp command to mechanical limits, then accelerate toward it.
+  Velocity2D target = cmd_;
+  target.linear = std::clamp(target.linear, -config_.hard_max_linear, config_.hard_max_linear);
+  target.angular =
+      std::clamp(target.angular, -config_.hard_max_angular, config_.hard_max_angular);
+  vel_.linear = approach(vel_.linear, target.linear, config_.max_linear_accel * dt);
+  vel_.angular = approach(vel_.angular, target.angular, config_.max_angular_accel * dt);
+
+  // Unicycle integration (exact arc when turning).
+  Pose2D next = pose_;
+  if (std::abs(vel_.angular) < 1e-6) {
+    next.x += vel_.linear * std::cos(pose_.theta) * dt;
+    next.y += vel_.linear * std::sin(pose_.theta) * dt;
+  } else {
+    const double r = vel_.linear / vel_.angular;
+    next.x += r * (std::sin(pose_.theta + vel_.angular * dt) - std::sin(pose_.theta));
+    next.y += r * (-std::cos(pose_.theta + vel_.angular * dt) + std::cos(pose_.theta));
+  }
+  next.theta = normalize_angle(pose_.theta + vel_.angular * dt);
+
+  if (world.collides(next.position(), config_.radius)) {
+    // Bumper hit: kill the linear motion, keep the rotation so the controller
+    // can steer out.
+    collided_ = true;
+    vel_.linear = 0.0;
+    next.x = pose_.x;
+    next.y = pose_.y;
+  } else {
+    collided_ = false;
+  }
+
+  const Pose2D delta = pose_.between(next);
+  traveled_ += std::hypot(delta.x, delta.y);
+  pose_ = next;
+
+  // Odometry integrates the same motion plus slip noise.
+  Pose2D noisy_delta = delta;
+  noisy_delta.x += rng_.gaussian(0.0, config_.odom_pos_noise);
+  noisy_delta.y += rng_.gaussian(0.0, config_.odom_pos_noise * 0.3);
+  noisy_delta.theta =
+      normalize_angle(noisy_delta.theta + rng_.gaussian(0.0, config_.odom_theta_noise));
+  odom_pose_ = odom_pose_.compose(noisy_delta);
+}
+
+msg::Odometry DiffDriveRobot::odometry(double stamp, uint64_t seq) {
+  msg::Odometry o;
+  o.header.stamp = stamp;
+  o.header.seq = seq;
+  o.header.frame_id = "odom";
+  o.pose = odom_pose_;
+  o.velocity = vel_;
+  return o;
+}
+
+double DiffDriveRobot::odometry_drift() const {
+  return distance(pose_.position(), odom_pose_.position());
+}
+
+void DiffDriveRobot::reset(const Pose2D& pose) {
+  pose_ = pose;
+  odom_pose_ = pose;
+  vel_ = {};
+  cmd_ = {};
+  collided_ = false;
+  traveled_ = 0.0;
+}
+
+}  // namespace lgv::sim

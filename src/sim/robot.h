@@ -1,0 +1,61 @@
+// Differential-drive kinematics of the LGV with acceleration limits and
+// collision handling, plus noisy odometry. Fills the role of the Turtlebot3
+// base + microcontroller in the paper's testbed.
+#pragma once
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "msg/messages.h"
+#include "sim/world.h"
+
+namespace lgv::sim {
+
+struct RobotConfig {
+  double radius = 0.105;            ///< footprint radius (Turtlebot3 burger)
+  double max_linear_accel = 0.5;    ///< a_max of Eq. 2c (m/s²)
+  double max_angular_accel = 3.0;   ///< rad/s²
+  double hard_max_linear = 1.2;     ///< mechanical ceiling (m/s)
+  double hard_max_angular = 2.84;   ///< rad/s (Turtlebot3 spec)
+  double odom_pos_noise = 0.002;    ///< per-step position noise (m)
+  double odom_theta_noise = 0.001;  ///< per-step heading noise (rad)
+};
+
+class DiffDriveRobot {
+ public:
+  DiffDriveRobot(RobotConfig config, Pose2D start, uint64_t seed = 0xb07);
+
+  const RobotConfig& config() const { return config_; }
+  const Pose2D& pose() const { return pose_; }          ///< ground truth
+  const Velocity2D& velocity() const { return vel_; }
+  double commanded_linear() const { return cmd_.linear; }
+  bool collided() const { return collided_; }
+  double odometry_drift() const;  ///< |odom - truth| (m)
+
+  /// Latch a velocity command (from the Velocity Multiplexer).
+  void set_command(const Velocity2D& cmd) { cmd_ = cmd; }
+
+  /// Advance the base by dt: accelerate toward the command under the limits,
+  /// integrate unicycle kinematics, stop dead on collision.
+  void step(const World& world, double dt);
+
+  /// Dead-reckoned odometry estimate (accumulates noise — what SLAM corrects).
+  msg::Odometry odometry(double stamp, uint64_t seq);
+
+  /// Teleport (test/setup use only).
+  void reset(const Pose2D& pose);
+
+  /// Distance traveled since construction/reset (m).
+  double distance_traveled() const { return traveled_; }
+
+ private:
+  RobotConfig config_;
+  Pose2D pose_;
+  Pose2D odom_pose_;
+  Velocity2D vel_;
+  Velocity2D cmd_;
+  bool collided_ = false;
+  double traveled_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace lgv::sim

@@ -1,0 +1,137 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lgv::sim {
+
+Scenario make_lab_scenario() {
+  Scenario s{World(12.0, 10.0), Pose2D(1.5, 1.5, 0.0), Pose2D(10.5, 8.5, 0.0),
+             Point2D(1.0, 1.0), {}};
+  World& w = s.world;
+  w.add_outer_walls(0.15);
+  // Two interior walls with door gaps, splitting the lab into three bays.
+  w.add_wall({4.0, 0.0}, {4.0, 6.5});
+  w.add_wall({8.0, 10.0}, {8.0, 3.5});
+  // Furniture.
+  w.add_box({1.8, 6.0}, {2.8, 7.0});
+  w.add_box({5.5, 1.0}, {6.5, 2.0});
+  w.add_box({5.0, 7.5}, {6.0, 8.5});
+  w.add_disc({9.5, 2.0}, 0.4);
+  w.add_disc({2.5, 4.0}, 0.35);
+  s.waypoints = {{1.5, 1.5}, {1.2, 5.0}, {1.2, 8.5}, {3.3, 8.8},
+                 {6.3, 9.2}, {6.8, 5.0}, {7.3, 1.2}, {9.8, 1.2},
+                 {10.8, 5.0}, {10.5, 8.5}};
+  return s;
+}
+
+Scenario make_office_scenario() {
+  Scenario s{World(20.0, 14.0), Pose2D(1.2, 1.2, 0.0), Pose2D(18.5, 12.5, 0.0),
+             Point2D(1.0, 1.0), {}};
+  World& w = s.world;
+  w.add_outer_walls(0.15);
+  // Central corridor along y ≈ 7 with offices on both sides.
+  for (int i = 0; i < 4; ++i) {
+    const double x = 3.0 + 4.0 * i;
+    // Lower office walls (door gap near corridor).
+    w.add_wall({x, 0.0}, {x, 5.0});
+    // Upper office walls.
+    w.add_wall({x, 14.0}, {x, 9.0});
+  }
+  // Corridor walls with door gaps every office.
+  for (int i = 0; i < 5; ++i) {
+    const double x0 = 0.0 + 4.0 * i;
+    w.add_wall({x0, 6.0}, {x0 + 2.6, 6.0});
+    w.add_wall({x0, 8.0}, {x0 + 2.6, 8.0});
+  }
+  // Clutter inside offices.
+  w.add_box({1.0, 3.0}, {1.8, 4.0});
+  w.add_box({5.2, 10.5}, {6.2, 11.5});
+  w.add_box({9.0, 2.0}, {10.0, 2.8});
+  w.add_box({13.5, 11.0}, {14.5, 12.0});
+  w.add_disc({17.0, 3.0}, 0.45);
+  // Tour through the door gaps: corridor-wall openings sit at
+  // x ∈ [2.6,4] ∪ [6.6,8] ∪ [10.6,12] ∪ [14.6,16] ∪ [18.6,20] on the y=6 and
+  // y=8 walls; the y∈(5,6) and y∈(8,9) strips are open across the floor.
+  s.waypoints = {{1.2, 1.2},  {2.3, 2.0},  {2.3, 5.5},  {3.2, 5.5},
+                 {3.2, 7.0},  {7.0, 7.0},  {7.3, 8.5},  {9.0, 8.5},
+                 {9.0, 11.0}, {9.0, 8.5},  {10.8, 8.5}, {10.8, 7.0},
+                 {11.5, 7.0}, {11.5, 5.5}, {13.5, 5.5}, {13.5, 2.5},
+                 {13.5, 5.5}, {15.5, 5.5}, {15.5, 7.0}, {18.9, 7.2},
+                 {18.9, 8.6}, {18.5, 12.5}};
+  return s;
+}
+
+Scenario make_obstacle_course_scenario() {
+  Scenario s{World(16.0, 8.0), Pose2D(1.0, 4.0, 0.0), Pose2D(14.5, 1.0, 0.0),
+             Point2D(1.0, 4.0), {}};
+  World& w = s.world;
+  w.add_outer_walls(0.15);
+  // Phase 1 (x in [1, 6]): obstacle field.
+  w.add_disc({2.5, 3.2}, 0.35);
+  w.add_disc({3.5, 5.0}, 0.35);
+  w.add_disc({4.6, 3.6}, 0.35);
+  w.add_disc({5.4, 5.2}, 0.3);
+  w.add_box({3.0, 1.2}, {3.6, 1.8});
+  // Phase 2 (x in [6, 13]): clear straight corridor.
+  w.add_wall({6.0, 6.2}, {13.0, 6.2});
+  w.add_wall({6.0, 2.2}, {13.0, 2.2});
+  // Phase 3: right turn at the end of the corridor.
+  w.add_wall({13.0, 6.2}, {15.2, 6.2});
+  w.add_wall({13.0, 2.2}, {13.0, 2.6});
+  s.waypoints = {{1.0, 4.0}, {6.0, 4.2}, {13.0, 4.2}, {14.5, 1.0}};
+  return s;
+}
+
+Scenario make_open_scenario() {
+  Scenario s{World(8.0, 8.0), Pose2D(1.0, 1.0, 0.0), Pose2D(7.0, 7.0, 0.0),
+             Point2D(0.5, 0.5), {}};
+  World& w = s.world;
+  w.add_outer_walls(0.15);
+  w.add_disc({4.0, 4.0}, 0.4);
+  w.add_disc({2.5, 5.5}, 0.3);
+  w.add_disc({5.5, 2.5}, 0.3);
+  s.waypoints = {{1.0, 1.0}, {1.0, 7.0}, {7.0, 7.0}, {7.0, 1.0}};
+  return s;
+}
+
+std::vector<ScanLogEntry> record_scan_log(const Scenario& scenario, double speed,
+                                          double scan_period, size_t max_scans,
+                                          uint64_t seed) {
+  std::vector<ScanLogEntry> log;
+  log.reserve(max_scans);
+  Lidar lidar({}, seed ^ 0x51dab);
+  Rng rng(seed);
+
+  Pose2D truth = scenario.start;
+  Pose2D odom = truth;
+  double stamp = 0.0;
+  const double step = speed * scan_period;
+
+  for (size_t wp = 1; wp < scenario.waypoints.size() && log.size() < max_scans; ++wp) {
+    const Point2D target = scenario.waypoints[wp];
+    while (log.size() < max_scans) {
+      const Point2D to_target = target - truth.position();
+      const double dist = to_target.norm();
+      if (dist < step) break;
+      const double heading = std::atan2(to_target.y, to_target.x);
+      truth = Pose2D(truth.x + std::cos(heading) * step,
+                     truth.y + std::sin(heading) * step, heading);
+      // Odometry drifts: small bias + noise per step.
+      const double dth = rng.gaussian(0.0, 0.004) + 0.0015;
+      odom = Pose2D(odom.x + std::cos(odom.theta + dth) * (step + rng.gaussian(0.0, 0.004)),
+                    odom.y + std::sin(odom.theta + dth) * (step + rng.gaussian(0.0, 0.004)),
+                    normalize_angle(heading + dth * static_cast<double>(log.size() + 1) * 0.02));
+      stamp += scan_period;
+      ScanLogEntry e;
+      e.true_pose = truth;
+      e.odom_pose = odom;
+      e.scan = lidar.scan(scenario.world, truth, stamp);
+      log.push_back(std::move(e));
+    }
+  }
+  return log;
+}
+
+}  // namespace lgv::sim

@@ -1,0 +1,55 @@
+// Reproducible evaluation environments: the lab-like building used for the
+// end-to-end missions (Figs. 12–14), an Intel-Research-Lab-style office floor
+// that feeds the offline SLAM benchmarks (Figs. 9–10), and the obstacle
+// course of Fig. 14. Also generates deterministic scan logs — our stand-in
+// for the Intel Research Lab 2D SLAM dataset.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "msg/messages.h"
+#include "sim/lidar.h"
+#include "sim/world.h"
+
+namespace lgv::sim {
+
+struct Scenario {
+  World world;
+  Pose2D start;
+  Pose2D goal;
+  Point2D wap_position;  ///< where the wireless access point is mounted
+  std::vector<Point2D> waypoints;  ///< scripted tour (for scan logs / Fig. 11)
+};
+
+/// ~12×10 m lab with interior walls, doorways and furniture-like boxes.
+/// Start near the WAP, goal at the far end.
+Scenario make_lab_scenario();
+
+/// Office-floor maze with corridors and rooms — the stand-in for the Intel
+/// Research Lab dataset's building.
+Scenario make_office_scenario();
+
+/// Fig. 14's course: an obstacle field (phase 1), a long straight corridor
+/// (phase 2) and a right turn (phase 3).
+Scenario make_obstacle_course_scenario();
+
+/// Open arena with scattered discs; used in tests and the quickstart example.
+Scenario make_open_scenario();
+
+/// One entry of a recorded SLAM input log: odometry-integrated pose estimate
+/// and the scan taken there.
+struct ScanLogEntry {
+  Pose2D odom_pose;   ///< noisy odometric pose (what SLAM gets)
+  Pose2D true_pose;   ///< ground truth (for evaluation only)
+  msg::LaserScan scan;
+};
+
+/// Drive a virtual robot through the scenario's waypoints at `speed`,
+/// recording a scan every `scan_period` seconds of virtual time. Odometry
+/// accumulates drift, so the log genuinely requires scan matching to map.
+std::vector<ScanLogEntry> record_scan_log(const Scenario& scenario, double speed,
+                                          double scan_period, size_t max_scans,
+                                          uint64_t seed = 0x10c);
+
+}  // namespace lgv::sim

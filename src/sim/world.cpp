@@ -1,0 +1,135 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lgv::sim {
+
+World::World(double width_m, double height_m, double resolution) {
+  frame_.origin = {0.0, 0.0};
+  frame_.resolution = resolution;
+  grid_ = Grid<uint8_t>(static_cast<int>(std::ceil(width_m / resolution)),
+                        static_cast<int>(std::ceil(height_m / resolution)), 0);
+}
+
+bool World::occupied(const Point2D& p) const {
+  const CellIndex c = frame_.world_to_cell(p);
+  return occupied_cell(c);
+}
+
+bool World::occupied_cell(CellIndex c) const {
+  if (!grid_.in_bounds(c)) return true;  // outside the map is solid
+  return grid_.at(c) != 0;
+}
+
+bool World::in_bounds(const Point2D& p) const {
+  return grid_.in_bounds(frame_.world_to_cell(p));
+}
+
+void World::set_occupied(const Point2D& p, bool value) {
+  const CellIndex c = frame_.world_to_cell(p);
+  if (grid_.in_bounds(c)) grid_.at(c) = value ? 1 : 0;
+}
+
+void World::add_box(const Point2D& min, const Point2D& max) {
+  const CellIndex lo = frame_.world_to_cell(min);
+  const CellIndex hi = frame_.world_to_cell(max);
+  for (int y = std::max(0, lo.y); y <= std::min(grid_.height() - 1, hi.y); ++y) {
+    for (int x = std::max(0, lo.x); x <= std::min(grid_.width() - 1, hi.x); ++x) {
+      grid_.at(x, y) = 1;
+    }
+  }
+}
+
+void World::add_wall(const Point2D& a, const Point2D& b, double thickness) {
+  const double len = distance(a, b);
+  const int steps = std::max(1, static_cast<int>(len / (frame_.resolution * 0.5)));
+  for (int i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / steps;
+    const Point2D p = a + (b - a) * t;
+    add_box({p.x - thickness / 2, p.y - thickness / 2},
+            {p.x + thickness / 2, p.y + thickness / 2});
+  }
+}
+
+void World::add_disc(const Point2D& center, double radius) {
+  const CellIndex lo = frame_.world_to_cell({center.x - radius, center.y - radius});
+  const CellIndex hi = frame_.world_to_cell({center.x + radius, center.y + radius});
+  for (int y = std::max(0, lo.y); y <= std::min(grid_.height() - 1, hi.y); ++y) {
+    for (int x = std::max(0, lo.x); x <= std::min(grid_.width() - 1, hi.x); ++x) {
+      if (distance(frame_.cell_to_world({x, y}), center) <= radius) grid_.at(x, y) = 1;
+    }
+  }
+}
+
+void World::add_outer_walls(double thickness) {
+  const double w = width_m(), h = height_m();
+  add_box({0, 0}, {w, thickness});
+  add_box({0, h - thickness}, {w, h});
+  add_box({0, 0}, {thickness, h});
+  add_box({w - thickness, 0}, {w, h});
+}
+
+double World::raycast(const Point2D& from, double angle, double max_range) const {
+  // DDA traversal over the grid.
+  const double dx = std::cos(angle), dy = std::sin(angle);
+  const double res = frame_.resolution;
+  CellIndex cell = frame_.world_to_cell(from);
+  if (occupied_cell(cell)) return 0.0;
+
+  const int step_x = dx > 0 ? 1 : -1;
+  const int step_y = dy > 0 ? 1 : -1;
+  // Parametric distance to the next vertical / horizontal cell boundary.
+  const double cell_min_x = frame_.origin.x + cell.x * res;
+  const double cell_min_y = frame_.origin.y + cell.y * res;
+  double t_max_x = dx != 0.0
+                       ? ((dx > 0 ? cell_min_x + res : cell_min_x) - from.x) / dx
+                       : std::numeric_limits<double>::infinity();
+  double t_max_y = dy != 0.0
+                       ? ((dy > 0 ? cell_min_y + res : cell_min_y) - from.y) / dy
+                       : std::numeric_limits<double>::infinity();
+  const double t_delta_x =
+      dx != 0.0 ? res / std::abs(dx) : std::numeric_limits<double>::infinity();
+  const double t_delta_y =
+      dy != 0.0 ? res / std::abs(dy) : std::numeric_limits<double>::infinity();
+
+  double t = 0.0;
+  while (t <= max_range) {
+    if (t_max_x < t_max_y) {
+      t = t_max_x;
+      t_max_x += t_delta_x;
+      cell.x += step_x;
+    } else {
+      t = t_max_y;
+      t_max_y += t_delta_y;
+      cell.y += step_y;
+    }
+    if (t > max_range) break;
+    if (occupied_cell(cell)) return t;
+  }
+  return max_range;
+}
+
+bool World::line_of_sight(const Point2D& a, const Point2D& b) const {
+  const double d = distance(a, b);
+  if (d < 1e-9) return !occupied(a);
+  const double angle = std::atan2(b.y - a.y, b.x - a.x);
+  return raycast(a, angle, d) >= d - 1e-9;
+}
+
+bool World::collides(const Point2D& p, double radius) const {
+  const CellIndex lo = frame_.world_to_cell({p.x - radius, p.y - radius});
+  const CellIndex hi = frame_.world_to_cell({p.x + radius, p.y + radius});
+  for (int y = lo.y; y <= hi.y; ++y) {
+    for (int x = lo.x; x <= hi.x; ++x) {
+      if (!grid_.in_bounds(x, y)) return true;
+      if (grid_.at(x, y) != 0 &&
+          distance(frame_.cell_to_world({x, y}), p) <= radius + frame_.resolution * 0.5) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace lgv::sim

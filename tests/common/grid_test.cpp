@@ -1,0 +1,54 @@
+#include "common/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv {
+namespace {
+
+TEST(Grid, ConstructionAndFill) {
+  Grid<int> g(4, 3, 7);
+  EXPECT_EQ(g.width(), 4);
+  EXPECT_EQ(g.height(), 3);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_EQ(g.at(0, 0), 7);
+  EXPECT_EQ(g.at(3, 2), 7);
+  g.fill(-1);
+  EXPECT_EQ(g.at(2, 1), -1);
+}
+
+TEST(Grid, InBounds) {
+  Grid<int> g(4, 3);
+  EXPECT_TRUE(g.in_bounds(0, 0));
+  EXPECT_TRUE(g.in_bounds(3, 2));
+  EXPECT_FALSE(g.in_bounds(4, 0));
+  EXPECT_FALSE(g.in_bounds(0, 3));
+  EXPECT_FALSE(g.in_bounds(-1, 0));
+}
+
+TEST(Grid, RowMajorLayout) {
+  Grid<int> g(3, 2, 0);
+  g.at(1, 0) = 10;
+  g.at(0, 1) = 20;
+  EXPECT_EQ(g.data()[1], 10);
+  EXPECT_EQ(g.data()[3], 20);
+}
+
+TEST(GridFrame, WorldCellRoundTrip) {
+  GridFrame f{{-1.0, 2.0}, 0.1};
+  const CellIndex c = f.world_to_cell({0.0, 2.55});
+  EXPECT_EQ(c.x, 10);
+  EXPECT_EQ(c.y, 5);
+  const Point2D center = f.cell_to_world(c);
+  EXPECT_NEAR(center.x, 0.05, 1e-12);
+  EXPECT_NEAR(center.y, 2.55, 1e-12);
+  EXPECT_EQ(f.world_to_cell(center), c);
+}
+
+TEST(GridFrame, NegativeCoordinatesFloorCorrectly) {
+  GridFrame f{{0.0, 0.0}, 1.0};
+  EXPECT_EQ(f.world_to_cell({-0.5, -0.5}).x, -1);
+  EXPECT_EQ(f.world_to_cell({-0.5, -0.5}).y, -1);
+}
+
+}  // namespace
+}  // namespace lgv

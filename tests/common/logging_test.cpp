@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace lgv {
+namespace {
+
+TEST(Logger, LevelGateControlsOutput) {
+  Logger& log = Logger::instance();
+  const LogLevel prev = log.level();
+  log.set_level(LogLevel::kError);
+  EXPECT_EQ(log.level(), LogLevel::kError);
+  // Macros below the level expand to no-ops (no crash, no output assertion —
+  // we only verify the gate logic and that logging is safe to call).
+  LGV_DEBUG("test", "invisible ", 42);
+  LGV_INFO("test", "invisible");
+  log.set_level(LogLevel::kOff);
+  LGV_ERROR("test", "also invisible");
+  log.set_level(prev);
+}
+
+TEST(Logger, FormatHelperConcatenates) {
+  EXPECT_EQ(detail::format_log("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(detail::format_log(), "");
+}
+
+TEST(SimClock, AdvanceAndReset) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(0.5);
+  clock.advance(0.25);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.75);
+  clock.set(10.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace lgv

@@ -1,0 +1,113 @@
+#include "common/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace lgv {
+namespace {
+
+TEST(Wire, VarintRoundTrip) {
+  WireWriter w;
+  const std::vector<uint64_t> values = {0, 1, 127, 128, 300, 1ull << 32,
+                                        std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) w.put_varint(v);
+  WireReader r(w.buffer());
+  for (uint64_t v : values) EXPECT_EQ(r.get_varint(), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, VarintCompactEncoding) {
+  WireWriter w;
+  w.put_varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.put_varint(300);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(Wire, SignedZigzag) {
+  WireWriter w;
+  const std::vector<int64_t> values = {0, -1, 1, -64, 64, -1000000,
+                                       std::numeric_limits<int64_t>::min(),
+                                       std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) w.put_signed(v);
+  WireReader r(w.buffer());
+  for (int64_t v : values) EXPECT_EQ(r.get_signed(), v);
+}
+
+TEST(Wire, DoubleRoundTripExact) {
+  WireWriter w;
+  const std::vector<double> values = {0.0, -0.0, 1.5, -3.14159,
+                                      std::numeric_limits<double>::infinity(),
+                                      std::numeric_limits<double>::denorm_min(),
+                                      1e300};
+  for (double v : values) w.put_double(v);
+  WireReader r(w.buffer());
+  for (double v : values) EXPECT_EQ(r.get_double(), v);
+}
+
+TEST(Wire, FloatRoundTrip) {
+  WireWriter w;
+  w.put_float(1.25f);
+  w.put_float(-7.5e-3f);
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.get_float(), 1.25f);
+  EXPECT_EQ(r.get_float(), -7.5e-3f);
+}
+
+TEST(Wire, StringRoundTrip) {
+  WireWriter w;
+  w.put_string("");
+  w.put_string("hello world");
+  w.put_string(std::string("\x00\x01\xff", 3));
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), "hello world");
+  EXPECT_EQ(r.get_string(), std::string("\x00\x01\xff", 3));
+}
+
+TEST(Wire, RepeatedFields) {
+  WireWriter w;
+  w.put_repeated_double<double>({1.0, 2.0, 3.0});
+  w.put_repeated_float<float>({0.5f, -0.5f});
+  w.put_repeated_i8({-1, 0, 100});
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.get_repeated_double(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(r.get_repeated_float(), (std::vector<float>{0.5f, -0.5f}));
+  EXPECT_EQ(r.get_repeated_i8(), (std::vector<int8_t>{-1, 0, 100}));
+}
+
+TEST(Wire, RawBytes) {
+  WireWriter w;
+  const uint8_t data[] = {1, 2, 3, 250};
+  w.put_bytes(data, sizeof(data));
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.get_raw(4), (std::vector<uint8_t>{1, 2, 3, 250}));
+}
+
+TEST(Wire, TruncatedBufferThrows) {
+  WireWriter w;
+  w.put_double(1.0);
+  std::vector<uint8_t> bytes = w.take();
+  bytes.resize(4);
+  WireReader r(bytes);
+  EXPECT_THROW(r.get_double(), std::out_of_range);
+}
+
+TEST(Wire, TruncatedStringThrows) {
+  WireWriter w;
+  w.put_string("abcdef");
+  std::vector<uint8_t> bytes = w.take();
+  bytes.resize(3);
+  WireReader r(bytes);
+  EXPECT_THROW(r.get_string(), std::out_of_range);
+}
+
+TEST(Wire, EmptyReaderThrowsOnRead) {
+  const std::vector<uint8_t> empty;
+  WireReader r(empty);
+  EXPECT_THROW(r.get_varint(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace lgv

@@ -1,0 +1,75 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv {
+namespace {
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(2.0);
+  s.add(4.0);
+  s.add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Percentile, Interpolation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(TimeWindow, RateOverWindow) {
+  TimeWindow w(1.0);
+  for (int i = 0; i < 5; ++i) w.add(0.1 * i, 1.0);
+  EXPECT_DOUBLE_EQ(w.rate(0.5), 5.0);
+  // One second later everything expired.
+  EXPECT_DOUBLE_EQ(w.rate(2.0), 0.0);
+}
+
+TEST(TimeWindow, ExpiresOldEntries) {
+  TimeWindow w(1.0);
+  w.add(0.0, 2.0);
+  w.add(0.9, 3.0);
+  w.expire(1.5);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.sum(), 3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+}
+
+TEST(TimeWindow, BandwidthScenario) {
+  // 5 Hz stream degrading to 1 Hz — the Algorithm 2 trigger case.
+  TimeWindow w(1.0);
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i, t += 0.2) w.add(t, 1.0);
+  EXPECT_NEAR(w.rate(t), 5.0, 1.0);
+  // Now only one packet in the last second.
+  t += 1.0;
+  w.add(t, 1.0);
+  EXPECT_NEAR(w.rate(t), 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace lgv

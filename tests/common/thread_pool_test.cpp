@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace lgv {
+namespace {
+
+TEST(ChunkRange, EvenSplit) {
+  const ChunkRange r0 = chunk_range(8, 4, 0);
+  EXPECT_EQ(r0.begin, 0u);
+  EXPECT_EQ(r0.end, 2u);
+  const ChunkRange r3 = chunk_range(8, 4, 3);
+  EXPECT_EQ(r3.begin, 6u);
+  EXPECT_EQ(r3.end, 8u);
+}
+
+TEST(ChunkRange, RemainderGoesToLeadingChunks) {
+  // 10 items over 4 chunks → 3,3,2,2.
+  EXPECT_EQ(chunk_range(10, 4, 0).end - chunk_range(10, 4, 0).begin, 3u);
+  EXPECT_EQ(chunk_range(10, 4, 1).end - chunk_range(10, 4, 1).begin, 3u);
+  EXPECT_EQ(chunk_range(10, 4, 2).end - chunk_range(10, 4, 2).begin, 2u);
+  EXPECT_EQ(chunk_range(10, 4, 3).end - chunk_range(10, 4, 3).begin, 2u);
+}
+
+TEST(ChunkRange, CoversAllItemsExactlyOnce) {
+  for (size_t count : {1u, 7u, 24u, 100u}) {
+    for (size_t chunks : {1u, 3u, 8u}) {
+      std::vector<int> hits(count, 0);
+      for (size_t c = 0; c < chunks; ++c) {
+        const ChunkRange r = chunk_range(count, chunks, c);
+        for (size_t i = r.begin; i < r.end; ++i) ++hits[i];
+      }
+      for (size_t i = 0; i < count; ++i) EXPECT_EQ(hits[i], 1) << count << " " << chunks;
+    }
+  }
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelChunksSumMatches) {
+  ThreadPool pool(4);
+  std::vector<long> data(257);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<long> total{0};
+  pool.parallel_chunks(data.size(), 4, [&](size_t begin, size_t end) {
+    long local = 0;
+    for (size_t i = begin; i < end; ++i) local += data[i];
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), 257L * 256L / 2L);
+}
+
+TEST(ThreadPool, ParallelChunksMoreChunksThanItems) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.parallel_chunks(3, 8, [&](size_t begin, size_t end) {
+    EXPECT_LT(begin, end);
+    calls.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, ReentrantUseAfterWait) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> n{0};
+    pool.parallel_for(50, [&n](size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 50);
+  }
+}
+
+TEST(ThreadPool, DestructionWithPendingWorkJoinsCleanly) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+}  // namespace
+}  // namespace lgv

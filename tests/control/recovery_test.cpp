@@ -1,0 +1,147 @@
+#include "control/recovery.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::control {
+namespace {
+
+RecoveryConfig fast_config() {
+  RecoveryConfig cfg;
+  cfg.stuck_time = 2.0;
+  cfg.backup_time = 1.0;
+  cfg.cooldown = 1.0;
+  return cfg;
+}
+
+TEST(Recovery, IdleWhileMoving) {
+  RecoveryBehavior rb(fast_config());
+  for (double t = 0; t < 10.0; t += 0.1) {
+    EXPECT_FALSE(rb.update(t, 0.4, true, 0.5).has_value());
+  }
+  EXPECT_EQ(rb.recoveries_triggered(), 0);
+}
+
+TEST(Recovery, IdleWithoutGoal) {
+  RecoveryBehavior rb(fast_config());
+  for (double t = 0; t < 10.0; t += 0.1) {
+    EXPECT_FALSE(rb.update(t, 0.0, false, std::nullopt).has_value());
+  }
+  EXPECT_EQ(rb.recoveries_triggered(), 0);
+}
+
+TEST(Recovery, TriggersAfterStuckTime) {
+  RecoveryBehavior rb(fast_config());
+  double t = 0.0;
+  std::optional<Velocity2D> cmd;
+  for (; t < 5.0; t += 0.1) {
+    cmd = rb.update(t, 0.01, true, 1.0);
+    if (cmd.has_value()) break;
+  }
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_GE(t, 2.0);        // not before stuck_time
+  EXPECT_LT(cmd->linear, 0.0);  // phase 1: backup
+  EXPECT_TRUE(rb.recovering());
+  EXPECT_EQ(rb.recoveries_triggered(), 1);
+}
+
+TEST(Recovery, BackupThenRotateTowardCarrot) {
+  RecoveryBehavior rb(fast_config());
+  double t = 0.0;
+  // Get into recovery.
+  while (!rb.update(t, 0.01, true, 1.2).has_value()) t += 0.1;
+  // Backup phase lasts backup_time.
+  const double backup_started = t;
+  std::optional<Velocity2D> cmd;
+  while (t < backup_started + 0.9) {
+    t += 0.1;
+    cmd = rb.update(t, 0.01, true, 1.2);
+    ASSERT_TRUE(cmd.has_value());
+    EXPECT_LT(cmd->linear, 0.0);
+  }
+  // Then rotation toward a positive heading error.
+  t += 0.3;
+  cmd = rb.update(t, 0.01, true, 1.2);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_DOUBLE_EQ(cmd->linear, 0.0);
+  EXPECT_GT(cmd->angular, 0.0);
+  // Negative error rotates the other way.
+  cmd = rb.update(t + 0.1, 0.01, true, -1.2);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_LT(cmd->angular, 0.0);
+}
+
+TEST(Recovery, CompletesWhenAligned) {
+  RecoveryBehavior rb(fast_config());
+  double t = 0.0;
+  while (!rb.update(t, 0.01, true, 1.2).has_value()) t += 0.1;
+  // Finish backup.
+  for (int i = 0; i < 12; ++i) {
+    t += 0.1;
+    rb.update(t, 0.01, true, 1.2);
+  }
+  ASSERT_TRUE(rb.recovering());
+  // Aligned: recovery ends, control returns to path tracking.
+  const auto cmd = rb.update(t + 0.1, 0.01, true, 0.05);
+  EXPECT_FALSE(cmd.has_value());
+  EXPECT_FALSE(rb.recovering());
+}
+
+TEST(Recovery, AbortsAfterMaxTime) {
+  RecoveryConfig cfg = fast_config();
+  cfg.max_recovery_time = 3.0;
+  RecoveryBehavior rb(cfg);
+  double t = 0.0;
+  while (!rb.update(t, 0.01, true, 3.0).has_value()) t += 0.1;
+  const double started = t;
+  while (t < started + 5.0) {
+    t += 0.1;
+    if (!rb.update(t, 0.01, true, 3.0).has_value()) break;
+  }
+  EXPECT_FALSE(rb.recovering());
+  EXPECT_LT(t, started + 3.5);
+}
+
+TEST(Recovery, CooldownBetweenRecoveries) {
+  RecoveryConfig cfg = fast_config();
+  cfg.cooldown = 5.0;
+  RecoveryBehavior rb(cfg);
+  double t = 0.0;
+  while (!rb.update(t, 0.01, true, 1.0).has_value()) t += 0.1;
+  // Complete it by aligning.
+  for (int i = 0; i < 12; ++i) {
+    t += 0.1;
+    rb.update(t, 0.01, true, 1.0);
+  }
+  rb.update(t += 0.1, 0.01, true, 0.0);
+  ASSERT_FALSE(rb.recovering());
+  const double ended = t;
+  // Still stuck, but within cooldown: no new recovery.
+  while (t < ended + 4.5) {
+    t += 0.1;
+    EXPECT_FALSE(rb.update(t, 0.01, true, 1.0).has_value());
+  }
+  // After the cooldown + stuck_time it fires again.
+  while (t < ended + 12.0) {
+    t += 0.1;
+    if (rb.update(t, 0.01, true, 1.0).has_value()) break;
+  }
+  EXPECT_EQ(rb.recoveries_triggered(), 2);
+}
+
+TEST(Recovery, MovementResetsStuckTimer) {
+  RecoveryBehavior rb(fast_config());
+  double t = 0.0;
+  // Alternate slow and fast before the stuck_time elapses.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 15; ++i) {
+      t += 0.1;
+      EXPECT_FALSE(rb.update(t, 0.01, true, 1.0).has_value());
+    }
+    t += 0.1;
+    rb.update(t, 0.5, true, 1.0);  // a burst of motion resets the timer
+  }
+  EXPECT_EQ(rb.recoveries_triggered(), 0);
+}
+
+}  // namespace
+}  // namespace lgv::control

@@ -1,0 +1,70 @@
+#include "control/safety_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace lgv::control {
+namespace {
+
+msg::LaserScan scan_with_forward_range(double forward, double elsewhere = 3.0) {
+  msg::LaserScan s;
+  s.angle_min = -std::numbers::pi;
+  s.angle_max = std::numbers::pi;
+  s.angle_increment = 2.0 * std::numbers::pi / 360.0;
+  s.range_min = 0.12;
+  s.range_max = 3.5;
+  s.ranges.assign(360, static_cast<float>(elsewhere));
+  // Beam index for relative angle 0 is 180.
+  s.ranges[180] = static_cast<float>(forward);
+  return s;
+}
+
+TEST(Safety, NoInterventionWhenClear) {
+  SafetyController safety;
+  EXPECT_FALSE(safety.evaluate(scan_with_forward_range(2.0)).has_value());
+}
+
+TEST(Safety, BacksOffWhenTouching) {
+  SafetyController safety;
+  const auto cmd = safety.evaluate(scan_with_forward_range(0.14));
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_LT(cmd->linear, 0.0);
+}
+
+TEST(Safety, NoForwardCommandEver) {
+  // Safety must never command forward motion — that would livelock the base
+  // against an obstacle at max priority.
+  SafetyController safety;
+  for (double d = 0.13; d < 3.0; d += 0.07) {
+    const auto cmd = safety.evaluate(scan_with_forward_range(d));
+    if (cmd.has_value()) EXPECT_LE(cmd->linear, 0.0) << "at range " << d;
+  }
+}
+
+TEST(Safety, IgnoresObstaclesBehind) {
+  SafetyController safety;
+  msg::LaserScan s = scan_with_forward_range(3.0);
+  s.ranges[0] = 0.13;  // directly behind
+  s.ranges[359] = 0.13;
+  EXPECT_FALSE(safety.evaluate(s).has_value());
+}
+
+TEST(Safety, IgnoresInvalidRanges) {
+  SafetyController safety;
+  msg::LaserScan s = scan_with_forward_range(3.0);
+  s.ranges[180] = 0.01f;  // below range_min: spurious reading
+  EXPECT_FALSE(safety.evaluate(s).has_value());
+}
+
+TEST(Safety, ConfigurableDistances) {
+  SafetyConfig cfg;
+  cfg.stop_distance = 0.5;
+  SafetyController safety(cfg);
+  const auto cmd = safety.evaluate(scan_with_forward_range(0.4));
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_LT(cmd->linear, 0.0);
+}
+
+}  // namespace
+}  // namespace lgv::control

@@ -1,0 +1,77 @@
+#include "control/velocity_mux.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::control {
+namespace {
+
+class MuxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mux.add_input({"path_tracking", 10, 0.5});
+    mux.add_input({"safety", 100, 0.2});
+    mux.add_input({"joystick", 50, 1.0});
+  }
+  VelocityMultiplexer mux;
+  platform::ExecutionContext ctx;
+};
+
+TEST_F(MuxTest, SelectsOnlyFreshSource) {
+  mux.on_command("path_tracking", {0.3, 0.1}, 1.0);
+  const Velocity2D v = mux.select(1.1, ctx);
+  EXPECT_DOUBLE_EQ(v.linear, 0.3);
+  EXPECT_EQ(mux.active_source(), "path_tracking");
+}
+
+TEST_F(MuxTest, HigherPriorityWins) {
+  mux.on_command("path_tracking", {0.3, 0.0}, 1.0);
+  mux.on_command("safety", {-0.05, 0.0}, 1.0);
+  const Velocity2D v = mux.select(1.05, ctx);
+  EXPECT_DOUBLE_EQ(v.linear, -0.05);
+  EXPECT_EQ(mux.active_source(), "safety");
+}
+
+TEST_F(MuxTest, ExpiredHighPriorityFallsBack) {
+  mux.on_command("path_tracking", {0.3, 0.0}, 1.0);
+  mux.on_command("safety", {-0.05, 0.0}, 1.0);
+  // At t=1.3 safety (timeout 0.2) is stale; path_tracking (0.5) is fresh.
+  const Velocity2D v = mux.select(1.3, ctx);
+  EXPECT_DOUBLE_EQ(v.linear, 0.3);
+}
+
+TEST_F(MuxTest, AllStaleGivesSafetyStop) {
+  mux.on_command("path_tracking", {0.3, 0.0}, 1.0);
+  const Velocity2D v = mux.select(5.0, ctx);
+  EXPECT_DOUBLE_EQ(v.linear, 0.0);
+  EXPECT_DOUBLE_EQ(v.angular, 0.0);
+  EXPECT_FALSE(mux.active_source().has_value());
+}
+
+TEST_F(MuxTest, UnknownSourceThrows) {
+  EXPECT_THROW(mux.on_command("nope", {}, 0.0), std::invalid_argument);
+  EXPECT_THROW(mux.set_timeout("nope", 1.0), std::invalid_argument);
+}
+
+TEST_F(MuxTest, TimeoutCanBeRetuned) {
+  mux.on_command("path_tracking", {0.3, 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(mux.select(1.9, ctx).linear, 0.0);  // stale at 0.5 s window
+  mux.set_timeout("path_tracking", 2.0);
+  mux.on_command("path_tracking", {0.3, 0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(mux.select(3.5, ctx).linear, 0.3);  // fresh at 2 s window
+}
+
+TEST_F(MuxTest, ArbitrationChargesWork) {
+  mux.select(0.0, ctx);
+  EXPECT_GT(ctx.profile().total_cycles(), 0.0);
+}
+
+TEST_F(MuxTest, LatestCommandFromSameSourceWins) {
+  mux.on_command("path_tracking", {0.3, 0.0}, 1.0);
+  mux.on_command("path_tracking", {0.1, 0.2}, 1.1);
+  const Velocity2D v = mux.select(1.2, ctx);
+  EXPECT_DOUBLE_EQ(v.linear, 0.1);
+  EXPECT_DOUBLE_EQ(v.angular, 0.2);
+}
+
+}  // namespace
+}  // namespace lgv::control

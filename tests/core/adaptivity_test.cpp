@@ -1,0 +1,99 @@
+// §VIII-E adaptivity features: runtime thread shedding and battery-limited
+// missions.
+#include <gtest/gtest.h>
+
+#include "core/mission_runner.h"
+#include "core/offload_runtime.h"
+
+namespace lgv::core {
+namespace {
+
+using platform::Host;
+
+TEST(ThreadShedding, ActiveThreadsClampedToPlan) {
+  OffloadRuntime rt(offload_plan("gw8", Host::kEdgeGateway, 8,
+                                 WorkloadKind::kNavigationWithMap),
+                    {0, 0});
+  EXPECT_EQ(rt.active_threads(), 8);
+  rt.set_active_threads(4);
+  EXPECT_EQ(rt.active_threads(), 4);
+  rt.set_active_threads(100);
+  EXPECT_EQ(rt.active_threads(), 8);
+  rt.set_active_threads(0);
+  EXPECT_EQ(rt.active_threads(), 1);
+}
+
+TEST(ThreadShedding, ContextFollowsActiveThreads) {
+  OffloadRuntime rt(offload_plan("gw8", Host::kEdgeGateway, 8,
+                                 WorkloadKind::kNavigationWithMap),
+                    {0, 0});
+  rt.apply_initial_placement();
+  rt.set_active_threads(4);
+  EXPECT_EQ(rt.make_context(NodeId::kPathTracking).threads(), 4);
+  rt.set_active_threads(1);
+  // A single thread means no pool dispatch at all.
+  EXPECT_EQ(rt.make_context(NodeId::kPathTracking).pool(), nullptr);
+}
+
+TEST(ThreadShedding, ShedThreadsStillCompleteMission) {
+  MissionConfig cfg;
+  cfg.rollout_samples = 400;
+  cfg.timeout = 400.0;
+  cfg.adaptive_parallelism = true;
+  MissionRunner runner(
+      sim::make_open_scenario(),
+      offload_plan("gw8", Host::kEdgeGateway, 8, WorkloadKind::kNavigationWithMap),
+      cfg);
+  const MissionReport r = runner.run();
+  EXPECT_TRUE(r.success);
+  // The open arena has turns and obstacle dodges — some shedding occurs.
+  EXPECT_LE(r.min_active_threads, 8);
+  EXPECT_GE(r.min_active_threads, 1);
+}
+
+TEST(Battery, MissionReportsRemainingCharge) {
+  MissionConfig cfg;
+  cfg.rollout_samples = 200;
+  MissionRunner runner(sim::make_open_scenario(),
+                       local_plan(WorkloadKind::kNavigationWithMap), cfg);
+  const MissionReport r = runner.run();
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(r.battery_state_of_charge, 1.0);
+  EXPECT_GT(r.battery_state_of_charge, 0.9);  // one short mission barely dents it
+  // Consistency: drained energy equals the report's total.
+  EXPECT_NEAR((1.0 - r.battery_state_of_charge) * cfg.battery_wh * 3600.0,
+              r.energy.total(), 1.0);
+}
+
+TEST(Battery, TinyBatteryFailsTheMission) {
+  MissionConfig cfg;
+  cfg.rollout_samples = 200;
+  cfg.battery_wh = 0.01;  // 36 J — dies within seconds
+  MissionRunner runner(sim::make_open_scenario(),
+                       local_plan(WorkloadKind::kNavigationWithMap), cfg);
+  const MissionReport r = runner.run();
+  EXPECT_FALSE(r.success);
+  EXPECT_LE(r.battery_state_of_charge, 0.0 + 1e-6);
+  EXPECT_LT(r.completion_time, 60.0);  // died early, not a timeout
+}
+
+TEST(Battery, OffloadingStretchesTheBattery) {
+  // The paper's §I motivation: the same pack does more work when computation
+  // is offloaded.
+  MissionConfig cfg;
+  cfg.rollout_samples = 200;
+  MissionRunner local_runner(sim::make_open_scenario(),
+                             local_plan(WorkloadKind::kNavigationWithMap), cfg);
+  MissionRunner off_runner(
+      sim::make_open_scenario(),
+      offload_plan("gw8", Host::kEdgeGateway, 8, WorkloadKind::kNavigationWithMap),
+      cfg);
+  const MissionReport local = local_runner.run();
+  const MissionReport off = off_runner.run();
+  ASSERT_TRUE(local.success);
+  ASSERT_TRUE(off.success);
+  EXPECT_GT(off.battery_state_of_charge, local.battery_state_of_charge);
+}
+
+}  // namespace
+}  // namespace lgv::core

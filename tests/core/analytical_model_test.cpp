@@ -1,0 +1,88 @@
+#include "core/analytical_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lgv::core {
+namespace {
+
+TEST(Eq2c, ZeroLatencyGivesCeiling) {
+  // v_max(0) = √(2·d·a_max); with d=1, a=0.5 → 1.0 m/s.
+  EXPECT_NEAR(max_velocity(0.0, 0.5, 1.0), 1.0, 1e-12);
+}
+
+TEST(Eq2c, MonotoneDecreasingInProcessingTime) {
+  double prev = 1e9;
+  for (double tp = 0.0; tp < 10.0; tp += 0.25) {
+    const double v = max_velocity(tp, 0.5, 1.0);
+    EXPECT_LT(v, prev);
+    EXPECT_GT(v, 0.0);
+    prev = v;
+  }
+}
+
+TEST(Eq2c, LargeLatencyApproachesZero) {
+  EXPECT_LT(max_velocity(100.0, 0.5, 1.0), 0.01);
+}
+
+TEST(Eq2c, InverseRoundTrips) {
+  for (double tp : {0.05, 0.3, 1.0, 3.0}) {
+    const double v = max_velocity(tp, 0.5, 1.0);
+    EXPECT_NEAR(max_processing_time_for_velocity(v, 0.5, 1.0), tp, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(max_processing_time_for_velocity(1.0, 0.5, 1.0), 0.0);
+}
+
+TEST(Eq2c, HigherAccelOrStoppingDistanceAllowsMoreSpeed) {
+  EXPECT_GT(max_velocity(0.5, 1.0, 1.0), max_velocity(0.5, 0.5, 1.0));
+  EXPECT_GT(max_velocity(0.5, 0.5, 2.0), max_velocity(0.5, 0.5, 1.0));
+}
+
+TEST(Eq2b, MakespanIsSum) {
+  EXPECT_DOUBLE_EQ(vdp_makespan(0.1, 0.02, 0.015), 0.135);
+}
+
+TEST(Eq1b, TransmissionEnergy) {
+  // 2940 B at 20 Mbps with 1.3 W radio.
+  EXPECT_NEAR(transmission_energy(1.3, 2940.0, 20e6), 1.3 * 2940 * 8 / 20e6, 1e-12);
+  EXPECT_DOUBLE_EQ(transmission_energy(1.3, 100.0, 0.0), 0.0);
+  // Slower uplink costs more energy for the same bytes.
+  EXPECT_GT(transmission_energy(1.3, 2940.0, 2e6),
+            transmission_energy(1.3, 2940.0, 20e6));
+}
+
+TEST(Eq1c, ComputePowerQuadraticInFrequency) {
+  const double k = 7e-10, l = 1e9;
+  EXPECT_NEAR(compute_power(k, l, 2.0) / compute_power(k, l, 1.0), 4.0, 1e-9);
+  EXPECT_NEAR(compute_power(k, 2.0 * l, 1.0) / compute_power(k, l, 1.0), 2.0, 1e-9);
+}
+
+TEST(Eq1d, MotorPowerShape) {
+  EXPECT_DOUBLE_EQ(motor_power(1.0, 2.0, 0.0, 0.1, 0.0), 0.0);  // parked
+  const double p0 = motor_power(1.0, 2.0, 0.0, 0.1, 0.5);
+  EXPECT_NEAR(p0, 1.0 + 2.0 * 9.81 * 0.1 * 0.5, 1e-9);
+  EXPECT_GT(motor_power(1.0, 2.0, 0.3, 0.1, 0.5), p0);        // accelerating
+  EXPECT_DOUBLE_EQ(motor_power(1.0, 2.0, -0.3, 0.1, 0.5), p0); // braking is free
+}
+
+TEST(MovingTime, InverselyRelatedToVelocity) {
+  const double fast = estimated_moving_time(10.0, 0.05, 0.5, 1.0);
+  const double slow = estimated_moving_time(10.0, 3.0, 0.5, 1.0);
+  EXPECT_LT(fast, slow);
+  EXPECT_NEAR(fast, 10.0 / max_velocity(0.05, 0.5, 1.0), 1e-9);
+}
+
+TEST(PaperOperatingPoints, LocalVsOffloadVelocityGap) {
+  // With Table II per-invocation cycles on the RPi, the local VDP runs at
+  // roughly (0.857+1.385)G / 0.84G ≈ 2.7 s → ~0.3 m/s; the accelerated
+  // gateway VDP at ~0.15 s → ~0.9 m/s. Fig. 12's several-fold velocity gap.
+  const double v_local = max_velocity(2.7, 0.5, 1.0);
+  const double v_gw = max_velocity(0.15, 0.5, 1.0);
+  EXPECT_LT(v_local, 0.4);
+  EXPECT_GT(v_gw, 0.85);
+  EXPECT_GT(v_gw / v_local, 2.5);
+}
+
+}  // namespace
+}  // namespace lgv::core

@@ -1,0 +1,46 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::core {
+namespace {
+
+TEST(Controller, VelocityCapFollowsEq2c) {
+  Controller c;
+  // Near-zero makespan → the √(2·d·a) ceiling of 1.0 m/s.
+  EXPECT_NEAR(c.velocity_cap(0.0), 1.0, 1e-9);
+  // Large makespan → clamped to the crawl floor.
+  EXPECT_DOUBLE_EQ(c.velocity_cap(1000.0), c.config().min_velocity);
+  // Monotone in between.
+  EXPECT_GT(c.velocity_cap(0.1), c.velocity_cap(1.0));
+  EXPECT_GT(c.velocity_cap(1.0), c.velocity_cap(3.0));
+}
+
+TEST(Controller, CapRespectsHardLimit) {
+  ControllerConfig cfg;
+  cfg.stopping_distance = 100.0;  // absurd ceiling
+  Controller c(cfg);
+  EXPECT_DOUBLE_EQ(c.velocity_cap(0.0), cfg.hard_max_velocity);
+}
+
+TEST(Controller, RecommendThreadsKeepsPoolWhenUtilized) {
+  Controller c;
+  EXPECT_EQ(c.recommend_threads(0.9, 1.0, 8), 8);
+}
+
+TEST(Controller, RecommendThreadsHalvesWhenUnderUtilized) {
+  // §VIII-E: obstacle-dense phases can't use the speed — shed parallelism.
+  Controller c;
+  EXPECT_EQ(c.recommend_threads(0.2, 1.0, 8), 4);
+  EXPECT_EQ(c.recommend_threads(0.1, 1.0, 2), 1);
+  EXPECT_EQ(c.recommend_threads(0.0, 1.0, 1), 1);  // floor at 1
+}
+
+TEST(Controller, RecommendThreadsHandlesDegenerateInputs) {
+  Controller c;
+  EXPECT_EQ(c.recommend_threads(0.5, 0.0, 8), 8);  // no cap info: keep
+  EXPECT_EQ(c.recommend_threads(0.5, 1.0, 1), 1);
+}
+
+}  // namespace
+}  // namespace lgv::core

@@ -1,0 +1,198 @@
+// End-to-end integration: full missions through the whole stack — simulated
+// robot + lidar, middleware graph, emulated wireless network, platform cost
+// models, Algorithm 1 placement and Algorithm 2 runtime adaptation.
+#include "core/mission_runner.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::core {
+namespace {
+
+using platform::Host;
+
+MissionConfig quick_config() {
+  MissionConfig cfg;
+  cfg.rollout_samples = 200;  // keep wall time modest; shape is unchanged
+  cfg.slam_particles = 10;
+  cfg.timeout = 600.0;
+  return cfg;
+}
+
+TEST(MissionIntegration, NavigationCompletesLocally) {
+  MissionRunner runner(sim::make_open_scenario(),
+                       local_plan(WorkloadKind::kNavigationWithMap), quick_config());
+  const MissionReport r = runner.run();
+  EXPECT_TRUE(r.success) << "completion_time=" << r.completion_time;
+  EXPECT_GT(r.distance_traveled, 5.0);
+  EXPECT_GT(r.energy.total(), 0.0);
+  EXPECT_GT(r.energy.motor, 0.0);
+  EXPECT_DOUBLE_EQ(r.energy.wireless, 0.0);  // nothing offloaded
+  EXPECT_EQ(r.placement_switches, 0u);
+}
+
+TEST(MissionIntegration, NavigationCompletesOffloaded) {
+  MissionRunner runner(
+      sim::make_open_scenario(),
+      offload_plan("gateway_8t", Host::kEdgeGateway, 8, WorkloadKind::kNavigationWithMap),
+      quick_config());
+  const MissionReport r = runner.run();
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.network.uplink_messages, 10u);  // scans crossed the link
+  EXPECT_GT(r.energy.wireless, 0.0);          // Eq. 1b charged
+}
+
+TEST(MissionIntegration, OffloadingShortensMissionAndSavesEnergy) {
+  // The headline Fig. 13 comparison, on the small arena.
+  MissionRunner local_runner(sim::make_open_scenario(),
+                             local_plan(WorkloadKind::kNavigationWithMap),
+                             quick_config());
+  MissionRunner gw_runner(
+      sim::make_open_scenario(),
+      offload_plan("gateway_8t", Host::kEdgeGateway, 8, WorkloadKind::kNavigationWithMap),
+      quick_config());
+  const MissionReport local = local_runner.run();
+  const MissionReport gw = gw_runner.run();
+  ASSERT_TRUE(local.success);
+  ASSERT_TRUE(gw.success);
+  EXPECT_LT(gw.completion_time, local.completion_time);
+  EXPECT_LT(gw.energy.total(), local.energy.total());
+  // Computer energy benefits the most; motor energy does not improve
+  // (it is velocity-proportional — §VIII-D).
+  EXPECT_LT(gw.energy.computer, 0.6 * local.energy.computer);
+  EXPECT_GT(gw.average_velocity, local.average_velocity);
+}
+
+TEST(MissionIntegration, VelocityCapHigherWhenOffloaded) {
+  MissionRunner local_runner(sim::make_open_scenario(),
+                             local_plan(WorkloadKind::kNavigationWithMap),
+                             quick_config());
+  MissionRunner gw_runner(
+      sim::make_open_scenario(),
+      offload_plan("gateway_8t", Host::kEdgeGateway, 8, WorkloadKind::kNavigationWithMap),
+      quick_config());
+  const MissionReport local = local_runner.run();
+  const MissionReport gw = gw_runner.run();
+  EXPECT_GT(gw.peak_velocity_cap, local.peak_velocity_cap);
+}
+
+TEST(MissionIntegration, ExplorationBuildsMap) {
+  MissionConfig cfg = quick_config();
+  cfg.timeout = 900.0;
+  MissionRunner runner(
+      sim::make_open_scenario(),
+      offload_plan("gateway_8t", Host::kEdgeGateway, 8,
+                   WorkloadKind::kExplorationWithoutMap, Goal::kEnergy),
+      cfg);
+  const MissionReport r = runner.run();
+  EXPECT_TRUE(r.success) << "explored " << r.explored_area_m2 << " m²";
+  // The open arena has ~60 m² of floor; most of it should be known.
+  EXPECT_GT(r.explored_area_m2, 30.0);
+  EXPECT_GT(r.node_cycles.count("localization"), 0u);
+}
+
+TEST(MissionIntegration, TableIIShapeEmergesFromExploration) {
+  MissionConfig cfg = quick_config();
+  cfg.slam_particles = 20;
+  cfg.rollout_samples = 400;
+  cfg.timeout = 600.0;
+  MissionRunner runner(
+      sim::make_open_scenario(),
+      offload_plan("gw", Host::kEdgeGateway, 8, WorkloadKind::kExplorationWithoutMap,
+                   Goal::kEnergy),
+      cfg);
+  const MissionReport r = runner.run();
+  // SLAM dominates, exploration and planning are tiny (Table II rows).
+  const double slam = r.node_cycles.at("localization");
+  EXPECT_GT(slam, r.node_cycles.at("costmap_gen"));
+  EXPECT_GT(r.node_cycles.at("costmap_gen"), r.node_cycles.at("path_planning"));
+  EXPECT_GT(r.node_cycles.at("path_tracking"), r.node_cycles.at("exploration"));
+}
+
+TEST(MissionIntegration, AdaptiveModeSwitchesUnderWeakSignal) {
+  // Goal far from the WAP with an aggressive path-loss exponent: the link
+  // dies on the way out; Algorithm 2 must bring the VDP home and the mission
+  // must still complete.
+  MissionConfig cfg = quick_config();
+  cfg.channel.path_loss_exponent = 6.0;  // outage ≈ 6 m from the WAP
+  cfg.timeout = 900.0;
+  MissionRunner adaptive(
+      sim::make_open_scenario(),
+      offload_plan("gw_adaptive", Host::kEdgeGateway, 8,
+                   WorkloadKind::kNavigationWithMap),
+      cfg);
+  const MissionReport r = adaptive.run();
+  EXPECT_TRUE(r.success) << "robot stranded at distance from goal";
+  EXPECT_GE(r.placement_switches, 1u);
+  // The trace must show the remote→local transition.
+  bool saw_remote = false, saw_local_after_remote = false;
+  for (const NetworkSample& s : r.network_trace) {
+    if (s.remote) saw_remote = true;
+    if (saw_remote && !s.remote) saw_local_after_remote = true;
+  }
+  EXPECT_TRUE(saw_remote);
+  EXPECT_TRUE(saw_local_after_remote);
+}
+
+TEST(MissionIntegration, NonAdaptiveOffloadStrandsUnderWeakSignal) {
+  // Ablation: same dead zone, Algorithm 2 disabled → the robot stalls and
+  // the mission fails (what §VI warns about).
+  MissionConfig cfg = quick_config();
+  cfg.channel.path_loss_exponent = 6.0;
+  cfg.timeout = 420.0;
+  DeploymentPlan plan = offload_plan("gw_static", Host::kEdgeGateway, 8,
+                                     WorkloadKind::kNavigationWithMap);
+  plan.adaptive = false;
+  MissionRunner runner(sim::make_open_scenario(), plan, cfg);
+  const MissionReport r = runner.run();
+  EXPECT_FALSE(r.success);
+  EXPECT_GT(r.standby_time, 30.0);  // long stranded period
+}
+
+TEST(MissionIntegration, VisionBackendCompletesNavigation) {
+  // §IX: the pipeline works unchanged for a vision-based LGV.
+  MissionConfig cfg = quick_config();
+  cfg.localization = LocalizationBackend::kVision;
+  cfg.timeout = 700.0;
+  MissionRunner runner(
+      sim::make_open_scenario(),
+      offload_plan("gw8", Host::kEdgeGateway, 8, WorkloadKind::kNavigationWithMap),
+      cfg);
+  const MissionReport r = runner.run();
+  EXPECT_TRUE(r.success);
+}
+
+TEST(MissionIntegration, VisionBackendIsSlowerThanLaser) {
+  // §IX: "a slower speed is needed to prevent the localization failure".
+  MissionConfig laser_cfg = quick_config();
+  MissionConfig vision_cfg = quick_config();
+  vision_cfg.localization = LocalizationBackend::kVision;
+  vision_cfg.timeout = 700.0;
+  MissionRunner laser(
+      sim::make_open_scenario(),
+      offload_plan("gw8", Host::kEdgeGateway, 8, WorkloadKind::kNavigationWithMap),
+      laser_cfg);
+  MissionRunner vision(
+      sim::make_open_scenario(),
+      offload_plan("gw8", Host::kEdgeGateway, 8, WorkloadKind::kNavigationWithMap),
+      vision_cfg);
+  const MissionReport lr = laser.run();
+  const MissionReport vr = vision.run();
+  ASSERT_TRUE(lr.success);
+  ASSERT_TRUE(vr.success);
+  EXPECT_LE(vr.average_velocity, lr.average_velocity + 0.05);
+}
+
+TEST(MissionIntegration, ReportsAreDeterministic) {
+  MissionRunner a(sim::make_open_scenario(),
+                  local_plan(WorkloadKind::kNavigationWithMap), quick_config());
+  MissionRunner b(sim::make_open_scenario(),
+                  local_plan(WorkloadKind::kNavigationWithMap), quick_config());
+  const MissionReport ra = a.run();
+  const MissionReport rb = b.run();
+  EXPECT_DOUBLE_EQ(ra.completion_time, rb.completion_time);
+  EXPECT_DOUBLE_EQ(ra.energy.total(), rb.energy.total());
+  EXPECT_DOUBLE_EQ(ra.distance_traveled, rb.distance_traveled);
+}
+
+}  // namespace
+}  // namespace lgv::core

@@ -1,0 +1,87 @@
+#include "core/network_quality.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::core {
+namespace {
+
+NetworkQualityConfig fast_config() {
+  NetworkQualityConfig cfg;
+  cfg.hysteresis_samples = 1;  // switch immediately for unit tests
+  return cfg;
+}
+
+TEST(Algorithm2, WeakAndRecedingGoesLocal) {
+  NetworkQualityController ctl(fast_config(), VdpPlacement::kRemote);
+  EXPECT_EQ(ctl.update({1.0, -0.3}), VdpPlacement::kLocal);
+  EXPECT_EQ(ctl.switches(), 1u);
+}
+
+TEST(Algorithm2, StrongAndApproachingGoesRemote) {
+  NetworkQualityController ctl(fast_config(), VdpPlacement::kLocal);
+  EXPECT_EQ(ctl.update({5.0, 0.3}), VdpPlacement::kRemote);
+}
+
+TEST(Algorithm2, MixedSignalsKeepPlacement) {
+  NetworkQualityController ctl(fast_config(), VdpPlacement::kRemote);
+  // Weak bandwidth but approaching the WAP: no switch (transient shadowing).
+  EXPECT_EQ(ctl.update({1.0, 0.3}), VdpPlacement::kRemote);
+  // Strong bandwidth but receding: no switch either.
+  EXPECT_EQ(ctl.update({5.0, -0.3}), VdpPlacement::kRemote);
+  EXPECT_EQ(ctl.switches(), 0u);
+}
+
+TEST(Algorithm2, ThresholdIsStrict) {
+  NetworkQualityController ctl(fast_config(), VdpPlacement::kRemote);
+  // Exactly at the threshold: neither r<th nor r>th — keep.
+  EXPECT_EQ(ctl.update({4.0, -0.3}), VdpPlacement::kRemote);
+}
+
+TEST(Algorithm2, HysteresisRequiresConsecutiveVotes) {
+  NetworkQualityConfig cfg;
+  cfg.hysteresis_samples = 3;
+  NetworkQualityController ctl(cfg, VdpPlacement::kRemote);
+  EXPECT_EQ(ctl.update({1.0, -0.3}), VdpPlacement::kRemote);  // 1 vote
+  EXPECT_EQ(ctl.update({1.0, -0.3}), VdpPlacement::kRemote);  // 2 votes
+  EXPECT_EQ(ctl.update({1.0, -0.3}), VdpPlacement::kLocal);   // 3 → switch
+}
+
+TEST(Algorithm2, NeutralObservationResetsVotes) {
+  NetworkQualityConfig cfg;
+  cfg.hysteresis_samples = 2;
+  NetworkQualityController ctl(cfg, VdpPlacement::kRemote);
+  ctl.update({1.0, -0.3});
+  ctl.update({4.5, 0.0});  // neutral: resets pending votes
+  EXPECT_EQ(ctl.update({1.0, -0.3}), VdpPlacement::kRemote);
+  EXPECT_EQ(ctl.update({1.0, -0.3}), VdpPlacement::kLocal);
+}
+
+TEST(Algorithm2, RoundTripScenario) {
+  // Fig. 11: drive away (bandwidth collapses, direction negative) → local;
+  // drive back (bandwidth recovers, direction positive) → remote.
+  NetworkQualityConfig cfg;
+  cfg.hysteresis_samples = 2;
+  NetworkQualityController ctl(cfg, VdpPlacement::kRemote);
+  // Strong near the WAP.
+  for (int i = 0; i < 5; ++i) ctl.update({5.0, -0.1});
+  EXPECT_EQ(ctl.placement(), VdpPlacement::kRemote);
+  // Entering the unstable area.
+  ctl.update({2.0, -0.2});
+  ctl.update({1.0, -0.2});
+  EXPECT_EQ(ctl.placement(), VdpPlacement::kLocal);
+  // Returning.
+  ctl.update({4.6, 0.2});
+  ctl.update({5.0, 0.2});
+  EXPECT_EQ(ctl.placement(), VdpPlacement::kRemote);
+  EXPECT_EQ(ctl.switches(), 2u);
+}
+
+TEST(Algorithm2, ForceOverrides) {
+  NetworkQualityController ctl(fast_config(), VdpPlacement::kRemote);
+  ctl.force(VdpPlacement::kLocal);
+  EXPECT_EQ(ctl.placement(), VdpPlacement::kLocal);
+  EXPECT_EQ(ctl.switches(), 0u);  // forced moves aren't Algorithm 2 switches
+}
+
+}  // namespace
+}  // namespace lgv::core

@@ -1,0 +1,96 @@
+#include "core/node_classifier.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::core {
+namespace {
+
+TEST(NodeClassifier, VdpMembershipIsStructural) {
+  // Fig. 2: CostmapGen → Path Tracking → Velocity Multiplexer.
+  EXPECT_TRUE(NodeClassifier::is_on_vdp(NodeId::kCostmapGen));
+  EXPECT_TRUE(NodeClassifier::is_on_vdp(NodeId::kPathTracking));
+  EXPECT_TRUE(NodeClassifier::is_on_vdp(NodeId::kVelocityMux));
+  EXPECT_FALSE(NodeClassifier::is_on_vdp(NodeId::kLocalization));
+  EXPECT_FALSE(NodeClassifier::is_on_vdp(NodeId::kPathPlanning));
+  EXPECT_FALSE(NodeClassifier::is_on_vdp(NodeId::kExploration));
+}
+
+TEST(NodeClassifier, StaticTraitsMatchTableII) {
+  using WK = WorkloadKind;
+  // With a map: ECNs are CostmapGen and Path Tracking.
+  EXPECT_TRUE(NodeClassifier::static_traits(NodeId::kCostmapGen, WK::kNavigationWithMap)
+                  .energy_critical);
+  EXPECT_TRUE(NodeClassifier::static_traits(NodeId::kPathTracking, WK::kNavigationWithMap)
+                  .energy_critical);
+  EXPECT_FALSE(NodeClassifier::static_traits(NodeId::kLocalization, WK::kNavigationWithMap)
+                   .energy_critical);
+  // Without a map: SLAM joins the ECN set.
+  EXPECT_TRUE(NodeClassifier::static_traits(NodeId::kLocalization,
+                                            WK::kExplorationWithoutMap)
+                  .energy_critical);
+  EXPECT_FALSE(NodeClassifier::static_traits(NodeId::kVelocityMux,
+                                             WK::kExplorationWithoutMap)
+                   .energy_critical);
+}
+
+TEST(NodeClassifier, Fig4Classes) {
+  using WK = WorkloadKind;
+  // T1 = ECN ∉ VDP: SLAM.
+  EXPECT_EQ(NodeClassifier::static_traits(NodeId::kLocalization, WK::kExplorationWithoutMap)
+                .node_class(),
+            NodeClass::kT1);
+  // T2 = ¬ECN ∈ VDP: Velocity Multiplexer.
+  EXPECT_EQ(NodeClassifier::static_traits(NodeId::kVelocityMux, WK::kNavigationWithMap)
+                .node_class(),
+            NodeClass::kT2);
+  // T3 = ECN ∈ VDP: CostmapGen, Path Tracking.
+  EXPECT_EQ(NodeClassifier::static_traits(NodeId::kCostmapGen, WK::kNavigationWithMap)
+                .node_class(),
+            NodeClass::kT3);
+  EXPECT_EQ(NodeClassifier::static_traits(NodeId::kPathTracking, WK::kNavigationWithMap)
+                .node_class(),
+            NodeClass::kT3);
+  // T4 = ¬ECN ∉ VDP: AMCL localization, Path Planning, Exploration.
+  EXPECT_EQ(NodeClassifier::static_traits(NodeId::kLocalization, WK::kNavigationWithMap)
+                .node_class(),
+            NodeClass::kT4);
+  EXPECT_EQ(NodeClassifier::static_traits(NodeId::kPathPlanning, WK::kNavigationWithMap)
+                .node_class(),
+            NodeClass::kT4);
+}
+
+TEST(NodeClassifier, MeasurementDrivenClassification) {
+  platform::WorkMeter meter;
+  // Table II "without a map" proportions (gigacycles).
+  meter.charge(node_name(NodeId::kLocalization), 3.327e9);
+  meter.charge(node_name(NodeId::kCostmapGen), 0.685e9);
+  meter.charge(node_name(NodeId::kPathPlanning), 0.052e9);
+  meter.charge(node_name(NodeId::kExploration), 0.011e9);
+  meter.charge(node_name(NodeId::kPathTracking), 1.207e9);
+
+  NodeClassifier classifier(0.10);
+  const auto traits = classifier.classify(meter, WorkloadKind::kExplorationWithoutMap);
+  EXPECT_TRUE(traits.at(NodeId::kLocalization).energy_critical);   // 62%
+  EXPECT_TRUE(traits.at(NodeId::kCostmapGen).energy_critical);     // 12%
+  EXPECT_TRUE(traits.at(NodeId::kPathTracking).energy_critical);   // 23%
+  EXPECT_FALSE(traits.at(NodeId::kPathPlanning).energy_critical);  // 1%
+  EXPECT_FALSE(traits.at(NodeId::kExploration).energy_critical);   // <1%
+  EXPECT_FALSE(traits.at(NodeId::kVelocityMux).energy_critical);
+}
+
+TEST(NodeClassifier, EmptyMeterFallsBackToStatic) {
+  platform::WorkMeter empty;
+  NodeClassifier classifier;
+  const auto traits = classifier.classify(empty, WorkloadKind::kNavigationWithMap);
+  EXPECT_TRUE(traits.at(NodeId::kCostmapGen).energy_critical);
+  EXPECT_FALSE(traits.at(NodeId::kLocalization).energy_critical);
+}
+
+TEST(NodeClassifier, NamesAreStable) {
+  EXPECT_STREQ(node_name(NodeId::kLocalization), "localization");
+  EXPECT_STREQ(node_name(NodeId::kPathTracking), "path_tracking");
+  EXPECT_EQ(all_nodes().size(), 6u);
+}
+
+}  // namespace
+}  // namespace lgv::core

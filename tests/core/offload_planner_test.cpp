@@ -1,0 +1,77 @@
+#include "core/offload_planner.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::core {
+namespace {
+
+using platform::Host;
+
+std::map<NodeId, NodeTraits> traits_for(WorkloadKind workload) {
+  std::map<NodeId, NodeTraits> out;
+  for (NodeId id : all_nodes()) out[id] = NodeClassifier::static_traits(id, workload);
+  return out;
+}
+
+TEST(Algorithm1, EnergyGoalOffloadsAllEcns) {
+  OffloadPlanner planner(Goal::kEnergy, Host::kCloudServer);
+  const auto traits = traits_for(WorkloadKind::kExplorationWithoutMap);
+  const OffloadDecision d = planner.decide(traits, 1.0, 0.5);
+  // T1 (SLAM) + T3 (CostmapGen, Path Tracking) go remote.
+  EXPECT_EQ(d.placement.at(NodeId::kLocalization), Host::kCloudServer);
+  EXPECT_EQ(d.placement.at(NodeId::kCostmapGen), Host::kCloudServer);
+  EXPECT_EQ(d.placement.at(NodeId::kPathTracking), Host::kCloudServer);
+  // T2 + T4 stay local.
+  EXPECT_EQ(d.placement.at(NodeId::kVelocityMux), Host::kLgv);
+  EXPECT_EQ(d.placement.at(NodeId::kPathPlanning), Host::kLgv);
+  EXPECT_EQ(d.placement.at(NodeId::kExploration), Host::kLgv);
+  EXPECT_TRUE(d.vdp_offloaded);
+}
+
+TEST(Algorithm1, EnergyGoalIgnoresNetworkLatency) {
+  // EC keeps ECNs remote even when the cloud VDP is slower — the goal is
+  // on-board energy, not speed.
+  OffloadPlanner planner(Goal::kEnergy, Host::kEdgeGateway);
+  const auto traits = traits_for(WorkloadKind::kNavigationWithMap);
+  const OffloadDecision d = planner.decide(traits, /*Tl=*/0.5, /*Tc=*/5.0);
+  EXPECT_EQ(d.placement.at(NodeId::kCostmapGen), Host::kEdgeGateway);
+  EXPECT_TRUE(d.vdp_offloaded);
+}
+
+TEST(Algorithm1, MctGoalOffloadsT3WhenCloudFaster) {
+  OffloadPlanner planner(Goal::kCompletionTime, Host::kEdgeGateway);
+  const auto traits = traits_for(WorkloadKind::kNavigationWithMap);
+  const OffloadDecision d = planner.decide(traits, /*Tl=*/2.7, /*Tc=*/0.15);
+  EXPECT_EQ(d.placement.at(NodeId::kCostmapGen), Host::kEdgeGateway);
+  EXPECT_EQ(d.placement.at(NodeId::kPathTracking), Host::kEdgeGateway);
+  EXPECT_TRUE(d.vdp_offloaded);
+}
+
+TEST(Algorithm1, MctGoalMigratesBackUnderHighLatency) {
+  // "if Tc > Tl^v and G == MCT then migrate ni to LGV".
+  OffloadPlanner planner(Goal::kCompletionTime, Host::kCloudServer);
+  const auto traits = traits_for(WorkloadKind::kNavigationWithMap);
+  const OffloadDecision d = planner.decide(traits, /*Tl=*/0.4, /*Tc=*/0.9);
+  EXPECT_EQ(d.placement.at(NodeId::kCostmapGen), Host::kLgv);
+  EXPECT_EQ(d.placement.at(NodeId::kPathTracking), Host::kLgv);
+  EXPECT_FALSE(d.vdp_offloaded);
+}
+
+TEST(Algorithm1, VelocityMuxNeverOffloaded) {
+  for (Goal g : {Goal::kEnergy, Goal::kCompletionTime}) {
+    OffloadPlanner planner(g, Host::kCloudServer);
+    for (WorkloadKind wk :
+         {WorkloadKind::kNavigationWithMap, WorkloadKind::kExplorationWithoutMap}) {
+      const OffloadDecision d = planner.decide(traits_for(wk), 1.0, 0.1);
+      EXPECT_EQ(d.placement.at(NodeId::kVelocityMux), Host::kLgv);
+    }
+  }
+}
+
+TEST(Algorithm1, GoalNames) {
+  EXPECT_STREQ(goal_name(Goal::kEnergy), "EC");
+  EXPECT_STREQ(goal_name(Goal::kCompletionTime), "MCT");
+}
+
+}  // namespace
+}  // namespace lgv::core

@@ -1,0 +1,129 @@
+#include "core/offload_runtime.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::core {
+namespace {
+
+using platform::Host;
+
+TEST(OffloadRuntime, LocalPlanKeepsEverythingOnTheLgv) {
+  OffloadRuntime rt(local_plan(WorkloadKind::kNavigationWithMap), {0, 0});
+  rt.apply_initial_placement();
+  for (NodeId id : all_nodes()) EXPECT_EQ(rt.host_of(id), Host::kLgv);
+  EXPECT_EQ(rt.vdp_placement(), VdpPlacement::kLocal);
+}
+
+TEST(OffloadRuntime, OffloadPlanPlacesEcnsRemote) {
+  OffloadRuntime rt(offload_plan("gw", Host::kEdgeGateway, 8,
+                                 WorkloadKind::kExplorationWithoutMap, Goal::kEnergy),
+                    {0, 0});
+  rt.apply_initial_placement();
+  EXPECT_EQ(rt.host_of(NodeId::kLocalization), Host::kEdgeGateway);
+  EXPECT_EQ(rt.host_of(NodeId::kCostmapGen), Host::kEdgeGateway);
+  EXPECT_EQ(rt.host_of(NodeId::kPathTracking), Host::kEdgeGateway);
+  EXPECT_EQ(rt.host_of(NodeId::kVelocityMux), Host::kLgv);
+  EXPECT_EQ(rt.vdp_placement(), VdpPlacement::kRemote);
+}
+
+TEST(OffloadRuntime, GraphHostsMirrorPlacement) {
+  OffloadRuntime rt(offload_plan("gw", Host::kEdgeGateway, 4,
+                                 WorkloadKind::kNavigationWithMap),
+                    {0, 0});
+  rt.apply_initial_placement();
+  EXPECT_EQ(rt.graph().host_of(node_name(NodeId::kCostmapGen)), Host::kEdgeGateway);
+  EXPECT_EQ(rt.graph().host_of(node_name(NodeId::kVelocityMux)), Host::kLgv);
+}
+
+TEST(OffloadRuntime, SetVdpPlacementMovesT3BothWays) {
+  OffloadRuntime rt(offload_plan("gw", Host::kEdgeGateway, 4,
+                                 WorkloadKind::kNavigationWithMap),
+                    {0, 0});
+  rt.apply_initial_placement();
+  ASSERT_EQ(rt.host_of(NodeId::kCostmapGen), Host::kEdgeGateway);
+  EXPECT_TRUE(rt.set_vdp_placement(VdpPlacement::kLocal));
+  EXPECT_EQ(rt.host_of(NodeId::kCostmapGen), Host::kLgv);
+  EXPECT_EQ(rt.host_of(NodeId::kPathTracking), Host::kLgv);
+  EXPECT_FALSE(rt.set_vdp_placement(VdpPlacement::kLocal));  // no-op
+  EXPECT_TRUE(rt.set_vdp_placement(VdpPlacement::kRemote));
+  EXPECT_EQ(rt.host_of(NodeId::kPathTracking), Host::kEdgeGateway);
+}
+
+TEST(OffloadRuntime, ContextUsesPoolOnlyForRemoteParallelNodes) {
+  OffloadRuntime rt(offload_plan("gw8", Host::kEdgeGateway, 8,
+                                 WorkloadKind::kNavigationWithMap),
+                    {0, 0});
+  rt.apply_initial_placement();
+  EXPECT_EQ(rt.make_context(NodeId::kPathTracking).threads(), 8);
+  EXPECT_NE(rt.make_context(NodeId::kPathTracking).pool(), nullptr);
+  // Velocity mux is local → serial.
+  EXPECT_EQ(rt.make_context(NodeId::kVelocityMux).threads(), 1);
+  // Path planning isn't a parallel kernel even when remote.
+  rt.place(NodeId::kPathPlanning, Host::kEdgeGateway);
+  EXPECT_EQ(rt.make_context(NodeId::kPathPlanning).pool(), nullptr);
+}
+
+TEST(OffloadRuntime, NoPoolWithoutParallelOptimization) {
+  OffloadRuntime rt(offload_plan("gw1", Host::kEdgeGateway, 1,
+                                 WorkloadKind::kNavigationWithMap),
+                    {0, 0});
+  rt.apply_initial_placement();
+  EXPECT_EQ(rt.make_context(NodeId::kPathTracking).pool(), nullptr);
+}
+
+TEST(OffloadRuntime, FinishChargesMeterAndLocalEnergy) {
+  OffloadRuntime rt(local_plan(WorkloadKind::kNavigationWithMap), {0, 0});
+  rt.apply_initial_placement();
+  platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+  ctx.serial_work(0.84e9);  // 1 s on the RPi
+  const double t = rt.finish(NodeId::kCostmapGen, ctx);
+  EXPECT_NEAR(t, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(rt.meter().cycles(node_name(NodeId::kCostmapGen)), 0.84e9);
+  EXPECT_GT(rt.energy().energy().computer, 0.0);  // Eq. 1c charged
+  EXPECT_TRUE(rt.profiler().node_time(NodeId::kCostmapGen, Host::kLgv).has_value());
+}
+
+TEST(OffloadRuntime, RemoteExecutionCostsNoRobotEnergy) {
+  OffloadRuntime rt(offload_plan("gw", Host::kEdgeGateway, 1,
+                                 WorkloadKind::kNavigationWithMap),
+                    {0, 0});
+  rt.apply_initial_placement();
+  platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+  ctx.serial_work(1e9);
+  const double t = rt.finish(NodeId::kCostmapGen, ctx);
+  // Gateway runs it ~10× faster than the RPi would.
+  EXPECT_LT(t, 0.15);
+  EXPECT_DOUBLE_EQ(rt.energy().energy().computer, 0.0);
+}
+
+TEST(OffloadRuntime, RemoteIsFasterThanLocalForSameWork) {
+  OffloadRuntime local_rt(local_plan(WorkloadKind::kNavigationWithMap), {0, 0});
+  OffloadRuntime remote_rt(offload_plan("gw", Host::kEdgeGateway, 1,
+                                        WorkloadKind::kNavigationWithMap),
+                           {0, 0});
+  local_rt.apply_initial_placement();
+  remote_rt.apply_initial_placement();
+  platform::ExecutionContext lctx = local_rt.make_context(NodeId::kPathTracking);
+  platform::ExecutionContext rctx = remote_rt.make_context(NodeId::kPathTracking);
+  lctx.serial_work(1e9);
+  rctx.serial_work(1e9);
+  EXPECT_GT(local_rt.finish(NodeId::kPathTracking, lctx),
+            5.0 * remote_rt.finish(NodeId::kPathTracking, rctx));
+}
+
+TEST(OffloadRuntime, CloudChannelIncludesWanLatency) {
+  OffloadRuntime edge(offload_plan("gw", Host::kEdgeGateway, 1,
+                                   WorkloadKind::kNavigationWithMap),
+                      {0, 0});
+  OffloadRuntime cloud(offload_plan("cloud", Host::kCloudServer, 1,
+                                    WorkloadKind::kNavigationWithMap),
+                       {0, 0});
+  edge.channel().set_robot_position({2.0, 0.0});
+  cloud.channel().set_robot_position({2.0, 0.0});
+  EXPECT_DOUBLE_EQ(edge.channel().config().wan_latency_s, 0.0);
+  EXPECT_GT(cloud.channel().config().wan_latency_s, 0.0);
+  EXPECT_GT(cloud.predicted_network_latency(), edge.predicted_network_latency());
+}
+
+}  // namespace
+}  // namespace lgv::core

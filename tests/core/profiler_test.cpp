@@ -1,0 +1,67 @@
+#include "core/profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::core {
+namespace {
+
+using platform::Host;
+
+TEST(Profiler, NodeTimeEmaSmoothing) {
+  Profiler p({}, {0, 0});
+  EXPECT_FALSE(p.node_time(NodeId::kPathTracking, Host::kLgv).has_value());
+  p.record_node_time(NodeId::kPathTracking, Host::kLgv, 1.0);
+  EXPECT_DOUBLE_EQ(*p.node_time(NodeId::kPathTracking, Host::kLgv), 1.0);
+  p.record_node_time(NodeId::kPathTracking, Host::kLgv, 2.0);
+  // EMA with alpha 0.3: 0.3·2 + 0.7·1 = 1.3.
+  EXPECT_NEAR(*p.node_time(NodeId::kPathTracking, Host::kLgv), 1.3, 1e-12);
+}
+
+TEST(Profiler, PerHostTimesAreSeparate) {
+  Profiler p({}, {0, 0});
+  p.record_node_time(NodeId::kCostmapGen, Host::kLgv, 1.0);
+  p.record_node_time(NodeId::kCostmapGen, Host::kEdgeGateway, 0.1);
+  EXPECT_DOUBLE_EQ(*p.node_time(NodeId::kCostmapGen, Host::kLgv), 1.0);
+  EXPECT_DOUBLE_EQ(*p.node_time(NodeId::kCostmapGen, Host::kEdgeGateway), 0.1);
+  EXPECT_FALSE(p.node_time(NodeId::kCostmapGen, Host::kCloudServer).has_value());
+}
+
+TEST(Profiler, VdpMakespanPerPlacement) {
+  Profiler p({}, {0, 0});
+  EXPECT_FALSE(p.vdp_makespan(VdpPlacement::kLocal).has_value());
+  p.record_vdp_makespan(VdpPlacement::kLocal, 2.5);
+  p.record_vdp_makespan(VdpPlacement::kRemote, 0.15);
+  EXPECT_DOUBLE_EQ(*p.vdp_makespan(VdpPlacement::kLocal), 2.5);
+  EXPECT_DOUBLE_EQ(*p.vdp_makespan(VdpPlacement::kRemote), 0.15);
+}
+
+TEST(Profiler, RttTracked) {
+  Profiler p({}, {0, 0});
+  EXPECT_FALSE(p.rtt().has_value());
+  p.record_rtt(1.0, 1.03);
+  EXPECT_NEAR(*p.rtt(), 0.03, 1e-12);
+}
+
+TEST(Profiler, ObservationCombinesBandwidthAndDirection) {
+  Profiler p({}, {0, 0});
+  // 5 Hz stream while driving away from the WAP.
+  double t = 0.0;
+  for (int i = 0; i < 15; ++i, t += 0.2) {
+    p.on_stream_packet(t);
+    p.on_robot_position({1.0 + 0.2 * i, 0.0});
+  }
+  const NetworkObservation obs = p.observe(t);
+  EXPECT_NEAR(obs.bandwidth_hz, 5.0, 1.0);
+  EXPECT_LT(obs.signal_direction, 0.0);
+}
+
+TEST(Profiler, BandwidthDropsWhenStreamStops) {
+  Profiler p({}, {0, 0});
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i, t += 0.2) p.on_stream_packet(t);
+  EXPECT_GT(p.observe(t).bandwidth_hz, 3.0);
+  EXPECT_DOUBLE_EQ(p.observe(t + 3.0).bandwidth_hz, 0.0);
+}
+
+}  // namespace
+}  // namespace lgv::core

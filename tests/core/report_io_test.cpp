@@ -1,0 +1,90 @@
+#include "core/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace lgv::core {
+namespace {
+
+MissionReport sample_report() {
+  MissionReport r;
+  r.deployment = "gateway_8t";
+  r.workload = "navigation";
+  r.success = true;
+  r.completion_time = 24.6;
+  r.distance_traveled = 18.0;
+  r.average_velocity = 0.73;
+  r.standby_time = 0.2;
+  r.energy.motor = 124.6;
+  r.energy.computer = 48.1;
+  r.velocity_trace = {{0.0, 0.82, 0.0}, {0.5, 0.89, 0.4}, {1.0, 0.89, 0.72}};
+  r.network_trace = {{0.5, 5.2, 5.0, -0.01, true}, {1.0, 5.4, 4.0, -0.01, false}};
+  r.node_cycles = {{"costmap_gen", 1.0e9}, {"path_tracking", 1.2e9}};
+  r.node_invocations = {{"costmap_gen", 120}, {"path_tracking", 118}};
+  r.battery_state_of_charge = 0.97;
+  r.network.uplink_messages = 123;
+  return r;
+}
+
+TEST(ReportIo, VelocityCsvShape) {
+  std::ostringstream os;
+  write_velocity_trace_csv(os, sample_report());
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.substr(0, 11), "t,cap,real\n");
+  // Header + 3 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_NE(csv.find("0.5,0.89,0.4"), std::string::npos);
+}
+
+TEST(ReportIo, NetworkCsvShape) {
+  std::ostringstream os;
+  write_network_trace_csv(os, sample_report());
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("t,latency_ms,bandwidth_hz,direction,placement"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",remote"), std::string::npos);
+  EXPECT_NE(csv.find(",local"), std::string::npos);
+}
+
+TEST(ReportIo, NodeWorkCsvShape) {
+  std::ostringstream os;
+  write_node_work_csv(os, sample_report());
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("costmap_gen,1e+09,120"), std::string::npos);
+  EXPECT_NE(csv.find("path_tracking"), std::string::npos);
+}
+
+TEST(ReportIo, SummaryMentionsKeyNumbers) {
+  const std::string s = summarize(sample_report());
+  EXPECT_NE(s.find("SUCCEEDED"), std::string::npos);
+  EXPECT_NE(s.find("navigation"), std::string::npos);
+  EXPECT_NE(s.find("gateway_8t"), std::string::npos);
+  EXPECT_NE(s.find("24.6"), std::string::npos);
+  EXPECT_NE(s.find("battery"), std::string::npos);
+  EXPECT_NE(s.find("placement switch"), std::string::npos);
+}
+
+TEST(ReportIo, FailedMissionSummary) {
+  MissionReport r = sample_report();
+  r.success = false;
+  r.network.uplink_messages = 0;
+  const std::string s = summarize(r);
+  EXPECT_NE(s.find("FAILED"), std::string::npos);
+  EXPECT_EQ(s.find("placement switch"), std::string::npos);
+}
+
+TEST(ReportIo, WriteFilesRoundTrip) {
+  const std::string prefix = ::testing::TempDir() + "lgv_report_test";
+  ASSERT_TRUE(write_report_files(prefix, sample_report()));
+  std::ifstream v(prefix + "_velocity.csv");
+  ASSERT_TRUE(v.good());
+  std::string header;
+  std::getline(v, header);
+  EXPECT_EQ(header, "t,cap,real");
+}
+
+}  // namespace
+}  // namespace lgv::core

@@ -1,0 +1,154 @@
+#include "core/switcher.h"
+
+#include <gtest/gtest.h>
+
+#include "msg/messages.h"
+
+namespace lgv::core {
+namespace {
+
+using platform::Host;
+
+class SwitcherTest : public ::testing::Test {
+ protected:
+  SwitcherTest()
+      : channel(make_channel()),
+        switcher(&graph, &channel, &clock, &energy, &power) {
+    graph.register_node("lgv_node", Host::kLgv);
+    graph.register_node("cloud_node", Host::kCloudServer);
+    graph.set_remote_transport(&switcher);
+    channel.set_robot_position({2.0, 0.0});  // near the WAP: clean link
+  }
+
+  static net::WirelessChannel make_channel() {
+    net::ChannelConfig cfg;
+    cfg.wap_position = {0.0, 0.0};
+    cfg.shadowing_sigma_db = 0.0;
+    return net::WirelessChannel(cfg);
+  }
+
+  void pump_until(double t_end, double dt = 0.005) {
+    while (clock.now() < t_end) {
+      clock.advance(dt);
+      switcher.step();
+      graph.spin();
+    }
+  }
+
+  SimClock clock;
+  mw::Graph graph;
+  net::WirelessChannel channel;
+  sim::PowerModel power;
+  sim::EnergyMeter energy;
+  Switcher switcher;
+};
+
+TEST_F(SwitcherTest, UplinkMessageArrivesWithLatency) {
+  auto pub = graph.advertise<msg::TwistMsg>("lgv_node", "cmd");
+  double received_at = -1.0;
+  graph.subscribe<msg::TwistMsg>("cloud_node", "cmd", [&](const msg::TwistMsg&) {
+    received_at = clock.now();
+  });
+  msg::TwistMsg t;
+  t.velocity.linear = 0.4;
+  pub.publish(t);
+  graph.spin();
+  EXPECT_LT(received_at, 0.0);  // not yet
+  pump_until(0.5);
+  EXPECT_GT(received_at, 0.0);
+  EXPECT_LT(received_at, 0.1);  // a few ms of wireless latency
+  EXPECT_EQ(switcher.stats().uplink_messages, 1u);
+}
+
+TEST_F(SwitcherTest, DownlinkDirectionCounted) {
+  auto pub = graph.advertise<msg::TwistMsg>("cloud_node", "cmd_back");
+  int got = 0;
+  graph.subscribe<msg::TwistMsg>("lgv_node", "cmd_back",
+                                 [&](const msg::TwistMsg&) { ++got; });
+  pub.publish({});
+  graph.spin();
+  pump_until(0.5);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(switcher.stats().downlink_messages, 1u);
+  EXPECT_EQ(switcher.stats().uplink_messages, 0u);
+}
+
+TEST_F(SwitcherTest, UplinkChargesEq1bEnergy) {
+  auto pub = graph.advertise<msg::LaserScan>("lgv_node", "scan");
+  graph.subscribe<msg::LaserScan>("cloud_node", "scan", [](const msg::LaserScan&) {});
+  msg::LaserScan s;
+  s.ranges.assign(360, 1.0f);
+  const double before = energy.energy().wireless;
+  pub.publish(s);
+  EXPECT_GT(energy.energy().wireless, before);
+}
+
+TEST_F(SwitcherTest, DownlinkDoesNotChargeRobotEnergy) {
+  // The paper ignores receive energy (§III-A).
+  auto pub = graph.advertise<msg::TwistMsg>("cloud_node", "cmd_back");
+  graph.subscribe<msg::TwistMsg>("lgv_node", "cmd_back", [](const msg::TwistMsg&) {});
+  const double before = energy.energy().wireless;
+  pub.publish({});
+  EXPECT_DOUBLE_EQ(energy.energy().wireless, before);
+}
+
+TEST_F(SwitcherTest, MaxMessageBytesTracked) {
+  auto pub = graph.advertise<msg::LaserScan>("lgv_node", "scan");
+  graph.subscribe<msg::LaserScan>("cloud_node", "scan", [](const msg::LaserScan&) {});
+  msg::LaserScan s;
+  s.ranges.assign(360, 1.0f);
+  pub.publish(s);
+  // ~360 × 4 B + header: the paper's "2.94 KB laser scan" territory.
+  EXPECT_GT(switcher.stats().max_message_bytes, 1400.0);
+  EXPECT_LT(switcher.stats().max_message_bytes, 3200.0);
+}
+
+TEST_F(SwitcherTest, OutageDropsAtKernelBuffer) {
+  channel.set_robot_position({500.0, 0.0});  // outage
+  auto pub = graph.advertise<msg::TwistMsg>("lgv_node", "cmd");
+  int got = 0;
+  graph.subscribe<msg::TwistMsg>("cloud_node", "cmd", [&](const msg::TwistMsg&) { ++got; });
+  for (int i = 0; i < 10; ++i) {
+    pub.publish({});
+    clock.advance(0.2);
+    switcher.step();
+  }
+  graph.spin();
+  EXPECT_EQ(got, 0);
+  EXPECT_GT(switcher.uplink().stats().dropped_buffer, 0u);
+}
+
+TEST_F(SwitcherTest, StreamPacketsReachCallback) {
+  int received = 0;
+  double last_sent = -1.0;
+  switcher.set_stream_callback([&](double sent, double now) {
+    ++received;
+    last_sent = sent;
+    EXPECT_GE(now, sent);
+  });
+  for (int i = 0; i < 5; ++i) {
+    switcher.send_stream_packet();
+    pump_until(clock.now() + 0.2);
+  }
+  EXPECT_EQ(received, 5);
+  EXPECT_GE(last_sent, 0.0);
+}
+
+TEST_F(SwitcherTest, StateMigrationReturnsFutureCompletion) {
+  const double t0 = clock.now();
+  const double done = switcher.migrate_state(500e3, /*uplink=*/true);
+  EXPECT_GT(done, t0);
+  EXPECT_EQ(switcher.stats().state_migrations, 1u);
+  EXPECT_DOUBLE_EQ(switcher.stats().state_migration_bytes, 500e3);
+  EXPECT_GT(energy.energy().wireless, 0.0);  // uplink migration costs energy
+}
+
+TEST_F(SwitcherTest, MigrationSlowerOnWeakLink) {
+  const double fast = switcher.migrate_state(500e3, false) - clock.now();
+  channel.set_robot_position({60.0, 0.0});  // weak but connected
+  const double slow = switcher.migrate_state(500e3, false) - clock.now();
+  EXPECT_GT(slow, fast);
+}
+
+}  // namespace
+}  // namespace lgv::core

@@ -1,0 +1,240 @@
+#include "middleware/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "msg/messages.h"
+
+namespace lgv::mw {
+namespace {
+
+using platform::Host;
+
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph.register_node("a", Host::kLgv);
+    graph.register_node("b", Host::kLgv);
+    graph.register_node("remote", Host::kCloudServer);
+  }
+  Graph graph;
+};
+
+TEST_F(GraphTest, LocalPubSubDelivers) {
+  auto pub = graph.advertise<msg::TwistMsg>("a", "cmd");
+  std::vector<double> received;
+  graph.subscribe<msg::TwistMsg>("b", "cmd",
+                                 [&](const msg::TwistMsg& t) {
+                                   received.push_back(t.velocity.linear);
+                                 });
+  msg::TwistMsg t;
+  t.velocity.linear = 0.5;
+  pub.publish(t);
+  EXPECT_TRUE(received.empty());  // queued until spin
+  EXPECT_EQ(graph.spin(), 1u);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_DOUBLE_EQ(received[0], 0.5);
+}
+
+TEST_F(GraphTest, QueueSizeOneKeepsFreshest) {
+  auto pub = graph.advertise<msg::TwistMsg>("a", "cmd");
+  std::vector<double> received;
+  graph.subscribe<msg::TwistMsg>("b", "cmd",
+                                 [&](const msg::TwistMsg& t) {
+                                   received.push_back(t.velocity.linear);
+                                 },
+                                 /*queue_size=*/1);
+  for (int i = 1; i <= 3; ++i) {
+    msg::TwistMsg t;
+    t.velocity.linear = i;
+    pub.publish(t);
+  }
+  graph.spin();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_DOUBLE_EQ(received[0], 3.0);  // oldest dropped
+  const TopicStats* stats = graph.topic_stats("cmd");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->dropped_queue, 2u);
+}
+
+TEST_F(GraphTest, DeeperQueueKeepsAll) {
+  auto pub = graph.advertise<msg::TwistMsg>("a", "cmd");
+  int count = 0;
+  graph.subscribe<msg::TwistMsg>("b", "cmd", [&](const msg::TwistMsg&) { ++count; },
+                                 /*queue_size=*/10);
+  for (int i = 0; i < 5; ++i) pub.publish({});
+  graph.spin();
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(GraphTest, LatchedTopicReplaysToLateSubscriber) {
+  auto pub = graph.advertise<msg::PoseStamped>("a", "map_pose", /*latch=*/true);
+  msg::PoseStamped p;
+  p.pose = {1.0, 2.0, 0.0};
+  pub.publish(p);
+  graph.spin();
+  double got_x = 0.0;
+  graph.subscribe<msg::PoseStamped>("b", "map_pose",
+                                    [&](const msg::PoseStamped& m) { got_x = m.pose.x; });
+  graph.spin();
+  EXPECT_DOUBLE_EQ(got_x, 1.0);
+}
+
+class RecordingTransport : public RemoteTransport {
+ public:
+  struct Sent {
+    TopicName topic;
+    NodeName dst;
+    Host src;
+    Host dst_host;
+    std::vector<uint8_t> bytes;
+  };
+  void send(const TopicName& topic, const NodeName& dst, Host src, Host dst_host,
+            std::vector<uint8_t> bytes) override {
+    sent.push_back({topic, dst, src, dst_host, std::move(bytes)});
+  }
+  std::vector<Sent> sent;
+};
+
+TEST_F(GraphTest, CrossHostGoesThroughTransport) {
+  RecordingTransport transport;
+  graph.set_remote_transport(&transport);
+  auto pub = graph.advertise<msg::TwistMsg>("a", "cmd");
+  int local_count = 0;
+  graph.subscribe<msg::TwistMsg>("remote", "cmd",
+                                 [&](const msg::TwistMsg&) { ++local_count; });
+  pub.publish({});
+  graph.spin();
+  EXPECT_EQ(local_count, 0);  // not delivered locally
+  ASSERT_EQ(transport.sent.size(), 1u);
+  EXPECT_EQ(transport.sent[0].topic, "cmd");
+  EXPECT_EQ(transport.sent[0].dst, "remote");
+  EXPECT_EQ(transport.sent[0].src, Host::kLgv);
+  EXPECT_EQ(transport.sent[0].dst_host, Host::kCloudServer);
+
+  // Deliver the serialized bytes as the transport would on arrival.
+  graph.deliver_serialized("cmd", "remote", transport.sent[0].bytes);
+  graph.spin();
+  EXPECT_EQ(local_count, 1);
+}
+
+TEST_F(GraphTest, MigrationReroutesTraffic) {
+  RecordingTransport transport;
+  graph.set_remote_transport(&transport);
+  auto pub = graph.advertise<msg::TwistMsg>("a", "cmd");
+  int delivered = 0;
+  graph.subscribe<msg::TwistMsg>("remote", "cmd", [&](const msg::TwistMsg&) { ++delivered; });
+
+  pub.publish({});
+  graph.spin();
+  EXPECT_EQ(transport.sent.size(), 1u);
+
+  // Migrate the subscriber onto the LGV: traffic becomes local.
+  graph.set_host("remote", Host::kLgv);
+  pub.publish({});
+  graph.spin();
+  EXPECT_EQ(transport.sent.size(), 1u);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(GraphTest, WithoutTransportCrossHostDeliversLocally) {
+  auto pub = graph.advertise<msg::TwistMsg>("a", "cmd");
+  int delivered = 0;
+  graph.subscribe<msg::TwistMsg>("remote", "cmd", [&](const msg::TwistMsg&) { ++delivered; });
+  pub.publish({});
+  graph.spin();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(GraphTest, ServiceCallRoundTrip) {
+  graph.advertise_service<msg::GoalMsg, msg::PathMsg>(
+      "b", "plan", [](const msg::GoalMsg& goal) {
+        msg::PathMsg path;
+        path.poses.push_back(goal.target);
+        return path;
+      });
+  msg::GoalMsg g;
+  g.target = {5.0, 6.0, 0.0};
+  const auto result = graph.call_service<msg::GoalMsg, msg::PathMsg>("plan", g);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->poses.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->poses[0].x, 5.0);
+  EXPECT_EQ(graph.service_host("plan"), Host::kLgv);
+}
+
+TEST_F(GraphTest, UnknownServiceReturnsNullopt) {
+  const auto result = graph.call_service<msg::GoalMsg, msg::PathMsg>("nope", {});
+  EXPECT_FALSE(result.has_value());
+  EXPECT_FALSE(graph.service_host("nope").has_value());
+}
+
+TEST_F(GraphTest, HostQueries) {
+  EXPECT_EQ(graph.host_of("remote"), Host::kCloudServer);
+  EXPECT_THROW(graph.host_of("missing"), std::invalid_argument);
+  EXPECT_EQ(graph.nodes().size(), 3u);
+}
+
+TEST_F(GraphTest, CallbackPublishingDuringSpinIsDelivered) {
+  auto pub_a = graph.advertise<msg::TwistMsg>("a", "first");
+  auto pub_b = graph.advertise<msg::TwistMsg>("a", "second");
+  int second_received = 0;
+  graph.subscribe<msg::TwistMsg>("b", "first", [&](const msg::TwistMsg&) {
+    pub_b.publish({});
+  });
+  graph.subscribe<msg::TwistMsg>("b", "second",
+                                 [&](const msg::TwistMsg&) { ++second_received; });
+  pub_a.publish({});
+  graph.spin();
+  EXPECT_EQ(second_received, 1);
+}
+
+TEST_F(GraphTest, DefaultPublisherIsInvalid) {
+  Publisher<msg::TwistMsg> pub;
+  EXPECT_FALSE(pub.valid());
+}
+
+TEST_F(GraphTest, MultiplePublishersShareATopic) {
+  auto pub_a = graph.advertise<msg::TwistMsg>("a", "cmd");
+  auto pub_b = graph.advertise<msg::TwistMsg>("b", "cmd");
+  int received = 0;
+  graph.subscribe<msg::TwistMsg>("b", "cmd", [&](const msg::TwistMsg&) { ++received; },
+                                 /*queue_size=*/4);
+  pub_a.publish({});
+  pub_b.publish({});
+  graph.spin();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(graph.topic_stats("cmd")->published, 2u);
+}
+
+TEST_F(GraphTest, MultipleSubscribersEachGetACopy) {
+  auto pub = graph.advertise<msg::TwistMsg>("a", "cmd");
+  int got_b = 0, got_a = 0;
+  graph.subscribe<msg::TwistMsg>("b", "cmd", [&](const msg::TwistMsg&) { ++got_b; });
+  graph.subscribe<msg::TwistMsg>("a", "cmd", [&](const msg::TwistMsg&) { ++got_a; });
+  pub.publish({});
+  graph.spin();
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(got_a, 1);
+}
+
+TEST_F(GraphTest, TopicsListed) {
+  graph.advertise<msg::TwistMsg>("a", "cmd");
+  graph.advertise<msg::LaserScan>("a", "scan");
+  const auto topics = graph.topics();
+  EXPECT_EQ(topics.size(), 2u);
+}
+
+TEST_F(GraphTest, DeliverSerializedToUnknownTopicIsIgnored) {
+  graph.deliver_serialized("missing", "b", {1, 2, 3});  // must not crash
+  EXPECT_EQ(graph.spin(), 0u);
+}
+
+TEST_F(GraphTest, LastMessageBytesTracked) {
+  auto pub = graph.advertise<msg::LaserScan>("a", "scan");
+  msg::LaserScan s;
+  s.ranges.assign(360, 1.0f);
+  pub.publish(s);
+  EXPECT_GT(graph.last_message_bytes("scan"), 1000u);
+}
+
+}  // namespace
+}  // namespace lgv::mw

@@ -1,0 +1,82 @@
+#include "net/ap_selector.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::net {
+namespace {
+
+ChannelConfig wap_at(Point2D p) {
+  ChannelConfig cfg;
+  cfg.wap_position = p;
+  cfg.shadowing_sigma_db = 0.0;
+  return cfg;
+}
+
+TEST(ApSelector, StaysOnOnlyAp) {
+  ApSelector sel;
+  sel.add_access_point(wap_at({0, 0}), 1);
+  for (double t = 0.0; t < 10.0; t += 0.5) {
+    EXPECT_FALSE(sel.update({t * 2.0, 0.0}, t));
+  }
+  EXPECT_EQ(sel.handoffs(), 0u);
+  EXPECT_EQ(sel.active_index(), 0u);
+}
+
+TEST(ApSelector, RoamsToCloserApWithHysteresis) {
+  ApSelector sel;
+  sel.add_access_point(wap_at({0, 0}), 1);
+  sel.add_access_point(wap_at({30, 0}), 2);
+  // Near AP0: stay.
+  sel.update({2.0, 0.0}, 0.0);
+  EXPECT_EQ(sel.active_index(), 0u);
+  // At the midpoint the margin prevents a roam (equal RSSI).
+  sel.update({15.0, 0.0}, 1.0);
+  EXPECT_EQ(sel.active_index(), 0u);
+  // Clearly closer to AP1: roam.
+  bool roamed = sel.update({26.0, 0.0}, 2.0);
+  EXPECT_TRUE(roamed);
+  EXPECT_EQ(sel.active_index(), 1u);
+  EXPECT_EQ(sel.handoffs(), 1u);
+  EXPECT_TRUE(sel.in_handoff(2.1));
+  EXPECT_FALSE(sel.in_handoff(2.6));
+}
+
+TEST(ApSelector, ScanPeriodLimitsEvaluations) {
+  ApSelectorConfig cfg;
+  cfg.scan_period_s = 5.0;
+  ApSelector sel(cfg);
+  sel.add_access_point(wap_at({0, 0}), 1);
+  sel.add_access_point(wap_at({30, 0}), 2);
+  sel.update({2.0, 0.0}, 0.0);
+  // Teleport next to AP1, but within the scan period: no roam yet.
+  EXPECT_FALSE(sel.update({29.0, 0.0}, 1.0));
+  EXPECT_EQ(sel.active_index(), 0u);
+  // After the scan period it roams.
+  EXPECT_TRUE(sel.update({29.0, 0.0}, 5.5));
+}
+
+TEST(ApSelector, NoPingPongBetweenEqualAps) {
+  ApSelector sel;
+  sel.add_access_point(wap_at({0, 0}), 1);
+  sel.add_access_point(wap_at({10, 0}), 2);
+  // Sit at the midpoint for a long time: the margin suppresses flapping.
+  for (double t = 0.0; t < 60.0; t += 1.0) {
+    sel.update({5.0, 0.02 * t}, t);
+  }
+  EXPECT_LE(sel.handoffs(), 1u);
+}
+
+TEST(ApSelector, ActiveChannelTracksRobot) {
+  ApSelector sel;
+  sel.add_access_point(wap_at({0, 0}), 1);
+  sel.update({7.0, 0.0}, 0.0);
+  EXPECT_NEAR(sel.active_channel().distance_to_wap(), 7.0, 1e-9);
+}
+
+TEST(ApSelector, ThrowsWithoutAps) {
+  ApSelector sel;
+  EXPECT_THROW(sel.update({0, 0}, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lgv::net

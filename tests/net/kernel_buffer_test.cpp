@@ -1,0 +1,58 @@
+#include "net/kernel_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::net {
+namespace {
+
+TEST(KernelBuffer, AcceptsUntilFull) {
+  KernelBuffer buf(2);
+  EXPECT_TRUE(buf.enqueue({1, 100, 0.0}));
+  EXPECT_TRUE(buf.enqueue({2, 100, 0.1}));
+  EXPECT_TRUE(buf.full());
+  EXPECT_FALSE(buf.enqueue({3, 100, 0.2}));  // silently discarded
+  EXPECT_EQ(buf.accepted(), 2u);
+  EXPECT_EQ(buf.discarded(), 1u);
+}
+
+TEST(KernelBuffer, FifoOrder) {
+  KernelBuffer buf(4);
+  buf.enqueue({1, 10, 0.0});
+  buf.enqueue({2, 20, 0.1});
+  auto d1 = buf.dequeue();
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_EQ(d1->id, 1u);
+  auto d2 = buf.dequeue();
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->id, 2u);
+  EXPECT_FALSE(buf.dequeue().has_value());
+}
+
+TEST(KernelBuffer, Fig7Scenario) {
+  // Fig. 7: 5 packets, driver blocks after packet 1; packets 2-3 sit in the
+  // buffer, 4-5 are discarded at the full buffer; when the signal recovers
+  // only 2-3 drain.
+  KernelBuffer buf(2);
+  EXPECT_TRUE(buf.enqueue({1, 48, 0.0}));
+  ASSERT_TRUE(buf.dequeue().has_value());  // driver sends packet 1, then blocks
+  EXPECT_TRUE(buf.enqueue({2, 48, 0.2}));
+  EXPECT_TRUE(buf.enqueue({3, 48, 0.4}));
+  EXPECT_FALSE(buf.enqueue({4, 48, 0.6}));
+  EXPECT_FALSE(buf.enqueue({5, 48, 0.8}));
+  EXPECT_EQ(buf.discarded(), 2u);
+  // Signal recovers; the driver drains the survivors.
+  EXPECT_EQ(buf.dequeue()->id, 2u);
+  EXPECT_EQ(buf.dequeue()->id, 3u);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(KernelBuffer, ClearEmpties) {
+  KernelBuffer buf(3);
+  buf.enqueue({1, 10, 0.0});
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_FALSE(buf.dequeue().has_value());
+}
+
+}  // namespace
+}  // namespace lgv::net

@@ -1,0 +1,144 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::net {
+namespace {
+
+ChannelConfig quiet_config() {
+  ChannelConfig c;
+  c.wap_position = {0.0, 0.0};
+  c.shadowing_sigma_db = 0.0;
+  return c;
+}
+
+std::vector<uint8_t> payload(size_t n) { return std::vector<uint8_t>(n, 0xab); }
+
+TEST(UdpLink, DeliversNearWap) {
+  WirelessChannel ch(quiet_config());
+  ch.set_robot_position({2.0, 0.0});
+  UdpLink link(&ch);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(link.send(payload(100), 0.01 * i));
+    link.step(0.01 * i);
+  }
+  const auto delivered = link.poll_delivered(10.0);
+  EXPECT_EQ(delivered.size(), 10u);
+  EXPECT_EQ(link.stats().delivered, 10u);
+  EXPECT_EQ(link.stats().dropped_buffer, 0u);
+  EXPECT_EQ(link.stats().dropped_channel, 0u);
+}
+
+TEST(UdpLink, LatencyIsPositiveAndOrdered) {
+  WirelessChannel ch(quiet_config());
+  ch.set_robot_position({2.0, 0.0});
+  UdpLink link(&ch);
+  link.send(payload(100), 1.0);
+  link.step(1.0);
+  EXPECT_TRUE(link.poll_delivered(1.0).empty());  // not yet arrived
+  const auto delivered = link.poll_delivered(2.0);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_GT(delivered[0].deliver_time, 1.0);
+  EXPECT_LT(delivered[0].deliver_time, 1.2);
+}
+
+TEST(UdpLink, OutageBlocksBufferAndDropsOverflow) {
+  WirelessChannel ch(quiet_config());
+  ch.set_robot_position({500.0, 0.0});  // deep outage
+  UdpLink link(&ch, /*kernel_buffer_capacity=*/2);
+  int accepted = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (link.send(payload(48), 0.2 * i)) ++accepted;
+    link.step(0.2 * i);
+  }
+  EXPECT_EQ(accepted, 2);  // buffer capacity
+  EXPECT_EQ(link.stats().dropped_buffer, 4u);
+  EXPECT_TRUE(link.poll_delivered(100.0).empty());
+
+  // Robot returns near the WAP: buffered packets drain.
+  ch.set_robot_position({2.0, 0.0});
+  link.step(2.0);
+  const auto delivered = link.poll_delivered(10.0);
+  EXPECT_EQ(delivered.size(), 2u);
+}
+
+TEST(UdpLink, LossRateGrowsWithDistance) {
+  ChannelConfig cfg = quiet_config();
+  auto run = [&](double d) {
+    WirelessChannel ch(cfg, 7);
+    ch.set_robot_position({d, 0.0});
+    UdpLink link(&ch, 64);
+    for (int i = 0; i < 400; ++i) {
+      link.send(payload(48), 0.01 * i);
+      link.step(0.01 * i);
+    }
+    link.poll_delivered(1e9);
+    return link.stats();
+  };
+  const LinkStats near = run(2.0);
+  // Find a marginal distance (loss strictly between 0 and 1).
+  WirelessChannel probe(cfg);
+  double marginal = 2.0;
+  for (double d = 2.0; d < 400.0; d += 1.0) {
+    probe.set_robot_position({d, 0.0});
+    const double p = probe.loss_from_snr(probe.snr_db(probe.mean_rssi_dbm()));
+    if (p > 0.2 && p < 0.8) {
+      marginal = d;
+      break;
+    }
+  }
+  const LinkStats mid = run(marginal);
+  EXPECT_GT(near.delivery_ratio(), 0.99);
+  EXPECT_LT(mid.delivery_ratio(), 0.9);
+  EXPECT_GT(mid.delivery_ratio(), 0.05);
+}
+
+TEST(TcpLink, AlwaysDeliversEventually) {
+  ChannelConfig cfg = quiet_config();
+  WirelessChannel ch(cfg, 3);
+  // Marginal position: heavy loss but not outage.
+  double d = 2.0;
+  for (; d < 400.0; d += 1.0) {
+    ch.set_robot_position({d, 0.0});
+    const double p = ch.loss_from_snr(ch.snr_db(ch.mean_rssi_dbm()));
+    if (p > 0.5 && p < 0.95) break;
+  }
+  TcpLink link(&ch, 0.1);
+  for (int i = 0; i < 20; ++i) link.send(payload(64), 0.05 * i);
+  for (double t = 0.0; t < 60.0; t += 0.05) link.step(t);
+  const auto delivered = link.poll_delivered(1e9);
+  EXPECT_EQ(delivered.size(), 20u);  // reliable despite loss
+  EXPECT_GT(link.stats().dropped_channel, 0u);  // retransmissions happened
+}
+
+TEST(TcpLink, RetransmissionInflatesLatencyNotLoss) {
+  // §VI: TCP hides loss inside timestamps — delivery ratio stays 1 but
+  // latency grows on a bad link.
+  ChannelConfig cfg = quiet_config();
+  auto mean_latency = [&](double dist) {
+    WirelessChannel ch(cfg, 5);
+    ch.set_robot_position({dist, 0.0});
+    TcpLink link(&ch, 0.1);
+    for (int i = 0; i < 30; ++i) link.send(payload(64), 0.1 * i);
+    for (double t = 0.0; t < 120.0; t += 0.05) link.step(t);
+    const auto pkts = link.poll_delivered(1e9);
+    EXPECT_EQ(pkts.size(), 30u);
+    double total = 0.0;
+    for (const auto& p : pkts) total += p.deliver_time - p.send_time;
+    return total / static_cast<double>(pkts.size());
+  };
+  WirelessChannel probe(cfg);
+  double marginal = 2.0;
+  for (double d = 2.0; d < 400.0; d += 1.0) {
+    probe.set_robot_position({d, 0.0});
+    const double p = probe.loss_from_snr(probe.snr_db(probe.mean_rssi_dbm()));
+    if (p > 0.4 && p < 0.8) {
+      marginal = d;
+      break;
+    }
+  }
+  EXPECT_GT(mean_latency(marginal), mean_latency(2.0) * 2.0);
+}
+
+}  // namespace
+}  // namespace lgv::net

@@ -1,0 +1,73 @@
+#include "net/meters.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::net {
+namespace {
+
+TEST(BandwidthMeter, MeasuresSteadyRate) {
+  BandwidthMeter bw(1.0);
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i, t += 0.2) bw.on_packet(t);
+  EXPECT_NEAR(bw.rate(t), 5.0, 1.0);
+}
+
+TEST(BandwidthMeter, DropsReflectLoss) {
+  BandwidthMeter bw(1.0);
+  // 5 Hz sender, 80% loss → ~1 Hz receive rate (the Fig. 11 weak-signal case).
+  double t = 0.0;
+  for (int i = 0; i < 50; ++i, t += 0.2) {
+    if (i % 5 == 0) bw.on_packet(t);
+  }
+  EXPECT_NEAR(bw.rate(t), 1.0, 0.5);
+}
+
+TEST(BandwidthMeter, SilenceDecaysToZero) {
+  BandwidthMeter bw(1.0);
+  bw.on_packet(0.0);
+  EXPECT_DOUBLE_EQ(bw.rate(5.0), 0.0);
+}
+
+TEST(RttMeter, TracksLatestAndStats) {
+  RttMeter rtt;
+  EXPECT_FALSE(rtt.latest().has_value());
+  rtt.on_response(1.0, 1.05);
+  rtt.on_response(2.0, 2.15);
+  ASSERT_TRUE(rtt.latest().has_value());
+  EXPECT_NEAR(*rtt.latest(), 0.15, 1e-12);
+  EXPECT_NEAR(rtt.mean(), 0.1, 1e-12);
+  EXPECT_NEAR(rtt.max(), 0.15, 1e-12);
+  EXPECT_EQ(rtt.count(), 2u);
+}
+
+TEST(SignalDirection, NegativeWhenRecedingPositiveWhenApproaching) {
+  SignalDirectionEstimator dir({0.0, 0.0}, 4);
+  // Moving away from the WAP.
+  for (double x = 1.0; x <= 5.0; x += 1.0) dir.on_position({x, 0.0});
+  EXPECT_LT(dir.direction(), 0.0);
+  // Turn around.
+  for (double x = 5.0; x >= 1.0; x -= 1.0) dir.on_position({x, 0.0});
+  EXPECT_GT(dir.direction(), 0.0);
+}
+
+TEST(SignalDirection, ZeroWhenStationaryOrNoHistory) {
+  SignalDirectionEstimator dir({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(dir.direction(), 0.0);
+  dir.on_position({3.0, 0.0});
+  EXPECT_DOUBLE_EQ(dir.direction(), 0.0);  // single sample
+  for (int i = 0; i < 10; ++i) dir.on_position({3.0, 0.0});
+  EXPECT_DOUBLE_EQ(dir.direction(), 0.0);  // stationary
+}
+
+TEST(SignalDirection, TangentialMotionIsNearZero) {
+  SignalDirectionEstimator dir({0.0, 0.0}, 8);
+  // Circle of radius 5 around the WAP: distance constant.
+  for (int i = 0; i < 8; ++i) {
+    const double a = 0.2 * i;
+    dir.on_position({5.0 * std::cos(a), 5.0 * std::sin(a)});
+  }
+  EXPECT_NEAR(dir.direction(), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace lgv::net

@@ -1,0 +1,121 @@
+#include "net/wireless_channel.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::net {
+namespace {
+
+ChannelConfig test_config() {
+  ChannelConfig c;
+  c.wap_position = {0.0, 0.0};
+  c.shadowing_sigma_db = 0.0;  // deterministic for threshold tests
+  return c;
+}
+
+TEST(WirelessChannel, RssiDecreasesWithDistance) {
+  WirelessChannel ch(test_config());
+  double prev = 1e9;
+  for (double d = 1.0; d <= 60.0; d *= 2.0) {
+    ch.set_robot_position({d, 0.0});
+    const double rssi = ch.mean_rssi_dbm();
+    EXPECT_LT(rssi, prev);
+    prev = rssi;
+  }
+}
+
+TEST(WirelessChannel, MinimumDistanceClamped) {
+  WirelessChannel ch(test_config());
+  ch.set_robot_position({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(ch.distance_to_wap(), 1.0);
+  EXPECT_DOUBLE_EQ(ch.mean_rssi_dbm(), test_config().reference_rssi_dbm);
+}
+
+TEST(WirelessChannel, LossFromSnrShape) {
+  WirelessChannel ch(test_config());
+  EXPECT_DOUBLE_EQ(ch.loss_from_snr(40.0), 0.0);
+  EXPECT_DOUBLE_EQ(ch.loss_from_snr(test_config().good_snr_db), 0.0);
+  EXPECT_DOUBLE_EQ(ch.loss_from_snr(test_config().outage_snr_db), 1.0);
+  EXPECT_DOUBLE_EQ(ch.loss_from_snr(0.0), 1.0);
+  const double mid =
+      (test_config().good_snr_db + test_config().outage_snr_db) / 2.0;
+  const double loss = ch.loss_from_snr(mid);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 1.0);
+}
+
+TEST(WirelessChannel, LossMonotoneInSnr) {
+  WirelessChannel ch(test_config());
+  double prev = 1.1;
+  for (double snr = 0.0; snr <= 40.0; snr += 1.0) {
+    const double loss = ch.loss_from_snr(snr);
+    EXPECT_LE(loss, prev + 1e-12);
+    prev = loss;
+  }
+}
+
+TEST(WirelessChannel, NearWapNoLossFarWapOutage) {
+  WirelessChannel ch(test_config());
+  ch.set_robot_position({2.0, 0.0});
+  EXPECT_DOUBLE_EQ(ch.loss_probability(), 0.0);
+  EXPECT_FALSE(ch.in_outage());
+
+  ch.set_robot_position({500.0, 0.0});
+  EXPECT_DOUBLE_EQ(ch.loss_probability(), 1.0);
+  EXPECT_TRUE(ch.in_outage());
+}
+
+TEST(WirelessChannel, LatencyGrowsWithWeakSignal) {
+  WirelessChannel ch(test_config());
+  ch.set_robot_position({2.0, 0.0});
+  double near_total = 0.0;
+  for (int i = 0; i < 64; ++i) near_total += ch.sample_latency(1000);
+  // Choose a distance that is weak but not in outage.
+  ChannelConfig cfg = test_config();
+  WirelessChannel weak(cfg);
+  double d = 2.0;
+  while (true) {
+    weak.set_robot_position({d, 0.0});
+    const double snr = weak.snr_db(weak.mean_rssi_dbm());
+    if (snr < cfg.good_snr_db - 4.0) break;
+    d += 1.0;
+  }
+  double weak_total = 0.0;
+  for (int i = 0; i < 64; ++i) weak_total += weak.sample_latency(1000);
+  EXPECT_GT(weak_total, near_total);
+}
+
+TEST(WirelessChannel, WanLatencyAdds) {
+  ChannelConfig base = test_config();
+  ChannelConfig wan = base;
+  wan.wan_latency_s = 0.015;
+  wan.latency_jitter_s = 0.0;
+  base.latency_jitter_s = 0.0;
+  WirelessChannel edge(base), cloud(wan);
+  edge.set_robot_position({2.0, 0.0});
+  cloud.set_robot_position({2.0, 0.0});
+  EXPECT_NEAR(cloud.sample_latency(100) - edge.sample_latency(100), 0.015, 1e-9);
+}
+
+TEST(WirelessChannel, EffectiveUplinkDegrades) {
+  WirelessChannel ch(test_config());
+  ch.set_robot_position({2.0, 0.0});
+  const double near = ch.effective_uplink_bps();
+  ch.set_robot_position({40.0, 0.0});
+  const double far = ch.effective_uplink_bps();
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);
+}
+
+TEST(WirelessChannel, ShadowingIsDeterministicPerSeed) {
+  ChannelConfig cfg = test_config();
+  cfg.shadowing_sigma_db = 2.0;
+  WirelessChannel a(cfg, 99), b(cfg, 99);
+  a.set_robot_position({10.0, 0.0});
+  b.set_robot_position({10.0, 0.0});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample_rssi_dbm(), b.sample_rssi_dbm());
+  }
+}
+
+}  // namespace
+}  // namespace lgv::net

@@ -1,0 +1,115 @@
+#include "perception/amcl.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/lidar.h"
+#include "sim/world.h"
+
+namespace lgv::perception {
+namespace {
+
+class AmclTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world = std::make_unique<sim::World>(8.0, 8.0);
+    world->add_outer_walls(0.2);
+    world->add_box({3.5, 3.5}, {4.5, 4.5});
+    world->add_disc({6.0, 2.0}, 0.4);
+    OccupancyGridConfig cfg;
+    cfg.resolution = 0.05;
+    map = std::make_unique<OccupancyGrid>(
+        OccupancyGrid::from_binary(world->frame(), world->grid(), cfg));
+    sim::LidarConfig lc;
+    lc.range_noise_sigma = 0.005;
+    lidar = std::make_unique<sim::Lidar>(lc, 5);
+  }
+
+  msg::Odometry odom_at(const Pose2D& p, double stamp) {
+    msg::Odometry o;
+    o.pose = p;
+    o.header.stamp = stamp;
+    return o;
+  }
+
+  std::unique_ptr<sim::World> world;
+  std::unique_ptr<OccupancyGrid> map;
+  std::unique_ptr<sim::Lidar> lidar;
+};
+
+TEST_F(AmclTest, InitializeConcentratesParticles) {
+  Amcl amcl({}, map.get());
+  amcl.initialize({2.0, 2.0, 0.0});
+  const Pose2D est = amcl.estimate();
+  EXPECT_NEAR(est.x, 2.0, 0.2);
+  EXPECT_NEAR(est.y, 2.0, 0.2);
+}
+
+TEST_F(AmclTest, TracksAMovingRobot) {
+  Amcl amcl({}, map.get(), 17);
+  Pose2D truth{1.5, 1.5, 0.0};
+  Pose2D odom = truth;
+  amcl.initialize(truth);
+  platform::ExecutionContext ctx;
+  Rng rng(23);
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    // Move east 5 cm per step with odometry noise.
+    truth = Pose2D(truth.x + 0.05, truth.y, 0.0);
+    odom = Pose2D(odom.x + 0.05 + rng.gaussian(0.0, 0.002),
+                  odom.y + rng.gaussian(0.0, 0.002), rng.gaussian(0.0, 0.002));
+    t += 0.2;
+    amcl.update(odom_at(odom, t), lidar->scan(*world, truth, t), ctx);
+  }
+  const Pose2D est = amcl.estimate();
+  EXPECT_LT(distance(est.position(), truth.position()), 0.3);
+}
+
+TEST_F(AmclTest, AdaptiveParticleCountShrinksWhenConverged) {
+  AmclConfig cfg;
+  cfg.min_particles = 50;
+  cfg.max_particles = 500;
+  Amcl amcl(cfg, map.get(), 9);
+  amcl.initialize({2.0, 2.0, 0.0}, 0.4, 0.4);  // wide spread
+  const int initial = amcl.particle_count();
+  platform::ExecutionContext ctx;
+  Pose2D truth{2.0, 2.0, 0.0};
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    t += 0.2;
+    amcl.update(odom_at(truth, t), lidar->scan(*world, truth, t), ctx);
+  }
+  // KLD adaptation: converged estimate needs fewer particles.
+  EXPECT_LE(amcl.particle_count(), initial);
+  EXPECT_GE(amcl.particle_count(), cfg.min_particles);
+}
+
+TEST_F(AmclTest, GlobalInitializationPlacesParticlesInFreeSpace) {
+  Amcl amcl({}, map.get(), 31);
+  amcl.initialize_global(200);
+  EXPECT_EQ(amcl.particle_count(), 200);
+}
+
+TEST_F(AmclTest, WorkChargedToContext) {
+  Amcl amcl({}, map.get());
+  amcl.initialize({2.0, 2.0, 0.0});
+  platform::ExecutionContext ctx;
+  amcl.update(odom_at({2.0, 2.0, 0.0}, 0.2), lidar->scan(*world, {2.0, 2.0, 0.0}, 0.2),
+              ctx);
+  EXPECT_GT(ctx.profile().total_cycles(), 1e5);
+}
+
+TEST_F(AmclTest, StatsParticleCountMatches) {
+  Amcl amcl({}, map.get());
+  amcl.initialize({2.0, 2.0, 0.0});
+  platform::ExecutionContext ctx;
+  // First update establishes the odometry reference; the second weighs beams.
+  amcl.update(odom_at({2.0, 2.0, 0.0}, 0.2), lidar->scan(*world, {2.0, 2.0, 0.0}, 0.2),
+              ctx);
+  const AmclUpdateStats stats = amcl.update(
+      odom_at({2.0, 2.0, 0.0}, 0.4), lidar->scan(*world, {2.0, 2.0, 0.0}, 0.4), ctx);
+  EXPECT_EQ(stats.particle_count, amcl.particle_count());
+  EXPECT_GT(stats.beam_evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace lgv::perception

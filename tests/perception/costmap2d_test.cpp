@@ -1,0 +1,159 @@
+#include "perception/costmap2d.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/lidar.h"
+#include "sim/world.h"
+
+namespace lgv::perception {
+namespace {
+
+msg::LaserScan beam_at(double range, double angle) {
+  msg::LaserScan s;
+  s.angle_min = angle;
+  s.angle_max = angle;
+  s.angle_increment = 0.0;
+  s.range_min = 0.1;
+  s.range_max = 3.5;
+  s.ranges = {static_cast<float>(range)};
+  return s;
+}
+
+TEST(Costmap, StartsUnknownWhenTrackingUnknown) {
+  Costmap2D cm({0, 0}, 4.0, 4.0);
+  EXPECT_EQ(cm.cost_at({10, 10}), kCostNoInformation);
+  EXPECT_FALSE(cm.is_traversable({10, 10}));
+}
+
+TEST(Costmap, OutOfBoundsIsLethal) {
+  Costmap2D cm({0, 0}, 4.0, 4.0);
+  EXPECT_EQ(cm.cost_at({-1, 0}), kCostLethal);
+}
+
+TEST(Costmap, StaticMapProducesLethalAndFree) {
+  sim::World w(4.0, 4.0);
+  w.add_box({2.0, 0.0}, {2.2, 4.0});
+  Costmap2D cm({0, 0}, 4.0, 4.0);
+  cm.set_static_map(OccupancyGrid::from_binary(w.frame(), w.grid()).to_msg(0.0));
+  cm.inflate();
+  EXPECT_TRUE(cm.is_lethal(cm.frame().world_to_cell({2.1, 2.0})));
+  EXPECT_TRUE(cm.is_traversable(cm.frame().world_to_cell({0.5, 0.5})));
+}
+
+TEST(Costmap, ObstacleLayerMarksScanHit) {
+  Costmap2D cm({0, 0}, 6.0, 6.0);
+  const Pose2D pose{1.0, 3.0, 0.0};
+  cm.update(pose, beam_at(2.0, 0.0));
+  EXPECT_TRUE(cm.is_lethal(cm.frame().world_to_cell({3.0, 3.0})));
+  // The ray path is cleared (known free).
+  EXPECT_EQ(cm.cost_at(cm.frame().world_to_cell({1.5, 3.0})), kCostFreeSpace);
+}
+
+TEST(Costmap, ObstacleClearedWhenSeenThrough) {
+  Costmap2D cm({0, 0}, 6.0, 6.0);
+  const Pose2D pose{1.0, 3.0, 0.0};
+  cm.update(pose, beam_at(2.0, 0.0));
+  ASSERT_TRUE(cm.is_lethal(cm.frame().world_to_cell({3.0, 3.0})));
+  // Obstacle moves away; the beam now reaches farther.
+  cm.update(pose, beam_at(3.4, 0.0));
+  EXPECT_FALSE(cm.is_lethal(cm.frame().world_to_cell({3.0, 3.0})));
+}
+
+TEST(Costmap, InflationDecreasesMonotonicallyWithDistance) {
+  CostmapConfig cfg;
+  cfg.inflation_radius = 0.5;
+  Costmap2D cm({0, 0}, 6.0, 6.0, cfg);
+  const Pose2D pose{1.0, 3.0, 0.0};
+  cm.update(pose, beam_at(2.0, 0.0));
+  // Walk away from the obstacle at (3.0, 3.0) along -x.
+  uint8_t prev = kCostLethal;
+  for (double x = 3.0; x >= 2.3; x -= cm.frame().resolution) {
+    const uint8_t c = cm.cost_at(cm.frame().world_to_cell({x, 3.0}));
+    EXPECT_LE(c, prev) << "at x=" << x;
+    prev = c;
+  }
+  // Beyond the inflation radius: free.
+  EXPECT_EQ(cm.cost_at(cm.frame().world_to_cell({2.2, 3.0})), kCostFreeSpace);
+}
+
+TEST(Costmap, InscribedRadiusIsInscribedCost) {
+  CostmapConfig cfg;
+  cfg.inscribed_radius = 0.15;
+  cfg.inflation_radius = 0.5;
+  Costmap2D cm({0, 0}, 6.0, 6.0, cfg);
+  cm.update({1.0, 3.0, 0.0}, beam_at(2.0, 0.0));
+  // A cell well inside the inscribed radius of the obstacle (query at a cell
+  // center to avoid float boundary effects).
+  const uint8_t c = cm.cost_at(cm.frame().world_to_cell({2.93, 3.03}));
+  EXPECT_GE(c, kCostInscribed);
+}
+
+TEST(Costmap, UpdateStatsCountWork) {
+  Costmap2D cm({0, 0}, 6.0, 6.0);
+  const CostmapUpdateStats stats = cm.update({1.0, 3.0, 0.0}, beam_at(2.0, 0.0));
+  EXPECT_GT(stats.raytraced_cells, 30u);  // 2 m at 0.05 m
+  EXPECT_GT(stats.inflated_cells, 0u);
+}
+
+TEST(Costmap, FullScanFromSimWorld) {
+  sim::World w(8.0, 8.0);
+  w.add_outer_walls(0.2);
+  w.add_disc({4.0, 4.0}, 0.4);
+  sim::LidarConfig lc;
+  lc.range_noise_sigma = 0.0;
+  sim::Lidar lidar(lc);
+  Costmap2D cm({0, 0}, 8.0, 8.0);
+  const Pose2D pose{2.0, 2.0, 0.0};
+  cm.update(pose, lidar.scan(w, pose, 0.0));
+  // The disc edge nearest the robot is marked (+inflated).
+  EXPECT_GE(cm.cost_at(cm.frame().world_to_cell({3.67, 3.67})), kCostInscribed);
+  // Robot's own cell is traversable.
+  EXPECT_TRUE(cm.is_traversable(cm.frame().world_to_cell(pose.position())));
+}
+
+TEST(Costmap, UntrackedUnknownStartsFree) {
+  CostmapConfig cfg;
+  cfg.track_unknown = false;
+  Costmap2D cm({0, 0}, 4.0, 4.0, cfg);
+  EXPECT_EQ(cm.cost_at({10, 10}), kCostFreeSpace);
+  EXPECT_TRUE(cm.is_traversable({10, 10}));
+}
+
+TEST(Costmap, ObstacleBeyondMarkingRangeOnlyClears) {
+  CostmapConfig cfg;
+  cfg.obstacle_range = 1.0;
+  cfg.raytrace_range = 3.5;
+  Costmap2D cm({0, 0}, 6.0, 6.0, cfg);
+  cm.update({1.0, 3.0, 0.0}, beam_at(2.0, 0.0));
+  // Hit at 2 m exceeds obstacle_range: the endpoint is NOT marked as an
+  // obstacle (it stays unknown — untraversable but not kCostLethal), and the
+  // ray path up to it was cleared.
+  EXPECT_NE(cm.cost_at(cm.frame().world_to_cell({3.0, 3.0})), kCostLethal);
+  EXPECT_EQ(cm.cost_at(cm.frame().world_to_cell({1.5, 3.0})), kCostFreeSpace);
+}
+
+TEST(Costmap, StaticLethalSurvivesClearing) {
+  // A wall in the static map stays lethal even when a (spurious) beam claims
+  // to see through it — static knowledge wins over one scan.
+  sim::World w(6.0, 6.0);
+  w.add_box({3.0, 2.8}, {3.2, 3.2});
+  Costmap2D cm({0, 0}, 6.0, 6.0);
+  cm.set_static_map(OccupancyGrid::from_binary(w.frame(), w.grid()).to_msg(0.0));
+  cm.update({1.0, 3.0, 0.0}, beam_at(3.4, 0.0));  // beam "through" the wall
+  EXPECT_TRUE(cm.is_lethal(cm.frame().world_to_cell({3.1, 3.0})));
+}
+
+TEST(Costmap, ToMsgEncodesUnknownAndCost) {
+  Costmap2D cm({0, 0}, 2.0, 2.0);
+  cm.update({0.5, 1.0, 0.0}, beam_at(0.8, 0.0));
+  const msg::OccupancyGridMsg m = cm.to_msg(1.0);
+  EXPECT_EQ(m.width, cm.width());
+  const CellIndex hit = cm.frame().world_to_cell({1.3, 1.0});
+  EXPECT_EQ(m.at(hit.x, hit.y), 100);
+  bool has_unknown = false;
+  for (int8_t v : m.data) has_unknown |= v == msg::kUnknownCell;
+  EXPECT_TRUE(has_unknown);
+}
+
+}  // namespace
+}  // namespace lgv::perception

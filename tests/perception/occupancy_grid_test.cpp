@@ -1,0 +1,135 @@
+#include "perception/occupancy_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/lidar.h"
+#include "sim/world.h"
+
+namespace lgv::perception {
+namespace {
+
+TEST(OccupancyGrid, StartsUnknown) {
+  OccupancyGrid g({0, 0}, 5.0, 5.0);
+  EXPECT_TRUE(g.is_unknown({10, 10}));
+  EXPECT_FALSE(g.is_occupied({10, 10}));
+  EXPECT_FALSE(g.is_free({10, 10}));
+  EXPECT_EQ(g.known_cells(), 0u);
+}
+
+TEST(OccupancyGrid, OutOfBoundsIsUnknown) {
+  OccupancyGrid g({0, 0}, 2.0, 2.0);
+  EXPECT_TRUE(g.is_unknown({-1, 0}));
+  EXPECT_TRUE(g.is_unknown({1000, 0}));
+}
+
+msg::LaserScan single_beam(double range, double angle = 0.0) {
+  msg::LaserScan s;
+  s.angle_min = angle;
+  s.angle_max = angle;
+  s.angle_increment = 0.0;
+  s.range_min = 0.1;
+  s.range_max = 3.5;
+  s.ranges = {static_cast<float>(range)};
+  return s;
+}
+
+TEST(OccupancyGrid, ScanMarksEndpointOccupiedAndPathFree) {
+  OccupancyGrid g({0, 0}, 5.0, 5.0);
+  const Pose2D pose{1.0, 2.5, 0.0};
+  const msg::LaserScan s = single_beam(2.0);
+  for (int i = 0; i < 5; ++i) g.integrate_scan(pose, s);
+  // Endpoint at (3.0, 2.5).
+  EXPECT_TRUE(g.is_occupied(g.frame().world_to_cell({3.0, 2.5})));
+  EXPECT_TRUE(g.is_free(g.frame().world_to_cell({2.0, 2.5})));
+  EXPECT_TRUE(g.is_free(g.frame().world_to_cell({1.2, 2.5})));
+  EXPECT_GT(g.known_cells(), 10u);
+}
+
+TEST(OccupancyGrid, NoReturnBeamOnlyClears) {
+  OccupancyGrid g({0, 0}, 5.0, 5.0);
+  const Pose2D pose{1.0, 2.5, 0.0};
+  const msg::LaserScan s = single_beam(4.5);  // beyond range_max
+  for (int i = 0; i < 5; ++i) g.integrate_scan(pose, s);
+  for (double x = 1.2; x < 4.3; x += 0.3) {
+    EXPECT_FALSE(g.is_occupied(g.frame().world_to_cell({x, 2.5}))) << x;
+  }
+}
+
+TEST(OccupancyGrid, RepeatedEvidenceSaturates) {
+  OccupancyGrid g({0, 0}, 5.0, 5.0);
+  const Pose2D pose{1.0, 2.5, 0.0};
+  const msg::LaserScan s = single_beam(2.0);
+  for (int i = 0; i < 100; ++i) g.integrate_scan(pose, s);
+  const CellIndex end = g.frame().world_to_cell({3.0, 2.5});
+  EXPECT_LE(g.log_odds_at(end), g.config().log_odds_max + 1e-9);
+  EXPECT_GT(g.probability_at(end), 0.95);
+}
+
+TEST(OccupancyGrid, ConflictingEvidenceFlips) {
+  OccupancyGrid g({0, 0}, 5.0, 5.0);
+  const Pose2D pose{1.0, 2.5, 0.0};
+  const CellIndex target = g.frame().world_to_cell({3.0, 2.5});
+  for (int i = 0; i < 3; ++i) g.integrate_scan(pose, single_beam(2.0));
+  EXPECT_TRUE(g.is_occupied(target));
+  // Now see through that cell many times (obstacle moved away).
+  for (int i = 0; i < 30; ++i) g.integrate_scan(pose, single_beam(3.4));
+  EXPECT_FALSE(g.is_occupied(target));
+}
+
+TEST(OccupancyGrid, MessageRoundTripPreservesStates) {
+  OccupancyGrid g({0, 0}, 5.0, 5.0);
+  const Pose2D pose{1.0, 2.5, 0.0};
+  for (int i = 0; i < 10; ++i) g.integrate_scan(pose, single_beam(2.0));
+  const msg::OccupancyGridMsg m = g.to_msg(1.0);
+  EXPECT_EQ(m.width, g.width());
+  const OccupancyGrid back = OccupancyGrid::from_msg(m);
+  const CellIndex occ = g.frame().world_to_cell({3.0, 2.5});
+  const CellIndex free = g.frame().world_to_cell({2.0, 2.5});
+  EXPECT_TRUE(back.is_occupied(occ));
+  EXPECT_TRUE(back.is_free(free));
+  EXPECT_TRUE(back.is_unknown({0, 0}));
+}
+
+TEST(OccupancyGrid, FromBinarySeedsKnownMap) {
+  sim::World w(4.0, 4.0);
+  w.add_box({2.0, 0.0}, {2.2, 4.0});
+  const OccupancyGrid g =
+      OccupancyGrid::from_binary(w.frame(), w.grid());
+  EXPECT_TRUE(g.is_occupied(g.frame().world_to_cell({2.1, 1.0})));
+  EXPECT_TRUE(g.is_free(g.frame().world_to_cell({1.0, 1.0})));
+  EXPECT_EQ(g.known_cells(), static_cast<size_t>(g.width()) * g.height());
+}
+
+TEST(OccupancyGrid, FullWorldMappingMatchesGroundTruth) {
+  sim::World w(6.0, 6.0);
+  w.add_outer_walls(0.2);
+  w.add_disc({3.0, 3.0}, 0.4);
+  sim::LidarConfig lc;
+  lc.range_noise_sigma = 0.0;
+  sim::Lidar lidar(lc);
+  OccupancyGridConfig cfg;
+  cfg.resolution = 0.1;
+  OccupancyGrid g({0, 0}, 6.0, 6.0, cfg);
+  // Scan from several free poses around the disc.
+  for (const Point2D p : {Point2D{1.0, 1.0}, {5.0, 1.0}, {1.0, 5.0}, {5.0, 5.0},
+                          {1.5, 3.0}}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      g.integrate_scan({p.x, p.y, 0.0}, lidar.scan(w, {p.x, p.y, 0.0}, 0.0));
+    }
+  }
+  // The disc's center should be mapped occupied; open floor should be free.
+  EXPECT_TRUE(g.is_occupied(g.frame().world_to_cell({2.62, 3.0})));
+  EXPECT_TRUE(g.is_free(g.frame().world_to_cell({1.5, 1.5})));
+  EXPECT_GT(g.known_area_m2(), 15.0);
+}
+
+TEST(OccupancyGrid, TouchedCellCountReported) {
+  OccupancyGrid g({0, 0}, 5.0, 5.0);
+  const size_t touched = g.integrate_scan({1.0, 2.5, 0.0}, single_beam(2.0));
+  // 2 m beam at 0.1 m resolution ≈ 20 cells.
+  EXPECT_GE(touched, 15u);
+  EXPECT_LE(touched, 25u);
+}
+
+}  // namespace
+}  // namespace lgv::perception

@@ -1,0 +1,195 @@
+#include "perception/visual_odometry.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace lgv::perception {
+namespace {
+
+sim::World corner_world() {
+  sim::World w(10.0, 10.0);
+  w.add_outer_walls(0.2);
+  w.add_box({3.0, 3.0}, {4.0, 4.0});
+  w.add_box({6.5, 6.0}, {7.5, 7.2});
+  w.add_box({2.0, 7.0}, {2.8, 7.6});
+  return w;
+}
+
+TEST(Landmarks, ExtractedAtCorners) {
+  const sim::World w = corner_world();
+  const auto landmarks = extract_landmarks(w);
+  EXPECT_GT(landmarks.size(), 8u);  // boxes + wall corners
+  // Ids are unique.
+  std::set<uint32_t> ids;
+  for (const auto& lm : landmarks) ids.insert(lm.id);
+  EXPECT_EQ(ids.size(), landmarks.size());
+  // All landmarks sit on occupied cells.
+  for (const auto& lm : landmarks) {
+    EXPECT_TRUE(w.occupied(lm.position));
+  }
+}
+
+TEST(Align, RecoversKnownTransform) {
+  const Pose2D truth{1.5, -0.5, 0.7};
+  std::vector<Point2D> body = {{1, 0}, {0, 1}, {-1, 0}, {2, 2}};
+  std::vector<Point2D> world;
+  for (const Point2D& b : body) world.push_back(truth.transform(b));
+  const auto est = VisualOdometry::align(body, world);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->x, truth.x, 1e-9);
+  EXPECT_NEAR(est->y, truth.y, 1e-9);
+  EXPECT_NEAR(angle_diff(est->theta, truth.theta), 0.0, 1e-9);
+}
+
+TEST(Align, DegenerateInputsRejected) {
+  EXPECT_FALSE(VisualOdometry::align({}, {}).has_value());
+  EXPECT_FALSE(VisualOdometry::align({{1, 1}}, {{2, 2}}).has_value());
+  EXPECT_FALSE(VisualOdometry::align({{1, 1}, {2, 2}}, {{1, 1}}).has_value());
+  // All points identical: rotation unobservable.
+  EXPECT_FALSE(
+      VisualOdometry::align({{1, 1}, {1, 1}}, {{2, 2}, {2, 2}}).has_value());
+}
+
+TEST(Camera, SeesOnlyInsideFovAndRange) {
+  const sim::World w = corner_world();
+  const auto landmarks = extract_landmarks(w);
+  CameraConfig cfg;
+  cfg.detection_probability = 1.0;
+  cfg.pixel_noise = 0.0;
+  Camera cam(cfg, landmarks);
+  // Facing east from the middle-left: the box at (3-4, 3-4) is visible.
+  const Pose2D pose{1.0, 3.5, 0.0};
+  const VisualFrame frame = cam.capture(w, pose, 0.0);
+  EXPECT_GE(frame.ids.size(), 2u);
+  for (const Point2D& obs : frame.observations) {
+    EXPECT_LE(obs.norm(), cfg.max_range + 0.2);
+    EXPECT_LE(std::abs(std::atan2(obs.y, obs.x)), cfg.fov_rad / 2 + 1e-6);
+  }
+  // Facing west: those corners leave the FOV.
+  const VisualFrame back = cam.capture(w, {1.0, 3.5, std::numbers::pi}, 0.0);
+  for (size_t i = 0; i < back.ids.size(); ++i) {
+    const Point2D world_pos =
+        Pose2D(1.0, 3.5, std::numbers::pi).transform(back.observations[i]);
+    EXPECT_LT(world_pos.x, 1.5) << "saw a landmark behind the camera";
+  }
+}
+
+TEST(Camera, OcclusionHidesLandmarks) {
+  sim::World w(10.0, 10.0);
+  w.add_outer_walls(0.2);
+  w.add_box({4.0, 2.0}, {4.4, 8.0});  // big wall
+  w.add_box({6.0, 4.5}, {6.6, 5.1});  // box hidden behind it
+  const auto landmarks = extract_landmarks(w);
+  CameraConfig cfg;
+  cfg.detection_probability = 1.0;
+  Camera cam(cfg, landmarks);
+  const VisualFrame frame = cam.capture(w, {2.0, 5.0, 0.0}, 0.0);
+  for (size_t i = 0; i < frame.ids.size(); ++i) {
+    const Point2D world_pos = Pose2D(2.0, 5.0, 0.0).transform(frame.observations[i]);
+    EXPECT_LT(world_pos.x, 4.5) << "saw through the wall at " << world_pos.x;
+  }
+}
+
+class VoTrackingTest : public ::testing::Test {
+ protected:
+  VoTrackingTest()
+      : world(corner_world()),
+        landmarks(extract_landmarks(world)),
+        camera(make_camera(landmarks)),
+        vo({}, landmarks) {}
+
+  static Camera make_camera(const std::vector<Landmark>& lms) {
+    CameraConfig cfg;
+    cfg.detection_probability = 1.0;
+    cfg.pixel_noise = 0.003;
+    return Camera(cfg, lms, 7);
+  }
+
+  sim::World world;
+  std::vector<Landmark> landmarks;
+  Camera camera;
+  VisualOdometry vo;
+  platform::ExecutionContext ctx;
+};
+
+TEST_F(VoTrackingTest, TracksSlowMotionAccurately) {
+  Pose2D truth{1.5, 1.5, 0.5};
+  vo.initialize(truth);
+  Rng rng(3);
+  int tracked = 0;
+  const int frames = 60;
+  for (int i = 0; i < frames; ++i) {
+    const Pose2D delta{0.04, 0.0, 0.01};  // gentle arc
+    truth = truth.compose(delta);
+    Pose2D noisy = delta;
+    noisy.x += rng.gaussian(0.0, 0.002);
+    noisy.theta = normalize_angle(noisy.theta + rng.gaussian(0.0, 0.002));
+    const VoUpdateStats stats =
+        vo.update(noisy, camera.capture(world, truth, 0.1 * i), ctx);
+    tracked += stats.tracked;
+  }
+  // Feature-sparse headings can momentarily starve the tracker; most frames
+  // must lock and the estimate must stay tight.
+  EXPECT_GT(tracked, frames * 7 / 10);
+  EXPECT_LT(distance(vo.pose().position(), truth.position()), 0.2);
+}
+
+TEST_F(VoTrackingTest, FastRotationLosesTracking) {
+  // §IX: the scene changes faster than features can be tracked.
+  Pose2D truth{5.0, 1.5, 0.0};
+  vo.initialize(truth);
+  bool lost = false;
+  for (int i = 0; i < 12; ++i) {
+    const Pose2D delta{0.0, 0.0, 1.4};  // ~80°/frame — frames barely overlap
+    truth = truth.compose(delta);
+    vo.update(delta, camera.capture(world, truth, 0.1 * i), ctx);
+    lost |= vo.lost();
+  }
+  EXPECT_TRUE(lost);
+}
+
+TEST_F(VoTrackingTest, RelocalizesAfterLoss) {
+  Pose2D truth{1.5, 1.5, 0.5};
+  vo.initialize(truth);
+  // Lose tracking with fast spins.
+  for (int i = 0; i < 6; ++i) {
+    const Pose2D delta{0.0, 0.0, 1.4};
+    truth = truth.compose(delta);
+    vo.update(delta, camera.capture(world, truth, 0.1 * i), ctx);
+  }
+  // Swing back to the landmark-rich heading and hold still: the map-based
+  // association relocks (odometry kept the estimate within the match gate).
+  const Pose2D back{0.0, 0.0, angle_diff(0.5, truth.theta)};
+  truth = truth.compose(back);
+  vo.update(back, camera.capture(world, truth, 0.9), ctx);
+  VoUpdateStats stats;
+  for (int i = 0; i < 5; ++i) {
+    stats = vo.update({}, camera.capture(world, truth, 1.0 + 0.1 * i), ctx);
+  }
+  EXPECT_TRUE(stats.tracked);
+  EXPECT_LT(distance(vo.pose().position(), truth.position()), 0.2);
+}
+
+TEST(TrackableRate, ScalesWithFovAndFrameRate) {
+  // 90° FOV at 10 Hz with 50% margin → ~7.8 rad/s; at 2 Hz → 1.57 rad/s.
+  EXPECT_NEAR(max_trackable_angular_rate(1.57, 0.1), 7.85, 0.01);
+  EXPECT_NEAR(max_trackable_angular_rate(1.57, 0.5), 1.57, 0.01);
+  EXPECT_GT(max_trackable_angular_rate(2.0, 0.1), max_trackable_angular_rate(1.0, 0.1));
+}
+
+TEST(VoWork, ChargedToContext) {
+  const sim::World w = corner_world();
+  const auto lms = extract_landmarks(w);
+  CameraConfig cfg;
+  cfg.detection_probability = 1.0;
+  Camera cam(cfg, lms);
+  VisualOdometry vo({}, lms);
+  vo.initialize({1.5, 1.5, 0.5});
+  platform::ExecutionContext ctx;
+  vo.update({0.02, 0, 0}, cam.capture(w, {1.52, 1.5, 0.5}, 0.0), ctx);
+  EXPECT_GT(ctx.profile().total_cycles(), 0.0);
+}
+
+}  // namespace
+}  // namespace lgv::perception

@@ -1,0 +1,152 @@
+#include "planning/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include "perception/occupancy_grid.h"
+#include "sim/lidar.h"
+#include "sim/world.h"
+
+namespace lgv::planning {
+namespace {
+
+msg::OccupancyGridMsg half_explored_map() {
+  // 10×10 m map: left half known free, right half unknown, with a frontier
+  // along the boundary.
+  msg::OccupancyGridMsg m;
+  m.frame.origin = {0, 0};
+  m.frame.resolution = 0.1;
+  m.width = 100;
+  m.height = 100;
+  m.data.assign(100 * 100, msg::kUnknownCell);
+  for (int y = 0; y < 100; ++y) {
+    for (int x = 0; x < 50; ++x) {
+      m.data[static_cast<size_t>(y) * 100 + x] = 0;  // free
+    }
+  }
+  return m;
+}
+
+TEST(Frontier, FindsBoundaryBetweenFreeAndUnknown) {
+  const msg::OccupancyGridMsg m = half_explored_map();
+  FrontierExplorer fx;
+  platform::ExecutionContext ctx;
+  const FrontierResult r = fx.detect(m, {2.0, 5.0, 0.0}, ctx);
+  ASSERT_FALSE(r.frontiers.empty());
+  ASSERT_TRUE(r.next_goal.has_value());
+  // The frontier centroid sits near x = 4.9 (the last free column).
+  EXPECT_NEAR(r.next_goal->x, 4.95, 0.3);
+  EXPECT_GT(ctx.profile().total_cycles(), 1e4);
+}
+
+TEST(Frontier, NoFrontierInFullyKnownMap) {
+  msg::OccupancyGridMsg m = half_explored_map();
+  for (auto& v : m.data) {
+    if (v < 0) v = 0;  // everything known free
+  }
+  FrontierExplorer fx;
+  platform::ExecutionContext ctx;
+  const FrontierResult r = fx.detect(m, {2.0, 5.0, 0.0}, ctx);
+  EXPECT_TRUE(r.frontiers.empty());
+  EXPECT_FALSE(r.next_goal.has_value());
+}
+
+TEST(Frontier, OccupiedBoundaryIsNotAFrontier) {
+  msg::OccupancyGridMsg m = half_explored_map();
+  // Wall off the boundary column: occupied cells are not frontier cells.
+  for (int y = 0; y < 100; ++y) m.data[static_cast<size_t>(y) * 100 + 49] = 100;
+  FrontierExplorer fx;
+  platform::ExecutionContext ctx;
+  const FrontierResult r = fx.detect(m, {2.0, 5.0, 0.0}, ctx);
+  EXPECT_TRUE(r.frontiers.empty());
+}
+
+TEST(Frontier, SmallSpecksFiltered) {
+  msg::OccupancyGridMsg m;
+  m.frame.origin = {0, 0};
+  m.frame.resolution = 0.1;
+  m.width = 40;
+  m.height = 40;
+  m.data.assign(40 * 40, 0);  // all free
+  // A single unknown cell in the middle creates a tiny 4-cell frontier ring.
+  m.data[20 * 40 + 20] = msg::kUnknownCell;
+  FrontierConfig cfg;
+  cfg.min_cluster_cells = 6;
+  FrontierExplorer fx(cfg);
+  platform::ExecutionContext ctx;
+  const FrontierResult r = fx.detect(m, {1.0, 1.0, 0.0}, ctx);
+  EXPECT_TRUE(r.frontiers.empty());
+}
+
+TEST(Frontier, PrefersNearerFrontierOfEqualSize) {
+  // Two disconnected free pockets of equal size; their frontier rings are
+  // separate clusters. The robot sits nearer the left one — with equal sizes
+  // the distance term decides.
+  msg::OccupancyGridMsg m;
+  m.frame.origin = {0, 0};
+  m.frame.resolution = 0.1;
+  m.width = 120;
+  m.height = 40;
+  m.data.assign(120 * 40, msg::kUnknownCell);
+  auto fill_pocket = [&](int x0) {
+    for (int y = 15; y < 25; ++y) {
+      for (int x = x0; x < x0 + 10; ++x) m.data[static_cast<size_t>(y) * 120 + x] = 0;
+    }
+  };
+  fill_pocket(10);
+  fill_pocket(100);
+  FrontierExplorer fx;
+  platform::ExecutionContext ctx;
+  // Robot below the left pocket (outside min_distance of its ring centroid).
+  const FrontierResult r = fx.detect(m, {1.0, 0.6, 0.0}, ctx);
+  ASSERT_EQ(r.frontiers.size(), 2u);
+  ASSERT_TRUE(r.next_goal.has_value());
+  EXPECT_LT(r.next_goal->x, 4.0);  // the left pocket's ring
+}
+
+TEST(Frontier, PrefersBiggerFrontierAtEqualDistance) {
+  msg::OccupancyGridMsg m;
+  m.frame.origin = {0, 0};
+  m.frame.resolution = 0.1;
+  m.width = 120;
+  m.height = 80;
+  m.data.assign(120 * 80, msg::kUnknownCell);
+  // Small pocket above the robot, big pocket below, both centered ~3 m away.
+  for (int y = 56; y < 60; ++y) {
+    for (int x = 56; x < 64; ++x) m.data[static_cast<size_t>(y) * 120 + x] = 0;
+  }
+  for (int y = 10; y < 26; ++y) {
+    for (int x = 44; x < 76; ++x) m.data[static_cast<size_t>(y) * 120 + x] = 0;
+  }
+  FrontierConfig cfg;
+  cfg.size_weight = 0.4;
+  cfg.distance_weight = 1.0;
+  FrontierExplorer fx(cfg);
+  platform::ExecutionContext ctx;
+  const FrontierResult r = fx.detect(m, {6.0, 4.0, 0.0}, ctx);
+  ASSERT_EQ(r.frontiers.size(), 2u);
+  ASSERT_TRUE(r.next_goal.has_value());
+  EXPECT_LT(r.next_goal->y, 4.0);  // the big lower pocket wins
+  EXPECT_GT(r.frontiers[0].cells, r.frontiers[1].cells);
+}
+
+TEST(Frontier, RealExplorationMapProducesReachableGoal) {
+  sim::World w(8.0, 8.0);
+  w.add_outer_walls(0.2);
+  sim::LidarConfig lc;
+  lc.range_noise_sigma = 0.0;
+  sim::Lidar lidar(lc);
+  perception::OccupancyGridConfig cfg;
+  cfg.resolution = 0.1;
+  perception::OccupancyGrid g({0, 0}, 8.0, 8.0, cfg);
+  const Pose2D pose{2.0, 2.0, 0.0};
+  g.integrate_scan(pose, lidar.scan(w, pose, 0.0));
+  FrontierExplorer fx;
+  platform::ExecutionContext ctx;
+  const FrontierResult r = fx.detect(g.to_msg(0.0), pose, ctx);
+  // With a 3.5 m lidar in an 8 m room there must be unexplored frontier.
+  ASSERT_TRUE(r.next_goal.has_value());
+  EXPECT_GT(distance(*r.next_goal, pose.position()), 0.4);
+}
+
+}  // namespace
+}  // namespace lgv::planning

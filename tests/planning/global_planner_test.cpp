@@ -1,0 +1,108 @@
+#include "planning/global_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "perception/occupancy_grid.h"
+#include "sim/scenario.h"
+
+namespace lgv::planning {
+namespace {
+
+perception::Costmap2D costmap_from_world(const sim::World& w) {
+  perception::Costmap2D cm(w.frame().origin, w.width_m(), w.height_m());
+  cm.set_static_map(perception::OccupancyGrid::from_binary(w.frame(), w.grid()).to_msg(0.0));
+  cm.inflate();
+  return cm;
+}
+
+TEST(GlobalPlanner, PlansAcrossTheLab) {
+  const sim::Scenario s = sim::make_lab_scenario();
+  const perception::Costmap2D cm = costmap_from_world(s.world);
+  GlobalPlanner planner;
+  platform::ExecutionContext ctx;
+  const PlanResult r = planner.plan(cm, {s.start, s.goal}, ctx);
+  ASSERT_TRUE(r.success);
+  ASSERT_GE(r.path.poses.size(), 3u);
+  EXPECT_LT(distance(r.path.poses.front().position(), s.start.position()), 0.3);
+  EXPECT_LT(distance(r.path.poses.back().position(), s.goal.position()), 0.6);
+  EXPECT_GT(ctx.profile().total_cycles(), 1e5);  // search work charged
+}
+
+TEST(GlobalPlanner, WaypointsAreCollisionFree) {
+  const sim::Scenario s = sim::make_lab_scenario();
+  const perception::Costmap2D cm = costmap_from_world(s.world);
+  GlobalPlanner planner;
+  platform::ExecutionContext ctx;
+  const PlanResult r = planner.plan(cm, {s.start, s.goal}, ctx);
+  ASSERT_TRUE(r.success);
+  for (const Pose2D& p : r.path.poses) {
+    EXPECT_LT(cm.cost_at_world(p.position()), perception::kCostInscribed)
+        << p.x << "," << p.y;
+  }
+}
+
+TEST(GlobalPlanner, HeadingsFollowPathDirection) {
+  sim::World w(6.0, 6.0);
+  const perception::Costmap2D cm = costmap_from_world(w);
+  GlobalPlanner planner;
+  platform::ExecutionContext ctx;
+  const PlanResult r =
+      planner.plan(cm, {{0.5, 0.5, 0.0}, {5.5, 0.5, 0.0}}, ctx);
+  ASSERT_TRUE(r.success);
+  for (size_t i = 0; i + 1 < r.path.poses.size(); ++i) {
+    EXPECT_NEAR(r.path.poses[i].theta, 0.0, 0.3);
+  }
+}
+
+TEST(GlobalPlanner, GoalInsideInflationIsNudgedOut) {
+  sim::World w(6.0, 6.0);
+  w.add_disc({3.0, 3.0}, 0.3);
+  const perception::Costmap2D cm = costmap_from_world(w);
+  GlobalPlanner planner;
+  platform::ExecutionContext ctx;
+  // Goal right at the disc edge (inside inflation).
+  const PlanResult r = planner.plan(cm, {{0.5, 0.5, 0.0}, {3.0, 3.35, 0.0}}, ctx);
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(cm.cost_at_world(r.path.poses.back().position()),
+            perception::kCostInscribed);
+}
+
+TEST(GlobalPlanner, UnreachableGoalFails) {
+  sim::World w(6.0, 6.0);
+  w.add_box({2.0, 0.0}, {2.3, 6.0});
+  const perception::Costmap2D cm = costmap_from_world(w);
+  GlobalPlanner planner;
+  platform::ExecutionContext ctx;
+  const PlanResult r = planner.plan(cm, {{1.0, 3.0, 0.0}, {5.0, 3.0, 0.0}}, ctx);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(GlobalPlanner, DijkstraVariantAlsoPlans) {
+  const sim::Scenario s = sim::make_open_scenario();
+  const perception::Costmap2D cm = costmap_from_world(s.world);
+  GlobalPlanner planner;
+  planner.set_algorithm(SearchAlgorithm::kDijkstra);
+  platform::ExecutionContext ctx;
+  const PlanResult r = planner.plan(cm, {s.start, s.goal}, ctx);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(GlobalPlanner, StrideControlsWaypointDensity) {
+  sim::World w(8.0, 8.0);
+  const perception::Costmap2D cm = costmap_from_world(w);
+  GlobalPlannerConfig dense_cfg;
+  dense_cfg.waypoint_stride = 1;
+  GlobalPlannerConfig sparse_cfg;
+  sparse_cfg.waypoint_stride = 10;
+  platform::ExecutionContext ctx;
+  const PlanResult dense =
+      GlobalPlanner(dense_cfg).plan(cm, {{0.5, 0.5, 0}, {7.5, 7.5, 0}}, ctx);
+  const PlanResult sparse =
+      GlobalPlanner(sparse_cfg).plan(cm, {{0.5, 0.5, 0}, {7.5, 7.5, 0}}, ctx);
+  ASSERT_TRUE(dense.success);
+  ASSERT_TRUE(sparse.success);
+  EXPECT_GT(dense.path.poses.size(), 3u * sparse.path.poses.size());
+}
+
+}  // namespace
+}  // namespace lgv::planning

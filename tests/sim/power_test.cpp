@@ -1,0 +1,90 @@
+#include "sim/power.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::sim {
+namespace {
+
+TEST(ComponentBudget, TableIValues) {
+  const ComponentBudget tb3 = turtlebot3_budget();
+  EXPECT_DOUBLE_EQ(tb3.sensor_w, 1.0);
+  EXPECT_DOUBLE_EQ(tb3.motor_w, 6.7);
+  EXPECT_DOUBLE_EQ(tb3.microcontroller_w, 1.0);
+  EXPECT_DOUBLE_EQ(tb3.embedded_computer_w, 6.5);
+  EXPECT_NEAR(tb3.total(), 15.2, 1e-9);
+
+  EXPECT_DOUBLE_EQ(turtlebot2_budget().embedded_computer_w, 15.0);
+  EXPECT_DOUBLE_EQ(pioneer3dx_budget().motor_w, 10.6);
+}
+
+TEST(PowerModel, MotorPowerEq1d) {
+  PowerModel pm;
+  EXPECT_DOUBLE_EQ(pm.motor_power(0.0, 0.0), 0.0);  // parked
+  const double v = 0.5;
+  const double expected = pm.config().transforming_loss_w +
+                          pm.config().mass_kg * (9.81 * pm.config().friction) * v;
+  EXPECT_NEAR(pm.motor_power(v, 0.0), expected, 1e-9);
+  // Acceleration adds traction power.
+  EXPECT_GT(pm.motor_power(v, 0.3), pm.motor_power(v, 0.0));
+  // Deceleration doesn't go below the steady term.
+  EXPECT_DOUBLE_EQ(pm.motor_power(v, -0.3), pm.motor_power(v, 0.0));
+}
+
+TEST(PowerModel, MotorPowerGrowsWithVelocity) {
+  PowerModel pm;
+  double prev = 0.0;
+  for (double v = 0.1; v <= 1.0; v += 0.1) {
+    const double p = pm.motor_power(v, 0.0);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, ComputerPowerAtFullLoadMatchesTableI) {
+  PowerModel pm;
+  // RPi at full useful load: 4 cores × 1.4 GHz × 0.6 IPC.
+  const double full_load = 4.0 * 1.4e9 * 0.6;
+  const double p = pm.computer_power(full_load, 1.4);
+  EXPECT_GT(p, 5.0);
+  EXPECT_LT(p, 8.0);  // Table I budget: 6.5 W
+  // Idle floor.
+  EXPECT_DOUBLE_EQ(pm.computer_power(0.0, 1.4), pm.config().computer_idle_w);
+}
+
+TEST(PowerModel, TransmissionEnergyEq1b) {
+  PowerModel pm;
+  // 2.94 KB at 20 Mbps: t = 2940*8/20e6 s.
+  const double e = pm.transmission_energy(2940.0, 20e6);
+  EXPECT_NEAR(e, pm.config().transmit_power_w * 2940.0 * 8.0 / 20e6, 1e-12);
+  EXPECT_DOUBLE_EQ(pm.transmission_energy(100.0, 0.0), 0.0);
+}
+
+TEST(EnergyMeter, IntegratesComponents) {
+  EnergyMeter meter;
+  PowerDraw draw{1.0, 2.0, 0.5, 3.0, 0.1};
+  meter.accumulate(draw, 10.0);
+  EXPECT_DOUBLE_EQ(meter.energy().sensor, 10.0);
+  EXPECT_DOUBLE_EQ(meter.energy().motor, 20.0);
+  EXPECT_DOUBLE_EQ(meter.energy().microcontroller, 5.0);
+  EXPECT_DOUBLE_EQ(meter.energy().computer, 30.0);
+  EXPECT_DOUBLE_EQ(meter.energy().wireless, 1.0);
+  EXPECT_DOUBLE_EQ(meter.energy().total(), 66.0);
+  meter.add_wireless_energy(4.0);
+  meter.add_computer_energy(5.0);
+  EXPECT_DOUBLE_EQ(meter.energy().total(), 75.0);
+  meter.reset();
+  EXPECT_DOUBLE_EQ(meter.energy().total(), 0.0);
+}
+
+TEST(Battery, DrainAndDepletion) {
+  Battery b(1.0);  // 1 Wh = 3600 J
+  EXPECT_DOUBLE_EQ(b.capacity_j(), 3600.0);
+  b.drain(1800.0);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 0.5);
+  EXPECT_FALSE(b.depleted());
+  b.drain(1800.0);
+  EXPECT_TRUE(b.depleted());
+}
+
+}  // namespace
+}  // namespace lgv::sim

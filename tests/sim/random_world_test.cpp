@@ -1,0 +1,67 @@
+#include "sim/random_world.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mission_runner.h"
+
+namespace lgv::sim {
+namespace {
+
+TEST(RandomWorld, EndpointsAlwaysClear) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const Scenario s = make_random_scenario(seed);
+    EXPECT_FALSE(s.world.collides(s.start.position(), 0.15)) << "seed " << seed;
+    EXPECT_FALSE(s.world.collides(s.goal.position(), 0.15)) << "seed " << seed;
+  }
+}
+
+TEST(RandomWorld, DeterministicPerSeed) {
+  const Scenario a = make_random_scenario(42);
+  const Scenario b = make_random_scenario(42);
+  EXPECT_EQ(a.world.grid(), b.world.grid());
+}
+
+TEST(RandomWorld, DifferentSeedsDiffer) {
+  const Scenario a = make_random_scenario(1);
+  const Scenario b = make_random_scenario(2);
+  EXPECT_NE(a.world.grid(), b.world.grid());
+}
+
+TEST(RandomWorld, ObstacleCountRoughlyAsConfigured) {
+  RandomWorldConfig cfg;
+  cfg.disc_obstacles = 8;
+  cfg.box_obstacles = 4;
+  const Scenario s = make_random_scenario(7, cfg);
+  size_t solid = 0;
+  for (uint8_t v : s.world.grid().data()) solid += v != 0;
+  // More clutter than just the outer walls.
+  const Scenario empty = make_random_scenario(7, {10.0, 10.0, 0, 0});
+  size_t walls_only = 0;
+  for (uint8_t v : empty.world.grid().data()) walls_only += v != 0;
+  EXPECT_GT(solid, walls_only + 200);
+}
+
+// Robustness sweep: offloaded navigation completes across random layouts.
+class RandomNavigation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomNavigation, OffloadedNavigationSucceeds) {
+  const Scenario s = make_random_scenario(GetParam());
+  core::MissionConfig cfg;
+  cfg.rollout_samples = 200;
+  cfg.timeout = 500.0;
+  core::MissionRunner runner(
+      s,
+      core::offload_plan("gw8", platform::Host::kEdgeGateway, 8,
+                         core::WorkloadKind::kNavigationWithMap),
+      cfg);
+  const core::MissionReport r = runner.run();
+  EXPECT_TRUE(r.success) << "seed " << GetParam() << ": stopped after "
+                         << r.completion_time << " s at distance "
+                         << r.distance_traveled;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNavigation,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace lgv::sim

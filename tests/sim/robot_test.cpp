@@ -1,0 +1,123 @@
+#include "sim/robot.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace lgv::sim {
+namespace {
+
+TEST(Robot, AcceleratesTowardCommandUnderLimit) {
+  World w(40.0, 10.0);
+  DiffDriveRobot robot({}, {5.0, 5.0, 0.0});
+  robot.set_command({1.0, 0.0});
+  robot.step(w, 0.1);
+  // a_max = 0.5 → at most 0.05 m/s gained in 0.1 s.
+  EXPECT_NEAR(robot.velocity().linear, 0.05, 1e-9);
+  for (int i = 0; i < 100; ++i) robot.step(w, 0.1);
+  EXPECT_NEAR(robot.velocity().linear, 1.0, 1e-6);
+}
+
+TEST(Robot, StraightLineMotion) {
+  World w(20.0, 20.0);
+  RobotConfig cfg;
+  cfg.odom_pos_noise = 0.0;
+  cfg.odom_theta_noise = 0.0;
+  DiffDriveRobot robot(cfg, {5.0, 5.0, 0.0});
+  robot.set_command({0.5, 0.0});
+  for (int i = 0; i < 200; ++i) robot.step(w, 0.05);
+  EXPECT_GT(robot.pose().x, 8.0);
+  EXPECT_NEAR(robot.pose().y, 5.0, 1e-6);
+  EXPECT_NEAR(robot.pose().theta, 0.0, 1e-9);
+}
+
+TEST(Robot, TurnsWithAngularVelocity) {
+  World w(20.0, 20.0);
+  DiffDriveRobot robot({}, {10.0, 10.0, 0.0});
+  robot.set_command({0.0, 1.0});
+  for (int i = 0; i < 100; ++i) robot.step(w, 0.05);
+  EXPECT_GT(std::abs(robot.pose().theta), 1.0);
+  // Pure rotation: position unchanged.
+  EXPECT_NEAR(robot.pose().x, 10.0, 1e-9);
+  EXPECT_NEAR(robot.pose().y, 10.0, 1e-9);
+}
+
+TEST(Robot, ArcIntegrationIsExact) {
+  World w(40.0, 40.0);
+  RobotConfig cfg;
+  cfg.odom_pos_noise = 0.0;
+  cfg.odom_theta_noise = 0.0;
+  cfg.max_linear_accel = 100.0;   // reach command instantly
+  cfg.max_angular_accel = 100.0;
+  DiffDriveRobot robot(cfg, {20.0, 20.0, 0.0});
+  robot.set_command({0.5, 0.5});  // radius 1 circle
+  const int steps = static_cast<int>(2.0 * std::numbers::pi / 0.5 / 0.01);
+  for (int i = 0; i < steps; ++i) robot.step(w, 0.01);
+  // After one full revolution the robot returns to its start.
+  EXPECT_NEAR(robot.pose().x, 20.0, 0.05);
+  EXPECT_NEAR(robot.pose().y, 20.0, 0.05);
+}
+
+TEST(Robot, StopsAtWall) {
+  World w(10.0, 10.0);
+  w.add_box({6.0, 0.0}, {6.3, 10.0});
+  DiffDriveRobot robot({}, {5.0, 5.0, 0.0});
+  robot.set_command({1.0, 0.0});
+  for (int i = 0; i < 400; ++i) robot.step(w, 0.05);
+  EXPECT_TRUE(robot.collided());
+  EXPECT_LT(robot.pose().x, 6.0);
+  EXPECT_DOUBLE_EQ(robot.velocity().linear, 0.0);
+}
+
+TEST(Robot, HardVelocityLimitsRespected) {
+  World w(50.0, 50.0);
+  DiffDriveRobot robot({}, {25.0, 25.0, 0.0});
+  robot.set_command({99.0, 99.0});
+  for (int i = 0; i < 2000; ++i) robot.step(w, 0.05);
+  EXPECT_LE(robot.velocity().linear, robot.config().hard_max_linear + 1e-9);
+  EXPECT_LE(robot.velocity().angular, robot.config().hard_max_angular + 1e-9);
+}
+
+TEST(Robot, OdometryDriftsButStaysClose) {
+  World w(30.0, 30.0);
+  DiffDriveRobot robot({}, {5.0, 15.0, 0.0}, 77);
+  robot.set_command({0.5, 0.05});
+  for (int i = 0; i < 1000; ++i) robot.step(w, 0.05);
+  EXPECT_GT(robot.odometry_drift(), 0.0);
+  EXPECT_LT(robot.odometry_drift(), 2.0);
+}
+
+TEST(Robot, DistanceTraveledAccumulates) {
+  World w(20.0, 20.0);
+  RobotConfig cfg;
+  cfg.odom_pos_noise = 0.0;
+  cfg.odom_theta_noise = 0.0;
+  DiffDriveRobot robot(cfg, {5.0, 5.0, 0.0});
+  robot.set_command({0.5, 0.0});
+  for (int i = 0; i < 200; ++i) robot.step(w, 0.05);
+  // 10 s of motion with a ~1 s accel ramp: slightly under 5 m.
+  EXPECT_NEAR(robot.distance_traveled(), 4.75, 0.1);
+}
+
+TEST(Robot, ResetRestoresState) {
+  World w(10.0, 10.0);
+  DiffDriveRobot robot({}, {5.0, 5.0, 0.0});
+  robot.set_command({0.5, 0.0});
+  for (int i = 0; i < 50; ++i) robot.step(w, 0.05);
+  robot.reset({1.0, 1.0, 0.5});
+  EXPECT_EQ(robot.pose(), Pose2D(1.0, 1.0, 0.5));
+  EXPECT_DOUBLE_EQ(robot.velocity().linear, 0.0);
+  EXPECT_DOUBLE_EQ(robot.distance_traveled(), 0.0);
+}
+
+TEST(Robot, OdometryMessageFields) {
+  World w(10.0, 10.0);
+  DiffDriveRobot robot({}, {5.0, 5.0, 0.0});
+  const msg::Odometry o = robot.odometry(3.5, 17);
+  EXPECT_DOUBLE_EQ(o.header.stamp, 3.5);
+  EXPECT_EQ(o.header.seq, 17u);
+  EXPECT_EQ(o.header.frame_id, "odom");
+}
+
+}  // namespace
+}  // namespace lgv::sim

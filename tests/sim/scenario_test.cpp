@@ -1,0 +1,71 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace lgv::sim {
+namespace {
+
+void expect_valid(const Scenario& s) {
+  EXPECT_FALSE(s.world.collides(s.start.position(), 0.12))
+      << "start pose collides";
+  EXPECT_FALSE(s.world.collides(s.goal.position(), 0.12)) << "goal collides";
+  EXPECT_GE(s.waypoints.size(), 2u);
+  for (const Point2D& wp : s.waypoints) {
+    EXPECT_FALSE(s.world.occupied(wp)) << "waypoint " << wp.x << "," << wp.y;
+  }
+}
+
+TEST(Scenario, LabIsValid) { expect_valid(make_lab_scenario()); }
+TEST(Scenario, OfficeIsValid) { expect_valid(make_office_scenario()); }
+TEST(Scenario, ObstacleCourseIsValid) { expect_valid(make_obstacle_course_scenario()); }
+TEST(Scenario, OpenIsValid) { expect_valid(make_open_scenario()); }
+
+TEST(Scenario, LabHasInteriorStructure) {
+  const Scenario s = make_lab_scenario();
+  // The interior wall at x=4 blocks direct line of sight start→goal.
+  EXPECT_FALSE(s.world.line_of_sight(s.start.position(), s.goal.position()));
+}
+
+TEST(ScanLog, ProducesRequestedScans) {
+  const Scenario s = make_lab_scenario();
+  const auto log = record_scan_log(s, 0.4, 0.2, 50);
+  ASSERT_EQ(log.size(), 50u);
+  for (const auto& e : log) {
+    EXPECT_EQ(e.scan.ranges.size(), 360u);
+    EXPECT_FALSE(s.world.occupied(e.true_pose.position()));
+  }
+}
+
+TEST(ScanLog, OdometryDriftsFromTruth) {
+  const Scenario s = make_lab_scenario();
+  const auto log = record_scan_log(s, 0.4, 0.2, 120);
+  // Early entries: small drift; late entries: measurable drift.
+  const double early = distance(log[5].odom_pose.position(),
+                                log[5].true_pose.position());
+  const double late = distance(log.back().odom_pose.position(),
+                               log.back().true_pose.position());
+  EXPECT_LT(early, 0.3);
+  EXPECT_GT(late, 0.02);
+}
+
+TEST(ScanLog, DeterministicPerSeed) {
+  const Scenario s = make_open_scenario();
+  const auto a = record_scan_log(s, 0.4, 0.2, 20, 9);
+  const auto b = record_scan_log(s, 0.4, 0.2, 20, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].scan.ranges, b[i].scan.ranges);
+    EXPECT_EQ(a[i].odom_pose, b[i].odom_pose);
+  }
+}
+
+TEST(ScanLog, TimestampsAdvanceUniformly) {
+  const Scenario s = make_open_scenario();
+  const auto log = record_scan_log(s, 0.4, 0.25, 10);
+  for (size_t i = 1; i < log.size(); ++i) {
+    EXPECT_NEAR(log[i].scan.header.stamp - log[i - 1].scan.header.stamp, 0.25, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lgv::sim
