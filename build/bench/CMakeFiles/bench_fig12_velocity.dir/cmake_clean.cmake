@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_velocity.dir/bench_fig12_velocity.cpp.o"
+  "CMakeFiles/bench_fig12_velocity.dir/bench_fig12_velocity.cpp.o.d"
+  "bench_fig12_velocity"
+  "bench_fig12_velocity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_velocity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_slam_accel.dir/bench_fig9_slam_accel.cpp.o"
+  "CMakeFiles/bench_fig9_slam_accel.dir/bench_fig9_slam_accel.cpp.o.d"
+  "bench_fig9_slam_accel"
+  "bench_fig9_slam_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_slam_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

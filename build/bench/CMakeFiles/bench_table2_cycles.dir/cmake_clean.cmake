@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cycles.dir/bench_table2_cycles.cpp.o"
+  "CMakeFiles/bench_table2_cycles.dir/bench_table2_cycles.cpp.o.d"
+  "bench_table2_cycles"
+  "bench_table2_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adaptive_offloading_demo.cpp" "examples/CMakeFiles/adaptive_offloading_demo.dir/adaptive_offloading_demo.cpp.o" "gcc" "examples/CMakeFiles/adaptive_offloading_demo.dir/adaptive_offloading_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lgv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/lgv_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/planning/CMakeFiles/lgv_planning.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/lgv_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lgv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/lgv_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lgv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/lgv_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/lgv_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lgv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

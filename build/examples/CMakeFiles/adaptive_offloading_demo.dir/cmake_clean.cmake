@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_offloading_demo.dir/adaptive_offloading_demo.cpp.o"
+  "CMakeFiles/adaptive_offloading_demo.dir/adaptive_offloading_demo.cpp.o.d"
+  "adaptive_offloading_demo"
+  "adaptive_offloading_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_offloading_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

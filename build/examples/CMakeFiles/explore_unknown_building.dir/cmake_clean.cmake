@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_unknown_building.dir/explore_unknown_building.cpp.o"
+  "CMakeFiles/explore_unknown_building.dir/explore_unknown_building.cpp.o.d"
+  "explore_unknown_building"
+  "explore_unknown_building.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_unknown_building.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

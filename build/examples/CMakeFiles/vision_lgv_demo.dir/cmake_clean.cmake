@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_lgv_demo.dir/vision_lgv_demo.cpp.o"
+  "CMakeFiles/vision_lgv_demo.dir/vision_lgv_demo.cpp.o.d"
+  "vision_lgv_demo"
+  "vision_lgv_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_lgv_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

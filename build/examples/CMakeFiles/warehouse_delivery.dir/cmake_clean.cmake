@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_delivery.dir/warehouse_delivery.cpp.o"
+  "CMakeFiles/warehouse_delivery.dir/warehouse_delivery.cpp.o.d"
+  "warehouse_delivery"
+  "warehouse_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

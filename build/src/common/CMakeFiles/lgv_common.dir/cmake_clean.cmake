@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgv_common.dir/geometry.cpp.o"
+  "CMakeFiles/lgv_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/lgv_common.dir/logging.cpp.o"
+  "CMakeFiles/lgv_common.dir/logging.cpp.o.d"
+  "CMakeFiles/lgv_common.dir/serialization.cpp.o"
+  "CMakeFiles/lgv_common.dir/serialization.cpp.o.d"
+  "CMakeFiles/lgv_common.dir/stats.cpp.o"
+  "CMakeFiles/lgv_common.dir/stats.cpp.o.d"
+  "CMakeFiles/lgv_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/lgv_common.dir/thread_pool.cpp.o.d"
+  "liblgv_common.a"
+  "liblgv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

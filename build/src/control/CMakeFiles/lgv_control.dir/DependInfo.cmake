@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/recovery.cpp" "src/control/CMakeFiles/lgv_control.dir/recovery.cpp.o" "gcc" "src/control/CMakeFiles/lgv_control.dir/recovery.cpp.o.d"
+  "/root/repo/src/control/safety_controller.cpp" "src/control/CMakeFiles/lgv_control.dir/safety_controller.cpp.o" "gcc" "src/control/CMakeFiles/lgv_control.dir/safety_controller.cpp.o.d"
+  "/root/repo/src/control/trajectory_rollout.cpp" "src/control/CMakeFiles/lgv_control.dir/trajectory_rollout.cpp.o" "gcc" "src/control/CMakeFiles/lgv_control.dir/trajectory_rollout.cpp.o.d"
+  "/root/repo/src/control/velocity_mux.cpp" "src/control/CMakeFiles/lgv_control.dir/velocity_mux.cpp.o" "gcc" "src/control/CMakeFiles/lgv_control.dir/velocity_mux.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lgv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/lgv_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/lgv_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/lgv_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lgv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgv_control.dir/recovery.cpp.o"
+  "CMakeFiles/lgv_control.dir/recovery.cpp.o.d"
+  "CMakeFiles/lgv_control.dir/safety_controller.cpp.o"
+  "CMakeFiles/lgv_control.dir/safety_controller.cpp.o.d"
+  "CMakeFiles/lgv_control.dir/trajectory_rollout.cpp.o"
+  "CMakeFiles/lgv_control.dir/trajectory_rollout.cpp.o.d"
+  "CMakeFiles/lgv_control.dir/velocity_mux.cpp.o"
+  "CMakeFiles/lgv_control.dir/velocity_mux.cpp.o.d"
+  "liblgv_control.a"
+  "liblgv_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgv_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

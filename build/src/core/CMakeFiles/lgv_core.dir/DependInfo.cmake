@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytical_model.cpp" "src/core/CMakeFiles/lgv_core.dir/analytical_model.cpp.o" "gcc" "src/core/CMakeFiles/lgv_core.dir/analytical_model.cpp.o.d"
+  "/root/repo/src/core/mission_runner.cpp" "src/core/CMakeFiles/lgv_core.dir/mission_runner.cpp.o" "gcc" "src/core/CMakeFiles/lgv_core.dir/mission_runner.cpp.o.d"
+  "/root/repo/src/core/network_quality.cpp" "src/core/CMakeFiles/lgv_core.dir/network_quality.cpp.o" "gcc" "src/core/CMakeFiles/lgv_core.dir/network_quality.cpp.o.d"
+  "/root/repo/src/core/node_classifier.cpp" "src/core/CMakeFiles/lgv_core.dir/node_classifier.cpp.o" "gcc" "src/core/CMakeFiles/lgv_core.dir/node_classifier.cpp.o.d"
+  "/root/repo/src/core/offload_planner.cpp" "src/core/CMakeFiles/lgv_core.dir/offload_planner.cpp.o" "gcc" "src/core/CMakeFiles/lgv_core.dir/offload_planner.cpp.o.d"
+  "/root/repo/src/core/offload_runtime.cpp" "src/core/CMakeFiles/lgv_core.dir/offload_runtime.cpp.o" "gcc" "src/core/CMakeFiles/lgv_core.dir/offload_runtime.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/lgv_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/lgv_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/report_io.cpp" "src/core/CMakeFiles/lgv_core.dir/report_io.cpp.o" "gcc" "src/core/CMakeFiles/lgv_core.dir/report_io.cpp.o.d"
+  "/root/repo/src/core/switcher.cpp" "src/core/CMakeFiles/lgv_core.dir/switcher.cpp.o" "gcc" "src/core/CMakeFiles/lgv_core.dir/switcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lgv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/lgv_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/lgv_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lgv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/lgv_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lgv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/lgv_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/planning/CMakeFiles/lgv_planning.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/lgv_control.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgv_core.dir/analytical_model.cpp.o"
+  "CMakeFiles/lgv_core.dir/analytical_model.cpp.o.d"
+  "CMakeFiles/lgv_core.dir/mission_runner.cpp.o"
+  "CMakeFiles/lgv_core.dir/mission_runner.cpp.o.d"
+  "CMakeFiles/lgv_core.dir/network_quality.cpp.o"
+  "CMakeFiles/lgv_core.dir/network_quality.cpp.o.d"
+  "CMakeFiles/lgv_core.dir/node_classifier.cpp.o"
+  "CMakeFiles/lgv_core.dir/node_classifier.cpp.o.d"
+  "CMakeFiles/lgv_core.dir/offload_planner.cpp.o"
+  "CMakeFiles/lgv_core.dir/offload_planner.cpp.o.d"
+  "CMakeFiles/lgv_core.dir/offload_runtime.cpp.o"
+  "CMakeFiles/lgv_core.dir/offload_runtime.cpp.o.d"
+  "CMakeFiles/lgv_core.dir/profiler.cpp.o"
+  "CMakeFiles/lgv_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/lgv_core.dir/report_io.cpp.o"
+  "CMakeFiles/lgv_core.dir/report_io.cpp.o.d"
+  "CMakeFiles/lgv_core.dir/switcher.cpp.o"
+  "CMakeFiles/lgv_core.dir/switcher.cpp.o.d"
+  "liblgv_core.a"
+  "liblgv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

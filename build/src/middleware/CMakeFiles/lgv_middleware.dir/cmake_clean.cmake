@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgv_middleware.dir/graph.cpp.o"
+  "CMakeFiles/lgv_middleware.dir/graph.cpp.o.d"
+  "liblgv_middleware.a"
+  "liblgv_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgv_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

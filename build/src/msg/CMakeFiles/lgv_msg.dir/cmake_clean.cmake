@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgv_msg.dir/messages.cpp.o"
+  "CMakeFiles/lgv_msg.dir/messages.cpp.o.d"
+  "liblgv_msg.a"
+  "liblgv_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgv_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ap_selector.cpp" "src/net/CMakeFiles/lgv_net.dir/ap_selector.cpp.o" "gcc" "src/net/CMakeFiles/lgv_net.dir/ap_selector.cpp.o.d"
+  "/root/repo/src/net/kernel_buffer.cpp" "src/net/CMakeFiles/lgv_net.dir/kernel_buffer.cpp.o" "gcc" "src/net/CMakeFiles/lgv_net.dir/kernel_buffer.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/lgv_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/lgv_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/meters.cpp" "src/net/CMakeFiles/lgv_net.dir/meters.cpp.o" "gcc" "src/net/CMakeFiles/lgv_net.dir/meters.cpp.o.d"
+  "/root/repo/src/net/wireless_channel.cpp" "src/net/CMakeFiles/lgv_net.dir/wireless_channel.cpp.o" "gcc" "src/net/CMakeFiles/lgv_net.dir/wireless_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lgv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgv_net.dir/ap_selector.cpp.o"
+  "CMakeFiles/lgv_net.dir/ap_selector.cpp.o.d"
+  "CMakeFiles/lgv_net.dir/kernel_buffer.cpp.o"
+  "CMakeFiles/lgv_net.dir/kernel_buffer.cpp.o.d"
+  "CMakeFiles/lgv_net.dir/link.cpp.o"
+  "CMakeFiles/lgv_net.dir/link.cpp.o.d"
+  "CMakeFiles/lgv_net.dir/meters.cpp.o"
+  "CMakeFiles/lgv_net.dir/meters.cpp.o.d"
+  "CMakeFiles/lgv_net.dir/wireless_channel.cpp.o"
+  "CMakeFiles/lgv_net.dir/wireless_channel.cpp.o.d"
+  "liblgv_net.a"
+  "liblgv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perception/amcl.cpp" "src/perception/CMakeFiles/lgv_perception.dir/amcl.cpp.o" "gcc" "src/perception/CMakeFiles/lgv_perception.dir/amcl.cpp.o.d"
+  "/root/repo/src/perception/costmap2d.cpp" "src/perception/CMakeFiles/lgv_perception.dir/costmap2d.cpp.o" "gcc" "src/perception/CMakeFiles/lgv_perception.dir/costmap2d.cpp.o.d"
+  "/root/repo/src/perception/gmapping.cpp" "src/perception/CMakeFiles/lgv_perception.dir/gmapping.cpp.o" "gcc" "src/perception/CMakeFiles/lgv_perception.dir/gmapping.cpp.o.d"
+  "/root/repo/src/perception/occupancy_grid.cpp" "src/perception/CMakeFiles/lgv_perception.dir/occupancy_grid.cpp.o" "gcc" "src/perception/CMakeFiles/lgv_perception.dir/occupancy_grid.cpp.o.d"
+  "/root/repo/src/perception/scan_matcher.cpp" "src/perception/CMakeFiles/lgv_perception.dir/scan_matcher.cpp.o" "gcc" "src/perception/CMakeFiles/lgv_perception.dir/scan_matcher.cpp.o.d"
+  "/root/repo/src/perception/visual_odometry.cpp" "src/perception/CMakeFiles/lgv_perception.dir/visual_odometry.cpp.o" "gcc" "src/perception/CMakeFiles/lgv_perception.dir/visual_odometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lgv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/lgv_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/lgv_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lgv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

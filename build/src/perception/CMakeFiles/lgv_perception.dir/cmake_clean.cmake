@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgv_perception.dir/amcl.cpp.o"
+  "CMakeFiles/lgv_perception.dir/amcl.cpp.o.d"
+  "CMakeFiles/lgv_perception.dir/costmap2d.cpp.o"
+  "CMakeFiles/lgv_perception.dir/costmap2d.cpp.o.d"
+  "CMakeFiles/lgv_perception.dir/gmapping.cpp.o"
+  "CMakeFiles/lgv_perception.dir/gmapping.cpp.o.d"
+  "CMakeFiles/lgv_perception.dir/occupancy_grid.cpp.o"
+  "CMakeFiles/lgv_perception.dir/occupancy_grid.cpp.o.d"
+  "CMakeFiles/lgv_perception.dir/scan_matcher.cpp.o"
+  "CMakeFiles/lgv_perception.dir/scan_matcher.cpp.o.d"
+  "CMakeFiles/lgv_perception.dir/visual_odometry.cpp.o"
+  "CMakeFiles/lgv_perception.dir/visual_odometry.cpp.o.d"
+  "liblgv_perception.a"
+  "liblgv_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgv_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planning/frontier.cpp" "src/planning/CMakeFiles/lgv_planning.dir/frontier.cpp.o" "gcc" "src/planning/CMakeFiles/lgv_planning.dir/frontier.cpp.o.d"
+  "/root/repo/src/planning/global_planner.cpp" "src/planning/CMakeFiles/lgv_planning.dir/global_planner.cpp.o" "gcc" "src/planning/CMakeFiles/lgv_planning.dir/global_planner.cpp.o.d"
+  "/root/repo/src/planning/grid_search.cpp" "src/planning/CMakeFiles/lgv_planning.dir/grid_search.cpp.o" "gcc" "src/planning/CMakeFiles/lgv_planning.dir/grid_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lgv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/lgv_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/lgv_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/lgv_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lgv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgv_planning.dir/frontier.cpp.o"
+  "CMakeFiles/lgv_planning.dir/frontier.cpp.o.d"
+  "CMakeFiles/lgv_planning.dir/global_planner.cpp.o"
+  "CMakeFiles/lgv_planning.dir/global_planner.cpp.o.d"
+  "CMakeFiles/lgv_planning.dir/grid_search.cpp.o"
+  "CMakeFiles/lgv_planning.dir/grid_search.cpp.o.d"
+  "liblgv_planning.a"
+  "liblgv_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgv_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cost_model.cpp" "src/platform/CMakeFiles/lgv_platform.dir/cost_model.cpp.o" "gcc" "src/platform/CMakeFiles/lgv_platform.dir/cost_model.cpp.o.d"
+  "/root/repo/src/platform/platform_spec.cpp" "src/platform/CMakeFiles/lgv_platform.dir/platform_spec.cpp.o" "gcc" "src/platform/CMakeFiles/lgv_platform.dir/platform_spec.cpp.o.d"
+  "/root/repo/src/platform/work_meter.cpp" "src/platform/CMakeFiles/lgv_platform.dir/work_meter.cpp.o" "gcc" "src/platform/CMakeFiles/lgv_platform.dir/work_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lgv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgv_platform.dir/cost_model.cpp.o"
+  "CMakeFiles/lgv_platform.dir/cost_model.cpp.o.d"
+  "CMakeFiles/lgv_platform.dir/platform_spec.cpp.o"
+  "CMakeFiles/lgv_platform.dir/platform_spec.cpp.o.d"
+  "CMakeFiles/lgv_platform.dir/work_meter.cpp.o"
+  "CMakeFiles/lgv_platform.dir/work_meter.cpp.o.d"
+  "liblgv_platform.a"
+  "liblgv_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgv_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/lidar.cpp" "src/sim/CMakeFiles/lgv_sim.dir/lidar.cpp.o" "gcc" "src/sim/CMakeFiles/lgv_sim.dir/lidar.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "src/sim/CMakeFiles/lgv_sim.dir/power.cpp.o" "gcc" "src/sim/CMakeFiles/lgv_sim.dir/power.cpp.o.d"
+  "/root/repo/src/sim/random_world.cpp" "src/sim/CMakeFiles/lgv_sim.dir/random_world.cpp.o" "gcc" "src/sim/CMakeFiles/lgv_sim.dir/random_world.cpp.o.d"
+  "/root/repo/src/sim/robot.cpp" "src/sim/CMakeFiles/lgv_sim.dir/robot.cpp.o" "gcc" "src/sim/CMakeFiles/lgv_sim.dir/robot.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/lgv_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/lgv_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/lgv_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/lgv_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lgv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/lgv_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/lgv_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

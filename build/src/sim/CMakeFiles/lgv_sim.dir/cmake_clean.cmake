@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgv_sim.dir/lidar.cpp.o"
+  "CMakeFiles/lgv_sim.dir/lidar.cpp.o.d"
+  "CMakeFiles/lgv_sim.dir/power.cpp.o"
+  "CMakeFiles/lgv_sim.dir/power.cpp.o.d"
+  "CMakeFiles/lgv_sim.dir/random_world.cpp.o"
+  "CMakeFiles/lgv_sim.dir/random_world.cpp.o.d"
+  "CMakeFiles/lgv_sim.dir/robot.cpp.o"
+  "CMakeFiles/lgv_sim.dir/robot.cpp.o.d"
+  "CMakeFiles/lgv_sim.dir/scenario.cpp.o"
+  "CMakeFiles/lgv_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/lgv_sim.dir/world.cpp.o"
+  "CMakeFiles/lgv_sim.dir/world.cpp.o.d"
+  "liblgv_sim.a"
+  "liblgv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

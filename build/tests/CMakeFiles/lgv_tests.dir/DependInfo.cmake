@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/geometry_test.cpp" "tests/CMakeFiles/lgv_tests.dir/common/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/common/geometry_test.cpp.o.d"
+  "/root/repo/tests/common/grid_test.cpp" "tests/CMakeFiles/lgv_tests.dir/common/grid_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/common/grid_test.cpp.o.d"
+  "/root/repo/tests/common/logging_test.cpp" "tests/CMakeFiles/lgv_tests.dir/common/logging_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/common/logging_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/lgv_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/serialization_test.cpp" "tests/CMakeFiles/lgv_tests.dir/common/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/common/serialization_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/lgv_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/lgv_tests.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/common/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/control/recovery_test.cpp" "tests/CMakeFiles/lgv_tests.dir/control/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/control/recovery_test.cpp.o.d"
+  "/root/repo/tests/control/safety_controller_test.cpp" "tests/CMakeFiles/lgv_tests.dir/control/safety_controller_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/control/safety_controller_test.cpp.o.d"
+  "/root/repo/tests/control/trajectory_rollout_test.cpp" "tests/CMakeFiles/lgv_tests.dir/control/trajectory_rollout_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/control/trajectory_rollout_test.cpp.o.d"
+  "/root/repo/tests/control/velocity_mux_test.cpp" "tests/CMakeFiles/lgv_tests.dir/control/velocity_mux_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/control/velocity_mux_test.cpp.o.d"
+  "/root/repo/tests/core/adaptivity_test.cpp" "tests/CMakeFiles/lgv_tests.dir/core/adaptivity_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/core/adaptivity_test.cpp.o.d"
+  "/root/repo/tests/core/analytical_model_test.cpp" "tests/CMakeFiles/lgv_tests.dir/core/analytical_model_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/core/analytical_model_test.cpp.o.d"
+  "/root/repo/tests/core/controller_test.cpp" "tests/CMakeFiles/lgv_tests.dir/core/controller_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/core/controller_test.cpp.o.d"
+  "/root/repo/tests/core/mission_integration_test.cpp" "tests/CMakeFiles/lgv_tests.dir/core/mission_integration_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/core/mission_integration_test.cpp.o.d"
+  "/root/repo/tests/core/network_quality_test.cpp" "tests/CMakeFiles/lgv_tests.dir/core/network_quality_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/core/network_quality_test.cpp.o.d"
+  "/root/repo/tests/core/node_classifier_test.cpp" "tests/CMakeFiles/lgv_tests.dir/core/node_classifier_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/core/node_classifier_test.cpp.o.d"
+  "/root/repo/tests/core/offload_planner_test.cpp" "tests/CMakeFiles/lgv_tests.dir/core/offload_planner_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/core/offload_planner_test.cpp.o.d"
+  "/root/repo/tests/core/offload_runtime_test.cpp" "tests/CMakeFiles/lgv_tests.dir/core/offload_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/core/offload_runtime_test.cpp.o.d"
+  "/root/repo/tests/core/profiler_test.cpp" "tests/CMakeFiles/lgv_tests.dir/core/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/core/profiler_test.cpp.o.d"
+  "/root/repo/tests/core/report_io_test.cpp" "tests/CMakeFiles/lgv_tests.dir/core/report_io_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/core/report_io_test.cpp.o.d"
+  "/root/repo/tests/core/switcher_test.cpp" "tests/CMakeFiles/lgv_tests.dir/core/switcher_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/core/switcher_test.cpp.o.d"
+  "/root/repo/tests/middleware/graph_test.cpp" "tests/CMakeFiles/lgv_tests.dir/middleware/graph_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/middleware/graph_test.cpp.o.d"
+  "/root/repo/tests/msg/messages_test.cpp" "tests/CMakeFiles/lgv_tests.dir/msg/messages_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/msg/messages_test.cpp.o.d"
+  "/root/repo/tests/net/ap_selector_test.cpp" "tests/CMakeFiles/lgv_tests.dir/net/ap_selector_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/net/ap_selector_test.cpp.o.d"
+  "/root/repo/tests/net/kernel_buffer_test.cpp" "tests/CMakeFiles/lgv_tests.dir/net/kernel_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/net/kernel_buffer_test.cpp.o.d"
+  "/root/repo/tests/net/link_test.cpp" "tests/CMakeFiles/lgv_tests.dir/net/link_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/net/link_test.cpp.o.d"
+  "/root/repo/tests/net/meters_test.cpp" "tests/CMakeFiles/lgv_tests.dir/net/meters_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/net/meters_test.cpp.o.d"
+  "/root/repo/tests/net/wireless_channel_test.cpp" "tests/CMakeFiles/lgv_tests.dir/net/wireless_channel_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/net/wireless_channel_test.cpp.o.d"
+  "/root/repo/tests/perception/amcl_test.cpp" "tests/CMakeFiles/lgv_tests.dir/perception/amcl_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/perception/amcl_test.cpp.o.d"
+  "/root/repo/tests/perception/costmap2d_test.cpp" "tests/CMakeFiles/lgv_tests.dir/perception/costmap2d_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/perception/costmap2d_test.cpp.o.d"
+  "/root/repo/tests/perception/gmapping_test.cpp" "tests/CMakeFiles/lgv_tests.dir/perception/gmapping_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/perception/gmapping_test.cpp.o.d"
+  "/root/repo/tests/perception/occupancy_grid_test.cpp" "tests/CMakeFiles/lgv_tests.dir/perception/occupancy_grid_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/perception/occupancy_grid_test.cpp.o.d"
+  "/root/repo/tests/perception/scan_matcher_test.cpp" "tests/CMakeFiles/lgv_tests.dir/perception/scan_matcher_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/perception/scan_matcher_test.cpp.o.d"
+  "/root/repo/tests/perception/visual_odometry_test.cpp" "tests/CMakeFiles/lgv_tests.dir/perception/visual_odometry_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/perception/visual_odometry_test.cpp.o.d"
+  "/root/repo/tests/planning/frontier_test.cpp" "tests/CMakeFiles/lgv_tests.dir/planning/frontier_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/planning/frontier_test.cpp.o.d"
+  "/root/repo/tests/planning/global_planner_test.cpp" "tests/CMakeFiles/lgv_tests.dir/planning/global_planner_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/planning/global_planner_test.cpp.o.d"
+  "/root/repo/tests/planning/grid_search_test.cpp" "tests/CMakeFiles/lgv_tests.dir/planning/grid_search_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/planning/grid_search_test.cpp.o.d"
+  "/root/repo/tests/platform/platform_test.cpp" "tests/CMakeFiles/lgv_tests.dir/platform/platform_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/platform/platform_test.cpp.o.d"
+  "/root/repo/tests/properties/pipeline_property_test.cpp" "tests/CMakeFiles/lgv_tests.dir/properties/pipeline_property_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/properties/pipeline_property_test.cpp.o.d"
+  "/root/repo/tests/properties/property_test.cpp" "tests/CMakeFiles/lgv_tests.dir/properties/property_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/properties/property_test.cpp.o.d"
+  "/root/repo/tests/sim/lidar_test.cpp" "tests/CMakeFiles/lgv_tests.dir/sim/lidar_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/sim/lidar_test.cpp.o.d"
+  "/root/repo/tests/sim/power_test.cpp" "tests/CMakeFiles/lgv_tests.dir/sim/power_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/sim/power_test.cpp.o.d"
+  "/root/repo/tests/sim/random_world_test.cpp" "tests/CMakeFiles/lgv_tests.dir/sim/random_world_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/sim/random_world_test.cpp.o.d"
+  "/root/repo/tests/sim/robot_test.cpp" "tests/CMakeFiles/lgv_tests.dir/sim/robot_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/sim/robot_test.cpp.o.d"
+  "/root/repo/tests/sim/scenario_test.cpp" "tests/CMakeFiles/lgv_tests.dir/sim/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/sim/scenario_test.cpp.o.d"
+  "/root/repo/tests/sim/world_test.cpp" "tests/CMakeFiles/lgv_tests.dir/sim/world_test.cpp.o" "gcc" "tests/CMakeFiles/lgv_tests.dir/sim/world_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lgv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/lgv_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/planning/CMakeFiles/lgv_planning.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/lgv_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lgv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/lgv_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lgv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/lgv_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/lgv_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lgv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
