@@ -12,6 +12,7 @@
 #include "perception/amcl.h"
 #include "perception/costmap2d.h"
 #include "perception/gmapping.h"
+#include "perception/likelihood_field.h"
 #include "perception/scan_matcher.h"
 #include "planning/grid_search.h"
 #include "sim/lidar.h"
@@ -60,6 +61,22 @@ void BM_ScanMatchScore(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanMatchScore);
 
+void BM_ScanMatchScoreCached(benchmark::State& state) {
+  Fixture& fx = fixture();
+  perception::ScanMatcher matcher;
+  perception::LikelihoodField field;
+  field.sync(fx.map);
+  const perception::PrecomputedScan pre = perception::precompute_scan(
+      fx.scan, matcher.config().beam_stride, fx.map.frame().resolution);
+  size_t evals = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        matcher.score(field, fx.scenario.start, pre, &evals));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(evals));
+}
+BENCHMARK(BM_ScanMatchScoreCached);
+
 void BM_ScanMatchRefine(benchmark::State& state) {
   Fixture& fx = fixture();
   perception::ScanMatcher matcher;
@@ -70,6 +87,46 @@ void BM_ScanMatchRefine(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScanMatchRefine);
+
+void BM_ScanMatchRefineCached(benchmark::State& state) {
+  Fixture& fx = fixture();
+  perception::ScanMatcher matcher;
+  perception::LikelihoodField field;
+  field.sync(fx.map);
+  const Pose2D perturbed{fx.scenario.start.x + 0.08, fx.scenario.start.y - 0.05,
+                         fx.scenario.start.theta + 0.04};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(field, perturbed, fx.scan));
+  }
+}
+BENCHMARK(BM_ScanMatchRefineCached);
+
+void BM_LikelihoodFieldFullBuild(benchmark::State& state) {
+  Fixture& fx = fixture();
+  for (auto _ : state) {
+    perception::LikelihoodField field;
+    benchmark::DoNotOptimize(field.sync(fx.map));
+  }
+}
+BENCHMARK(BM_LikelihoodFieldFullBuild);
+
+void BM_LikelihoodFieldIncrementalSync(benchmark::State& state) {
+  // One SLAM-style cycle: integrate a scan into the map, then catch the
+  // field up through the changelog (the steady-state per-update cost).
+  Fixture& fx = fixture();
+  perception::OccupancyGrid map = fx.map;
+  perception::LikelihoodField field;
+  field.sync(map);
+  size_t rebuilt = 0;
+  for (auto _ : state) {
+    map.integrate_scan(fx.scenario.start, fx.scan);
+    rebuilt += field.sync(map);
+  }
+  state.counters["cells_rebuilt"] =
+      benchmark::Counter(static_cast<double>(rebuilt),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_LikelihoodFieldIncrementalSync);
 
 void BM_CostmapUpdate(benchmark::State& state) {
   Fixture& fx = fixture();

@@ -38,6 +38,12 @@ class Grid {
   T& at(CellIndex c) { return at(c.x, c.y); }
   const T& at(CellIndex c) const { return at(c.x, c.y); }
 
+  /// Value at `c`, or `fallback` when `c` is out of bounds. Lets hot loops
+  /// fold the bounds check into a single branch instead of assert-guarded at().
+  T value_or(CellIndex c, T fallback) const {
+    return in_bounds(c) ? cells_[static_cast<size_t>(c.y) * width_ + c.x] : fallback;
+  }
+
   void fill(T value) { cells_.assign(cells_.size(), value); }
 
   std::vector<T>& data() { return cells_; }

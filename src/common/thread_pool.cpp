@@ -65,12 +65,6 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(size_t count, const std::function<void(size_t)>& fn) {
-  parallel_chunks(count, num_threads(), [&fn](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) fn(i);
-  });
-}
-
 void ThreadPool::parallel_chunks(size_t count, size_t chunks,
                                  const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;

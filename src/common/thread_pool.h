@@ -38,7 +38,14 @@ class ThreadPool {
   /// Run fn(i) for i in [0, count) across the pool, blocking until done.
   /// Work is partitioned into contiguous chunks, one per worker, matching the
   /// static partitioning the paper describes for both parallel kernels.
-  void parallel_for(size_t count, const std::function<void(size_t)>& fn);
+  /// Templated so the per-item call inlines inside each chunk — only one
+  /// type-erased dispatch happens per chunk, not per index.
+  template <typename Fn>
+  void parallel_for(size_t count, Fn&& fn) {
+    parallel_chunks(count, num_threads(), [&fn](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
 
   /// Chunked variant: fn(begin, end) once per chunk. `chunks` defaults to the
   /// worker count. Exposed so callers can meter per-chunk work.

@@ -69,6 +69,28 @@ double Amcl::measurement_weight(const Pose2D& pose, const msg::LaserScan& scan,
   return log_w;
 }
 
+double Amcl::measurement_weight(const Pose2D& pose, const PrecomputedScan& pre,
+                                size_t* evals) const {
+  double log_w = 0.0;
+  const double cos_t = std::cos(pose.theta), sin_t = std::sin(pose.theta);
+  const GridFrame& frame = field_.frame();
+  for (const PrecomputedScan::Beam& b : pre.beams) {
+    ++(*evals);
+    const Point2D end{pose.x + cos_t * b.end.x - sin_t * b.end.y,
+                      pose.y + sin_t * b.end.x + cos_t * b.end.y};
+    const CellIndex c = frame.world_to_cell(end);
+    // Same capped min-d² the brute-force model computes, from the field's
+    // occupancy mask instead of nine map probes.
+    const double d2_min =
+        std::min(9.0 * config_.sigma_hit * config_.sigma_hit,
+                 field_.min_obstacle_d2(c, end));
+    const double p_hit =
+        std::exp(-d2_min / (2.0 * config_.sigma_hit * config_.sigma_hit));
+    log_w += std::log(config_.z_hit * p_hit + config_.z_rand + 1e-6);
+  }
+  return log_w;
+}
+
 AmclUpdateStats Amcl::update(const msg::Odometry& odom, const msg::LaserScan& scan,
                              platform::ExecutionContext& ctx) {
   AmclUpdateStats stats;
@@ -81,6 +103,15 @@ AmclUpdateStats Amcl::update(const msg::Odometry& odom, const msg::LaserScan& sc
   const double trans = std::hypot(delta.x, delta.y);
   const double rot = std::abs(delta.theta);
 
+  // The per-scan endpoint precomputation and field sync are shared by every
+  // particle weighed below; sync is a no-op while the map is unchanged.
+  size_t field_cells = 0;
+  PrecomputedScan pre;
+  if (config_.use_likelihood_field && !first) {
+    field_cells = field_.sync(*map_);
+    pre = precompute_scan(scan, config_.beam_stride, map_->frame().resolution);
+  }
+
   // Motion sampling is inherently sequential over one RNG; it is cheap
   // (Table II: ~1%), so AMCL stays single-threaded as in the paper.
   std::vector<double> log_weights(poses_.size(), 0.0);
@@ -92,10 +123,18 @@ AmclUpdateStats Amcl::update(const msg::Odometry& odom, const msg::LaserScan& sc
     noisy.theta = normalize_angle(
         noisy.theta + rng_.gaussian(0.0, config_.motion_noise_rot * rot + 1e-4));
     poses_[i] = poses_[i].compose(noisy);
-    if (!first) log_weights[i] = measurement_weight(poses_[i], scan, &evals);
+    if (!first) {
+      log_weights[i] = config_.use_likelihood_field
+                           ? measurement_weight(poses_[i], pre, &evals)
+                           : measurement_weight(poses_[i], scan, &evals);
+    }
   }
   stats.beam_evaluations = evals;
-  ctx.serial_work(static_cast<double>(evals) * calib::kAmclCyclesPerBeamEval +
+  const double eval_cycles = config_.use_likelihood_field
+                                 ? calib::kAmclCachedCyclesPerBeamEval
+                                 : calib::kAmclCyclesPerBeamEval;
+  ctx.serial_work(static_cast<double>(evals) * eval_cycles +
+                  static_cast<double>(field_cells) * calib::kFieldRebuildCyclesPerCell +
                   static_cast<double>(poses_.size()) * calib::kAmclMotionCyclesPerParticle);
 
   // Normalize.

@@ -9,7 +9,9 @@
 #include "common/geometry.h"
 #include "common/rng.h"
 #include "msg/messages.h"
+#include "perception/likelihood_field.h"
 #include "perception/occupancy_grid.h"
+#include "perception/scan_matcher.h"
 #include "platform/execution_context.h"
 
 namespace lgv::perception {
@@ -28,6 +30,11 @@ struct AmclConfig {
   double kld_k = 6.0;
   double kld_bin_xy = 0.25;     ///< bin size (m)
   double kld_bin_theta = 0.25;  ///< bin size (rad)
+  /// Measurement model through the map's LikelihoodField (endpoints
+  /// precomputed once per scan, shared by every particle). When false, the
+  /// brute-force reference model probes the 3×3 occupancy neighborhood per
+  /// particle per beam.
+  bool use_likelihood_field = true;
 };
 
 struct AmclUpdateStats {
@@ -57,10 +64,15 @@ class Amcl {
  private:
   double measurement_weight(const Pose2D& pose, const msg::LaserScan& scan,
                             size_t* evals) const;
+  double measurement_weight(const Pose2D& pose, const PrecomputedScan& pre,
+                            size_t* evals) const;
   void resample_adaptive();
 
   AmclConfig config_;
   const OccupancyGrid* map_;
+  /// Likelihood-field cache over *map_. Synced lazily at each update — a
+  /// no-op while the (typically static) localization map is unchanged.
+  LikelihoodField field_;
   std::vector<Pose2D> poses_;
   std::vector<double> weights_;
   Rng rng_;

@@ -48,9 +48,11 @@ SlamUpdateStats Gmapping::process(const msg::Odometry& odom, const msg::LaserSca
 
   std::atomic<size_t> beam_evals{0};
   std::atomic<size_t> cells_updated{0};
+  std::atomic<size_t> field_cells{0};
 
   // ---- Parallel per-particle phase (Fig. 6): motion sample, scanMatch,
   // weight, map integrate. Returns the cycles that particle cost.
+  const bool use_field = matcher_.config().use_likelihood_field;
   ctx.parallel_kernel(particles_.size(), [&](size_t i) -> double {
     Particle& p = particles_[i];
     // Motion model: apply the odometry delta corrupted by sampled noise.
@@ -67,9 +69,18 @@ SlamUpdateStats Gmapping::process(const msg::Odometry& odom, const msg::LaserSca
     p.pose = p.pose.compose(noisy);
 
     size_t evals = 0;
+    size_t rebuilt = 0;
     if (!first_scan) {
-      // scanMatch refinement against this particle's own map.
-      const MatchResult m = matcher_.match(p.map, p.pose, scan);
+      // scanMatch refinement against this particle's own map, through its
+      // likelihood field on the fast path (synced incrementally from the
+      // map's changelog) or the brute-force reference scorer when disabled.
+      MatchResult m;
+      if (use_field) {
+        rebuilt = p.field.sync(p.map);
+        m = matcher_.match(p.field, p.pose, scan);
+      } else {
+        m = matcher_.match(p.map, p.pose, scan);
+      }
       evals = m.beam_evaluations;
       p.pose = m.pose;
       p.log_weight += std::log(m.score + 1e-3);
@@ -78,13 +89,18 @@ SlamUpdateStats Gmapping::process(const msg::Odometry& odom, const msg::LaserSca
     const size_t touched = p.map.integrate_scan(p.pose, scan);
     beam_evals.fetch_add(evals, std::memory_order_relaxed);
     cells_updated.fetch_add(touched, std::memory_order_relaxed);
+    field_cells.fetch_add(rebuilt, std::memory_order_relaxed);
 
-    return static_cast<double>(evals) * calib::kScanMatchCyclesPerBeamEval +
+    const double eval_cycles = use_field ? calib::kScanMatchCachedCyclesPerBeamEval
+                                         : calib::kScanMatchCyclesPerBeamEval;
+    return static_cast<double>(evals) * eval_cycles +
+           static_cast<double>(rebuilt) * calib::kFieldRebuildCyclesPerCell +
            static_cast<double>(touched) * calib::kMapUpdateCyclesPerCell;
   });
 
   stats.beam_evaluations = beam_evals.load();
   stats.map_cells_updated = cells_updated.load();
+  stats.field_cells_rebuilt = field_cells.load();
 
   // ---- Sequential phase: updateTreeWeights + selective resampling.
   normalize_weights();

@@ -9,6 +9,7 @@
 #include "common/geometry.h"
 #include "common/rng.h"
 #include "msg/messages.h"
+#include "perception/likelihood_field.h"
 #include "perception/occupancy_grid.h"
 #include "perception/scan_matcher.h"
 #include "platform/execution_context.h"
@@ -31,6 +32,10 @@ struct Particle {
   double log_weight = 0.0;
   double weight = 0.0;
   OccupancyGrid map;
+  /// Derived likelihood-field cache over `map`. Copied together with the map
+  /// during resampling (so the pair stays consistent); never serialized —
+  /// restore_state leaves it empty and the next scanMatch rebuilds it.
+  LikelihoodField field;
   Rng rng{0};
 };
 
@@ -38,6 +43,7 @@ struct Particle {
 struct SlamUpdateStats {
   size_t beam_evaluations = 0;  ///< scanMatch work across all particles
   size_t map_cells_updated = 0;
+  size_t field_cells_rebuilt = 0;  ///< likelihood-field maintenance work
   bool resampled = false;
   double neff = 0.0;
 };

@@ -1,9 +1,22 @@
 #include "perception/occupancy_grid.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace lgv::perception {
+
+namespace {
+/// Map identities are process-unique so a derived field built against one
+/// grid can never mistake a different grid at a coincidentally-equal change
+/// version for its own.
+uint64_t next_map_id() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+OccupancyGrid::OccupancyGrid() { init_derived_state(); }
 
 OccupancyGrid::OccupancyGrid(Point2D origin, double width_m, double height_m,
                              OccupancyGridConfig config)
@@ -13,6 +26,14 @@ OccupancyGrid::OccupancyGrid(Point2D origin, double width_m, double height_m,
   log_odds_ = Grid<float>(static_cast<int>(std::ceil(width_m / config.resolution)),
                           static_cast<int>(std::ceil(height_m / config.resolution)),
                           0.0f);
+  init_derived_state();
+}
+
+void OccupancyGrid::init_derived_state() {
+  occupied_log_odds_ =
+      std::log(config_.occupied_threshold / (1.0 - config_.occupied_threshold));
+  free_log_odds_ = std::log(config_.free_threshold / (1.0 - config_.free_threshold));
+  map_id_ = next_map_id();
 }
 
 double OccupancyGrid::log_odds_at(CellIndex c) const {
@@ -25,11 +46,11 @@ double OccupancyGrid::probability_at(CellIndex c) const {
 }
 
 bool OccupancyGrid::is_occupied(CellIndex c) const {
-  return log_odds_.in_bounds(c) && probability_at(c) > config_.occupied_threshold;
+  return log_odds_.in_bounds(c) && occupied_log_odds(log_odds_.at(c));
 }
 
 bool OccupancyGrid::is_free(CellIndex c) const {
-  return log_odds_.in_bounds(c) && probability_at(c) < config_.free_threshold &&
+  return log_odds_.in_bounds(c) && static_cast<double>(log_odds_.at(c)) < free_log_odds_ &&
          log_odds_.at(c) != 0.0f;
 }
 
@@ -37,13 +58,26 @@ bool OccupancyGrid::is_unknown(CellIndex c) const {
   return !log_odds_.in_bounds(c) || log_odds_.at(c) == 0.0f;
 }
 
+void OccupancyGrid::record_flip(CellIndex c) {
+  if (changelog_.size() >= kChangelogCap) {
+    // Overflow: drop the log and let derived structures rebuild in full.
+    changelog_.clear();
+    changelog_base_ = change_version_;
+  }
+  changelog_.push_back(c);
+  ++change_version_;
+}
+
 void OccupancyGrid::update_cell(CellIndex c, double delta) {
   if (!log_odds_.in_bounds(c)) return;
   float& l = log_odds_.at(c);
-  if (l == 0.0f) ++known_cells_;
+  const bool was_unknown = l == 0.0f;
+  const bool was_occupied = occupied_log_odds(l);
+  if (was_unknown) ++known_cells_;
   l = static_cast<float>(std::clamp(static_cast<double>(l) + delta,
                                     config_.log_odds_min, config_.log_odds_max));
   if (l == 0.0f) l = delta < 0 ? -1e-3f : 1e-3f;  // stay "known"
+  if (was_unknown || was_occupied != occupied_log_odds(l)) record_flip(c);
 }
 
 size_t OccupancyGrid::integrate_scan(const Pose2D& pose, const msg::LaserScan& scan) {
@@ -140,6 +174,9 @@ OccupancyGrid OccupancyGrid::deserialize(WireReader& r) {
   g.known_cells_ = r.get_varint();
   g.log_odds_ = Grid<float>(w, h, 0.0f);
   g.log_odds_.data() = r.get_repeated_float();
+  // Thresholds depend on the deserialized config; derived fields (likelihood
+  // field) are not part of the wire format and rebuild against the new id.
+  g.init_derived_state();
   return g;
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/geometry.h"
 #include "common/grid.h"
@@ -22,7 +23,7 @@ struct OccupancyGridConfig {
 
 class OccupancyGrid {
  public:
-  OccupancyGrid() = default;
+  OccupancyGrid();
   /// Fixed extent map covering [origin, origin + size] meters.
   OccupancyGrid(Point2D origin, double width_m, double height_m,
                 OccupancyGridConfig config = {});
@@ -48,6 +49,27 @@ class OccupancyGrid {
   size_t known_cells() const { return known_cells_; }
   double known_area_m2() const;
 
+  // ---- Change tracking (consumed by LikelihoodField::sync) -----------------
+  // Every time a cell's occupied or unknown classification flips, the cell is
+  // appended to a bounded changelog and the change version increments. A
+  // derived structure that remembers (map_id, change_version) can tell whether
+  // it is current, cheaply catch up through the changelog, or must rebuild
+  // from scratch (changelog overflowed, or it was built from another map).
+  // The changelog is in-memory state only: it is copied with the grid (so a
+  // resampled particle's field stays consistent with its map copy) but never
+  // serialized — across Algorithm 2 migration, derived fields rebuild.
+
+  /// Identity of this grid's mutation history. Copies share the id (their
+  /// histories are identical up to the copy point); grids built fresh —
+  /// constructors, from_msg, from_binary, deserialize — get a new id.
+  uint64_t map_id() const { return map_id_; }
+  /// Total classification flips ever applied (monotone).
+  uint64_t change_version() const { return change_version_; }
+  /// Version before the oldest retained changelog entry; entry i of
+  /// changelog() is the flip that produced version changelog_base()+i+1.
+  uint64_t changelog_base() const { return changelog_base_; }
+  const std::vector<CellIndex>& changelog() const { return changelog_; }
+
   msg::OccupancyGridMsg to_msg(double stamp) const;
   /// Rebuild from a message (used when the map migrates across hosts).
   static OccupancyGrid from_msg(const msg::OccupancyGridMsg& m,
@@ -64,11 +86,29 @@ class OccupancyGrid {
 
  private:
   void update_cell(CellIndex c, double delta);
+  /// Cache the classification thresholds in log-odds space and stamp a fresh
+  /// map identity. Called by every construction path.
+  void init_derived_state();
+  bool occupied_log_odds(double l) const { return l > occupied_log_odds_; }
+  void record_flip(CellIndex c);
 
   GridFrame frame_;
   Grid<float> log_odds_;
   OccupancyGridConfig config_;
   size_t known_cells_ = 0;
+
+  // Classification thresholds mapped into log-odds space so is_occupied /
+  // is_free are a compare, not an exp. p > t  ⟺  log-odds > log(t/(1−t)).
+  double occupied_log_odds_ = 0.0;
+  double free_log_odds_ = 0.0;
+
+  // Change tracking (see accessors above). Capped: on overflow the log is
+  // dropped and consumers fall back to a full rebuild.
+  static constexpr size_t kChangelogCap = 4096;
+  uint64_t map_id_ = 0;
+  uint64_t change_version_ = 0;
+  uint64_t changelog_base_ = 0;
+  std::vector<CellIndex> changelog_;
 };
 
 }  // namespace lgv::perception

@@ -5,6 +5,21 @@
 
 namespace lgv::perception {
 
+PrecomputedScan precompute_scan(const msg::LaserScan& scan, int stride,
+                                double resolution) {
+  PrecomputedScan pre;
+  pre.beams.reserve(scan.ranges.size() / static_cast<size_t>(stride) + 1);
+  for (size_t i = 0; i < scan.ranges.size(); i += static_cast<size_t>(stride)) {
+    const double r = static_cast<double>(scan.ranges[i]);
+    if (r > scan.range_max || r < scan.range_min) continue;
+    const double angle = scan.angle_of(i);
+    const double cos_a = std::cos(angle), sin_a = std::sin(angle);
+    pre.beams.push_back({{cos_a * r, sin_a * r},
+                         {cos_a * (r - resolution), sin_a * (r - resolution)}});
+  }
+  return pre;
+}
+
 double ScanMatcher::score(const OccupancyGrid& map, const Pose2D& pose,
                           const msg::LaserScan& scan, size_t* evaluations) const {
   double total = 0.0;
@@ -15,10 +30,10 @@ double ScanMatcher::score(const OccupancyGrid& map, const Pose2D& pose,
     if (r > scan.range_max || r < scan.range_min) continue;
     ++evals;
     const double angle = pose.theta + scan.angle_of(i);
-    const double cx = std::cos(angle), sy = std::sin(angle);
-    const Point2D end{pose.x + cx * r, pose.y + sy * r};
+    const double cos_a = std::cos(angle), sin_a = std::sin(angle);
+    const Point2D end{pose.x + cos_a * r, pose.y + sin_a * r};
     // A valid hit has free space just before the endpoint.
-    const Point2D before{pose.x + cx * (r - res), pose.y + sy * (r - res)};
+    const Point2D before{pose.x + cos_a * (r - res), pose.y + sin_a * (r - res)};
     const CellIndex end_cell = map.frame().world_to_cell(end);
     const CellIndex before_cell = map.frame().world_to_cell(before);
 
@@ -46,11 +61,38 @@ double ScanMatcher::score(const OccupancyGrid& map, const Pose2D& pose,
   return total;
 }
 
-MatchResult ScanMatcher::match(const OccupancyGrid& map, const Pose2D& initial,
-                               const msg::LaserScan& scan) const {
+double ScanMatcher::score(const LikelihoodField& field, const Pose2D& pose,
+                          const PrecomputedScan& pre, size_t* evaluations) const {
+  double total = 0.0;
+  const double cos_t = std::cos(pose.theta), sin_t = std::sin(pose.theta);
+  const GridFrame& frame = field.frame();
+  for (const PrecomputedScan::Beam& b : pre.beams) {
+    const Point2D end{pose.x + cos_t * b.end.x - sin_t * b.end.y,
+                      pose.y + sin_t * b.end.x + cos_t * b.end.y};
+    const CellIndex end_cell = frame.world_to_cell(end);
+    const uint16_t e = field.entry(end_cell);
+    if ((e & LikelihoodField::kNeighborMask) != 0) {
+      const Point2D before{pose.x + cos_t * b.before.x - sin_t * b.before.y,
+                           pose.y + sin_t * b.before.x + cos_t * b.before.y};
+      if (!field.occupied(frame.world_to_cell(before))) {
+        // max over neighbors of exp(−d²/2σ²) == exp of the min d² (exp is
+        // monotone), which the field recovers from its occupancy mask.
+        const double d2 = field.min_obstacle_d2(end_cell, end);
+        total += std::exp(-d2 / (2.0 * config_.sigma * config_.sigma));
+        continue;
+      }
+    }
+    if ((e & LikelihoodField::kUnknownBit) != 0) total += 0.05;
+  }
+  if (evaluations != nullptr) *evaluations += pre.beams.size();
+  return total;
+}
+
+template <typename ScoreFn>
+MatchResult ScanMatcher::hill_climb(const Pose2D& initial, ScoreFn&& score_fn) const {
   MatchResult result;
   result.pose = initial;
-  result.score = score(map, initial, scan, &result.beam_evaluations);
+  result.score = score_fn(initial, &result.beam_evaluations);
 
   double step_xy = config_.search_step_xy;
   double step_th = config_.search_step_theta;
@@ -67,7 +109,7 @@ MatchResult ScanMatcher::match(const OccupancyGrid& map, const Pose2D& initial,
           Pose2D{result.pose.x, result.pose.y, result.pose.theta - step_th},
       };
       for (const Pose2D& cand : candidates) {
-        const double s = score(map, cand, scan, &result.beam_evaluations);
+        const double s = score_fn(cand, &result.beam_evaluations);
         if (s > result.score + 1e-9) {
           result.score = s;
           result.pose = cand;
@@ -78,6 +120,24 @@ MatchResult ScanMatcher::match(const OccupancyGrid& map, const Pose2D& initial,
     step_xy *= 0.5;
     step_th *= 0.5;
   }
+  return result;
+}
+
+MatchResult ScanMatcher::match(const OccupancyGrid& map, const Pose2D& initial,
+                               const msg::LaserScan& scan) const {
+  return hill_climb(initial, [&](const Pose2D& pose, size_t* evals) {
+    return score(map, pose, scan, evals);
+  });
+}
+
+MatchResult ScanMatcher::match(const LikelihoodField& field, const Pose2D& initial,
+                               const msg::LaserScan& scan) const {
+  const PrecomputedScan pre =
+      precompute_scan(scan, config_.beam_stride, field.frame().resolution);
+  MatchResult result = hill_climb(initial, [&](const Pose2D& pose, size_t* evals) {
+    return score(field, pose, pre, evals);
+  });
+  result.used_likelihood_field = true;
   return result;
 }
 

@@ -4,12 +4,27 @@
 // with free space in front of them; refines the pose by greedy coordinate
 // ascent over (x, y, θ) perturbations.
 //
+// Two scorers produce that score:
+//  - the likelihood-field scorer (default): beam endpoints are precomputed
+//    once per scan in the sensor frame, each candidate pose transforms them
+//    with two FMAs per coordinate, and a single LikelihoodField lookup
+//    replaces the 3×3 occupancy probe. This is the fast path GMapping and
+//    AMCL run on both hosts.
+//  - the brute-force reference scorer (use_likelihood_field = false): the
+//    original per-beam trig + neighborhood probe, kept as the semantic
+//    ground truth the equivalence tests check the cached path against.
+//
 // score() reports the number of beam evaluations it performed so callers can
-// charge platform::calib::kScanMatchCyclesPerBeamEval per evaluation.
+// charge the platform cycle model per evaluation —
+// calib::kScanMatchCachedCyclesPerBeamEval for the likelihood-field path,
+// calib::kScanMatchCyclesPerBeamEval for the reference path.
 #pragma once
+
+#include <vector>
 
 #include "common/geometry.h"
 #include "msg/messages.h"
+#include "perception/likelihood_field.h"
 #include "perception/occupancy_grid.h"
 
 namespace lgv::perception {
@@ -20,13 +35,36 @@ struct ScanMatcherConfig {
   double search_step_theta = 0.025;  ///< initial rotation step (rad)
   int refinement_iterations = 3;     ///< halvings of the step size
   double sigma = 0.12;          ///< endpoint score kernel width (m)
+  /// Score against a LikelihoodField (fast path). When false, callers fall
+  /// back to the brute-force reference scorer.
+  bool use_likelihood_field = true;
 };
 
 struct MatchResult {
   Pose2D pose;
   double score = 0.0;
   size_t beam_evaluations = 0;  ///< work units performed
+  bool used_likelihood_field = false;  ///< which cycle constant the evals cost
 };
+
+/// Pose-independent per-scan precomputation: the (r·cosθᵢ, r·sinθᵢ) beam
+/// endpoints and the free-space check points one map cell short of them, in
+/// the sensor frame. Computed once per scan and shared by every candidate
+/// pose the hill climb evaluates (~6 candidates × iterations previously
+/// recomputed the trig per beam each).
+struct PrecomputedScan {
+  struct Beam {
+    Point2D end;     ///< beam endpoint in the sensor frame
+    Point2D before;  ///< endpoint pulled back one map resolution
+  };
+  std::vector<Beam> beams;  ///< in-range beams only, already strided
+};
+
+/// Build the precomputation for `scan`, keeping every stride-th in-range beam
+/// (the same beams the scorers evaluate). `resolution` is the map cell size
+/// used for the free-space-before-endpoint check points.
+PrecomputedScan precompute_scan(const msg::LaserScan& scan, int stride,
+                                double resolution);
 
 class ScanMatcher {
  public:
@@ -34,17 +72,32 @@ class ScanMatcher {
 
   const ScanMatcherConfig& config() const { return config_; }
 
-  /// Likelihood-style score of `pose` against `map`; higher is better.
+  /// Brute-force reference score of `pose` against `map`; higher is better.
   /// Increments *evaluations by the number of beams scored.
   double score(const OccupancyGrid& map, const Pose2D& pose, const msg::LaserScan& scan,
                size_t* evaluations) const;
 
+  /// Likelihood-field score: identical semantics to the reference scorer —
+  /// same occupied sets and branch decisions, values equal up to the
+  /// floating-point rounding of precomposed endpoints and squared distances.
+  double score(const LikelihoodField& field, const Pose2D& pose,
+               const PrecomputedScan& pre, size_t* evaluations) const;
+
   /// Greedy local refinement around `initial` (Fig. 6's per-particle
-  /// scanMatch). Deterministic; thread-safe (const).
+  /// scanMatch), brute-force reference path. Deterministic; thread-safe
+  /// (const).
   MatchResult match(const OccupancyGrid& map, const Pose2D& initial,
                     const msg::LaserScan& scan) const;
 
+  /// Same refinement on the likelihood-field fast path. `field` must be
+  /// synced with the map the caller is matching against.
+  MatchResult match(const LikelihoodField& field, const Pose2D& initial,
+                    const msg::LaserScan& scan) const;
+
  private:
+  template <typename ScoreFn>
+  MatchResult hill_climb(const Pose2D& initial, ScoreFn&& score_fn) const;
+
   ScanMatcherConfig config_;
 };
 

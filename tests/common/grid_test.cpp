@@ -25,6 +25,16 @@ TEST(Grid, InBounds) {
   EXPECT_FALSE(g.in_bounds(-1, 0));
 }
 
+TEST(Grid, ValueOrFallsBackOutOfBounds) {
+  Grid<int> g(4, 3, 7);
+  g.at(2, 1) = 42;
+  EXPECT_EQ(g.value_or({2, 1}, -1), 42);
+  EXPECT_EQ(g.value_or({0, 0}, -1), 7);
+  EXPECT_EQ(g.value_or({4, 0}, -1), -1);
+  EXPECT_EQ(g.value_or({0, 3}, -1), -1);
+  EXPECT_EQ(g.value_or({-1, -1}, -1), -1);
+}
+
 TEST(Grid, RowMajorLayout) {
   Grid<int> g(3, 2, 0);
   g.at(1, 0) = 10;

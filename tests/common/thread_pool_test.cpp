@@ -39,6 +39,26 @@ TEST(ChunkRange, CoversAllItemsExactlyOnce) {
   }
 }
 
+TEST(ChunkRange, FewerItemsThanChunks) {
+  // 3 items over 8 chunks → one item each for the first three, empty after.
+  for (size_t c = 0; c < 8; ++c) {
+    const ChunkRange r = chunk_range(3, 8, c);
+    EXPECT_LE(r.begin, r.end);
+    EXPECT_EQ(r.end - r.begin, c < 3 ? 1u : 0u) << c;
+  }
+  // Empty chunks must still be valid (begin == end, within bounds).
+  EXPECT_EQ(chunk_range(3, 8, 7).begin, 3u);
+  EXPECT_EQ(chunk_range(3, 8, 7).end, 3u);
+}
+
+TEST(ChunkRange, ZeroItems) {
+  for (size_t c = 0; c < 4; ++c) {
+    const ChunkRange r = chunk_range(0, 4, c);
+    EXPECT_EQ(r.begin, 0u);
+    EXPECT_EQ(r.end, 0u);
+  }
+}
+
 TEST(ThreadPool, RunsSubmittedTasks) {
   ThreadPool pool(4);
   EXPECT_EQ(pool.num_threads(), 4u);

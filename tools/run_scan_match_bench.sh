@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run the scan-match / likelihood-field microbenchmarks and emit
+# BENCH_scan_match.json (google-benchmark JSON) plus a console summary of the
+# cached-vs-brute speedup. Builds the bench target if needed.
+#
+# Usage: tools/run_scan_match_bench.sh [build-dir]   (default: build)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT_JSON="$REPO_ROOT/BENCH_scan_match.json"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+fi
+cmake --build "$BUILD_DIR" --target bench_micro_kernels -j
+
+"$BUILD_DIR/bench/bench_micro_kernels" \
+  --benchmark_filter='ScanMatch|LikelihoodField' \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out="$OUT_JSON" \
+  --benchmark_out_format=json
+
+python3 - "$OUT_JSON" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    runs = {b["name"]: b["real_time"] for b in json.load(f)["benchmarks"]}
+
+def ratio(brute, cached):
+    if brute in runs and cached in runs and runs[cached] > 0:
+        return runs[brute] / runs[cached]
+    return float("nan")
+
+print()
+print(f"wrote {sys.argv[1]}")
+print(f"score  brute/cached: {ratio('BM_ScanMatchScore', 'BM_ScanMatchScoreCached'):.2f}x")
+print(f"refine brute/cached: {ratio('BM_ScanMatchRefine', 'BM_ScanMatchRefineCached'):.2f}x")
+EOF
