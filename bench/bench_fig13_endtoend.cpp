@@ -5,6 +5,7 @@
 // The headline factors the paper reports: energy ÷1.61 (nav) / ÷2.12 (expl),
 // completion time ÷2.53 (nav) / ÷1.6 (expl).
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_util.h"
@@ -17,7 +18,7 @@ using platform::Host;
 namespace {
 
 void run_workload(WorkloadKind kind, const char* title, double paper_energy_factor,
-                  double paper_time_factor) {
+                  double paper_time_factor, bench::TelemetrySidecar& sidecar) {
   bench::print_subtitle(title);
   const core::Goal goal =
       kind == WorkloadKind::kExplorationWithoutMap ? core::Goal::kEnergy
@@ -36,8 +37,14 @@ void run_workload(WorkloadKind kind, const char* title, double paper_energy_fact
       cfg.slam_particles = 20;  // bounded host wall-time; same shape
       cfg.rollout_samples = 1000;
     }
+    // LGV_NO_TELEMETRY=1 runs the disabled (null-pointer) path — used to
+    // verify that telemetry off means zero measurable overhead.
+    cfg.telemetry.enabled = std::getenv("LGV_NO_TELEMETRY") == nullptr;
     core::MissionRunner runner(sim::make_lab_scenario(), plan, cfg);
     reports.push_back(runner.run());
+    const char* wl = kind == WorkloadKind::kExplorationWithoutMap ? "exploration"
+                                                                  : "navigation";
+    sidecar.add(std::string(wl) + "/" + plan.name, reports.back().metrics);
   }
 
   std::printf("%-12s %8s %8s %8s %8s %8s | %8s %8s %8s\n", "deployment", "motor",
@@ -65,9 +72,11 @@ void run_workload(WorkloadKind kind, const char* title, double paper_energy_fact
 int main() {
   bench::print_title(
       "Fig. 13 — total energy (per component) and mission completion time");
+  bench::TelemetrySidecar sidecar("fig13");
   run_workload(WorkloadKind::kNavigationWithMap, "(a) Navigation with a map",
-               1.61, 2.53);
+               1.61, 2.53, sidecar);
   run_workload(WorkloadKind::kExplorationWithoutMap,
-               "(b) Exploration without a map", 2.12, 1.6);
+               "(b) Exploration without a map", 2.12, 1.6, sidecar);
+  sidecar.write();
   return 0;
 }

@@ -32,6 +32,7 @@ int main() {
   bench::print_title(
       "Fig. 14 — maximum velocity vs real velocity across path phases");
 
+  bench::TelemetrySidecar sidecar("fig14");
   const std::vector<core::DeploymentPlan> plans = {
       core::local_plan(WorkloadKind::kNavigationWithMap),            // low cap
       core::offload_plan("gateway_2t", Host::kEdgeGateway, 2,
@@ -45,6 +46,7 @@ int main() {
     cfg.timeout = 700.0;
     core::MissionRunner runner(sim::make_obstacle_course_scenario(), plan, cfg);
     const core::MissionReport r = runner.run();
+    sidecar.add(plan.name, r.metrics);
 
     bench::print_subtitle(plan.name + (r.success ? "" : "  [timed out]"));
     // Phase attribution by mission progress: the course is obstacles → long
@@ -97,6 +99,8 @@ int main() {
   };
   const core::MissionReport fixed = run_with(false);
   const core::MissionReport shed = run_with(true);
+  sidecar.add("gateway_8t_fixed", fixed.metrics);
+  sidecar.add("gateway_8t_shed", shed.metrics);
   std::printf("%-18s %9s %12s %14s %12s\n", "mode", "time(s)", "avg vel",
               "core-seconds", "min threads");
   std::printf("%-18s %9.1f %12.2f %14.1f %12d\n", "fixed 8T", fixed.completion_time,
@@ -108,5 +112,6 @@ int main() {
               100.0 * (1.0 - shed.cloud_core_seconds /
                                  std::max(1e-9, fixed.cloud_core_seconds)),
               100.0 * (shed.completion_time / fixed.completion_time - 1.0));
+  sidecar.write();
   return 0;
 }

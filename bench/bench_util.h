@@ -5,8 +5,12 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/telemetry/metrics.h"
 
 namespace lgv::bench {
 
@@ -36,6 +40,41 @@ inline std::string fmt(double v, int precision = 2) {
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
 }
+
+/// Accumulates per-run metric snapshots and writes them next to the bench's
+/// stdout table as `BENCH_<name>_telemetry.json`:
+///   {"bench": "<name>", "runs": {"<label>": {<series...>}, ...}}
+/// Each run object is the telemetry::write_metrics_json format, so the same
+/// offline tooling reads mission `_metrics.json` files and bench sidecars.
+class TelemetrySidecar {
+ public:
+  explicit TelemetrySidecar(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void add(std::string run_label, telemetry::MetricsSnapshot snapshot) {
+    runs_.emplace_back(std::move(run_label), std::move(snapshot));
+  }
+
+  std::string path() const { return "BENCH_" + name_ + "_telemetry.json"; }
+
+  /// Write the sidecar; prints where it went. Returns false on I/O failure.
+  bool write() const {
+    std::ofstream f(path());
+    if (!f) return false;
+    f << "{\n  \"bench\": \"" << name_ << "\",\n  \"runs\": {\n";
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      f << "    \"" << runs_[i].first << "\": ";
+      telemetry::write_metrics_json(f, runs_[i].second);
+      f << (i + 1 < runs_.size() ? ",\n" : "\n");
+    }
+    f << "  }\n}\n";
+    if (f) std::printf("telemetry sidecar: %s (%zu runs)\n", path().c_str(), runs_.size());
+    return static_cast<bool>(f);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, telemetry::MetricsSnapshot>> runs_;
+};
 
 /// Print a labeled grid: rows × cols of strings with a header.
 inline void print_grid(const std::string& corner, const std::vector<std::string>& col_names,

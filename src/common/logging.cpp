@@ -1,7 +1,9 @@
 #include "common/logging.h"
 
+#include <cstdio>
 #include <iostream>
-#include <mutex>
+
+#include "common/clock.h"
 
 namespace lgv {
 
@@ -16,8 +18,6 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-
-std::mutex g_log_mutex;
 }  // namespace
 
 Logger& Logger::instance() {
@@ -25,9 +25,36 @@ Logger& Logger::instance() {
   return logger;
 }
 
+void Logger::set_clock(const SimClock* clock) {
+  const std::scoped_lock lock(mutex_);
+  clock_ = clock;
+}
+
+void Logger::set_sink(Sink sink) {
+  const std::scoped_lock lock(mutex_);
+  sink_ = std::move(sink);
+}
+
 void Logger::write(LogLevel level, const std::string& tag, const std::string& message) {
-  const std::scoped_lock lock(g_log_mutex);
-  std::cerr << "[" << level_name(level) << "] " << tag << ": " << message << "\n";
+  const std::scoped_lock lock(mutex_);
+  std::string line;
+  line.reserve(tag.size() + message.size() + 32);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  if (clock_ != nullptr) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[t=%.3f] ", clock_->now());
+    line += stamp;
+  }
+  line += tag;
+  line += ": ";
+  line += message;
+  if (sink_) {
+    sink_(level, line);
+  } else {
+    std::cerr << line << "\n";
+  }
 }
 
 }  // namespace lgv

@@ -1,25 +1,49 @@
 // Minimal leveled logger. Quiet by default so tests and benches stay clean;
 // examples turn it up for narrative output.
+//
+// Thread-safe: the level gate is an atomic read, each write is serialized by
+// an internal mutex (pool workers and the mission loop can log
+// concurrently). When a virtual clock is registered, every line is stamped
+// with virtual time, so logs correlate with trace spans. Tests install a
+// sink to capture output instead of scraping stderr.
 #pragma once
 
+#include <atomic>
+#include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
 namespace lgv {
 
+class SimClock;
+
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 class Logger {
  public:
+  /// Receives each formatted line (without trailing newline). Installing a
+  /// sink replaces the default stderr output; a null sink restores it.
+  using Sink = std::function<void(LogLevel level, const std::string& line)>;
+
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+
+  /// Stamp lines with `clock->now()` virtual seconds; nullptr disables
+  /// stamping. The clock must outlive the registration and is expected to be
+  /// advanced only by the (single-threaded) simulation loop.
+  void set_clock(const SimClock* clock);
+  void set_sink(Sink sink);
 
   void write(LogLevel level, const std::string& tag, const std::string& message);
 
  private:
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;  ///< guards clock_, sink_, and output interleaving
+  const SimClock* clock_ = nullptr;
+  Sink sink_;
 };
 
 namespace detail {

@@ -1,0 +1,47 @@
+// The telemetry bundle handed to instrumented components: one metrics
+// registry + one tracer sharing the virtual clock. Components hold a
+// `telemetry::Telemetry*` that is nullptr when telemetry is disabled, so the
+// disabled path costs exactly one pointer test on each hot path.
+//
+//   Telemetry t;                      // or Telemetry(config)
+//   t.set_clock(&clock);              // virtual-time stamping
+//   graph.set_telemetry(&t);          // component wiring
+//   ...
+//   t.tracer().write_chrome_json(os); // load the result in Perfetto
+//   t.metrics().write_json(os);
+#pragma once
+
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
+
+namespace lgv::telemetry {
+
+struct TelemetryConfig {
+  bool enabled = true;
+  /// Tracer event cap (see Tracer).
+  size_t max_trace_events = 1u << 20;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {})
+      : config_(config), tracer_(config.max_trace_events) {}
+
+  const TelemetryConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  void set_clock(const SimClock* clock) { tracer_.set_clock(clock); }
+  double now() const { return tracer_.now(); }
+
+ private:
+  TelemetryConfig config_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace lgv::telemetry

@@ -1,0 +1,185 @@
+#include "common/telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+
+namespace lgv::telemetry {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Microsecond timestamp with fixed 3-decimal precision: deterministic and
+/// fine enough for sub-µs virtual durations.
+std::string fmt_us(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+bool looks_numeric(const std::string& v) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  std::strtod(v.c_str(), &end);
+  return end == v.c_str() + v.size();
+}
+
+void write_args(std::ostream& os, const TraceArgs& args) {
+  os << "\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << json_escape(args[i].first) << "\":";
+    if (looks_numeric(args[i].second)) {
+      os << args[i].second;
+    } else {
+      os << "\"" << json_escape(args[i].second) << "\"";
+    }
+  }
+  os << "}";
+}
+
+/// Stable pid/tid numbering: lanes are numbered in first-appearance order so
+/// the output only depends on the event sequence.
+struct LaneIds {
+  std::map<std::string, int> pids;
+  std::map<std::pair<std::string, std::string>, int> tids;
+
+  int pid(const std::string& p) {
+    auto [it, inserted] = pids.try_emplace(p, static_cast<int>(pids.size()) + 1);
+    return it->second;
+  }
+  int tid(const std::string& p, const std::string& t) {
+    auto [it, inserted] =
+        tids.try_emplace({p, t}, static_cast<int>(tids.size()) + 1);
+    return it->second;
+  }
+};
+
+void write_event(std::ostream& os, const TraceEvent& e, LaneIds& lanes) {
+  os << "{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"" << e.phase
+     << "\",\"ts\":" << fmt_us(e.ts_s);
+  if (e.phase == 'X') os << ",\"dur\":" << fmt_us(e.dur_s);
+  os << ",\"pid\":" << lanes.pid(e.pid) << ",\"tid\":" << lanes.tid(e.pid, e.tid);
+  if (e.phase == 'i') os << ",\"s\":\"t\"";  // instant scoped to its thread lane
+  if (!e.args.empty()) {
+    os << ",";
+    write_args(os, e.args);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void Tracer::record(TraceEvent e) {
+  const std::scoped_lock lock(mutex_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(e));
+}
+
+void Tracer::span(std::string name, std::string pid, std::string tid, double start_s,
+                  double dur_s, TraceArgs args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.phase = 'X';
+  e.ts_s = start_s;
+  e.dur_s = dur_s;
+  e.pid = std::move(pid);
+  e.tid = std::move(tid);
+  e.args = std::move(args);
+  record(std::move(e));
+}
+
+void Tracer::instant(std::string name, std::string pid, std::string tid, double t_s,
+                     TraceArgs args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.phase = 'i';
+  e.ts_s = t_s;
+  e.pid = std::move(pid);
+  e.tid = std::move(tid);
+  e.args = std::move(args);
+  record(std::move(e));
+}
+
+void Tracer::instant_now(std::string name, std::string pid, std::string tid,
+                         TraceArgs args) {
+  instant(std::move(name), std::move(pid), std::move(tid), now(), std::move(args));
+}
+
+size_t Tracer::size() const {
+  const std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+uint64_t Tracer::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  const std::scoped_lock lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  const std::vector<TraceEvent> events = this->events();
+  LaneIds lanes;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    write_event(os, e, lanes);
+  }
+  // Metadata events name the numeric lanes after their host / node strings.
+  for (const auto& [name, id] : lanes.pids) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << id
+       << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const auto& [key, id] : lanes.tids) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << lanes.pid(key.first)
+       << ",\"tid\":" << id << ",\"args\":{\"name\":\"" << json_escape(key.second)
+       << "\"}}";
+  }
+  os << "\n]}\n";
+}
+
+void Tracer::write_jsonl(std::ostream& os) const {
+  const std::vector<TraceEvent> events = this->events();
+  LaneIds lanes;
+  for (const TraceEvent& e : events) {
+    write_event(os, e, lanes);
+    os << "\n";
+  }
+}
+
+}  // namespace lgv::telemetry

@@ -1,0 +1,85 @@
+// Span tracing against the virtual clock. Components record complete spans
+// (node executions, state migrations) and instant events (Algorithm 1/2
+// decisions, drops) with a track identity of (process lane, thread lane) —
+// we map hosts to process lanes and nodes/components to thread lanes, so a
+// mission trace opened in Perfetto / chrome://tracing shows the VDP pipeline
+// as per-node rows grouped under lgv / edge_gateway / cloud_server, and an
+// Algorithm 2 migration as a node's work jumping between groups.
+//
+// Export formats: Chrome trace-event JSON (the `traceEvents` array schema,
+// loadable by Perfetto) and a line-per-event JSONL stream for ad-hoc jq/grep
+// analysis. Output is deterministic for a fixed event sequence — golden-file
+// testable under the virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace lgv::telemetry {
+
+/// String args attached to an event, rendered into the Chrome `args` object.
+/// Values are emitted as raw JSON when they parse as a number, else quoted.
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'i';    ///< 'X' complete span, 'i' instant event
+  double ts_s = 0.0;   ///< virtual start time (seconds)
+  double dur_s = 0.0;  ///< span duration (seconds, 'X' only)
+  std::string pid;     ///< process lane (host)
+  std::string tid;     ///< thread lane (node / component)
+  TraceArgs args;
+};
+
+class Tracer {
+ public:
+  /// Events past this many are dropped (and counted) so a runaway mission
+  /// cannot exhaust memory; 1M events ≈ a few hundred MB of JSON, far beyond
+  /// any Fig. 9–14 run.
+  explicit Tracer(size_t max_events = 1u << 20) : max_events_(max_events) {}
+
+  /// Register the virtual clock used by the convenience overloads; the
+  /// explicit-timestamp API works without one.
+  void set_clock(const SimClock* clock) { clock_ = clock; }
+  double now() const { return clock_ != nullptr ? clock_->now() : 0.0; }
+
+  /// Complete span [start_s, start_s + dur_s).
+  void span(std::string name, std::string pid, std::string tid, double start_s,
+            double dur_s, TraceArgs args = {});
+  /// Instant event at t_s.
+  void instant(std::string name, std::string pid, std::string tid, double t_s,
+               TraceArgs args = {});
+  /// Instant event stamped with the registered clock's current time.
+  void instant_now(std::string name, std::string pid, std::string tid,
+                   TraceArgs args = {});
+
+  size_t size() const;
+  uint64_t dropped() const;
+  void clear();
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]} with process/thread
+  /// name metadata so Perfetto shows host/node lane names.
+  void write_chrome_json(std::ostream& os) const;
+  /// One event per line, same field names as the Chrome schema.
+  void write_jsonl(std::ostream& os) const;
+
+  /// Snapshot of the recorded events (test / analysis use).
+  std::vector<TraceEvent> events() const;
+
+ private:
+  void record(TraceEvent e);
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  size_t max_events_;
+  uint64_t dropped_ = 0;
+  const SimClock* clock_ = nullptr;
+};
+
+}  // namespace lgv::telemetry

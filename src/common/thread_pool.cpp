@@ -4,7 +4,32 @@
 #include <atomic>
 #include <cassert>
 
+#include "common/telemetry/telemetry.h"
+
 namespace lgv {
+
+namespace {
+double elapsed_us(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+// Every condition wait in the pool is a timed wait. glibc before 2.41 can
+// lose a condvar wakeup outright (bug 25847, "pthread_cond_signal failed to
+// wake up pthread_cond_wait due to a bug in undoing stealing"): after heavy
+// notify_one churn a later notify_all may leave one waiter asleep. During a
+// mission a lost wake self-heals — workers re-check the queue after every
+// task — but the destructor's notify_all is the last signal ever sent, and a
+// worker that misses it sleeps forever while join() blocks. The periodic
+// predicate re-check turns that into a bounded delay instead of a deadlock.
+constexpr std::chrono::milliseconds kWaitSlice{100};
+
+// Wall-clock microsecond buckets: 1 µs .. 100 ms.
+std::vector<double> us_bounds() {
+  return {1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+          1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5};
+}
+}  // namespace
 
 ChunkRange chunk_range(size_t count, size_t chunks, size_t chunk) {
   assert(chunks > 0 && chunk < chunks);
@@ -32,31 +57,78 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::set_telemetry(telemetry::Telemetry* telemetry,
+                               const std::string& pool_name) {
+  const std::scoped_lock lock(mutex_);
+  if (telemetry == nullptr || !telemetry->enabled()) {
+    tasks_total_ = nullptr;
+    busy_us_total_ = nullptr;
+    queue_depth_ = nullptr;
+    task_wait_us_ = nullptr;
+    task_run_us_ = nullptr;
+    return;
+  }
+  const telemetry::Labels labels = {{"pool", pool_name}};
+  auto& m = telemetry->metrics();
+  tasks_total_ = &m.counter("pool_tasks_total", labels);
+  busy_us_total_ = &m.counter("pool_busy_us_total", labels);
+  queue_depth_ = &m.gauge("pool_queue_depth", labels);
+  task_wait_us_ = &m.histogram("pool_task_wait_us", labels, us_bounds());
+  task_run_us_ = &m.histogram("pool_task_run_us", labels, us_bounds());
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     const std::scoped_lock lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
+    if (queue_depth_ != nullptr) {
+      queue_depth_->set(static_cast<double>(queue_.size()));
+    }
   }
   task_ready_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  while (!all_done_.wait_for(lock, kWaitSlice, [this] { return in_flight_ == 0; })) {
+  }
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
+    // Handles read under the lock; they are stable for the pool's lifetime.
+    telemetry::Counter* tasks_total = nullptr;
+    telemetry::Counter* busy_us_total = nullptr;
+    telemetry::Histogram* task_wait_us = nullptr;
+    telemetry::Histogram* task_run_us = nullptr;
     {
       std::unique_lock lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      while (!task_ready_.wait_for(
+          lock, kWaitSlice, [this] { return stopping_ || !queue_.empty(); })) {
+      }
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      tasks_total = tasks_total_;
+      busy_us_total = busy_us_total_;
+      task_wait_us = task_wait_us_;
+      task_run_us = task_run_us_;
+      if (queue_depth_ != nullptr) {
+        queue_depth_->set(static_cast<double>(queue_.size()));
+      }
     }
-    task();
+    const auto start = std::chrono::steady_clock::now();
+    task.fn();
+    if (tasks_total != nullptr) {
+      const auto end = std::chrono::steady_clock::now();
+      const double run_us = elapsed_us(start, end);
+      tasks_total->inc();
+      busy_us_total->inc(static_cast<uint64_t>(run_us));
+      task_wait_us->observe(elapsed_us(task.enqueued, start));
+      task_run_us->observe(run_us);
+    }
     {
       const std::scoped_lock lock(mutex_);
       --in_flight_;
@@ -87,7 +159,10 @@ void ThreadPool::parallel_chunks(size_t count, size_t chunks,
     });
   }
   std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  while (!done_cv.wait_for(lock, kWaitSlice, [&] {
+    return remaining.load(std::memory_order_acquire) == 0;
+  })) {
+  }
 }
 
 }  // namespace lgv

@@ -6,17 +6,29 @@
 // Concurrency hygiene follows the C++ Core Guidelines: RAII locks only
 // (CP.20), condition waits always have a predicate (CP.42), threads are
 // joined in the destructor (CP.23/CP.25), tasks are the unit of work (CP.4).
+// All condition waits are timed (see kWaitSlice in the .cpp) so a lost
+// wakeup — glibc < 2.41 can drop one under notify churn (bug 25847) —
+// degrades to a bounded delay instead of a shutdown deadlock.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace lgv {
+
+namespace telemetry {
+class Counter;
+class Gauge;
+class Histogram;
+class Telemetry;
+}  // namespace telemetry
 
 class ThreadPool {
  public:
@@ -31,6 +43,19 @@ class ThreadPool {
 
   /// Enqueue a task for asynchronous execution.
   void submit(std::function<void()> task);
+
+  /// Wire the pool's hot-path metrics into `telemetry` (nullptr disconnects):
+  /// `pool_tasks_total`, `pool_queue_depth`, `pool_task_wait_us` /
+  /// `pool_task_run_us` histograms and `pool_busy_us_total`, all labeled
+  /// {pool=`pool_name`}. Times are host wall-clock — the pool runs real
+  /// threads; virtual time never advances inside a task. Worker utilization
+  /// over an interval is busy_us / (interval · num_threads).
+  ///
+  /// Lifetime: `telemetry` must outlive the pool (workers record after each
+  /// task, including after parallel_chunks() has released its caller) —
+  /// destroy the pool, which joins them, before the bundle.
+  void set_telemetry(telemetry::Telemetry* telemetry,
+                     const std::string& pool_name = "remote_pool");
 
   /// Block until every submitted task has finished executing.
   void wait_idle();
@@ -53,15 +78,27 @@ class ThreadPool {
                        const std::function<void(size_t begin, size_t end)>& fn);
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool stopping_ = false;
+
+  // Telemetry handles (cached once in set_telemetry; null when disabled).
+  telemetry::Counter* tasks_total_ = nullptr;
+  telemetry::Counter* busy_us_total_ = nullptr;
+  telemetry::Gauge* queue_depth_ = nullptr;
+  telemetry::Histogram* task_wait_us_ = nullptr;
+  telemetry::Histogram* task_run_us_ = nullptr;
 };
 
 /// Compute the contiguous [begin, end) range of chunk `chunk` out of `chunks`

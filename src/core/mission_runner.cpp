@@ -19,7 +19,8 @@ MissionRunner::MissionRunner(sim::Scenario scenario, DeploymentPlan plan,
                              MissionConfig config)
     : scenario_(std::move(scenario)),
       config_(config),
-      runtime_(std::move(plan), scenario_.wap_position, config.channel),
+      runtime_(std::move(plan), scenario_.wap_position, config.channel,
+               config.telemetry),
       robot_({}, scenario_.start, config.seed ^ 0xb0b),
       lidar_({}, config.seed ^ 0x11d),
       battery_(config.battery_wh),
@@ -383,6 +384,18 @@ void MissionRunner::run_adjustment(double now) {
   // ---- Algorithm 2: bandwidth + signal direction → placement.
   const NetworkObservation obs = profiler.observe(now);
   VdpPlacement wanted = runtime_.network_controller().update(obs);
+  if (telemetry::Telemetry* t = runtime_.telemetry()) {
+    // Every Algorithm 2 evaluation with the observation snapshot that drove
+    // it — the trace answers "why did it migrate at t=412s?" directly.
+    t->tracer().instant_now(
+        "alg2.decision", "decisions", "algorithm2",
+        {{"bandwidth_hz", std::to_string(obs.bandwidth_hz)},
+         {"direction", std::to_string(obs.signal_direction)},
+         {"wanted", wanted == VdpPlacement::kRemote ? "remote" : "local"},
+         {"current",
+          runtime_.vdp_placement() == VdpPlacement::kRemote ? "remote" : "local"}});
+    t->metrics().counter("alg_decisions_total", {{"algorithm", "2"}}).inc();
+  }
 
   // ---- Algorithm 1 (MCT goal): confirm remote placement still pays off.
   if (wanted == VdpPlacement::kRemote &&
@@ -578,6 +591,10 @@ MissionReport MissionRunner::run() {
   for (const std::string& name : runtime_.meter().node_names()) {
     report_.node_cycles[name] = runtime_.meter().cycles(name);
     report_.node_invocations[name] = runtime_.meter().invocations(name);
+  }
+  if (const telemetry::Telemetry* t = runtime_.telemetry()) {
+    report_.metrics = t->metrics().snapshot();
+    report_.trace_events = t->tracer().size();
   }
   return report_;
 }

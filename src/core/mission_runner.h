@@ -65,6 +65,9 @@ struct MissionConfig {
   /// Localization node implementation (navigation workload only; exploration
   /// always runs laser SLAM).
   LocalizationBackend localization = LocalizationBackend::kLaser;
+  /// Telemetry (metrics + virtual-time trace). Enabled by default; set
+  /// `telemetry.enabled = false` for overhead-free runs.
+  telemetry::TelemetryConfig telemetry;
 };
 
 struct VelocitySample {
@@ -102,6 +105,11 @@ struct MissionReport {
   /// Per-node cycle totals and invocation counts (Table II's raw data).
   std::map<std::string, double> node_cycles;
   std::map<std::string, size_t> node_invocations;
+  /// End-of-mission telemetry: every metric series (empty when telemetry is
+  /// disabled) and the recorded trace-event count. The full trace lives in
+  /// `MissionRunner::runtime().telemetry()->tracer()`.
+  telemetry::MetricsSnapshot metrics;
+  uint64_t trace_events = 0;
 };
 
 /// Live snapshot passed to the tick observer (debugging / visualization).

@@ -37,7 +37,8 @@ net::ChannelConfig adjust_channel(net::ChannelConfig cfg, Point2D wap,
 }  // namespace
 
 OffloadRuntime::OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
-                               net::ChannelConfig channel_config)
+                               net::ChannelConfig channel_config,
+                               telemetry::TelemetryConfig telemetry_config)
     : plan_(std::move(plan)),
       channel_(adjust_channel(channel_config, wap_position, plan_.remote_host)),
       power_(),
@@ -73,6 +74,18 @@ OffloadRuntime::OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
         static_cast<size_t>(plan_.remote_threads));
   }
   active_threads_ = plan_.offload ? plan_.remote_threads : 1;
+
+  if (telemetry_config.enabled) {
+    telemetry_ = std::make_unique<telemetry::Telemetry>(telemetry_config);
+    telemetry_->set_clock(&clock_);
+    graph_.set_telemetry(telemetry_.get());
+    switcher_.set_telemetry(telemetry_.get());
+    profiler_.set_telemetry(telemetry_.get());
+    if (remote_pool_ != nullptr) {
+      remote_pool_->set_telemetry(telemetry_.get(),
+                                  platform::host_name(plan_.remote_host));
+    }
+  }
 }
 
 void OffloadRuntime::set_active_threads(int threads) {
@@ -98,25 +111,50 @@ void OffloadRuntime::place(NodeId id, platform::Host host) {
 
 OffloadDecision OffloadRuntime::apply_initial_placement() {
   OffloadDecision decision;
+  double tl = 0.0;
+  double tc = 0.0;
   if (!plan_.offload) {
     for (NodeId id : all_nodes()) decision.placement[id] = platform::Host::kLgv;
   } else {
     // T_l^v and T_c from the profiler when available, otherwise from the cost
     // models' first-principles prediction (no history yet at mission start).
-    const double tl = profiler_.vdp_makespan(VdpPlacement::kLocal).value_or(1.0);
-    const double tc = profiler_.vdp_makespan(VdpPlacement::kRemote)
-                          .value_or(0.1 + predicted_network_latency());
+    tl = profiler_.vdp_makespan(VdpPlacement::kLocal).value_or(1.0);
+    tc = profiler_.vdp_makespan(VdpPlacement::kRemote)
+             .value_or(0.1 + predicted_network_latency());
     decision = planner_.decide(traits_, tl, tc);
   }
   for (const auto& [id, host] : decision.placement) place(id, host);
   vdp_placement_ = decision.vdp_offloaded ? VdpPlacement::kRemote : VdpPlacement::kLocal;
   netctl_.force(vdp_placement_);
+  if (telemetry_ != nullptr) {
+    // Algorithm 1 marker: the Eq. 1–2 inputs and the resulting node map.
+    telemetry::TraceArgs args = {
+        {"goal", plan_.goal == Goal::kCompletionTime ? "completion_time" : "energy"},
+        {"tl_s", std::to_string(tl)},
+        {"tc_s", std::to_string(tc)},
+        {"vdp", decision.vdp_offloaded ? "remote" : "local"}};
+    for (const auto& [id, host] : decision.placement) {
+      args.emplace_back(node_name(id), platform::host_name(host));
+    }
+    telemetry_->tracer().instant_now("alg1.initial_placement", "decisions",
+                                     "algorithm1", std::move(args));
+    telemetry_->metrics().counter("alg_decisions_total", {{"algorithm", "1"}}).inc();
+  }
   return decision;
 }
 
 bool OffloadRuntime::set_vdp_placement(VdpPlacement placement) {
   if (placement == vdp_placement_) return false;
   vdp_placement_ = placement;
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer().instant_now(
+        "alg2.migration", "decisions", "algorithm2",
+        {{"to", placement == VdpPlacement::kRemote ? "remote" : "local"}});
+    telemetry_->metrics()
+        .counter("alg2_migrations_total",
+                 {{"to", placement == VdpPlacement::kRemote ? "remote" : "local"}})
+        .inc();
+  }
   for (NodeId id : all_nodes()) {
     const NodeClass cls = traits_.at(id).node_class();
     const bool offloadable =
@@ -149,6 +187,21 @@ double OffloadRuntime::finish(NodeId id, platform::ExecutionContext& ctx) {
     energy_.add_computer_energy(model.dynamic_energy(ctx.profile()));
   }
   profiler_.record_node_time(id, host, t);
+  if (telemetry_ != nullptr) {
+    // Per-node execution lane: the span starts now and runs for the
+    // cost-model execution time; a migration shows as the node's lane
+    // jumping to another host group in the trace.
+    const char* host_lane = platform::host_name(host);
+    const char* node = node_name(id);
+    telemetry_->tracer().span(
+        node, host_lane, node, clock_.now(), t,
+        {{"cycles", std::to_string(ctx.profile().total_cycles())},
+         {"threads", std::to_string(ctx.threads())}});
+    const telemetry::Labels labels = {{"node", node}, {"host", host_lane}};
+    auto& m = telemetry_->metrics();
+    m.counter("node_invocations_total", labels).inc();
+    m.histogram("node_exec_seconds", labels).observe(t);
+  }
   return t;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/telemetry/telemetry.h"
 #include "common/thread_pool.h"
 #include "core/controller.h"
 #include "core/network_quality.h"
@@ -45,9 +46,16 @@ DeploymentPlan offload_plan(const std::string& name, platform::Host remote, int 
 class OffloadRuntime {
  public:
   OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
-                 net::ChannelConfig channel_config = {});
+                 net::ChannelConfig channel_config = {},
+                 telemetry::TelemetryConfig telemetry_config = {});
 
   const DeploymentPlan& plan() const { return plan_; }
+
+  /// The shared telemetry bundle (metrics registry + virtual-time tracer)
+  /// every subsystem records into, or nullptr when telemetry is disabled —
+  /// the disabled path is a single pointer test on each hot path.
+  telemetry::Telemetry* telemetry() { return telemetry_.get(); }
+  const telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
 
   // ---- shared infrastructure ----
   SimClock& clock() { return clock_; }
@@ -105,6 +113,10 @@ class OffloadRuntime {
 
  private:
   DeploymentPlan plan_;
+  /// Declared before remote_pool_ so the pool's destructor (which joins the
+  /// workers) runs first: a worker released from parallel_chunks() may still
+  /// be recording its post-task metrics into this bundle.
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
   SimClock clock_;
   mw::Graph graph_;
   net::WirelessChannel channel_;

@@ -23,6 +23,23 @@ std::optional<double> Profiler::node_time(NodeId node, platform::Host host) cons
   return it->second;
 }
 
+void Profiler::set_telemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr || !telemetry->enabled()) {
+    rtt_ms_ = nullptr;
+    vdp_local_s_ = nullptr;
+    vdp_remote_s_ = nullptr;
+    bandwidth_hz_ = nullptr;
+    signal_direction_ = nullptr;
+    return;
+  }
+  auto& m = telemetry->metrics();
+  rtt_ms_ = &m.histogram("net_rtt_ms", {}, telemetry::latency_bounds_ms());
+  vdp_local_s_ = &m.histogram("vdp_makespan_s", {{"placement", "local"}});
+  vdp_remote_s_ = &m.histogram("vdp_makespan_s", {{"placement", "remote"}});
+  bandwidth_hz_ = &m.gauge("alg2_bandwidth_hz");
+  signal_direction_ = &m.gauge("alg2_signal_direction");
+}
+
 void Profiler::record_vdp_makespan(VdpPlacement placement, double seconds) {
   const auto it = vdp_times_.find(placement);
   if (it == vdp_times_.end()) {
@@ -30,6 +47,9 @@ void Profiler::record_vdp_makespan(VdpPlacement placement, double seconds) {
   } else {
     it->second = config_.ema_alpha * seconds + (1.0 - config_.ema_alpha) * it->second;
   }
+  telemetry::Histogram* h =
+      placement == VdpPlacement::kLocal ? vdp_local_s_ : vdp_remote_s_;
+  if (h != nullptr) h->observe(seconds);
 }
 
 std::optional<double> Profiler::vdp_makespan(VdpPlacement placement) const {
@@ -42,6 +62,10 @@ NetworkObservation Profiler::observe(double now) {
   NetworkObservation obs;
   obs.bandwidth_hz = bandwidth_.rate(now);
   obs.signal_direction = direction_.direction();
+  if (bandwidth_hz_ != nullptr) {
+    bandwidth_hz_->set(obs.bandwidth_hz);
+    signal_direction_->set(obs.signal_direction);
+  }
   return obs;
 }
 

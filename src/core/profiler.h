@@ -6,6 +6,7 @@
 #include <map>
 #include <optional>
 
+#include "common/telemetry/telemetry.h"
 #include "core/network_quality.h"
 #include "core/node_classifier.h"
 #include "net/meters.h"
@@ -33,9 +34,15 @@ class Profiler {
   void record_vdp_makespan(VdpPlacement placement, double seconds);
   std::optional<double> vdp_makespan(VdpPlacement placement) const;
 
+  /// Mirror the profiler's observables into `telemetry`: the RTT histogram
+  /// (`net_rtt_ms`), VDP makespan histograms per placement, and the r_t/d_t
+  /// gauges Algorithm 2 reads. nullptr disconnects.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   // ---- network ----
   void record_rtt(double sent_at, double received_at) {
     rtt_.on_response(sent_at, received_at);
+    if (rtt_ms_ != nullptr) rtt_ms_->observe((received_at - sent_at) * 1e3);
   }
   std::optional<double> rtt() const { return rtt_.latest(); }
   void on_stream_packet(double now) { bandwidth_.on_packet(now); }
@@ -51,6 +58,13 @@ class Profiler {
   net::RttMeter rtt_;
   net::BandwidthMeter bandwidth_;
   net::SignalDirectionEstimator direction_;
+
+  // Telemetry handles (null when disconnected).
+  telemetry::Histogram* rtt_ms_ = nullptr;
+  telemetry::Histogram* vdp_local_s_ = nullptr;
+  telemetry::Histogram* vdp_remote_s_ = nullptr;
+  telemetry::Gauge* bandwidth_hz_ = nullptr;
+  telemetry::Gauge* signal_direction_ = nullptr;
 };
 
 }  // namespace lgv::core

@@ -21,6 +21,10 @@ void write_network_trace_csv(std::ostream& os, const MissionReport& report) {
   }
 }
 
+void write_metrics_json(std::ostream& os, const MissionReport& report) {
+  telemetry::write_metrics_json(os, report.metrics);
+}
+
 void write_node_work_csv(std::ostream& os, const MissionReport& report) {
   os << "node,cycles,invocations\n";
   for (const auto& [name, cycles] : report.node_cycles) {
@@ -51,6 +55,11 @@ std::string summarize(const MissionReport& report) {
   if (report.explored_area_m2 > 0.0) {
     os << "  explored " << report.explored_area_m2 << " m^2\n";
   }
+  if (!report.metrics.samples.empty()) {
+    os << "  telemetry " << report.metrics.samples.size() << " series in "
+       << report.metrics.families().size() << " families, " << report.trace_events
+       << " trace events\n";
+  }
   return os.str();
 }
 
@@ -70,7 +79,19 @@ bool write_report_files(const std::string& prefix, const MissionReport& report) 
     if (!f) return false;
     write_node_work_csv(f, report);
   }
+  if (!report.metrics.samples.empty()) {
+    std::ofstream f(prefix + "_metrics.json");
+    if (!f) return false;
+    write_metrics_json(f, report);
+  }
   return true;
+}
+
+bool write_trace_file(const std::string& path, const telemetry::Tracer& tracer) {
+  std::ofstream f(path);
+  if (!f) return false;
+  tracer.write_chrome_json(f);
+  return static_cast<bool>(f);
 }
 
 }  // namespace lgv::core

@@ -18,11 +18,21 @@ void write_network_trace_csv(std::ostream& os, const MissionReport& report);
 /// per-node work as CSV: node,cycles,invocations
 void write_node_work_csv(std::ostream& os, const MissionReport& report);
 
+/// The report's metric snapshot as JSON (see telemetry::write_metrics_json).
+void write_metrics_json(std::ostream& os, const MissionReport& report);
+
 /// Multi-line human-readable summary (what the examples print).
 std::string summarize(const MissionReport& report);
 
-/// Write all three CSVs next to each other: <prefix>_velocity.csv,
-/// <prefix>_network.csv, <prefix>_nodes.csv. Returns false on I/O failure.
+/// Write the CSVs next to each other: <prefix>_velocity.csv,
+/// <prefix>_network.csv, <prefix>_nodes.csv — plus <prefix>_metrics.json
+/// when the report carries a telemetry snapshot. Returns false on I/O
+/// failure.
 bool write_report_files(const std::string& prefix, const MissionReport& report);
+
+/// Chrome trace-event JSON (Perfetto-loadable) for a finished mission:
+///   core::write_trace_file("mission_trace.json",
+///                          runner.runtime().telemetry()->tracer());
+bool write_trace_file(const std::string& path, const telemetry::Tracer& tracer);
 
 }  // namespace lgv::core

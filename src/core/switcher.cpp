@@ -45,6 +45,23 @@ Switcher::Switcher(mw::Graph* graph, net::WirelessChannel* channel, const SimClo
       downlink_(channel, kernel_buffer_capacity),
       control_(channel) {}
 
+void Switcher::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry != nullptr && telemetry->enabled() ? telemetry : nullptr;
+  if (telemetry_ == nullptr) {
+    uplink_bytes_total_ = nullptr;
+    downlink_bytes_total_ = nullptr;
+    migrations_total_ = nullptr;
+    return;
+  }
+  uplink_.set_telemetry(telemetry_, "uplink");
+  downlink_.set_telemetry(telemetry_, "downlink");
+  control_.set_telemetry(telemetry_, "control");
+  auto& m = telemetry_->metrics();
+  uplink_bytes_total_ = &m.counter("switcher_bytes_total", {{"dir", "uplink"}});
+  downlink_bytes_total_ = &m.counter("switcher_bytes_total", {{"dir", "downlink"}});
+  migrations_total_ = &m.counter("switcher_state_migrations_total");
+}
+
 void Switcher::send(const mw::TopicName& topic, const mw::NodeName& dst,
                     platform::Host src_host, platform::Host dst_host,
                     std::vector<uint8_t> bytes) {
@@ -56,6 +73,7 @@ void Switcher::send(const mw::TopicName& topic, const mw::NodeName& dst,
   if (src_host == platform::Host::kLgv) {
     ++stats_.uplink_messages;
     stats_.uplink_bytes += static_cast<double>(env.size());
+    if (uplink_bytes_total_ != nullptr) uplink_bytes_total_->inc(env.size());
     // Eq. 1b: uplink transmission costs the wireless controller energy.
     if (energy_ != nullptr) {
       energy_->add_wireless_energy(power_->transmission_energy(
@@ -65,6 +83,7 @@ void Switcher::send(const mw::TopicName& topic, const mw::NodeName& dst,
   } else {
     ++stats_.downlink_messages;
     stats_.downlink_bytes += static_cast<double>(env.size());
+    if (downlink_bytes_total_ != nullptr) downlink_bytes_total_->inc(env.size());
     downlink_.send(std::move(env), now);
   }
 }
@@ -99,7 +118,16 @@ double Switcher::migrate_state(double bytes, bool uplink) {
   // Reliable transfer time: serialization at the effective rate plus one
   // latency sample; degraded links stretch it via the retry model.
   const double rate = std::max(1e5, channel_->effective_uplink_bps());
-  return now + bytes * 8.0 / rate + channel_->sample_latency(1200);
+  const double done = now + bytes * 8.0 / rate + channel_->sample_latency(1200);
+  if (telemetry_ != nullptr) {
+    migrations_total_->inc();
+    // The migration freeze window as a span on the network lane.
+    telemetry_->tracer().span("switcher.migrate", "network", "switcher", now,
+                              done - now,
+                              {{"bytes", std::to_string(bytes)},
+                               {"dir", uplink ? "uplink" : "downlink"}});
+  }
+  return done;
 }
 
 void Switcher::send_stream_packet() {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/telemetry/telemetry.h"
 #include "middleware/graph.h"
 #include "net/link.h"
 #include "net/wireless_channel.h"
@@ -61,6 +62,11 @@ class Switcher final : public mw::RemoteTransport {
   net::UdpLink& downlink() { return downlink_; }
   net::TcpLink& control_link() { return control_; }
 
+  /// Wire the three links' `net_*` metrics ({link=uplink|downlink|control})
+  /// plus switcher byte counters, and emit a `switcher.migrate` span per
+  /// state migration. nullptr disconnects.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
  private:
   void deliver(const net::Packet& packet);
 
@@ -74,6 +80,10 @@ class Switcher final : public mw::RemoteTransport {
   net::TcpLink control_;   ///< reliable control/state channel
   SwitcherStats stats_;
   std::function<void(double, double)> stream_callback_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* uplink_bytes_total_ = nullptr;
+  telemetry::Counter* downlink_bytes_total_ = nullptr;
+  telemetry::Counter* migrations_total_ = nullptr;
 };
 
 }  // namespace lgv::core

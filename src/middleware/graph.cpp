@@ -24,27 +24,68 @@ std::vector<NodeName> Graph::nodes() const {
   return out;
 }
 
-void Graph::enqueue(detail::SubscriptionRec& sub, const detail::ErasedMessage& msg,
-                    TopicStats& stats) {
+void Graph::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry != nullptr && telemetry->enabled() ? telemetry : nullptr;
+  for (auto& [name, rec] : topics_) rec.telemetry = detail::TopicTelemetry{};
+}
+
+telemetry::Telemetry* Graph::topic_telemetry(detail::TopicRec& rec) {
+  if (telemetry_ == nullptr) return nullptr;
+  if (!rec.telemetry.wired) {
+    const telemetry::Labels labels = {{"topic", rec.name}};
+    auto& m = telemetry_->metrics();
+    rec.telemetry.published = &m.counter("mw_published_total", labels);
+    rec.telemetry.delivered = &m.counter("mw_delivered_total", labels);
+    rec.telemetry.dropped = &m.counter("mw_dropped_total", labels);
+    rec.telemetry.sent_remote = &m.counter("mw_sent_remote_total", labels);
+    rec.telemetry.queue_depth = &m.gauge("mw_queue_depth", labels);
+    rec.telemetry.message_bytes = &m.histogram(
+        "mw_message_bytes", labels,
+        {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576});
+    rec.telemetry.wired = true;
+  }
+  return telemetry_;
+}
+
+void Graph::enqueue(detail::TopicRec& rec, detail::SubscriptionRec& sub,
+                    const detail::ErasedMessage& msg) {
   if (sub.queue.size() >= sub.max_queue) {
     // Bounded queue, freshest wins: drop the oldest (ROS queue_size semantics).
     sub.queue.pop_front();
     ++sub.dropped;
-    ++stats.dropped_queue;
+    ++rec.stats.dropped_queue;
+    if (telemetry::Telemetry* t = topic_telemetry(rec)) {
+      rec.telemetry.dropped->inc();
+      t->tracer().instant_now("mw.drop", "middleware", rec.name,
+                              {{"subscriber", sub.subscriber}});
+    }
   }
   sub.queue.push_back(msg);
+  if (topic_telemetry(rec) != nullptr) {
+    rec.telemetry.queue_depth->set(static_cast<double>(sub.queue.size()));
+  }
 }
 
 void Graph::dispatch(detail::TopicRec& rec, const NodeName& publisher,
                      const detail::ErasedMessage& msg, const std::vector<uint8_t>* bytes) {
   const Host src = host_of(publisher);
+  if (telemetry::Telemetry* t = topic_telemetry(rec)) {
+    rec.telemetry.published->inc();
+    rec.telemetry.message_bytes->observe(
+        bytes != nullptr ? static_cast<double>(bytes->size()) : 0.0);
+    t->tracer().instant_now(
+        "mw.publish", platform::host_name(src), rec.name,
+        {{"publisher", publisher},
+         {"bytes", std::to_string(bytes != nullptr ? bytes->size() : 0)}});
+  }
   for (auto& sub : rec.subs) {
     const Host dst = host_of(sub->subscriber);
     if (dst == src || transport_ == nullptr) {
-      enqueue(*sub, msg, rec.stats);
+      enqueue(rec, *sub, msg);
       ++rec.stats.delivered_local;
     } else {
       ++rec.stats.sent_remote;
+      if (topic_telemetry(rec) != nullptr) rec.telemetry.sent_remote->inc();
       transport_->send(rec.name, sub->subscriber, src, dst, *bytes);
     }
   }
@@ -58,7 +99,7 @@ void Graph::deliver_serialized(const TopicName& topic, const NodeName& dst,
   detail::ErasedMessage msg = rec.deserialize(bytes);
   for (auto& sub : rec.subs) {
     if (sub->subscriber == dst) {
-      enqueue(*sub, msg, rec.stats);
+      enqueue(rec, *sub, msg);
       return;
     }
   }
@@ -80,6 +121,12 @@ size_t Graph::spin() {
           sub->callback(msg);
           ++invoked;
           progressed = true;
+          if (telemetry::Telemetry* t = topic_telemetry(rec)) {
+            rec.telemetry.delivered->inc();
+            t->tracer().instant_now("mw.deliver",
+                                    platform::host_name(host_of(sub->subscriber)),
+                                    rec.name, {{"subscriber", sub->subscriber}});
+          }
         }
       }
     }
@@ -96,6 +143,23 @@ std::optional<Host> Graph::service_host(const std::string& service) const {
 const TopicStats* Graph::topic_stats(const TopicName& topic) const {
   const auto it = topics_.find(topic);
   return it == topics_.end() ? nullptr : &it->second.stats;
+}
+
+std::vector<SubscriptionStats> Graph::subscription_stats(const TopicName& topic) const {
+  std::vector<SubscriptionStats> out;
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return out;
+  out.reserve(it->second.subs.size());
+  for (const auto& sub : it->second.subs) {
+    SubscriptionStats s;
+    s.subscriber = sub->subscriber;
+    s.received = sub->received;
+    s.dropped = sub->dropped;
+    s.queue_depth = sub->queue.size();
+    s.max_queue = sub->max_queue;
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 std::vector<TopicName> Graph::topics() const {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/serialization.h"
+#include "common/telemetry/telemetry.h"
 #include "platform/platform_spec.h"
 
 namespace lgv::mw {
@@ -37,6 +38,16 @@ struct TopicStats {
   uint64_t delivered_local = 0;
   uint64_t sent_remote = 0;
   uint64_t dropped_queue = 0;  ///< overwritten in a full bounded queue
+};
+
+/// Per-subscription view of a topic: the aggregated TopicStats can hide one
+/// starved subscriber behind a healthy one; this can't.
+struct SubscriptionStats {
+  NodeName subscriber;
+  uint64_t received = 0;  ///< callbacks invoked
+  uint64_t dropped = 0;   ///< overwritten in this subscriber's full queue
+  size_t queue_depth = 0;
+  size_t max_queue = 0;
 };
 
 /// Installed by the Switcher to carry serialized messages across hosts.
@@ -65,6 +76,18 @@ struct SubscriptionRec {
   uint64_t received = 0;
 };
 
+/// Cached per-topic metric handles (wired lazily on first use so topics may
+/// be created before or after Graph::set_telemetry).
+struct TopicTelemetry {
+  bool wired = false;
+  telemetry::Counter* published = nullptr;
+  telemetry::Counter* delivered = nullptr;
+  telemetry::Counter* dropped = nullptr;
+  telemetry::Counter* sent_remote = nullptr;
+  telemetry::Gauge* queue_depth = nullptr;
+  telemetry::Histogram* message_bytes = nullptr;
+};
+
 struct TopicRec {
   TopicName name;
   std::type_index type{typeid(void)};
@@ -74,6 +97,7 @@ struct TopicRec {
   std::optional<ErasedMessage> latched;
   bool latch = false;
   TopicStats stats;
+  TopicTelemetry telemetry;
 };
 
 }  // namespace detail
@@ -119,6 +143,13 @@ class Graph {
   /// Deliver everything queued; returns number of callbacks invoked.
   size_t spin();
 
+  // ---- observability ----
+  /// Wire per-topic metrics (`mw_*` families, labeled {topic=...}) and
+  /// publish/deliver trace events into `telemetry` (nullptr or a disabled
+  /// bundle disconnects). Trace timestamps come from the tracer's registered
+  /// virtual clock.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   // ---- remote path ----
   void set_remote_transport(RemoteTransport* transport) { transport_ = transport; }
   /// Called by the transport when a cross-host message arrives.
@@ -137,6 +168,9 @@ class Graph {
 
   // ---- introspection ----
   const TopicStats* topic_stats(const TopicName& topic) const;
+  /// Per-subscriber received/dropped/queue-depth for `topic` (empty when the
+  /// topic is unknown). Order matches subscription order.
+  std::vector<SubscriptionStats> subscription_stats(const TopicName& topic) const;
   std::vector<TopicName> topics() const;
   /// Serialized size of the last message published on `topic` (bytes).
   size_t last_message_bytes(const TopicName& topic) const;
@@ -146,8 +180,11 @@ class Graph {
   detail::TopicRec& topic_rec(const TopicName& topic);
   void dispatch(detail::TopicRec& rec, const NodeName& publisher,
                 const detail::ErasedMessage& msg, const std::vector<uint8_t>* bytes);
-  static void enqueue(detail::SubscriptionRec& sub, const detail::ErasedMessage& msg,
-                      TopicStats& stats);
+  void enqueue(detail::TopicRec& rec, detail::SubscriptionRec& sub,
+               const detail::ErasedMessage& msg);
+  /// Lazily bind the topic's metric handles; returns the telemetry bundle or
+  /// nullptr when disconnected.
+  telemetry::Telemetry* topic_telemetry(detail::TopicRec& rec);
 
   template <typename T>
   friend class Publisher;
@@ -160,6 +197,7 @@ class Graph {
       services_;
   std::map<TopicName, size_t> last_bytes_;
   RemoteTransport* transport_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 // ---- template implementations ----
@@ -209,7 +247,7 @@ void Graph::subscribe(const NodeName& node, const TopicName& topic,
     cb(*static_cast<const T*>(msg.get()));
   };
   if (rec.latch && rec.latched.has_value()) {
-    enqueue(*sub, *rec.latched, rec.stats);
+    enqueue(rec, *sub, *rec.latched);
   }
   rec.subs.push_back(std::move(sub));
 }

@@ -1,5 +1,7 @@
 #include "net/kernel_buffer.h"
 
+#include <algorithm>
+
 namespace lgv::net {
 
 bool KernelBuffer::enqueue(const Datagram& d) {
@@ -9,6 +11,8 @@ bool KernelBuffer::enqueue(const Datagram& d) {
   }
   queue_.push_back(d);
   ++accepted_;
+  queued_bytes_ += d.bytes;
+  peak_size_ = std::max(peak_size_, queue_.size());
   return true;
 }
 
@@ -16,6 +20,7 @@ std::optional<Datagram> KernelBuffer::dequeue() {
   if (queue_.empty()) return std::nullopt;
   Datagram d = queue_.front();
   queue_.pop_front();
+  queued_bytes_ -= std::min(queued_bytes_, d.bytes);
   return d;
 }
 

@@ -44,14 +44,24 @@ class KernelBuffer {
 
   uint64_t accepted() const { return accepted_; }
   uint64_t discarded() const { return discarded_; }
+  /// High-water mark of the queue depth — how close the driver came to
+  /// blocking even when nothing was discarded.
+  size_t peak_size() const { return peak_size_; }
+  /// Bytes currently sitting in the buffer awaiting the driver.
+  size_t queued_bytes() const { return queued_bytes_; }
 
-  void clear() { queue_.clear(); }
+  void clear() {
+    queue_.clear();
+    queued_bytes_ = 0;
+  }
 
  private:
   size_t capacity_;
   std::deque<Datagram> queue_;
   uint64_t accepted_ = 0;
   uint64_t discarded_ = 0;
+  size_t peak_size_ = 0;
+  size_t queued_bytes_ = 0;
 };
 
 }  // namespace lgv::net

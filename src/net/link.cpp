@@ -4,17 +4,44 @@
 
 namespace lgv::net {
 
+void LinkTelemetry::wire(telemetry::Telemetry* telemetry, const std::string& link_name) {
+  if (telemetry == nullptr || !telemetry->enabled()) {
+    *this = LinkTelemetry{};
+    return;
+  }
+  const telemetry::Labels labels = {{"link", link_name}};
+  auto& m = telemetry->metrics();
+  sent = &m.counter("net_sent_total", labels);
+  dropped_buffer = &m.counter("net_dropped_buffer_total", labels);
+  dropped_channel = &m.counter("net_dropped_channel_total", labels);
+  delivered = &m.counter("net_delivered_total", labels);
+  in_flight_bytes = &m.gauge("net_in_flight_bytes", labels);
+  buffer_depth = &m.gauge("net_kernel_buffer_depth", labels);
+  oneway_ms = &m.histogram("net_oneway_ms", labels, telemetry::latency_bounds_ms());
+}
+
 UdpLink::UdpLink(WirelessChannel* channel, size_t kernel_buffer_capacity)
     : channel_(channel), buffer_(kernel_buffer_capacity) {}
 
+void UdpLink::set_telemetry(telemetry::Telemetry* telemetry,
+                            const std::string& link_name) {
+  telemetry_.wire(telemetry, link_name);
+}
+
 bool UdpLink::send(std::vector<uint8_t> payload, double now) {
   ++stats_.sent;
+  if (telemetry_.wired()) telemetry_.sent->inc();
   Datagram d;
   d.id = next_id_++;
   d.bytes = payload.size();
   d.enqueue_time = now;
-  if (!buffer_.enqueue(d)) {
+  const bool accepted = buffer_.enqueue(d);
+  if (telemetry_.wired()) {
+    telemetry_.buffer_depth->set(static_cast<double>(buffer_.size()));
+  }
+  if (!accepted) {
     ++stats_.dropped_buffer;
+    if (telemetry_.wired()) telemetry_.dropped_buffer->inc();
     return false;
   }
   payloads_.emplace(d.id, std::move(payload));
@@ -34,6 +61,7 @@ void UdpLink::step(double now) {
     // Per-packet Bernoulli loss at the instantaneous channel quality.
     if (rng_.bernoulli(channel_->loss_probability())) {
       ++stats_.dropped_channel;
+      if (telemetry_.wired()) telemetry_.dropped_channel->inc();
       continue;
     }
     Packet pkt;
@@ -41,7 +69,12 @@ void UdpLink::step(double now) {
     pkt.payload = std::move(payload);
     pkt.send_time = d.enqueue_time;
     pkt.deliver_time = now + channel_->sample_latency(d.bytes);
+    in_flight_bytes_ += pkt.payload.size();
     in_flight_.push_back(std::move(pkt));
+  }
+  if (telemetry_.wired()) {
+    telemetry_.buffer_depth->set(static_cast<double>(buffer_.size()));
+    telemetry_.in_flight_bytes->set(static_cast<double>(in_flight_bytes_));
   }
 }
 
@@ -50,6 +83,7 @@ std::vector<Packet> UdpLink::poll_delivered(double now) {
   auto it = in_flight_.begin();
   while (it != in_flight_.end()) {
     if (it->deliver_time <= now) {
+      in_flight_bytes_ -= std::min(in_flight_bytes_, it->payload.size());
       out.push_back(std::move(*it));
       it = in_flight_.erase(it);
     } else {
@@ -59,14 +93,27 @@ std::vector<Packet> UdpLink::poll_delivered(double now) {
   std::sort(out.begin(), out.end(),
             [](const Packet& a, const Packet& b) { return a.deliver_time < b.deliver_time; });
   stats_.delivered += out.size();
+  if (telemetry_.wired()) {
+    for (const Packet& p : out) {
+      telemetry_.delivered->inc();
+      telemetry_.oneway_ms->observe((p.deliver_time - p.send_time) * 1e3);
+    }
+    telemetry_.in_flight_bytes->set(static_cast<double>(in_flight_bytes_));
+  }
   return out;
 }
 
 TcpLink::TcpLink(WirelessChannel* channel, double retransmit_timeout_s)
     : channel_(channel), rto_(retransmit_timeout_s) {}
 
+void TcpLink::set_telemetry(telemetry::Telemetry* telemetry,
+                            const std::string& link_name) {
+  telemetry_.wire(telemetry, link_name);
+}
+
 void TcpLink::send(std::vector<uint8_t> payload, double now) {
   ++stats_.sent;
+  if (telemetry_.wired()) telemetry_.sent->inc();
   PendingSegment seg;
   seg.packet.id = next_id_++;
   seg.packet.payload = std::move(payload);
@@ -84,6 +131,7 @@ void TcpLink::step(double now) {
     }
     if (rng_.bernoulli(channel_->loss_probability())) {
       ++stats_.dropped_channel;  // counted, but TCP will retransmit
+      if (telemetry_.wired()) telemetry_.dropped_channel->inc();
       it->next_attempt = now + rto_;
       ++it->retries;
       ++it;
@@ -111,6 +159,14 @@ std::vector<Packet> TcpLink::poll_delivered(double now) {
   std::sort(out.begin(), out.end(),
             [](const Packet& a, const Packet& b) { return a.deliver_time < b.deliver_time; });
   stats_.delivered += out.size();
+  if (telemetry_.wired()) {
+    for (const Packet& p : out) {
+      telemetry_.delivered->inc();
+      // For TCP the retransmission delay is inside this number — the latency
+      // blowup that "hides packet loss in the communication timestamps".
+      telemetry_.oneway_ms->observe((p.deliver_time - p.send_time) * 1e3);
+    }
+  }
   return out;
 }
 

@@ -6,13 +6,32 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/telemetry/telemetry.h"
 #include "net/kernel_buffer.h"
 #include "net/wireless_channel.h"
 
 namespace lgv::net {
+
+/// Cached metric handles shared by both link flavors (`net_*` families,
+/// labeled {link=<name>}): sends, the two drop causes of Fig. 7, deliveries,
+/// bytes in flight on the air, kernel-buffer depth, and the one-way latency
+/// distribution that a trace of "communication timestamps" would see.
+struct LinkTelemetry {
+  telemetry::Counter* sent = nullptr;
+  telemetry::Counter* dropped_buffer = nullptr;
+  telemetry::Counter* dropped_channel = nullptr;
+  telemetry::Counter* delivered = nullptr;
+  telemetry::Gauge* in_flight_bytes = nullptr;
+  telemetry::Gauge* buffer_depth = nullptr;
+  telemetry::Histogram* oneway_ms = nullptr;
+
+  void wire(telemetry::Telemetry* telemetry, const std::string& link_name);
+  bool wired() const { return sent != nullptr; }
+};
 
 struct Packet {
   uint64_t id = 0;
@@ -56,13 +75,18 @@ class UdpLink {
   const KernelBuffer& kernel_buffer() const { return buffer_; }
   WirelessChannel& channel() { return *channel_; }
 
+  /// Wire `net_*` metrics labeled {link=link_name}; nullptr disconnects.
+  void set_telemetry(telemetry::Telemetry* telemetry, const std::string& link_name);
+
  private:
   WirelessChannel* channel_;
   KernelBuffer buffer_;
   std::map<uint64_t, std::vector<uint8_t>> payloads_;  ///< buffered, not yet on air
   std::vector<Packet> in_flight_;
+  size_t in_flight_bytes_ = 0;
   uint64_t next_id_ = 1;
   LinkStats stats_;
+  LinkTelemetry telemetry_;
   Rng rng_{0x7d1f};
 };
 
@@ -80,6 +104,9 @@ class TcpLink {
   const LinkStats& stats() const { return stats_; }
   size_t unacked() const { return pending_.size(); }
 
+  /// Wire `net_*` metrics labeled {link=link_name}; nullptr disconnects.
+  void set_telemetry(telemetry::Telemetry* telemetry, const std::string& link_name);
+
  private:
   struct PendingSegment {
     Packet packet;
@@ -93,6 +120,7 @@ class TcpLink {
   std::vector<Packet> in_flight_;
   uint64_t next_id_ = 1;
   LinkStats stats_;
+  LinkTelemetry telemetry_;
   Rng rng_{0x7cb2};
 };
 

@@ -26,6 +26,39 @@ TEST(Logger, FormatHelperConcatenates) {
   EXPECT_EQ(detail::format_log(), "");
 }
 
+TEST(Logger, SinkCapturesFormattedLines) {
+  Logger& log = Logger::instance();
+  const LogLevel prev = log.level();
+  log.set_level(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  log.set_sink([&](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  LGV_INFO("mission", "goal reached after ", 12, " replans");
+  LGV_DEBUG("mission", "below the gate");
+  log.set_sink(nullptr);  // restore stderr
+  log.set_level(prev);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].second, "[INFO] mission: goal reached after 12 replans");
+}
+
+TEST(Logger, RegisteredClockStampsVirtualTime) {
+  Logger& log = Logger::instance();
+  const LogLevel prev = log.level();
+  log.set_level(LogLevel::kWarn);
+  SimClock clock;
+  clock.set(12.5);
+  log.set_clock(&clock);
+  std::string line;
+  log.set_sink([&](LogLevel, const std::string& l) { line = l; });
+  LGV_WARN("net", "scan dropped");
+  log.set_clock(nullptr);
+  log.set_sink(nullptr);
+  log.set_level(prev);
+  EXPECT_EQ(line, "[WARN] [t=12.500] net: scan dropped");
+}
+
 TEST(SimClock, AdvanceAndReset) {
   SimClock clock;
   EXPECT_DOUBLE_EQ(clock.now(), 0.0);

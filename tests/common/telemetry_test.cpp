@@ -1,0 +1,291 @@
+#include "common/telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
+
+namespace lgv::telemetry {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Counter, IncrementAndRead) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetTracksHighWater) {
+  Gauge g;
+  g.set(3.0);
+  g.set(10.0);
+  g.set(-5.0);
+  EXPECT_DOUBLE_EQ(g.value(), -5.0);
+  EXPECT_DOUBLE_EQ(g.max(), 10.0);
+}
+
+TEST(Gauge, AddAccumulates) {
+  Gauge g;
+  g.add(2.5);
+  g.add(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  EXPECT_DOUBLE_EQ(g.max(), 5.0);
+}
+
+TEST(Histogram, CountSumMean) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(8.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0 / 3.0);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<uint64_t>{1, 1, 0, 1}));
+}
+
+TEST(Histogram, QuantileOfConstantIsTheConstant) {
+  // Sparse histogram: every observation is 7, far inside the (4, 100] bucket.
+  // Interpolation must clamp to the observed range, not report the bound.
+  Histogram h({1.0, 4.0, 100.0});
+  for (int i = 0; i < 50; ++i) h.observe(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 7.0);
+}
+
+TEST(Histogram, QuantilesOfUniformDistribution) {
+  Histogram h({25.0, 50.0, 75.0, 100.0});
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 3.0);
+  EXPECT_NEAR(h.quantile(0.90), 90.0, 3.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 3.0);
+  // Quantile is monotone in q.
+  double prev = h.quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h(duration_bounds_s());
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistry, SeriesKeySortsLabels) {
+  EXPECT_EQ(MetricsRegistry::series_key("mw_dropped_total", {}), "mw_dropped_total");
+  EXPECT_EQ(MetricsRegistry::series_key("x", {{"b", "2"}, {"a", "1"}}), "x{a=1,b=2}");
+  // Label order must not create distinct series.
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("x", {{"b", "2"}, {"a", "1"}});
+  Counter& c2 = reg.counter("x", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits", {{"topic", "scan"}});
+  c.inc(3);
+  EXPECT_EQ(reg.counter("hits", {{"topic", "scan"}}).value(), 3u);
+  EXPECT_EQ(&reg.gauge("depth"), &reg.gauge("depth"));
+  Histogram& h = reg.histogram("lat", {}, {1.0, 2.0});
+  // Bounds are fixed by the first caller; later callers get the same series.
+  EXPECT_EQ(&reg.histogram("lat", {}, {9.0}), &h);
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(reg.series_count(), 3u);
+}
+
+TEST(MetricsRegistry, SnapshotExtractsAllKinds) {
+  MetricsRegistry reg;
+  reg.counter("drops", {{"topic", "scan"}}).inc(4);
+  reg.gauge("depth").set(2.0);
+  Histogram& h = reg.histogram("exec_s", {{"node", "loc"}});
+  h.observe(0.2);
+  h.observe(0.2);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.families(), (std::vector<std::string>{"depth", "drops", "exec_s"}));
+
+  const MetricSample* drops = snap.find("drops{topic=scan}");
+  ASSERT_NE(drops, nullptr);
+  EXPECT_EQ(drops->kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(drops->value, 4.0);
+
+  const MetricSample* depth = snap.find("depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->value, 2.0);
+  EXPECT_DOUBLE_EQ(depth->max, 2.0);
+
+  const MetricSample* exec = snap.find("exec_s{node=loc}");
+  ASSERT_NE(exec, nullptr);
+  EXPECT_EQ(exec->kind, MetricKind::kHistogram);
+  EXPECT_DOUBLE_EQ(exec->value, 2.0);
+  EXPECT_DOUBLE_EQ(exec->sum, 0.4);
+  EXPECT_DOUBLE_EQ(exec->p50, 0.2);
+
+  EXPECT_EQ(snap.find("no_such_series"), nullptr);
+}
+
+TEST(MetricsRegistry, JsonIsDeterministicAndKeySorted) {
+  MetricsRegistry reg;
+  reg.counter("b_total").inc(2);
+  reg.gauge("a_depth").set(1.5);
+  std::ostringstream out1;
+  reg.write_json(out1);
+  std::ostringstream out2;
+  reg.write_json(out2);
+  EXPECT_EQ(out1.str(), out2.str());
+  // Map ordering puts a_depth before b_total regardless of creation order.
+  EXPECT_EQ(out1.str(),
+            "{\n"
+            "  \"a_depth\": {\"family\": \"a_depth\", \"kind\": \"gauge\", "
+            "\"value\": 1.5, \"max\": 1.5},\n"
+            "  \"b_total\": {\"family\": \"b_total\", \"kind\": \"counter\", "
+            "\"value\": 2}\n"
+            "}\n");
+}
+
+TEST(MetricsRegistry, ConcurrentWritersStayConsistent) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter& c = reg.counter("hammer_total");
+      Gauge& g = reg.gauge("hammer_depth");
+      Histogram& h = reg.histogram("hammer_s", {}, {0.5, 1.0});
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.set(static_cast<double>(i % 7));
+        h.observe(0.25 + static_cast<double>(i % 3));
+        if (i % 1000 == 0) reg.snapshot();  // readers race writers
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("hammer_total").value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.histogram("hammer_s").count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(reg.gauge("hammer_depth").max(), 6.0);
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(Tracer, GoldenChromeJson) {
+  SimClock clock;
+  Tracer tracer;
+  tracer.set_clock(&clock);
+  tracer.span("loc", "lgv", "localization", 0.5, 0.25, {{"cycles", "42"}});
+  clock.set(1.5);
+  tracer.instant_now("alg2.decision", "decisions", "algorithm2",
+                     {{"note", "hello world"}});
+
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  // Deterministic golden: numeric lanes in first-appearance order (lgv=1,
+  // decisions=2), metadata naming each lane, numeric args unquoted.
+  EXPECT_EQ(
+      out.str(),
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"loc\",\"ph\":\"X\",\"ts\":500000.000,\"dur\":250000.000,"
+      "\"pid\":1,\"tid\":1,\"args\":{\"cycles\":42}},\n"
+      "{\"name\":\"alg2.decision\",\"ph\":\"i\",\"ts\":1500000.000,"
+      "\"pid\":2,\"tid\":2,\"s\":\"t\",\"args\":{\"note\":\"hello world\"}},\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+      "\"args\":{\"name\":\"decisions\"}},\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"lgv\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":2,"
+      "\"args\":{\"name\":\"algorithm2\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"localization\"}}\n"
+      "]}\n");
+}
+
+TEST(Tracer, JsonlOneEventPerLine) {
+  Tracer tracer;
+  tracer.instant("a", "p", "t", 0.001);
+  tracer.span("b", "p", "t", 0.002, 0.003);
+  std::ostringstream out;
+  tracer.write_jsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"a\",\"ph\":\"i\",\"ts\":1000.000,\"pid\":1,\"tid\":1,"
+            "\"s\":\"t\"}\n"
+            "{\"name\":\"b\",\"ph\":\"X\",\"ts\":2000.000,\"dur\":3000.000,"
+            "\"pid\":1,\"tid\":1}\n");
+}
+
+TEST(Tracer, CapsEventsAndCountsDrops) {
+  Tracer tracer(/*max_events=*/2);
+  tracer.instant("a", "p", "t", 0.0);
+  tracer.instant("b", "p", "t", 0.1);
+  tracer.instant("c", "p", "t", 0.2);
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, NowWithoutClockIsZero) {
+  Tracer tracer;
+  EXPECT_DOUBLE_EQ(tracer.now(), 0.0);
+  tracer.instant_now("a", "p", "t");
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].ts_s, 0.0);
+}
+
+TEST(Tracer, ConcurrentRecordersLoseNothing) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kIters; ++i) {
+        tracer.instant("e", "p" + std::to_string(t), "t", i * 1e-4);
+        if (i % 500 == 0) tracer.size();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.size(), static_cast<size_t>(kThreads) * kIters);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// --------------------------------------------------------------- telemetry
+
+TEST(Telemetry, BundleWiresClockAndConfig) {
+  SimClock clock;
+  clock.set(2.0);
+  Telemetry tel({.enabled = true, .max_trace_events = 8});
+  tel.set_clock(&clock);
+  EXPECT_TRUE(tel.enabled());
+  EXPECT_DOUBLE_EQ(tel.now(), 2.0);
+  tel.tracer().instant_now("x", "p", "t");
+  ASSERT_EQ(tel.tracer().events().size(), 1u);
+  EXPECT_DOUBLE_EQ(tel.tracer().events()[0].ts_s, 2.0);
+  for (int i = 0; i < 20; ++i) tel.tracer().instant("y", "p", "t", 0.0);
+  EXPECT_EQ(tel.tracer().size(), 8u);  // max_trace_events respected
+}
+
+}  // namespace
+}  // namespace lgv::telemetry

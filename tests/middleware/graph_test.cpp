@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/telemetry/telemetry.h"
 #include "msg/messages.h"
 
 namespace lgv::mw {
@@ -234,6 +235,69 @@ TEST_F(GraphTest, LastMessageBytesTracked) {
   s.ranges.assign(360, 1.0f);
   pub.publish(s);
   EXPECT_GT(graph.last_message_bytes("scan"), 1000u);
+}
+
+TEST_F(GraphTest, SubscriptionStatsPerSubscriber) {
+  auto pub = graph.advertise<msg::TwistMsg>("a", "cmd");
+  graph.subscribe<msg::TwistMsg>("b", "cmd", [](const msg::TwistMsg&) {},
+                                 /*queue_size=*/1);
+  graph.subscribe<msg::TwistMsg>("remote", "cmd", [](const msg::TwistMsg&) {},
+                                 /*queue_size=*/10);
+  for (int i = 0; i < 3; ++i) pub.publish({});
+
+  // Before spin: b's depth-1 queue dropped two, remote holds all three.
+  auto stats = graph.subscription_stats("cmd");
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].subscriber, "b");
+  EXPECT_EQ(stats[0].dropped, 2u);
+  EXPECT_EQ(stats[0].queue_depth, 1u);
+  EXPECT_EQ(stats[0].max_queue, 1u);
+  EXPECT_EQ(stats[1].subscriber, "remote");
+  EXPECT_EQ(stats[1].dropped, 0u);
+  EXPECT_EQ(stats[1].queue_depth, 3u);
+
+  graph.spin();
+  stats = graph.subscription_stats("cmd");
+  EXPECT_EQ(stats[0].received, 1u);
+  EXPECT_EQ(stats[1].received, 3u);
+  EXPECT_EQ(stats[0].queue_depth, 0u);
+  EXPECT_TRUE(graph.subscription_stats("no_such_topic").empty());
+}
+
+TEST_F(GraphTest, TelemetryCountsPublishDeliverDrop) {
+  telemetry::Telemetry tel;
+  graph.set_telemetry(&tel);
+  auto pub = graph.advertise<msg::TwistMsg>("a", "cmd");
+  graph.subscribe<msg::TwistMsg>("b", "cmd", [](const msg::TwistMsg&) {},
+                                 /*queue_size=*/1);
+  for (int i = 0; i < 3; ++i) pub.publish({});
+  graph.spin();
+
+  const telemetry::MetricsSnapshot snap = tel.metrics().snapshot();
+  const auto* published = snap.find("mw_published_total{topic=cmd}");
+  ASSERT_NE(published, nullptr);
+  EXPECT_DOUBLE_EQ(published->value, 3.0);
+  EXPECT_DOUBLE_EQ(snap.find("mw_delivered_total{topic=cmd}")->value, 1.0);
+  EXPECT_DOUBLE_EQ(snap.find("mw_dropped_total{topic=cmd}")->value, 2.0);
+  EXPECT_DOUBLE_EQ(snap.find("mw_message_bytes{topic=cmd}")->value, 3.0);
+
+  // publish ×3, drop ×2, deliver ×1 instants on the topic's lane.
+  size_t publishes = 0, drops = 0, delivers = 0;
+  for (const auto& e : tel.tracer().events()) {
+    publishes += e.name == "mw.publish";
+    drops += e.name == "mw.drop";
+    delivers += e.name == "mw.deliver";
+  }
+  EXPECT_EQ(publishes, 3u);
+  EXPECT_EQ(drops, 2u);
+  EXPECT_EQ(delivers, 1u);
+
+  // Disconnecting stops recording but keeps accumulated series readable.
+  graph.set_telemetry(nullptr);
+  pub.publish({});
+  graph.spin();
+  EXPECT_DOUBLE_EQ(tel.metrics().snapshot().find("mw_published_total{topic=cmd}")->value,
+                   3.0);
 }
 
 }  // namespace

@@ -54,5 +54,19 @@ TEST(KernelBuffer, ClearEmpties) {
   EXPECT_FALSE(buf.dequeue().has_value());
 }
 
+TEST(KernelBuffer, PeakSizeAndQueuedBytes) {
+  KernelBuffer buf(4);
+  buf.enqueue({1, 100, 0.0});
+  buf.enqueue({2, 50, 0.1});
+  EXPECT_EQ(buf.queued_bytes(), 150u);
+  EXPECT_EQ(buf.peak_size(), 2u);
+  buf.dequeue();
+  EXPECT_EQ(buf.queued_bytes(), 50u);
+  EXPECT_EQ(buf.peak_size(), 2u);  // high-water mark survives draining
+  buf.clear();
+  EXPECT_EQ(buf.queued_bytes(), 0u);
+  EXPECT_EQ(buf.peak_size(), 2u);
+}
+
 }  // namespace
 }  // namespace lgv::net
