@@ -1,0 +1,212 @@
+// Graceful degradation under injected faults (docs/faults.md). Sweeps the
+// chaos schedule's two axes — mid-mission forced-outage duration and remote
+// worker-stall duty cycle — over the chaos scenario and compares four
+// deployments: all-local, non-adaptive offload, Algorithm-2 adaptive offload,
+// and adaptive offload with remote-execution leases + local fallback. The
+// degradation curves (completion time and energy vs. fault intensity) land in
+// BENCH_fault_injection.json; per-run metric snapshots for the harshest
+// points go to the usual telemetry sidecar.
+//
+// The headline acceptance shape: under a forced 100% mid-mission outage the
+// lease fallback keeps the vehicle moving (it re-executes the VDP locally the
+// moment a lease expires), while the non-adaptive offload plan sits in
+// safety-stop until the link returns — exactly the §VI stranded-LGV failure
+// the paper's adaptation story exists to prevent.
+//
+// Usage: bench_fault_injection [--smoke]   (--smoke: reduced sweep for the
+// sanitizer legs of tools/run_chaos_suite.sh)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/mission_runner.h"
+#include "sim/fault_injector.h"
+
+using namespace lgv;
+using core::WorkloadKind;
+using platform::Host;
+
+namespace {
+
+struct PlanSpec {
+  const char* label;
+  bool offload;
+  bool adaptive;
+  bool lease_fallback;
+};
+
+constexpr PlanSpec kPlans[] = {
+    {"local", false, false, false},
+    {"offload_fixed", true, false, false},
+    {"adaptive", true, true, false},
+    {"adaptive_fallback", true, true, true},
+};
+
+core::DeploymentPlan make_plan(const PlanSpec& spec) {
+  if (!spec.offload) return core::local_plan(WorkloadKind::kNavigationWithMap);
+  auto plan = core::offload_plan(spec.label, Host::kEdgeGateway, 4,
+                                 WorkloadKind::kNavigationWithMap);
+  plan.adaptive = spec.adaptive;
+  return plan;
+}
+
+core::MissionReport run_chaos(const PlanSpec& spec, const sim::FaultSchedule& faults,
+                              double timeout) {
+  core::MissionConfig cfg;
+  cfg.timeout = timeout;
+  cfg.faults = faults;
+  cfg.lease_fallback = spec.lease_fallback;
+  core::MissionRunner runner(sim::make_chaos_scenario(), make_plan(spec), cfg);
+  return runner.run();
+}
+
+struct SweepPoint {
+  double outage_s = 0.0;
+  double stall_fraction = 0.0;
+  core::MissionReport runs[4];
+};
+
+void write_point_json(std::ofstream& f, const SweepPoint& p, bool last) {
+  f << "    {\"outage_s\": " << p.outage_s
+    << ", \"stall_fraction\": " << p.stall_fraction << ", \"runs\": [\n";
+  for (size_t i = 0; i < 4; ++i) {
+    const core::MissionReport& r = p.runs[i];
+    f << "      {\"plan\": \"" << kPlans[i].label << "\""
+      << ", \"success\": " << (r.success ? "true" : "false")
+      << ", \"completion_s\": " << r.completion_time
+      << ", \"standby_s\": " << r.standby_time
+      << ", \"energy_j\": " << r.energy.total()
+      << ", \"avg_velocity\": " << r.average_velocity
+      << ", \"fallbacks\": " << r.fallbacks
+      << ", \"faults_injected\": " << r.faults_injected
+      << ", \"placement_switches\": " << r.placement_switches << "}"
+      << (i + 1 < 4 ? ",\n" : "\n");
+  }
+  f << "    ]}" << (last ? "\n" : ",\n");
+}
+
+std::string cell(const core::MissionReport& r) {
+  // Completion time; a trailing * marks a run that never finished (timeout).
+  return bench::fmt(r.completion_time, 1) + (r.success ? "" : "*");
+}
+
+void print_sweep(const std::string& corner, const std::vector<std::string>& rows,
+                 const std::vector<SweepPoint>& points) {
+  std::vector<std::string> cols;
+  for (const PlanSpec& s : kPlans) cols.push_back(s.label);
+  std::vector<std::vector<std::string>> cells;
+  for (const SweepPoint& p : points) {
+    std::vector<std::string> row;
+    for (size_t i = 0; i < 4; ++i) row.push_back(cell(p.runs[i]));
+    cells.push_back(std::move(row));
+  }
+  bench::print_grid(corner, cols, rows, cells);
+  std::printf("(completion time in s; * = timed out before reaching the goal)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::print_title("Fault injection — degradation curves and lease fallback");
+  if (smoke) std::printf("(smoke mode: reduced sweep)\n");
+
+  // Nominal (fault-free) mission duration anchors the chaos schedule so the
+  // outage always lands mid-mission regardless of scenario tuning.
+  const core::MissionReport nominal =
+      run_chaos(kPlans[3], sim::FaultSchedule{}, 700.0);
+  const double nominal_s = nominal.completion_time;
+  std::printf("nominal (fault-free, adaptive+fallback): %.1fs %s\n", nominal_s,
+              nominal.success ? "" : "[timed out]");
+
+  const std::vector<double> outages =
+      smoke ? std::vector<double>{45.0} : std::vector<double>{15.0, 45.0, 90.0};
+  const std::vector<double> stalls =
+      smoke ? std::vector<double>{0.5} : std::vector<double>{0.25, 0.5, 0.75};
+
+  bench::TelemetrySidecar sidecar("fault_injection");
+  auto run_point = [&](double outage_s, double stall_fraction) {
+    SweepPoint p;
+    p.outage_s = outage_s;
+    p.stall_fraction = stall_fraction;
+    const auto faults =
+        sim::make_chaos_schedule(outage_s, stall_fraction, nominal_s);
+    const double timeout = 4.0 * nominal_s + 2.0 * outage_s + 60.0;
+    for (size_t i = 0; i < 4; ++i) p.runs[i] = run_chaos(kPlans[i], faults, timeout);
+    return p;
+  };
+
+  // ---- Axis 1: forced-outage duration (no worker faults).
+  bench::print_subtitle("outage-duration sweep (stall=0)");
+  std::vector<SweepPoint> outage_points;
+  std::vector<std::string> outage_rows;
+  for (double o : outages) {
+    outage_points.push_back(run_point(o, 0.0));
+    outage_rows.push_back("outage " + bench::fmt(o, 0) + "s");
+  }
+  print_sweep("fault \\ plan", outage_rows, outage_points);
+
+  // ---- Axis 2: worker-stall duty cycle (no outage).
+  bench::print_subtitle("worker-stall sweep (outage=0)");
+  std::vector<SweepPoint> stall_points;
+  std::vector<std::string> stall_rows;
+  for (double s : stalls) {
+    stall_points.push_back(run_point(0.0, s));
+    stall_rows.push_back("stall " + bench::fmt(100.0 * s, 0) + "%");
+  }
+  print_sweep("fault \\ plan", stall_rows, stall_points);
+
+  // Sidecar: metric snapshots for the harshest point on each axis.
+  for (size_t i = 0; i < 4; ++i) {
+    sidecar.add("outage" + bench::fmt(outages.back(), 0) + "_" + kPlans[i].label,
+                outage_points.back().runs[i].metrics);
+    sidecar.add("stall" + bench::fmt(100.0 * stalls.back(), 0) + "_" + kPlans[i].label,
+                stall_points.back().runs[i].metrics);
+  }
+
+  // ---- Degradation-curve JSON.
+  const char* json_path = "BENCH_fault_injection.json";
+  {
+    std::ofstream f(json_path);
+    f << "{\n  \"bench\": \"fault_injection\",\n  \"nominal_completion_s\": "
+      << nominal_s << ",\n  \"outage_sweep\": [\n";
+    for (size_t i = 0; i < outage_points.size(); ++i) {
+      write_point_json(f, outage_points[i], i + 1 == outage_points.size());
+    }
+    f << "  ],\n  \"stall_sweep\": [\n";
+    for (size_t i = 0; i < stall_points.size(); ++i) {
+      write_point_json(f, stall_points[i], i + 1 == stall_points.size());
+    }
+    f << "  ]\n}\n";
+    std::printf("\ndegradation curves: %s\n", json_path);
+  }
+  sidecar.write();
+
+  // ---- Acceptance shape: hardest outage, fallback vs. no adaptation.
+  const SweepPoint& worst = outage_points.back();
+  const core::MissionReport& fixed = worst.runs[1];
+  const core::MissionReport& fb = worst.runs[3];
+  std::printf(
+      "\nforced %.0fs outage: adaptive+fallback %s in %.1fs (%llu fallback(s), "
+      "standby %.1fs);\nnon-adaptive offload %s (completion %.1fs, standby %.1fs)\n",
+      worst.outage_s, fb.success ? "completed" : "TIMED OUT", fb.completion_time,
+      static_cast<unsigned long long>(fb.fallbacks), fb.standby_time,
+      fixed.success ? "completed late" : "timed out", fixed.completion_time,
+      fixed.standby_time);
+  const bool graceful =
+      fb.success && fb.fallbacks > 0 &&
+      (!fixed.success || fixed.standby_time > fb.standby_time + 0.5 * worst.outage_s);
+  std::printf("verdict: %s\n", graceful
+                                   ? "graceful degradation — lease fallback keeps "
+                                     "the mission moving through the outage"
+                                   : "UNEXPECTED — fallback did not out-degrade "
+                                     "the non-adaptive plan");
+  return graceful ? 0 : 1;
+}

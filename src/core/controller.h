@@ -16,6 +16,15 @@ struct ControllerConfig {
   /// Floor so the vehicle keeps crawling even under terrible makespans.
   double min_velocity = 0.04;
   double hard_max_velocity = 1.2;  ///< mechanical ceiling
+
+  // ---- remote-execution lease (docs/faults.md) ----
+  /// Lease = headroom × profiled T_c + margin × RTT, floored at the minimum.
+  /// The headroom absorbs normal execution-time variance; the RTT margin
+  /// absorbs jitter on the result's return trip and stands in for the missed
+  /// heartbeats a real worker lease would count before declaring it dead.
+  double lease_headroom = 3.0;
+  double lease_rtt_margin = 4.0;
+  double lease_min_s = 0.25;
 };
 
 class Controller {
@@ -39,6 +48,14 @@ class Controller {
   double angular_cap(double vdp_makespan_s, double hard_max_angular) const {
     if (vdp_makespan_s <= 1e-6) return hard_max_angular;
     return std::clamp(0.6 / vdp_makespan_s, 0.12, hard_max_angular);
+  }
+
+  /// Lease deadline for one remote node execution: if the result has not
+  /// arrived this many seconds after dispatch, the link is dead or the
+  /// worker is stalled, and the runtime re-executes locally (fallback).
+  double lease_timeout(double profiled_tc_s, double rtt_s) const {
+    return std::max(config_.lease_min_s, config_.lease_headroom * profiled_tc_s +
+                                             config_.lease_rtt_margin * rtt_s);
   }
 
   /// §VIII-E adaptivity: when the environment phase prevents reaching the

@@ -21,6 +21,7 @@ MissionRunner::MissionRunner(sim::Scenario scenario, DeploymentPlan plan,
       config_(config),
       runtime_(std::move(plan), scenario_.wap_position, config.channel,
                config.telemetry),
+      fault_injector_(config.faults),
       robot_({}, scenario_.start, config.seed ^ 0xb0b),
       lidar_({}, config.seed ^ 0x11d),
       battery_(config.battery_wh),
@@ -57,6 +58,16 @@ MissionRunner::MissionRunner(sim::Scenario scenario, DeploymentPlan plan,
     }
     costmap_.set_static_map(known_map_.to_msg(0.0));
     goal_ = scenario_.goal;
+  }
+
+  fault_injector_.attach_channel(&runtime_.channel());
+  fault_injector_.set_telemetry(runtime_.telemetry());
+  if (!config_.faults.empty()) {
+    // Worker faults always bite remote executions; lease_fallback only
+    // decides whether anything *recovers* from them (the bench's "adaptive"
+    // vs. "adaptive+fallback" ablation).
+    runtime_.set_fault_injector(&fault_injector_);
+    runtime_.set_lease_fallback(config_.lease_fallback);
   }
 
   pose_estimate_ = scenario_.start;
@@ -210,8 +221,8 @@ void MissionRunner::run_localization(double now) {
     amcl_->update(latest_odom_, scan, ctx);
     estimate = amcl_->estimate();
   }
-  const double t = runtime_.finish(NodeId::kLocalization, ctx);
-  loc_busy_until_ = now + t;
+  const auto outcome = runtime_.finish_guarded(NodeId::kLocalization, ctx);
+  loc_busy_until_ = now + outcome.latency;
 
   // map→odom correction: map_pose = correction ∘ odom_pose at match time.
   const Pose2D correction = estimate.compose(odom_used.inverse());
@@ -244,8 +255,8 @@ void MissionRunner::run_costmap(double now) {
                       calib::kCostmapRaytraceCyclesPerCell +
                   static_cast<double>(stats.inflated_cells) *
                       calib::kInflationCyclesPerCell);
-  const double t = runtime_.finish(NodeId::kCostmapGen, ctx);
-  cg_busy_until_ = now + t;
+  const auto outcome = runtime_.finish_guarded(NodeId::kCostmapGen, ctx);
+  cg_busy_until_ = now + outcome.latency;
   defer(cg_busy_until_,
         [this, stamp = scan.header.stamp] { costmap_stamp_ = stamp; });
 }
@@ -277,8 +288,8 @@ void MissionRunner::run_tracking(double now) {
   rollout_.set_angular_limit(angular_cap);
   const control::RolloutDecision decision = rollout_.compute(
       costmap_, path_, current_pose(), robot_.velocity(), cap, ctx);
-  const double t = runtime_.finish(NodeId::kPathTracking, ctx);
-  pt_busy_until_ = now + t;
+  const auto outcome = runtime_.finish_guarded(NodeId::kPathTracking, ctx);
+  pt_busy_until_ = now + outcome.latency;
 
   defer(pt_busy_until_, [this, decision, stamp = costmap_stamp_] {
     msg::TwistMsg cmd;
@@ -296,8 +307,8 @@ void MissionRunner::run_planning(double now, bool force) {
   platform::ExecutionContext ctx = runtime_.make_context(NodeId::kPathPlanning);
   const planning::PlanResult result =
       planner_.plan(costmap_, {current_pose(), *goal_}, ctx);
-  const double t = runtime_.finish(NodeId::kPathPlanning, ctx);
-  pp_busy_until_ = now + t;
+  const auto outcome = runtime_.finish_guarded(NodeId::kPathPlanning, ctx);
+  pp_busy_until_ = now + outcome.latency;
   if (result.success) {
     defer(pp_busy_until_, [this, path = result.path] { path_ = path; });
   }
@@ -324,7 +335,7 @@ void MissionRunner::run_exploration(double now) {
   platform::ExecutionContext ctx = runtime_.make_context(NodeId::kExploration);
   const planning::FrontierResult result =
       frontier_.detect(slam_->best_map().to_msg(now), current_pose(), ctx);
-  runtime_.finish(NodeId::kExploration, ctx);
+  runtime_.finish_guarded(NodeId::kExploration, ctx);
 
   // Drop blacklisted frontiers; any surviving cluster keeps exploration
   // going (frontiers can legitimately be doorway-sized).
@@ -458,6 +469,9 @@ MissionReport MissionRunner::run() {
   while (!done && clock.now() < config_.timeout) {
     const double now = clock.now();
 
+    // ---- scripted faults overlay the channel before anything else moves
+    fault_injector_.update(now);
+
     // ---- sensing at the scan rate
     if (now - last_scan_time_ >= config_.scan_period - 1e-9) {
       last_scan_time_ = now;
@@ -585,6 +599,8 @@ MissionReport MissionRunner::run() {
   report_.energy = runtime_.energy().energy();
   report_.network = runtime_.switcher().stats();
   report_.placement_switches = runtime_.network_controller().switches();
+  report_.fallbacks = runtime_.fallback_count();
+  report_.faults_injected = fault_injector_.activated_events();
   report_.battery_state_of_charge = battery_.state_of_charge();
   report_.cloud_core_seconds = runtime_.cloud_core_seconds();
   if (slam_.has_value()) report_.explored_area_m2 = slam_->best_map().known_area_m2();

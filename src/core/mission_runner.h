@@ -68,6 +68,15 @@ struct MissionConfig {
   /// Telemetry (metrics + virtual-time trace). Enabled by default; set
   /// `telemetry.enabled = false` for overhead-free runs.
   telemetry::TelemetryConfig telemetry;
+  /// Scripted fault schedule (docs/faults.md); empty = no injected faults.
+  /// Channel events overlay the wireless emulation each tick; worker events
+  /// feed the lease protocol.
+  sim::FaultSchedule faults;
+  /// Remote-execution leases + local fallback (the tentpole's graceful
+  /// degradation). Disable to measure how a deployment fares against the
+  /// same fault schedule with no fallback story (the bench's "adaptive"
+  /// vs. "adaptive+fallback" comparison).
+  bool lease_fallback = true;
 };
 
 struct VelocitySample {
@@ -96,6 +105,8 @@ struct MissionReport {
   sim::EnergyBreakdown energy;   ///< Fig. 13's stacked components
   SwitcherStats network;
   uint64_t placement_switches = 0;  ///< Algorithm 2 activations
+  uint64_t fallbacks = 0;           ///< lease expirations → local re-executions
+  uint64_t faults_injected = 0;     ///< scripted fault events that activated
   double explored_area_m2 = 0.0;    ///< exploration workload only
   double battery_state_of_charge = 1.0;  ///< remaining fraction at mission end
   int min_active_threads = 1;  ///< lowest worker count (§VIII-E shedding)
@@ -162,6 +173,7 @@ class MissionRunner {
   sim::Scenario scenario_;
   MissionConfig config_;
   OffloadRuntime runtime_;
+  sim::FaultInjector fault_injector_;
 
   // physical world
   sim::DiffDriveRobot robot_;

@@ -205,6 +205,94 @@ double OffloadRuntime::finish(NodeId id, platform::ExecutionContext& ctx) {
   return t;
 }
 
+OffloadRuntime::ExecutionOutcome OffloadRuntime::finish_guarded(
+    NodeId id, platform::ExecutionContext& ctx) {
+  const platform::Host host = host_of(id);
+  if (host == platform::Host::kLgv || fault_injector_ == nullptr) {
+    return {finish(id, ctx), false};
+  }
+
+  const double now = clock_.now();
+  const double t_remote = cost_models_.at(host).execution_time(ctx.profile());
+
+  // When does the remote result actually become usable? Worker stall/crash
+  // windows push the computation out; a forced link outage then blocks the
+  // result's return until the link is restored.
+  double completion = fault_injector_->remote_completion(now, t_remote);
+  completion = fault_injector_->link_restored_after(completion);
+  const bool crashed = fault_injector_->worker_crashed_in(now, completion);
+
+  if (!lease_fallback_) {
+    // No lease protocol: the caller naively waits for the remote result no
+    // matter how long the stall or outage holds it — the paper's stranded
+    // LGV, and the bench's no-fallback ablation.
+    const double t = finish(id, ctx);
+    return {std::max(t, completion - now), false};
+  }
+
+  // Lease: profiled T_c for this node on this host (first execution falls
+  // back to the cost-model prediction) plus RTT headroom for the return trip.
+  const double tc = profiler_.node_time(id, host).value_or(t_remote);
+  const double rtt = profiler_.rtt().value_or(2.0 * predicted_network_latency());
+  const double lease = controller_.lease_timeout(tc, rtt);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().counter("lease_grants_total").inc();
+  }
+
+  if (!crashed && completion - now <= lease) {
+    // Result lands inside the lease; the normal bookkeeping applies, with
+    // any stall/outage delay visible as extra pipeline latency.
+    const double t = finish(id, ctx);
+    return {std::max(t, completion - now), false};
+  }
+
+  // Lease expired (stalled worker, dead link, or crash — the heartbeats ride
+  // the same deadline): abandon the remote execution and re-run the node on
+  // the LGV. The remote attempt is not profiled (it never completed) and the
+  // crash's state loss means the next re-offload pays a full migration.
+  ++fallback_count_;
+  const platform::CostModel& local_model = cost_models_.at(platform::Host::kLgv);
+  const double t_local = local_model.execution_time(ctx.profile());
+  meter_.charge(node_name(id), ctx.profile().total_cycles());
+  energy_.add_computer_energy(local_model.dynamic_energy(ctx.profile()));
+  profiler_.record_node_time(id, platform::Host::kLgv, t_local);
+
+  const char* node = node_name(id);
+  if (telemetry_ != nullptr) {
+    auto& m = telemetry_->metrics();
+    m.counter("fallback_total", {{"node", node}}).inc();
+    m.counter("lease_expired_total",
+              {{"cause", crashed ? "worker_crash" : "lease_timeout"}})
+        .inc();
+    // The wasted remote wait, then the local re-execution, as spans: the
+    // trace shows the node's lane hop back to the LGV group at the fallback.
+    telemetry_->tracer().span(node, platform::host_name(host), node, now, lease,
+                              {{"outcome", "lease_expired"}});
+    telemetry_->tracer().span(node, platform::host_name(platform::Host::kLgv), node,
+                              now + lease, t_local, {{"outcome", "fallback"}});
+    telemetry_->tracer().instant_now(
+        "alg2.fallback", "decisions", "algorithm2",
+        {{"node", node},
+         {"lease_s", std::to_string(lease)},
+         {"cause", crashed ? "worker_crash" : "lease_timeout"}});
+    const telemetry::Labels labels = {
+        {"node", node}, {"host", platform::host_name(platform::Host::kLgv)}};
+    m.counter("node_invocations_total", labels).inc();
+    m.histogram("node_exec_seconds", labels).observe(t_local);
+  }
+
+  // Pull the whole VDP home and pin Algorithm 2 local; its normal
+  // bandwidth/direction rule takes over again from the local placement once
+  // the stream recovers, re-offloading (with a fresh state migration) only
+  // when the link has genuinely healed.
+  network_controller().force(VdpPlacement::kLocal);
+  set_vdp_placement(VdpPlacement::kLocal);
+
+  // The failure is only *observed* at the lease deadline; the local
+  // re-execution starts then.
+  return {lease + t_local, true};
+}
+
 const platform::CostModel& OffloadRuntime::cost_model(platform::Host host) const {
   return cost_models_.at(host);
 }

@@ -24,6 +24,7 @@
 #include "platform/cost_model.h"
 #include "platform/execution_context.h"
 #include "platform/work_meter.h"
+#include "sim/fault_injector.h"
 #include "sim/power.h"
 
 namespace lgv::core {
@@ -105,6 +106,39 @@ class OffloadRuntime {
   /// processing time (s).
   double finish(NodeId id, platform::ExecutionContext& ctx);
 
+  /// Attach the chaos harness. Channel faults are applied by the injector's
+  /// own update(); worker faults are consulted by finish_guarded(). nullptr
+  /// (the default) disables fault awareness entirely — finish_guarded
+  /// degenerates to finish().
+  void set_fault_injector(sim::FaultInjector* injector) { fault_injector_ = injector; }
+  sim::FaultInjector* fault_injector() { return fault_injector_; }
+
+  /// Lease protocol toggle. With it off, faults still delay remote results
+  /// (a stalled worker or dead link holds the caller hostage for as long as
+  /// the fault lasts) but nothing recovers — the ablation baseline the bench
+  /// compares the fallback against. Default on.
+  void set_lease_fallback(bool enabled) { lease_fallback_ = enabled; }
+  bool lease_fallback() const { return lease_fallback_; }
+
+  /// Result of one guarded node execution (docs/faults.md).
+  struct ExecutionOutcome {
+    double latency = 0.0;   ///< virtual seconds from dispatch to usable result
+    bool fell_back = false; ///< lease expired → node was re-executed locally
+  };
+
+  /// finish() wrapped in the remote-execution lease: a node running on a
+  /// remote host is granted a lease of Controller::lease_timeout(profiled
+  /// T_c, RTT). If worker stalls/crashes or a forced link outage push the
+  /// result past the deadline, the execution is abandoned and re-run locally
+  /// (re-entrant fallback: the recorded work profile is re-timed on the LGV
+  /// cost model and Eq. 1c energy charged), `fallback_total` is counted, an
+  /// `alg2.fallback` instant is traced, and the NetworkQualityController is
+  /// forced to kLocal so Algorithm 2 doesn't re-offload into the same hole.
+  ExecutionOutcome finish_guarded(NodeId id, platform::ExecutionContext& ctx);
+
+  /// Lease expirations → local re-executions so far.
+  uint64_t fallback_count() const { return fallback_count_; }
+
   const platform::CostModel& cost_model(platform::Host host) const;
 
   /// Estimated one-way uplink network latency for a scan-sized message under
@@ -135,6 +169,9 @@ class OffloadRuntime {
   VdpPlacement vdp_placement_ = VdpPlacement::kLocal;
   int active_threads_ = 1;
   double cloud_core_seconds_ = 0.0;
+  sim::FaultInjector* fault_injector_ = nullptr;
+  bool lease_fallback_ = true;
+  uint64_t fallback_count_ = 0;
 };
 
 }  // namespace lgv::core

@@ -52,6 +52,10 @@ std::string summarize(const MissionReport& report) {
        << " msgs, " << report.placement_switches << " placement switch(es)";
   }
   os << "\n";
+  if (report.faults_injected > 0 || report.fallbacks > 0) {
+    os << "  faults " << report.faults_injected << " injected, " << report.fallbacks
+       << " lease fallback(s)\n";
+  }
   if (report.explored_area_m2 > 0.0) {
     os << "  explored " << report.explored_area_m2 << " m^2\n";
   }

@@ -115,9 +115,12 @@ double Switcher::migrate_state(double bytes, bool uplink) {
     energy_->add_wireless_energy(
         power_->transmission_energy(bytes, channel_->effective_uplink_bps()));
   }
-  // Reliable transfer time: serialization at the effective rate plus one
-  // latency sample; degraded links stretch it via the retry model.
-  const double rate = std::max(1e5, channel_->effective_uplink_bps());
+  // Reliable transfer time: serialization at the effective rate of the
+  // direction the bytes actually travel — LGV→cloud state push on the uplink,
+  // cloud→LGV pull-back on the downlink — plus one latency sample; degraded
+  // links stretch it via the retry model.
+  const double rate = std::max(1e5, uplink ? channel_->effective_uplink_bps()
+                                           : channel_->effective_downlink_bps());
   const double done = now + bytes * 8.0 / rate + channel_->sample_latency(1200);
   if (telemetry_ != nullptr) {
     migrations_total_->inc();
@@ -132,10 +135,11 @@ double Switcher::migrate_state(double bytes, bool uplink) {
 
 void Switcher::send_stream_packet() {
   // 48 B velocity message (§III-A) as the fixed-rate measurement stream.
-  std::vector<uint8_t> payload(32, 0);
+  std::vector<uint8_t> payload(48, 0);
   std::vector<uint8_t> env = pack_envelope("__stream__", "lgv", payload);
   ++stats_.downlink_messages;
   stats_.downlink_bytes += static_cast<double>(env.size());
+  if (downlink_bytes_total_ != nullptr) downlink_bytes_total_->inc(env.size());
   downlink_.send(std::move(env), clock_->now());
 }
 

@@ -15,6 +15,7 @@ void LinkTelemetry::wire(telemetry::Telemetry* telemetry, const std::string& lin
   dropped_buffer = &m.counter("net_dropped_buffer_total", labels);
   dropped_channel = &m.counter("net_dropped_channel_total", labels);
   delivered = &m.counter("net_delivered_total", labels);
+  retransmits = &m.counter("net_retransmits_total", labels);
   in_flight_bytes = &m.gauge("net_in_flight_bytes", labels);
   buffer_depth = &m.gauge("net_kernel_buffer_depth", labels);
   oneway_ms = &m.histogram("net_oneway_ms", labels, telemetry::latency_bounds_ms());
@@ -29,8 +30,6 @@ void UdpLink::set_telemetry(telemetry::Telemetry* telemetry,
 }
 
 bool UdpLink::send(std::vector<uint8_t> payload, double now) {
-  ++stats_.sent;
-  if (telemetry_.wired()) telemetry_.sent->inc();
   Datagram d;
   d.id = next_id_++;
   d.bytes = payload.size();
@@ -40,10 +39,15 @@ bool UdpLink::send(std::vector<uint8_t> payload, double now) {
     telemetry_.buffer_depth->set(static_cast<double>(buffer_.size()));
   }
   if (!accepted) {
+    // Rejected by a full kernel buffer: the datagram was never sent, so it
+    // must not also inflate the sent count (delivery-ratio denominator) —
+    // exactly the distortion a forced-outage window would otherwise cause.
     ++stats_.dropped_buffer;
     if (telemetry_.wired()) telemetry_.dropped_buffer->inc();
     return false;
   }
+  ++stats_.sent;
+  if (telemetry_.wired()) telemetry_.sent->inc();
   payloads_.emplace(d.id, std::move(payload));
   return true;
 }
@@ -131,7 +135,11 @@ void TcpLink::step(double now) {
     }
     if (rng_.bernoulli(channel_->loss_probability())) {
       ++stats_.dropped_channel;  // counted, but TCP will retransmit
-      if (telemetry_.wired()) telemetry_.dropped_channel->inc();
+      ++stats_.retransmits;
+      if (telemetry_.wired()) {
+        telemetry_.dropped_channel->inc();
+        telemetry_.retransmits->inc();
+      }
       it->next_attempt = now + rto_;
       ++it->retries;
       ++it;
@@ -140,8 +148,15 @@ void TcpLink::step(double now) {
     Packet pkt = std::move(it->packet);
     pkt.deliver_time =
         now + channel_->sample_latency(pkt.payload.size()) * (1.0 + 0.1 * it->retries);
+    in_flight_bytes_ += pkt.payload.size();
     in_flight_.push_back(std::move(pkt));
     it = pending_.erase(it);
+  }
+  if (telemetry_.wired()) {
+    // The control link's "kernel buffer" is its unacked send queue; without
+    // these updates the gauges wired above stay frozen at 0 forever.
+    telemetry_.buffer_depth->set(static_cast<double>(pending_.size()));
+    telemetry_.in_flight_bytes->set(static_cast<double>(in_flight_bytes_));
   }
 }
 
@@ -150,6 +165,7 @@ std::vector<Packet> TcpLink::poll_delivered(double now) {
   auto it = in_flight_.begin();
   while (it != in_flight_.end()) {
     if (it->deliver_time <= now) {
+      in_flight_bytes_ -= std::min(in_flight_bytes_, it->payload.size());
       out.push_back(std::move(*it));
       it = in_flight_.erase(it);
     } else {
@@ -166,6 +182,7 @@ std::vector<Packet> TcpLink::poll_delivered(double now) {
       // blowup that "hides packet loss in the communication timestamps".
       telemetry_.oneway_ms->observe((p.deliver_time - p.send_time) * 1e3);
     }
+    telemetry_.in_flight_bytes->set(static_cast<double>(in_flight_bytes_));
   }
   return out;
 }

@@ -25,6 +25,7 @@ struct LinkTelemetry {
   telemetry::Counter* dropped_buffer = nullptr;
   telemetry::Counter* dropped_channel = nullptr;
   telemetry::Counter* delivered = nullptr;
+  telemetry::Counter* retransmits = nullptr;  ///< TCP only; 0 on UDP links
   telemetry::Gauge* in_flight_bytes = nullptr;
   telemetry::Gauge* buffer_depth = nullptr;
   telemetry::Histogram* oneway_ms = nullptr;
@@ -41,14 +42,21 @@ struct Packet {
 };
 
 struct LinkStats {
-  uint64_t sent = 0;             ///< application sendto() calls
+  /// Datagrams the kernel accepted for transmission. A sendto() rejected at
+  /// a full buffer counts only as dropped_buffer — never both — so the
+  /// delivery-ratio denominator stays honest during outage windows.
+  uint64_t sent = 0;
   uint64_t dropped_buffer = 0;   ///< discarded at a full kernel buffer (Fig. 7)
   uint64_t dropped_channel = 0;  ///< lost in the air
   uint64_t delivered = 0;
+  uint64_t retransmits = 0;      ///< TCP resends after channel loss
 
+  /// Of everything the kernel accepted, the fraction that arrived.
   double delivery_ratio() const {
     return sent ? static_cast<double>(delivered) / static_cast<double>(sent) : 0.0;
   }
+  /// Application-level view: sendto() attempts (accepted + buffer-rejected).
+  uint64_t offered() const { return sent + dropped_buffer; }
 };
 
 /// Best-effort datagram link. Usage per virtual tick:
@@ -118,6 +126,7 @@ class TcpLink {
   double rto_;
   std::vector<PendingSegment> pending_;
   std::vector<Packet> in_flight_;
+  size_t in_flight_bytes_ = 0;
   uint64_t next_id_ = 1;
   LinkStats stats_;
   LinkTelemetry telemetry_;

@@ -13,9 +13,11 @@ double WirelessChannel::distance_to_wap() const {
 }
 
 double WirelessChannel::mean_rssi_dbm() const {
-  // Log-distance path loss: RSSI(d) = RSSI(1m) - 10·n·log10(d).
+  // Log-distance path loss: RSSI(d) = RSSI(1m) - 10·n·log10(d), shifted by
+  // any scripted RSSI cliff (AP handoff / interference fault).
   return config_.reference_rssi_dbm -
-         10.0 * config_.path_loss_exponent * std::log10(distance_to_wap());
+         10.0 * config_.path_loss_exponent * std::log10(distance_to_wap()) +
+         override_.rssi_offset_db;
 }
 
 double WirelessChannel::sample_rssi_dbm() {
@@ -23,6 +25,7 @@ double WirelessChannel::sample_rssi_dbm() {
 }
 
 bool WirelessChannel::in_outage() {
+  if (override_.force_outage) return true;
   return snr_db(sample_rssi_dbm()) < config_.outage_snr_db;
 }
 
@@ -37,7 +40,8 @@ double WirelessChannel::loss_from_snr(double snr) const {
 }
 
 double WirelessChannel::loss_probability() {
-  return loss_from_snr(snr_db(sample_rssi_dbm()));
+  const double geometric = loss_from_snr(snr_db(sample_rssi_dbm()));
+  return std::clamp(geometric + override_.extra_loss, 0.0, 1.0);
 }
 
 double WirelessChannel::sample_latency(size_t bytes) {
@@ -54,16 +58,22 @@ double WirelessChannel::sample_latency(size_t bytes) {
     mac_retry_factor = 1.0 + 3.0 * std::clamp(x, 0.0, 1.5);
   }
   return (config_.base_latency_s + serialization) * mac_retry_factor + jitter +
-         config_.wan_latency_s;
+         config_.wan_latency_s + override_.extra_latency_s;
+}
+
+double WirelessChannel::quality_factor() {
+  const double snr = snr_db(mean_rssi_dbm());
+  return std::clamp((snr - config_.outage_snr_db) /
+                        (config_.good_snr_db - config_.outage_snr_db),
+                    0.05, 1.0);
 }
 
 double WirelessChannel::effective_uplink_bps() {
-  const double snr = snr_db(mean_rssi_dbm());
-  const double quality =
-      std::clamp((snr - config_.outage_snr_db) /
-                     (config_.good_snr_db - config_.outage_snr_db),
-                 0.05, 1.0);
-  return config_.uplink_rate_bps * quality;
+  return config_.uplink_rate_bps * quality_factor();
+}
+
+double WirelessChannel::effective_downlink_bps() {
+  return config_.downlink_rate_bps * quality_factor();
 }
 
 }  // namespace lgv::net

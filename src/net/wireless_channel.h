@@ -28,6 +28,25 @@ struct ChannelConfig {
   /// in-lab edge gateway).
   double wan_latency_s = 0.0;
   double uplink_rate_bps = 20e6;     ///< nominal 5 GHz-band uplink
+  /// Nominal AP→LGV rate. The WAP transmits at the same MCS ceiling by
+  /// default; cloud→LGV state pull-backs are timed against this rate.
+  double downlink_rate_bps = 20e6;
+};
+
+/// Scripted degradation layered on top of the geometric path-loss model —
+/// what a FaultInjector (sim/fault_injector.h) writes each virtual tick.
+/// All fields compose with (never replace) the position-derived conditions,
+/// so a fault during an already-marginal window is strictly worse.
+struct ChannelOverride {
+  bool force_outage = false;     ///< driver blocks regardless of SNR
+  double extra_loss = 0.0;       ///< added to per-packet loss probability
+  double extra_latency_s = 0.0;  ///< added to every latency sample
+  double rssi_offset_db = 0.0;   ///< shifts mean RSSI (AP-handoff cliff)
+
+  bool any() const {
+    return force_outage || extra_loss != 0.0 || extra_latency_s != 0.0 ||
+           rssi_offset_db != 0.0;
+  }
 };
 
 /// Channel conditions depend on the robot position, which the simulation
@@ -39,6 +58,11 @@ class WirelessChannel {
   void set_robot_position(const Point2D& p) { robot_ = p; }
   const Point2D& robot_position() const { return robot_; }
   const ChannelConfig& config() const { return config_; }
+
+  /// Install / replace the scripted fault overlay (fault injection). The
+  /// override composes with the geometric model; `ChannelOverride{}` clears.
+  void set_override(const ChannelOverride& o) { override_ = o; }
+  const ChannelOverride& override_state() const { return override_; }
 
   double distance_to_wap() const;
   /// Mean received signal strength at the current position (no shadowing).
@@ -56,14 +80,21 @@ class WirelessChannel {
   double sample_latency(size_t bytes);
   /// Effective uplink rate degraded by signal quality (bps); Eq. 1b's R.
   double effective_uplink_bps();
+  /// Effective AP→LGV rate under the same signal-quality scaling; used to
+  /// time downlink state migrations (cloud→LGV pull-back).
+  double effective_downlink_bps();
 
   /// Map an SNR to loss probability: 0 above good_snr, 1 below outage_snr,
   /// smooth in between. Exposed for tests.
   double loss_from_snr(double snr_db) const;
 
  private:
+  /// Signal-quality factor in [0.05, 1] shared by both rate directions.
+  double quality_factor();
+
   ChannelConfig config_;
   Point2D robot_;
+  ChannelOverride override_;
   Rng rng_;
 };
 

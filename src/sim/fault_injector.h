@@ -1,0 +1,132 @@
+// Scripted fault injection for the §VI failure study. The emulated channel
+// only degrades *geometrically* (the robot drives away from the WAP); real
+// deployments also see faults uncorrelated with position — AP reboots, loss
+// bursts from interference, handoff RSSI cliffs, and a stalled or crashed
+// cloud worker. A FaultInjector replays a deterministic, virtual-time
+// schedule of such events: channel faults are layered onto WirelessChannel
+// as a ChannelOverride each tick, and remote-host faults are queried by the
+// OffloadRuntime's lease protocol (finish_guarded) to decide when a remote
+// execution is lost and must fall back to local re-execution.
+//
+// Schedule text format (docs/faults.md): one event per line,
+//   <kind> <start_s> <duration_s> [magnitude]
+// with '#' comments; kinds are outage, loss_burst, latency, rssi_cliff,
+// worker_stall, worker_crash. Magnitude is per-kind: added loss probability,
+// added seconds per packet, or dB of RSSI drop; outage/stall/crash ignore it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/telemetry/telemetry.h"
+#include "net/wireless_channel.h"
+
+namespace lgv::sim {
+
+enum class FaultKind {
+  kOutage,            ///< driver blocked: forced 100% outage window
+  kLossBurst,         ///< per-packet loss spike (magnitude: added probability)
+  kLatencyInflation,  ///< magnitude seconds added to every latency sample
+  kRssiCliff,         ///< magnitude dB *drop* in mean RSSI (AP handoff)
+  kWorkerStall,       ///< remote worker makes no progress during the window
+  kWorkerCrash,       ///< worker dies at start (state lost), back after duration
+};
+
+const char* fault_kind_name(FaultKind kind);
+std::optional<FaultKind> fault_kind_from_name(std::string_view name);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kOutage;
+  double start = 0.0;      ///< virtual seconds
+  double duration = 0.0;
+  double magnitude = 0.0;  ///< per-kind meaning, see FaultKind
+
+  double end() const { return start + duration; }
+  /// Active on [start, end).
+  bool active(double t) const { return t >= start && t < end(); }
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  /// End of the last event (0 when empty).
+  double horizon() const;
+
+  FaultSchedule& add(FaultKind kind, double start, double duration,
+                     double magnitude = 0.0) {
+    events.push_back({kind, start, duration, magnitude});
+    return *this;
+  }
+};
+
+/// Parse the docs/faults.md text format; throws std::invalid_argument on a
+/// malformed line or unknown kind.
+FaultSchedule parse_fault_schedule(const std::string& text);
+/// Inverse of parse_fault_schedule (round-trips through it).
+std::string format_fault_schedule(const FaultSchedule& schedule);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSchedule schedule);
+
+  /// Channel that receives the ChannelOverride overlay on update(); nullptr
+  /// detaches (worker-fault queries keep working without a channel).
+  void attach_channel(net::WirelessChannel* channel) { channel_ = channel; }
+  /// Emit `fault.<kind>` spans on the "faults" lane as events activate and
+  /// count `fault_injected_total{kind=...}`. nullptr disconnects.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
+  /// Apply the union of channel faults active at `now` to the attached
+  /// channel. Call once per simulation tick, before stepping the links.
+  void update(double now);
+
+  /// Channel override the schedule implies at `t` (what update() would
+  /// install); exposed for tests and offline analysis.
+  net::ChannelOverride override_at(double t) const;
+
+  // ---- worker-fault queries for the lease protocol (pure in the schedule) ----
+  /// Worker making no progress at `t` (stall window or crash recovery).
+  bool worker_unavailable(double t) const;
+  /// A crash event starts inside or spans [t0, t1) — leased state is lost.
+  bool worker_crashed_in(double t0, double t1) const;
+  /// Virtual completion time of `work_s` seconds of remote work started at
+  /// `start`, pushed out by every stall/crash window it overlaps.
+  double remote_completion(double start, double work_s) const;
+  /// First time >= t at which no forced-outage window blocks the link (the
+  /// geometric channel may still be bad; this only reflects scripted outages).
+  double link_restored_after(double t) const;
+  bool link_forced_out(double t) const;
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  /// Events whose start has been crossed by update() so far.
+  uint64_t activated_events() const { return activated_count_; }
+
+ private:
+  FaultSchedule schedule_;
+  /// Merged, sorted [start, end) windows where the worker makes no progress.
+  std::vector<std::pair<double, double>> worker_down_;
+  /// Merged, sorted forced-outage windows.
+  std::vector<std::pair<double, double>> outage_windows_;
+  std::vector<bool> activated_;  ///< per event, for one-shot trace emission
+  uint64_t activated_count_ = 0;
+
+  net::WirelessChannel* channel_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
+};
+
+/// Canonical chaos schedule used by bench_fault_injection and the chaos
+/// suite: one *abrupt* mid-mission hard outage of `outage_s` (no warning
+/// ramp, so Algorithm 2 cannot migrate ahead of it) followed by a messy
+/// AP-handoff recovery (RSSI cliff + loss burst + latency inflation), plus
+/// periodic worker stalls with duty cycle `stall_fraction`. `horizon_s` is
+/// the nominal fault-free mission duration the events are placed against.
+/// Deterministic; all times in virtual seconds.
+FaultSchedule make_chaos_schedule(double outage_s, double stall_fraction,
+                                  double horizon_s);
+
+}  // namespace lgv::sim

@@ -96,6 +96,23 @@ Scenario make_open_scenario() {
   return s;
 }
 
+Scenario make_chaos_scenario() {
+  // WAP at the room center: max distance to any reachable point is ~7.5 m,
+  // well inside the clean-SNR radius, so scripted faults are the only source
+  // of network trouble. A few obstacles keep the VDP honestly loaded.
+  Scenario s{World(14.0, 9.0), Pose2D(1.2, 1.2, 0.0), Pose2D(12.8, 7.8, 0.0),
+             Point2D(7.0, 4.5), {}};
+  World& w = s.world;
+  w.add_outer_walls(0.15);
+  w.add_wall({5.0, 0.0}, {5.0, 5.5});
+  w.add_wall({9.0, 9.0}, {9.0, 3.5});
+  w.add_box({2.5, 5.5}, {3.5, 6.5});
+  w.add_box({10.5, 1.5}, {11.5, 2.5});
+  w.add_disc({7.0, 2.0}, 0.35);
+  s.waypoints = {{1.2, 1.2}, {3.0, 4.0}, {6.5, 6.5}, {9.8, 1.8}, {12.8, 7.8}};
+  return s;
+}
+
 std::vector<ScanLogEntry> record_scan_log(const Scenario& scenario, double speed,
                                           double scan_period, size_t max_scans,
                                           uint64_t seed) {

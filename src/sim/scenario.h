@@ -37,6 +37,12 @@ Scenario make_obstacle_course_scenario();
 /// Open arena with scattered discs; used in tests and the quickstart example.
 Scenario make_open_scenario();
 
+/// Chaos-suite environment (docs/faults.md): a hall with a centrally mounted
+/// WAP so the *geometric* link stays healthy along the whole route — any
+/// degradation a mission sees comes from the scripted FaultInjector events,
+/// which keeps the bench_fault_injection sweeps attributable to the faults.
+Scenario make_chaos_scenario();
+
 /// One entry of a recorded SLAM input log: odometry-integrated pose estimate
 /// and the scan taken there.
 struct ScanLogEntry {

@@ -95,5 +95,37 @@ TEST(Battery, OffloadingStretchesTheBattery) {
   EXPECT_GT(off.battery_state_of_charge, local.battery_state_of_charge);
 }
 
+TEST(FaultInjection, MissionSurvivesMidMissionOutageViaFallback) {
+  // End-to-end graceful degradation: an abrupt 20 s total outage lands
+  // mid-mission; the lease expires, the VDP falls back to the LGV, and the
+  // mission still completes instead of stranding in safety-stop.
+  MissionConfig cfg;
+  cfg.timeout = 400.0;
+  cfg.faults = sim::make_chaos_schedule(/*outage_s=*/20.0, /*stall_fraction=*/0.0,
+                                        /*horizon_s=*/25.0);
+  MissionRunner runner(
+      sim::make_chaos_scenario(),
+      offload_plan("gw4", Host::kEdgeGateway, 4, WorkloadKind::kNavigationWithMap),
+      cfg);
+  const MissionReport r = runner.run();
+  EXPECT_TRUE(r.success);
+  EXPECT_GE(r.fallbacks, 1u);
+  EXPECT_GT(r.faults_injected, 0u);
+  EXPECT_EQ(r.fallbacks, runner.runtime().fallback_count());
+}
+
+TEST(FaultInjection, NoFaultsMeansNoFallbacks) {
+  MissionConfig cfg;
+  cfg.rollout_samples = 200;
+  MissionRunner runner(
+      sim::make_open_scenario(),
+      offload_plan("gw4", Host::kEdgeGateway, 4, WorkloadKind::kNavigationWithMap),
+      cfg);
+  const MissionReport r = runner.run();
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.fallbacks, 0u);
+  EXPECT_EQ(r.faults_injected, 0u);
+}
+
 }  // namespace
 }  // namespace lgv::core

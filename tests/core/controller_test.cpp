@@ -42,5 +42,22 @@ TEST(Controller, RecommendThreadsHandlesDegenerateInputs) {
   EXPECT_EQ(c.recommend_threads(0.5, 1.0, 1), 1);
 }
 
+TEST(Controller, LeaseTimeoutScalesWithWorkAndRtt) {
+  Controller c;
+  const ControllerConfig& cfg = c.config();
+  EXPECT_DOUBLE_EQ(c.lease_timeout(1.0, 0.1),
+                   cfg.lease_headroom * 1.0 + cfg.lease_rtt_margin * 0.1);
+  EXPECT_GT(c.lease_timeout(2.0, 0.1), c.lease_timeout(1.0, 0.1));
+  EXPECT_GT(c.lease_timeout(1.0, 0.5), c.lease_timeout(1.0, 0.1));
+}
+
+TEST(Controller, LeaseTimeoutFloorsAtMinimum) {
+  // Tiny kernels on a fast LAN must still get a usable lease — otherwise
+  // ordinary jitter would trigger spurious fallbacks.
+  Controller c;
+  EXPECT_DOUBLE_EQ(c.lease_timeout(0.0, 0.0), c.config().lease_min_s);
+  EXPECT_DOUBLE_EQ(c.lease_timeout(1e-4, 1e-4), c.config().lease_min_s);
+}
+
 }  // namespace
 }  // namespace lgv::core

@@ -76,6 +76,38 @@ TEST(Algorithm2, RoundTripScenario) {
   EXPECT_EQ(ctl.switches(), 2u);
 }
 
+TEST(Algorithm2, VoteSignFlipMidWindowRestartsDebounce) {
+  NetworkQualityConfig cfg;
+  cfg.hysteresis_samples = 3;
+  NetworkQualityController ctl(cfg, VdpPlacement::kRemote);
+  ctl.update({1.0, -0.3});  // two local votes...
+  ctl.update({1.0, -0.3});
+  // ...then the signal flips back to a remote vote mid-window: the local
+  // streak must not survive the contradiction.
+  EXPECT_EQ(ctl.update({5.0, 0.3}), VdpPlacement::kRemote);
+  ctl.update({1.0, -0.3});
+  EXPECT_EQ(ctl.update({1.0, -0.3}), VdpPlacement::kRemote);  // fresh streak: 2
+  EXPECT_EQ(ctl.update({1.0, -0.3}), VdpPlacement::kLocal);   // 3 → switch
+  EXPECT_EQ(ctl.switches(), 1u);
+}
+
+TEST(Algorithm2, OscillationExactlyAtThresholdNeverSwitches) {
+  // r_t pinned to the threshold while d_t oscillates: both Algorithm 2
+  // comparisons are strict, so every observation is neutral and the
+  // placement must not flap in either direction.
+  NetworkQualityConfig cfg;
+  cfg.hysteresis_samples = 1;
+  NetworkQualityController remote(cfg, VdpPlacement::kRemote);
+  NetworkQualityController local(cfg, VdpPlacement::kLocal);
+  for (int i = 0; i < 10; ++i) {
+    const double d = i % 2 == 0 ? 0.5 : -0.5;
+    EXPECT_EQ(remote.update({cfg.bandwidth_threshold_hz, d}), VdpPlacement::kRemote);
+    EXPECT_EQ(local.update({cfg.bandwidth_threshold_hz, d}), VdpPlacement::kLocal);
+  }
+  EXPECT_EQ(remote.switches(), 0u);
+  EXPECT_EQ(local.switches(), 0u);
+}
+
 TEST(Algorithm2, ForceOverrides) {
   NetworkQualityController ctl(fast_config(), VdpPlacement::kRemote);
   ctl.force(VdpPlacement::kLocal);

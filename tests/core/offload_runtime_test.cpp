@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "sim/fault_injector.h"
+
 namespace lgv::core {
 namespace {
 
@@ -109,6 +113,160 @@ TEST(OffloadRuntime, RemoteIsFasterThanLocalForSameWork) {
   rctx.serial_work(1e9);
   EXPECT_GT(local_rt.finish(NodeId::kPathTracking, lctx),
             5.0 * remote_rt.finish(NodeId::kPathTracking, rctx));
+}
+
+// ---- remote-execution lease + local fallback (docs/faults.md) ----
+
+// OffloadRuntime has internal cross-member pointers (Switcher → channel /
+// clock / energy), so it must be constructed in place — never moved.
+struct RemoteRuntime {
+  OffloadRuntime rt{offload_plan("gw", Host::kEdgeGateway, 1,
+                                 WorkloadKind::kNavigationWithMap),
+                    {0, 0}};
+  RemoteRuntime() {
+    rt.channel().set_robot_position({2.0, 0.0});
+    rt.apply_initial_placement();
+  }
+};
+
+TEST(OffloadRuntime, ResultInsideLeaseDoesNotFallBack) {
+  RemoteRuntime rr;
+  OffloadRuntime& rt = rr.rt;
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kWorkerStall, 100.0, 10.0);  // far in the future
+  sim::FaultInjector inj(s);
+  rt.set_fault_injector(&inj);
+
+  platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+  ctx.serial_work(1e9);
+  const auto outcome = rt.finish_guarded(NodeId::kCostmapGen, ctx);
+  EXPECT_FALSE(outcome.fell_back);
+  EXPECT_EQ(rt.fallback_count(), 0u);
+  EXPECT_EQ(rt.host_of(NodeId::kCostmapGen), Host::kEdgeGateway);
+  EXPECT_DOUBLE_EQ(rt.telemetry()->metrics().counter("lease_grants_total").value(),
+                   1.0);
+}
+
+TEST(OffloadRuntime, ShortStallDelaysResultWithinLease) {
+  RemoteRuntime rr;
+  OffloadRuntime& rt = rr.rt;
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kWorkerStall, 0.0, 0.05);  // brief hiccup
+  sim::FaultInjector inj(s);
+  rt.set_fault_injector(&inj);
+
+  platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+  ctx.serial_work(1e7);  // tiny kernel: lease floors at lease_min_s
+  const auto outcome = rt.finish_guarded(NodeId::kCostmapGen, ctx);
+  EXPECT_FALSE(outcome.fell_back);
+  // The stall shows up as pipeline latency, not as a fallback.
+  EXPECT_GE(outcome.latency, 0.05);
+}
+
+TEST(OffloadRuntime, LongStallExpiresLeaseAndFallsBackLocally) {
+  RemoteRuntime rr;
+  OffloadRuntime& rt = rr.rt;
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kWorkerStall, 0.0, 30.0);
+  sim::FaultInjector inj(s);
+  rt.set_fault_injector(&inj);
+
+  platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+  ctx.serial_work(1e9);
+  const double energy_before = rt.energy().energy().computer;
+  const auto outcome = rt.finish_guarded(NodeId::kCostmapGen, ctx);
+  EXPECT_TRUE(outcome.fell_back);
+  EXPECT_EQ(rt.fallback_count(), 1u);
+  // Latency = lease wait (failure only *observed* at the deadline) + local
+  // re-execution on the LGV cost model.
+  const double t_local = rt.cost_model(Host::kLgv).execution_time(ctx.profile());
+  EXPECT_GT(outcome.latency, t_local);
+  // The local re-run charges Eq. 1c energy and feeds the local profile.
+  EXPECT_GT(rt.energy().energy().computer, energy_before);
+  EXPECT_TRUE(rt.profiler().node_time(NodeId::kCostmapGen, Host::kLgv).has_value());
+  // The whole VDP is pulled home and Algorithm 2 pinned local.
+  EXPECT_EQ(rt.vdp_placement(), VdpPlacement::kLocal);
+  EXPECT_EQ(rt.host_of(NodeId::kCostmapGen), Host::kLgv);
+  EXPECT_EQ(rt.network_controller().placement(), VdpPlacement::kLocal);
+
+  auto& m = rt.telemetry()->metrics();
+  EXPECT_DOUBLE_EQ(
+      m.counter("fallback_total", {{"node", node_name(NodeId::kCostmapGen)}}).value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      m.counter("lease_expired_total", {{"cause", "lease_timeout"}}).value(), 1.0);
+  const auto events = rt.telemetry()->tracer().events();
+  const bool saw_instant =
+      std::any_of(events.begin(), events.end(),
+                  [](const telemetry::TraceEvent& e) { return e.name == "alg2.fallback"; });
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(OffloadRuntime, WorkerCrashFallsBackEvenWhenResultWouldBeOnTime) {
+  RemoteRuntime rr;
+  OffloadRuntime& rt = rr.rt;
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kWorkerCrash, 0.0, 0.01);  // blink-and-miss-it crash
+  sim::FaultInjector inj(s);
+  rt.set_fault_injector(&inj);
+
+  platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+  ctx.serial_work(1e9);
+  const auto outcome = rt.finish_guarded(NodeId::kCostmapGen, ctx);
+  // State died with the worker: within-lease timing can't save the result.
+  EXPECT_TRUE(outcome.fell_back);
+  EXPECT_DOUBLE_EQ(
+      rt.telemetry()->metrics().counter("lease_expired_total", {{"cause", "worker_crash"}}).value(),
+      1.0);
+}
+
+TEST(OffloadRuntime, ForcedOutageHoldsResultPastLease) {
+  RemoteRuntime rr;
+  OffloadRuntime& rt = rr.rt;
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kOutage, 0.0, 30.0);  // healthy worker, dead link
+  sim::FaultInjector inj(s);
+  rt.set_fault_injector(&inj);
+
+  platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+  ctx.serial_work(1e9);
+  const auto outcome = rt.finish_guarded(NodeId::kCostmapGen, ctx);
+  EXPECT_TRUE(outcome.fell_back);
+  EXPECT_EQ(rt.vdp_placement(), VdpPlacement::kLocal);
+}
+
+TEST(OffloadRuntime, DisabledLeaseMeansNaiveWaitNotFallback) {
+  RemoteRuntime rr;
+  OffloadRuntime& rt = rr.rt;
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kWorkerStall, 0.0, 30.0);
+  sim::FaultInjector inj(s);
+  rt.set_fault_injector(&inj);
+  rt.set_lease_fallback(false);
+
+  platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+  ctx.serial_work(1e9);
+  const auto outcome = rt.finish_guarded(NodeId::kCostmapGen, ctx);
+  // The caller waits out the whole stall — the stranded-LGV baseline.
+  EXPECT_FALSE(outcome.fell_back);
+  EXPECT_GE(outcome.latency, 30.0);
+  EXPECT_EQ(rt.fallback_count(), 0u);
+  EXPECT_EQ(rt.host_of(NodeId::kCostmapGen), Host::kEdgeGateway);
+}
+
+TEST(OffloadRuntime, LocalNodesBypassTheLease) {
+  OffloadRuntime rt(local_plan(WorkloadKind::kNavigationWithMap), {0, 0});
+  rt.apply_initial_placement();
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kWorkerCrash, 0.0, 100.0);
+  sim::FaultInjector inj(s);
+  rt.set_fault_injector(&inj);
+
+  platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+  ctx.serial_work(1e9);
+  const auto outcome = rt.finish_guarded(NodeId::kCostmapGen, ctx);
+  EXPECT_FALSE(outcome.fell_back);
+  EXPECT_EQ(rt.fallback_count(), 0u);
 }
 
 TEST(OffloadRuntime, CloudChannelIncludesWanLatency) {

@@ -150,5 +150,44 @@ TEST_F(SwitcherTest, MigrationSlowerOnWeakLink) {
   EXPECT_GT(slow, fast);
 }
 
+TEST(SwitcherRates, DownlinkMigrationTimedAgainstDownlinkRate) {
+  // A cloud→LGV state pull-back travels the AP's transmit pipe, not the
+  // LGV's: with an asymmetric link the two directions must take visibly
+  // different times for the same byte count.
+  net::ChannelConfig cfg;
+  cfg.wap_position = {0.0, 0.0};
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.downlink_rate_bps = cfg.uplink_rate_bps / 4.0;
+  net::WirelessChannel channel(cfg);
+  channel.set_robot_position({2.0, 0.0});
+  SimClock clock;
+  mw::Graph graph;
+  sim::PowerModel power;
+  sim::EnergyMeter energy;
+  Switcher sw(&graph, &channel, &clock, &energy, &power);
+  const double up = sw.migrate_state(2e6, /*uplink=*/true) - clock.now();
+  const double down = sw.migrate_state(2e6, /*uplink=*/false) - clock.now();
+  EXPECT_GT(down, 2.5 * up);  // 4× slower pipe, minus the shared latency term
+}
+
+TEST_F(SwitcherTest, StreamPacketCarries48BytePayload) {
+  switcher.send_stream_packet();
+  // §III-A velocity message: 48 B payload plus a few bytes of envelope
+  // framing (topic + dst + length varint).
+  EXPECT_GE(switcher.stats().downlink_bytes, 48.0);
+  EXPECT_LT(switcher.stats().downlink_bytes, 80.0);
+  EXPECT_EQ(switcher.stats().downlink_messages, 1u);
+}
+
+TEST_F(SwitcherTest, StreamPacketsCountTowardDownlinkTelemetry) {
+  telemetry::Telemetry telemetry;
+  switcher.set_telemetry(&telemetry);
+  for (int i = 0; i < 3; ++i) switcher.send_stream_packet();
+  const double counted =
+      telemetry.metrics().counter("switcher_bytes_total", {{"dir", "downlink"}}).value();
+  EXPECT_DOUBLE_EQ(counted, switcher.stats().downlink_bytes);
+  EXPECT_GT(counted, 0.0);
+}
+
 }  // namespace
 }  // namespace lgv::core

@@ -93,6 +93,45 @@ TEST(UdpLink, LossRateGrowsWithDistance) {
   EXPECT_GT(mid.delivery_ratio(), 0.05);
 }
 
+TEST(UdpLink, RejectedDatagramsAreNotCountedAsSent) {
+  // Regression: sendto() rejected at a full kernel buffer used to count as
+  // both sent and dropped_buffer, deflating the delivery ratio during every
+  // outage window.
+  WirelessChannel ch(quiet_config());
+  ch.set_robot_position({500.0, 0.0});  // outage: nothing drains
+  UdpLink link(&ch, /*kernel_buffer_capacity=*/2);
+  for (int i = 0; i < 6; ++i) {
+    link.send(payload(48), 0.1 * i);
+    link.step(0.1 * i);
+  }
+  EXPECT_EQ(link.stats().sent, 2u);            // kernel accepted exactly 2
+  EXPECT_EQ(link.stats().dropped_buffer, 4u);  // the rest rejected, once each
+  EXPECT_EQ(link.stats().offered(), 6u);
+
+  // Link recovers: both accepted datagrams arrive → honest ratio of 1.0
+  // against the accepted count, not 2/6 against double-counted sends.
+  ch.set_robot_position({2.0, 0.0});
+  link.step(1.0);
+  link.poll_delivered(10.0);
+  EXPECT_EQ(link.stats().delivered, 2u);
+  EXPECT_DOUBLE_EQ(link.stats().delivery_ratio(), 1.0);
+}
+
+TEST(UdpLink, TelemetryMirrorsAccountingFix) {
+  telemetry::Telemetry telemetry;
+  WirelessChannel ch(quiet_config());
+  ch.set_robot_position({500.0, 0.0});
+  UdpLink link(&ch, 2);
+  link.set_telemetry(&telemetry, "uplink");
+  for (int i = 0; i < 6; ++i) link.send(payload(48), 0.1 * i);
+  auto& m = telemetry.metrics();
+  EXPECT_DOUBLE_EQ(m.counter("net_sent_total", {{"link", "uplink"}}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(m.counter("net_dropped_buffer_total", {{"link", "uplink"}}).value(),
+                   4.0);
+  EXPECT_DOUBLE_EQ(m.gauge("net_kernel_buffer_depth", {{"link", "uplink"}}).value(),
+                   2.0);
+}
+
 TEST(TcpLink, AlwaysDeliversEventually) {
   ChannelConfig cfg = quiet_config();
   WirelessChannel ch(cfg, 3);
@@ -109,6 +148,42 @@ TEST(TcpLink, AlwaysDeliversEventually) {
   const auto delivered = link.poll_delivered(1e9);
   EXPECT_EQ(delivered.size(), 20u);  // reliable despite loss
   EXPECT_GT(link.stats().dropped_channel, 0u);  // retransmissions happened
+}
+
+TEST(TcpLink, GaugesTrackQueueAndAirAndRetransmitsAreCounted) {
+  telemetry::Telemetry telemetry;
+  ChannelConfig cfg = quiet_config();
+  WirelessChannel ch(cfg, 3);
+  // Marginal position: heavy loss but not outage, so retransmissions happen.
+  for (double d = 2.0; d < 400.0; d += 1.0) {
+    ch.set_robot_position({d, 0.0});
+    const double p = ch.loss_from_snr(ch.snr_db(ch.mean_rssi_dbm()));
+    if (p > 0.5 && p < 0.95) break;
+  }
+  TcpLink link(&ch, 0.1);
+  link.set_telemetry(&telemetry, "control");
+  auto& m = telemetry.metrics();
+  const telemetry::Labels labels = {{"link", "control"}};
+
+  for (int i = 0; i < 10; ++i) link.send(payload(64), 0.0);
+  link.step(0.0);
+  // Regression: these gauges were wired but never written — they stayed 0
+  // forever. After one step the unacked queue and the in-flight bytes must
+  // both be visible.
+  EXPECT_DOUBLE_EQ(m.gauge("net_kernel_buffer_depth", labels).value(),
+                   static_cast<double>(link.unacked()));
+  double in_flight = m.gauge("net_in_flight_bytes", labels).value();
+  EXPECT_EQ(static_cast<uint64_t>(in_flight) % 64, 0u);
+
+  for (double t = 0.05; t < 60.0; t += 0.05) link.step(t);
+  const auto delivered = link.poll_delivered(1e9);
+  EXPECT_EQ(delivered.size(), 10u);
+  EXPECT_GT(link.stats().retransmits, 0u);
+  EXPECT_DOUBLE_EQ(m.counter("net_retransmits_total", labels).value(),
+                   static_cast<double>(link.stats().retransmits));
+  // Everything delivered: queue empty, nothing on the air.
+  EXPECT_DOUBLE_EQ(m.gauge("net_kernel_buffer_depth", labels).value(), 0.0);
+  EXPECT_DOUBLE_EQ(m.gauge("net_in_flight_bytes", labels).value(), 0.0);
 }
 
 TEST(TcpLink, RetransmissionInflatesLatencyNotLoss) {

@@ -1,0 +1,185 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/telemetry/telemetry.h"
+#include "net/wireless_channel.h"
+
+namespace lgv::sim {
+namespace {
+
+TEST(FaultSchedule, ParseFormatRoundTrip) {
+  const std::string text =
+      "# chaos script\n"
+      "outage 10 5\n"
+      "loss_burst 4 6 0.35\n"
+      "latency 20 5 0.04\n"
+      "rssi_cliff 7 14 18   # handoff\n"
+      "\n"
+      "worker_stall 30 4\n"
+      "worker_crash 50 2\n";
+  const FaultSchedule s = parse_fault_schedule(text);
+  ASSERT_EQ(s.events.size(), 6u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::kOutage);
+  EXPECT_DOUBLE_EQ(s.events[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(s.events[0].duration, 5.0);
+  EXPECT_EQ(s.events[1].kind, FaultKind::kLossBurst);
+  EXPECT_DOUBLE_EQ(s.events[1].magnitude, 0.35);
+  EXPECT_EQ(s.events[3].kind, FaultKind::kRssiCliff);
+  EXPECT_DOUBLE_EQ(s.events[3].magnitude, 18.0);
+  EXPECT_DOUBLE_EQ(s.horizon(), 52.0);
+
+  const FaultSchedule again = parse_fault_schedule(format_fault_schedule(s));
+  ASSERT_EQ(again.events.size(), s.events.size());
+  for (size_t i = 0; i < s.events.size(); ++i) {
+    EXPECT_EQ(again.events[i].kind, s.events[i].kind);
+    EXPECT_DOUBLE_EQ(again.events[i].start, s.events[i].start);
+    EXPECT_DOUBLE_EQ(again.events[i].duration, s.events[i].duration);
+    EXPECT_DOUBLE_EQ(again.events[i].magnitude, s.events[i].magnitude);
+  }
+}
+
+TEST(FaultSchedule, ParseRejectsUnknownKindAndMissingFields) {
+  EXPECT_THROW(parse_fault_schedule("meteor 1 2"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_schedule("outage 1"), std::invalid_argument);
+}
+
+TEST(FaultInjector, OverrideComposesActiveEvents) {
+  FaultSchedule s;
+  s.add(FaultKind::kOutage, 10.0, 5.0)
+      .add(FaultKind::kLossBurst, 8.0, 10.0, 0.2)
+      .add(FaultKind::kLossBurst, 12.0, 2.0, 0.3)
+      .add(FaultKind::kLatencyInflation, 0.0, 100.0, 0.05)
+      .add(FaultKind::kRssiCliff, 11.0, 4.0, 18.0)
+      .add(FaultKind::kWorkerStall, 12.0, 1.0);  // must not touch the channel
+  const FaultInjector inj(s);
+
+  const net::ChannelOverride before = inj.override_at(5.0);
+  EXPECT_FALSE(before.force_outage);
+  EXPECT_DOUBLE_EQ(before.extra_loss, 0.0);
+  EXPECT_DOUBLE_EQ(before.extra_latency_s, 0.05);
+
+  const net::ChannelOverride during = inj.override_at(12.5);
+  EXPECT_TRUE(during.force_outage);
+  EXPECT_DOUBLE_EQ(during.extra_loss, 0.5);  // bursts stack
+  EXPECT_DOUBLE_EQ(during.rssi_offset_db, -18.0);
+
+  // Windows are half-open: the outage is gone exactly at its end.
+  EXPECT_TRUE(inj.override_at(14.999).force_outage);
+  EXPECT_FALSE(inj.override_at(15.0).force_outage);
+}
+
+TEST(FaultInjector, UpdateAppliesOverrideToChannel) {
+  net::ChannelConfig cfg;
+  cfg.wap_position = {0.0, 0.0};
+  net::WirelessChannel channel(cfg);
+  channel.set_robot_position({1.0, 0.0});  // right next to the WAP
+  ASSERT_FALSE(channel.in_outage());
+  const double healthy_rssi = channel.mean_rssi_dbm();
+  const double healthy_loss = channel.loss_probability();
+
+  FaultSchedule s;
+  s.add(FaultKind::kOutage, 10.0, 5.0, 0.0)
+      .add(FaultKind::kRssiCliff, 10.0, 5.0, 20.0)
+      .add(FaultKind::kLossBurst, 10.0, 5.0, 0.4);
+  FaultInjector inj(s);
+  inj.attach_channel(&channel);
+
+  inj.update(12.0);
+  EXPECT_TRUE(channel.in_outage());  // scripted, despite the strong signal
+  EXPECT_NEAR(channel.mean_rssi_dbm(), healthy_rssi - 20.0, 1e-9);
+  EXPECT_GE(channel.loss_probability(), healthy_loss + 0.4 - 1e-9);
+
+  inj.update(20.0);  // faults over: back to pure geometry
+  EXPECT_FALSE(channel.in_outage());
+  EXPECT_NEAR(channel.mean_rssi_dbm(), healthy_rssi, 1e-9);
+  EXPECT_EQ(inj.activated_events(), 3u);
+}
+
+TEST(FaultInjector, WorkerQueriesFollowStallAndCrashWindows) {
+  FaultSchedule s;
+  s.add(FaultKind::kWorkerStall, 10.0, 4.0).add(FaultKind::kWorkerCrash, 20.0, 3.0);
+  const FaultInjector inj(s);
+
+  EXPECT_FALSE(inj.worker_unavailable(9.9));
+  EXPECT_TRUE(inj.worker_unavailable(10.0));
+  EXPECT_TRUE(inj.worker_unavailable(21.0));  // crash recovery counts as down
+  EXPECT_FALSE(inj.worker_unavailable(23.0));
+
+  EXPECT_TRUE(inj.worker_crashed_in(19.0, 25.0));
+  EXPECT_TRUE(inj.worker_crashed_in(21.0, 22.0));  // started mid-crash
+  EXPECT_FALSE(inj.worker_crashed_in(0.0, 15.0));  // stall is not a crash
+}
+
+TEST(FaultInjector, RemoteCompletionPausesThroughDownWindows) {
+  FaultSchedule s;
+  s.add(FaultKind::kWorkerStall, 10.0, 4.0).add(FaultKind::kWorkerStall, 20.0, 2.0);
+  const FaultInjector inj(s);
+
+  // Clear of every window: unchanged.
+  EXPECT_DOUBLE_EQ(inj.remote_completion(0.0, 1.0), 1.0);
+  // 9.5 + 1.0s of work: 0.5s runs before the 4s stall, the rest after it.
+  EXPECT_DOUBLE_EQ(inj.remote_completion(9.5, 1.0), 14.5);
+  // Started inside the window: nothing happens until it ends.
+  EXPECT_DOUBLE_EQ(inj.remote_completion(11.0, 1.0), 15.0);
+  // Long enough to span both windows.
+  EXPECT_DOUBLE_EQ(inj.remote_completion(9.0, 10.0), 25.0);
+}
+
+TEST(FaultInjector, LinkRestoredAfterChainsOutageWindows) {
+  FaultSchedule s;
+  s.add(FaultKind::kOutage, 10.0, 5.0).add(FaultKind::kOutage, 15.0, 2.0);
+  const FaultInjector inj(s);
+  EXPECT_DOUBLE_EQ(inj.link_restored_after(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(inj.link_restored_after(12.0), 17.0);  // windows merge
+  EXPECT_TRUE(inj.link_forced_out(16.0));
+  EXPECT_FALSE(inj.link_forced_out(17.0));
+}
+
+TEST(FaultInjector, UpdateEmitsTelemetryOncePerEvent) {
+  telemetry::Telemetry telemetry;
+  FaultSchedule s;
+  s.add(FaultKind::kOutage, 1.0, 2.0).add(FaultKind::kWorkerStall, 5.0, 1.0);
+  FaultInjector inj(s);
+  inj.set_telemetry(&telemetry);
+
+  inj.update(0.5);
+  EXPECT_EQ(inj.activated_events(), 0u);
+  inj.update(1.5);
+  inj.update(2.0);  // same event again: no double-count
+  EXPECT_EQ(inj.activated_events(), 1u);
+  EXPECT_DOUBLE_EQ(
+      telemetry.metrics().counter("fault_injected_total", {{"kind", "outage"}}).value(),
+      1.0);
+  inj.update(10.0);
+  EXPECT_EQ(inj.activated_events(), 2u);
+  EXPECT_GE(telemetry.tracer().events().size(), 2u);
+}
+
+TEST(FaultInjector, ChaosScheduleShape) {
+  const FaultSchedule s = make_chaos_schedule(30.0, 0.5, 100.0);
+  double outage_total = 0.0;
+  double outage_start = -1.0;
+  size_t stalls = 0;
+  for (const FaultEvent& e : s.events) {
+    if (e.kind == FaultKind::kOutage) {
+      outage_total += e.duration;
+      outage_start = e.start;
+    }
+    if (e.kind == FaultKind::kWorkerStall) {
+      ++stalls;
+      EXPECT_DOUBLE_EQ(e.duration, 10.0);  // 50% of the 20s period
+    }
+  }
+  EXPECT_DOUBLE_EQ(outage_total, 30.0);
+  // Mid-mission: inside the nominal run, not at its edges.
+  EXPECT_GT(outage_start, 0.0);
+  EXPECT_LT(outage_start, 100.0);
+  EXPECT_GT(stalls, 2u);
+
+  const FaultSchedule none = make_chaos_schedule(0.0, 0.0, 100.0);
+  EXPECT_TRUE(none.empty());
+}
+
+}  // namespace
+}  // namespace lgv::sim
