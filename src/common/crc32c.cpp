@@ -1,0 +1,40 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace lgv {
+
+namespace {
+
+// Reflected CRC32C table, generated at static-init time from the reversed
+// polynomial 0x82F63B78 (bit-reflection of 0x1EDC6F41).
+std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& table() {
+  static const std::array<uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32c(const void* data, size_t size, uint32_t seed) {
+  const auto& t = table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace lgv

@@ -1,0 +1,22 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum the wire-integrity
+// layer puts on every Switcher frame and state-migration chunk. Software
+// table-driven implementation; the polynomial matches what iSCSI/ext4 and
+// hardware SSE4.2 `crc32` use, so a future accelerated path drops in without
+// changing any stored checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lgv {
+
+/// One-shot CRC32C over `size` bytes. `seed` chains partial computations:
+/// crc32c(b, n) == crc32c(b + k, n - k, crc32c(b, k)).
+uint32_t crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t crc32c(const std::vector<uint8_t>& bytes, uint32_t seed = 0) {
+  return crc32c(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace lgv

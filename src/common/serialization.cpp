@@ -92,7 +92,7 @@ std::vector<uint8_t> WireReader::get_raw(size_t n) {
 }
 
 std::vector<double> WireReader::get_repeated_double() {
-  const size_t n = get_varint();
+  const size_t n = checked_count(get_varint(), 8);
   std::vector<double> out;
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) out.push_back(get_double());
@@ -100,7 +100,7 @@ std::vector<double> WireReader::get_repeated_double() {
 }
 
 std::vector<float> WireReader::get_repeated_float() {
-  const size_t n = get_varint();
+  const size_t n = checked_count(get_varint(), 4);
   std::vector<float> out;
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) out.push_back(get_float());
@@ -108,7 +108,8 @@ std::vector<float> WireReader::get_repeated_float() {
 }
 
 std::vector<uint64_t> WireReader::get_repeated_varint() {
-  const size_t n = get_varint();
+  // Each varint element occupies at least one byte.
+  const size_t n = checked_count(get_varint(), 1);
   std::vector<uint64_t> out;
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) out.push_back(get_varint());
@@ -116,7 +117,7 @@ std::vector<uint64_t> WireReader::get_repeated_varint() {
 }
 
 std::vector<int8_t> WireReader::get_repeated_i8() {
-  const size_t n = get_varint();
+  const size_t n = checked_count(get_varint(), 1);
   require(n);
   std::vector<int8_t> out(n);
   for (size_t i = 0; i < n; ++i) out[i] = static_cast<int8_t>(data_[pos_ + i]);

@@ -77,8 +77,21 @@ class WireReader {
   }
 
  private:
+  /// Overflow-safe bounds check: `pos_ + n` can wrap for an attacker-supplied
+  /// `n` close to SIZE_MAX (a corrupted length varint), which would let the
+  /// old `pos_ + n > size_` form pass and read out of bounds.
   void require(size_t n) const {
-    if (pos_ + n > size_) throw std::out_of_range("WireReader: truncated buffer");
+    if (n > size_ - pos_) throw std::out_of_range("WireReader: truncated buffer");
+  }
+  /// Validate a length-prefixed element count *before* allocating: `n`
+  /// elements of at least `element_size` bytes each must still fit in the
+  /// buffer. Rejects allocation bombs (a corrupted count of, say, 2^40
+  /// would otherwise reserve terabytes before the first element read fails).
+  size_t checked_count(size_t n, size_t element_size) const {
+    if (n > remaining() / element_size) {
+      throw std::out_of_range("WireReader: repeated count exceeds buffer");
+    }
+    return n;
   }
 
   const uint8_t* data_;

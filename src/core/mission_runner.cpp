@@ -427,8 +427,21 @@ void MissionRunner::run_adjustment(double now) {
         static_cast<double>(serialize_to_bytes(costmap_.to_msg(now)).size());
     const double slam_bytes =
         slam_.has_value() ? static_cast<double>(slam_->serialize_state().size()) : 0.0;
-    frozen_until_ = runtime_.switcher().migrate_state(
+    const MigrationResult mig = runtime_.switcher().migrate_state(
         costmap_bytes + slam_bytes, wanted == VdpPlacement::kRemote);
+    frozen_until_ = mig.completion;  // a failed transfer still costs its time
+    if (!mig.committed) {
+      // Torn transfer: the far end never acknowledged a complete, verified
+      // state image, so running there would mean a partial particle set.
+      // Revert to the local replica through the same path a lease expiry
+      // takes, and let Algorithm 2 re-evaluate once the channel recovers.
+      runtime_.network_controller().force(VdpPlacement::kLocal);
+      runtime_.set_vdp_placement(VdpPlacement::kLocal);
+      if (telemetry::Telemetry* t = runtime_.telemetry()) {
+        t->tracer().instant_now("migration.abort", "network", "switcher",
+                                {{"attempts", std::to_string(mig.attempts)}});
+      }
+    }
   }
 }
 

@@ -1,11 +1,35 @@
 #include "core/switcher.h"
 
 #include <algorithm>
+#include <cstring>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include "common/crc32c.h"
+#include "common/serialization.h"
 
 namespace lgv::core {
 
 namespace {
-// Envelope framing: topic, destination node, payload.
+
+void store_u16(std::vector<uint8_t>& b, size_t at, uint16_t v) {
+  b[at] = static_cast<uint8_t>(v & 0xFF);
+  b[at + 1] = static_cast<uint8_t>(v >> 8);
+}
+void store_u32(std::vector<uint8_t>& b, size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) b[at + i] = static_cast<uint8_t>((v >> (8 * i)) & 0xFF);
+}
+uint16_t load_u16(const std::vector<uint8_t>& b, size_t at) {
+  return static_cast<uint16_t>(b[at] | (b[at + 1] << 8));
+}
+uint32_t load_u32(const std::vector<uint8_t>& b, size_t at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[at + i]) << (8 * i);
+  return v;
+}
+
+// Envelope body carried inside a frame: topic, destination node, payload.
 std::vector<uint8_t> pack_envelope(const std::string& topic, const std::string& dst,
                                    const std::vector<uint8_t>& payload) {
   WireWriter w;
@@ -22,8 +46,8 @@ struct Envelope {
   std::vector<uint8_t> payload;
 };
 
-Envelope unpack_envelope(const std::vector<uint8_t>& bytes) {
-  WireReader r(bytes);
+Envelope unpack_envelope(const uint8_t* data, size_t size) {
+  WireReader r(data, size);
   Envelope e;
   e.topic = r.get_string();
   e.dst = r.get_string();
@@ -31,7 +55,58 @@ Envelope unpack_envelope(const std::vector<uint8_t>& bytes) {
   e.payload = r.get_raw(n);
   return e;
 }
+
+/// Flip one random bit in each byte selected by an independent per-byte
+/// Bernoulli(p); geometric gap sampling, cost proportional to flips. The
+/// migration path uses this to damage its chunk frames the same way the
+/// links damage datagrams.
+void flip_random_bits(std::vector<uint8_t>& bytes, double p, Rng& rng) {
+  if (p <= 0.0 || bytes.empty()) return;
+  std::geometric_distribution<size_t> gap(p);
+  for (size_t i = gap(rng.engine()); i < bytes.size(); i += 1 + gap(rng.engine())) {
+    bytes[i] ^= static_cast<uint8_t>(1u << rng.uniform_int(0, 7));
+  }
+}
+
+uint32_t frame_crc(const std::vector<uint8_t>& frame) {
+  const uint32_t crc_header = crc32c(frame.data(), kFrameHeaderSize - 4);
+  return crc32c(frame.data() + kFrameHeaderSize, frame.size() - kFrameHeaderSize,
+                crc_header);
+}
+
+constexpr uint16_t kMigrationTopicId = 0xFFFF;
+constexpr uint8_t kDirUplink = 0;
+constexpr uint8_t kDirDownlink = 1;
+constexpr uint8_t kDirControl = 2;
+
 }  // namespace
+
+std::vector<uint8_t> frame_wrap(uint8_t direction, uint16_t topic_id,
+                                uint32_t seq, const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> f(kFrameHeaderSize + payload.size());
+  store_u16(f, 0, kFrameMagic);
+  f[2] = kFrameVersion;
+  f[3] = direction;
+  store_u16(f, 4, topic_id);
+  store_u32(f, 6, seq);
+  store_u32(f, 10, static_cast<uint32_t>(payload.size()));
+  std::copy(payload.begin(), payload.end(), f.begin() + kFrameHeaderSize);
+  store_u32(f, 14, frame_crc(f));
+  return f;
+}
+
+const char* frame_check(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kFrameHeaderSize) return "runt";
+  if (load_u16(frame, 0) != kFrameMagic) return "bad_magic";
+  if (frame[2] != kFrameVersion) return "bad_version";
+  if (load_u32(frame, 10) != frame.size() - kFrameHeaderSize) {
+    return "length_mismatch";
+  }
+  if (load_u32(frame, 14) != frame_crc(frame)) return "crc";
+  return nullptr;
+}
+
+uint32_t frame_seq(const std::vector<uint8_t>& frame) { return load_u32(frame, 6); }
 
 Switcher::Switcher(mw::Graph* graph, net::WirelessChannel* channel, const SimClock* clock,
                    sim::EnergyMeter* energy, const sim::PowerModel* power,
@@ -62,6 +137,15 @@ void Switcher::set_telemetry(telemetry::Telemetry* telemetry) {
   migrations_total_ = &m.counter("switcher_state_migrations_total");
 }
 
+uint16_t Switcher::topic_id(const std::string& topic) {
+  const auto it = topic_ids_.find(topic);
+  if (it != topic_ids_.end()) return it->second;
+  // kMigrationTopicId is reserved for the state-transfer stream.
+  const auto id = static_cast<uint16_t>(topic_ids_.size());
+  topic_ids_.emplace(topic, id);
+  return id;
+}
+
 void Switcher::send(const mw::TopicName& topic, const mw::NodeName& dst,
                     platform::Host src_host, platform::Host dst_host,
                     std::vector<uint8_t> bytes) {
@@ -69,32 +153,88 @@ void Switcher::send(const mw::TopicName& topic, const mw::NodeName& dst,
   const double now = clock_->now();
   stats_.max_message_bytes =
       std::max(stats_.max_message_bytes, static_cast<double>(bytes.size()));
-  std::vector<uint8_t> env = pack_envelope(topic, dst, bytes);
-  if (src_host == platform::Host::kLgv) {
+  const bool up = src_host == platform::Host::kLgv;
+  const uint8_t dir = up ? kDirUplink : kDirDownlink;
+  const uint16_t tid = topic_id(topic);
+  const uint32_t key = (static_cast<uint32_t>(dir) << 16) | tid;
+  std::vector<uint8_t> frame =
+      frame_wrap(dir, tid, next_seq_[key]++, pack_envelope(topic, dst, bytes));
+  if (up) {
     ++stats_.uplink_messages;
-    stats_.uplink_bytes += static_cast<double>(env.size());
-    if (uplink_bytes_total_ != nullptr) uplink_bytes_total_->inc(env.size());
+    stats_.uplink_bytes += static_cast<double>(frame.size());
+    if (uplink_bytes_total_ != nullptr) uplink_bytes_total_->inc(frame.size());
     // Eq. 1b: uplink transmission costs the wireless controller energy.
     if (energy_ != nullptr) {
       energy_->add_wireless_energy(power_->transmission_energy(
-          static_cast<double>(env.size()), channel_->effective_uplink_bps()));
+          static_cast<double>(frame.size()), channel_->effective_uplink_bps()));
     }
-    uplink_.send(std::move(env), now);
+    uplink_.send(std::move(frame), now);
   } else {
     ++stats_.downlink_messages;
-    stats_.downlink_bytes += static_cast<double>(env.size());
-    if (downlink_bytes_total_ != nullptr) downlink_bytes_total_->inc(env.size());
-    downlink_.send(std::move(env), now);
+    stats_.downlink_bytes += static_cast<double>(frame.size());
+    if (downlink_bytes_total_ != nullptr) downlink_bytes_total_->inc(frame.size());
+    downlink_.send(std::move(frame), now);
+  }
+}
+
+void Switcher::reject_frame(const char* cause, uint64_t* counter) {
+  ++stats_.frames_rejected;
+  ++*counter;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().counter("net_frames_rejected_total", {{"cause", cause}}).inc();
+    telemetry_->tracer().instant_now("integrity.reject", "network", "switcher",
+                                     {{"cause", cause}});
   }
 }
 
 void Switcher::deliver(const net::Packet& packet) {
-  const Envelope e = unpack_envelope(packet.payload);
-  if (e.topic == "__stream__") {
-    if (stream_callback_) stream_callback_(packet.send_time, clock_->now());
+  const std::vector<uint8_t>& b = packet.payload;
+  if (const char* cause = frame_check(b)) {
+    const std::string_view c(cause);
+    uint64_t* counter = c == "runt"             ? &stats_.rejected_runt
+                        : c == "bad_magic"      ? &stats_.rejected_magic
+                        : c == "bad_version"    ? &stats_.rejected_version
+                        : c == "length_mismatch" ? &stats_.rejected_length
+                                                 : &stats_.rejected_crc;
+    reject_frame(cause, counter);
     return;
   }
-  graph_->deliver_serialized(e.topic, e.dst, e.payload);
+  const uint32_t key = (static_cast<uint32_t>(b[3]) << 16) | load_u16(b, 4);
+  const uint32_t seq = frame_seq(b);
+  const auto seen = last_delivered_seq_.find(key);
+  if (seen != last_delivered_seq_.end()) {
+    if (seq == seen->second) {
+      reject_frame("duplicate", &stats_.rejected_duplicate);
+      return;
+    }
+    if (seq < seen->second) {
+      // Valid but older than what the subscriber already has: freshness over
+      // reliability — a reordered scan must never overwrite a newer one.
+      ++stats_.stale_dropped;
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics().counter("msg_stale_dropped_total").inc();
+        telemetry_->tracer().instant_now("integrity.reject", "network", "switcher",
+                                         {{"cause", "stale"}});
+      }
+      return;
+    }
+  }
+  // Hardened decode boundary: a frame that passed its CRC can still carry an
+  // envelope this build can't decode (version skew, message-schema bug);
+  // that's a counted drop, never an exception escaping the network stack.
+  try {
+    const Envelope e =
+        unpack_envelope(b.data() + kFrameHeaderSize, b.size() - kFrameHeaderSize);
+    if (e.topic == "__stream__") {
+      if (stream_callback_) stream_callback_(packet.send_time, clock_->now());
+    } else {
+      graph_->deliver_serialized(e.topic, e.dst, e.payload);
+    }
+  } catch (const std::exception&) {
+    reject_frame("decode", &stats_.rejected_decode);
+    return;
+  }
+  last_delivered_seq_[key] = seq;
 }
 
 void Switcher::step() {
@@ -107,40 +247,136 @@ void Switcher::step() {
   for (const net::Packet& p : control_.poll_delivered(now)) deliver(p);
 }
 
-double Switcher::migrate_state(double bytes, bool uplink) {
+MigrationResult Switcher::migrate_state(double bytes, bool uplink) {
   ++stats_.state_migrations;
   stats_.state_migration_bytes += bytes;
   const double now = clock_->now();
-  if (uplink && energy_ != nullptr) {
-    energy_->add_wireless_energy(
-        power_->transmission_energy(bytes, channel_->effective_uplink_bps()));
-  }
-  // Reliable transfer time: serialization at the effective rate of the
-  // direction the bytes actually travel — LGV→cloud state push on the uplink,
-  // cloud→LGV pull-back on the downlink — plus one latency sample; degraded
-  // links stretch it via the retry model.
+  // Reliable transfer at the effective rate of the direction the bytes
+  // actually travel — LGV→cloud state push on the uplink, cloud→LGV pull-back
+  // on the downlink; degraded links stretch it via the retry model.
   const double rate = std::max(1e5, uplink ? channel_->effective_uplink_bps()
                                            : channel_->effective_downlink_bps());
-  const double done = now + bytes * 8.0 / rate + channel_->sample_latency(1200);
+  const net::ChannelOverride& ov = channel_->override_state();
+  const double truncate_p = std::clamp(ov.truncate_prob, 0.0, 1.0);
+
+  // Small chunks keep the per-chunk CRC pass probability workable under a
+  // corruption burst (at 1e-4/byte a 4 KB chunk still passes ~2/3 of tries);
+  // a torn transfer costs bounded retransmissions, never torn state.
+  constexpr size_t kChunk = 4096;
+  constexpr int kMaxChunkTries = 8;
+  constexpr double kCommitTimeout = 30.0;  // virtual seconds, per attempt
+  constexpr double kNakDelay = 0.02;       // receiver NAK + sender turnaround
+
+  const auto total_bytes = static_cast<uint64_t>(std::max(0.0, bytes));
+  const uint64_t n_chunks = std::max<uint64_t>(1, (total_bytes + kChunk - 1) / kChunk);
+
+  MigrationResult result;
+  result.chunks = n_chunks;
+
+  // The transfer is simulated synchronously in virtual time: `t` advances
+  // through every (re)transmission, so the returned completion honestly
+  // includes the cost of the damage the wire faults inflicted.
+  double t = now;
+  for (int attempt = 1; attempt <= 2 && !result.committed; ++attempt) {
+    result.attempts = attempt;
+    const double attempt_start = t;
+    t += channel_->sample_latency(1200);  // connection/handshake
+    bool aborted = false;
+    uint64_t remaining = total_bytes;
+    for (uint64_t c = 0; c < n_chunks && !aborted; ++c) {
+      const auto chunk_bytes = static_cast<size_t>(
+          std::min<uint64_t>(kChunk, std::max<uint64_t>(remaining, 1)));
+      remaining -= std::min<uint64_t>(remaining, chunk_bytes);
+      // Genuinely build, frame, damage and verify each chunk — the CRC
+      // verdict is computed from the bytes, not assumed from a probability.
+      std::vector<uint8_t> payload(chunk_bytes);
+      for (size_t i = 0; i < chunk_bytes; ++i) {
+        payload[i] = static_cast<uint8_t>((c + i) & 0xFF);
+      }
+      bool ok = false;
+      for (int tries = 0; tries < kMaxChunkTries && !ok && !aborted; ++tries) {
+        std::vector<uint8_t> frame =
+            frame_wrap(kDirControl, kMigrationTopicId, static_cast<uint32_t>(c), payload);
+        t += static_cast<double>(frame.size()) * 8.0 / rate;
+        if (uplink && energy_ != nullptr) {
+          energy_->add_wireless_energy(
+              power_->transmission_energy(static_cast<double>(frame.size()), rate));
+        }
+        if (truncate_p > 0.0 && rng_.bernoulli(truncate_p) && frame.size() > 1) {
+          frame.resize(static_cast<size_t>(
+              rng_.uniform_int(0, static_cast<int>(frame.size()) - 1)));
+        }
+        flip_random_bits(frame, ov.corrupt_bit_prob, rng_);
+        ok = frame_check(frame) == nullptr;
+        if (!ok) {
+          ++result.chunk_retransmits;
+          t += kNakDelay;
+        }
+        if (t - attempt_start > kCommitTimeout) aborted = true;  // commit timeout
+      }
+      if (!ok) aborted = true;
+    }
+    if (!aborted) {
+      // Commit record: receiver's digest acknowledgment; the transfer only
+      // counts once this round-trips intact.
+      const std::vector<uint8_t> commit(64, 0xC3);
+      bool ok = false;
+      for (int tries = 0;
+           tries < kMaxChunkTries && !ok && t - attempt_start <= kCommitTimeout;
+           ++tries) {
+        std::vector<uint8_t> frame =
+            frame_wrap(kDirControl, kMigrationTopicId, 0xFFFFFFFFu, commit);
+        t += static_cast<double>(frame.size()) * 8.0 / rate +
+             channel_->sample_latency(frame.size());
+        if (truncate_p > 0.0 && rng_.bernoulli(truncate_p) && frame.size() > 1) {
+          frame.resize(static_cast<size_t>(
+              rng_.uniform_int(0, static_cast<int>(frame.size()) - 1)));
+        }
+        flip_random_bits(frame, ov.corrupt_bit_prob, rng_);
+        ok = frame_check(frame) == nullptr;
+        if (!ok) {
+          ++result.chunk_retransmits;
+          t += kNakDelay;
+        }
+      }
+      result.committed = ok;
+    }
+    if (!result.committed && attempt == 1) {
+      t += 0.1;  // tear down + reconnect before the one retry
+    }
+  }
+  if (!result.committed) ++stats_.migrations_aborted;
+  result.completion = t;
+
   if (telemetry_ != nullptr) {
     migrations_total_->inc();
+    if (!result.committed) {
+      telemetry_->metrics().counter("switcher_migrations_aborted_total").inc();
+    }
     // The migration freeze window as a span on the network lane.
-    telemetry_->tracer().span("switcher.migrate", "network", "switcher", now,
-                              done - now,
-                              {{"bytes", std::to_string(bytes)},
-                               {"dir", uplink ? "uplink" : "downlink"}});
+    telemetry_->tracer().span(
+        "switcher.migrate", "network", "switcher", now, t - now,
+        {{"bytes", std::to_string(bytes)},
+         {"dir", uplink ? "uplink" : "downlink"},
+         {"committed", result.committed ? "true" : "false"},
+         {"chunks", std::to_string(result.chunks)},
+         {"chunk_retransmits", std::to_string(result.chunk_retransmits)},
+         {"attempts", std::to_string(result.attempts)}});
   }
-  return done;
+  return result;
 }
 
 void Switcher::send_stream_packet() {
   // 48 B velocity message (§III-A) as the fixed-rate measurement stream.
-  std::vector<uint8_t> payload(48, 0);
-  std::vector<uint8_t> env = pack_envelope("__stream__", "lgv", payload);
+  const std::vector<uint8_t> payload(48, 0);
+  const uint16_t tid = topic_id("__stream__");
+  const uint32_t key = (static_cast<uint32_t>(kDirDownlink) << 16) | tid;
+  std::vector<uint8_t> frame = frame_wrap(
+      kDirDownlink, tid, next_seq_[key]++, pack_envelope("__stream__", "lgv", payload));
   ++stats_.downlink_messages;
-  stats_.downlink_bytes += static_cast<double>(env.size());
-  if (downlink_bytes_total_ != nullptr) downlink_bytes_total_->inc(env.size());
-  downlink_.send(std::move(env), clock_->now());
+  stats_.downlink_bytes += static_cast<double>(frame.size());
+  if (downlink_bytes_total_ != nullptr) downlink_bytes_total_->inc(frame.size());
+  downlink_.send(std::move(frame), clock_->now());
 }
 
 }  // namespace lgv::core

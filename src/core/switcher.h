@@ -2,16 +2,20 @@
 // nodes on the LGV and on the remote server. Implements the middleware's
 // RemoteTransport over the emulated wireless link — messages are serialized
 // (the paper uses protobuf; we use the equivalent wire format in
-// common/serialization.h), stamped, and shipped over UDP with one-length
-// queues; state migration rides the reliable TCP link. Uplink transmissions
-// charge Eq. 1b energy to the wireless controller.
+// common/serialization.h), wrapped in a checksummed, sequenced frame
+// (docs/wire-format.md), and shipped over UDP with one-length queues; state
+// migration rides the reliable TCP link as a chunked, per-chunk-CRC'd
+// transfer with an explicit commit record. Uplink transmissions charge
+// Eq. 1b energy to the wireless controller.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/rng.h"
 #include "common/telemetry/telemetry.h"
 #include "middleware/graph.h"
 #include "net/link.h"
@@ -20,14 +24,64 @@
 
 namespace lgv::core {
 
+// ---- wire frame (docs/wire-format.md) --------------------------------------
+// Every datagram the Switcher puts on the air is
+//   [magic u16][version u8][direction u8][topic_id u16][seq u32]
+//   [payload_len u32][crc32c u32][payload ...]
+// all little-endian; the CRC32C covers the first 14 header bytes plus the
+// payload, so any bit the channel flips — header or body — fails the check.
+inline constexpr uint16_t kFrameMagic = 0x4C57;  ///< "WL" on the wire
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 18;
+
+/// Wrap `payload` in a frame header + CRC. Exposed for tests and the
+/// migration path; normal traffic goes through Switcher::send.
+std::vector<uint8_t> frame_wrap(uint8_t direction, uint16_t topic_id,
+                                uint32_t seq, const std::vector<uint8_t>& payload);
+
+/// Integrity-check a received frame. Returns nullptr when the frame is
+/// intact, else the rejection cause label ("runt", "bad_magic",
+/// "bad_version", "length_mismatch", "crc") used for
+/// net_frames_rejected_total{cause=...}.
+const char* frame_check(const std::vector<uint8_t>& frame);
+
+/// Read the sequence number of a verified frame.
+uint32_t frame_seq(const std::vector<uint8_t>& frame);
+
+/// Outcome of a chunked state migration over the reliable control link.
+struct MigrationResult {
+  double completion = 0.0;  ///< virtual time the node may unfreeze / abort time
+  bool committed = false;   ///< receiver verified every chunk + commit record
+  uint64_t chunks = 0;
+  uint64_t chunk_retransmits = 0;  ///< chunk sends that failed their CRC
+  int attempts = 0;                ///< whole-transfer attempts (1 or 2)
+};
+
 struct SwitcherStats {
   uint64_t uplink_messages = 0;
   uint64_t downlink_messages = 0;
   double uplink_bytes = 0.0;
   double downlink_bytes = 0.0;
   uint64_t state_migrations = 0;
+  uint64_t migrations_aborted = 0;  ///< both attempts failed; placement reverts
   double state_migration_bytes = 0.0;
   double max_message_bytes = 0.0;  ///< the paper reports 2.94 KB (laser scan)
+
+  // Wire-integrity rejections at deliver() (docs/wire-format.md). A frame is
+  // dropped, never partially applied; frames_rejected is the sum of the
+  // per-cause counters below it.
+  uint64_t frames_rejected = 0;
+  uint64_t rejected_runt = 0;       ///< shorter than the frame header
+  uint64_t rejected_magic = 0;
+  uint64_t rejected_version = 0;
+  uint64_t rejected_length = 0;     ///< payload_len disagrees with the datagram
+  uint64_t rejected_crc = 0;
+  uint64_t rejected_decode = 0;     ///< envelope/message decode threw
+  uint64_t rejected_duplicate = 0;  ///< seq already delivered
+  /// Valid frame older than the newest delivered on its (topic, direction):
+  /// dropped so stale data never overwrites fresh (freshness over
+  /// reliability). Counted in msg_stale_dropped_total, not frames_rejected.
+  uint64_t stale_dropped = 0;
 };
 
 class Switcher final : public mw::RemoteTransport {
@@ -41,13 +95,19 @@ class Switcher final : public mw::RemoteTransport {
             platform::Host src_host, platform::Host dst_host,
             std::vector<uint8_t> bytes) override;
 
-  /// Advance links and deliver everything that arrived by now.
+  /// Advance links and deliver everything that arrived by now. Frames that
+  /// fail the integrity check are dropped and counted — corrupt bytes never
+  /// reach the Graph.
   void step();
 
-  /// Migrate `bytes` of node state (e.g. particle set + map) over TCP;
-  /// returns the estimated transfer completion time. The Controller freezes
-  /// the node until then.
-  double migrate_state(double bytes, bool uplink);
+  /// Migrate `bytes` of node state (e.g. particle set + map) over TCP as
+  /// ~4 KB chunks, each framed and CRC-checked against the scripted wire
+  /// faults active on the channel. A damaged chunk is retransmitted (bounded
+  /// retries); an attempt that exhausts retries or overruns the commit
+  /// timeout is aborted and the whole transfer retried once. The result says
+  /// whether the transfer committed — on abort the caller must keep (or
+  /// revert to) the local replica, never run on a torn particle set.
+  MigrationResult migrate_state(double bytes, bool uplink);
 
   /// Send a 48 B measurement-stream packet (velocity message or probe) on the
   /// downlink; Profiler bandwidth is counted on arrival via the callback,
@@ -63,12 +123,18 @@ class Switcher final : public mw::RemoteTransport {
   net::TcpLink& control_link() { return control_; }
 
   /// Wire the three links' `net_*` metrics ({link=uplink|downlink|control})
-  /// plus switcher byte counters, and emit a `switcher.migrate` span per
-  /// state migration. nullptr disconnects.
+  /// plus switcher byte counters, reject counters
+  /// (net_frames_rejected_total{cause}, msg_stale_dropped_total with an
+  /// `integrity.reject` trace instant per drop), and emit a
+  /// `switcher.migrate` span per state migration. nullptr disconnects.
   void set_telemetry(telemetry::Telemetry* telemetry);
 
  private:
   void deliver(const net::Packet& packet);
+  /// Count a rejected frame under `cause` (metric + trace instant);
+  /// `counter` is the matching per-cause SwitcherStats field.
+  void reject_frame(const char* cause, uint64_t* counter);
+  uint16_t topic_id(const std::string& topic);
 
   mw::Graph* graph_;
   net::WirelessChannel* channel_;
@@ -80,6 +146,14 @@ class Switcher final : public mw::RemoteTransport {
   net::TcpLink control_;   ///< reliable control/state channel
   SwitcherStats stats_;
   std::function<void(double, double)> stream_callback_;
+
+  std::map<std::string, uint16_t> topic_ids_;
+  /// Per (direction << 16 | topic_id): next seq to stamp / newest delivered.
+  std::map<uint32_t, uint32_t> next_seq_;
+  std::map<uint32_t, uint32_t> last_delivered_seq_;
+
+  Rng rng_{0x519a};  ///< drives migration-chunk damage simulation
+
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* uplink_bytes_total_ = nullptr;
   telemetry::Counter* downlink_bytes_total_ = nullptr;

@@ -96,7 +96,22 @@ void Graph::deliver_serialized(const TopicName& topic, const NodeName& dst,
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return;
   detail::TopicRec& rec = it->second;
-  detail::ErasedMessage msg = rec.deserialize(bytes);
+  // No remote byte stream is trusted to decode: the Switcher's CRC keeps the
+  // channel honest, but version skew or a schema bug on the far host still
+  // produces well-checksummed garbage. That is a counted drop, never a crash
+  // of the mission loop.
+  detail::ErasedMessage msg;
+  try {
+    msg = rec.deserialize(bytes);
+  } catch (const std::exception&) {
+    ++rec.stats.decode_failures;
+    if (topic_telemetry(rec) != nullptr) {
+      telemetry_->metrics()
+          .counter("mw_decode_failures_total", {{"topic", rec.name}})
+          .inc();
+    }
+    return;
+  }
   for (auto& sub : rec.subs) {
     if (sub->subscriber == dst) {
       enqueue(rec, *sub, msg);

@@ -37,7 +37,8 @@ struct TopicStats {
   uint64_t published = 0;
   uint64_t delivered_local = 0;
   uint64_t sent_remote = 0;
-  uint64_t dropped_queue = 0;  ///< overwritten in a full bounded queue
+  uint64_t dropped_queue = 0;   ///< overwritten in a full bounded queue
+  uint64_t decode_failures = 0; ///< remote bytes the deserializer rejected
 };
 
 /// Per-subscription view of a topic: the aggregated TopicStats can hide one

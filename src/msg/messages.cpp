@@ -126,6 +126,12 @@ OccupancyGridMsg OccupancyGridMsg::deserialize(WireReader& r) {
   g.width = static_cast<int>(r.get_signed());
   g.height = static_cast<int>(r.get_signed());
   g.data = r.get_repeated_i8();
+  // Dimensions must be consistent with the payload, or at() would index out
+  // of bounds long after the decode "succeeded" on a corrupted frame.
+  if (g.width < 0 || g.height < 0 ||
+      g.data.size() != static_cast<size_t>(g.width) * static_cast<size_t>(g.height)) {
+    throw std::out_of_range("OccupancyGridMsg: dimensions disagree with data");
+  }
   return g;
 }
 
@@ -138,7 +144,12 @@ void PathMsg::serialize(WireWriter& w) const {
 PathMsg PathMsg::deserialize(WireReader& r) {
   PathMsg m;
   m.header = Header::deserialize(r);
+  // A pose is three raw doubles (24 bytes) on the wire; a count that cannot
+  // fit in the remaining buffer is corruption — reject before reserving.
   const size_t n = r.get_varint();
+  if (n > r.remaining() / 24) {
+    throw std::out_of_range("PathMsg: pose count exceeds buffer");
+  }
   m.poses.reserve(n);
   for (size_t i = 0; i < n; ++i) m.poses.push_back(deserialize_pose(r));
   return m;

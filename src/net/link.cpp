@@ -1,6 +1,8 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <cmath>
+#include <random>
 
 namespace lgv::net {
 
@@ -16,10 +18,39 @@ void LinkTelemetry::wire(telemetry::Telemetry* telemetry, const std::string& lin
   dropped_channel = &m.counter("net_dropped_channel_total", labels);
   delivered = &m.counter("net_delivered_total", labels);
   retransmits = &m.counter("net_retransmits_total", labels);
+  corrupted = &m.counter("net_corrupted_total", labels);
+  truncated = &m.counter("net_truncated_total", labels);
+  duplicated = &m.counter("net_duplicated_total", labels);
   in_flight_bytes = &m.gauge("net_in_flight_bytes", labels);
   buffer_depth = &m.gauge("net_kernel_buffer_depth", labels);
   oneway_ms = &m.histogram("net_oneway_ms", labels, telemetry::latency_bounds_ms());
 }
+
+namespace {
+
+/// Flip one random bit in each byte selected by an independent per-byte
+/// Bernoulli(p). Geometric gap sampling keeps the cost proportional to the
+/// number of flips rather than the payload size. Returns bytes damaged.
+size_t flip_random_bits(std::vector<uint8_t>& payload, double p, Rng& rng) {
+  if (p <= 0.0 || payload.empty()) return 0;
+  size_t flipped = 0;
+  std::geometric_distribution<size_t> gap(p);
+  for (size_t i = gap(rng.engine()); i < payload.size();
+       i += 1 + gap(rng.engine())) {
+    payload[i] ^= static_cast<uint8_t>(1u << rng.uniform_int(0, 7));
+    ++flipped;
+  }
+  return flipped;
+}
+
+/// Probability that a frame of `bytes` bytes survives a per-byte flip
+/// probability `p` undamaged.
+double frame_damage_probability(double p, size_t bytes) {
+  if (p <= 0.0 || bytes == 0) return 0.0;
+  return 1.0 - std::pow(1.0 - p, static_cast<double>(bytes));
+}
+
+}  // namespace
 
 UdpLink::UdpLink(WirelessChannel* channel, size_t kernel_buffer_capacity)
     : channel_(channel), buffer_(kernel_buffer_capacity) {}
@@ -73,6 +104,37 @@ void UdpLink::step(double now) {
     pkt.payload = std::move(payload);
     pkt.send_time = d.enqueue_time;
     pkt.deliver_time = now + channel_->sample_latency(d.bytes);
+
+    // Scripted wire faults (sim/fault_injector): UDP delivers damaged frames
+    // as-is — the integrity layer above (core/switcher) is what rejects them.
+    const ChannelOverride& ov = channel_->override_state();
+    if (ov.corrupts()) {
+      if (ov.truncate_prob > 0.0 && !pkt.payload.empty() &&
+          rng_.bernoulli(std::min(ov.truncate_prob, 1.0))) {
+        pkt.payload.resize(static_cast<size_t>(
+            rng_.uniform_int(0, static_cast<int>(pkt.payload.size()) - 1)));
+        ++stats_.truncated;
+        if (telemetry_.wired()) telemetry_.truncated->inc();
+      }
+      if (flip_random_bits(pkt.payload, ov.corrupt_bit_prob, rng_) > 0) {
+        ++stats_.corrupted;
+        if (telemetry_.wired()) telemetry_.corrupted->inc();
+      }
+      if (ov.reorder_jitter_s > 0.0) {
+        pkt.deliver_time += rng_.uniform(0.0, ov.reorder_jitter_s);
+      }
+      if (ov.duplicate_prob > 0.0 &&
+          rng_.bernoulli(std::min(ov.duplicate_prob, 1.0))) {
+        Packet dup = pkt;
+        // The copy takes its own path through the network.
+        dup.deliver_time = now + channel_->sample_latency(dup.payload.size()) +
+                           rng_.uniform(0.0, std::max(ov.reorder_jitter_s, 0.002));
+        ++stats_.duplicated;
+        if (telemetry_.wired()) telemetry_.duplicated->inc();
+        in_flight_bytes_ += dup.payload.size();
+        in_flight_.push_back(std::move(dup));
+      }
+    }
     in_flight_bytes_ += pkt.payload.size();
     in_flight_.push_back(std::move(pkt));
   }
@@ -97,6 +159,12 @@ std::vector<Packet> UdpLink::poll_delivered(double now) {
   std::sort(out.begin(), out.end(),
             [](const Packet& a, const Packet& b) { return a.deliver_time < b.deliver_time; });
   stats_.delivered += out.size();
+  for (const Packet& p : out) {
+    // A packet arriving after one that was sent later than it: the reorder
+    // the Switcher's sequence numbers exist to catch.
+    if (p.send_time < max_delivered_send_time_ - 1e-12) ++stats_.reordered;
+    max_delivered_send_time_ = std::max(max_delivered_send_time_, p.send_time);
+  }
   if (telemetry_.wired()) {
     for (const Packet& p : out) {
       telemetry_.delivered->inc();
@@ -145,9 +213,33 @@ void TcpLink::step(double now) {
       ++it;
       continue;
     }
+    // Scripted wire corruption on the reliable link: the transport checksum
+    // catches a damaged or truncated segment, so it costs a retransmission
+    // instead of delivering bad bytes; duplicates are absorbed by TCP's own
+    // sequencing and never surface.
+    const ChannelOverride& ov = channel_->override_state();
+    const double damage =
+        1.0 - (1.0 - frame_damage_probability(ov.corrupt_bit_prob,
+                                              it->packet.payload.size())) *
+                  (1.0 - std::clamp(ov.truncate_prob, 0.0, 1.0));
+    if (damage > 0.0 && rng_.bernoulli(std::min(damage, 1.0))) {
+      ++stats_.corrupted;
+      ++stats_.retransmits;
+      if (telemetry_.wired()) {
+        telemetry_.corrupted->inc();
+        telemetry_.retransmits->inc();
+      }
+      it->next_attempt = now + rto_;
+      ++it->retries;
+      ++it;
+      continue;
+    }
     Packet pkt = std::move(it->packet);
     pkt.deliver_time =
         now + channel_->sample_latency(pkt.payload.size()) * (1.0 + 0.1 * it->retries);
+    if (ov.reorder_jitter_s > 0.0) {
+      pkt.deliver_time += rng_.uniform(0.0, ov.reorder_jitter_s);
+    }
     in_flight_bytes_ += pkt.payload.size();
     in_flight_.push_back(std::move(pkt));
     it = pending_.erase(it);
@@ -175,6 +267,10 @@ std::vector<Packet> TcpLink::poll_delivered(double now) {
   std::sort(out.begin(), out.end(),
             [](const Packet& a, const Packet& b) { return a.deliver_time < b.deliver_time; });
   stats_.delivered += out.size();
+  for (const Packet& p : out) {
+    if (p.send_time < max_delivered_send_time_ - 1e-12) ++stats_.reordered;
+    max_delivered_send_time_ = std::max(max_delivered_send_time_, p.send_time);
+  }
   if (telemetry_.wired()) {
     for (const Packet& p : out) {
       telemetry_.delivered->inc();

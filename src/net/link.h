@@ -26,6 +26,9 @@ struct LinkTelemetry {
   telemetry::Counter* dropped_channel = nullptr;
   telemetry::Counter* delivered = nullptr;
   telemetry::Counter* retransmits = nullptr;  ///< TCP only; 0 on UDP links
+  telemetry::Counter* corrupted = nullptr;    ///< wire-fault mutations applied
+  telemetry::Counter* truncated = nullptr;
+  telemetry::Counter* duplicated = nullptr;
   telemetry::Gauge* in_flight_bytes = nullptr;
   telemetry::Gauge* buffer_depth = nullptr;
   telemetry::Histogram* oneway_ms = nullptr;
@@ -50,6 +53,14 @@ struct LinkStats {
   uint64_t dropped_channel = 0;  ///< lost in the air
   uint64_t delivered = 0;
   uint64_t retransmits = 0;      ///< TCP resends after channel loss
+  // Wire-fault mutations (sim/fault_injector corrupt_burst/truncate/
+  // duplicate/reorder): packets delivered *damaged* rather than lost. On the
+  // TCP link corruption is caught by the transport checksum and shows up as
+  // retransmits instead; duplicates are absorbed by its sequencing.
+  uint64_t corrupted = 0;        ///< >= 1 byte flipped in flight
+  uint64_t truncated = 0;        ///< delivered short
+  uint64_t duplicated = 0;       ///< delivered twice
+  uint64_t reordered = 0;        ///< arrival order inverted vs. send order
 
   /// Of everything the kernel accepted, the fraction that arrived.
   double delivery_ratio() const {
@@ -93,6 +104,7 @@ class UdpLink {
   std::vector<Packet> in_flight_;
   size_t in_flight_bytes_ = 0;
   uint64_t next_id_ = 1;
+  double max_delivered_send_time_ = -1.0;  ///< reorder detection watermark
   LinkStats stats_;
   LinkTelemetry telemetry_;
   Rng rng_{0x7d1f};
@@ -128,6 +140,7 @@ class TcpLink {
   std::vector<Packet> in_flight_;
   size_t in_flight_bytes_ = 0;
   uint64_t next_id_ = 1;
+  double max_delivered_send_time_ = -1.0;  ///< reorder detection watermark
   LinkStats stats_;
   LinkTelemetry telemetry_;
   Rng rng_{0x7cb2};

@@ -43,9 +43,21 @@ struct ChannelOverride {
   double extra_latency_s = 0.0;  ///< added to every latency sample
   double rssi_offset_db = 0.0;   ///< shifts mean RSSI (AP-handoff cliff)
 
+  // Wire-integrity fault plane: byte-level packet mutators applied by the
+  // links as datagrams go onto the air (UdpLink/TcpLink::step). The geometric
+  // model never corrupts — these only come from scripted faults.
+  double corrupt_bit_prob = 0.0;   ///< per-byte flip probability, [0, 1]
+  double truncate_prob = 0.0;      ///< per-packet probability of a short read
+  double duplicate_prob = 0.0;     ///< per-packet probability of a duplicate
+  double reorder_jitter_s = 0.0;   ///< uniform extra delay; inverts arrival order
+
+  bool corrupts() const {
+    return corrupt_bit_prob > 0.0 || truncate_prob > 0.0 ||
+           duplicate_prob > 0.0 || reorder_jitter_s > 0.0;
+  }
   bool any() const {
     return force_outage || extra_loss != 0.0 || extra_latency_s != 0.0 ||
-           rssi_offset_db != 0.0;
+           rssi_offset_db != 0.0 || corrupts();
   }
 };
 

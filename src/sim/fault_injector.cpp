@@ -19,6 +19,10 @@ constexpr struct {
     {FaultKind::kRssiCliff, "rssi_cliff"},
     {FaultKind::kWorkerStall, "worker_stall"},
     {FaultKind::kWorkerCrash, "worker_crash"},
+    {FaultKind::kCorruptBurst, "corrupt_burst"},
+    {FaultKind::kTruncate, "truncate"},
+    {FaultKind::kDuplicate, "duplicate"},
+    {FaultKind::kReorder, "reorder"},
 };
 
 bool is_worker_fault(FaultKind kind) {
@@ -133,6 +137,19 @@ net::ChannelOverride FaultInjector::override_at(double t) const {
       case FaultKind::kRssiCliff:
         o.rssi_offset_db -= e.magnitude;
         break;
+      case FaultKind::kCorruptBurst:
+        // Overlapping bursts compose as independent flip sources.
+        o.corrupt_bit_prob = 1.0 - (1.0 - o.corrupt_bit_prob) * (1.0 - e.magnitude);
+        break;
+      case FaultKind::kTruncate:
+        o.truncate_prob = 1.0 - (1.0 - o.truncate_prob) * (1.0 - e.magnitude);
+        break;
+      case FaultKind::kDuplicate:
+        o.duplicate_prob = 1.0 - (1.0 - o.duplicate_prob) * (1.0 - e.magnitude);
+        break;
+      case FaultKind::kReorder:
+        o.reorder_jitter_s = std::max(o.reorder_jitter_s, e.magnitude);
+        break;
       case FaultKind::kWorkerStall:
       case FaultKind::kWorkerCrash:
         break;  // worker faults don't touch the channel
@@ -235,6 +252,20 @@ FaultSchedule make_chaos_schedule(double outage_s, double stall_fraction,
       s.add(FaultKind::kWorkerStall, t, stall);
     }
   }
+  return s;
+}
+
+FaultSchedule make_corruption_schedule(double flip_prob, double jitter_s,
+                                       double horizon_s) {
+  FaultSchedule s;
+  const double span = 3.0 * horizon_s;
+  if (flip_prob > 0.0) s.add(FaultKind::kCorruptBurst, 0.0, span, flip_prob);
+  if (jitter_s > 0.0) s.add(FaultKind::kReorder, 0.0, span, jitter_s);
+  // Short mid-mission truncation and duplication bursts: enough traffic
+  // passes through them to exercise the runt-frame and dedupe paths without
+  // dominating the corruption axis under study.
+  s.add(FaultKind::kTruncate, 0.25 * horizon_s, 10.0, 0.2);
+  s.add(FaultKind::kDuplicate, 0.55 * horizon_s, 10.0, 0.3);
   return s;
 }
 

@@ -11,8 +11,10 @@
 // Schedule text format (docs/faults.md): one event per line,
 //   <kind> <start_s> <duration_s> [magnitude]
 // with '#' comments; kinds are outage, loss_burst, latency, rssi_cliff,
-// worker_stall, worker_crash. Magnitude is per-kind: added loss probability,
-// added seconds per packet, or dB of RSSI drop; outage/stall/crash ignore it.
+// worker_stall, worker_crash, corrupt_burst, truncate, duplicate, reorder.
+// Magnitude is per-kind: added loss probability, added seconds per packet,
+// dB of RSSI drop, per-byte flip probability, per-packet truncate/duplicate
+// probability, or reorder jitter seconds; outage/stall/crash ignore it.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +36,12 @@ enum class FaultKind {
   kRssiCliff,         ///< magnitude dB *drop* in mean RSSI (AP handoff)
   kWorkerStall,       ///< remote worker makes no progress during the window
   kWorkerCrash,       ///< worker dies at start (state lost), back after duration
+  // Byte-level wire faults, applied as packet mutators inside the links
+  // (docs/wire-format.md). Magnitude is per-kind, see below.
+  kCorruptBurst,      ///< magnitude: per-byte flip probability
+  kTruncate,          ///< magnitude: per-packet probability of a short read
+  kDuplicate,         ///< magnitude: per-packet probability of a duplicate
+  kReorder,           ///< magnitude: uniform delay jitter (s) inverting order
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -128,5 +136,14 @@ class FaultInjector {
 /// Deterministic; all times in virtual seconds.
 FaultSchedule make_chaos_schedule(double outage_s, double stall_fraction,
                                   double horizon_s);
+
+/// Wire-corruption schedule for bench_corruption_sweep and the chaos suite's
+/// corruption leg: a whole-mission `corrupt_burst` at `flip_prob` (per-byte)
+/// composed with `reorder` jitter of `jitter_s`, plus short mid-mission
+/// truncation and duplication bursts so every rejection cause is exercised.
+/// `horizon_s` is the nominal fault-free mission duration; events cover
+/// [0, 3×nominal] so the faults persist however much they slow the run.
+FaultSchedule make_corruption_schedule(double flip_prob, double jitter_s,
+                                       double horizon_s);
 
 }  // namespace lgv::sim

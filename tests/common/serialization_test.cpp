@@ -4,6 +4,8 @@
 
 #include <limits>
 
+#include "common/crc32c.h"
+
 namespace lgv {
 namespace {
 
@@ -107,6 +109,110 @@ TEST(Wire, EmptyReaderThrowsOnRead) {
   const std::vector<uint8_t> empty;
   WireReader r(empty);
   EXPECT_THROW(r.get_varint(), std::out_of_range);
+}
+
+// ---- adversarial inputs: a corrupted frame must never crash or OOM ----
+
+// The pre-hardening `require()` computed `pos_ + n > size_`, which wraps for
+// `n` near SIZE_MAX: with pos_ = 1 and n = SIZE_MAX, `pos_ + n` is 0 — the
+// check passes and the reader walks off the end of the buffer. The fixed
+// form must throw instead.
+TEST(WireAdversarial, HugeLengthDoesNotOverflowBoundsCheck) {
+  WireWriter w;
+  w.put_varint(std::numeric_limits<uint64_t>::max());  // string length SIZE_MAX
+  std::vector<uint8_t> bytes = w.take();
+  // Demonstrate the arithmetic the old check relied on actually wraps: after
+  // consuming the 10-byte varint, pos + SIZE_MAX overflows to pos - 1 < size,
+  // so `pos + n > size` is false and the OOB read would have proceeded.
+  const size_t pos_after_varint = bytes.size();
+  const size_t n = std::numeric_limits<size_t>::max();
+  EXPECT_FALSE(pos_after_varint + n > bytes.size())  // the unfixed predicate
+      << "expected the legacy bounds check to wrap (and miss the overrun)";
+  WireReader r(bytes);
+  EXPECT_THROW(r.get_string(), std::out_of_range);
+  WireReader r2(bytes);
+  EXPECT_THROW(r2.get_raw(n), std::out_of_range);
+}
+
+// A corrupted repeated-field count must be rejected *before* the reader
+// reserves memory for it: 2^40 doubles would try to allocate 8 TB.
+TEST(WireAdversarial, GiantRepeatedCountThrowsWithoutAllocating) {
+  const uint64_t bomb = 1ull << 40;
+  {
+    WireWriter w;
+    w.put_varint(bomb);
+    WireReader r(w.buffer());
+    EXPECT_THROW(r.get_repeated_double(), std::out_of_range);
+  }
+  {
+    WireWriter w;
+    w.put_varint(bomb);
+    WireReader r(w.buffer());
+    EXPECT_THROW(r.get_repeated_float(), std::out_of_range);
+  }
+  {
+    WireWriter w;
+    w.put_varint(bomb);
+    WireReader r(w.buffer());
+    EXPECT_THROW(r.get_repeated_varint(), std::out_of_range);
+  }
+  {
+    WireWriter w;
+    w.put_varint(bomb);
+    WireReader r(w.buffer());
+    EXPECT_THROW(r.get_repeated_i8(), std::out_of_range);
+  }
+}
+
+TEST(WireAdversarial, RepeatedCountJustPastBufferThrows) {
+  WireWriter w;
+  w.put_varint(3);  // claims 3 doubles = 24 bytes...
+  w.put_double(1.0);
+  w.put_double(2.0);  // ...but only 16 follow
+  WireReader r(w.buffer());
+  EXPECT_THROW(r.get_repeated_double(), std::out_of_range);
+}
+
+TEST(WireAdversarial, UnterminatedVarintThrows) {
+  // 11 continuation bytes: more than a 64-bit varint can span.
+  const std::vector<uint8_t> bytes(11, 0xFF);
+  WireReader r(bytes);
+  EXPECT_THROW(r.get_varint(), std::out_of_range);
+}
+
+TEST(WireAdversarial, TruncatedVarintThrows) {
+  const std::vector<uint8_t> bytes = {0x80, 0x80};  // continuation, then EOF
+  WireReader r(bytes);
+  EXPECT_THROW(r.get_varint(), std::out_of_range);
+}
+
+// ---- CRC32C ----
+
+TEST(Crc32c, KnownAnswerVector) {
+  // The canonical CRC32C check value: "123456789" -> 0xE3069283.
+  const char* msg = "123456789";
+  EXPECT_EQ(crc32c(msg, 9), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyInputIsZero) { EXPECT_EQ(crc32c(nullptr, 0), 0u); }
+
+TEST(Crc32c, SeedChainsPartialComputations) {
+  const std::vector<uint8_t> bytes = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const uint32_t whole = crc32c(bytes);
+  const uint32_t part = crc32c(bytes.data(), 4);
+  EXPECT_EQ(crc32c(bytes.data() + 4, bytes.size() - 4, part), whole);
+}
+
+TEST(Crc32c, SingleBitFlipChangesChecksum) {
+  std::vector<uint8_t> bytes(64, 0xAB);
+  const uint32_t clean = crc32c(bytes);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[i] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(crc32c(bytes), clean) << "flip at byte " << i << " bit " << bit;
+      bytes[i] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/serialization.h"
 #include "msg/messages.h"
 
 namespace lgv::core {
@@ -136,18 +137,50 @@ TEST_F(SwitcherTest, StreamPacketsReachCallback) {
 
 TEST_F(SwitcherTest, StateMigrationReturnsFutureCompletion) {
   const double t0 = clock.now();
-  const double done = switcher.migrate_state(500e3, /*uplink=*/true);
-  EXPECT_GT(done, t0);
+  const MigrationResult mig = switcher.migrate_state(500e3, /*uplink=*/true);
+  EXPECT_GT(mig.completion, t0);
+  EXPECT_TRUE(mig.committed);  // clean link: first attempt commits
+  EXPECT_EQ(mig.attempts, 1);
+  EXPECT_EQ(mig.chunk_retransmits, 0u);
+  EXPECT_EQ(mig.chunks, (500000u + 4095u) / 4096u);
   EXPECT_EQ(switcher.stats().state_migrations, 1u);
+  EXPECT_EQ(switcher.stats().migrations_aborted, 0u);
   EXPECT_DOUBLE_EQ(switcher.stats().state_migration_bytes, 500e3);
   EXPECT_GT(energy.energy().wireless, 0.0);  // uplink migration costs energy
 }
 
 TEST_F(SwitcherTest, MigrationSlowerOnWeakLink) {
-  const double fast = switcher.migrate_state(500e3, false) - clock.now();
+  const double fast = switcher.migrate_state(500e3, false).completion - clock.now();
   channel.set_robot_position({60.0, 0.0});  // weak but connected
-  const double slow = switcher.migrate_state(500e3, false) - clock.now();
+  const double slow = switcher.migrate_state(500e3, false).completion - clock.now();
   EXPECT_GT(slow, fast);
+}
+
+TEST_F(SwitcherTest, MigrationRetransmitsThroughModerateCorruption) {
+  // ~1e-5/byte: each 4 KB chunk fails its CRC a few percent of the time, so
+  // the transfer pays retransmissions but still commits.
+  net::ChannelOverride ov;
+  ov.corrupt_bit_prob = 1e-5;
+  channel.set_override(ov);
+  const MigrationResult mig = switcher.migrate_state(2e6, /*uplink=*/true);
+  EXPECT_TRUE(mig.committed);
+  EXPECT_GT(mig.chunk_retransmits, 0u);
+  EXPECT_EQ(switcher.stats().migrations_aborted, 0u);
+}
+
+TEST_F(SwitcherTest, MigrationAbortsCleanlyUnderHeavyCorruption) {
+  // At 1e-2/byte essentially no 4 KB chunk can pass its CRC: both attempts
+  // must fail, and the caller gets a clean abort — never a torn commit.
+  net::ChannelOverride ov;
+  ov.corrupt_bit_prob = 1e-2;
+  channel.set_override(ov);
+  const double t0 = clock.now();
+  const MigrationResult mig = switcher.migrate_state(500e3, /*uplink=*/false);
+  EXPECT_FALSE(mig.committed);
+  EXPECT_EQ(mig.attempts, 2);
+  EXPECT_GT(mig.chunk_retransmits, 0u);
+  EXPECT_GT(mig.completion, t0);  // the failed attempts still cost time
+  EXPECT_EQ(switcher.stats().migrations_aborted, 1u);
 }
 
 TEST(SwitcherRates, DownlinkMigrationTimedAgainstDownlinkRate) {
@@ -165,17 +198,17 @@ TEST(SwitcherRates, DownlinkMigrationTimedAgainstDownlinkRate) {
   sim::PowerModel power;
   sim::EnergyMeter energy;
   Switcher sw(&graph, &channel, &clock, &energy, &power);
-  const double up = sw.migrate_state(2e6, /*uplink=*/true) - clock.now();
-  const double down = sw.migrate_state(2e6, /*uplink=*/false) - clock.now();
+  const double up = sw.migrate_state(2e6, /*uplink=*/true).completion - clock.now();
+  const double down = sw.migrate_state(2e6, /*uplink=*/false).completion - clock.now();
   EXPECT_GT(down, 2.5 * up);  // 4× slower pipe, minus the shared latency term
 }
 
 TEST_F(SwitcherTest, StreamPacketCarries48BytePayload) {
   switcher.send_stream_packet();
-  // §III-A velocity message: 48 B payload plus a few bytes of envelope
-  // framing (topic + dst + length varint).
-  EXPECT_GE(switcher.stats().downlink_bytes, 48.0);
-  EXPECT_LT(switcher.stats().downlink_bytes, 80.0);
+  // §III-A velocity message: 48 B payload plus the envelope (topic + dst +
+  // length varint) and the 18 B integrity frame header.
+  EXPECT_GE(switcher.stats().downlink_bytes, 48.0 + kFrameHeaderSize);
+  EXPECT_LT(switcher.stats().downlink_bytes, 100.0);
   EXPECT_EQ(switcher.stats().downlink_messages, 1u);
 }
 
@@ -187,6 +220,149 @@ TEST_F(SwitcherTest, StreamPacketsCountTowardDownlinkTelemetry) {
       telemetry.metrics().counter("switcher_bytes_total", {{"dir", "downlink"}}).value();
   EXPECT_DOUBLE_EQ(counted, switcher.stats().downlink_bytes);
   EXPECT_GT(counted, 0.0);
+}
+
+// ---- wire-integrity layer (docs/wire-format.md) ----------------------------
+
+// Envelope body as the Switcher packs it (topic, dst, length-prefixed bytes).
+std::vector<uint8_t> make_envelope(const std::string& topic, const std::string& dst,
+                                   const std::vector<uint8_t>& payload) {
+  WireWriter w;
+  w.put_string(topic);
+  w.put_string(dst);
+  w.put_varint(payload.size());
+  w.put_bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+TEST(WireFrame, RoundTripVerifies) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> frame = frame_wrap(1, 7, 42, payload);
+  EXPECT_EQ(frame.size(), kFrameHeaderSize + payload.size());
+  EXPECT_EQ(frame_check(frame), nullptr);
+  EXPECT_EQ(frame_seq(frame), 42u);
+}
+
+TEST(WireFrame, EveryRejectionCauseDetected) {
+  const std::vector<uint8_t> payload(32, 0xAB);
+  const std::vector<uint8_t> good = frame_wrap(0, 1, 1, payload);
+
+  std::vector<uint8_t> runt(kFrameHeaderSize - 1, 0);
+  EXPECT_STREQ(frame_check(runt), "runt");
+
+  std::vector<uint8_t> magic = good;
+  magic[0] ^= 0xFF;
+  EXPECT_STREQ(frame_check(magic), "bad_magic");
+
+  std::vector<uint8_t> version = good;
+  version[2] = kFrameVersion + 1;
+  EXPECT_STREQ(frame_check(version), "bad_version");
+
+  std::vector<uint8_t> truncated = good;
+  truncated.resize(truncated.size() - 5);  // header intact, tail gone
+  EXPECT_STREQ(frame_check(truncated), "length_mismatch");
+
+  std::vector<uint8_t> flipped = good;
+  flipped[kFrameHeaderSize + 3] ^= 0x10;  // single bit in the payload
+  EXPECT_STREQ(frame_check(flipped), "crc");
+}
+
+TEST_F(SwitcherTest, DamagedFramesDroppedAndCounted) {
+  int got = 0;
+  graph.subscribe<msg::TwistMsg>("lgv_node", "cmd_back",
+                                 [&](const msg::TwistMsg&) { ++got; });
+  const auto env = make_envelope("cmd_back", "lgv_node",
+                                 serialize_to_bytes(msg::TwistMsg{}));
+
+  std::vector<uint8_t> crc_bad = frame_wrap(1, 3, 0, env);
+  crc_bad[kFrameHeaderSize] ^= 0x01;
+  switcher.downlink().send(std::move(crc_bad), clock.now());
+  switcher.downlink().send({0xDE, 0xAD}, clock.now());  // runt
+  pump_until(0.5);
+
+  EXPECT_EQ(got, 0);  // corrupt bytes never reach the Graph
+  EXPECT_EQ(switcher.stats().rejected_crc, 1u);
+  EXPECT_EQ(switcher.stats().rejected_runt, 1u);
+  EXPECT_EQ(switcher.stats().frames_rejected, 2u);
+}
+
+TEST_F(SwitcherTest, DuplicateAndStaleSequencesDropped) {
+  int got = 0;
+  graph.subscribe<msg::TwistMsg>("lgv_node", "cmd_back",
+                                 [&](const msg::TwistMsg&) { ++got; });
+  const auto env = make_envelope("cmd_back", "lgv_node",
+                                 serialize_to_bytes(msg::TwistMsg{}));
+
+  switcher.downlink().send(frame_wrap(1, 3, 5, env), clock.now());
+  pump_until(clock.now() + 0.3);
+  EXPECT_EQ(got, 1);
+
+  // Same sequence again: the duplicated-datagram case.
+  switcher.downlink().send(frame_wrap(1, 3, 5, env), clock.now());
+  pump_until(clock.now() + 0.3);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(switcher.stats().rejected_duplicate, 1u);
+
+  // Older sequence: a reordered straggler must not overwrite fresher data.
+  switcher.downlink().send(frame_wrap(1, 3, 2, env), clock.now());
+  pump_until(clock.now() + 0.3);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(switcher.stats().stale_dropped, 1u);
+
+  // Newer sequence flows normally.
+  switcher.downlink().send(frame_wrap(1, 3, 6, env), clock.now());
+  pump_until(clock.now() + 0.3);
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(SwitcherTest, UndecodableEnvelopeCountsAsDecodeReject) {
+  // CRC-clean frame whose payload is not a valid envelope (version-skew /
+  // schema-bug stand-in): must be a counted drop, not an escaping exception.
+  const std::vector<uint8_t> garbage(5, 0xFF);
+  switcher.downlink().send(frame_wrap(1, 9, 0, garbage), clock.now());
+  pump_until(0.5);
+  EXPECT_EQ(switcher.stats().rejected_decode, 1u);
+  EXPECT_EQ(switcher.stats().frames_rejected, 1u);
+}
+
+TEST_F(SwitcherTest, CorruptBurstEndToEndRejectsScans) {
+  // ~1e-2/byte over a ~1.5 KB scan: essentially every frame arrives damaged,
+  // the CRC catches all of them, and the subscriber sees nothing.
+  net::ChannelOverride ov;
+  ov.corrupt_bit_prob = 1e-2;
+  channel.set_override(ov);
+  auto pub = graph.advertise<msg::LaserScan>("lgv_node", "scan");
+  int got = 0;
+  graph.subscribe<msg::LaserScan>("cloud_node", "scan",
+                                  [&](const msg::LaserScan&) { ++got; });
+  msg::LaserScan s;
+  s.ranges.assign(360, 1.0f);
+  for (int i = 0; i < 5; ++i) {
+    pub.publish(s);
+    graph.spin();
+    pump_until(clock.now() + 0.2);
+  }
+  EXPECT_EQ(got, 0);
+  // Flips land anywhere in the frame, so the cause can read as a bad magic,
+  // version or length as well as a CRC mismatch — every one must be caught.
+  EXPECT_GE(switcher.stats().frames_rejected, 5u);
+  EXPECT_GT(switcher.stats().rejected_crc, 0u);
+  EXPECT_GT(switcher.uplink().stats().corrupted, 0u);
+}
+
+TEST_F(SwitcherTest, RejectionsSurfaceInTelemetry) {
+  telemetry::Telemetry telemetry;
+  switcher.set_telemetry(&telemetry);
+  switcher.downlink().send({0x00}, clock.now());  // runt
+  pump_until(0.5);
+  EXPECT_DOUBLE_EQ(
+      telemetry.metrics().counter("net_frames_rejected_total", {{"cause", "runt"}}).value(),
+      1.0);
+  bool saw_instant = false;
+  for (const auto& e : telemetry.tracer().events()) {
+    if (e.name == "integrity.reject") saw_instant = true;
+  }
+  EXPECT_TRUE(saw_instant);
 }
 
 }  // namespace

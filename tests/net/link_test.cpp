@@ -215,5 +215,102 @@ TEST(TcpLink, RetransmissionInflatesLatencyNotLoss) {
   EXPECT_GT(mean_latency(marginal), mean_latency(2.0) * 2.0);
 }
 
+// ---- wire-fault mutators (corruption fault plane) --------------------------
+
+TEST(UdpLink, CorruptBurstFlipsBytesButStillDelivers) {
+  WirelessChannel ch(quiet_config());
+  ch.set_robot_position({2.0, 0.0});
+  ChannelOverride ov;
+  ov.corrupt_bit_prob = 0.05;  // ~13 flipped bytes per 256 B datagram
+  ch.set_override(ov);
+  UdpLink link(&ch);
+  size_t damaged = 0;
+  for (int i = 0; i < 20; ++i) {
+    link.send(payload(256), 0.1 * i);
+    link.step(0.1 * i);
+  }
+  for (const Packet& p : link.poll_delivered(10.0)) {
+    EXPECT_EQ(p.payload.size(), 256u);  // corruption never changes length
+    for (uint8_t b : p.payload) {
+      if (b != 0xab) {
+        ++damaged;
+        break;
+      }
+    }
+  }
+  // UDP's freshness-over-reliability contract: damaged frames are *delivered*
+  // (the integrity layer above decides), not silently dropped.
+  EXPECT_EQ(link.stats().delivered, 20u);
+  EXPECT_GT(damaged, 15u);
+  EXPECT_EQ(link.stats().corrupted, damaged);
+}
+
+TEST(UdpLink, TruncateDeliversShortFrames) {
+  WirelessChannel ch(quiet_config());
+  ch.set_robot_position({2.0, 0.0});
+  ChannelOverride ov;
+  ov.truncate_prob = 1.0;
+  ch.set_override(ov);
+  UdpLink link(&ch);
+  link.send(payload(300), 0.0);
+  link.step(0.0);
+  const auto pkts = link.poll_delivered(5.0);
+  ASSERT_EQ(pkts.size(), 1u);
+  EXPECT_LT(pkts[0].payload.size(), 300u);
+  EXPECT_EQ(link.stats().truncated, 1u);
+}
+
+TEST(UdpLink, DuplicateDeliversTheFrameTwice) {
+  WirelessChannel ch(quiet_config());
+  ch.set_robot_position({2.0, 0.0});
+  ChannelOverride ov;
+  ov.duplicate_prob = 1.0;
+  ch.set_override(ov);
+  UdpLink link(&ch);
+  link.send(payload(64), 0.0);
+  link.step(0.0);
+  const auto pkts = link.poll_delivered(5.0);
+  ASSERT_EQ(pkts.size(), 2u);
+  EXPECT_EQ(pkts[0].id, pkts[1].id);
+  EXPECT_EQ(pkts[0].payload, pkts[1].payload);
+  EXPECT_EQ(link.stats().duplicated, 1u);
+}
+
+TEST(UdpLink, ReorderJitterInvertsArrivalOrder) {
+  WirelessChannel ch(quiet_config());
+  ch.set_robot_position({2.0, 0.0});
+  ChannelOverride ov;
+  ov.reorder_jitter_s = 0.5;  // ≫ inter-send gap + base latency
+  ch.set_override(ov);
+  UdpLink link(&ch);
+  for (int i = 0; i < 40; ++i) {
+    link.send(payload(64), 0.01 * i);
+    link.step(0.01 * i);
+  }
+  size_t polled = 0;
+  for (double t = 0.0; t < 5.0; t += 0.01) polled += link.poll_delivered(t).size();
+  EXPECT_EQ(polled, 40u);
+  EXPECT_GT(link.stats().reordered, 0u);
+}
+
+TEST(TcpLink, CorruptionBecomesRetransmissionNeverDamage) {
+  WirelessChannel ch(quiet_config());
+  ch.set_robot_position({2.0, 0.0});
+  ChannelOverride ov;
+  ov.corrupt_bit_prob = 2e-3;  // ~40% of 256 B segments damaged per try
+  ch.set_override(ov);
+  TcpLink link(&ch, 0.05);
+  for (int i = 0; i < 30; ++i) link.send(payload(256), 0.1 * i);
+  for (double t = 0.0; t < 60.0; t += 0.02) link.step(t);
+  const auto pkts = link.poll_delivered(1e9);
+  ASSERT_EQ(pkts.size(), 30u);  // reliable: everything arrives...
+  for (const Packet& p : pkts) {
+    EXPECT_EQ(p.payload, payload(256));  // ...and arrives intact
+  }
+  // The transport checksum turned the damage into retransmission latency.
+  EXPECT_GT(link.stats().corrupted, 0u);
+  EXPECT_GE(link.stats().retransmits, link.stats().corrupted);
+}
+
 }  // namespace
 }  // namespace lgv::net

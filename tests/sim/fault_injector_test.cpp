@@ -181,5 +181,66 @@ TEST(FaultInjector, ChaosScheduleShape) {
   EXPECT_TRUE(none.empty());
 }
 
+TEST(FaultInjector, WireFaultKindsRoundTripThroughScheduleText) {
+  FaultSchedule s;
+  s.add(FaultKind::kCorruptBurst, 0.0, 60.0, 1e-3);
+  s.add(FaultKind::kTruncate, 10.0, 5.0, 0.2);
+  s.add(FaultKind::kDuplicate, 20.0, 5.0, 0.3);
+  s.add(FaultKind::kReorder, 0.0, 60.0, 0.05);
+  const FaultSchedule parsed = parse_fault_schedule(format_fault_schedule(s));
+  ASSERT_EQ(parsed.events.size(), s.events.size());
+  for (size_t i = 0; i < s.events.size(); ++i) {
+    EXPECT_EQ(parsed.events[i].kind, s.events[i].kind);
+    EXPECT_DOUBLE_EQ(parsed.events[i].start, s.events[i].start);
+    EXPECT_DOUBLE_EQ(parsed.events[i].duration, s.events[i].duration);
+    EXPECT_DOUBLE_EQ(parsed.events[i].magnitude, s.events[i].magnitude);
+  }
+}
+
+TEST(FaultInjector, WireFaultsComposeIntoChannelOverride) {
+  FaultSchedule s;
+  // Two overlapping corruption bursts compose as independent flip sources,
+  // not by naive addition (which could exceed 1).
+  s.add(FaultKind::kCorruptBurst, 0.0, 10.0, 0.5);
+  s.add(FaultKind::kCorruptBurst, 5.0, 10.0, 0.5);
+  s.add(FaultKind::kReorder, 0.0, 10.0, 0.02);
+  s.add(FaultKind::kReorder, 0.0, 10.0, 0.05);  // max wins, not sum
+  s.add(FaultKind::kTruncate, 0.0, 10.0, 0.25);
+  s.add(FaultKind::kDuplicate, 0.0, 10.0, 0.1);
+  FaultInjector inj(std::move(s));
+
+  const net::ChannelOverride mid = inj.override_at(7.0);
+  EXPECT_DOUBLE_EQ(mid.corrupt_bit_prob, 1.0 - 0.5 * 0.5);
+  EXPECT_DOUBLE_EQ(mid.reorder_jitter_s, 0.05);
+  EXPECT_DOUBLE_EQ(mid.truncate_prob, 0.25);
+  EXPECT_DOUBLE_EQ(mid.duplicate_prob, 0.1);
+  EXPECT_TRUE(mid.corrupts());
+  EXPECT_TRUE(mid.any());
+
+  const net::ChannelOverride late = inj.override_at(12.0);
+  EXPECT_DOUBLE_EQ(late.corrupt_bit_prob, 0.5);  // only the second burst left
+  EXPECT_FALSE(inj.override_at(20.0).corrupts());
+}
+
+TEST(FaultInjector, CorruptionScheduleCoversWholeMission) {
+  const FaultSchedule s = make_corruption_schedule(1e-3, 0.05, 100.0);
+  // The corruption and reorder axes persist even if faults slow the mission
+  // to 3× its nominal duration; truncate/duplicate are short probes.
+  bool has_trunc = false, has_dup = false;
+  for (const FaultEvent& e : s.events) {
+    if (e.kind == FaultKind::kCorruptBurst) {
+      EXPECT_DOUBLE_EQ(e.magnitude, 1e-3);
+      EXPECT_GE(e.end(), 300.0);
+    }
+    if (e.kind == FaultKind::kReorder) EXPECT_GE(e.end(), 300.0);
+    if (e.kind == FaultKind::kTruncate) has_trunc = true;
+    if (e.kind == FaultKind::kDuplicate) has_dup = true;
+  }
+  EXPECT_TRUE(has_trunc);
+  EXPECT_TRUE(has_dup);
+  // A corruption-only sweep point still exercises truncation/duplication.
+  EXPECT_FALSE(make_corruption_schedule(0.0, 0.0, 100.0).empty());
+}
+
 }  // namespace
 }  // namespace lgv::sim

@@ -29,9 +29,11 @@ done
 # Everything the fault-injection PR touches: the injector itself, the lease
 # protocol in OffloadRuntime, Algorithm 2 hysteresis edges, the Switcher
 # direction/accounting fixes, the link telemetry fixes, and the end-to-end
-# fallback missions.
+# fallback missions — plus the wire-integrity layer (frame CRC/sequencing,
+# adversarial deserialization, the structure-aware fuzz corpus).
 GTEST_FILTER='FaultSchedule*:FaultInjector*:FaultInjection*:OffloadRuntime*'
 GTEST_FILTER+=':Algorithm2*:Controller*:Switcher*:UdpLink*:TcpLink*'
+GTEST_FILTER+=':WireFrame*:WireFuzz*:WireAdversarial*:Crc32c*'
 
 validate_artifacts() {
   python3 - "$1/BENCH_fault_injection.json" \
@@ -84,18 +86,69 @@ print(f"artifacts OK: outage x{len(curves['outage_sweep'])}, "
 EOF
 }
 
+validate_corruption_artifacts() {
+  python3 - "$1/BENCH_corruption_sweep.json" \
+    "$1/BENCH_corruption_sweep_telemetry.json" <<'EOF'
+import json, sys
+
+curves_path, sidecar_path = sys.argv[1], sys.argv[2]
+
+with open(curves_path) as f:
+    curves = json.load(f)
+assert curves["bench"] == "corruption_sweep"
+assert curves["nominal_completion_s"] > 0.0
+assert curves["sweep"], "corruption sweep is empty"
+for p in curves["sweep"]:
+    plans = {r["plan"] for r in p["runs"]}
+    assert plans == {"local", "offload_fixed", "adaptive",
+                     "adaptive_fallback"}, f"plans {plans}"
+    for r in p["runs"]:
+        assert r["completion_s"] > 0.0 and r["energy_j"] > 0.0
+
+# Wire-integrity shape at the harshest corruption point: the fallback plan
+# completes AND the integrity layer visibly rejected frames — corrupt bytes
+# were counted out, not consumed.
+worst = curves["sweep"][-1]
+runs = {r["plan"]: r for r in worst["runs"]}
+fb = runs["adaptive_fallback"]
+assert fb["success"], "adaptive_fallback did not survive scheduled corruption"
+assert fb["frames_rejected"] > 0, "no frames rejected under corrupt_burst"
+assert fb["rejected_crc"] > 0, "CRC rejections absent despite bit flips"
+# The all-local plan has no wire to corrupt: its mission must be untouched.
+assert runs["local"]["success"], "local plan should be immune to wire faults"
+
+with open(sidecar_path) as f:
+    sidecar = json.load(f)
+assert sidecar["bench"] == "corruption_sweep"
+assert sidecar["runs"], "telemetry sidecar has no runs"
+families = set()
+for series in sidecar["runs"].values():
+    families |= {s["family"] for s in series.values()}
+for fam in ("net_frames_rejected_total", "net_corrupted_total",
+            "fault_injected_total"):
+    assert fam in families, f"metric family {fam} missing from sidecar"
+
+print(f"corruption artifacts OK: {len(curves['sweep'])} points, "
+      f"worst flip {worst['flip_prob']} -> fallback "
+      f"{fb['completion_s']:.1f}s with {fb['frames_rejected']} rejects")
+EOF
+}
+
 run_leg() {
   local name="$1" sanitizer="$2"
   local build_dir="$REPO_ROOT/build-$name"
   echo "=== $name leg (LGV_SANITIZE=$sanitizer) ==="
   cmake -B "$build_dir" -S "$REPO_ROOT" -DLGV_SANITIZE="$sanitizer" >/dev/null
-  cmake --build "$build_dir" --target lgv_tests bench_fault_injection -j
+  cmake --build "$build_dir" --target lgv_tests bench_fault_injection \
+    bench_corruption_sweep -j
   "$build_dir/tests/lgv_tests" --gtest_filter="$GTEST_FILTER" \
     --gtest_brief=1
   local out_dir
   out_dir="$(mktemp -d)"
   (cd "$out_dir" && "$build_dir/bench/bench_fault_injection" --smoke)
   validate_artifacts "$out_dir"
+  (cd "$out_dir" && "$build_dir/bench/bench_corruption_sweep" --smoke)
+  validate_corruption_artifacts "$out_dir"
   rm -rf "$out_dir"
   echo "=== $name leg PASSED ==="
 }
