@@ -1,0 +1,258 @@
+// State-movement cost across mission progress (docs/state-sync.md). Drives a
+// GMapping filter down the open scenario's scan log and, at each simulated
+// migration point, serializes the full particle state three ways — raw cells,
+// RLE full snapshot, and changelog-delta against the last *committed*
+// migration — then replays the payload through Switcher::migrate_state to get
+// the freeze the vehicle would actually feel on the wire. A second section
+// times the resample copy step with copy-on-write maps versus the deep-copy
+// reference (every map + likelihood field unshared each round).
+//
+// Acceptance shape (ISSUE 5): steady-state delta payloads at least 5x smaller
+// than full snapshots, CoW resample at least 3x faster than deep copy, and
+// byte-identical restored state in every mode at every point.
+//
+// Usage: bench_migration_payload [--smoke]   (--smoke: fewer steps, smaller
+// filter, for the CI smoke leg)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/switcher.h"
+#include "perception/gmapping.h"
+#include "sim/scenario.h"
+
+using namespace lgv;
+
+namespace {
+
+perception::GmappingConfig bench_config(int particles) {
+  perception::GmappingConfig cfg;
+  cfg.particles = particles;
+  cfg.matcher.beam_stride = 8;
+  return cfg;
+}
+
+/// Cell-exact state equality between a source filter and a restored replica.
+bool states_equal(const perception::Gmapping& a, const perception::Gmapping& b) {
+  if (a.particle_count() != b.particle_count()) return false;
+  for (int i = 0; i < a.particle_count(); ++i) {
+    const perception::Particle& pa = a.particles()[static_cast<size_t>(i)];
+    const perception::Particle& pb = b.particles()[static_cast<size_t>(i)];
+    if (!(pa.pose == pb.pose) || pa.weight != pb.weight ||
+        pa.log_weight != pb.log_weight) {
+      return false;
+    }
+    const perception::OccupancyGrid& ga = pa.map;
+    const perception::OccupancyGrid& gb = pb.map;
+    if (ga.width() != gb.width() || ga.height() != gb.height() ||
+        ga.known_cells() != gb.known_cells()) {
+      return false;
+    }
+    for (int y = 0; y < ga.height(); ++y) {
+      for (int x = 0; x < ga.width(); ++x) {
+        if (ga.log_odds_at({x, y}) != gb.log_odds_at({x, y})) return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct ProgressPoint {
+  size_t step = 0;
+  size_t full_raw_bytes = 0;
+  size_t full_rle_bytes = 0;
+  size_t delta_bytes = 0;
+  double delta_hit_ratio = 0.0;
+  uint64_t grids_delta = 0;
+  uint64_t fallbacks = 0;
+  double stall_full_s = 0.0;
+  double stall_delta_s = 0.0;
+  bool restored_equal = false;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::print_title("State migration payload: full vs RLE vs changelog-delta");
+  if (smoke) std::printf("(smoke mode: reduced mission)\n");
+
+  const int particles = smoke ? 6 : 12;
+  const size_t steps = smoke ? 24 : 480;
+  const size_t migrate_every = 2;  // scans between committed migrations
+
+  sim::Scenario scenario = sim::make_open_scenario();
+  // Drive the waypoint loop twice: lap 1 explores, lap 2 re-traverses fully
+  // mapped space — the steady state a long-lived patrol mission lives in.
+  const std::vector<Point2D> lap = scenario.waypoints;
+  scenario.waypoints.insert(scenario.waypoints.end(), lap.begin(), lap.end());
+  const std::vector<sim::ScanLogEntry> log =
+      sim::record_scan_log(scenario, 0.4, 0.2, steps);
+
+  // A clean near-WAP link so the stall numbers isolate payload size.
+  SimClock clock;
+  mw::Graph graph;
+  net::ChannelConfig ccfg;
+  ccfg.wap_position = {0.0, 0.0};
+  ccfg.shadowing_sigma_db = 0.0;
+  net::WirelessChannel channel(ccfg);
+  sim::PowerModel power;
+  sim::EnergyMeter energy;
+  core::Switcher switcher(&graph, &channel, &clock, &energy, &power);
+  channel.set_robot_position({2.0, 0.0});
+
+  perception::Gmapping slam(bench_config(particles), {0, 0}, 8.0, 8.0, 3);
+  perception::Gmapping replica(bench_config(particles), {0, 0}, 8.0, 8.0, 7);
+  slam.initialize(log[0].odom_pose);
+  platform::ExecutionContext ctx;
+
+  std::vector<ProgressPoint> points;
+  std::printf("\n%6s %14s %14s %12s %10s %12s %12s\n", "step", "full_raw", "full_rle",
+              "delta", "hit", "stall_full", "stall_delta");
+  for (size_t i = 0; i < log.size(); ++i) {
+    msg::Odometry odom;
+    odom.pose = log[i].odom_pose;
+    odom.header.stamp = log[i].scan.header.stamp;
+    slam.process(odom, log[i].scan, ctx);
+    ctx.reset();
+    if ((i + 1) % migrate_every != 0) continue;
+
+    ProgressPoint p;
+    p.step = i + 1;
+    p.full_raw_bytes = slam.serialize_state(perception::StateEncoding::kFullRaw).size();
+    p.full_rle_bytes = slam.serialize_state(perception::StateEncoding::kFull).size();
+    const std::vector<uint8_t> delta =
+        slam.serialize_state(perception::StateEncoding::kDelta);
+    p.delta_bytes = delta.size();
+    const perception::StateCodecStats& st = slam.last_codec_stats();
+    p.delta_hit_ratio = st.delta_hit_ratio();
+    p.grids_delta = st.grids_delta;
+    p.fallbacks = st.fallback_no_base + st.fallback_overflow + st.fallback_larger;
+
+    // The wire-level freeze each payload implies, on the same clean link.
+    p.stall_full_s =
+        switcher.migrate_state(static_cast<double>(p.full_rle_bytes), true, "full")
+            .completion - clock.now();
+    p.stall_delta_s =
+        switcher.migrate_state(static_cast<double>(p.delta_bytes), true, "delta")
+            .completion - clock.now();
+
+    // Committed migration: the replica restores, the sender advances its base.
+    replica.restore_state(delta);
+    slam.mark_migration_committed();
+    p.restored_equal = states_equal(slam, replica);
+
+    std::printf("%6zu %12.1fKB %12.1fKB %10.1fKB %9.0f%% %10.1fms %10.1fms%s\n",
+                p.step, p.full_raw_bytes / 1e3, p.full_rle_bytes / 1e3,
+                p.delta_bytes / 1e3, 100.0 * p.delta_hit_ratio, p.stall_full_s * 1e3,
+                p.stall_delta_s * 1e3, p.restored_equal ? "" : "  RESTORE MISMATCH");
+    points.push_back(p);
+  }
+
+  // Steady state: the final quarter of the mission, where the map has
+  // converged (saturated cells skip writes entirely) and the delta carries
+  // only the frontier — a small fraction of any full snapshot.
+  double full_sum = 0.0, delta_sum = 0.0;
+  for (size_t i = points.size() - points.size() / 4; i < points.size(); ++i) {
+    full_sum += static_cast<double>(points[i].full_rle_bytes);
+    delta_sum += static_cast<double>(points[i].delta_bytes);
+  }
+  const double full_over_delta = delta_sum > 0 ? full_sum / delta_sum : 0.0;
+  bool all_equal = !points.empty();
+  for (const ProgressPoint& p : points) all_equal = all_equal && p.restored_equal;
+
+  // ---- Resample copy cost: CoW vs deep copy ---------------------------------
+  // Ping-pong two particle vectors so every round's copies survive into the
+  // next round (as in the real resample, where the new generation replaces
+  // the old) — the copies are observably used and cannot be optimized away.
+  bench::print_subtitle("resample copy: CoW vs deep");
+  const int rounds = smoke ? 40 : 200;
+  std::vector<perception::Particle> base(slam.particles().begin(),
+                                         slam.particles().end());
+  std::vector<perception::Particle> next;
+  double sink = 0.0;
+
+  const uint64_t detaches_before = cow_detach_count();
+  const auto t_cow = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    next.clear();
+    next.reserve(base.size());
+    for (const perception::Particle& p : base) next.push_back(p);  // O(1) CoW copy
+    std::swap(base, next);
+    sink += base.front().map.log_odds_at({0, 0});
+  }
+  const double cow_s = seconds_since(t_cow);
+  const uint64_t cow_detaches = cow_detach_count() - detaches_before;
+
+  const auto t_deep = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    next.clear();
+    next.reserve(base.size());
+    for (const perception::Particle& p : base) {
+      next.push_back(p);
+      next.back().map.unshare();  // deep-copy reference mode
+      next.back().field.unshare();
+    }
+    std::swap(base, next);
+    sink += base.front().map.log_odds_at({0, 0});
+  }
+  const double deep_s = seconds_since(t_deep);
+  if (sink == 12345.6789) std::printf(" ");  // keep the copies observable
+  const double speedup = cow_s > 0 ? deep_s / cow_s : 0.0;
+  std::printf("  %d rounds x %d particles: cow=%s deep=%s speedup=%.1fx "
+              "(detaches during cow: %llu)\n",
+              rounds, slam.particle_count(), bench::fmt_time(cow_s).c_str(),
+              bench::fmt_time(deep_s).c_str(), speedup,
+              static_cast<unsigned long long>(cow_detaches));
+
+  bench::print_subtitle("acceptance");
+  std::printf("  steady-state full/delta ratio: %.1fx (need >= 5)\n", full_over_delta);
+  std::printf("  resample CoW speedup:          %.1fx (need >= 3)\n", speedup);
+  std::printf("  restored state byte-identical: %s\n", all_equal ? "yes" : "NO");
+
+  const char* json_path = "BENCH_migration.json";
+  {
+    std::ofstream f(json_path);
+    f << "{\n  \"bench\": \"migration_payload\",\n";
+    f << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    f << "  \"particles\": " << particles << ",\n  \"progress\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const ProgressPoint& p = points[i];
+      f << "    {\"step\": " << p.step << ", \"full_raw_bytes\": " << p.full_raw_bytes
+        << ", \"full_rle_bytes\": " << p.full_rle_bytes
+        << ", \"delta_bytes\": " << p.delta_bytes
+        << ", \"delta_hit_ratio\": " << p.delta_hit_ratio
+        << ", \"grids_delta\": " << p.grids_delta << ", \"fallbacks\": " << p.fallbacks
+        << ", \"stall_full_s\": " << p.stall_full_s
+        << ", \"stall_delta_s\": " << p.stall_delta_s
+        << ", \"restored_equal\": " << (p.restored_equal ? "true" : "false") << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    f << "  ],\n";
+    f << "  \"steady_state_full_over_delta\": " << full_over_delta << ",\n";
+    f << "  \"all_restored_equal\": " << (all_equal ? "true" : "false") << ",\n";
+    f << "  \"resample\": {\"rounds\": " << rounds << ", \"cow_s\": " << cow_s
+      << ", \"deep_s\": " << deep_s << ", \"speedup\": " << speedup
+      << ", \"cow_detaches\": " << cow_detaches << "}\n";
+    f << "}\n";
+  }
+  std::printf("\nwrote %s\n", json_path);
+
+  // Smoke mode cuts the mission long before steady state, so only the
+  // correctness half of the acceptance gates there; the payload/speedup
+  // thresholds apply to the full run.
+  const bool ok = all_equal && (smoke || (full_over_delta >= 5.0 && speedup >= 3.0));
+  if (!ok) std::printf("ACCEPTANCE NOT MET\n");
+  return ok ? 0 : 1;
+}

@@ -1,8 +1,14 @@
-// Dense row-major 2D grid container used by occupancy grids and costmaps.
+// Dense row-major 2D grid containers used by occupancy grids and costmaps.
+// Grid<T> owns its cells outright; CowGrid<T> keeps them behind a shared,
+// refcounted block with copy-on-first-write, so copying a CowGrid (the RBPF
+// resample / migration-snapshot hot path) is O(1) until someone writes.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/geometry.h"
@@ -55,6 +61,113 @@ class Grid {
   int width_ = 0;
   int height_ = 0;
   std::vector<T> cells_;
+};
+
+namespace detail {
+/// Process-wide count of copy-on-write detaches (the deep copies CoW could
+/// not avoid). Exported as the `grid_cow_copies_total` metric; benches read
+/// deltas around a region of interest.
+inline std::atomic<uint64_t> g_cow_detaches{0};
+}  // namespace detail
+
+inline uint64_t cow_detach_count() {
+  return detail::g_cow_detaches.load(std::memory_order_relaxed);
+}
+
+/// Row-major 2D grid whose cell block is shared between copies and cloned
+/// lazily on the first write (copy-on-write). Reads go through the same
+/// interface as Grid<T>; writes must use the mut_/mutable_ accessors, which
+/// detach the block when it is shared.
+///
+/// Thread-safety: distinct CowGrid objects sharing one block may be read and
+/// written concurrently from different threads — the refcount is atomic and a
+/// writer that finds the block shared clones it before touching a byte. One
+/// CowGrid object must not be used from two threads at once (same contract as
+/// Grid<T>). A use_count() of 1 is exact for the sole owner, so in-place
+/// writes never race with a concurrent clone.
+template <typename T>
+class CowGrid {
+ public:
+  CowGrid() = default;
+  CowGrid(int width, int height, T fill = T{})
+      : width_(width),
+        height_(height),
+        cells_(std::make_shared<std::vector<T>>(static_cast<size_t>(width) * height,
+                                                fill)) {
+    assert(width >= 0 && height >= 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  size_t size() const { return cells_ == nullptr ? 0 : cells_->size(); }
+
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+  bool in_bounds(CellIndex c) const { return in_bounds(c.x, c.y); }
+
+  const T& at(int x, int y) const {
+    assert(in_bounds(x, y));
+    return (*cells_)[static_cast<size_t>(y) * width_ + x];
+  }
+  const T& at(CellIndex c) const { return at(c.x, c.y); }
+
+  T value_or(CellIndex c, T fallback) const {
+    return in_bounds(c) ? (*cells_)[static_cast<size_t>(c.y) * width_ + c.x]
+                        : fallback;
+  }
+
+  /// Mutable cell access; clones the block first when it is shared.
+  T& mut_at(int x, int y) {
+    assert(in_bounds(x, y));
+    detach();
+    return (*cells_)[static_cast<size_t>(y) * width_ + x];
+  }
+  T& mut_at(CellIndex c) { return mut_at(c.x, c.y); }
+
+  const std::vector<T>& data() const {
+    static const std::vector<T> kEmpty;
+    return cells_ == nullptr ? kEmpty : *cells_;
+  }
+  /// Mutable view of the whole block; clones first when shared.
+  std::vector<T>& mutable_data() {
+    detach();
+    return *cells_;
+  }
+
+  /// True when both grids alias the same cell block (neither has written
+  /// since the copy). Exposed for tests and the CoW benchmarks.
+  bool shares_storage_with(const CowGrid& o) const {
+    return cells_ != nullptr && cells_ == o.cells_;
+  }
+
+  /// Force a private copy now (the deep-copy reference mode of the CoW
+  /// benchmarks; also useful before handing the grid to another thread).
+  void unshare() { detach(); }
+
+  bool operator==(const CowGrid& o) const {
+    return width_ == o.width_ && height_ == o.height_ &&
+           (cells_ == o.cells_ || data() == o.data());
+  }
+
+ private:
+  void detach() {
+    if (cells_ == nullptr) {
+      cells_ = std::make_shared<std::vector<T>>();
+      return;
+    }
+    // use_count() == 1 is exact for the sole owner: nobody else holds a
+    // reference that could be copied concurrently. Any stale over-count only
+    // causes a harmless extra clone.
+    if (cells_.use_count() != 1) {
+      cells_ = std::make_shared<std::vector<T>>(*cells_);
+      detail::g_cow_detaches.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::shared_ptr<std::vector<T>> cells_;
 };
 
 /// Mapping between continuous world coordinates and grid cells.

@@ -64,6 +64,16 @@ class WireReader {
   /// Read `n` raw bytes (as written by put_bytes).
   std::vector<uint8_t> get_raw(size_t n);
 
+  /// Read a varint element count and validate it against the remaining
+  /// buffer before the caller allocates: `n` elements of at least
+  /// `min_element_bytes` each must still fit. This is the same allocation-
+  /// bomb guard the repeated-field readers use, exposed for hand-rolled
+  /// record decoders (particle sets, delta runs) whose counts are
+  /// attacker-controlled on the wire.
+  size_t get_count(size_t min_element_bytes) {
+    return checked_count(get_varint(), min_element_bytes);
+  }
+
   std::vector<double> get_repeated_double();
   std::vector<float> get_repeated_float();
   std::vector<uint64_t> get_repeated_varint();

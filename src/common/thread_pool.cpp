@@ -165,4 +165,39 @@ void ThreadPool::parallel_chunks(size_t count, size_t chunks,
   }
 }
 
+void ThreadPool::parallel_dynamic(size_t count, size_t grain,
+                                  const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  grain = std::max<size_t>(1, grain);
+  const size_t n_grains = (count + grain - 1) / grain;
+  const size_t n_tasks = std::min(num_threads(), n_grains);
+  if (n_tasks <= 1) {
+    fn(0, count);
+    return;
+  }
+  // Shared grab counter: each worker task loops, claiming the next grain
+  // until the counter passes count. The tail grain is short.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  std::atomic<size_t> remaining{n_tasks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (size_t t = 0; t < n_tasks; ++t) {
+    submit([&, next, grain, count] {
+      size_t begin;
+      while ((begin = next->fetch_add(grain, std::memory_order_relaxed)) < count) {
+        fn(begin, std::min(begin + grain, count));
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::scoped_lock lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  while (!done_cv.wait_for(lock, kWaitSlice, [&] {
+    return remaining.load(std::memory_order_acquire) == 0;
+  })) {
+  }
+}
+
 }  // namespace lgv

@@ -77,6 +77,18 @@ class ThreadPool {
   void parallel_chunks(size_t count, size_t chunks,
                        const std::function<void(size_t begin, size_t end)>& fn);
 
+  /// Dynamic-scheduling variant: min(workers, ceil(count/grain)) tasks each
+  /// grab the next `grain`-sized range of [0, count) off a shared atomic
+  /// counter until none remain, then block until every range ran. Unlike the
+  /// static partition above, a worker that drew cheap items (e.g. trajectory
+  /// candidates that early-exit on collision) immediately takes more work
+  /// instead of idling, so the region finishes when the *work* runs out, not
+  /// when the unluckiest pre-assigned chunk does. fn(begin, end) may run
+  /// concurrently with itself on disjoint ranges; ranges are contiguous,
+  /// disjoint, and cover [0, count) exactly once.
+  void parallel_dynamic(size_t count, size_t grain,
+                        const std::function<void(size_t begin, size_t end)>& fn);
+
  private:
   struct QueuedTask {
     std::function<void()> fn;

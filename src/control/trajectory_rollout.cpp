@@ -88,6 +88,7 @@ RolloutDecision TrajectoryRollout::compute(const perception::Costmap2D& costmap,
   std::atomic<size_t> discarded{0};
 
   // ---- Fig. 5: parallel scoreTrajectory over the candidate set.
+  const size_t regions_before = ctx.profile().regions.size();
   ctx.parallel_kernel(candidates.size(), [&](size_t i) -> double {
     const Candidate c = candidates[i];
     Pose2D p = pose;
@@ -133,10 +134,15 @@ RolloutDecision TrajectoryRollout::compute(const perception::Costmap2D& costmap,
     }
     return static_cast<double>(executed) * calib::kRolloutCyclesPerStep +
            calib::kRolloutCyclesPerTrajectory;
-  });
+  },
+  config_.dynamic_schedule ? platform::Schedule::kDynamic
+                           : platform::Schedule::kStatic);
 
   out.stats.simulated_steps = total_steps.load();
   out.stats.discarded = discarded.load();
+  if (ctx.profile().regions.size() > regions_before) {
+    out.stats.chunk_imbalance = ctx.profile().regions.back().imbalance();
+  }
 
   // Sequential argmax (cheap).
   size_t best = candidates.size();

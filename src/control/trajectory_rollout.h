@@ -42,6 +42,14 @@ struct RolloutConfig {
   double w_obstacle = 0.008;
   double w_heading = 0.3;
   double w_oscillation = 0.15;
+
+  /// Score candidates under dynamic scheduling (Schedule::kDynamic).
+  /// Colliding trajectories early-exit the forward simulation, so the static
+  /// Fig. 5 partition strands workers whose chunk happens to hold the cheap
+  /// candidates; dynamic grabbing rebalances them. Scores are written
+  /// per-candidate either way — the decision is schedule-independent. False
+  /// selects the static reference partition.
+  bool dynamic_schedule = true;
 };
 
 struct RolloutStats {
@@ -49,6 +57,11 @@ struct RolloutStats {
   size_t trajectories = 0;
   size_t discarded = 0;         ///< collided / illegal trajectories
   double best_score = 0.0;
+  /// Per-chunk cycle imbalance of the scoring region (longest chunk over the
+  /// even-split ideal; 1.0 = balanced). Compares the schedules: static
+  /// partitions inherit the candidate grid's collision pattern, dynamic
+  /// grabbing flattens it.
+  double chunk_imbalance = 1.0;
 };
 
 struct RolloutDecision {

@@ -420,16 +420,46 @@ void MissionRunner::run_adjustment(double now) {
   }
 
   if (runtime_.set_vdp_placement(wanted)) {
-    // State migration: the costmap snapshot plus — for exploration — the
-    // actual serialized RBPF state (particle poses, weights and maps). The
-    // byte counts are real; the transfer itself is modeled on the TCP link.
+    // State migration: the costmap snapshot plus the actual serialized filter
+    // state (RBPF particle poses, weights and maps for exploration; AMCL's
+    // pose cloud for known-map missions). The byte counts are real encoded
+    // sizes; the transfer itself is modeled on the TCP link. SLAM encodes
+    // deltas against the last committed migration where the codec can —
+    // the first transfer (and any after heavy map churn) falls back to full
+    // RLE snapshots per grid.
+    const uint64_t cow_before = cow_detach_count();
     const double costmap_bytes =
         static_cast<double>(serialize_to_bytes(costmap_.to_msg(now)).size());
-    const double slam_bytes =
-        slam_.has_value() ? static_cast<double>(slam_->serialize_state().size()) : 0.0;
+    double slam_bytes = 0.0;
+    bool used_delta = false;
+    if (slam_.has_value()) {
+      slam_bytes = static_cast<double>(
+          slam_->serialize_state(perception::StateEncoding::kDelta).size());
+      used_delta = slam_->last_codec_stats().grids_delta > 0;
+    }
+    const double amcl_bytes =
+        amcl_.has_value() ? static_cast<double>(amcl_->serialize_state().size()) : 0.0;
     const MigrationResult mig = runtime_.switcher().migrate_state(
-        costmap_bytes + slam_bytes, wanted == VdpPlacement::kRemote);
+        costmap_bytes + slam_bytes + amcl_bytes, wanted == VdpPlacement::kRemote,
+        used_delta ? "delta" : "full");
     frozen_until_ = mig.completion;  // a failed transfer still costs its time
+    if (telemetry::Telemetry* t = runtime_.telemetry()) {
+      if (slam_.has_value()) {
+        t->metrics()
+            .gauge("migration_delta_hit_ratio")
+            .set(slam_->last_codec_stats().delta_hit_ratio());
+      }
+      t->metrics()
+          .counter("grid_cow_copies_total")
+          .inc(cow_detach_count() - cow_before);
+    }
+    if (mig.committed && slam_.has_value()) {
+      // The receiver provably holds this exact state (commit record round-
+      // tripped): advance the delta base. An aborted transfer leaves the
+      // base untouched, so the next encode still keys on a state the far
+      // side actually has.
+      slam_->mark_migration_committed();
+    }
     if (!mig.committed) {
       // Torn transfer: the far end never acknowledged a complete, verified
       // state image, so running there would mean a partial particle set.

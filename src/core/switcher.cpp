@@ -247,7 +247,7 @@ void Switcher::step() {
   for (const net::Packet& p : control_.poll_delivered(now)) deliver(p);
 }
 
-MigrationResult Switcher::migrate_state(double bytes, bool uplink) {
+MigrationResult Switcher::migrate_state(double bytes, bool uplink, const char* mode) {
   ++stats_.state_migrations;
   stats_.state_migration_bytes += bytes;
   const double now = clock_->now();
@@ -350,6 +350,9 @@ MigrationResult Switcher::migrate_state(double bytes, bool uplink) {
 
   if (telemetry_ != nullptr) {
     migrations_total_->inc();
+    telemetry_->metrics()
+        .counter("migration_bytes_total", {{"mode", mode}})
+        .inc(static_cast<uint64_t>(std::max(0.0, bytes)));
     if (!result.committed) {
       telemetry_->metrics().counter("switcher_migrations_aborted_total").inc();
     }
@@ -357,6 +360,7 @@ MigrationResult Switcher::migrate_state(double bytes, bool uplink) {
     telemetry_->tracer().span(
         "switcher.migrate", "network", "switcher", now, t - now,
         {{"bytes", std::to_string(bytes)},
+         {"mode", mode},
          {"dir", uplink ? "uplink" : "downlink"},
          {"committed", result.committed ? "true" : "false"},
          {"chunks", std::to_string(result.chunks)},

@@ -107,7 +107,9 @@ class Switcher final : public mw::RemoteTransport {
   /// timeout is aborted and the whole transfer retried once. The result says
   /// whether the transfer committed — on abort the caller must keep (or
   /// revert to) the local replica, never run on a torn particle set.
-  MigrationResult migrate_state(double bytes, bool uplink);
+  /// `mode` labels what the payload encoding was ("full" or "delta") for
+  /// migration_bytes_total{mode=...} and the trace span.
+  MigrationResult migrate_state(double bytes, bool uplink, const char* mode = "full");
 
   /// Send a 48 B measurement-stream packet (velocity message or probe) on the
   /// downlink; Profiler bandwidth is counted on arrival via the callback,

@@ -193,6 +193,48 @@ void Amcl::resample_adaptive() {
   weights_.assign(poses_.size(), 1.0 / static_cast<double>(poses_.size()));
 }
 
+std::vector<uint8_t> Amcl::serialize_state() const {
+  WireWriter w;
+  w.put_varint(poses_.size());
+  w.put_bool(have_last_odom_);
+  w.put_double(last_odom_.x);
+  w.put_double(last_odom_.y);
+  w.put_double(last_odom_.theta);
+  for (const Pose2D& p : poses_) {
+    w.put_double(p.x);
+    w.put_double(p.y);
+    w.put_double(p.theta);
+  }
+  w.put_repeated_double(weights_);
+  return w.take();
+}
+
+void Amcl::restore_state(const std::vector<uint8_t>& bytes) {
+  WireReader r(bytes);
+  // Validate the particle count against the buffer before reserving — the
+  // varint is attacker-controlled on the wire (same guard as Gmapping).
+  const size_t n = r.get_count(3 * sizeof(double));
+  have_last_odom_ = r.get_bool();
+  const double ox = r.get_double();
+  const double oy = r.get_double();
+  const double oth = r.get_double();
+  last_odom_ = {ox, oy, oth};
+  std::vector<Pose2D> poses;
+  poses.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = r.get_double();
+    const double y = r.get_double();
+    const double th = r.get_double();
+    poses.emplace_back(x, y, th);
+  }
+  std::vector<double> weights = r.get_repeated_double();
+  if (weights.size() != poses.size()) {
+    throw std::out_of_range("amcl state: weight count mismatch");
+  }
+  poses_ = std::move(poses);
+  weights_ = std::move(weights);
+}
+
 Pose2D Amcl::estimate() const {
   double x = 0.0, y = 0.0, sc = 0.0, ss = 0.0;
   for (size_t i = 0; i < poses_.size(); ++i) {

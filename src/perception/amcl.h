@@ -60,6 +60,15 @@ class Amcl {
   Pose2D estimate() const;
   int particle_count() const { return static_cast<int>(poses_.size()); }
   const AmclConfig& config() const { return config_; }
+  const std::vector<Pose2D>& poses() const { return poses_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Filter state for Algorithm 2 migration: poses, weights, and the odometry
+  /// anchor. The known map is deliberately NOT shipped — both hosts hold it
+  /// (it is static input, not filter state), which is AMCL's degenerate form
+  /// of delta migration: the payload is already proportional to change.
+  std::vector<uint8_t> serialize_state() const;
+  void restore_state(const std::vector<uint8_t>& bytes);
 
  private:
   double measurement_weight(const Pose2D& pose, const msg::LaserScan& scan,

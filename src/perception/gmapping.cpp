@@ -174,7 +174,8 @@ size_t Gmapping::best_index() const {
   return best;
 }
 
-std::vector<uint8_t> Gmapping::serialize_state() const {
+std::vector<uint8_t> Gmapping::serialize_state(StateEncoding encoding) const {
+  last_codec_stats_ = {};
   WireWriter w;
   w.put_varint(particles_.size());
   w.put_bool(have_last_odom_);
@@ -188,20 +189,79 @@ std::vector<uint8_t> Gmapping::serialize_state() const {
     w.put_double(p.pose.theta);
     w.put_double(p.log_weight);
     w.put_double(p.weight);
-    p.map.serialize(w);
+
+    if (encoding == StateEncoding::kFullRaw) {
+      p.map.serialize(w, GridEncoding::kRaw);
+      ++last_codec_stats_.grids_full;
+      continue;
+    }
+    if (encoding == StateEncoding::kDelta) {
+      // Delta only against the snapshot of the last *committed* migration
+      // this map descends from; an aborted transfer never advanced the base,
+      // so the receiver is guaranteed to hold whatever we encode against.
+      const OccupancyGrid* base = nullptr;
+      const auto it = committed_bases_.find(p.map.delta_base_version());
+      if (it != committed_bases_.end() && p.map.can_delta_against(it->second)) {
+        base = &it->second;
+      }
+      if (base == nullptr) {
+        ++last_codec_stats_.fallback_no_base;
+      } else if (2 * p.map.dirty_tiles_since(base->write_version()) >=
+                 p.map.tile_count()) {
+        // Most of the map was rewritten (the PR 1 changelog overflowed long
+        // before this point) — a delta cannot win, skip encoding it.
+        ++last_codec_stats_.fallback_overflow;
+        base = nullptr;
+      } else {
+        WireWriter delta_w;
+        p.map.serialize_delta(delta_w, *base);
+        WireWriter full_w;
+        p.map.serialize(full_w, GridEncoding::kRle);
+        if (delta_w.size() < full_w.size()) {
+          w.put_bytes(delta_w.buffer().data(), delta_w.size());
+          ++last_codec_stats_.grids_delta;
+          continue;
+        }
+        ++last_codec_stats_.fallback_larger;
+        base = nullptr;
+      }
+    }
+    p.map.serialize(w, GridEncoding::kRle);
+    ++last_codec_stats_.grids_full;
   }
+  last_codec_stats_.bytes = w.size();
   return w.take();
 }
 
 void Gmapping::restore_state(const std::vector<uint8_t>& bytes) {
   WireReader r(bytes);
-  const size_t n = r.get_varint();
+  // Each particle record holds at least 5 doubles plus a map; validating the
+  // count against the buffer before reserve() rejects a hostile varint that
+  // would otherwise allocate unbounded memory.
+  const size_t n = r.get_count(5 * sizeof(double));
   have_last_odom_ = r.get_bool();
   const double ox = r.get_double();
   const double oy = r.get_double();
   const double oth = r.get_double();
   last_odom_ = {ox, oy, oth};
   neff_ = r.get_double();
+
+  // Delta records decode against this receiver's replica of the sender's
+  // last committed state — found among our pre-restore particle maps (we
+  // restored that committed transfer earlier) or our own retained bases.
+  std::map<uint64_t, const OccupancyGrid*> replicas;
+  for (const Particle& p : particles_) {
+    replicas.emplace(p.map.write_version(), &p.map);
+  }
+  for (const auto& [version, map] : committed_bases_) {
+    replicas.emplace(version, &map);
+  }
+  const OccupancyGrid::BaseLookup lookup =
+      [&](uint64_t write_version) -> const OccupancyGrid* {
+    const auto it = replicas.find(write_version);
+    return it == replicas.end() ? nullptr : it->second;
+  };
+
   std::vector<Particle> particles;
   particles.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -212,11 +272,20 @@ void Gmapping::restore_state(const std::vector<uint8_t>& bytes) {
     p.pose = {x, y, th};
     p.log_weight = r.get_double();
     p.weight = r.get_double();
-    p.map = OccupancyGrid::deserialize(r);
+    p.map = OccupancyGrid::deserialize_any(r, lookup);
     p.rng = rng_.fork(i + 0xfee1);
     particles.push_back(std::move(p));
   }
   particles_ = std::move(particles);
+  committed_bases_.clear();
+}
+
+void Gmapping::mark_migration_committed() {
+  committed_bases_.clear();  // only the latest committed generation matters
+  for (Particle& p : particles_) {
+    p.map.mark_delta_base();
+    committed_bases_.try_emplace(p.map.write_version(), p.map);
+  }
 }
 
 const Pose2D& Gmapping::best_pose() const { return particles_[best_index()].pose; }

@@ -4,6 +4,7 @@
 // update and resampling stay sequential on the main thread.
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "common/geometry.h"
@@ -37,6 +38,30 @@ struct Particle {
   /// restore_state leaves it empty and the next scanMatch rebuilds it.
   LikelihoodField field;
   Rng rng{0};
+};
+
+/// Wire mode for serialize_state (each grid record is self-describing, so
+/// the receiver needs no mode flag — this only selects what the sender emits).
+enum class StateEncoding : uint8_t {
+  kFullRaw,  ///< full snapshots, raw cell blocks (reference encoding)
+  kFull,     ///< full snapshots, RLE cell blocks (cold-start wire default)
+  kDelta,    ///< per-particle deltas against the last *committed* migration,
+             ///< falling back to full RLE per grid when no base works
+};
+
+/// What the last serialize_state call actually emitted (per-grid decisions).
+struct StateCodecStats {
+  size_t grids_full = 0;
+  size_t grids_delta = 0;
+  size_t fallback_no_base = 0;   ///< no committed base for this lineage
+  size_t fallback_overflow = 0;  ///< dirty region too large, delta skipped
+  size_t fallback_larger = 0;    ///< delta encoded, but full RLE was smaller
+  size_t bytes = 0;              ///< total encoded payload size
+
+  double delta_hit_ratio() const {
+    const size_t n = grids_full + grids_delta;
+    return n == 0 ? 0.0 : static_cast<double>(grids_delta) / static_cast<double>(n);
+  }
 };
 
 /// Statistics of one SLAM update (also the source of its work accounting).
@@ -79,8 +104,22 @@ class Gmapping {
   /// Full filter state (poses, weights, per-particle maps) — what the
   /// Switcher actually ships when Algorithm 2 migrates the SLAM node.
   /// The receiving side restores into an equivalently-configured instance.
-  std::vector<uint8_t> serialize_state() const;
+  /// kDelta encodes each particle's map against the snapshot retained at the
+  /// last committed migration where possible (see mark_migration_committed);
+  /// restore_state decodes deltas against the receiver's own replicas of
+  /// those states, so it only works when the previous committed transfer was
+  /// restored into the same instance.
+  std::vector<uint8_t> serialize_state(StateEncoding encoding = StateEncoding::kFull) const;
   void restore_state(const std::vector<uint8_t>& bytes);
+
+  /// Record that the state most recently serialized made it across and was
+  /// committed (Switcher::migrate_state's commit record): retain an O(1) CoW
+  /// snapshot of every particle map and mark it as the delta base for future
+  /// kDelta encodes. MUST NOT be called for an aborted transfer — the delta
+  /// base only ever advances to states the receiver provably holds.
+  void mark_migration_committed();
+  /// Per-grid encode decisions of the most recent serialize_state call.
+  const StateCodecStats& last_codec_stats() const { return last_codec_stats_; }
 
  private:
   void normalize_weights();
@@ -94,6 +133,13 @@ class Gmapping {
   bool have_last_odom_ = false;
   Pose2D last_odom_;
   double neff_ = 0.0;
+
+  /// Snapshots of the particle maps as of the last committed migration,
+  /// keyed by write_version (copies of one ancestor share the stamp, so
+  /// duplicates collapse). CoW keeps these O(1) to take; each costs one
+  /// deferred map copy the first time the live particle writes again.
+  std::map<uint64_t, OccupancyGrid> committed_bases_;
+  mutable StateCodecStats last_codec_stats_;
 };
 
 }  // namespace lgv::perception

@@ -23,7 +23,7 @@ void LikelihoodField::rebuild_cell(const OccupancyGrid& map, CellIndex c) {
       if (map.is_occupied({c.x + dx, c.y + dy})) e |= bit;
     }
   }
-  cells_.at(c.x + 1, c.y + 1) = e;
+  if (cells_.at(c.x + 1, c.y + 1) != e) cells_.mut_at(c.x + 1, c.y + 1) = e;
 }
 
 size_t LikelihoodField::sync(const OccupancyGrid& map) {
@@ -52,7 +52,7 @@ size_t LikelihoodField::sync(const OccupancyGrid& map) {
   frame_ = map.frame();
   width_ = map.width();
   height_ = map.height();
-  cells_ = Grid<uint16_t>(width_ + 2, height_ + 2, 0);
+  cells_ = CowGrid<uint16_t>(width_ + 2, height_ + 2, 0);
   for (int y = -1; y <= height_; ++y) {
     for (int x = -1; x <= width_; ++x) {
       rebuild_cell(map, {x, y});

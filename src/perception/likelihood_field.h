@@ -71,6 +71,11 @@ class LikelihoodField {
     return cells_.value_or({c.x + 1, c.y + 1}, kUnknownBit);
   }
   bool occupied(CellIndex c) const { return (entry(c) & kSelfOccupiedBit) != 0; }
+
+  /// Force a private copy of the (CoW-shared) entry block now — deep-copy
+  /// reference mode for the resample benchmarks.
+  void unshare() { cells_.unshare(); }
+
   bool unknown(CellIndex c) const { return (entry(c) & kUnknownBit) != 0; }
   bool has_obstacle_near(CellIndex c) const { return (entry(c) & kNeighborMask) != 0; }
 
@@ -103,7 +108,10 @@ class LikelihoodField {
   GridFrame frame_;
   int width_ = 0;   ///< map width; the grid below is padded to width_+2
   int height_ = 0;
-  Grid<uint16_t> cells_;  ///< (width_+2)×(height_+2), index shifted by +1
+  // (width_+2)×(height_+2), index shifted by +1. Copy-on-write: a resampled
+  // particle's field shares the block with its source until one of them is
+  // written (its map copy shares storage too, so they drift together).
+  CowGrid<uint16_t> cells_;
   uint64_t map_id_ = 0;
   uint64_t synced_version_ = 0;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
+#include <stdexcept>
 
 namespace lgv::perception {
 
@@ -14,6 +16,60 @@ uint64_t next_map_id() {
   static std::atomic<uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
+
+/// Write-version stamps come from one process-wide counter so a stamp is
+/// never reused across grids: (map_id, write_version) names one exact state
+/// even after copies of a map diverge through resampling.
+std::atomic<uint64_t> g_write_version{1};
+
+uint64_t next_write_version() {
+  return g_write_version.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// After restoring a stamp from the wire, push the counter past it so stamps
+/// minted later still compare strictly greater (matters only for persisted or
+/// crafted buffers; in-process the counter is already ahead).
+void bump_write_version_past(uint64_t v) {
+  uint64_t cur = g_write_version.load(std::memory_order_relaxed);
+  while (cur <= v &&
+         !g_write_version.compare_exchange_weak(cur, v + 1, std::memory_order_relaxed)) {
+  }
+}
+
+/// Upper bound on w*h accepted from the wire (256 MiB of cells) — the dims
+/// are attacker-controlled and RLE legitimately decodes a large grid from a
+/// handful of bytes, so remaining-buffer size cannot bound the allocation.
+constexpr uint64_t kMaxWireCells = uint64_t{1} << 26;
+
+bool same_bits(float a, float b) { return std::memcmp(&a, &b, sizeof(float)) == 0; }
+
+/// Full-snapshot cell payload as (run_len, value) runs of bit-identical
+/// floats. Occupancy grids are long stretches of unknown (0.0f) and
+/// saturated (±log_odds_max) cells, so this routinely shrinks the block by
+/// an order of magnitude without losing a bit.
+void encode_rle(WireWriter& w, const std::vector<float>& cells) {
+  size_t i = 0;
+  while (i < cells.size()) {
+    size_t j = i + 1;
+    while (j < cells.size() && same_bits(cells[j], cells[i])) ++j;
+    w.put_varint(j - i);
+    w.put_float(cells[i]);
+    i = j;
+  }
+}
+
+void decode_rle(WireReader& r, std::vector<float>& out) {
+  size_t filled = 0;
+  while (filled < out.size()) {
+    const uint64_t len = r.get_varint();
+    if (len == 0 || len > out.size() - filled) {
+      throw std::out_of_range("grid rle: bad run length");
+    }
+    const float v = r.get_float();
+    std::fill_n(out.begin() + filled, static_cast<size_t>(len), v);
+    filled += static_cast<size_t>(len);
+  }
+}
 }  // namespace
 
 OccupancyGrid::OccupancyGrid() { init_derived_state(); }
@@ -23,9 +79,11 @@ OccupancyGrid::OccupancyGrid(Point2D origin, double width_m, double height_m,
     : config_(config) {
   frame_.origin = origin;
   frame_.resolution = config.resolution;
-  log_odds_ = Grid<float>(static_cast<int>(std::ceil(width_m / config.resolution)),
-                          static_cast<int>(std::ceil(height_m / config.resolution)),
-                          0.0f);
+  const int w = static_cast<int>(std::ceil(width_m / config.resolution));
+  const int h = static_cast<int>(std::ceil(height_m / config.resolution));
+  log_odds_ = CowGrid<float>(w, h, 0.0f);
+  tile_versions_ = CowGrid<uint64_t>((w + kTileSize - 1) / kTileSize,
+                                     (h + kTileSize - 1) / kTileSize, 0);
   init_derived_state();
 }
 
@@ -34,6 +92,7 @@ void OccupancyGrid::init_derived_state() {
       std::log(config_.occupied_threshold / (1.0 - config_.occupied_threshold));
   free_log_odds_ = std::log(config_.free_threshold / (1.0 - config_.free_threshold));
   map_id_ = next_map_id();
+  write_version_ = next_write_version();
 }
 
 double OccupancyGrid::log_odds_at(CellIndex c) const {
@@ -58,29 +117,55 @@ bool OccupancyGrid::is_unknown(CellIndex c) const {
   return !log_odds_.in_bounds(c) || log_odds_.at(c) == 0.0f;
 }
 
+std::vector<CellIndex>& OccupancyGrid::mutable_changelog() {
+  if (changelog_ == nullptr) {
+    changelog_ = std::make_shared<std::vector<CellIndex>>();
+  } else if (changelog_.use_count() != 1) {
+    changelog_ = std::make_shared<std::vector<CellIndex>>(*changelog_);
+  }
+  return *changelog_;
+}
+
 void OccupancyGrid::record_flip(CellIndex c) {
-  if (changelog_.size() >= kChangelogCap) {
-    // Overflow: drop the log and let derived structures rebuild in full.
-    changelog_.clear();
+  if (changelog_ != nullptr && changelog_->size() >= kChangelogCap) {
+    // Overflow: drop the log (releasing, not cloning, a shared block) and
+    // let derived structures rebuild in full.
+    changelog_ = nullptr;
     changelog_base_ = change_version_;
   }
-  changelog_.push_back(c);
+  mutable_changelog().push_back(c);
   ++change_version_;
+}
+
+void OccupancyGrid::begin_mutation_batch() { write_version_ = next_write_version(); }
+
+void OccupancyGrid::touch_tile(CellIndex c) {
+  const int tx = c.x / kTileSize;
+  const int ty = c.y / kTileSize;
+  if (tile_versions_.at(tx, ty) != write_version_) {
+    tile_versions_.mut_at(tx, ty) = write_version_;
+  }
 }
 
 void OccupancyGrid::update_cell(CellIndex c, double delta) {
   if (!log_odds_.in_bounds(c)) return;
-  float& l = log_odds_.at(c);
-  const bool was_unknown = l == 0.0f;
-  const bool was_occupied = occupied_log_odds(l);
+  const float old = log_odds_.at(c);
+  const bool was_unknown = old == 0.0f;
+  const bool was_occupied = occupied_log_odds(old);
+  float next = static_cast<float>(std::clamp(static_cast<double>(old) + delta,
+                                             config_.log_odds_min, config_.log_odds_max));
+  if (next == 0.0f) next = delta < 0 ? -1e-3f : 1e-3f;  // stay "known"
+  // Saturated cells re-observed with the same evidence land on the same
+  // clamped value; skipping the write keeps a CoW-shared block shared.
+  if (same_bits(next, old)) return;
+  log_odds_.mut_at(c) = next;
+  touch_tile(c);
   if (was_unknown) ++known_cells_;
-  l = static_cast<float>(std::clamp(static_cast<double>(l) + delta,
-                                    config_.log_odds_min, config_.log_odds_max));
-  if (l == 0.0f) l = delta < 0 ? -1e-3f : 1e-3f;  // stay "known"
-  if (was_unknown || was_occupied != occupied_log_odds(l)) record_flip(c);
+  if (was_unknown || was_occupied != occupied_log_odds(next)) record_flip(c);
 }
 
 size_t OccupancyGrid::integrate_scan(const Pose2D& pose, const msg::LaserScan& scan) {
+  begin_mutation_batch();
   size_t touched = 0;
   const CellIndex origin_cell = frame_.world_to_cell(pose.position());
   for (size_t i = 0; i < scan.ranges.size(); ++i) {
@@ -102,6 +187,14 @@ size_t OccupancyGrid::integrate_scan(const Pose2D& pose, const msg::LaserScan& s
 
 double OccupancyGrid::known_area_m2() const {
   return static_cast<double>(known_cells_) * frame_.resolution * frame_.resolution;
+}
+
+size_t OccupancyGrid::dirty_tiles_since(uint64_t base_version) const {
+  size_t n = 0;
+  for (uint64_t v : tile_versions_.data()) {
+    if (v > base_version) ++n;
+  }
+  return n;
 }
 
 msg::OccupancyGridMsg OccupancyGrid::to_msg(double stamp) const {
@@ -141,7 +234,9 @@ OccupancyGrid OccupancyGrid::from_msg(const msg::OccupancyGridMsg& m,
   return g;
 }
 
-void OccupancyGrid::serialize(WireWriter& w) const {
+void OccupancyGrid::serialize_header(WireWriter& w) const {
+  w.put_varint(write_version_);
+  w.put_varint(change_version_);
   w.put_double(frame_.origin.x);
   w.put_double(frame_.origin.y);
   w.put_double(frame_.resolution);
@@ -154,30 +249,193 @@ void OccupancyGrid::serialize(WireWriter& w) const {
   w.put_double(config_.occupied_threshold);
   w.put_double(config_.free_threshold);
   w.put_varint(known_cells_);
-  w.put_repeated_float(log_odds_.data());
+}
+
+void OccupancyGrid::deserialize_header(WireReader& r) {
+  const uint64_t write_version = r.get_varint();
+  const uint64_t change_version = r.get_varint();
+  frame_.origin.x = r.get_double();
+  frame_.origin.y = r.get_double();
+  frame_.resolution = r.get_double();
+  const int w = static_cast<int>(r.get_signed());
+  const int h = static_cast<int>(r.get_signed());
+  if (w < 0 || h < 0 ||
+      static_cast<uint64_t>(w) * static_cast<uint64_t>(h) > kMaxWireCells) {
+    throw std::out_of_range("grid: wire dimensions out of range");
+  }
+  config_.resolution = frame_.resolution;
+  config_.log_odds_hit = r.get_double();
+  config_.log_odds_miss = r.get_double();
+  config_.log_odds_min = r.get_double();
+  config_.log_odds_max = r.get_double();
+  config_.occupied_threshold = r.get_double();
+  config_.free_threshold = r.get_double();
+  known_cells_ = r.get_varint();
+  // init_derived_state mints a *fresh* map_id — a stale likelihood field must
+  // never mistake the replica for the grid it was built against. The wire
+  // write_version is preserved instead: it is globally unique, so a later
+  // delta keyed on this state still decodes here.
+  init_derived_state();
+  write_version_ = write_version;
+  bump_write_version_past(write_version);
+  change_version_ = change_version;
+  changelog_ = nullptr;
+  changelog_base_ = change_version;
+  delta_base_version_ = 0;
+  log_odds_ = CowGrid<float>(w, h, 0.0f);
+  // Every tile conservatively "last written at" the restored state's stamp.
+  tile_versions_ = CowGrid<uint64_t>((w + kTileSize - 1) / kTileSize,
+                                     (h + kTileSize - 1) / kTileSize, write_version);
+}
+
+void OccupancyGrid::serialize(WireWriter& w, GridEncoding encoding) const {
+  assert(encoding == GridEncoding::kRaw || encoding == GridEncoding::kRle);
+  w.put_varint(static_cast<uint64_t>(encoding));
+  serialize_header(w);
+  if (encoding == GridEncoding::kRaw) {
+    w.put_repeated_float(log_odds_.data());
+  } else {
+    encode_rle(w, log_odds_.data());
+  }
 }
 
 OccupancyGrid OccupancyGrid::deserialize(WireReader& r) {
-  OccupancyGrid g;
-  g.frame_.origin.x = r.get_double();
-  g.frame_.origin.y = r.get_double();
-  g.frame_.resolution = r.get_double();
-  const int w = static_cast<int>(r.get_signed());
-  const int h = static_cast<int>(r.get_signed());
-  g.config_.resolution = g.frame_.resolution;
-  g.config_.log_odds_hit = r.get_double();
-  g.config_.log_odds_miss = r.get_double();
-  g.config_.log_odds_min = r.get_double();
-  g.config_.log_odds_max = r.get_double();
-  g.config_.occupied_threshold = r.get_double();
-  g.config_.free_threshold = r.get_double();
-  g.known_cells_ = r.get_varint();
-  g.log_odds_ = Grid<float>(w, h, 0.0f);
-  g.log_odds_.data() = r.get_repeated_float();
-  // Thresholds depend on the deserialized config; derived fields (likelihood
-  // field) are not part of the wire format and rebuild against the new id.
-  g.init_derived_state();
-  return g;
+  return deserialize_any(r, nullptr);
+}
+
+bool OccupancyGrid::can_delta_against(const OccupancyGrid& base) const {
+  // The write_version match pins the exact state (stamps are never reused),
+  // so no further identity check is needed; dims/frame are sanity belts.
+  return delta_base_version_ != 0 && base.write_version_ == delta_base_version_ &&
+         base.width() == width() && base.height() == height() && base.frame_ == frame_;
+}
+
+void OccupancyGrid::serialize_delta(WireWriter& w, const OccupancyGrid& base) const {
+  assert(can_delta_against(base));
+  w.put_varint(static_cast<uint64_t>(GridEncoding::kDelta));
+  w.put_varint(base.write_version_);
+  w.put_varint(write_version_);
+  w.put_varint(change_version_);
+  w.put_varint(known_cells_);
+
+  // Collect runs of changed cells in ascending flat-index order. Only tiles
+  // stamped after the base can contain a change, so the scan is proportional
+  // to the written region, not the map.
+  struct Run {
+    size_t start;
+    size_t len;
+  };
+  std::vector<Run> runs;
+  std::vector<float> values;
+  if (!log_odds_.shares_storage_with(base.log_odds_)) {
+    const std::vector<float>& cur = log_odds_.data();
+    const std::vector<float>& old = base.log_odds_.data();
+    const int tiles_w = tile_versions_.width();
+    const int tiles_h = tile_versions_.height();
+    const int grid_w = width();
+    const int grid_h = height();
+    std::vector<int> dirty_in_row;
+    for (int ty = 0; ty < tiles_h; ++ty) {
+      dirty_in_row.clear();
+      for (int tx = 0; tx < tiles_w; ++tx) {
+        if (tile_versions_.at(tx, ty) > base.write_version_) dirty_in_row.push_back(tx);
+      }
+      if (dirty_in_row.empty()) continue;
+      const int y_end = std::min(grid_h, (ty + 1) * kTileSize);
+      for (int y = ty * kTileSize; y < y_end; ++y) {
+        for (int tx : dirty_in_row) {
+          const int x_end = std::min(grid_w, (tx + 1) * kTileSize);
+          for (int x = tx * kTileSize; x < x_end; ++x) {
+            const size_t idx = static_cast<size_t>(y) * grid_w + x;
+            if (same_bits(cur[idx], old[idx])) continue;
+            if (!runs.empty() && runs.back().start + runs.back().len == idx) {
+              ++runs.back().len;
+            } else {
+              runs.push_back({idx, 1});
+            }
+            values.push_back(cur[idx]);
+          }
+        }
+      }
+    }
+  }
+
+  w.put_varint(runs.size());
+  size_t prev_end = 0;
+  size_t vi = 0;
+  for (const Run& run : runs) {
+    w.put_varint(run.start - prev_end);  // gap from the previous run's end
+    w.put_varint(run.len);
+    for (size_t k = 0; k < run.len; ++k) w.put_float(values[vi++]);
+    prev_end = run.start + run.len;
+  }
+}
+
+void OccupancyGrid::apply_delta_body(WireReader& r) {
+  // Each run costs at least gap(1) + len(1) + one float(4) bytes on the wire.
+  const size_t n_runs = r.get_count(6);
+  const size_t total = log_odds_.size();
+  size_t pos = 0;
+  for (size_t i = 0; i < n_runs; ++i) {
+    const uint64_t gap = r.get_varint();
+    if (gap > total - pos) throw std::out_of_range("grid delta: run start out of range");
+    pos += static_cast<size_t>(gap);
+    const size_t len = r.get_count(4);
+    if (len == 0 || len > total - pos) {
+      throw std::out_of_range("grid delta: run length out of range");
+    }
+    std::vector<float>& cells = log_odds_.mutable_data();
+    for (size_t k = 0; k < len; ++k) {
+      cells[pos + k] = r.get_float();
+      touch_tile({static_cast<int>((pos + k) % width()),
+                  static_cast<int>((pos + k) / width())});
+    }
+    pos += len;
+  }
+}
+
+OccupancyGrid OccupancyGrid::deserialize_any(WireReader& r, const BaseLookup& base_lookup) {
+  const uint64_t enc = r.get_varint();
+  switch (static_cast<GridEncoding>(enc)) {
+    case GridEncoding::kRaw: {
+      OccupancyGrid g;
+      g.deserialize_header(r);
+      std::vector<float> cells = r.get_repeated_float();
+      if (cells.size() != g.log_odds_.size()) {
+        throw std::out_of_range("grid: raw cell count mismatch");
+      }
+      g.log_odds_.mutable_data() = std::move(cells);
+      return g;
+    }
+    case GridEncoding::kRle: {
+      OccupancyGrid g;
+      g.deserialize_header(r);
+      decode_rle(r, g.log_odds_.mutable_data());
+      return g;
+    }
+    case GridEncoding::kDelta: {
+      const uint64_t base_version = r.get_varint();
+      const uint64_t new_version = r.get_varint();
+      const uint64_t change_version = r.get_varint();
+      const uint64_t known_cells = r.get_varint();
+      const OccupancyGrid* base = base_lookup ? base_lookup(base_version) : nullptr;
+      if (base == nullptr || base->write_version_ != base_version) {
+        throw std::runtime_error("grid delta: base state unknown to receiver");
+      }
+      OccupancyGrid g = *base;  // O(1): clones share the cell block (CoW)
+      bump_write_version_past(new_version);
+      g.write_version_ = new_version;
+      g.change_version_ = change_version;
+      g.known_cells_ = known_cells;
+      g.changelog_ = nullptr;
+      g.changelog_base_ = change_version;
+      g.delta_base_version_ = 0;
+      g.apply_delta_body(r);
+      return g;
+    }
+    default:
+      throw std::runtime_error("grid: unknown wire encoding");
+  }
 }
 
 OccupancyGrid OccupancyGrid::from_binary(const GridFrame& frame, const Grid<uint8_t>& solid,

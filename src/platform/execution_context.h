@@ -16,6 +16,21 @@
 
 namespace lgv::platform {
 
+/// How parallel_kernel spreads items over workers.
+enum class Schedule {
+  /// Fixed contiguous chunks, one per thread — the paper's Figs. 5/6
+  /// partitioning and the reference mode. Imbalance (items that early-exit)
+  /// is charged faithfully: the region costs its longest chunk.
+  kStatic,
+  /// Workers grab small fixed grains off a shared counter, so cheap items
+  /// don't strand a worker idle. Cycles are recorded per grain and then
+  /// assigned to virtual workers by a deterministic greedy schedule (grains
+  /// in index order, each to the least-loaded worker), which models the
+  /// atomic-counter execution while keeping virtual-time costs reproducible
+  /// run to run regardless of which real thread grabbed what.
+  kDynamic,
+};
+
 class ExecutionContext {
  public:
   ExecutionContext() = default;
@@ -27,11 +42,16 @@ class ExecutionContext {
   /// Record `cycles` of sequential work (already performed by the caller).
   void serial_work(double cycles) { profile_.add_serial(cycles); }
 
+  /// Items per dynamic-scheduling grab (small, so early-exiting items
+  /// rebalance quickly; fixed, so the virtual-time model is deterministic).
+  static constexpr size_t kDynamicGrain = 4;
+
   /// Execute fn(i) for i in [0, count); fn returns the cycles item i cost.
-  /// Items are partitioned into `threads()` contiguous chunks; each chunk's
+  /// Items are spread over `threads()` workers per `schedule`; per-chunk
   /// cycles are recorded so the cost model charges the longest chunk.
   /// fn must be safe to invoke concurrently for distinct items.
-  void parallel_kernel(size_t count, const std::function<double(size_t)>& fn);
+  void parallel_kernel(size_t count, const std::function<double(size_t)>& fn,
+                       Schedule schedule = Schedule::kStatic);
 
   WorkProfile& profile() { return profile_; }
   const WorkProfile& profile() const { return profile_; }

@@ -13,6 +13,10 @@ namespace lgv::platform {
 struct ParallelRegion {
   /// Cycles executed by each chunk (chunk count == thread count requested).
   std::vector<double> chunk_cycles;
+  /// True when the region ran under dynamic (work-stealing-style) scheduling:
+  /// chunk_cycles then holds per-*worker* totals after grain assignment, not
+  /// the fixed contiguous partition of the static mode.
+  bool dynamic = false;
 
   double total() const {
     return std::accumulate(chunk_cycles.begin(), chunk_cycles.end(), 0.0);
@@ -23,6 +27,14 @@ struct ParallelRegion {
                : *std::max_element(chunk_cycles.begin(), chunk_cycles.end());
   }
   int chunks() const { return static_cast<int>(chunk_cycles.size()); }
+
+  /// Load imbalance: longest chunk relative to a perfectly even split
+  /// (longest · chunks / total). 1.0 = balanced; 2.0 = the critical chunk
+  /// did twice its fair share and the region took twice as long as it could.
+  double imbalance() const {
+    const double t = total();
+    return t > 0.0 ? longest() * static_cast<double>(chunks()) / t : 1.0;
+  }
 };
 
 struct WorkProfile {

@@ -60,5 +60,51 @@ TEST(GridFrame, NegativeCoordinatesFloorCorrectly) {
   EXPECT_EQ(f.world_to_cell({-0.5, -0.5}).y, -1);
 }
 
+TEST(CowGrid, CopyIsSharedUntilFirstWrite) {
+  CowGrid<int> a(4, 3, 7);
+  const uint64_t detaches_before = cow_detach_count();
+  CowGrid<int> b = a;  // O(1): refcount bump, no cell copy
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_EQ(cow_detach_count(), detaches_before);
+
+  b.mut_at(1, 1) = 42;  // first write detaches b
+  EXPECT_FALSE(a.shares_storage_with(b));
+  EXPECT_EQ(cow_detach_count(), detaches_before + 1);
+  EXPECT_EQ(b.at(1, 1), 42);
+  EXPECT_EQ(a.at(1, 1), 7);  // original untouched
+
+  b.mut_at(2, 0) = 9;  // sole owner now: no further detach
+  EXPECT_EQ(cow_detach_count(), detaches_before + 1);
+}
+
+TEST(CowGrid, SoleOwnerWritesInPlace) {
+  CowGrid<int> a(4, 3, 0);
+  const uint64_t detaches_before = cow_detach_count();
+  a.mut_at(0, 0) = 1;
+  a.mutable_data()[5] = 2;
+  EXPECT_EQ(cow_detach_count(), detaches_before);
+}
+
+TEST(CowGrid, UnshareForcesPrivateStorage) {
+  CowGrid<int> a(2, 2, 3);
+  CowGrid<int> b = a;
+  b.unshare();
+  EXPECT_FALSE(a.shares_storage_with(b));
+  EXPECT_EQ(b.at(1, 1), 3);  // contents preserved
+  const uint64_t detaches_before = cow_detach_count();
+  b.unshare();  // already private: no-op
+  EXPECT_EQ(cow_detach_count(), detaches_before);
+}
+
+TEST(CowGrid, EqualityComparesContentAcrossStorage) {
+  CowGrid<int> a(2, 2, 3);
+  CowGrid<int> b = a;
+  EXPECT_EQ(a, b);  // shared storage fast path
+  b.unshare();
+  EXPECT_EQ(a, b);  // same content, distinct blocks
+  b.mut_at(0, 0) = 4;
+  EXPECT_FALSE(a == b);
+}
+
 }  // namespace
 }  // namespace lgv

@@ -110,6 +110,42 @@ TEST(ThreadPool, ParallelChunksMoreChunksThanItems) {
   EXPECT_EQ(calls.load(), 3);
 }
 
+TEST(ThreadPool, ParallelDynamicVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1003);
+  pool.parallel_dynamic(hits.size(), 4, [&hits](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelDynamicRangesRespectGrain) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_dynamic(10, 4, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin % 4, 0u);
+    EXPECT_LE(end - begin, 4u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 3);  // [0,4) [4,8) [8,10)
+}
+
+TEST(ThreadPool, ParallelDynamicGrainLargerThanCount) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  pool.parallel_dynamic(3, 100, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 3u);
+    visited.fetch_add(1);
+  });
+  EXPECT_EQ(visited.load(), 1);
+}
+
+TEST(ThreadPool, ParallelDynamicEmpty) {
+  ThreadPool pool(2);
+  pool.parallel_dynamic(0, 4, [](size_t, size_t) { FAIL() << "must not be called"; });
+}
+
 TEST(ThreadPool, ReentrantUseAfterWait) {
   ThreadPool pool(2);
   for (int round = 0; round < 5; ++round) {

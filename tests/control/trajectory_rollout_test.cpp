@@ -140,5 +140,48 @@ TEST(Rollout, StatsCountTrajectoriesAndSteps) {
   EXPECT_GT(d.stats.simulated_steps, 500u);
 }
 
+TEST(Rollout, DynamicScheduleMatchesStaticDecision) {
+  perception::Costmap2D cm = open_costmap();
+  const msg::PathMsg path = straight_path(5.0, 1.0, 9.0);
+  ThreadPool pool(4);
+  RolloutConfig static_cfg;
+  static_cfg.dynamic_schedule = false;
+  RolloutConfig dynamic_cfg;
+  dynamic_cfg.dynamic_schedule = true;
+  TrajectoryRollout static_r(static_cfg), dynamic_r(dynamic_cfg);
+  platform::ExecutionContext sctx(&pool, 4);
+  platform::ExecutionContext dctx(&pool, 4);
+  const RolloutDecision a =
+      static_r.compute(cm, path, {1.0, 5.0, 0.0}, {0.2, 0.0}, 0.6, sctx);
+  const RolloutDecision b =
+      dynamic_r.compute(cm, path, {1.0, 5.0, 0.0}, {0.2, 0.0}, 0.6, dctx);
+  // Scheduling never changes the decision, only how chunks map to threads.
+  EXPECT_DOUBLE_EQ(a.command.linear, b.command.linear);
+  EXPECT_DOUBLE_EQ(a.command.angular, b.command.angular);
+  EXPECT_DOUBLE_EQ(a.stats.best_score, b.stats.best_score);
+  EXPECT_EQ(a.stats.trajectories, b.stats.trajectories);
+}
+
+TEST(Rollout, ReportsChunkImbalance) {
+  // Obstacle ahead: early-exit trajectories make chunk costs uneven, which is
+  // exactly what the imbalance stat measures.
+  sim::World w(10.0, 10.0);
+  w.add_box({3.0, 4.4}, {3.6, 5.6});
+  perception::Costmap2D cm({0, 0}, 10.0, 10.0);
+  cm.set_static_map(perception::OccupancyGrid::from_binary(w.frame(), w.grid()).to_msg(0.0));
+  cm.inflate();
+  ThreadPool pool(4);
+  for (const bool dynamic : {false, true}) {
+    RolloutConfig cfg;
+    cfg.dynamic_schedule = dynamic;
+    TrajectoryRollout rollout(cfg);
+    platform::ExecutionContext ctx(&pool, 4);
+    const RolloutDecision d = rollout.compute(cm, straight_path(5.0, 1.0, 9.0),
+                                              {2.2, 5.0, 0.0}, {0.4, 0.0}, 0.6, ctx);
+    EXPECT_GE(d.stats.chunk_imbalance, 1.0) << "dynamic=" << dynamic;
+    EXPECT_TRUE(ctx.profile().regions.back().dynamic == dynamic);
+  }
+}
+
 }  // namespace
 }  // namespace lgv::control

@@ -131,5 +131,44 @@ TEST(OccupancyGrid, TouchedCellCountReported) {
   EXPECT_LE(touched, 25u);
 }
 
+TEST(OccupancyGrid, CopySharesCellsUntilWrite) {
+  OccupancyGrid g({0, 0}, 5.0, 5.0);
+  g.integrate_scan({1.0, 2.5, 0.0}, single_beam(2.0));
+  OccupancyGrid copy = g;  // resample-style copy: O(1), shared block
+  EXPECT_TRUE(copy.shares_cells_with(g));
+  EXPECT_EQ(copy.write_version(), g.write_version());
+
+  // Copy's 1 m beam puts a hit where the original saw free space.
+  const CellIndex hit = g.frame().world_to_cell({2.0, 2.5});
+  const double before = g.log_odds_at(hit);
+  copy.integrate_scan({1.0, 2.5, 0.0}, single_beam(1.0));
+  EXPECT_FALSE(copy.shares_cells_with(g));  // first write detached
+  EXPECT_NE(copy.write_version(), g.write_version());
+  EXPECT_GT(copy.log_odds_at(hit), before);
+  EXPECT_EQ(g.log_odds_at(hit), before);  // original never sees copy's writes
+}
+
+TEST(OccupancyGrid, SaturatedReobservationKeepsSharing) {
+  OccupancyGrid g({0, 0}, 5.0, 5.0);
+  // Saturate: repeated identical evidence clamps every touched cell.
+  for (int i = 0; i < 60; ++i) g.integrate_scan({1.0, 2.5, 0.0}, single_beam(2.0));
+  OccupancyGrid copy = g;
+  // The same scan again produces bit-identical cell values everywhere, so the
+  // no-op write skip keeps the block shared — no copy, no detach.
+  copy.integrate_scan({1.0, 2.5, 0.0}, single_beam(2.0));
+  EXPECT_TRUE(copy.shares_cells_with(g));
+}
+
+TEST(OccupancyGrid, DirtyTilesTrackMutations) {
+  OccupancyGrid g({0, 0}, 5.0, 5.0);
+  g.integrate_scan({1.0, 2.5, 0.0}, single_beam(2.0));
+  const uint64_t base = g.write_version();
+  EXPECT_EQ(g.dirty_tiles_since(base), 0u);
+  g.integrate_scan({1.0, 2.5, 0.0}, single_beam(1.0));
+  const size_t dirty = g.dirty_tiles_since(base);
+  EXPECT_GT(dirty, 0u);
+  EXPECT_LT(dirty, g.tile_count());  // a single beam touches few tiles
+}
+
 }  // namespace
 }  // namespace lgv::perception
