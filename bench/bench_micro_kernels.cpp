@@ -4,8 +4,22 @@
 // the paper-facing numbers (Figs. 9/10) use the platform cost models instead;
 // this suite exists to keep the actual implementations honest (no
 // accidentally quadratic kernels) and to profile optimization work.
+//
+// `--wallclock-json` switches to a self-contained A/B harness that times the
+// two hand-vectorized kernels (scanMatch score, trajectory-rollout scoring)
+// scalar-vs-SIMD with median-of-N steady-clock runs and writes
+// BENCH_kernel_wallclock.json (consumed by tools/run_kernel_bench.sh and the
+// CI kernel-bench job). Without the flag it is a normal google-benchmark
+// binary.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "bench_util.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "control/trajectory_rollout.h"
 #include "msg/messages.h"
@@ -217,6 +231,162 @@ void BM_ThreadPoolDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4);
 
+// ---- wall-clock A/B harness (--wallclock-json) -----------------------------
+
+struct WallKernelResult {
+  std::string name;
+  int iters = 0;
+  double scalar_ns = 0.0;  ///< per call
+  double simd_ns = 0.0;    ///< per call
+  double speedup = 0.0;
+  double rel_err = 0.0;    ///< |scalar − simd| / max(1, |scalar|) of a checksum
+  bool agree = false;
+};
+
+/// scanMatch score loop: scalar reference vs the staged SIMD pipeline, pinned
+/// via simd::force_level. The projection contract makes the two bit-identical,
+/// so the checksum must match exactly.
+WallKernelResult wallclock_scan_match(int runs, int iters) {
+  Fixture& fx = fixture();
+  perception::ScanMatcher matcher;
+  perception::LikelihoodField field;
+  field.sync(fx.map);
+  const perception::PrecomputedScan pre = perception::precompute_scan(
+      fx.scan, matcher.config().beam_stride, fx.map.frame().resolution);
+  // A small deterministic pose orbit so branch history is realistic (the
+  // refine loop never scores one pose repeatedly).
+  const auto pose_at = [&](int i) {
+    return Pose2D{fx.scenario.start.x + 0.01 * (i % 7),
+                  fx.scenario.start.y - 0.008 * (i % 5),
+                  fx.scenario.start.theta + 0.005 * (i % 9)};
+  };
+  const auto leg = [&](simd::Level level, double* checksum) {
+    simd::force_level(level);
+    const double s = lgv::bench::time_median(runs, [&] {
+      double sum = 0.0;
+      for (int i = 0; i < iters; ++i) {
+        sum += matcher.score(field, pose_at(i), pre, nullptr);
+      }
+      benchmark::DoNotOptimize(sum);
+      *checksum = sum;
+    });
+    simd::clear_forced_level();
+    return s * 1e9 / iters;
+  };
+  WallKernelResult r;
+  r.name = "scan_match_score";
+  r.iters = iters;
+  double scalar_sum = 0.0, simd_sum = 0.0;
+  r.scalar_ns = leg(simd::Level::kScalar, &scalar_sum);
+  r.simd_ns = leg(simd::detected_level(), &simd_sum);
+  r.speedup = r.simd_ns > 0.0 ? r.scalar_ns / r.simd_ns : 0.0;
+  r.rel_err = std::abs(scalar_sum - simd_sum) / std::max(1.0, std::abs(scalar_sum));
+  r.agree = r.rel_err <= 1e-9;
+  return r;
+}
+
+/// Trajectory-rollout scoring: the scalar per-candidate loop (use_simd=false)
+/// vs the vectorized forward simulation. Positions agree to rounding only
+/// (rotation recurrence), so the decision checksum gets an epsilon.
+WallKernelResult wallclock_score_trajectory(int runs, int iters) {
+  Fixture& fx = fixture();
+  control::RolloutConfig scalar_cfg;
+  scalar_cfg.samples = 2000;
+  scalar_cfg.use_simd = false;
+  control::RolloutConfig simd_cfg = scalar_cfg;
+  simd_cfg.use_simd = true;
+  const auto leg = [&](const control::RolloutConfig& cfg, double* checksum) {
+    control::TrajectoryRollout rollout(cfg);
+    platform::ExecutionContext ctx;
+    const double s = lgv::bench::time_median(runs, [&] {
+      double sum = 0.0;
+      for (int i = 0; i < iters; ++i) {
+        const control::RolloutDecision d = rollout.compute(
+            fx.costmap, fx.path, fx.scenario.start, {0.2, 0.0}, 0.6, ctx);
+        ctx.reset();
+        sum += d.stats.best_score + d.command.linear + d.command.angular;
+      }
+      benchmark::DoNotOptimize(sum);
+      *checksum = sum;
+    });
+    return s * 1e9 / iters;
+  };
+  WallKernelResult r;
+  r.name = "score_trajectory";
+  r.iters = iters;
+  double scalar_sum = 0.0, simd_sum = 0.0;
+  r.scalar_ns = leg(scalar_cfg, &scalar_sum);
+  r.simd_ns = leg(simd_cfg, &simd_sum);
+  r.speedup = r.simd_ns > 0.0 ? r.scalar_ns / r.simd_ns : 0.0;
+  r.rel_err = std::abs(scalar_sum - simd_sum) / std::max(1.0, std::abs(scalar_sum));
+  r.agree = r.rel_err <= 1e-6;
+  return r;
+}
+
+int run_wallclock_json(int runs, bool smoke) {
+  lgv::bench::print_title("Kernel wall-clock: scalar vs SIMD (median of runs)");
+  const simd::Level level = simd::detected_level();
+  std::printf("simd level: %s, runs per leg: %d%s\n", simd::level_name(level), runs,
+              smoke ? " (smoke)" : "");
+  if (level == simd::Level::kScalar) {
+    std::printf("no vector unit in this build/CPU; nothing to compare\n");
+  }
+
+  std::vector<WallKernelResult> results;
+  results.push_back(wallclock_scan_match(runs, smoke ? 400 : 4000));
+  results.push_back(wallclock_score_trajectory(runs, smoke ? 4 : 24));
+
+  std::printf("\n%-22s %12s %12s %9s %10s %7s\n", "kernel", "scalar", "simd",
+              "speedup", "rel_err", "agree");
+  for (const WallKernelResult& r : results) {
+    std::printf("%-22s %10.0fns %10.0fns %8.2fx %10.1e %7s\n", r.name.c_str(),
+                r.scalar_ns, r.simd_ns, r.speedup, r.rel_err,
+                r.agree ? "yes" : "NO");
+  }
+
+  const char* json_path = "BENCH_kernel_wallclock.json";
+  {
+    std::ofstream f(json_path);
+    f << "{\n  \"bench\": \"kernel_wallclock\",\n";
+    f << "  \"simd_level\": \"" << simd::level_name(level) << "\",\n";
+    f << "  \"runs\": " << runs << ",\n";
+    f << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    f << "  \"kernels\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const WallKernelResult& r = results[i];
+      f << "    {\"name\": \"" << r.name << "\", \"iters\": " << r.iters
+        << ", \"scalar_ns_per_call\": " << r.scalar_ns
+        << ", \"simd_ns_per_call\": " << r.simd_ns
+        << ", \"speedup\": " << r.speedup << ", \"rel_err\": " << r.rel_err
+        << ", \"agree\": " << (r.agree ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+  }
+  std::printf("\nwrote %s\n", json_path);
+
+  bool ok = true;
+  for (const WallKernelResult& r : results) ok = ok && r.agree;
+  if (!ok) std::printf("SCALAR/SIMD DISAGREEMENT\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool wallclock = false, smoke = false;
+  int runs = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wallclock-json") == 0) wallclock = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--wallclock-runs=", 17) == 0) {
+      runs = std::max(1, std::atoi(argv[i] + 17));
+    }
+  }
+  if (wallclock) return run_wallclock_json(runs, smoke);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -40,14 +40,13 @@ perception::GmappingConfig bench_config(int particles) {
 bool states_equal(const perception::Gmapping& a, const perception::Gmapping& b) {
   if (a.particle_count() != b.particle_count()) return false;
   for (int i = 0; i < a.particle_count(); ++i) {
-    const perception::Particle& pa = a.particles()[static_cast<size_t>(i)];
-    const perception::Particle& pb = b.particles()[static_cast<size_t>(i)];
-    if (!(pa.pose == pb.pose) || pa.weight != pb.weight ||
-        pa.log_weight != pb.log_weight) {
+    const size_t k = static_cast<size_t>(i);
+    if (!(a.poses()[k] == b.poses()[k]) || a.weights()[k] != b.weights()[k] ||
+        a.log_weights()[k] != b.log_weights()[k]) {
       return false;
     }
-    const perception::OccupancyGrid& ga = pa.map;
-    const perception::OccupancyGrid& gb = pb.map;
+    const perception::OccupancyGrid& ga = a.particles()[k].map;
+    const perception::OccupancyGrid& gb = b.particles()[k].map;
     if (ga.width() != gb.width() || ga.height() != gb.height() ||
         ga.known_cells() != gb.known_cells()) {
       return false;

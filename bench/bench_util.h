@@ -4,6 +4,8 @@
 // that can be piped into a plotting tool.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -13,6 +15,46 @@
 #include "common/telemetry/metrics.h"
 
 namespace lgv::bench {
+
+/// Wall-clock stopwatch on std::chrono::steady_clock. The mission benches run
+/// on virtual time (SimClock); this exists for the host-performance legs that
+/// measure the real kernels (BENCH_kernel_wallclock.json) where elapsed
+/// machine time IS the result.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Median of a sample set (by value; the input is copied and sorted).
+/// Medians, not means: one scheduler hiccup in N runs must not move the
+/// reported number.
+inline double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t mid = xs.size() / 2;
+  return xs.size() % 2 == 1 ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+/// Run `fn` `runs` times and return the median wall-clock seconds of one run.
+template <typename Fn>
+double time_median(int runs, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    WallTimer t;
+    fn();
+    samples.push_back(t.seconds());
+  }
+  return median(std::move(samples));
+}
 
 inline void print_title(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -23,10 +23,11 @@ class WireWriter {
   void put_string(const std::string& s);
   void put_bytes(const void* data, size_t size);
 
-  template <typename T>
-  void put_repeated_double(const std::vector<T>& values) {
+  // Any contiguous range of arithmetic values (vector, aligned_vector, span).
+  template <typename Range>
+  void put_repeated_double(const Range& values) {
     put_varint(values.size());
-    for (const T& v : values) put_double(static_cast<double>(v));
+    for (const auto& v : values) put_double(static_cast<double>(v));
   }
   template <typename T>
   void put_repeated_float(const std::vector<T>& values) {

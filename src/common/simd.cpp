@@ -1,0 +1,72 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace lgv::simd {
+
+namespace {
+
+Level build_cap() {
+#if defined(LGV_HAVE_AVX2)
+  return Level::kAVX2;
+#elif defined(LGV_HAVE_SSE2)
+  return Level::kSSE2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level cpu_cap() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Level::kAVX2;
+  }
+  if (__builtin_cpu_supports("sse2")) return Level::kSSE2;
+#endif
+  return Level::kScalar;
+}
+
+Level min_level(Level a, Level b) { return static_cast<int>(a) < static_cast<int>(b) ? a : b; }
+
+Level env_cap() {
+  const char* env = std::getenv("LGV_SIMD");
+  if (env == nullptr) return Level::kAVX2;  // no override: no extra cap
+  if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(env, "sse2") == 0) return Level::kSSE2;
+  return Level::kAVX2;  // "avx2" or unrecognized: defer to detection
+}
+
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kSSE2: return "sse2";
+    case Level::kAVX2: return "avx2";
+  }
+  return "?";
+}
+
+Level detected_level() {
+  static const Level level = min_level(build_cap(), cpu_cap());
+  return level;
+}
+
+Level active_level() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return min_level(static_cast<Level>(forced), detected_level());
+  static const Level env_capped = min_level(env_cap(), detected_level());
+  return env_capped;
+}
+
+void force_level(Level level) {
+  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void clear_forced_level() { g_forced.store(-1, std::memory_order_relaxed); }
+
+}  // namespace lgv::simd

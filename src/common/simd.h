@@ -1,0 +1,37 @@
+// Runtime CPU-feature dispatch for the hand-vectorized kernels (scanMatch
+// score, trajectory-rollout forward simulation). The scalar implementations
+// remain the always-compiled semantic reference; the SSE2/AVX2 variants are
+// compiled into their own translation units (the AVX2 ones with -mavx2 -mfma,
+// see src/common/CMakeLists.txt) and selected once at startup from CPUID.
+//
+// Selection order: LGV_SIMD environment override ("scalar" | "sse2" | "avx2",
+// capped at what the build and the CPU actually support) → highest detected
+// level. force_level() exists so equivalence tests can pin a specific path
+// regardless of the host.
+#pragma once
+
+namespace lgv::simd {
+
+enum class Level {
+  kScalar = 0,
+  kSSE2 = 1,
+  kAVX2 = 2,
+};
+
+const char* level_name(Level level);
+
+/// Highest level this build AND this CPU support (cached after first call).
+Level detected_level();
+
+/// The level kernels should dispatch on: force_level() override if set,
+/// otherwise LGV_SIMD env override, otherwise detected_level().
+Level active_level();
+
+/// Pin the dispatch level (tests); pass detected_level() semantics back by
+/// forcing a level above what is available — it is capped. Not thread-safe
+/// against concurrent kernel launches; call between kernel invocations.
+void force_level(Level level);
+/// Drop the force_level() pin.
+void clear_forced_level();
+
+}  // namespace lgv::simd

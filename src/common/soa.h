@@ -1,0 +1,104 @@
+// Structure-of-arrays building blocks for the hot kernels: a 32-byte-aligned
+// vector (so AVX2 lanes can use aligned loads on the common case and the
+// arrays never straddle a cache line at element 0) and PoseBlock, the SoA
+// form of a set of Pose2D that the particle filters and the scan matcher
+// stream x/y/θ lanes from.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace lgv {
+
+/// Minimal aligned allocator (std::aligned_alloc under the hood). 32 bytes
+/// covers an AVX2 lane; SSE2's 16 divides it.
+template <typename T, std::size_t Alignment = 32>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = Alignment;
+
+  // The non-type Alignment parameter defeats allocator_traits' automatic
+  // rebind; spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t bytes = ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept { return true; }
+};
+
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// SoA pose storage: three parallel aligned arrays instead of an array of
+/// {x, y, θ} structs, so a kernel touching only x/y (or only θ) streams
+/// contiguous memory and SIMD lanes load without shuffles.
+class PoseBlock {
+ public:
+  size_t size() const { return x_.size(); }
+  bool empty() const { return x_.empty(); }
+
+  Pose2D at(size_t i) const { return Pose2D{x_[i], y_[i], theta_[i]}; }
+  Pose2D operator[](size_t i) const { return at(i); }
+  void set(size_t i, const Pose2D& p) {
+    x_[i] = p.x;
+    y_[i] = p.y;
+    theta_[i] = p.theta;
+  }
+  void push_back(const Pose2D& p) {
+    x_.push_back(p.x);
+    y_.push_back(p.y);
+    theta_.push_back(p.theta);
+  }
+  void clear() {
+    x_.clear();
+    y_.clear();
+    theta_.clear();
+  }
+  void reserve(size_t n) {
+    x_.reserve(n);
+    y_.reserve(n);
+    theta_.reserve(n);
+  }
+  void resize(size_t n) {
+    x_.resize(n);
+    y_.resize(n);
+    theta_.resize(n);
+  }
+  void assign_all(size_t n, const Pose2D& p) {
+    x_.assign(n, p.x);
+    y_.assign(n, p.y);
+    theta_.assign(n, p.theta);
+  }
+
+  const double* x() const { return x_.data(); }
+  const double* y() const { return y_.data(); }
+  const double* theta() const { return theta_.data(); }
+  double* x() { return x_.data(); }
+  double* y() { return y_.data(); }
+  double* theta() { return theta_.data(); }
+
+ private:
+  aligned_vector<double> x_, y_, theta_;
+};
+
+}  // namespace lgv

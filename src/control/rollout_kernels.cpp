@@ -1,0 +1,35 @@
+// Level dispatch for the rollout kernel. The scalar reference path lives in
+// TrajectoryRollout::compute; callers only come here with a vector level.
+#include "control/rollout_kernels.h"
+
+#include <cassert>
+
+namespace lgv::control {
+
+void rollout_simulate(simd::Level level, const RolloutSimArgs& args,
+                      size_t begin, size_t end) {
+  using simd::Level;
+#if !defined(LGV_HAVE_AVX2)
+  if (level == Level::kAVX2) level = Level::kSSE2;
+#endif
+#if !defined(LGV_HAVE_SSE2)
+  level = Level::kScalar;
+#endif
+  assert(level != Level::kScalar && "caller owns the scalar path");
+#if defined(LGV_HAVE_AVX2)
+  if (level == Level::kAVX2) {
+    detail::rollout_simulate_avx2(args, begin, end);
+    return;
+  }
+#endif
+#if defined(LGV_HAVE_SSE2)
+  detail::rollout_simulate_sse2(args, begin, end);
+#else
+  (void)level;
+  (void)args;
+  (void)begin;
+  (void)end;
+#endif
+}
+
+}  // namespace lgv::control

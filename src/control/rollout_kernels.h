@@ -1,0 +1,64 @@
+// Vectorized forward simulation for the Trajectory Rollout score loop.
+// Each candidate (v, ω) integrates the unicycle model for `steps` steps and
+// probes the costmap master grid along the way; the per-candidate scoring
+// epilogue (path/goal/heading terms) stays scalar in TrajectoryRollout.
+//
+// Heading is advanced by a rotation recurrence (cos/sin evaluated by libm
+// once per candidate for ω·dt, then rotated each step) instead of per-step
+// libm calls, so positions agree with the scalar reference only to rounding
+// — bounded-epsilon, not bit-identical. Per-candidate outputs are still
+// independent of how callers block the candidate range (lanes never interact
+// and dead lanes are frozen), which is what the schedule-equivalence tests
+// require.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.h"
+
+namespace lgv::control {
+
+/// Raw read-only view of the costmap master grid (Grid<uint8_t>, row-major
+/// y·width + x). Off-grid probes yield `out_of_bounds`, matching
+/// Costmap2D::cost_at.
+struct CostmapView {
+  const uint8_t* cells = nullptr;
+  int width = 0;
+  int height = 0;
+  double origin_x = 0.0, origin_y = 0.0, resolution = 0.05;
+  uint8_t out_of_bounds = 254;  ///< kCostLethal
+};
+
+struct RolloutSimArgs {
+  /// Global candidate arrays; rollout_simulate reads [begin, end).
+  const double* cand_v = nullptr;
+  const double* cand_w = nullptr;
+  /// Start pose shared by every candidate.
+  double pose_x = 0.0, pose_y = 0.0, pose_theta = 0.0;
+  double dt = 0.1;
+  int steps = 16;
+  uint8_t collision_cost = 253;  ///< probe ≥ this → trajectory illegal
+  CostmapView costmap;
+  /// Outputs, indexed [0, end − begin): final pose (frozen at the collision
+  /// step for illegal candidates, normalize_angle'd θ), summed probe cost,
+  /// simulated step count, and the illegal flag.
+  double* out_x = nullptr;
+  double* out_y = nullptr;
+  double* out_theta = nullptr;
+  double* out_obstacle = nullptr;
+  int32_t* out_executed = nullptr;
+  uint8_t* out_illegal = nullptr;
+};
+
+/// Simulate candidates [begin, end). `level` must be a vector level; the
+/// scalar reference loop lives in TrajectoryRollout::compute.
+void rollout_simulate(simd::Level level, const RolloutSimArgs& args,
+                      size_t begin, size_t end);
+
+namespace detail {
+void rollout_simulate_sse2(const RolloutSimArgs& args, size_t begin, size_t end);
+void rollout_simulate_avx2(const RolloutSimArgs& args, size_t begin, size_t end);
+}  // namespace detail
+
+}  // namespace lgv::control

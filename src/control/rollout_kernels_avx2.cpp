@@ -1,0 +1,18 @@
+// AVX2 instantiation of the rollout kernel; compiled with -mavx2 -mfma
+// -ffp-contract=off and only dispatched to when CPUID reports avx2+fma.
+#include "common/simd_vec.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX2__)
+
+#include "control/rollout_kernels_impl.h"
+
+namespace lgv::control::detail {
+
+void rollout_simulate_avx2(const RolloutSimArgs& args, size_t begin,
+                           size_t end) {
+  rollout_simulate_impl<lgv::simd::VecAVX2>(args, begin, end);
+}
+
+}  // namespace lgv::control::detail
+
+#endif

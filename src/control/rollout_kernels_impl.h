@@ -1,0 +1,111 @@
+// Templated body of the rollout forward-simulation kernel; instantiated per
+// ISA TU with the simd_vec.h wrappers. See rollout_kernels.h for the
+// numerics contract (bounded-epsilon vs. the scalar reference, per-candidate
+// results independent of the caller's blocking).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/geometry.h"
+#include "common/simd_vec.h"
+#include "control/rollout_kernels.h"
+
+namespace lgv::control {
+
+template <class V>
+void rollout_simulate_impl(const RolloutSimArgs& a, size_t begin, size_t end) {
+  constexpr int W = V::kWidth;
+  const CostmapView& cm = a.costmap;
+  const double c0 = std::cos(a.pose_theta);
+  const double s0 = std::sin(a.pose_theta);
+  const V vdt = V::set1(a.dt);
+
+  for (size_t i = begin; i < end; i += W) {
+    const size_t rem = std::min<size_t>(W, end - i);
+    // Lane setup; padding lanes duplicate the last candidate so every lane
+    // runs meaningful arithmetic (no NaN/denormal stalls), and their results
+    // are simply not written back.
+    alignas(32) double lv[W], lw[W], lcw[W], lsw[W];
+    for (int l = 0; l < W; ++l) {
+      const size_t s = i + (static_cast<size_t>(l) < rem ? l : rem - 1);
+      lv[l] = a.cand_v[s];
+      lw[l] = a.cand_w[s];
+      // One libm cos/sin pair per candidate; per-step headings come from
+      // rotating (cos θ, sin θ) by ω·dt.
+      lcw[l] = std::cos(lw[l] * a.dt);
+      lsw[l] = std::sin(lw[l] * a.dt);
+    }
+    const V vv = V::load(lv);
+    const V vwdt = V::load(lw) * vdt;
+    const V vcw = V::load(lcw), vsw = V::load(lsw);
+
+    V px = V::set1(a.pose_x), py = V::set1(a.pose_y);
+    V th = V::set1(a.pose_theta);  // unwrapped; normalized on write-back
+    V ct = V::set1(c0), st = V::set1(s0);
+
+    alignas(32) double bx[W], by[W], bth[W];
+    double obstacle[W] = {0.0};
+    double fx[W], fy[W], fth[W];
+    bool alive[W];
+    bool illegal[W] = {false};
+    int executed[W] = {0};
+    for (int l = 0; l < W; ++l) alive[l] = true;
+    int n_alive = W;
+
+    for (int step = 0; step < a.steps && n_alive > 0; ++step) {
+      // Unicycle update, same op order as the scalar loop: the position uses
+      // the heading *before* this step's turn.
+      px = px + (vv * ct) * vdt;
+      py = py + (vv * st) * vdt;
+      th = th + vwdt;
+      const V nct = (ct * vcw) - (st * vsw);
+      const V nst = (st * vcw) + (ct * vsw);
+      ct = nct;
+      st = nst;
+
+      V::store(bx, px);
+      V::store(by, py);
+      V::store(bth, th);
+      for (int l = 0; l < W; ++l) {
+        if (!alive[l]) continue;
+        executed[l] = step + 1;
+        const int cx = static_cast<int>(
+            std::floor((bx[l] - cm.origin_x) / cm.resolution));
+        const int cy = static_cast<int>(
+            std::floor((by[l] - cm.origin_y) / cm.resolution));
+        const bool in =
+            cx >= 0 && cx < cm.width && cy >= 0 && cy < cm.height;
+        const uint8_t cost =
+            in ? cm.cells[static_cast<size_t>(cy) * cm.width + cx]
+               : cm.out_of_bounds;
+        if (cost >= a.collision_cost) {
+          illegal[l] = true;
+          alive[l] = false;
+          --n_alive;
+          fx[l] = bx[l];
+          fy[l] = by[l];
+          fth[l] = bth[l];
+          continue;
+        }
+        obstacle[l] += static_cast<double>(cost);
+      }
+    }
+
+    V::store(bx, px);
+    V::store(by, py);
+    V::store(bth, th);
+    for (size_t l = 0; l < rem; ++l) {
+      const size_t o = (i - begin) + l;
+      const bool survived = alive[l];
+      a.out_x[o] = survived ? bx[l] : fx[l];
+      a.out_y[o] = survived ? by[l] : fy[l];
+      a.out_theta[o] = normalize_angle(survived ? bth[l] : fth[l]);
+      a.out_obstacle[o] = obstacle[l];
+      a.out_executed[o] = executed[l];
+      a.out_illegal[o] = illegal[l] ? 1 : 0;
+    }
+  }
+}
+
+}  // namespace lgv::control

@@ -1,0 +1,18 @@
+// SSE2 instantiation of the rollout kernel (baseline x86-64; compiled with
+// -ffp-contract=off so the integrator's op order is what the source says).
+#include "common/simd_vec.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__SSE2__)
+
+#include "control/rollout_kernels_impl.h"
+
+namespace lgv::control::detail {
+
+void rollout_simulate_sse2(const RolloutSimArgs& args, size_t begin,
+                           size_t end) {
+  rollout_simulate_impl<lgv::simd::VecSSE2>(args, begin, end);
+}
+
+}  // namespace lgv::control::detail
+
+#endif

@@ -4,6 +4,10 @@
 #include <atomic>
 #include <cmath>
 
+#include "common/arena.h"
+#include "common/simd.h"
+#include "common/soa.h"
+#include "control/rollout_kernels.h"
 #include "platform/calibration.h"
 
 namespace lgv::control {
@@ -87,56 +91,130 @@ RolloutDecision TrajectoryRollout::compute(const perception::Costmap2D& costmap,
   std::atomic<size_t> total_steps{0};
   std::atomic<size_t> discarded{0};
 
+  // Scoring epilogue shared by the scalar and vectorized paths: everything
+  // after the forward simulation (path/goal/heading/oscillation terms) from
+  // the candidate's final pose and accumulated obstacle cost.
+  const auto score_of = [&](const Candidate& c, const Pose2D& p,
+                            double obstacle_cost, int executed) -> double {
+    // Proximity to the upcoming stretch of the global path.
+    double path_dist = std::numeric_limits<double>::infinity();
+    for (const Point2D& wp : window) {
+      path_dist = std::min(path_dist, distance(wp, p.position()));
+    }
+    const double goal_dist = distance(goal, p.position());
+    const double bearing = std::atan2(goal.y - p.y, goal.x - p.x);
+    const double heading_err = std::abs(angle_diff(bearing, p.theta));
+    const double oscillation =
+        std::abs(c.w - last_command_.angular) + (c.v < 1e-3 ? 0.2 : 0.0);
+    const double mean_obstacle =
+        obstacle_cost / static_cast<double>(std::max(1, executed));
+    return -config_.w_goal * goal_dist - config_.w_path * path_dist -
+           config_.w_obstacle * mean_obstacle - config_.w_heading * heading_err -
+           config_.w_oscillation * oscillation +
+           0.05 * c.v;  // slight preference for progress
+  };
+
+  const platform::Schedule schedule = config_.dynamic_schedule
+                                          ? platform::Schedule::kDynamic
+                                          : platform::Schedule::kStatic;
+  const simd::Level level = simd::active_level();
+  const bool vectorized =
+      config_.use_simd && level != simd::Level::kScalar && !candidates.empty();
+
   // ---- Fig. 5: parallel scoreTrajectory over the candidate set.
   const size_t regions_before = ctx.profile().regions.size();
-  ctx.parallel_kernel(candidates.size(), [&](size_t i) -> double {
-    const Candidate c = candidates[i];
-    Pose2D p = pose;
-    double obstacle_cost = 0.0;
-    bool illegal = false;
-    int executed = 0;
-    for (int s = 0; s < steps; ++s) {
-      ++executed;
-      // Unicycle forward simulation.
-      p.x += c.v * std::cos(p.theta) * config_.sim_dt;
-      p.y += c.v * std::sin(p.theta) * config_.sim_dt;
-      p.theta = normalize_angle(p.theta + c.w * config_.sim_dt);
-      const uint8_t cost = costmap.cost_at_world(p.position());
-      if (cost >= perception::kCostInscribed) {  // lethal or unknown footprint
-        illegal = true;
-        break;
-      }
-      obstacle_cost += static_cast<double>(cost);
+  if (vectorized) {
+    // SoA candidate arrays for the kernel's contiguous lane loads.
+    const size_t n = candidates.size();
+    aligned_vector<double> cand_v(n), cand_w(n);
+    for (size_t i = 0; i < n; ++i) {
+      cand_v[i] = candidates[i].v;
+      cand_w[i] = candidates[i].w;
     }
-    total_steps.fetch_add(static_cast<size_t>(executed), std::memory_order_relaxed);
+    const GridFrame& cframe = costmap.frame();
+    CostmapView view;
+    view.cells = costmap.master().data().data();
+    view.width = costmap.width();
+    view.height = costmap.height();
+    view.origin_x = cframe.origin.x;
+    view.origin_y = cframe.origin.y;
+    view.resolution = cframe.resolution;
+    view.out_of_bounds = perception::kCostLethal;
 
-    if (illegal) {
-      discarded.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      // Proximity to the upcoming stretch of the global path.
-      double path_dist = std::numeric_limits<double>::infinity();
-      for (const Point2D& wp : window) {
-        path_dist = std::min(path_dist, distance(wp, p.position()));
+    ctx.parallel_kernel_blocks(n, [&](size_t begin, size_t end) -> double {
+      const size_t m = end - begin;
+      Arena& arena = thread_scratch();
+      const Arena::Scope scope(arena);
+      RolloutSimArgs args;
+      args.cand_v = cand_v.data();
+      args.cand_w = cand_w.data();
+      args.pose_x = pose.x;
+      args.pose_y = pose.y;
+      args.pose_theta = pose.theta;
+      args.dt = config_.sim_dt;
+      args.steps = steps;
+      args.collision_cost = perception::kCostInscribed;
+      args.costmap = view;
+      args.out_x = arena.alloc_array<double>(m);
+      args.out_y = arena.alloc_array<double>(m);
+      args.out_theta = arena.alloc_array<double>(m);
+      args.out_obstacle = arena.alloc_array<double>(m);
+      args.out_executed = arena.alloc_array<int32_t>(m);
+      args.out_illegal = arena.alloc_array<uint8_t>(m);
+      rollout_simulate(level, args, begin, end);
+
+      double cycles = 0.0;
+      size_t block_steps = 0, block_discarded = 0;
+      for (size_t k = 0; k < m; ++k) {
+        const int executed = static_cast<int>(args.out_executed[k]);
+        cycles += static_cast<double>(executed) * calib::kRolloutCyclesPerStep +
+                  calib::kRolloutCyclesPerTrajectory;
+        block_steps += static_cast<size_t>(executed);
+        if (args.out_illegal[k] != 0) {
+          ++block_discarded;
+          continue;
+        }
+        const Pose2D p{args.out_x[k], args.out_y[k], args.out_theta[k]};
+        scores[begin + k] =
+            score_of(candidates[begin + k], p, args.out_obstacle[k], executed);
       }
-      const double goal_dist = distance(goal, p.position());
-      const double bearing =
-          std::atan2(goal.y - p.y, goal.x - p.x);
-      const double heading_err = std::abs(angle_diff(bearing, p.theta));
-      const double oscillation =
-          std::abs(c.w - last_command_.angular) + (c.v < 1e-3 ? 0.2 : 0.0);
-      const double mean_obstacle =
-          obstacle_cost / static_cast<double>(std::max(1, executed));
-      scores[i] = -config_.w_goal * goal_dist - config_.w_path * path_dist -
-                  config_.w_obstacle * mean_obstacle -
-                  config_.w_heading * heading_err -
-                  config_.w_oscillation * oscillation +
-                  0.05 * c.v;  // slight preference for progress
-    }
-    return static_cast<double>(executed) * calib::kRolloutCyclesPerStep +
-           calib::kRolloutCyclesPerTrajectory;
-  },
-  config_.dynamic_schedule ? platform::Schedule::kDynamic
-                           : platform::Schedule::kStatic);
+      total_steps.fetch_add(block_steps, std::memory_order_relaxed);
+      discarded.fetch_add(block_discarded, std::memory_order_relaxed);
+      return cycles;
+    },
+    schedule);
+  } else {
+    ctx.parallel_kernel(candidates.size(), [&](size_t i) -> double {
+      const Candidate c = candidates[i];
+      Pose2D p = pose;
+      double obstacle_cost = 0.0;
+      bool illegal = false;
+      int executed = 0;
+      for (int s = 0; s < steps; ++s) {
+        ++executed;
+        // Unicycle forward simulation.
+        p.x += c.v * std::cos(p.theta) * config_.sim_dt;
+        p.y += c.v * std::sin(p.theta) * config_.sim_dt;
+        p.theta = normalize_angle(p.theta + c.w * config_.sim_dt);
+        const uint8_t cost = costmap.cost_at_world(p.position());
+        if (cost >= perception::kCostInscribed) {  // lethal or unknown footprint
+          illegal = true;
+          break;
+        }
+        obstacle_cost += static_cast<double>(cost);
+      }
+      total_steps.fetch_add(static_cast<size_t>(executed), std::memory_order_relaxed);
+
+      if (illegal) {
+        discarded.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        scores[i] = score_of(c, p, obstacle_cost, executed);
+      }
+      return static_cast<double>(executed) * calib::kRolloutCyclesPerStep +
+             calib::kRolloutCyclesPerTrajectory;
+    },
+    schedule);
+  }
 
   out.stats.simulated_steps = total_steps.load();
   out.stats.discarded = discarded.load();

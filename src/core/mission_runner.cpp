@@ -165,8 +165,10 @@ void MissionRunner::on_scan_tick(double now) {
     mux_.on_command("safety", *intervention, now);
   }
 
-  scan_pub_.publish(scan);
-  odom_pub_.publish(odom);
+  // Move-publish: the Graph takes ownership of the payload; local
+  // subscribers alias it instead of copying (mw_zero_copy_total).
+  scan_pub_.publish(std::move(scan));
+  odom_pub_.publish(std::move(odom));
 
   // Vision-based LGV: the camera frames at the scan rate (sensor local).
   if (camera_.has_value()) {
@@ -230,11 +232,11 @@ void MissionRunner::run_localization(double now) {
     msg::PoseStamped p;
     p.header.stamp = stamp;
     p.pose = estimate;
-    pose_pub_.publish(p);
+    pose_pub_.publish(std::move(p));
     msg::PoseStamped tf;
     tf.header.stamp = stamp;
     tf.pose = correction;
-    tf_pub_.publish(tf);
+    tf_pub_.publish(std::move(tf));
   });
 }
 
@@ -295,7 +297,7 @@ void MissionRunner::run_tracking(double now) {
     msg::TwistMsg cmd;
     cmd.header.stamp = stamp;  // originating scan time → VDP makespan
     cmd.velocity = decision.command;
-    cmd_pub_.publish(cmd);
+    cmd_pub_.publish(std::move(cmd));
   });
 }
 

@@ -38,6 +38,8 @@ telemetry::Telemetry* Graph::topic_telemetry(detail::TopicRec& rec) {
     rec.telemetry.delivered = &m.counter("mw_delivered_total", labels);
     rec.telemetry.dropped = &m.counter("mw_dropped_total", labels);
     rec.telemetry.sent_remote = &m.counter("mw_sent_remote_total", labels);
+    rec.telemetry.payload_copies = &m.counter("mw_payload_copies_total", labels);
+    rec.telemetry.zero_copy = &m.counter("mw_zero_copy_total", labels);
     rec.telemetry.queue_depth = &m.gauge("mw_queue_depth", labels);
     rec.telemetry.message_bytes = &m.histogram(
         "mw_message_bytes", labels,
@@ -67,16 +69,29 @@ void Graph::enqueue(detail::TopicRec& rec, detail::SubscriptionRec& sub,
 }
 
 void Graph::dispatch(detail::TopicRec& rec, const NodeName& publisher,
-                     const detail::ErasedMessage& msg, const std::vector<uint8_t>* bytes) {
+                     const detail::ErasedMessage& msg) {
   const Host src = host_of(publisher);
+  // Lazy serialization: bytes exist only once something needs them — a
+  // remote hop, or the size histogram when telemetry is wired. A local-only
+  // publish on a quiet topic costs no encoding at all; subscribers share the
+  // publisher's immutable payload.
+  std::vector<uint8_t> bytes;
+  bool have_bytes = false;
+  const auto ensure_bytes = [&]() -> const std::vector<uint8_t>& {
+    if (!have_bytes) {
+      bytes = rec.serialize(msg.get());
+      have_bytes = true;
+      rec.last_bytes = bytes.size();
+      rec.last_bytes_valid = true;
+    }
+    return bytes;
+  };
   if (telemetry::Telemetry* t = topic_telemetry(rec)) {
     rec.telemetry.published->inc();
-    rec.telemetry.message_bytes->observe(
-        bytes != nullptr ? static_cast<double>(bytes->size()) : 0.0);
-    t->tracer().instant_now(
-        "mw.publish", platform::host_name(src), rec.name,
-        {{"publisher", publisher},
-         {"bytes", std::to_string(bytes != nullptr ? bytes->size() : 0)}});
+    rec.telemetry.message_bytes->observe(static_cast<double>(ensure_bytes().size()));
+    t->tracer().instant_now("mw.publish", platform::host_name(src), rec.name,
+                            {{"publisher", publisher},
+                             {"bytes", std::to_string(bytes.size())}});
   }
   for (auto& sub : rec.subs) {
     const Host dst = host_of(sub->subscriber);
@@ -86,7 +101,7 @@ void Graph::dispatch(detail::TopicRec& rec, const NodeName& publisher,
     } else {
       ++rec.stats.sent_remote;
       if (topic_telemetry(rec) != nullptr) rec.telemetry.sent_remote->inc();
-      transport_->send(rec.name, sub->subscriber, src, dst, *bytes);
+      transport_->send(rec.name, sub->subscriber, src, dst, ensure_bytes());
     }
   }
 }
@@ -185,8 +200,17 @@ std::vector<TopicName> Graph::topics() const {
 }
 
 size_t Graph::last_message_bytes(const TopicName& topic) const {
-  const auto it = last_bytes_.find(topic);
-  return it == last_bytes_.end() ? 0 : it->second;
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return 0;
+  const detail::TopicRec& rec = it->second;
+  if (!rec.last_bytes_valid) {
+    if (rec.last_msg == nullptr) return 0;
+    // Serialize on demand: the publish path skipped encoding because nothing
+    // needed the bytes at the time.
+    rec.last_bytes = rec.serialize(rec.last_msg.get()).size();
+    rec.last_bytes_valid = true;
+  }
+  return rec.last_bytes;
 }
 
 }  // namespace lgv::mw

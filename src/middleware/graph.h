@@ -39,6 +39,11 @@ struct TopicStats {
   uint64_t sent_remote = 0;
   uint64_t dropped_queue = 0;   ///< overwritten in a full bounded queue
   uint64_t decode_failures = 0; ///< remote bytes the deserializer rejected
+  /// Publishes that had to copy the message body into the shared payload
+  /// (Publisher::publish(const T&)). Move- and shared_ptr-publishes avoid the
+  /// copy and count under zero_copy instead.
+  uint64_t payload_copies = 0;
+  uint64_t zero_copy = 0;
 };
 
 /// Per-subscription view of a topic: the aggregated TopicStats can hide one
@@ -85,6 +90,8 @@ struct TopicTelemetry {
   telemetry::Counter* delivered = nullptr;
   telemetry::Counter* dropped = nullptr;
   telemetry::Counter* sent_remote = nullptr;
+  telemetry::Counter* payload_copies = nullptr;
+  telemetry::Counter* zero_copy = nullptr;
   telemetry::Gauge* queue_depth = nullptr;
   telemetry::Histogram* message_bytes = nullptr;
 };
@@ -99,16 +106,33 @@ struct TopicRec {
   bool latch = false;
   TopicStats stats;
   TopicTelemetry telemetry;
+  /// Serialization is lazy: a local-only publish hands every subscriber the
+  /// same immutable payload and produces no bytes at all. The last message is
+  /// kept so Graph::last_message_bytes can serialize on demand; the cached
+  /// size is invalidated by each publish (mutable: the accessor is const).
+  mutable ErasedMessage last_msg;
+  mutable size_t last_bytes = 0;
+  mutable bool last_bytes_valid = false;
 };
 
 }  // namespace detail
 
-/// Typed publisher handle.
+/// Typed publisher handle. Three publish forms trade copy cost for caller
+/// convenience: the const-ref form copies the body into the shared payload
+/// (counted in TopicStats::payload_copies); the rvalue form moves it; the
+/// shared form aliases a payload the caller already owns. Either way every
+/// local subscriber sees the SAME immutable object — callbacks receive
+/// `const T&` and must not cast the const away.
 template <typename T>
 class Publisher {
  public:
   Publisher() = default;
   void publish(const T& message);
+  void publish(T&& message);
+  /// Zero-copy hand-off of a payload the caller built (or received) in a
+  /// shared_ptr. The Graph holds references only; the message is never
+  /// duplicated on the local path.
+  void publish_shared(std::shared_ptr<const T> message);
   bool valid() const { return graph_ != nullptr; }
   const TopicName& topic() const { return topic_; }
 
@@ -180,7 +204,7 @@ class Graph {
   template <typename T>
   detail::TopicRec& topic_rec(const TopicName& topic);
   void dispatch(detail::TopicRec& rec, const NodeName& publisher,
-                const detail::ErasedMessage& msg, const std::vector<uint8_t>* bytes);
+                const detail::ErasedMessage& msg);
   void enqueue(detail::TopicRec& rec, detail::SubscriptionRec& sub,
                const detail::ErasedMessage& msg);
   /// Lazily bind the topic's metric handles; returns the telemetry bundle or
@@ -189,14 +213,17 @@ class Graph {
 
   template <typename T>
   friend class Publisher;
+  /// Shared publish core. `copied` records whether the caller had to copy
+  /// the message body to produce the shared payload (metrics only — the
+  /// delivery path is identical).
   template <typename T>
-  void publish_impl(const NodeName& node, const TopicName& topic, const T& message);
+  void publish_shared_impl(const NodeName& node, const TopicName& topic,
+                           std::shared_ptr<const T> message, bool copied);
 
   std::map<NodeName, Host> hosts_;
   std::map<TopicName, detail::TopicRec> topics_;
   std::map<std::string, std::pair<NodeName, std::function<detail::ErasedMessage(const void*)>>>
       services_;
-  std::map<TopicName, size_t> last_bytes_;
   RemoteTransport* transport_ = nullptr;
   telemetry::Telemetry* telemetry_ = nullptr;
 };
@@ -206,7 +233,24 @@ class Graph {
 template <typename T>
 void Publisher<T>::publish(const T& message) {
   assert(graph_ != nullptr);
-  graph_->publish_impl<T>(node_, topic_, message);
+  graph_->publish_shared_impl<T>(node_, topic_, std::make_shared<const T>(message),
+                                 /*copied=*/true);
+}
+
+template <typename T>
+void Publisher<T>::publish(T&& message) {
+  assert(graph_ != nullptr);
+  graph_->publish_shared_impl<T>(node_, topic_,
+                                 std::make_shared<const T>(std::move(message)),
+                                 /*copied=*/false);
+}
+
+template <typename T>
+void Publisher<T>::publish_shared(std::shared_ptr<const T> message) {
+  assert(graph_ != nullptr);
+  assert(message != nullptr);
+  graph_->publish_shared_impl<T>(node_, topic_, std::move(message),
+                                 /*copied=*/false);
 }
 
 template <typename T>
@@ -254,14 +298,23 @@ void Graph::subscribe(const NodeName& node, const TopicName& topic,
 }
 
 template <typename T>
-void Graph::publish_impl(const NodeName& node, const TopicName& topic, const T& message) {
+void Graph::publish_shared_impl(const NodeName& node, const TopicName& topic,
+                                std::shared_ptr<const T> message, bool copied) {
   detail::TopicRec& rec = topic_rec<T>(topic);
-  auto msg = std::make_shared<const T>(message);
-  std::vector<uint8_t> bytes = rec.serialize(msg.get());
-  last_bytes_[topic] = bytes.size();
+  detail::ErasedMessage msg = std::move(message);
+  rec.last_msg = msg;
+  rec.last_bytes_valid = false;
   if (rec.latch) rec.latched = msg;
   ++rec.stats.published;
-  dispatch(rec, node, msg, &bytes);
+  if (copied) {
+    ++rec.stats.payload_copies;
+  } else {
+    ++rec.stats.zero_copy;
+  }
+  if (topic_telemetry(rec) != nullptr) {
+    (copied ? rec.telemetry.payload_copies : rec.telemetry.zero_copy)->inc();
+  }
+  dispatch(rec, node, msg);
 }
 
 template <typename Req, typename Res>

@@ -19,9 +19,12 @@ void Amcl::initialize(const Pose2D& start, double spread_xy, double spread_theta
   const int n = std::min(config_.max_particles,
                          std::max(config_.min_particles, config_.min_particles * 2));
   for (int i = 0; i < n; ++i) {
-    poses_.emplace_back(start.x + rng_.gaussian(0.0, spread_xy),
-                        start.y + rng_.gaussian(0.0, spread_xy),
-                        start.theta + rng_.gaussian(0.0, spread_theta));
+    // Draw θ, then y, then x: the order the pre-SoA emplace_back evaluated its
+    // arguments in, kept so seeded runs reproduce the same particle clouds.
+    const double dtheta = rng_.gaussian(0.0, spread_theta);
+    const double dy = rng_.gaussian(0.0, spread_xy);
+    const double dx = rng_.gaussian(0.0, spread_xy);
+    poses_.push_back({start.x + dx, start.y + dy, start.theta + dtheta});
   }
   weights_.assign(poses_.size(), 1.0 / static_cast<double>(poses_.size()));
   have_last_odom_ = false;
@@ -35,7 +38,7 @@ void Amcl::initialize_global(size_t count) {
   while (poses_.size() < count) {
     const Point2D p{f.origin.x + rng_.uniform(0.0, w), f.origin.y + rng_.uniform(0.0, h)};
     if (map_->is_free(f.world_to_cell(p))) {
-      poses_.emplace_back(p.x, p.y, rng_.uniform(-3.14159, 3.14159));
+      poses_.push_back({p.x, p.y, rng_.uniform(-3.14159, 3.14159)});
     }
   }
   weights_.assign(poses_.size(), 1.0 / static_cast<double>(poses_.size()));
@@ -74,10 +77,10 @@ double Amcl::measurement_weight(const Pose2D& pose, const PrecomputedScan& pre,
   double log_w = 0.0;
   const double cos_t = std::cos(pose.theta), sin_t = std::sin(pose.theta);
   const GridFrame& frame = field_.frame();
-  for (const PrecomputedScan::Beam& b : pre.beams) {
-    ++(*evals);
-    const Point2D end{pose.x + cos_t * b.end.x - sin_t * b.end.y,
-                      pose.y + sin_t * b.end.x + cos_t * b.end.y};
+  *evals += pre.size();
+  for (size_t i = 0; i < pre.size(); ++i) {
+    const Point2D end{pose.x + cos_t * pre.end_x[i] - sin_t * pre.end_y[i],
+                      pose.y + sin_t * pre.end_x[i] + cos_t * pre.end_y[i]};
     const CellIndex c = frame.world_to_cell(end);
     // Same capped min-d² the brute-force model computes, from the field's
     // occupancy mask instead of nine map probes.
@@ -122,11 +125,12 @@ AmclUpdateStats Amcl::update(const msg::Odometry& odom, const msg::LaserScan& sc
     noisy.y += rng_.gaussian(0.0, config_.motion_noise_trans * trans * 0.5 + 1e-4);
     noisy.theta = normalize_angle(
         noisy.theta + rng_.gaussian(0.0, config_.motion_noise_rot * rot + 1e-4));
-    poses_[i] = poses_[i].compose(noisy);
+    const Pose2D moved = poses_.at(i).compose(noisy);
+    poses_.set(i, moved);
     if (!first) {
       log_weights[i] = config_.use_likelihood_field
-                           ? measurement_weight(poses_[i], pre, &evals)
-                           : measurement_weight(poses_[i], scan, &evals);
+                           ? measurement_weight(moved, pre, &evals)
+                           : measurement_weight(moved, scan, &evals);
     }
   }
   stats.beam_evaluations = evals;
@@ -166,16 +170,17 @@ void Amcl::resample_adaptive() {
   // KLD-style size adaptation: count occupied (x, y, θ) bins, target
   // kld_k × bins particles within [min, max].
   std::set<std::tuple<int, int, int>> bins;
-  for (const Pose2D& p : poses_) {
-    bins.insert({static_cast<int>(std::floor(p.x / config_.kld_bin_xy)),
-                 static_cast<int>(std::floor(p.y / config_.kld_bin_xy)),
-                 static_cast<int>(std::floor(p.theta / config_.kld_bin_theta))});
+  for (size_t i = 0; i < poses_.size(); ++i) {
+    bins.insert(
+        {static_cast<int>(std::floor(poses_.x()[i] / config_.kld_bin_xy)),
+         static_cast<int>(std::floor(poses_.y()[i] / config_.kld_bin_xy)),
+         static_cast<int>(std::floor(poses_.theta()[i] / config_.kld_bin_theta))});
   }
   const int target = std::clamp(
       static_cast<int>(config_.kld_k * static_cast<double>(bins.size())),
       config_.min_particles, config_.max_particles);
 
-  std::vector<Pose2D> next;
+  PoseBlock next;
   next.reserve(static_cast<size_t>(target));
   const double step = 1.0 / static_cast<double>(target);
   double u = rng_.uniform(0.0, step);
@@ -187,7 +192,7 @@ void Amcl::resample_adaptive() {
       ++i;
       cumulative += weights_[i];
     }
-    next.push_back(poses_[i]);
+    next.push_back(poses_.at(i));
   }
   poses_ = std::move(next);
   weights_.assign(poses_.size(), 1.0 / static_cast<double>(poses_.size()));
@@ -200,10 +205,10 @@ std::vector<uint8_t> Amcl::serialize_state() const {
   w.put_double(last_odom_.x);
   w.put_double(last_odom_.y);
   w.put_double(last_odom_.theta);
-  for (const Pose2D& p : poses_) {
-    w.put_double(p.x);
-    w.put_double(p.y);
-    w.put_double(p.theta);
+  for (size_t i = 0; i < poses_.size(); ++i) {
+    w.put_double(poses_.x()[i]);
+    w.put_double(poses_.y()[i]);
+    w.put_double(poses_.theta()[i]);
   }
   w.put_repeated_double(weights_);
   return w.take();
@@ -219,29 +224,29 @@ void Amcl::restore_state(const std::vector<uint8_t>& bytes) {
   const double oy = r.get_double();
   const double oth = r.get_double();
   last_odom_ = {ox, oy, oth};
-  std::vector<Pose2D> poses;
+  PoseBlock poses;
   poses.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     const double x = r.get_double();
     const double y = r.get_double();
     const double th = r.get_double();
-    poses.emplace_back(x, y, th);
+    poses.push_back({x, y, th});
   }
-  std::vector<double> weights = r.get_repeated_double();
+  const std::vector<double> weights = r.get_repeated_double();
   if (weights.size() != poses.size()) {
     throw std::out_of_range("amcl state: weight count mismatch");
   }
   poses_ = std::move(poses);
-  weights_ = std::move(weights);
+  weights_.assign(weights.begin(), weights.end());
 }
 
 Pose2D Amcl::estimate() const {
   double x = 0.0, y = 0.0, sc = 0.0, ss = 0.0;
   for (size_t i = 0; i < poses_.size(); ++i) {
-    x += weights_[i] * poses_[i].x;
-    y += weights_[i] * poses_[i].y;
-    sc += weights_[i] * std::cos(poses_[i].theta);
-    ss += weights_[i] * std::sin(poses_[i].theta);
+    x += weights_[i] * poses_.x()[i];
+    y += weights_[i] * poses_.y()[i];
+    sc += weights_[i] * std::cos(poses_.theta()[i]);
+    ss += weights_[i] * std::sin(poses_.theta()[i]);
   }
   return {x, y, std::atan2(ss, sc)};
 }

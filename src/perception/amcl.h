@@ -8,6 +8,7 @@
 
 #include "common/geometry.h"
 #include "common/rng.h"
+#include "common/soa.h"
 #include "msg/messages.h"
 #include "perception/likelihood_field.h"
 #include "perception/occupancy_grid.h"
@@ -60,8 +61,9 @@ class Amcl {
   Pose2D estimate() const;
   int particle_count() const { return static_cast<int>(poses_.size()); }
   const AmclConfig& config() const { return config_; }
-  const std::vector<Pose2D>& poses() const { return poses_; }
-  const std::vector<double>& weights() const { return weights_; }
+  /// SoA particle poses (poses()[i] materializes a Pose2D).
+  const PoseBlock& poses() const { return poses_; }
+  const aligned_vector<double>& weights() const { return weights_; }
 
   /// Filter state for Algorithm 2 migration: poses, weights, and the odometry
   /// anchor. The known map is deliberately NOT shipped — both hosts hold it
@@ -82,8 +84,8 @@ class Amcl {
   /// Likelihood-field cache over *map_. Synced lazily at each update — a
   /// no-op while the (typically static) localization map is unchanged.
   LikelihoodField field_;
-  std::vector<Pose2D> poses_;
-  std::vector<double> weights_;
+  PoseBlock poses_;
+  aligned_vector<double> weights_;
   Rng rng_;
   bool have_last_odom_ = false;
   Pose2D last_odom_;

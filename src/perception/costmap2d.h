@@ -47,6 +47,9 @@ class Costmap2D {
 
   uint8_t cost_at(CellIndex c) const;
   uint8_t cost_at_world(const Point2D& p) const;
+  /// Combined + inflated master grid; raw view for vectorized probe loops
+  /// (off-grid probes must yield kCostLethal, matching cost_at).
+  const Grid<uint8_t>& master() const { return cost_; }
   bool is_lethal(CellIndex c) const { return cost_at(c) >= kCostInscribed; }
   /// Traversable for planning: known and below the inscribed threshold.
   bool is_traversable(CellIndex c) const;

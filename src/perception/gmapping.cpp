@@ -17,18 +17,18 @@ Gmapping::Gmapping(GmappingConfig config, Point2D map_origin, double width_m,
   for (int i = 0; i < config_.particles; ++i) {
     Particle p;
     p.map = OccupancyGrid(map_origin, width_m, height_m, config_.map);
-    p.weight = 1.0 / static_cast<double>(config_.particles);
     p.rng = rng_.fork(static_cast<uint64_t>(i) + 1);
     particles_.push_back(std::move(p));
   }
+  poses_.resize(particles_.size());
+  log_weights_.assign(particles_.size(), 0.0);
+  weights_.assign(particles_.size(), 1.0 / static_cast<double>(config_.particles));
 }
 
 void Gmapping::initialize(const Pose2D& start) {
-  for (Particle& p : particles_) {
-    p.pose = start;
-    p.log_weight = 0.0;
-    p.weight = 1.0 / static_cast<double>(particles_.size());
-  }
+  poses_.assign_all(particles_.size(), start);
+  log_weights_.assign(particles_.size(), 0.0);
+  weights_.assign(particles_.size(), 1.0 / static_cast<double>(particles_.size()));
   have_last_odom_ = false;
   neff_ = static_cast<double>(particles_.size());
 }
@@ -50,9 +50,18 @@ SlamUpdateStats Gmapping::process(const msg::Odometry& odom, const msg::LaserSca
   std::atomic<size_t> cells_updated{0};
   std::atomic<size_t> field_cells{0};
 
+  // The per-scan endpoint precomputation is pose-independent, so it is
+  // hoisted out of the per-particle loop and shared by all M particles
+  // (previously recomputed inside every match() call).
+  const bool use_field = matcher_.config().use_likelihood_field;
+  PrecomputedScan pre;
+  if (use_field && !first_scan && !particles_.empty()) {
+    pre = precompute_scan(scan, matcher_.config().beam_stride,
+                          particles_[0].map.frame().resolution);
+  }
+
   // ---- Parallel per-particle phase (Fig. 6): motion sample, scanMatch,
   // weight, map integrate. Returns the cycles that particle cost.
-  const bool use_field = matcher_.config().use_likelihood_field;
   ctx.parallel_kernel(particles_.size(), [&](size_t i) -> double {
     Particle& p = particles_[i];
     // Motion model: apply the odometry delta corrupted by sampled noise.
@@ -66,7 +75,7 @@ SlamUpdateStats Gmapping::process(const msg::Odometry& odom, const msg::LaserSca
     noisy.theta = normalize_angle(
         noisy.theta + p.rng.gaussian(0.0, config_.motion_noise_rot * rot +
                                               config_.motion_noise_mix * trans));
-    p.pose = p.pose.compose(noisy);
+    Pose2D pose = poses_.at(i).compose(noisy);
 
     size_t evals = 0;
     size_t rebuilt = 0;
@@ -77,16 +86,17 @@ SlamUpdateStats Gmapping::process(const msg::Odometry& odom, const msg::LaserSca
       MatchResult m;
       if (use_field) {
         rebuilt = p.field.sync(p.map);
-        m = matcher_.match(p.field, p.pose, scan);
+        m = matcher_.match(p.field, pose, pre);
       } else {
-        m = matcher_.match(p.map, p.pose, scan);
+        m = matcher_.match(p.map, pose, scan);
       }
       evals = m.beam_evaluations;
-      p.pose = m.pose;
-      p.log_weight += std::log(m.score + 1e-3);
+      pose = m.pose;
+      log_weights_[i] += std::log(m.score + 1e-3);
     }
+    poses_.set(i, pose);
     // Integrate the scan into this particle's map.
-    const size_t touched = p.map.integrate_scan(p.pose, scan);
+    const size_t touched = p.map.integrate_scan(pose, scan);
     beam_evals.fetch_add(evals, std::memory_order_relaxed);
     cells_updated.fetch_add(touched, std::memory_order_relaxed);
     field_cells.fetch_add(rebuilt, std::memory_order_relaxed);
@@ -104,10 +114,7 @@ SlamUpdateStats Gmapping::process(const msg::Odometry& odom, const msg::LaserSca
 
   // ---- Sequential phase: updateTreeWeights + selective resampling.
   normalize_weights();
-  std::vector<double> weights;
-  weights.reserve(particles_.size());
-  for (const Particle& p : particles_) weights.push_back(p.weight);
-  neff_ = effective_sample_size(weights);
+  neff_ = effective_sample_size({weights_.begin(), weights_.end()});
   stats.neff = neff_;
 
   ctx.serial_work(static_cast<double>(particles_.size()) *
@@ -121,18 +128,18 @@ SlamUpdateStats Gmapping::process(const msg::Odometry& odom, const msg::LaserSca
 
 void Gmapping::normalize_weights() {
   double max_log = -std::numeric_limits<double>::infinity();
-  for (const Particle& p : particles_) max_log = std::max(max_log, p.log_weight);
+  for (double lw : log_weights_) max_log = std::max(max_log, lw);
   double sum = 0.0;
-  for (Particle& p : particles_) {
-    p.weight = std::exp(p.log_weight - max_log);
-    sum += p.weight;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] = std::exp(log_weights_[i] - max_log);
+    sum += weights_[i];
   }
   if (sum <= 0.0) {
-    const double uniform = 1.0 / static_cast<double>(particles_.size());
-    for (Particle& p : particles_) p.weight = uniform;
+    weights_.assign(weights_.size(),
+                    1.0 / static_cast<double>(weights_.size()));
     return;
   }
-  for (Particle& p : particles_) p.weight /= sum;
+  for (double& w : weights_) w /= sum;
 }
 
 double Gmapping::effective_sample_size(const std::vector<double>& weights) {
@@ -145,31 +152,35 @@ void Gmapping::resample() {
   // Low-variance (systematic) resampling.
   const size_t n = particles_.size();
   std::vector<Particle> next;
+  PoseBlock next_poses;
   next.reserve(n);
+  next_poses.reserve(n);
   const double step = 1.0 / static_cast<double>(n);
   double u = rng_.uniform(0.0, step);
-  double cumulative = particles_[0].weight;
+  double cumulative = weights_[0];
   size_t i = 0;
   for (size_t k = 0; k < n; ++k) {
     const double target = u + static_cast<double>(k) * step;
     while (cumulative < target && i + 1 < n) {
       ++i;
-      cumulative += particles_[i].weight;
+      cumulative += weights_[i];
     }
     Particle copy = particles_[i];  // deep copy incl. the map
-    copy.log_weight = 0.0;
-    copy.weight = step;
     copy.rng = rng_.fork(k + 0x7e5a);
     next.push_back(std::move(copy));
+    next_poses.push_back(poses_.at(i));
   }
   particles_ = std::move(next);
+  poses_ = std::move(next_poses);
+  log_weights_.assign(n, 0.0);
+  weights_.assign(n, step);
   neff_ = static_cast<double>(n);
 }
 
 size_t Gmapping::best_index() const {
   size_t best = 0;
-  for (size_t i = 1; i < particles_.size(); ++i) {
-    if (particles_[i].weight > particles_[best].weight) best = i;
+  for (size_t i = 1; i < weights_.size(); ++i) {
+    if (weights_[i] > weights_[best]) best = i;
   }
   return best;
 }
@@ -183,12 +194,13 @@ std::vector<uint8_t> Gmapping::serialize_state(StateEncoding encoding) const {
   w.put_double(last_odom_.y);
   w.put_double(last_odom_.theta);
   w.put_double(neff_);
-  for (const Particle& p : particles_) {
-    w.put_double(p.pose.x);
-    w.put_double(p.pose.y);
-    w.put_double(p.pose.theta);
-    w.put_double(p.log_weight);
-    w.put_double(p.weight);
+  for (size_t pi = 0; pi < particles_.size(); ++pi) {
+    const Particle& p = particles_[pi];
+    w.put_double(poses_.x()[pi]);
+    w.put_double(poses_.y()[pi]);
+    w.put_double(poses_.theta()[pi]);
+    w.put_double(log_weights_[pi]);
+    w.put_double(weights_[pi]);
 
     if (encoding == StateEncoding::kFullRaw) {
       p.map.serialize(w, GridEncoding::kRaw);
@@ -263,20 +275,29 @@ void Gmapping::restore_state(const std::vector<uint8_t>& bytes) {
   };
 
   std::vector<Particle> particles;
+  PoseBlock poses;
+  aligned_vector<double> log_weights;
+  aligned_vector<double> weights;
   particles.reserve(n);
+  poses.reserve(n);
+  log_weights.reserve(n);
+  weights.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     Particle p;
     const double x = r.get_double();
     const double y = r.get_double();
     const double th = r.get_double();
-    p.pose = {x, y, th};
-    p.log_weight = r.get_double();
-    p.weight = r.get_double();
+    poses.push_back({x, y, th});
+    log_weights.push_back(r.get_double());
+    weights.push_back(r.get_double());
     p.map = OccupancyGrid::deserialize_any(r, lookup);
     p.rng = rng_.fork(i + 0xfee1);
     particles.push_back(std::move(p));
   }
   particles_ = std::move(particles);
+  poses_ = std::move(poses);
+  log_weights_ = std::move(log_weights);
+  weights_ = std::move(weights);
   committed_bases_.clear();
 }
 
@@ -288,7 +309,7 @@ void Gmapping::mark_migration_committed() {
   }
 }
 
-const Pose2D& Gmapping::best_pose() const { return particles_[best_index()].pose; }
+Pose2D Gmapping::best_pose() const { return poses_.at(best_index()); }
 
 const OccupancyGrid& Gmapping::best_map() const { return particles_[best_index()].map; }
 

@@ -9,6 +9,7 @@
 
 #include "common/geometry.h"
 #include "common/rng.h"
+#include "common/soa.h"
 #include "msg/messages.h"
 #include "perception/likelihood_field.h"
 #include "perception/occupancy_grid.h"
@@ -28,10 +29,11 @@ struct GmappingConfig {
   ScanMatcherConfig matcher;
 };
 
+/// Per-particle heavy state. The hot scalars (pose, weights) live in SoA
+/// arrays on the filter (see Gmapping::poses()/weights()/log_weights()) so
+/// the sequential weight/resample phases stream contiguous memory; Particle
+/// keeps only the map and its derived caches.
 struct Particle {
-  Pose2D pose;
-  double log_weight = 0.0;
-  double weight = 0.0;
   OccupancyGrid map;
   /// Derived likelihood-field cache over `map`. Copied together with the map
   /// during resampling (so the pair stays consistent); never serialized —
@@ -93,10 +95,14 @@ class Gmapping {
                           platform::ExecutionContext& ctx);
 
   /// Highest-weight particle's pose — what Localization publishes.
-  const Pose2D& best_pose() const;
+  Pose2D best_pose() const;
   const OccupancyGrid& best_map() const;
   double neff() const { return neff_; }
   const std::vector<Particle>& particles() const { return particles_; }
+  /// SoA hot state, index-aligned with particles().
+  const PoseBlock& poses() const { return poses_; }
+  const aligned_vector<double>& weights() const { return weights_; }
+  const aligned_vector<double>& log_weights() const { return log_weights_; }
 
   /// Effective number of particles for a weight vector (exposed for tests).
   static double effective_sample_size(const std::vector<double>& weights);
@@ -128,6 +134,10 @@ class Gmapping {
 
   GmappingConfig config_;
   std::vector<Particle> particles_;
+  /// Hot per-particle scalars, index-aligned with particles_.
+  PoseBlock poses_;
+  aligned_vector<double> log_weights_;
+  aligned_vector<double> weights_;
   ScanMatcher matcher_;
   Rng rng_;
   bool have_last_odom_ = false;

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "common/geometry.h"
+#include "common/simd.h"
+#include "common/soa.h"
 #include "msg/messages.h"
 #include "perception/likelihood_field.h"
 #include "perception/occupancy_grid.h"
@@ -52,12 +54,19 @@ struct MatchResult {
 /// the sensor frame. Computed once per scan and shared by every candidate
 /// pose the hill climb evaluates (~6 candidates × iterations previously
 /// recomputed the trig per beam each).
+///
+/// Structure-of-arrays: the score loop streams each coordinate contiguously
+/// (and the SIMD path loads them as whole vector lanes), which an
+/// array-of-Beam layout would interleave. Arrays are 32-byte aligned and all
+/// the same length; in-range beams only, already strided.
 struct PrecomputedScan {
-  struct Beam {
-    Point2D end;     ///< beam endpoint in the sensor frame
-    Point2D before;  ///< endpoint pulled back one map resolution
-  };
-  std::vector<Beam> beams;  ///< in-range beams only, already strided
+  aligned_vector<double> end_x;     ///< beam endpoint, sensor frame
+  aligned_vector<double> end_y;
+  aligned_vector<double> before_x;  ///< endpoint pulled back one map resolution
+  aligned_vector<double> before_y;
+
+  size_t size() const { return end_x.size(); }
+  bool empty() const { return end_x.empty(); }
 };
 
 /// Build the precomputation for `scan`, keeping every stride-th in-range beam
@@ -94,9 +103,20 @@ class ScanMatcher {
   MatchResult match(const LikelihoodField& field, const Pose2D& initial,
                     const msg::LaserScan& scan) const;
 
+  /// Fast-path refinement with a caller-provided precomputation, so a batch
+  /// caller (GMapping matches P particles against the same scan) precomputes
+  /// once instead of per particle.
+  MatchResult match(const LikelihoodField& field, const Pose2D& initial,
+                    const PrecomputedScan& pre) const;
+
  private:
   template <typename ScoreFn>
   MatchResult hill_climb(const Pose2D& initial, ScoreFn&& score_fn) const;
+
+  /// Arena-staged SIMD pipeline behind score(field, …); level is a vector
+  /// level. See docs/kernels.md.
+  double score_simd(simd::Level level, const LikelihoodField& field,
+                    const Pose2D& pose, const PrecomputedScan& pre) const;
 
   ScanMatcherConfig config_;
 };

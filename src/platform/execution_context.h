@@ -11,6 +11,7 @@
 
 #include <functional>
 
+#include "common/arena.h"
 #include "common/thread_pool.h"
 #include "platform/work_profile.h"
 
@@ -52,6 +53,23 @@ class ExecutionContext {
   /// fn must be safe to invoke concurrently for distinct items.
   void parallel_kernel(size_t count, const std::function<double(size_t)>& fn,
                        Schedule schedule = Schedule::kStatic);
+
+  /// Block-granular variant: fn(begin, end) processes items [begin, end) and
+  /// returns the cycles the whole block cost. Blocks are the scheduling
+  /// units the per-item form already used — kDynamicGrain-sized grains under
+  /// kDynamic, one contiguous chunk per worker under kStatic — so a kernel
+  /// that vectorizes across a block sees exactly the ranges the cost model
+  /// charges. fn must be safe to invoke concurrently for disjoint blocks,
+  /// and per-item results must not depend on the blocking (the schedule
+  /// equivalence contract).
+  void parallel_kernel_blocks(size_t count,
+                              const std::function<double(size_t, size_t)>& fn,
+                              Schedule schedule = Schedule::kStatic);
+
+  /// Per-thread bump arena for kernel temporaries (SoA staging buffers and
+  /// the like). Arena::Scope-guard every use; allocations are only valid
+  /// within the enclosing parallel_kernel block / serial region.
+  static Arena& scratch() { return thread_scratch(); }
 
   WorkProfile& profile() { return profile_; }
   const WorkProfile& profile() const { return profile_; }

@@ -7,6 +7,19 @@ namespace lgv::platform {
 void ExecutionContext::parallel_kernel(size_t count,
                                        const std::function<double(size_t)>& fn,
                                        Schedule schedule) {
+  parallel_kernel_blocks(
+      count,
+      [&fn](size_t begin, size_t end) {
+        double cycles = 0.0;
+        for (size_t i = begin; i < end; ++i) cycles += fn(i);
+        return cycles;
+      },
+      schedule);
+}
+
+void ExecutionContext::parallel_kernel_blocks(
+    size_t count, const std::function<double(size_t, size_t)>& fn,
+    Schedule schedule) {
   if (count == 0) return;
 
   if (schedule == Schedule::kDynamic) {
@@ -17,9 +30,7 @@ void ExecutionContext::parallel_kernel(size_t count,
     const size_t n_grains = (count + kDynamicGrain - 1) / kDynamicGrain;
     std::vector<double> grain_cycles(n_grains, 0.0);
     auto run_range = [&](size_t begin, size_t end) {
-      double cycles = 0.0;
-      for (size_t i = begin; i < end; ++i) cycles += fn(i);
-      grain_cycles[begin / kDynamicGrain] = cycles;
+      grain_cycles[begin / kDynamicGrain] = fn(begin, end);
     };
     if (pool_ != nullptr && threads_ > 1 && n_grains > 1) {
       pool_->parallel_dynamic(count, kDynamicGrain, run_range);
@@ -61,9 +72,7 @@ void ExecutionContext::parallel_kernel(size_t count,
 
   auto run_chunk = [&](size_t chunk) {
     const ChunkRange r = chunk_range(count, chunks, chunk);
-    double cycles = 0.0;
-    for (size_t i = r.begin; i < r.end; ++i) cycles += fn(i);
-    region.chunk_cycles[chunk] = cycles;  // one writer per slot
+    region.chunk_cycles[chunk] = fn(r.begin, r.end);  // one writer per slot
   };
 
   if (pool_ != nullptr && chunks > 1) {

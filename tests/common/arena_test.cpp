@@ -1,0 +1,119 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+namespace lgv {
+namespace {
+
+bool aligned32(const void* p) {
+  return (reinterpret_cast<uintptr_t>(p) & 31u) == 0;
+}
+
+TEST(Arena, AllocationsAre32ByteAligned) {
+  Arena arena;
+  // Deliberately misalign the bump pointer with odd-sized requests.
+  for (int i = 0; i < 16; ++i) {
+    (void)arena.allocate(static_cast<size_t>(1 + 7 * i), 1);
+    EXPECT_TRUE(aligned32(arena.alloc_array<double>(3)));
+    EXPECT_TRUE(aligned32(arena.alloc_array<int32_t>(5)));
+  }
+}
+
+TEST(Arena, ResetRewindsWithoutReleasingCapacity) {
+  Arena arena;
+  for (int i = 0; i < 8; ++i) (void)arena.alloc_array<double>(1024);
+  const size_t capacity = arena.capacity_bytes();
+  const size_t blocks = arena.block_count();
+  EXPECT_GT(capacity, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_live(), 0u);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+  EXPECT_EQ(arena.block_count(), blocks);
+  // Refilling to the same footprint must not grow the arena: the blocks are
+  // reused, which is the whole point of the per-update rewind.
+  for (int i = 0; i < 8; ++i) (void)arena.alloc_array<double>(1024);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+  EXPECT_EQ(arena.block_count(), blocks);
+}
+
+TEST(Arena, ScopeRewindsToWatermark) {
+  Arena arena;
+  (void)arena.alloc_array<double>(16);
+  const size_t live_before = arena.bytes_live();
+  double* reused_first = nullptr;
+  {
+    const Arena::Scope scope(arena);
+    reused_first = arena.alloc_array<double>(256);
+    (void)arena.alloc_array<int32_t>(64);
+    EXPECT_GT(arena.bytes_live(), live_before);
+  }
+  EXPECT_EQ(arena.bytes_live(), live_before);
+  // The next scope's first allocation lands on the same memory.
+  {
+    const Arena::Scope scope(arena);
+    EXPECT_EQ(arena.alloc_array<double>(256), reused_first);
+  }
+}
+
+TEST(Arena, NestedScopesUnwindInOrder) {
+  Arena arena;
+  const Arena::Scope outer(arena);
+  (void)arena.alloc_array<double>(8);
+  const size_t outer_live = arena.bytes_live();
+  {
+    const Arena::Scope inner(arena);
+    (void)arena.alloc_array<double>(4096);
+    {
+      const Arena::Scope innermost(arena);
+      (void)arena.alloc_array<double>(4096);
+    }
+    EXPECT_EQ(arena.bytes_live(), outer_live + 4096 * sizeof(double));
+  }
+  EXPECT_EQ(arena.bytes_live(), outer_live);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(/*block_bytes=*/1024);
+  double* small = arena.alloc_array<double>(4);
+  // 1 MB exceeds the 1 KB block size; the arena must still satisfy it.
+  double* big = arena.alloc_array<double>(128 * 1024);
+  ASSERT_NE(big, nullptr);
+  EXPECT_TRUE(aligned32(big));
+  big[0] = 1.0;
+  big[128 * 1024 - 1] = 2.0;
+  // The small allocation is unaffected.
+  small[0] = 3.0;
+  EXPECT_DOUBLE_EQ(big[0] + big[128 * 1024 - 1] + small[0], 6.0);
+  EXPECT_GE(arena.block_count(), 2u);
+}
+
+TEST(Arena, HighWaterTracksPeakLiveBytes) {
+  Arena arena;
+  {
+    const Arena::Scope scope(arena);
+    (void)arena.alloc_array<uint8_t>(1000);
+  }
+  {
+    const Arena::Scope scope(arena);
+    (void)arena.alloc_array<uint8_t>(500);
+  }
+  EXPECT_EQ(arena.high_water_bytes(), 1000u);
+}
+
+TEST(Arena, ThreadScratchIsPerThread) {
+  Arena* main_arena = &thread_scratch();
+  Arena* worker_arena = nullptr;
+  std::thread t([&] { worker_arena = &thread_scratch(); });
+  t.join();
+  EXPECT_NE(main_arena, nullptr);
+  EXPECT_NE(worker_arena, nullptr);
+  EXPECT_NE(main_arena, worker_arena);
+  // Stable across calls on the same thread.
+  EXPECT_EQ(main_arena, &thread_scratch());
+}
+
+}  // namespace
+}  // namespace lgv

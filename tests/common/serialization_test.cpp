@@ -70,7 +70,7 @@ TEST(Wire, StringRoundTrip) {
 
 TEST(Wire, RepeatedFields) {
   WireWriter w;
-  w.put_repeated_double<double>({1.0, 2.0, 3.0});
+  w.put_repeated_double(std::vector<double>{1.0, 2.0, 3.0});
   w.put_repeated_float<float>({0.5f, -0.5f});
   w.put_repeated_i8({-1, 0, 100});
   WireReader r(w.buffer());

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "perception/occupancy_grid.h"
 #include "sim/world.h"
@@ -180,6 +183,83 @@ TEST(Rollout, ReportsChunkImbalance) {
                                               {2.2, 5.0, 0.0}, {0.4, 0.0}, 0.6, ctx);
     EXPECT_GE(d.stats.chunk_imbalance, 1.0) << "dynamic=" << dynamic;
     EXPECT_TRUE(ctx.profile().regions.back().dynamic == dynamic);
+  }
+}
+
+TEST(Rollout, SimdMatchesScalarReferenceDecision) {
+  if (simd::active_level() == simd::Level::kScalar) {
+    GTEST_SKIP() << "no vector unit active; both paths are the scalar one";
+  }
+  // Open space and an obstacle scene: the vectorized kernel must pick the
+  // same trajectory as the scalar reference, with scores diverging only by
+  // rounding (vectorized rotation recurrence vs per-step libm trig).
+  sim::World obstacle_world(10.0, 10.0);
+  obstacle_world.add_box({3.0, 4.4}, {3.6, 5.6});
+  perception::Costmap2D obstacle_cm({0, 0}, 10.0, 10.0);
+  obstacle_cm.set_static_map(perception::OccupancyGrid::from_binary(
+                                 obstacle_world.frame(), obstacle_world.grid())
+                                 .to_msg(0.0));
+  obstacle_cm.inflate();
+  const perception::Costmap2D open_cm = open_costmap();
+  const msg::PathMsg path = straight_path(5.0, 1.0, 9.0);
+
+  const perception::Costmap2D* scenes[] = {&open_cm, &obstacle_cm};
+  for (const perception::Costmap2D* cm : scenes) {
+    RolloutConfig scalar_cfg;
+    scalar_cfg.use_simd = false;
+    RolloutConfig simd_cfg;
+    simd_cfg.use_simd = true;
+    TrajectoryRollout scalar_r(scalar_cfg), simd_r(simd_cfg);
+    platform::ExecutionContext sctx, vctx;
+    const RolloutDecision a =
+        scalar_r.compute(*cm, path, {2.2, 5.0, 0.0}, {0.4, 0.0}, 0.6, sctx);
+    const RolloutDecision b =
+        simd_r.compute(*cm, path, {2.2, 5.0, 0.0}, {0.4, 0.0}, 0.6, vctx);
+    EXPECT_EQ(a.feasible, b.feasible);
+    // Same winning candidate → its (v, w) are generated identically.
+    EXPECT_DOUBLE_EQ(a.command.linear, b.command.linear);
+    EXPECT_DOUBLE_EQ(a.command.angular, b.command.angular);
+    EXPECT_NEAR(a.stats.best_score, b.stats.best_score,
+                std::abs(a.stats.best_score) * 1e-9 + 1e-9);
+    EXPECT_EQ(a.stats.trajectories, b.stats.trajectories);
+    // The modeled cost is identical: use_simd changes machine time only.
+    EXPECT_DOUBLE_EQ(sctx.profile().total_cycles(), vctx.profile().total_cycles());
+  }
+}
+
+TEST(Rollout, SimdDecisionInvariantAcrossSchedules) {
+  if (simd::active_level() == simd::Level::kScalar) {
+    GTEST_SKIP() << "no vector unit active";
+  }
+  // Within the vectorized mode, threading and chunking must not change even
+  // the last bit: block tails are padded and dead lanes frozen so per-item
+  // results are independent of where the block boundaries fall.
+  perception::Costmap2D cm = open_costmap();
+  const msg::PathMsg path = straight_path(5.0, 1.0, 9.0);
+  ThreadPool pool(4);
+  RolloutDecision reference;
+  bool have_reference = false;
+  for (const bool dynamic : {false, true}) {
+    for (const int threads : {1, 2, 4}) {
+      RolloutConfig cfg;
+      cfg.use_simd = true;
+      cfg.dynamic_schedule = dynamic;
+      TrajectoryRollout rollout(cfg);
+      platform::ExecutionContext ctx(threads > 1 ? &pool : nullptr, threads);
+      const RolloutDecision d =
+          rollout.compute(cm, path, {1.0, 5.0, 0.0}, {0.2, 0.0}, 0.6, ctx);
+      if (!have_reference) {
+        reference = d;
+        have_reference = true;
+        continue;
+      }
+      EXPECT_DOUBLE_EQ(d.command.linear, reference.command.linear)
+          << "dynamic=" << dynamic << " threads=" << threads;
+      EXPECT_DOUBLE_EQ(d.command.angular, reference.command.angular);
+      EXPECT_DOUBLE_EQ(d.stats.best_score, reference.stats.best_score);
+      EXPECT_EQ(d.stats.simulated_steps, reference.stats.simulated_steps);
+      EXPECT_EQ(d.stats.discarded, reference.stats.discarded);
+    }
   }
 }
 

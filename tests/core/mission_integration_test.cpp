@@ -196,5 +196,39 @@ TEST(MissionIntegration, ReportsAreDeterministic) {
   EXPECT_DOUBLE_EQ(ra.distance_traveled, rb.distance_traveled);
 }
 
+TEST(MissionIntegration, SteadyStatePublishesAreZeroCopy) {
+  // Every steady-state publish site in the mission loop hands its message to
+  // the middleware by move (or shared_ptr) — the payload-copy fast path must
+  // never fire on either Fig. 13 leg. Verified from the end-of-mission
+  // metrics snapshot, not the code, so a regressed publish site fails here.
+  const auto copy_and_zero = [](const MissionReport& r) {
+    double copies = 0.0, zero = 0.0;
+    for (const auto& s : r.metrics.samples) {
+      if (s.name == "mw_payload_copies_total") copies += s.value;
+      if (s.name == "mw_zero_copy_total") zero += s.value;
+    }
+    return std::make_pair(copies, zero);
+  };
+
+  MissionRunner local_runner(sim::make_open_scenario(),
+                             local_plan(WorkloadKind::kNavigationWithMap),
+                             quick_config());
+  const MissionReport local = local_runner.run();
+  ASSERT_TRUE(local.success);
+  const auto [local_copies, local_zero] = copy_and_zero(local);
+  EXPECT_DOUBLE_EQ(local_copies, 0.0);
+  EXPECT_GT(local_zero, 100.0);  // scans/odom/pose/tf/cmd all flow through it
+
+  MissionRunner gw_runner(
+      sim::make_open_scenario(),
+      offload_plan("gateway_8t", Host::kEdgeGateway, 8, WorkloadKind::kNavigationWithMap),
+      quick_config());
+  const MissionReport gw = gw_runner.run();
+  ASSERT_TRUE(gw.success);
+  const auto [gw_copies, gw_zero] = copy_and_zero(gw);
+  EXPECT_DOUBLE_EQ(gw_copies, 0.0);
+  EXPECT_GT(gw_zero, 100.0);
+}
+
 }  // namespace
 }  // namespace lgv::core

@@ -19,8 +19,8 @@ TEST(Gmapping, InitializeSetsAllParticles) {
   Gmapping slam(small_config(), {0, 0}, 8.0, 8.0);
   slam.initialize({2.0, 2.0, 0.5});
   EXPECT_EQ(slam.particle_count(), 10);
-  for (const Particle& p : slam.particles()) {
-    EXPECT_EQ(p.pose, Pose2D(2.0, 2.0, 0.5));
+  for (size_t i = 0; i < slam.poses().size(); ++i) {
+    EXPECT_EQ(slam.poses()[i], Pose2D(2.0, 2.0, 0.5));
   }
   EXPECT_DOUBLE_EQ(slam.neff(), 10.0);
 }

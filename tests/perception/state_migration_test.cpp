@@ -215,12 +215,12 @@ class StateMigrationTest : public ::testing::Test {
   static void expect_equivalent(const Gmapping& a, const Gmapping& b) {
     ASSERT_EQ(a.particle_count(), b.particle_count());
     for (int i = 0; i < a.particle_count(); ++i) {
-      const Particle& pa = a.particles()[static_cast<size_t>(i)];
-      const Particle& pb = b.particles()[static_cast<size_t>(i)];
-      EXPECT_EQ(pa.pose, pb.pose) << i;
-      EXPECT_EQ(pa.log_weight, pb.log_weight) << i;
-      EXPECT_EQ(pa.weight, pb.weight) << i;
-      EXPECT_TRUE(same_grid_state(pa.map, pb.map)) << "particle " << i;
+      const size_t k = static_cast<size_t>(i);
+      EXPECT_EQ(a.poses()[k], b.poses()[k]) << i;
+      EXPECT_EQ(a.log_weights()[k], b.log_weights()[k]) << i;
+      EXPECT_EQ(a.weights()[k], b.weights()[k]) << i;
+      EXPECT_TRUE(same_grid_state(a.particles()[k].map, b.particles()[k].map))
+          << "particle " << i;
     }
   }
 

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run the scalar-vs-SIMD kernel wall-clock harness and validate its artifact.
+# Produces BENCH_kernel_wallclock.json (median-of-N steady-clock timings of
+# the scanMatch score loop and the trajectory-rollout scoring loop) and fails
+# if the file is malformed or the scalar and SIMD paths disagree. Speedup
+# thresholds are NOT enforced here — they depend on the host vector unit; the
+# numbers are printed for eyeballing and recorded in the JSON.
+#
+# Usage: tools/run_kernel_bench.sh [build-dir] [--smoke]
+#   --smoke: reduced iteration counts for the CI kernel-bench job.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build"
+SMOKE=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE="--smoke" ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+OUT_JSON="$REPO_ROOT/BENCH_kernel_wallclock.json"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+fi
+cmake --build "$BUILD_DIR" --target bench_micro_kernels -j
+
+(cd "$REPO_ROOT" && "$BUILD_DIR/bench/bench_micro_kernels" --wallclock-json $SMOKE)
+
+python3 - "$OUT_JSON" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["bench"] == "kernel_wallclock", doc.get("bench")
+assert doc["simd_level"] in ("scalar", "sse2", "avx2"), doc["simd_level"]
+assert isinstance(doc["runs"], int) and doc["runs"] >= 1
+kernels = {k["name"]: k for k in doc["kernels"]}
+for name in ("scan_match_score", "score_trajectory"):
+    k = kernels[name]
+    for field in ("iters", "scalar_ns_per_call", "simd_ns_per_call", "speedup",
+                  "rel_err", "agree"):
+        assert field in k, f"{name}: missing {field}"
+    assert k["scalar_ns_per_call"] > 0 and k["simd_ns_per_call"] > 0, name
+    assert k["agree"] is True, f"{name}: scalar/SIMD disagree (rel_err={k['rel_err']})"
+
+print()
+print(f"validated {sys.argv[1]} (simd_level={doc['simd_level']})")
+for name in ("scan_match_score", "score_trajectory"):
+    print(f"  {name}: {kernels[name]['speedup']:.2f}x")
+EOF
