@@ -25,6 +25,7 @@
 
 #include "bench_util.h"
 #include "core/mission_runner.h"
+#include "core/report_io.h"
 #include "sim/fault_injector.h"
 
 using namespace lgv;
@@ -56,13 +57,21 @@ core::DeploymentPlan make_plan(const PlanSpec& spec) {
 }
 
 core::MissionReport run_mission(const PlanSpec& spec, const sim::FaultSchedule& faults,
-                                double timeout) {
+                                double timeout, const std::string& tag) {
   core::MissionConfig cfg;
   cfg.timeout = timeout;
   cfg.faults = faults;
   cfg.lease_fallback = spec.lease_fallback;
+  // An integrity reject triggers a one-shot flight-recorder dump so the
+  // harshest corruption points leave corrupt_<tag>_flight_*.jsonl behind.
+  cfg.telemetry.flight_dump_prefix = "corrupt_" + tag;
   core::MissionRunner runner(sim::make_chaos_scenario(), make_plan(spec), cfg);
-  return runner.run();
+  core::MissionReport r = runner.run();
+  if (telemetry::Telemetry* t = runner.runtime().telemetry()) {
+    core::write_critical_path_file("corrupt_" + tag + "_critical_path.json",
+                                   t->tracer(), r.completion_time);
+  }
+  return r;
 }
 
 struct SweepPoint {
@@ -126,7 +135,7 @@ int main(int argc, char** argv) {
   // Nominal fault-free run anchors the schedule horizon, as in
   // bench_fault_injection.
   const core::MissionReport nominal =
-      run_mission(kPlans[3], sim::FaultSchedule{}, 700.0);
+      run_mission(kPlans[3], sim::FaultSchedule{}, 700.0, "nominal");
   const double nominal_s = nominal.completion_time;
   std::printf("nominal (fault-free, adaptive+fallback): %.1fs %s\n", nominal_s,
               nominal.success ? "" : "[timed out]");
@@ -147,7 +156,10 @@ int main(int argc, char** argv) {
       const auto faults = sim::make_corruption_schedule(flip, jitter, nominal_s);
       const double timeout = 4.0 * nominal_s + 120.0;
       for (size_t i = 0; i < 4; ++i) {
-        p.runs[i] = run_mission(kPlans[i], faults, timeout);
+        const std::string tag = std::string(kPlans[i].label) + "_f" +
+                                bench::fmt(flip * 1e4, 0) + "_j" +
+                                bench::fmt(jitter * 1e3, 0);
+        p.runs[i] = run_mission(kPlans[i], faults, timeout, tag);
       }
       rows.push_back("flip " + bench::fmt(flip * 1e3, 1) + "e-3, jitter " +
                      bench::fmt(jitter * 1e3, 0) + "ms");

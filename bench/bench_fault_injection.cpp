@@ -24,6 +24,7 @@
 
 #include "bench_util.h"
 #include "core/mission_runner.h"
+#include "core/report_io.h"
 #include "sim/fault_injector.h"
 
 using namespace lgv;
@@ -55,13 +56,22 @@ core::DeploymentPlan make_plan(const PlanSpec& spec) {
 }
 
 core::MissionReport run_chaos(const PlanSpec& spec, const sim::FaultSchedule& faults,
-                              double timeout) {
+                              double timeout, const std::string& tag) {
   core::MissionConfig cfg;
   cfg.timeout = timeout;
   cfg.faults = faults;
   cfg.lease_fallback = spec.lease_fallback;
+  // Post-mortem artifacts: the flight recorder dumps the last events as
+  // fault_<tag>_flight_<trigger>.jsonl the first time a lease expires, a
+  // migration aborts, or an integrity check rejects a frame.
+  cfg.telemetry.flight_dump_prefix = "fault_" + tag;
   core::MissionRunner runner(sim::make_chaos_scenario(), make_plan(spec), cfg);
-  return runner.run();
+  core::MissionReport r = runner.run();
+  if (telemetry::Telemetry* t = runner.runtime().telemetry()) {
+    core::write_critical_path_file("fault_" + tag + "_critical_path.json",
+                                   t->tracer(), r.completion_time);
+  }
+  return r;
 }
 
 struct SweepPoint {
@@ -121,7 +131,7 @@ int main(int argc, char** argv) {
   // Nominal (fault-free) mission duration anchors the chaos schedule so the
   // outage always lands mid-mission regardless of scenario tuning.
   const core::MissionReport nominal =
-      run_chaos(kPlans[3], sim::FaultSchedule{}, 700.0);
+      run_chaos(kPlans[3], sim::FaultSchedule{}, 700.0, "nominal");
   const double nominal_s = nominal.completion_time;
   std::printf("nominal (fault-free, adaptive+fallback): %.1fs %s\n", nominal_s,
               nominal.success ? "" : "[timed out]");
@@ -139,7 +149,12 @@ int main(int argc, char** argv) {
     const auto faults =
         sim::make_chaos_schedule(outage_s, stall_fraction, nominal_s);
     const double timeout = 4.0 * nominal_s + 2.0 * outage_s + 60.0;
-    for (size_t i = 0; i < 4; ++i) p.runs[i] = run_chaos(kPlans[i], faults, timeout);
+    for (size_t i = 0; i < 4; ++i) {
+      const std::string tag = std::string(kPlans[i].label) + "_o" +
+                              bench::fmt(outage_s, 0) + "_s" +
+                              bench::fmt(100.0 * stall_fraction, 0);
+      p.runs[i] = run_chaos(kPlans[i], faults, timeout, tag);
+    }
     return p;
   };
 

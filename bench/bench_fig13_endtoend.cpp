@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "core/mission_runner.h"
+#include "core/report_io.h"
 
 using namespace lgv;
 using core::WorkloadKind;
@@ -45,6 +46,21 @@ void run_workload(WorkloadKind kind, const char* title, double paper_energy_fact
     const char* wl = kind == WorkloadKind::kExplorationWithoutMap ? "exploration"
                                                                   : "navigation";
     sidecar.add(std::string(wl) + "/" + plan.name, reports.back().metrics);
+    // Makespan attribution per leg: where did the mission time actually go?
+    // The paper's Fig. 13 story falls out of network_s vs compute_s.
+    if (telemetry::Telemetry* t = runner.runtime().telemetry()) {
+      const std::string prefix = std::string("fig13_") + wl + "_" + plan.name;
+      const telemetry::CriticalPathResult cp = core::write_critical_path_file(
+          prefix + "_critical_path.json", t->tracer(),
+          reports.back().completion_time);
+      std::printf("  %-12s attribution: named %.1f%% of %.1fs | network %.2fs, "
+                  "compute %.2fs -> %s (%s)\n",
+                  plan.name.c_str(), cp.named_fraction() * 100.0, cp.makespan_s,
+                  cp.network_s, cp.compute_s,
+                  cp.network_s > cp.compute_s ? "network-dominated"
+                                              : "compute-dominated",
+                  (prefix + "_critical_path.json").c_str());
+    }
   }
 
   std::printf("%-12s %8s %8s %8s %8s %8s | %8s %8s %8s\n", "deployment", "motor",

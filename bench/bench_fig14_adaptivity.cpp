@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "core/mission_runner.h"
+#include "core/report_io.h"
 
 using namespace lgv;
 using core::WorkloadKind;
@@ -47,6 +48,14 @@ int main() {
     core::MissionRunner runner(sim::make_obstacle_course_scenario(), plan, cfg);
     const core::MissionReport r = runner.run();
     sidecar.add(plan.name, r.metrics);
+    if (telemetry::Telemetry* t = runner.runtime().telemetry()) {
+      const std::string prefix = "fig14_" + plan.name;
+      const telemetry::CriticalPathResult cp = core::write_critical_path_file(
+          prefix + "_critical_path.json", t->tracer(), r.completion_time);
+      std::printf("attribution: named %.1f%% | network %.2fs, compute %.2fs (%s)\n",
+                  cp.named_fraction() * 100.0, cp.network_s, cp.compute_s,
+                  (prefix + "_critical_path.json").c_str());
+    }
 
     bench::print_subtitle(plan.name + (r.success ? "" : "  [timed out]"));
     // Phase attribution by mission progress: the course is obstacles → long

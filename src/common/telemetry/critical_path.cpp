@@ -1,0 +1,299 @@
+#include "common/telemetry/critical_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <set>
+
+#include "common/telemetry/json_util.h"
+
+namespace lgv::telemetry {
+
+namespace {
+
+// Bucket indices double as charge priority: when spans overlap in time, the
+// lowest index wins. A migration stall that overlaps background compute is a
+// migration stall; network legs beat the small always-local nodes (mux,
+// safety) that tick underneath every offloaded cycle.
+enum BucketIndex {
+  kMigration = 0,
+  kFallback,
+  kRemoteCompute,
+  kSerialize,
+  kUplinkQueue,
+  kWire,
+  kDownlink,
+  kLocalCompute,
+  kOther,  ///< residual: 'X' spans matching no rule
+  kBucketCount,
+};
+
+constexpr const char* kBucketNames[kBucketCount] = {
+    "migration",    "fallback", "remote_compute", "serialize",     "uplink_queue",
+    "wire",         "downlink", "local_compute",  "other",
+};
+
+bool has_outcome(const TraceEvent& e, const char* outcome) {
+  for (const auto& [k, v] : e.args) {
+    if (k == "outcome" && v == outcome) return true;
+  }
+  return false;
+}
+
+int classify(const TraceEvent& e) {
+  if (e.phase != 'X') return -1;
+  if (e.name == "switcher.migrate") return kMigration;
+  if (has_outcome(e, "fallback") || has_outcome(e, "lease_expired")) return kFallback;
+  if (e.name == "net.queue") return e.tid == "downlink" ? kDownlink : kUplinkQueue;
+  if (e.name == "net.wire") return e.tid == "downlink" ? kDownlink : kWire;
+  if (e.name == "mw.serialize") return kSerialize;
+  if (e.pid == "edge_gateway" || e.pid == "cloud_server") return kRemoteCompute;
+  if (e.pid == "lgv") return kLocalCompute;
+  return kOther;
+}
+
+}  // namespace
+
+double CriticalPathResult::named_fraction() const {
+  if (makespan_s <= 0.0) return 1.0;
+  return (makespan_s - residual_s) / makespan_s;
+}
+
+const CriticalPathBucket* CriticalPathResult::find(const std::string& name) const {
+  for (const CriticalPathBucket& b : buckets) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+CriticalPathResult attribute_critical_path(const std::vector<TraceEvent>& events,
+                                           double makespan_s) {
+  CriticalPathResult result;
+
+  double derived_end = 0.0;
+  std::set<uint32_t> trace_ids;
+  std::set<uint32_t> span_ids;
+  for (const TraceEvent& e : events) {
+    derived_end = std::max(derived_end, e.phase == 'X' ? e.ts_s + e.dur_s : e.ts_s);
+    if (e.trace_id != 0) trace_ids.insert(e.trace_id);
+    if (e.span_id != 0) span_ids.insert(e.span_id);
+  }
+  const double T = makespan_s >= 0.0 ? makespan_s : derived_end;
+  result.makespan_s = T;
+  result.traces = trace_ids.size();
+  for (const TraceEvent& e : events) {
+    if (e.parent_span_id != 0 && span_ids.find(e.parent_span_id) == span_ids.end()) {
+      ++result.orphan_spans;
+    }
+  }
+
+  // Sweep line: +1/-1 per bucket at each span boundary; between boundaries
+  // the segment is charged to the highest-priority active bucket, or idle.
+  struct Edge {
+    double t;
+    int bucket;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  uint64_t bucket_spans[kBucketCount] = {};
+  for (const TraceEvent& e : events) {
+    const int b = classify(e);
+    if (b < 0) continue;
+    ++result.spans_total;
+    const double lo = std::max(0.0, e.ts_s);
+    const double hi = std::min(T, e.ts_s + std::max(0.0, e.dur_s));
+    ++bucket_spans[b];
+    if (hi <= lo) continue;
+    edges.push_back({lo, b, +1});
+    edges.push_back({hi, b, -1});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;  // close before open at identical times
+  });
+
+  double bucket_seconds[kBucketCount] = {};
+  double idle_s = 0.0;
+  int active[kBucketCount] = {};
+  double prev = 0.0;
+  size_t i = 0;
+  auto charge = [&](double from, double to) {
+    if (to <= from) return;
+    for (int b = 0; b < kBucketCount; ++b) {
+      if (active[b] > 0) {
+        bucket_seconds[b] += to - from;
+        return;
+      }
+    }
+    idle_s += to - from;
+  };
+  while (i < edges.size()) {
+    const double t = std::min(edges[i].t, T);
+    charge(prev, t);
+    prev = t;
+    while (i < edges.size() && edges[i].t == t) {
+      active[edges[i].bucket] += edges[i].delta;
+      ++i;
+    }
+    if (t >= T) break;
+  }
+  charge(prev, T);
+
+  for (int b = 0; b < kBucketCount; ++b) {
+    CriticalPathBucket out;
+    out.name = kBucketNames[b];
+    out.seconds = bucket_seconds[b];
+    out.fraction = T > 0.0 ? bucket_seconds[b] / T : 0.0;
+    out.spans = bucket_spans[b];
+    result.buckets.push_back(std::move(out));
+  }
+  CriticalPathBucket idle;
+  idle.name = "pipeline_idle";
+  idle.seconds = idle_s;
+  idle.fraction = T > 0.0 ? idle_s / T : 0.0;
+  result.buckets.push_back(std::move(idle));
+
+  result.residual_s = bucket_seconds[kOther];
+  result.network_s = bucket_seconds[kUplinkQueue] + bucket_seconds[kWire] +
+                     bucket_seconds[kDownlink] + bucket_seconds[kMigration];
+  result.compute_s = bucket_seconds[kLocalCompute] + bucket_seconds[kRemoteCompute] +
+                     bucket_seconds[kFallback];
+  return result;
+}
+
+void write_critical_path_json(std::ostream& os, const CriticalPathResult& r) {
+  os << "{\n";
+  os << "  \"schema\": \"critical_path/1\",\n";
+  os << "  \"makespan_s\": " << json_number(r.makespan_s) << ",\n";
+  os << "  \"spans\": " << r.spans_total << ",\n";
+  os << "  \"traces\": " << r.traces << ",\n";
+  os << "  \"orphan_spans\": " << r.orphan_spans << ",\n";
+  os << "  \"named_fraction\": " << json_number(r.named_fraction()) << ",\n";
+  os << "  \"residual_s\": " << json_number(r.residual_s) << ",\n";
+  os << "  \"network_s\": " << json_number(r.network_s) << ",\n";
+  os << "  \"compute_s\": " << json_number(r.compute_s) << ",\n";
+  os << "  \"buckets\": {\n";
+  for (size_t i = 0; i < r.buckets.size(); ++i) {
+    const CriticalPathBucket& b = r.buckets[i];
+    os << "    \"" << json_escape(b.name) << "\": {\"seconds\": "
+       << json_number(b.seconds) << ", \"fraction\": " << json_number(b.fraction)
+       << ", \"spans\": " << b.spans << "}"
+       << (i + 1 < r.buckets.size() ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+}
+
+namespace {
+
+/// Parse a JSON string at s[i] == '"'; leaves i one past the closing quote.
+bool parse_quoted(const std::string& s, size_t& i, std::string* out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out->clear();
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        default: *out += s[i];
+      }
+    } else {
+      *out += s[i];
+    }
+    ++i;
+  }
+  if (i >= s.size()) return false;
+  ++i;
+  return true;
+}
+
+/// Bare token (number / true / false) up to the next ',' or '}'.
+void parse_bare(const std::string& s, size_t& i, std::string* out) {
+  const size_t start = i;
+  while (i < s.size() && s[i] != ',' && s[i] != '}') ++i;
+  *out = s.substr(start, i - start);
+}
+
+bool parse_line(const std::string& s, TraceEvent* e) {
+  size_t i = 0;
+  if (i >= s.size() || s[i] != '{') return false;
+  ++i;
+  while (i < s.size() && s[i] != '}') {
+    if (s[i] == ',') {
+      ++i;
+      continue;
+    }
+    std::string key;
+    if (!parse_quoted(s, i, &key)) return false;
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    if (key == "args") {
+      if (i >= s.size() || s[i] != '{') return false;
+      ++i;
+      while (i < s.size() && s[i] != '}') {
+        if (s[i] == ',') {
+          ++i;
+          continue;
+        }
+        std::string ak, av;
+        if (!parse_quoted(s, i, &ak)) return false;
+        if (i >= s.size() || s[i] != ':') return false;
+        ++i;
+        if (i < s.size() && s[i] == '"') {
+          if (!parse_quoted(s, i, &av)) return false;
+        } else {
+          parse_bare(s, i, &av);
+        }
+        e->args.emplace_back(std::move(ak), std::move(av));
+      }
+      if (i >= s.size()) return false;
+      ++i;  // args '}'
+    } else {
+      std::string val;
+      if (i < s.size() && s[i] == '"') {
+        if (!parse_quoted(s, i, &val)) return false;
+      } else {
+        parse_bare(s, i, &val);
+      }
+      if (key == "name") e->name = val;
+      else if (key == "ph") e->phase = val.empty() ? 'i' : val[0];
+      else if (key == "ts") e->ts_s = std::strtod(val.c_str(), nullptr) / 1e6;
+      else if (key == "dur") e->dur_s = std::strtod(val.c_str(), nullptr) / 1e6;
+      else if (key == "pid") e->pid = val;
+      else if (key == "tid") e->tid = val;
+      else if (key == "trace_id")
+        e->trace_id = static_cast<uint32_t>(std::strtoul(val.c_str(), nullptr, 10));
+      else if (key == "span_id")
+        e->span_id = static_cast<uint32_t>(std::strtoul(val.c_str(), nullptr, 10));
+      else if (key == "parent_span_id")
+        e->parent_span_id =
+            static_cast<uint32_t>(std::strtoul(val.c_str(), nullptr, 10));
+      // "s" (instant scope) and unknown keys: ignored.
+    }
+  }
+  return i < s.size() && !e->name.empty();
+}
+
+}  // namespace
+
+std::vector<TraceEvent> parse_trace_jsonl(std::istream& is, size_t* skipped) {
+  std::vector<TraceEvent> out;
+  size_t bad = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    TraceEvent e;
+    if (parse_line(line, &e)) {
+      out.push_back(std::move(e));
+    } else {
+      ++bad;
+    }
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return out;
+}
+
+}  // namespace lgv::telemetry

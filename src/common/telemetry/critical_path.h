@@ -1,0 +1,63 @@
+// Makespan attribution over a finished mission's span DAG. Walks the trace
+// events of a run (in-process, or parsed back from a `_trace.jsonl` file) and
+// charges every instant of mission time to exactly one named bucket — local
+// compute, serialize, uplink queue, wire, remote queue, remote compute,
+// downlink, migration, fallback re-execution, pipeline idle — so "why did
+// this mission take 59 s?" is a JSON field, not a Perfetto eyeballing
+// session. Overlapping spans are resolved by a fixed priority order (a
+// migration stall that overlaps background compute is a migration stall);
+// time covered by no span at all is pipeline idle (sensor cadence waits);
+// spans that match no rule land in an explicit residual bucket rather than
+// disappearing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/trace.h"
+
+namespace lgv::telemetry {
+
+struct CriticalPathBucket {
+  std::string name;
+  double seconds = 0.0;
+  double fraction = 0.0;  ///< seconds / makespan (0 when makespan is 0)
+  uint64_t spans = 0;     ///< 'X' spans classified into this bucket
+};
+
+struct CriticalPathResult {
+  double makespan_s = 0.0;
+  double residual_s = 0.0;  ///< time charged to spans matching no rule
+  uint64_t spans_total = 0;  ///< 'X' spans considered
+  uint64_t traces = 0;       ///< distinct trace ids seen
+  uint64_t orphan_spans = 0; ///< events whose parent span id resolves to nothing
+  /// Named buckets in priority order; always includes every bucket (possibly
+  /// at 0 s) plus trailing "pipeline_idle" and "other" (the residual).
+  std::vector<CriticalPathBucket> buckets;
+  /// Convenience sums for the Fig 13 narrative.
+  double network_s = 0.0;  ///< uplink_queue + wire + downlink + migration
+  double compute_s = 0.0;  ///< local_compute + remote_compute + fallback
+
+  /// Fraction of the makespan attributed to *named* buckets (everything but
+  /// the residual). The acceptance bar is >= 0.95.
+  double named_fraction() const;
+  const CriticalPathBucket* find(const std::string& name) const;
+};
+
+/// Attribute `[0, makespan_s]` of mission time across the events. A negative
+/// makespan means "derive it": the latest span end / instant seen.
+CriticalPathResult attribute_critical_path(const std::vector<TraceEvent>& events,
+                                           double makespan_s = -1.0);
+
+/// Deterministic `<prefix>_critical_path.json` rendering.
+void write_critical_path_json(std::ostream& os, const CriticalPathResult& result);
+
+/// Parse events back out of the Tracer::write_jsonl format (string pid/tid
+/// lanes). Lines that do not parse are skipped and counted into *skipped
+/// when provided — the analyzer is a post-mortem tool and must not die on a
+/// truncated tail line.
+std::vector<TraceEvent> parse_trace_jsonl(std::istream& is, size_t* skipped = nullptr);
+
+}  // namespace lgv::telemetry

@@ -1,0 +1,60 @@
+// Locale-independent, deterministic JSON fragment helpers shared by the
+// trace and metrics writers. Everything telemetry emits must diff cleanly
+// across platforms (golden tests, bench sidecars, the perf-regression gate),
+// so numbers are rendered with std::to_chars — never printf, whose decimal
+// separator follows the process locale.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace lgv::telemetry {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Fixed-precision decimal rendering, equivalent to printf("%.*f") under the
+/// C locale. Used for trace timestamps (µs with 3 decimals).
+inline std::string json_fixed(double v, int precision) {
+  if (std::isnan(v) || std::isinf(v)) return "0";
+  char buf[64];
+  const auto res =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed, precision);
+  if (res.ec != std::errc()) return "0";
+  return std::string(buf, res.ptr);
+}
+
+/// Compact numeric rendering: integers without a decimal point, everything
+/// else in %.6g-shaped general form with enough digits to round-trip the
+/// interesting range. Deterministic so goldens and diffs are stable.
+inline std::string json_number(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "0";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf),
+                                   static_cast<long long>(v));
+    return std::string(buf, res.ptr);
+  }
+  char buf[64];
+  const auto res =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 6);
+  if (res.ec != std::errc()) return "0";
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace lgv::telemetry

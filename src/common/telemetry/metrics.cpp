@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <limits>
 #include <ostream>
+
+#include "common/telemetry/json_util.h"
 
 namespace lgv::telemetry {
 
@@ -29,36 +30,6 @@ void atomic_add(std::atomic<double>& target, double v) {
   double cur = target.load(std::memory_order_relaxed);
   while (!target.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
   }
-}
-
-// Compact numeric rendering: integers without a decimal point, everything
-// else with enough digits to round-trip the interesting range. Deterministic
-// so goldens and diffs are stable.
-std::string json_number(double v) {
-  if (std::isnan(v) || std::isinf(v)) return "0";
-  if (v == std::floor(v) && std::abs(v) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f", v);
-    return buf;
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
 }
 
 const char* kind_name(MetricKind k) {
@@ -106,6 +77,10 @@ void Histogram::observe(double v) {
 double Histogram::mean() const {
   const uint64_t n = count();
   return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+uint64_t Histogram::overflow_count() const {
+  return buckets_.back()->load(std::memory_order_relaxed);
 }
 
 std::vector<uint64_t> Histogram::bucket_counts() const {
@@ -172,8 +147,26 @@ std::string MetricsRegistry::series_key(const std::string& name, const Labels& l
   return key;
 }
 
+void MetricsRegistry::set_default_labels(Labels labels) {
+  const std::scoped_lock lock(mutex_);
+  default_labels_ = std::move(labels);
+}
+
+Labels MetricsRegistry::merged_labels(const Labels& labels) const {
+  const std::scoped_lock lock(mutex_);
+  if (default_labels_.empty()) return labels;
+  Labels merged = labels;
+  for (const auto& def : default_labels_) {
+    const bool overridden =
+        std::any_of(labels.begin(), labels.end(),
+                    [&](const auto& l) { return l.first == def.first; });
+    if (!overridden) merged.push_back(def);
+  }
+  return merged;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
-  const std::string key = series_key(name, labels);
+  const std::string key = series_key(name, merged_labels(labels));
   const std::scoped_lock lock(mutex_);
   auto [it, inserted] = series_.try_emplace(key);
   if (inserted) {
@@ -185,7 +178,7 @@ Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels)
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
-  const std::string key = series_key(name, labels);
+  const std::string key = series_key(name, merged_labels(labels));
   const std::scoped_lock lock(mutex_);
   auto [it, inserted] = series_.try_emplace(key);
   if (inserted) {
@@ -198,7 +191,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& labels,
                                       std::vector<double> bucket_bounds) {
-  const std::string key = series_key(name, labels);
+  const std::string key = series_key(name, merged_labels(labels));
   const std::scoped_lock lock(mutex_);
   auto [it, inserted] = series_.try_emplace(key);
   if (inserted) {
@@ -237,6 +230,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         s.p50 = entry.histogram->quantile(0.50);
         s.p90 = entry.histogram->quantile(0.90);
         s.p99 = entry.histogram->quantile(0.99);
+        s.overflow = static_cast<double>(entry.histogram->overflow_count());
         break;
     }
     snap.samples.push_back(std::move(s));
@@ -282,7 +276,8 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
            << ", \"sum\": " << json_number(s.sum)
            << ", \"p50\": " << json_number(s.p50)
            << ", \"p90\": " << json_number(s.p90)
-           << ", \"p99\": " << json_number(s.p99);
+           << ", \"p99\": " << json_number(s.p99)
+           << ", \"overflow\": " << json_number(s.overflow);
         break;
     }
     os << "}" << (i + 1 < snapshot.samples.size() ? "," : "") << "\n";

@@ -62,6 +62,10 @@ class Histogram {
   void observe(double v);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Observations above the top bucket bound. Exported explicitly so values
+  /// past the configured range show up as a count instead of silently
+  /// distorting p99 interpolation.
+  uint64_t overflow_count() const;
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
   /// q in [0, 1]; returns 0 when empty.
@@ -99,6 +103,7 @@ struct MetricSample {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  double overflow = 0.0;  ///< observations above the top bucket bound
 };
 
 struct MetricsSnapshot {
@@ -122,6 +127,11 @@ class MetricsRegistry {
   /// Full series key for `name` + `labels` (labels sorted by key).
   static std::string series_key(const std::string& name, const Labels& labels);
 
+  /// Labels merged into every subsequently registered series (explicit labels
+  /// win on key collision). Set before the first registration — e.g. the
+  /// fleet `vehicle_id` — so every key in the registry carries the identity.
+  void set_default_labels(Labels labels);
+
   MetricsSnapshot snapshot() const;
   /// Deterministic JSON object: {"series key": {...}, ...} sorted by key.
   void write_json(std::ostream& os) const;
@@ -137,8 +147,12 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  /// `labels` + defaults (explicit keys win), ready for series_key.
+  Labels merged_labels(const Labels& labels) const;
+
   mutable std::mutex mutex_;
   std::map<std::string, Entry> series_;
+  Labels default_labels_;
 };
 
 /// JSON rendering of a snapshot (same schema as MetricsRegistry::write_json).

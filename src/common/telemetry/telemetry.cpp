@@ -1,0 +1,34 @@
+#include "common/telemetry/telemetry.h"
+
+#include <fstream>
+
+namespace lgv::telemetry {
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(std::move(config)),
+      tracer_(config_.max_trace_events, config_.flight_recorder_events) {
+  if (!config_.vehicle_id.empty()) {
+    // Stamp the identity before any series registers so every key carries it.
+    metrics_.set_default_labels({{"vehicle_id", config_.vehicle_id}});
+    tracer_.set_vehicle_id(config_.vehicle_id);
+  }
+  // Registered eagerly so the family shows up (at 0) in every report, making
+  // silent ring-buffer truncation visible rather than merely knowable.
+  tracer_.set_dropped_counter(&metrics_.counter("telemetry_dropped_spans_total"));
+}
+
+bool Telemetry::dump_flight(const std::string& trigger) {
+  {
+    const std::scoped_lock lock(dump_mutex_);
+    if (!dumped_triggers_.insert(trigger).second) return false;
+  }
+  metrics_.counter("flight_recorder_dumps_total", {{"trigger", trigger}}).inc();
+  if (config_.flight_dump_prefix.empty()) return true;  // metric-only mode
+  const std::string path = config_.flight_dump_prefix + "_flight_" + trigger + ".jsonl";
+  std::ofstream os(path);
+  if (!os) return false;
+  tracer_.write_flight_jsonl(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace lgv::telemetry

@@ -11,6 +11,10 @@
 //   t.metrics().write_json(os);
 #pragma once
 
+#include <mutex>
+#include <set>
+#include <string>
+
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/trace.h"
 
@@ -20,12 +24,20 @@ struct TelemetryConfig {
   bool enabled = true;
   /// Tracer event cap (see Tracer).
   size_t max_trace_events = 1u << 20;
+  /// Flight-recorder ring size: the always-on post-mortem window. Fixed
+  /// memory, overwrite-oldest; 0 disables the ring entirely.
+  size_t flight_recorder_events = 256;
+  /// When non-empty, `dump_flight(trigger)` writes the retained window to
+  /// `<prefix>_flight_<trigger>.jsonl`. Empty = count triggers, write nothing.
+  std::string flight_dump_prefix;
+  /// Optional fleet identity stamped on every metric series (as a
+  /// `vehicle_id` label) and every trace event (as a `vehicle_id` arg).
+  std::string vehicle_id;
 };
 
 class Telemetry {
  public:
-  explicit Telemetry(TelemetryConfig config = {})
-      : config_(config), tracer_(config.max_trace_events) {}
+  explicit Telemetry(TelemetryConfig config = {});
 
   const TelemetryConfig& config() const { return config_; }
   bool enabled() const { return config_.enabled; }
@@ -38,10 +50,21 @@ class Telemetry {
   void set_clock(const SimClock* clock) { tracer_.set_clock(clock); }
   double now() const { return tracer_.now(); }
 
+  /// Fire a flight-recorder trigger (e.g. "lease_expiry", "migration_abort",
+  /// "integrity_reject"). The first occurrence of each trigger name bumps
+  /// `flight_recorder_dumps_total{trigger=...}` and — when a dump prefix is
+  /// configured — writes `<prefix>_flight_<trigger>.jsonl`; repeats are
+  /// no-ops so a reject storm costs one file, not thousands. Returns true
+  /// when this call newly fired the trigger (false on repeats or if the
+  /// dump file could not be written).
+  bool dump_flight(const std::string& trigger);
+
  private:
   TelemetryConfig config_;
   MetricsRegistry metrics_;
   Tracer tracer_;
+  std::mutex dump_mutex_;
+  std::set<std::string> dumped_triggers_;
 };
 
 }  // namespace lgv::telemetry

@@ -1,37 +1,19 @@
 #include "common/telemetry/trace.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <ostream>
+
+#include "common/telemetry/json_util.h"
 
 namespace lgv::telemetry {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
 /// Microsecond timestamp with fixed 3-decimal precision: deterministic and
 /// fine enough for sub-µs virtual durations.
-std::string fmt_us(double seconds) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
-  return buf;
-}
+std::string fmt_us(double seconds) { return json_fixed(seconds * 1e6, 3); }
 
 bool looks_numeric(const std::string& v) {
   if (v.empty()) return false;
@@ -71,12 +53,38 @@ struct LaneIds {
   }
 };
 
-void write_event(std::ostream& os, const TraceEvent& e, LaneIds& lanes) {
+/// Causal identity fields, present only when the event was recorded inside a
+/// trace — untraced output stays byte-identical to the pre-context schema.
+void write_trace_ids(std::ostream& os, const TraceEvent& e) {
+  if (e.span_id == 0) return;
+  os << ",\"trace_id\":" << e.trace_id << ",\"span_id\":" << e.span_id;
+  if (e.parent_span_id != 0) os << ",\"parent_span_id\":" << e.parent_span_id;
+}
+
+void write_event_chrome(std::ostream& os, const TraceEvent& e, LaneIds& lanes) {
   os << "{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"" << e.phase
      << "\",\"ts\":" << fmt_us(e.ts_s);
   if (e.phase == 'X') os << ",\"dur\":" << fmt_us(e.dur_s);
   os << ",\"pid\":" << lanes.pid(e.pid) << ",\"tid\":" << lanes.tid(e.pid, e.tid);
   if (e.phase == 'i') os << ",\"s\":\"t\"";  // instant scoped to its thread lane
+  write_trace_ids(os, e);
+  if (!e.args.empty()) {
+    os << ",";
+    write_args(os, e.args);
+  }
+  os << "}";
+}
+
+/// JSONL keeps pid/tid as the host / node name strings: jq filters and the
+/// critical-path analyzer classify spans by lane name, not lane number.
+void write_event_jsonl(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"" << e.phase
+     << "\",\"ts\":" << fmt_us(e.ts_s);
+  if (e.phase == 'X') os << ",\"dur\":" << fmt_us(e.dur_s);
+  os << ",\"pid\":\"" << json_escape(e.pid) << "\",\"tid\":\"" << json_escape(e.tid)
+     << "\"";
+  if (e.phase == 'i') os << ",\"s\":\"t\"";
+  write_trace_ids(os, e);
   if (!e.args.empty()) {
     os << ",";
     write_args(os, e.args);
@@ -86,17 +94,56 @@ void write_event(std::ostream& os, const TraceEvent& e, LaneIds& lanes) {
 
 }  // namespace
 
-void Tracer::record(TraceEvent e) {
+void Tracer::set_vehicle_id(std::string vehicle_id) {
   const std::scoped_lock lock(mutex_);
-  if (events_.size() >= max_events_) {
-    ++dropped_;
-    return;
-  }
-  events_.push_back(std::move(e));
+  vehicle_id_ = std::move(vehicle_id);
 }
 
-void Tracer::span(std::string name, std::string pid, std::string tid, double start_s,
-                  double dur_s, TraceArgs args) {
+TraceContext Tracer::begin_trace() {
+  const std::scoped_lock lock(mutex_);
+  current_ = TraceContext{++next_trace_id_, 0};
+  return current_;
+}
+
+void Tracer::set_current(TraceContext ctx) {
+  const std::scoped_lock lock(mutex_);
+  current_ = ctx;
+}
+
+TraceContext Tracer::current() const {
+  const std::scoped_lock lock(mutex_);
+  return current_;
+}
+
+uint32_t Tracer::record(TraceEvent e) {
+  const std::scoped_lock lock(mutex_);
+  if (current_.trace_id != 0) {
+    e.trace_id = current_.trace_id;
+    e.span_id = ++next_span_id_;
+    e.parent_span_id = current_.span_id;
+  }
+  if (!vehicle_id_.empty()) e.args.emplace_back("vehicle_id", vehicle_id_);
+  const uint32_t assigned = e.span_id;
+  if (flight_capacity_ > 0) {
+    if (flight_.size() < flight_capacity_) {
+      flight_.push_back(e);
+    } else {
+      flight_[flight_head_] = e;
+      ++flight_overwritten_;
+    }
+    flight_head_ = (flight_head_ + 1) % flight_capacity_;
+  }
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->inc();
+    return assigned;
+  }
+  events_.push_back(std::move(e));
+  return assigned;
+}
+
+uint32_t Tracer::span(std::string name, std::string pid, std::string tid,
+                      double start_s, double dur_s, TraceArgs args) {
   TraceEvent e;
   e.name = std::move(name);
   e.phase = 'X';
@@ -105,11 +152,11 @@ void Tracer::span(std::string name, std::string pid, std::string tid, double sta
   e.pid = std::move(pid);
   e.tid = std::move(tid);
   e.args = std::move(args);
-  record(std::move(e));
+  return record(std::move(e));
 }
 
-void Tracer::instant(std::string name, std::string pid, std::string tid, double t_s,
-                     TraceArgs args) {
+uint32_t Tracer::instant(std::string name, std::string pid, std::string tid,
+                         double t_s, TraceArgs args) {
   TraceEvent e;
   e.name = std::move(name);
   e.phase = 'i';
@@ -117,12 +164,13 @@ void Tracer::instant(std::string name, std::string pid, std::string tid, double 
   e.pid = std::move(pid);
   e.tid = std::move(tid);
   e.args = std::move(args);
-  record(std::move(e));
+  return record(std::move(e));
 }
 
-void Tracer::instant_now(std::string name, std::string pid, std::string tid,
-                         TraceArgs args) {
-  instant(std::move(name), std::move(pid), std::move(tid), now(), std::move(args));
+uint32_t Tracer::instant_now(std::string name, std::string pid, std::string tid,
+                             TraceArgs args) {
+  return instant(std::move(name), std::move(pid), std::move(tid), now(),
+                 std::move(args));
 }
 
 size_t Tracer::size() const {
@@ -139,11 +187,36 @@ void Tracer::clear() {
   const std::scoped_lock lock(mutex_);
   events_.clear();
   dropped_ = 0;
+  flight_.clear();
+  flight_head_ = 0;
+  flight_overwritten_ = 0;
+  current_ = TraceContext{};
 }
 
 std::vector<TraceEvent> Tracer::events() const {
   const std::scoped_lock lock(mutex_);
   return events_;
+}
+
+uint64_t Tracer::flight_overwritten() const {
+  const std::scoped_lock lock(mutex_);
+  return flight_overwritten_;
+}
+
+std::vector<TraceEvent> Tracer::flight_events() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(flight_.size());
+  if (flight_.size() < flight_capacity_) {
+    out = flight_;
+  } else {
+    // Full ring: oldest entry sits at the next overwrite position.
+    out.insert(out.end(), flight_.begin() + static_cast<long>(flight_head_),
+               flight_.end());
+    out.insert(out.end(), flight_.begin(),
+               flight_.begin() + static_cast<long>(flight_head_));
+  }
+  return out;
 }
 
 void Tracer::write_chrome_json(std::ostream& os) const {
@@ -154,7 +227,7 @@ void Tracer::write_chrome_json(std::ostream& os) const {
   for (const TraceEvent& e : events) {
     if (!first) os << ",\n";
     first = false;
-    write_event(os, e, lanes);
+    write_event_chrome(os, e, lanes);
   }
   // Metadata events name the numeric lanes after their host / node strings.
   for (const auto& [name, id] : lanes.pids) {
@@ -175,9 +248,16 @@ void Tracer::write_chrome_json(std::ostream& os) const {
 
 void Tracer::write_jsonl(std::ostream& os) const {
   const std::vector<TraceEvent> events = this->events();
-  LaneIds lanes;
   for (const TraceEvent& e : events) {
-    write_event(os, e, lanes);
+    write_event_jsonl(os, e);
+    os << "\n";
+  }
+}
+
+void Tracer::write_flight_jsonl(std::ostream& os) const {
+  const std::vector<TraceEvent> events = this->flight_events();
+  for (const TraceEvent& e : events) {
+    write_event_jsonl(os, e);
     os << "\n";
   }
 }

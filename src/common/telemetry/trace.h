@@ -6,10 +6,16 @@
 // as per-node rows grouped under lgv / edge_gateway / cloud_server, and an
 // Algorithm 2 migration as a node's work jumping between groups.
 //
+// Causality: a TraceContext (trace_id + parent span) is carried across the
+// middleware queues and the framed wire envelope, so every event recorded
+// while a context is active becomes a node in one cross-host span DAG. A
+// trace starts at the sensor tick (`begin_trace`) and is re-entered on the
+// remote side when a frame carrying the context is delivered.
+//
 // Export formats: Chrome trace-event JSON (the `traceEvents` array schema,
 // loadable by Perfetto) and a line-per-event JSONL stream for ad-hoc jq/grep
-// analysis. Output is deterministic for a fixed event sequence — golden-file
-// testable under the virtual clock.
+// analysis and the critical-path analyzer. Output is deterministic for a
+// fixed event sequence — golden-file testable under the virtual clock.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/telemetry/metrics.h"
 
 namespace lgv::telemetry {
 
@@ -34,30 +41,72 @@ struct TraceEvent {
   double dur_s = 0.0;  ///< span duration (seconds, 'X' only)
   std::string pid;     ///< process lane (host)
   std::string tid;     ///< thread lane (node / component)
+  // Causal identity; all zero when recorded outside an active trace. Emitted
+  // in the JSON output only when set, so untraced output is unchanged.
+  uint32_t trace_id = 0;
+  uint32_t span_id = 0;
+  uint32_t parent_span_id = 0;
   TraceArgs args;
+};
+
+/// Propagated causal context: the trace this execution belongs to and the
+/// span it should parent under. `span_id == 0` means "root of the trace".
+/// Contexts are value types — capture them into queues, frames, and deferred
+/// completions; restore with ScopedTraceContext around the continuation.
+struct TraceContext {
+  uint32_t trace_id = 0;
+  uint32_t span_id = 0;  ///< parent span for events recorded under this context
+
+  bool active() const { return trace_id != 0; }
 };
 
 class Tracer {
  public:
-  /// Events past this many are dropped (and counted) so a runaway mission
+  /// Events past `max_events` are dropped (and counted) so a runaway mission
   /// cannot exhaust memory; 1M events ≈ a few hundred MB of JSON, far beyond
-  /// any Fig. 9–14 run.
-  explicit Tracer(size_t max_events = 1u << 20) : max_events_(max_events) {}
+  /// any Fig. 9–14 run. The flight recorder is a second, much smaller ring
+  /// that always keeps the most recent `flight_capacity` events (overwriting
+  /// the oldest) — even after the main buffer saturates — so a post-mortem
+  /// dump at lease expiry / migration abort / integrity reject always has
+  /// the window that matters.
+  explicit Tracer(size_t max_events = 1u << 20, size_t flight_capacity = 256)
+      : max_events_(max_events), flight_capacity_(flight_capacity) {}
 
   /// Register the virtual clock used by the convenience overloads; the
   /// explicit-timestamp API works without one.
   void set_clock(const SimClock* clock) { clock_ = clock; }
   double now() const { return clock_ != nullptr ? clock_->now() : 0.0; }
 
-  /// Complete span [start_s, start_s + dur_s).
-  void span(std::string name, std::string pid, std::string tid, double start_s,
-            double dur_s, TraceArgs args = {});
-  /// Instant event at t_s.
-  void instant(std::string name, std::string pid, std::string tid, double t_s,
-               TraceArgs args = {});
-  /// Instant event stamped with the registered clock's current time.
-  void instant_now(std::string name, std::string pid, std::string tid,
+  /// Mirror every ring-buffer drop into this counter (typically
+  /// `telemetry_dropped_spans_total`); nullptr disconnects.
+  void set_dropped_counter(Counter* counter) { dropped_counter_ = counter; }
+
+  /// Optional vehicle identity appended to every recorded event as a
+  /// `vehicle_id` arg (fleet-scale disambiguation). Empty = off.
+  void set_vehicle_id(std::string vehicle_id);
+
+  // --- causal context ------------------------------------------------------
+  // The current context is what the *mission loop* is doing right now; it is
+  // saved/restored around queue drains and frame deliveries, not per thread.
+  // Pool workers record spans without touching it.
+
+  /// Start a fresh trace (new trace_id, no parent) and make it current.
+  TraceContext begin_trace();
+  /// Re-enter a propagated context (e.g. decoded from a wire frame).
+  void set_current(TraceContext ctx);
+  TraceContext current() const;
+
+  /// Complete span [start_s, start_s + dur_s). Returns the span id assigned
+  /// under the current trace (0 outside a trace); pass it to `set_current`
+  /// to parent subsequent events under this span.
+  uint32_t span(std::string name, std::string pid, std::string tid, double start_s,
+                double dur_s, TraceArgs args = {});
+  /// Instant event at t_s. Returns the assigned span id (0 outside a trace).
+  uint32_t instant(std::string name, std::string pid, std::string tid, double t_s,
                    TraceArgs args = {});
+  /// Instant event stamped with the registered clock's current time.
+  uint32_t instant_now(std::string name, std::string pid, std::string tid,
+                       TraceArgs args = {});
 
   size_t size() const;
   uint64_t dropped() const;
@@ -66,20 +115,66 @@ class Tracer {
   /// Chrome trace-event JSON: {"traceEvents": [...]} with process/thread
   /// name metadata so Perfetto shows host/node lane names.
   void write_chrome_json(std::ostream& os) const;
-  /// One event per line, same field names as the Chrome schema.
+  /// One event per line, same field names as the Chrome schema except that
+  /// pid/tid stay strings (host / node names) — the form the critical-path
+  /// analyzer and jq pipelines consume.
   void write_jsonl(std::ostream& os) const;
 
   /// Snapshot of the recorded events (test / analysis use).
   std::vector<TraceEvent> events() const;
 
+  // --- flight recorder -----------------------------------------------------
+
+  size_t flight_capacity() const { return flight_capacity_; }
+  /// Events the flight ring has overwritten (its "drops"; bounded-memory
+  /// operation, not data loss — the main buffer usually still has them).
+  uint64_t flight_overwritten() const;
+  /// The retained window, oldest first.
+  std::vector<TraceEvent> flight_events() const;
+  /// JSONL dump of the retained window (same schema as write_jsonl).
+  void write_flight_jsonl(std::ostream& os) const;
+
  private:
-  void record(TraceEvent e);
+  uint32_t record(TraceEvent e);
 
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   size_t max_events_;
   uint64_t dropped_ = 0;
   const SimClock* clock_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  std::string vehicle_id_;
+
+  TraceContext current_;
+  uint32_t next_trace_id_ = 0;
+  uint32_t next_span_id_ = 0;
+
+  std::vector<TraceEvent> flight_;
+  size_t flight_capacity_;
+  size_t flight_head_ = 0;  ///< next overwrite position once full
+  uint64_t flight_overwritten_ = 0;
+};
+
+/// RAII save/restore of a tracer's current context around a continuation
+/// (queue drain, deferred completion, frame delivery). A nullptr tracer makes
+/// the whole thing a no-op, preserving the one-pointer-test disabled path.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(Tracer* tracer, TraceContext ctx) : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      saved_ = tracer_->current();
+      tracer_->set_current(ctx);
+    }
+  }
+  ~ScopedTraceContext() {
+    if (tracer_ != nullptr) tracer_->set_current(saved_);
+  }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  Tracer* tracer_;
+  TraceContext saved_;
 };
 
 }  // namespace lgv::telemetry

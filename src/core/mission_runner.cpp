@@ -87,9 +87,15 @@ void MissionRunner::setup_graph() {
   cmd_pub_ = g.advertise<msg::TwistMsg>(node_name(NodeId::kPathTracking), "cmd_vel");
 
   g.subscribe<msg::LaserScan>(node_name(NodeId::kLocalization), "scan",
-                              [this](const msg::LaserScan& s) { scan_for_loc_ = s; });
+                              [this](const msg::LaserScan& s) {
+                                scan_for_loc_ = s;
+                                scan_loc_ctx_ = capture_ctx();
+                              });
   g.subscribe<msg::LaserScan>(node_name(NodeId::kCostmapGen), "scan",
-                              [this](const msg::LaserScan& s) { scan_for_cg_ = s; });
+                              [this](const msg::LaserScan& s) {
+                                scan_for_cg_ = s;
+                                scan_cg_ctx_ = capture_ctx();
+                              });
   g.subscribe<msg::Odometry>(node_name(NodeId::kLocalization), "odom",
                              [this](const msg::Odometry& o) { latest_odom_ = o; });
   // The pose estimate flows back to the vehicle side (and to path tracking,
@@ -121,8 +127,18 @@ void MissionRunner::setup_graph() {
   });
 }
 
+telemetry::Tracer* MissionRunner::tracer() {
+  telemetry::Telemetry* t = runtime_.telemetry();
+  return t != nullptr ? &t->tracer() : nullptr;
+}
+
+telemetry::TraceContext MissionRunner::capture_ctx() {
+  telemetry::Tracer* tr = tracer();
+  return tr != nullptr ? tr->current() : telemetry::TraceContext{};
+}
+
 void MissionRunner::defer(double due, std::function<void()> fn) {
-  deferred_.push_back({due, std::move(fn)});
+  deferred_.push_back({due, capture_ctx(), std::move(fn)});
 }
 
 void MissionRunner::pump(double now) {
@@ -134,8 +150,14 @@ void MissionRunner::pump(double now) {
     for (size_t i = 0; i < deferred_.size();) {
       if (deferred_[i].due <= now) {
         auto fn = std::move(deferred_[i].fn);
+        const telemetry::TraceContext ctx = deferred_[i].ctx;
         deferred_.erase(deferred_.begin() + static_cast<std::ptrdiff_t>(i));
-        fn();
+        {
+          // Completions re-enter the context captured at defer() time so the
+          // publishes they trigger stay children of the producing span.
+          telemetry::ScopedTraceContext scope(tracer(), ctx);
+          fn();
+        }
         progressed = true;
       } else {
         ++i;
@@ -155,6 +177,16 @@ double MissionRunner::current_velocity_cap() const {
 }
 
 void MissionRunner::on_scan_tick(double now) {
+  // Every sensor tick roots a fresh trace; everything downstream — local node
+  // executions, wire frames, remote spans, deferred publishes — parents under
+  // it, forming one cross-host DAG per scan.
+  if (telemetry::Tracer* tr = tracer()) {
+    tr->begin_trace();
+    const uint32_t root = tr->instant_now(
+        "scan.tick", "lgv", "lidar_driver", {{"seq", std::to_string(scan_seq_)}});
+    if (root != 0) tr->set_current({tr->current().trace_id, root});
+  }
+
   msg::LaserScan scan = lidar_.scan(scenario_.world, robot_.pose(), now);
   scan.header.seq = scan_seq_;
   msg::Odometry odom = robot_.odometry(now, scan_seq_);
@@ -173,6 +205,7 @@ void MissionRunner::on_scan_tick(double now) {
   // Vision-based LGV: the camera frames at the scan rate (sensor local).
   if (camera_.has_value()) {
     frame_for_loc_ = camera_->capture(scenario_.world, robot_.pose(), now);
+    frame_ctx_ = capture_ctx();
   }
 
   // Charge the (tiny) velocity-mux arbitration for this cycle.
@@ -197,6 +230,11 @@ void MissionRunner::run_localization(double now) {
              now < frozen_until_) {
     return;
   }
+
+  // Run under the context captured with the consumed input so the node span
+  // (and the deferred pose publish) stitch to the scan that produced it.
+  telemetry::ScopedTraceContext trace_scope(tracer(),
+                                            vision ? frame_ctx_ : scan_loc_ctx_);
 
   platform::ExecutionContext ctx = runtime_.make_context(NodeId::kLocalization);
   const Pose2D odom_used = latest_odom_.pose;
@@ -244,6 +282,7 @@ void MissionRunner::run_costmap(double now) {
   if (!scan_for_cg_.has_value() || now < cg_busy_until_ || now < frozen_until_) return;
   const msg::LaserScan scan = *scan_for_cg_;
   scan_for_cg_.reset();
+  telemetry::ScopedTraceContext trace_scope(tracer(), scan_cg_ctx_);
 
   // Exploration: refresh the static layer from the SLAM map so the costmap
   // covers newly mapped terrain (Fig. 2's map→costmap edge).
@@ -259,8 +298,10 @@ void MissionRunner::run_costmap(double now) {
                       calib::kInflationCyclesPerCell);
   const auto outcome = runtime_.finish_guarded(NodeId::kCostmapGen, ctx);
   cg_busy_until_ = now + outcome.latency;
-  defer(cg_busy_until_,
-        [this, stamp = scan.header.stamp] { costmap_stamp_ = stamp; });
+  defer(cg_busy_until_, [this, stamp = scan.header.stamp] {
+    costmap_stamp_ = stamp;
+    costmap_ctx_ = capture_ctx();  // path tracking keys off this costmap
+  });
 }
 
 void MissionRunner::run_tracking(double now) {
@@ -269,6 +310,7 @@ void MissionRunner::run_tracking(double now) {
     return;
   }
   tracked_costmap_stamp_ = costmap_stamp_;
+  telemetry::ScopedTraceContext trace_scope(tracer(), costmap_ctx_);
 
   platform::ExecutionContext ctx = runtime_.make_context(NodeId::kPathTracking);
   double cap = current_velocity_cap();
@@ -472,6 +514,8 @@ void MissionRunner::run_adjustment(double now) {
       if (telemetry::Telemetry* t = runtime_.telemetry()) {
         t->tracer().instant_now("migration.abort", "network", "switcher",
                                 {{"attempts", std::to_string(mig.attempts)}});
+        // Post-mortem: the last N events leading up to the torn transfer.
+        t->dump_flight("migration_abort");
       }
     }
   }

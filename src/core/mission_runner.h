@@ -154,6 +154,7 @@ class MissionRunner {
  private:
   struct DeferredAction {
     double due;
+    telemetry::TraceContext ctx;  ///< trace context captured at defer() time
     std::function<void()> fn;
   };
 
@@ -169,6 +170,8 @@ class MissionRunner {
   void defer(double due, std::function<void()> fn);
   void pump(double now);
   double current_velocity_cap() const;
+  telemetry::Tracer* tracer();
+  telemetry::TraceContext capture_ctx();
 
   sim::Scenario scenario_;
   MissionConfig config_;
@@ -200,6 +203,13 @@ class MissionRunner {
   // dataflow state
   std::optional<msg::LaserScan> scan_for_loc_;
   std::optional<msg::LaserScan> scan_for_cg_;
+  // Trace contexts riding alongside the data handoffs above, so a node that
+  // consumes a buffered input parents its span under the producing event even
+  // when ticks elapse in between.
+  telemetry::TraceContext scan_loc_ctx_;
+  telemetry::TraceContext scan_cg_ctx_;
+  telemetry::TraceContext frame_ctx_;
+  telemetry::TraceContext costmap_ctx_;
   msg::Odometry latest_odom_;
   Pose2D pose_estimate_;
   double pose_stamp_ = 0.0;

@@ -193,10 +193,16 @@ double OffloadRuntime::finish(NodeId id, platform::ExecutionContext& ctx) {
     // jumping to another host group in the trace.
     const char* host_lane = platform::host_name(host);
     const char* node = node_name(id);
-    telemetry_->tracer().span(
+    telemetry::Tracer& tracer = telemetry_->tracer();
+    const uint32_t span_id = tracer.span(
         node, host_lane, node, clock_.now(), t,
         {{"cycles", std::to_string(ctx.profile().total_cycles())},
          {"threads", std::to_string(ctx.threads())}});
+    // Downstream work (the deferred result publish and whatever it causes)
+    // parents under this node's execution span.
+    if (span_id != 0) {
+      tracer.set_current(telemetry::TraceContext{tracer.current().trace_id, span_id});
+    }
     const telemetry::Labels labels = {{"node", node}, {"host", host_lane}};
     auto& m = telemetry_->metrics();
     m.counter("node_invocations_total", labels).inc();
@@ -266,10 +272,18 @@ OffloadRuntime::ExecutionOutcome OffloadRuntime::finish_guarded(
         .inc();
     // The wasted remote wait, then the local re-execution, as spans: the
     // trace shows the node's lane hop back to the LGV group at the fallback.
-    telemetry_->tracer().span(node, platform::host_name(host), node, now, lease,
-                              {{"outcome", "lease_expired"}});
-    telemetry_->tracer().span(node, platform::host_name(platform::Host::kLgv), node,
-                              now + lease, t_local, {{"outcome", "fallback"}});
+    telemetry::Tracer& tracer = telemetry_->tracer();
+    tracer.span(node, platform::host_name(host), node, now, lease,
+                {{"outcome", "lease_expired"}});
+    const uint32_t fb_span = tracer.span(node, platform::host_name(platform::Host::kLgv),
+                                         node, now + lease, t_local,
+                                         {{"outcome", "fallback"}});
+    if (fb_span != 0) {
+      tracer.set_current(telemetry::TraceContext{tracer.current().trace_id, fb_span});
+    }
+    // First lease expiry of the run snapshots the flight recorder for the
+    // post-mortem (repeat triggers are no-ops).
+    telemetry_->dump_flight("lease_expiry");
     telemetry_->tracer().instant_now(
         "alg2.fallback", "decisions", "algorithm2",
         {{"node", node},

@@ -98,4 +98,20 @@ bool write_trace_file(const std::string& path, const telemetry::Tracer& tracer) 
   return static_cast<bool>(f);
 }
 
+bool write_trace_jsonl_file(const std::string& path, const telemetry::Tracer& tracer) {
+  std::ofstream f(path);
+  if (!f) return false;
+  tracer.write_jsonl(f);
+  return static_cast<bool>(f);
+}
+
+telemetry::CriticalPathResult write_critical_path_file(
+    const std::string& path, const telemetry::Tracer& tracer, double makespan_s) {
+  const telemetry::CriticalPathResult result =
+      telemetry::attribute_critical_path(tracer.events(), makespan_s);
+  std::ofstream f(path);
+  if (f) telemetry::write_critical_path_json(f, result);
+  return result;
+}
+
 }  // namespace lgv::core

@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/telemetry/critical_path.h"
 #include "core/mission_runner.h"
 
 namespace lgv::core {
@@ -34,5 +35,16 @@ bool write_report_files(const std::string& prefix, const MissionReport& report);
 ///   core::write_trace_file("mission_trace.json",
 ///                          runner.runtime().telemetry()->tracer());
 bool write_trace_file(const std::string& path, const telemetry::Tracer& tracer);
+
+/// One-event-per-line JSONL (the critical-path analyzer's input format).
+bool write_trace_jsonl_file(const std::string& path, const telemetry::Tracer& tracer);
+
+/// Attribute the recorded trace into critical-path buckets and write
+/// <path> as `critical_path/1` JSON (see telemetry/critical_path.h). Pass
+/// `makespan_s` to attribute against the mission wall-clock instead of the
+/// trace extent. Returns the result for in-process assertions.
+telemetry::CriticalPathResult write_critical_path_file(
+    const std::string& path, const telemetry::Tracer& tracer,
+    double makespan_s = -1.0);
 
 }  // namespace lgv::core

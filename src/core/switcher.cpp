@@ -68,9 +68,13 @@ void flip_random_bits(std::vector<uint8_t>& bytes, double p, Rng& rng) {
   }
 }
 
+// The CRC covers bytes [0,14) — everything before the CRC field — continued
+// over bytes [18, end): for a v1 frame that is exactly the payload, for a v2
+// frame the trace ids plus the payload. One formula for both versions, and
+// the trace context is integrity-protected.
 uint32_t frame_crc(const std::vector<uint8_t>& frame) {
-  const uint32_t crc_header = crc32c(frame.data(), kFrameHeaderSize - 4);
-  return crc32c(frame.data() + kFrameHeaderSize, frame.size() - kFrameHeaderSize,
+  const uint32_t crc_header = crc32c(frame.data(), 14);
+  return crc32c(frame.data() + kFrameHeaderSizeV1, frame.size() - kFrameHeaderSizeV1,
                 crc_header);
 }
 
@@ -82,7 +86,8 @@ constexpr uint8_t kDirControl = 2;
 }  // namespace
 
 std::vector<uint8_t> frame_wrap(uint8_t direction, uint16_t topic_id,
-                                uint32_t seq, const std::vector<uint8_t>& payload) {
+                                uint32_t seq, const std::vector<uint8_t>& payload,
+                                uint32_t trace_id, uint32_t span_id) {
   std::vector<uint8_t> f(kFrameHeaderSize + payload.size());
   store_u16(f, 0, kFrameMagic);
   f[2] = kFrameVersion;
@@ -90,16 +95,35 @@ std::vector<uint8_t> frame_wrap(uint8_t direction, uint16_t topic_id,
   store_u16(f, 4, topic_id);
   store_u32(f, 6, seq);
   store_u32(f, 10, static_cast<uint32_t>(payload.size()));
+  store_u32(f, 18, trace_id);
+  store_u32(f, 22, span_id);
   std::copy(payload.begin(), payload.end(), f.begin() + kFrameHeaderSize);
   store_u32(f, 14, frame_crc(f));
   return f;
 }
 
+std::vector<uint8_t> frame_wrap_v1(uint8_t direction, uint16_t topic_id,
+                                   uint32_t seq, const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> f(kFrameHeaderSizeV1 + payload.size());
+  store_u16(f, 0, kFrameMagic);
+  f[2] = 1;
+  f[3] = direction;
+  store_u16(f, 4, topic_id);
+  store_u32(f, 6, seq);
+  store_u32(f, 10, static_cast<uint32_t>(payload.size()));
+  std::copy(payload.begin(), payload.end(), f.begin() + kFrameHeaderSizeV1);
+  store_u32(f, 14, frame_crc(f));
+  return f;
+}
+
 const char* frame_check(const std::vector<uint8_t>& frame) {
-  if (frame.size() < kFrameHeaderSize) return "runt";
+  if (frame.size() < kFrameHeaderSizeV1) return "runt";
   if (load_u16(frame, 0) != kFrameMagic) return "bad_magic";
-  if (frame[2] != kFrameVersion) return "bad_version";
-  if (load_u32(frame, 10) != frame.size() - kFrameHeaderSize) {
+  const uint8_t version = frame[2];
+  if (version == 0 || version > kFrameVersion) return "bad_version";
+  const size_t header = version == 1 ? kFrameHeaderSizeV1 : kFrameHeaderSize;
+  if (frame.size() < header) return "runt";
+  if (load_u32(frame, 10) != frame.size() - header) {
     return "length_mismatch";
   }
   if (load_u32(frame, 14) != frame_crc(frame)) return "crc";
@@ -107,6 +131,18 @@ const char* frame_check(const std::vector<uint8_t>& frame) {
 }
 
 uint32_t frame_seq(const std::vector<uint8_t>& frame) { return load_u32(frame, 6); }
+
+size_t frame_header_size(const std::vector<uint8_t>& frame) {
+  return frame.size() > 2 && frame[2] == 1 ? kFrameHeaderSizeV1 : kFrameHeaderSize;
+}
+
+uint32_t frame_trace_id(const std::vector<uint8_t>& frame) {
+  return frame_header_size(frame) == kFrameHeaderSizeV1 ? 0 : load_u32(frame, 18);
+}
+
+uint32_t frame_span_id(const std::vector<uint8_t>& frame) {
+  return frame_header_size(frame) == kFrameHeaderSizeV1 ? 0 : load_u32(frame, 22);
+}
 
 Switcher::Switcher(mw::Graph* graph, net::WirelessChannel* channel, const SimClock* clock,
                    sim::EnergyMeter* energy, const sim::PowerModel* power,
@@ -157,8 +193,13 @@ void Switcher::send(const mw::TopicName& topic, const mw::NodeName& dst,
   const uint8_t dir = up ? kDirUplink : kDirDownlink;
   const uint16_t tid = topic_id(topic);
   const uint32_t key = (static_cast<uint32_t>(dir) << 16) | tid;
+  // The sender's TraceContext rides the frame header so the receiving host
+  // re-enters the same trace on delivery.
+  telemetry::TraceContext ctx;
+  if (telemetry_ != nullptr) ctx = telemetry_->tracer().current();
   std::vector<uint8_t> frame =
-      frame_wrap(dir, tid, next_seq_[key]++, pack_envelope(topic, dst, bytes));
+      frame_wrap(dir, tid, next_seq_[key]++, pack_envelope(topic, dst, bytes),
+                 ctx.trace_id, ctx.span_id);
   if (up) {
     ++stats_.uplink_messages;
     stats_.uplink_bytes += static_cast<double>(frame.size());
@@ -184,6 +225,9 @@ void Switcher::reject_frame(const char* cause, uint64_t* counter) {
     telemetry_->metrics().counter("net_frames_rejected_total", {{"cause", cause}}).inc();
     telemetry_->tracer().instant_now("integrity.reject", "network", "switcher",
                                      {{"cause", cause}});
+    // Post-mortem hook: the first reject of a run snapshots the flight
+    // recorder (repeat triggers are no-ops inside dump_flight).
+    telemetry_->dump_flight("integrity_reject");
   }
 }
 
@@ -198,6 +242,14 @@ void Switcher::deliver(const net::Packet& packet) {
                                                  : &stats_.rejected_crc;
     reject_frame(cause, counter);
     return;
+  }
+  const size_t header = frame_header_size(b);
+  if (header == kFrameHeaderSizeV1) {
+    // Legacy sender: deliverable, just without trace context.
+    ++stats_.frames_v1;
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics().counter("net_frames_v1_total").inc();
+    }
   }
   const uint32_t key = (static_cast<uint32_t>(b[3]) << 16) | load_u16(b, 4);
   const uint32_t seq = frame_seq(b);
@@ -219,12 +271,39 @@ void Switcher::deliver(const net::Packet& packet) {
       return;
     }
   }
+  // Re-enter the sender's trace for everything this delivery causes: the
+  // wire spans below and the subscriber enqueue both parent under the span
+  // that published the message on the other host. A frame without context
+  // (v1, or sent outside a trace) deliberately clears the ambient context so
+  // unrelated work is not stitched in.
+  telemetry::Tracer* tracer = telemetry_ != nullptr ? &telemetry_->tracer() : nullptr;
+  telemetry::ScopedTraceContext scope(
+      tracer, telemetry::TraceContext{frame_trace_id(b), frame_span_id(b)});
+  if (tracer != nullptr) {
+    const uint8_t dir = b[3];
+    const char* lane = dir == kDirUplink     ? "uplink"
+                       : dir == kDirDownlink ? "downlink"
+                                             : "control";
+    const double now = clock_->now();
+    // Kernel-buffer dwell and air time as separate spans, so the critical
+    // path can tell queueing from propagation.
+    if (packet.air_time > packet.send_time) {
+      tracer->span("net.queue", "network", lane, packet.send_time,
+                   packet.air_time - packet.send_time);
+    }
+    const double air_start = std::max(packet.send_time, packet.air_time);
+    const uint32_t wire_id =
+        tracer->span("net.wire", "network", lane, air_start, now - air_start,
+                     {{"bytes", std::to_string(b.size())}});
+    if (wire_id != 0) {
+      tracer->set_current(telemetry::TraceContext{frame_trace_id(b), wire_id});
+    }
+  }
   // Hardened decode boundary: a frame that passed its CRC can still carry an
   // envelope this build can't decode (version skew, message-schema bug);
   // that's a counted drop, never an exception escaping the network stack.
   try {
-    const Envelope e =
-        unpack_envelope(b.data() + kFrameHeaderSize, b.size() - kFrameHeaderSize);
+    const Envelope e = unpack_envelope(b.data() + header, b.size() - header);
     if (e.topic == "__stream__") {
       if (stream_callback_) stream_callback_(packet.send_time, clock_->now());
     } else {
@@ -375,8 +454,11 @@ void Switcher::send_stream_packet() {
   const std::vector<uint8_t> payload(48, 0);
   const uint16_t tid = topic_id("__stream__");
   const uint32_t key = (static_cast<uint32_t>(kDirDownlink) << 16) | tid;
-  std::vector<uint8_t> frame = frame_wrap(
-      kDirDownlink, tid, next_seq_[key]++, pack_envelope("__stream__", "lgv", payload));
+  telemetry::TraceContext ctx;
+  if (telemetry_ != nullptr) ctx = telemetry_->tracer().current();
+  std::vector<uint8_t> frame =
+      frame_wrap(kDirDownlink, tid, next_seq_[key]++,
+                 pack_envelope("__stream__", "lgv", payload), ctx.trace_id, ctx.span_id);
   ++stats_.downlink_messages;
   stats_.downlink_bytes += static_cast<double>(frame.size());
   if (downlink_bytes_total_ != nullptr) downlink_bytes_total_->inc(frame.size());

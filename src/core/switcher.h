@@ -25,28 +25,49 @@
 namespace lgv::core {
 
 // ---- wire frame (docs/wire-format.md) --------------------------------------
-// Every datagram the Switcher puts on the air is
+// Every datagram the Switcher puts on the air is (v2)
 //   [magic u16][version u8][direction u8][topic_id u16][seq u32]
-//   [payload_len u32][crc32c u32][payload ...]
-// all little-endian; the CRC32C covers the first 14 header bytes plus the
-// payload, so any bit the channel flips — header or body — fails the check.
+//   [payload_len u32][crc32c u32][trace_id u32][span_id u32][payload ...]
+// all little-endian. The trace_id/span_id pair propagates the sender's
+// TraceContext so the receiver's work stitches into the same span DAG. The
+// CRC32C covers bytes [0,14) plus everything after the CRC field — i.e. the
+// trace ids AND the payload — so any bit the channel flips fails the check.
+// A v1 frame (18-byte header, no trace ids; same CRC coverage rule) still
+// decodes: it simply carries no trace context, and is counted in
+// net_frames_v1_total rather than rejected.
 inline constexpr uint16_t kFrameMagic = 0x4C57;  ///< "WL" on the wire
-inline constexpr uint8_t kFrameVersion = 1;
-inline constexpr size_t kFrameHeaderSize = 18;
+inline constexpr uint8_t kFrameVersion = 2;
+inline constexpr size_t kFrameHeaderSize = 26;
+inline constexpr size_t kFrameHeaderSizeV1 = 18;
 
-/// Wrap `payload` in a frame header + CRC. Exposed for tests and the
-/// migration path; normal traffic goes through Switcher::send.
+/// Wrap `payload` in a v2 frame header + CRC, stamping the sender's trace
+/// context (0/0 = no active trace). Exposed for tests and the migration
+/// path; normal traffic goes through Switcher::send.
 std::vector<uint8_t> frame_wrap(uint8_t direction, uint16_t topic_id,
-                                uint32_t seq, const std::vector<uint8_t>& payload);
+                                uint32_t seq, const std::vector<uint8_t>& payload,
+                                uint32_t trace_id = 0, uint32_t span_id = 0);
 
-/// Integrity-check a received frame. Returns nullptr when the frame is
-/// intact, else the rejection cause label ("runt", "bad_magic",
+/// Wrap `payload` in a legacy v1 frame (18-byte header, no trace context).
+/// Kept for the backward-compat tests and the wire fuzz harness.
+std::vector<uint8_t> frame_wrap_v1(uint8_t direction, uint16_t topic_id,
+                                   uint32_t seq, const std::vector<uint8_t>& payload);
+
+/// Integrity-check a received frame (v1 or v2). Returns nullptr when the
+/// frame is intact, else the rejection cause label ("runt", "bad_magic",
 /// "bad_version", "length_mismatch", "crc") used for
 /// net_frames_rejected_total{cause=...}.
 const char* frame_check(const std::vector<uint8_t>& frame);
 
 /// Read the sequence number of a verified frame.
 uint32_t frame_seq(const std::vector<uint8_t>& frame);
+
+/// Header size of a verified frame: kFrameHeaderSizeV1 for v1, else
+/// kFrameHeaderSize. The payload starts here.
+size_t frame_header_size(const std::vector<uint8_t>& frame);
+
+/// Trace context of a verified frame; both return 0 for v1 frames.
+uint32_t frame_trace_id(const std::vector<uint8_t>& frame);
+uint32_t frame_span_id(const std::vector<uint8_t>& frame);
 
 /// Outcome of a chunked state migration over the reliable control link.
 struct MigrationResult {
@@ -78,6 +99,9 @@ struct SwitcherStats {
   uint64_t rejected_crc = 0;
   uint64_t rejected_decode = 0;     ///< envelope/message decode threw
   uint64_t rejected_duplicate = 0;  ///< seq already delivered
+  /// Legacy v1 frames delivered without trace context (counted, not
+  /// rejected) — visibility into a mixed-version fleet.
+  uint64_t frames_v1 = 0;
   /// Valid frame older than the newest delivered on its (topic, direction):
   /// dropped so stale data never overwrites fresh (freshness over
   /// reliability). Counted in msg_stale_dropped_total, not frames_rejected.

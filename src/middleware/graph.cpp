@@ -62,7 +62,9 @@ void Graph::enqueue(detail::TopicRec& rec, detail::SubscriptionRec& sub,
                               {{"subscriber", sub.subscriber}});
     }
   }
-  sub.queue.push_back(msg);
+  telemetry::TraceContext ctx;
+  if (telemetry_ != nullptr) ctx = telemetry_->tracer().current();
+  sub.queue.push_back(detail::QueuedMessage{msg, ctx});
   if (topic_telemetry(rec) != nullptr) {
     rec.telemetry.queue_depth->set(static_cast<double>(sub.queue.size()));
   }
@@ -145,18 +147,24 @@ size_t Graph::spin() {
     for (auto& [name, rec] : topics_) {
       for (auto& sub : rec.subs) {
         while (!sub->queue.empty()) {
-          detail::ErasedMessage msg = sub->queue.front();
+          detail::QueuedMessage qm = std::move(sub->queue.front());
           sub->queue.pop_front();
           ++sub->received;
-          sub->callback(msg);
+          {
+            // The callback runs under the publisher's context so everything
+            // it records (node spans, republications) stitches causally.
+            telemetry::ScopedTraceContext scope(
+                telemetry_ != nullptr ? &telemetry_->tracer() : nullptr, qm.ctx);
+            if (telemetry::Telemetry* t = topic_telemetry(rec)) {
+              rec.telemetry.delivered->inc();
+              t->tracer().instant_now("mw.deliver",
+                                      platform::host_name(host_of(sub->subscriber)),
+                                      rec.name, {{"subscriber", sub->subscriber}});
+            }
+            sub->callback(qm.msg);
+          }
           ++invoked;
           progressed = true;
-          if (telemetry::Telemetry* t = topic_telemetry(rec)) {
-            rec.telemetry.delivered->inc();
-            t->tracer().instant_now("mw.deliver",
-                                    platform::host_name(host_of(sub->subscriber)),
-                                    rec.name, {{"subscriber", sub->subscriber}});
-          }
         }
       }
     }

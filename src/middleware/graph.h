@@ -73,10 +73,19 @@ namespace detail {
 
 using ErasedMessage = std::shared_ptr<const void>;
 
+/// A queued delivery: the shared payload plus the publisher's trace context,
+/// restored around the callback at drain time so work caused by the message
+/// parents under the span that published it — across hosts, the Switcher
+/// re-creates the context from the frame header before enqueueing.
+struct QueuedMessage {
+  ErasedMessage msg;
+  telemetry::TraceContext ctx;
+};
+
 struct SubscriptionRec {
   NodeName subscriber;
   size_t max_queue = 1;
-  std::deque<ErasedMessage> queue;
+  std::deque<QueuedMessage> queue;
   std::function<void(const ErasedMessage&)> callback;
   uint64_t dropped = 0;
   uint64_t received = 0;

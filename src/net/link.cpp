@@ -103,6 +103,7 @@ void UdpLink::step(double now) {
     pkt.id = d.id;
     pkt.payload = std::move(payload);
     pkt.send_time = d.enqueue_time;
+    pkt.air_time = now;  // kernel-buffer dwell ends here; the wire leg begins
     pkt.deliver_time = now + channel_->sample_latency(d.bytes);
 
     // Scripted wire faults (sim/fault_injector): UDP delivers damaged frames
@@ -235,6 +236,7 @@ void TcpLink::step(double now) {
       continue;
     }
     Packet pkt = std::move(it->packet);
+    pkt.air_time = now;  // left the unacked send queue; retransmits push this out
     pkt.deliver_time =
         now + channel_->sample_latency(pkt.payload.size()) * (1.0 + 0.1 * it->retries);
     if (ov.reorder_jitter_s > 0.0) {

@@ -41,6 +41,7 @@ struct Packet {
   uint64_t id = 0;
   std::vector<uint8_t> payload;
   double send_time = 0.0;     ///< when the application issued sendto()
+  double air_time = 0.0;      ///< when the driver put it on the air (>= send_time)
   double deliver_time = 0.0;  ///< when the receiver sees it
 };
 

@@ -1,0 +1,166 @@
+// Critical-path attribution: hand-built span DAGs with known bucket answers,
+// overlap priority, orphan flagging, JSONL round-trip, and deterministic
+// `critical_path/1` rendering.
+#include "common/telemetry/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/telemetry/trace.h"
+
+namespace lgv::telemetry {
+namespace {
+
+TraceEvent make_span(std::string name, std::string pid, std::string tid, double ts,
+                     double dur, TraceArgs args = {}) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.phase = 'X';
+  e.ts_s = ts;
+  e.dur_s = dur;
+  e.pid = std::move(pid);
+  e.tid = std::move(tid);
+  e.args = std::move(args);
+  return e;
+}
+
+TEST(CriticalPath, HandBuiltDagChargesEveryBucket) {
+  // A ten-second "mission" whose spans exercise one bucket each:
+  //   [0,1) local compute, [1,2) remote compute, [2,2.5) uplink queue,
+  //   [2.5,3) wire, [3,3.5) downlink, [3.5,4) serialize, [4,5) migration,
+  //   [5,6) fallback re-execution, [6,7) unclassifiable, [7,10) idle.
+  std::vector<TraceEvent> events = {
+      make_span("node.localization", "lgv", "localization", 0.0, 1.0),
+      make_span("node.path_tracking", "edge_gateway", "path_tracking", 1.0, 1.0),
+      make_span("net.queue", "network", "uplink", 2.0, 0.5),
+      make_span("net.wire", "network", "uplink", 2.5, 0.5),
+      make_span("net.wire", "network", "downlink", 3.0, 0.5),
+      make_span("mw.serialize", "lgv", "scan", 3.5, 0.5),
+      make_span("switcher.migrate", "network", "switcher", 4.0, 1.0),
+      make_span("node.retry", "lgv", "path_tracking", 5.0, 1.0,
+                {{"outcome", "fallback"}}),
+      make_span("mystery.span", "weird_host", "??", 6.0, 1.0),
+  };
+
+  const CriticalPathResult r = attribute_critical_path(events, 10.0);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 10.0);
+  EXPECT_EQ(r.spans_total, 9u);
+  EXPECT_EQ(r.orphan_spans, 0u);
+
+  const auto seconds = [&](const char* name) {
+    const CriticalPathBucket* b = r.find(name);
+    return b != nullptr ? b->seconds : -1.0;
+  };
+  EXPECT_DOUBLE_EQ(seconds("local_compute"), 1.0);
+  EXPECT_DOUBLE_EQ(seconds("remote_compute"), 1.0);
+  EXPECT_DOUBLE_EQ(seconds("uplink_queue"), 0.5);
+  EXPECT_DOUBLE_EQ(seconds("wire"), 0.5);
+  EXPECT_DOUBLE_EQ(seconds("downlink"), 0.5);
+  EXPECT_DOUBLE_EQ(seconds("serialize"), 0.5);
+  EXPECT_DOUBLE_EQ(seconds("migration"), 1.0);
+  EXPECT_DOUBLE_EQ(seconds("fallback"), 1.0);
+  EXPECT_DOUBLE_EQ(seconds("other"), 1.0);
+  EXPECT_DOUBLE_EQ(seconds("pipeline_idle"), 3.0);
+
+  EXPECT_DOUBLE_EQ(r.residual_s, 1.0);
+  EXPECT_DOUBLE_EQ(r.named_fraction(), 0.9);
+  EXPECT_DOUBLE_EQ(r.network_s, 2.5);  // uplink_queue + wire + downlink + migration
+  EXPECT_DOUBLE_EQ(r.compute_s, 3.0);  // local + remote + fallback
+
+  // Every second of the makespan is charged exactly once.
+  double total = 0.0;
+  for (const CriticalPathBucket& b : r.buckets) total += b.seconds;
+  EXPECT_NEAR(total, 10.0, 1e-9);
+}
+
+TEST(CriticalPath, OverlapResolvedByPriority) {
+  // A migration stall overlapping background local compute is a migration
+  // stall; the compute span only keeps its non-overlapped second.
+  std::vector<TraceEvent> events = {
+      make_span("node.mux", "lgv", "velocity_mux", 0.0, 2.0),
+      make_span("switcher.migrate", "network", "switcher", 0.0, 1.0),
+  };
+  const CriticalPathResult r = attribute_critical_path(events, 2.0);
+  EXPECT_DOUBLE_EQ(r.find("migration")->seconds, 1.0);
+  EXPECT_DOUBLE_EQ(r.find("local_compute")->seconds, 1.0);
+  EXPECT_DOUBLE_EQ(r.find("pipeline_idle")->seconds, 0.0);
+}
+
+TEST(CriticalPath, OrphanSpansFlagged) {
+  TraceEvent child = make_span("node.x", "lgv", "x", 0.0, 1.0);
+  child.trace_id = 7;
+  child.span_id = 12;
+  child.parent_span_id = 99;  // no such span anywhere in the trace
+  TraceEvent ok = make_span("node.y", "lgv", "y", 1.0, 1.0);
+  ok.trace_id = 7;
+  ok.span_id = 13;
+  ok.parent_span_id = 12;  // resolves to `child`
+  const CriticalPathResult r = attribute_critical_path({child, ok}, 2.0);
+  EXPECT_EQ(r.orphan_spans, 1u);
+  EXPECT_EQ(r.traces, 1u);
+}
+
+TEST(CriticalPath, JsonlRoundTripPreservesEvents) {
+  Tracer tracer;
+  tracer.begin_trace();
+  tracer.span("node.localization", "lgv", "localization", 0.25, 0.5,
+              {{"cycles", "1000"}, {"note", "a\"b"}});
+  tracer.instant("alg2.decision", "lgv", "algorithm2", 1.0,
+                 {{"wanted", "remote"}});
+  std::ostringstream out;
+  tracer.write_jsonl(out);
+
+  std::istringstream in(out.str());
+  size_t skipped = 0;
+  const std::vector<TraceEvent> parsed = parse_trace_jsonl(in, &skipped);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(skipped, 0u);
+
+  const std::vector<TraceEvent> orig = tracer.events();
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(parsed[i].name, orig[i].name);
+    EXPECT_EQ(parsed[i].phase, orig[i].phase);
+    EXPECT_NEAR(parsed[i].ts_s, orig[i].ts_s, 1e-9);
+    EXPECT_NEAR(parsed[i].dur_s, orig[i].dur_s, 1e-9);
+    EXPECT_EQ(parsed[i].pid, orig[i].pid);
+    EXPECT_EQ(parsed[i].tid, orig[i].tid);
+    EXPECT_EQ(parsed[i].trace_id, orig[i].trace_id);
+    EXPECT_EQ(parsed[i].span_id, orig[i].span_id);
+    EXPECT_EQ(parsed[i].parent_span_id, orig[i].parent_span_id);
+    EXPECT_EQ(parsed[i].args, orig[i].args);
+  }
+}
+
+TEST(CriticalPath, ParserSkipsDamagedLinesAndCounts) {
+  std::istringstream in(
+      "{\"name\":\"ok\",\"ph\":\"i\",\"ts\":1000.000,\"pid\":\"lgv\","
+      "\"tid\":\"x\",\"s\":\"t\"}\n"
+      "not json at all\n"
+      "{\"name\":\"truncated tail\n");
+  size_t skipped = 0;
+  const std::vector<TraceEvent> parsed = parse_trace_jsonl(in, &skipped);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "ok");
+  EXPECT_EQ(skipped, 2u);
+}
+
+TEST(CriticalPath, JsonOutputDeterministicAndComplete) {
+  const std::vector<TraceEvent> events = {
+      make_span("node.a", "lgv", "a", 0.0, 0.125),
+  };
+  const CriticalPathResult r = attribute_critical_path(events, 1.0);
+  std::ostringstream a, b;
+  write_critical_path_json(a, r);
+  write_critical_path_json(b, r);
+  EXPECT_EQ(a.str(), b.str());  // bit-identical on repeat
+  // Fixed-order schema with every bucket present even at zero.
+  EXPECT_NE(a.str().find("\"schema\": \"critical_path/1\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"local_compute\": {\"seconds\": 0.125"),
+            std::string::npos);
+  EXPECT_NE(a.str().find("\"migration\": {\"seconds\": 0"), std::string::npos);
+  EXPECT_NE(a.str().find("\"pipeline_idle\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lgv::telemetry

@@ -97,6 +97,44 @@ TEST(MetricsRegistry, SeriesKeySortsLabels) {
   EXPECT_EQ(reg.series_count(), 1u);
 }
 
+TEST(Histogram, OverflowBucketExportedExplicitly) {
+  // Regression: observations past the last bound must stay visible — in the
+  // accessor, in the snapshot, and in the JSON — not vanish into a bucket
+  // whose bound nobody can name.
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat_s", {}, {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(10.0);
+  h.observe(99.0);
+  EXPECT_EQ(h.overflow_count(), 2u);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* s = snap.find("lat_s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->overflow, 2.0);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_NE(os.str().find("\"overflow\": 2"), std::string::npos);
+}
+
+TEST(MetricsRegistry, DefaultLabelsMergedExplicitWins) {
+  MetricsRegistry reg;
+  reg.set_default_labels({{"vehicle_id", "lgv-07"}});
+  reg.counter("ticks_total").inc();
+  EXPECT_EQ(reg.counter("ticks_total").value(), 1u);  // same merged series
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_NE(snap.find("ticks_total{vehicle_id=lgv-07}"), nullptr);
+
+  // An explicit label of the same key beats the default.
+  reg.counter("ticks_total", {{"vehicle_id", "override"}}).inc(5);
+  const MetricsSnapshot snap2 = reg.snapshot();
+  const MetricSample* s = snap2.find("ticks_total{vehicle_id=override}");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->value, 5.0);
+}
+
 TEST(MetricsRegistry, GetOrCreateReturnsStableHandles) {
   MetricsRegistry reg;
   Counter& c = reg.counter("hits", {{"topic", "scan"}});
@@ -226,11 +264,13 @@ TEST(Tracer, JsonlOneEventPerLine) {
   tracer.span("b", "p", "t", 0.002, 0.003);
   std::ostringstream out;
   tracer.write_jsonl(out);
+  // JSONL keeps pid/tid as the host/node name strings — the critical-path
+  // analyzer classifies by lane name, not by numeric lane id.
   EXPECT_EQ(out.str(),
-            "{\"name\":\"a\",\"ph\":\"i\",\"ts\":1000.000,\"pid\":1,\"tid\":1,"
-            "\"s\":\"t\"}\n"
+            "{\"name\":\"a\",\"ph\":\"i\",\"ts\":1000.000,\"pid\":\"p\","
+            "\"tid\":\"t\",\"s\":\"t\"}\n"
             "{\"name\":\"b\",\"ph\":\"X\",\"ts\":2000.000,\"dur\":3000.000,"
-            "\"pid\":1,\"tid\":1}\n");
+            "\"pid\":\"p\",\"tid\":\"t\"}\n");
 }
 
 TEST(Tracer, CapsEventsAndCountsDrops) {

@@ -1,0 +1,156 @@
+// Causal trace contexts and the flight recorder: id assignment and
+// parenting, scoped save/restore, bounded-memory ring behavior, dropped-span
+// accounting, vehicle_id stamping, and once-per-trigger flight dumps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/telemetry/telemetry.h"
+#include "common/telemetry/trace.h"
+
+namespace lgv::telemetry {
+namespace {
+
+TEST(TraceContext, BeginTraceAssignsChildIds) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.current().active());
+
+  const TraceContext root = tracer.begin_trace();
+  EXPECT_TRUE(root.active());
+  EXPECT_EQ(root.span_id, 0u);  // nothing to parent under yet
+
+  const uint32_t first = tracer.instant("tick", "lgv", "sensor", 0.0);
+  ASSERT_NE(first, 0u);
+  tracer.set_current({root.trace_id, first});
+  const uint32_t second = tracer.instant("work", "lgv", "node", 0.1);
+  ASSERT_NE(second, 0u);
+  EXPECT_NE(second, first);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, root.trace_id);
+  EXPECT_EQ(events[0].parent_span_id, 0u);
+  EXPECT_EQ(events[1].trace_id, root.trace_id);
+  EXPECT_EQ(events[1].parent_span_id, first);  // child of the tick
+}
+
+TEST(TraceContext, EventsOutsideTraceStayUnstamped) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.span("a", "p", "t", 0.0, 1.0), 0u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  EXPECT_EQ(events[0].span_id, 0u);
+  // ...and the serialized forms carry no causal fields, so pre-tracing
+  // goldens (Chrome JSON) are unchanged.
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+  EXPECT_EQ(os.str().find("trace_id"), std::string::npos);
+}
+
+TEST(TraceContext, ScopedRestoreNestsAndUnwinds) {
+  Tracer tracer;
+  const TraceContext outer = tracer.begin_trace();
+  {
+    ScopedTraceContext scope(&tracer, TraceContext{77, 5});
+    EXPECT_EQ(tracer.current().trace_id, 77u);
+    EXPECT_EQ(tracer.current().span_id, 5u);
+    const uint32_t id = tracer.instant("inner", "lgv", "x", 0.0);
+    EXPECT_NE(id, 0u);
+    const auto events = tracer.events();
+    EXPECT_EQ(events.back().trace_id, 77u);
+    EXPECT_EQ(events.back().parent_span_id, 5u);
+  }
+  EXPECT_EQ(tracer.current().trace_id, outer.trace_id);
+
+  // A nullptr tracer is a no-op (the telemetry-disabled hot path).
+  { ScopedTraceContext noop(nullptr, TraceContext{1, 2}); }
+}
+
+TEST(FlightRecorder, RingIsBoundedAndKeepsNewest) {
+  Tracer tracer(/*max_events=*/1u << 20, /*flight_capacity=*/4);
+  EXPECT_EQ(tracer.flight_capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    tracer.instant("e" + std::to_string(i), "p", "t", 0.1 * i);
+  }
+  EXPECT_EQ(tracer.flight_overwritten(), 6u);
+  const auto window = tracer.flight_events();
+  ASSERT_EQ(window.size(), 4u);  // never exceeds capacity — fixed memory
+  EXPECT_EQ(window[0].name, "e6");  // oldest retained first
+  EXPECT_EQ(window[3].name, "e9");
+}
+
+TEST(FlightRecorder, SurvivesMainRingSaturation) {
+  // The main buffer stops at 2 events; the flight ring must still hold the
+  // most recent window so a late post-mortem is not blind.
+  Tracer tracer(/*max_events=*/2, /*flight_capacity=*/3);
+  Counter dropped;
+  tracer.set_dropped_counter(&dropped);
+  for (int i = 0; i < 6; ++i) {
+    tracer.instant("e" + std::to_string(i), "p", "t", 0.1 * i);
+  }
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 4u);
+  EXPECT_EQ(dropped.value(), 4u);  // mirrored into the metric
+  const auto window = tracer.flight_events();
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window[0].name, "e3");
+  EXPECT_EQ(window[2].name, "e5");
+}
+
+TEST(FlightRecorder, VehicleIdStampedOnEvents) {
+  Tracer tracer;
+  tracer.set_vehicle_id("lgv-07");
+  tracer.instant("tick", "lgv", "sensor", 0.0);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_FALSE(events[0].args.empty());
+  EXPECT_EQ(events[0].args.back().first, "vehicle_id");
+  EXPECT_EQ(events[0].args.back().second, "lgv-07");
+}
+
+TEST(FlightRecorder, DumpFiresOncePerTriggerAndWritesFile) {
+  TelemetryConfig cfg;
+  cfg.flight_recorder_events = 8;
+  cfg.flight_dump_prefix = "flight_dump_test";
+  Telemetry telemetry(cfg);
+  telemetry.tracer().instant("before.crash", "lgv", "x", 1.0);
+
+  const std::string path = "flight_dump_test_flight_lease_expiry.jsonl";
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(telemetry.dump_flight("lease_expiry"));
+  EXPECT_FALSE(telemetry.dump_flight("lease_expiry"));  // storm = one file
+  EXPECT_TRUE(telemetry.dump_flight("migration_abort"));  // distinct trigger
+
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << "missing dump artifact " << path;
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(f, line)));
+  EXPECT_NE(line.find("before.crash"), std::string::npos);
+
+  // Each trigger counted exactly once, labeled by trigger name.
+  EXPECT_EQ(telemetry.metrics()
+                .counter("flight_recorder_dumps_total", {{"trigger", "lease_expiry"}})
+                .value(),
+            1u);
+  std::remove(path.c_str());
+  std::remove("flight_dump_test_flight_migration_abort.jsonl");
+}
+
+TEST(FlightRecorder, CountsTriggersEvenWithoutPrefix) {
+  Telemetry telemetry;  // no dump prefix: metric-only post-mortem signal
+  EXPECT_TRUE(telemetry.dump_flight("integrity_reject"));
+  EXPECT_FALSE(telemetry.dump_flight("integrity_reject"));
+  EXPECT_EQ(telemetry.metrics()
+                .counter("flight_recorder_dumps_total",
+                         {{"trigger", "integrity_reject"}})
+                .value(),
+            1u);
+}
+
+}  // namespace
+}  // namespace lgv::telemetry

@@ -206,7 +206,7 @@ TEST(SwitcherRates, DownlinkMigrationTimedAgainstDownlinkRate) {
 TEST_F(SwitcherTest, StreamPacketCarries48BytePayload) {
   switcher.send_stream_packet();
   // §III-A velocity message: 48 B payload plus the envelope (topic + dst +
-  // length varint) and the 18 B integrity frame header.
+  // length varint) and the 26 B integrity frame header.
   EXPECT_GE(switcher.stats().downlink_bytes, 48.0 + kFrameHeaderSize);
   EXPECT_LT(switcher.stats().downlink_bytes, 100.0);
   EXPECT_EQ(switcher.stats().downlink_messages, 1u);
@@ -243,11 +243,42 @@ TEST(WireFrame, RoundTripVerifies) {
   EXPECT_EQ(frame_seq(frame), 42u);
 }
 
+TEST(WireFrame, V2CarriesCrcProtectedTraceContext) {
+  const std::vector<uint8_t> payload = {9, 8, 7};
+  const std::vector<uint8_t> frame =
+      frame_wrap(0, 2, 3, payload, /*trace_id=*/0xCAFE, /*span_id=*/0xBEEF);
+  EXPECT_EQ(frame_check(frame), nullptr);
+  EXPECT_EQ(frame_header_size(frame), kFrameHeaderSize);
+  EXPECT_EQ(frame_trace_id(frame), 0xCAFEu);
+  EXPECT_EQ(frame_span_id(frame), 0xBEEFu);
+
+  // The causal ids are inside the checksum: a flipped id byte is a CRC
+  // reject, never a silently mis-stitched trace.
+  std::vector<uint8_t> flipped = frame;
+  flipped[19] ^= 0x01;  // trace_id field
+  EXPECT_STREQ(frame_check(flipped), "crc");
+}
+
+TEST(WireFrame, V1FramesStillVerifyWithoutTraceContext) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4};
+  const std::vector<uint8_t> v1 = frame_wrap_v1(1, 7, 42, payload);
+  EXPECT_EQ(v1.size(), kFrameHeaderSizeV1 + payload.size());
+  EXPECT_EQ(frame_check(v1), nullptr);  // decodes, not rejected
+  EXPECT_EQ(frame_header_size(v1), kFrameHeaderSizeV1);
+  EXPECT_EQ(frame_seq(v1), 42u);
+  EXPECT_EQ(frame_trace_id(v1), 0u);  // no context to propagate
+  EXPECT_EQ(frame_span_id(v1), 0u);
+}
+
 TEST(WireFrame, EveryRejectionCauseDetected) {
   const std::vector<uint8_t> payload(32, 0xAB);
   const std::vector<uint8_t> good = frame_wrap(0, 1, 1, payload);
 
-  std::vector<uint8_t> runt(kFrameHeaderSize - 1, 0);
+  std::vector<uint8_t> tiny(4, 0);  // shorter than any header version
+  EXPECT_STREQ(frame_check(tiny), "runt");
+
+  // Valid magic + v2 version byte but one byte short of the v2 header.
+  std::vector<uint8_t> runt(good.begin(), good.begin() + kFrameHeaderSize - 1);
   EXPECT_STREQ(frame_check(runt), "runt");
 
   std::vector<uint8_t> magic = good;
@@ -315,6 +346,73 @@ TEST_F(SwitcherTest, DuplicateAndStaleSequencesDropped) {
   EXPECT_EQ(got, 2);
 }
 
+TEST_F(SwitcherTest, V1FramesDeliveredAndCountedNotRejected) {
+  // Backward compatibility: a peer still speaking the pre-trace-context
+  // frame layout interoperates — its frames deliver and are *counted*, so a
+  // fleet rollout can watch the old version drain out of the air.
+  telemetry::Telemetry telemetry;
+  telemetry.set_clock(&clock);
+  switcher.set_telemetry(&telemetry);
+  int got = 0;
+  graph.subscribe<msg::TwistMsg>("lgv_node", "cmd_back",
+                                 [&](const msg::TwistMsg&) { ++got; });
+  const auto env = make_envelope("cmd_back", "lgv_node",
+                                 serialize_to_bytes(msg::TwistMsg{}));
+  switcher.downlink().send(frame_wrap_v1(1, 3, 0, env), clock.now());
+  pump_until(0.5);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(switcher.stats().frames_v1, 1u);
+  EXPECT_EQ(switcher.stats().frames_rejected, 0u);
+  EXPECT_EQ(telemetry.metrics().counter("net_frames_v1_total").value(), 1u);
+}
+
+TEST_F(SwitcherTest, WireDeliveryStitchesSenderContext) {
+  // The uplink frame carries (trace_id, span_id); on delivery the receiver's
+  // events — the wire span and the subscriber's callback work — join the
+  // sender's trace as children instead of starting an orphaned one.
+  telemetry::Telemetry telemetry;
+  telemetry.set_clock(&clock);
+  switcher.set_telemetry(&telemetry);
+  graph.set_telemetry(&telemetry);
+
+  auto pub = graph.advertise<msg::TwistMsg>("lgv_node", "cmd");
+  graph.subscribe<msg::TwistMsg>("cloud_node", "cmd", [&](const msg::TwistMsg&) {
+    telemetry.tracer().instant_now("remote.work", "cloud_server", "worker");
+  });
+
+  telemetry::Tracer& tracer = telemetry.tracer();
+  const telemetry::TraceContext root = tracer.begin_trace();
+  const uint32_t tick = tracer.instant_now("scan.tick", "lgv", "sensor");
+  ASSERT_NE(tick, 0u);
+  tracer.set_current({root.trace_id, tick});
+  pub.publish({});
+  graph.spin();
+  tracer.set_current({});  // sender moves on; the frame carries the context
+  pump_until(0.5);
+
+  uint32_t wire_span = 0;
+  const auto events = tracer.events();
+  for (const auto& e : events) {
+    if (e.name == "net.wire") {
+      EXPECT_EQ(e.trace_id, root.trace_id);
+      wire_span = e.span_id;
+    }
+  }
+  ASSERT_NE(wire_span, 0u) << "no wire span recorded on delivery";
+  bool remote_stitched = false;
+  for (const auto& e : events) {
+    if (e.name == "remote.work") {
+      EXPECT_EQ(e.trace_id, root.trace_id);
+      EXPECT_EQ(e.parent_span_id, wire_span);
+      remote_stitched = true;
+    }
+  }
+  EXPECT_TRUE(remote_stitched);
+  // The delivery scope is bounded: after the pump the mission loop is back
+  // to no context.
+  EXPECT_FALSE(tracer.current().active());
+}
+
 TEST_F(SwitcherTest, UndecodableEnvelopeCountsAsDecodeReject) {
   // CRC-clean frame whose payload is not a valid envelope (version-skew /
   // schema-bug stand-in): must be a counted drop, not an escaping exception.
@@ -363,6 +461,13 @@ TEST_F(SwitcherTest, RejectionsSurfaceInTelemetry) {
     if (e.name == "integrity.reject") saw_instant = true;
   }
   EXPECT_TRUE(saw_instant);
+  // First rejection fires the flight-recorder trigger (metric-only here —
+  // no dump prefix configured).
+  EXPECT_EQ(telemetry.metrics()
+                .counter("flight_recorder_dumps_total",
+                         {{"trigger", "integrity_reject"}})
+                .value(),
+            1u);
 }
 
 }  // namespace

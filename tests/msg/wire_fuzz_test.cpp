@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "common/serialization.h"
+#include "core/switcher.h"
 #include "msg/messages.h"
 
 namespace lgv::msg {
@@ -177,6 +178,48 @@ TEST(WireFuzz, TimingReportSurvivesMutations) {
   t.node_name = "localization";
   t.processing_time = 0.0123;
   fuzz_type(t, "TimingReport", 0xF00A);
+}
+
+TEST(WireFuzz, FrameHeadersBothVersionsSurviveMutations) {
+  // The integrity frame itself, in both wire layouts: the 18-byte v1 header
+  // (no trace context) and the 26-byte v2 header (CRC-covered trace ids).
+  // frame_check must classify every mutation — never crash, never read past
+  // the buffer — and must pass both clean encodings.
+  const std::vector<uint8_t> payload = serialize_to_bytes(make_scan());
+  const std::vector<uint8_t> v2 =
+      core::frame_wrap(0, 5, 1234, payload, /*trace_id=*/77, /*span_id=*/3010);
+  const std::vector<uint8_t> v1 = core::frame_wrap_v1(0, 5, 1234, payload);
+  ASSERT_EQ(core::frame_check(v2), nullptr);
+  ASSERT_EQ(core::frame_check(v1), nullptr);
+
+  Rng rng(0xF00C);
+  int rejected = 0;
+  int accepted = 0;
+  for (const std::vector<uint8_t>* clean : {&v2, &v1}) {
+    for (const Mutation m :
+         {Mutation::kBitFlips, Mutation::kTruncate, Mutation::kSplice}) {
+      for (int iter = 0; iter < kItersPerMutation; ++iter) {
+        const std::vector<uint8_t> buf = mutate(*clean, m, rng);
+        if (core::frame_check(buf) != nullptr) {
+          ++rejected;
+          continue;
+        }
+        ++accepted;
+        // A frame that still verifies must expose a consistent header view.
+        const size_t header = core::frame_header_size(buf);
+        ASSERT_TRUE(header == core::kFrameHeaderSize ||
+                    header == core::kFrameHeaderSizeV1);
+        ASSERT_LE(header, buf.size());
+        (void)core::frame_trace_id(buf);
+        (void)core::frame_span_id(buf);
+        (void)core::frame_seq(buf);
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0) << "frame corpus never hit a reject path";
+  // The CRC should make surviving mutations rare but truncate-to-original
+  // no-op mutations exist, so just require the counters to be sane.
+  EXPECT_GE(accepted, 0);
 }
 
 TEST(WireFuzz, PureGarbageNeverCrashesAnyDecoder) {

@@ -1,0 +1,93 @@
+// critical_path: attribute a mission trace's makespan into named buckets.
+//
+//   critical_path <trace.jsonl> [-o out.json] [--makespan SECONDS]
+//
+// Reads the one-event-per-line JSONL written by Tracer::write_jsonl (or
+// report_io's `<prefix>_trace.jsonl`), runs the sweep-line attribution from
+// telemetry/critical_path.h, writes the `critical_path/1` JSON (stdout by
+// default) and prints a human-readable breakdown to stderr.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/critical_path.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <trace.jsonl> [-o out.json] [--makespan SECONDS]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  double makespan = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      output = argv[++i];
+    } else if (std::strcmp(argv[i], "--makespan") == 0 && i + 1 < argc) {
+      makespan = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "-h") == 0 || std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else if (input.empty()) {
+      input = argv[i];
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(input);
+  if (!in) {
+    std::cerr << "critical_path: cannot open " << input << "\n";
+    return 1;
+  }
+  size_t skipped = 0;
+  const std::vector<lgv::telemetry::TraceEvent> events =
+      lgv::telemetry::parse_trace_jsonl(in, &skipped);
+  if (events.empty()) {
+    std::cerr << "critical_path: no parseable events in " << input << "\n";
+    return 1;
+  }
+
+  const lgv::telemetry::CriticalPathResult result =
+      lgv::telemetry::attribute_critical_path(events, makespan);
+
+  if (output.empty()) {
+    lgv::telemetry::write_critical_path_json(std::cout, result);
+  } else {
+    std::ofstream out(output);
+    if (!out) {
+      std::cerr << "critical_path: cannot write " << output << "\n";
+      return 1;
+    }
+    lgv::telemetry::write_critical_path_json(out, result);
+  }
+
+  std::cerr.setf(std::ios::fixed);
+  std::cerr.precision(3);
+  std::cerr << "makespan " << result.makespan_s << " s over " << result.spans_total
+            << " spans in " << result.traces << " traces";
+  if (skipped > 0) std::cerr << " (" << skipped << " unparseable lines skipped)";
+  if (result.orphan_spans > 0) std::cerr << ", " << result.orphan_spans << " orphans";
+  std::cerr << "\n";
+  for (const lgv::telemetry::CriticalPathBucket& b : result.buckets) {
+    if (b.seconds <= 0.0) continue;
+    std::cerr << "  " << b.name << ": " << b.seconds << " s ("
+              << b.fraction * 100.0 << "%, " << b.spans << " spans)\n";
+  }
+  std::cerr << "  named fraction " << result.named_fraction() * 100.0
+            << "% | network " << result.network_s << " s, compute "
+            << result.compute_s << " s\n";
+  return 0;
+}

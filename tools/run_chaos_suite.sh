@@ -147,6 +147,16 @@ run_leg() {
   out_dir="$(mktemp -d)"
   (cd "$out_dir" && "$build_dir/bench/bench_fault_injection" --smoke)
   validate_artifacts "$out_dir"
+  # The forced lease expiries in the outage sweep must leave a flight-recorder
+  # post-mortem behind (docs/observability.md): the last trace window before
+  # the failure edge, dumped once per run.
+  if ! ls "$out_dir"/fault_*_flight_lease_expiry.jsonl >/dev/null 2>&1; then
+    echo "FAIL: no flight-recorder dump artifact after forced lease expiry" >&2
+    exit 1
+  fi
+  for dump in "$out_dir"/fault_*_flight_lease_expiry.jsonl; do
+    [[ -s "$dump" ]] || { echo "FAIL: empty flight dump $dump" >&2; exit 1; }
+  done
   (cd "$out_dir" && "$build_dir/bench/bench_corruption_sweep" --smoke)
   validate_corruption_artifacts "$out_dir"
   rm -rf "$out_dir"
