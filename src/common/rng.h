@@ -7,6 +7,26 @@
 
 namespace lgv {
 
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014): a cheap bijective mixer
+/// whose output passes BigCrush. Used to derive independent seeds from a
+/// shared base — adjacent inputs (fleet seed + 0, + 1, + 2, ...) land at
+/// uncorrelated points of the output space, unlike xor-ing a small salt.
+inline uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-vehicle seed for a fleet: every simulated LGV shares one fleet seed
+/// but must draw an independent stream (identical seeds would give perfectly
+/// correlated scan noise and particle clouds across the whole fleet —
+/// invalidating any fleet-scale measurement). Two rounds of splitmix64 so
+/// that (seed, index) and (seed + 1, index - 1) cannot collide.
+inline uint64_t vehicle_seed(uint64_t fleet_seed, uint32_t vehicle_index) {
+  return splitmix64(splitmix64(fleet_seed) + vehicle_index);
+}
+
 /// Seedable pseudo-random source (Mersenne Twister under the hood) with the
 /// handful of draws the robotics stack needs. Not thread-safe by design:
 /// parallel code forks per-thread child generators via `fork()`.

@@ -25,6 +25,12 @@ struct ControllerConfig {
   double lease_headroom = 3.0;
   double lease_rtt_margin = 4.0;
   double lease_min_s = 0.25;
+  /// Cold-start floor: the first execution of a node on a host has no
+  /// profiled T_c yet — the analytical estimate seeds it, but estimate error
+  /// plus one slow-link round trip can exceed the regular floor and trigger a
+  /// spurious lease expiry before any history exists. Until the profiler has
+  /// a real sample, the lease is floored here instead.
+  double lease_cold_min_s = 1.5;
 };
 
 class Controller {
@@ -54,8 +60,19 @@ class Controller {
   /// arrived this many seconds after dispatch, the link is dead or the
   /// worker is stalled, and the runtime re-executes locally (fallback).
   double lease_timeout(double profiled_tc_s, double rtt_s) const {
-    return std::max(config_.lease_min_s, config_.lease_headroom * profiled_tc_s +
-                                             config_.lease_rtt_margin * rtt_s);
+    return lease_timeout(profiled_tc_s, rtt_s, /*cold_start=*/false);
+  }
+
+  /// `cold_start` = no profiled sample exists yet for this (node, host) and
+  /// `profiled_tc_s` is the analytical seed: the floor widens to
+  /// lease_cold_min_s so a first execution over a slow link isn't declared
+  /// dead by a floor tuned for steady state.
+  double lease_timeout(double profiled_tc_s, double rtt_s, bool cold_start) const {
+    const double floor =
+        cold_start ? std::max(config_.lease_min_s, config_.lease_cold_min_s)
+                   : config_.lease_min_s;
+    return std::max(floor, config_.lease_headroom * profiled_tc_s +
+                               config_.lease_rtt_margin * rtt_s);
   }
 
   /// §VIII-E adaptivity: when the environment phase prevents reaching the

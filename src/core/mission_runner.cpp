@@ -20,10 +20,14 @@ MissionRunner::MissionRunner(sim::Scenario scenario, DeploymentPlan plan,
     : scenario_(std::move(scenario)),
       config_(config),
       runtime_(std::move(plan), scenario_.wap_position, config.channel,
-               config.telemetry),
+               config.telemetry,
+               FleetAttachment{config.worker_pool, config.vehicle_index}),
       fault_injector_(config.faults),
-      robot_({}, scenario_.start, config.seed ^ 0xb0b),
-      lidar_({}, config.seed ^ 0x11d),
+      // Subsystem seeds derive from the *effective* seed: in a fleet each
+      // vehicle's index mixes into the fleet seed via splitmix64, so two
+      // vehicles never drive identical RNG streams.
+      robot_({}, scenario_.start, config.effective_seed() ^ 0xb0b),
+      lidar_({}, config.effective_seed() ^ 0x11d),
       battery_(config.battery_wh),
       costmap_(scenario_.world.frame().origin, scenario_.world.width_m(),
                scenario_.world.height_m()),
@@ -36,7 +40,7 @@ MissionRunner::MissionRunner(sim::Scenario scenario, DeploymentPlan plan,
     perception::GmappingConfig gc;
     gc.particles = config_.slam_particles;
     slam_.emplace(gc, scenario_.world.frame().origin, scenario_.world.width_m(),
-                  scenario_.world.height_m(), config_.seed ^ 0x51a);
+                  scenario_.world.height_m(), config_.effective_seed() ^ 0x51a);
     slam_->initialize(scenario_.start);
   } else {
     // "CostmapGen uses existing map data" — seed the known map from ground
@@ -48,12 +52,14 @@ MissionRunner::MissionRunner(sim::Scenario scenario, DeploymentPlan plan,
     if (config_.localization == LocalizationBackend::kVision) {
       // §IX vision-based LGV: corner landmarks + forward camera + VO.
       auto landmarks = perception::extract_landmarks(scenario_.world);
-      camera_.emplace(perception::CameraConfig{}, landmarks, config_.seed ^ 0xca3);
+      camera_.emplace(perception::CameraConfig{}, landmarks,
+                      config_.effective_seed() ^ 0xca3);
       vo_.emplace(perception::VisualOdometryConfig{}, std::move(landmarks));
       vo_->initialize(scenario_.start);
       vo_last_odom_ = scenario_.start;
     } else {
-      amcl_.emplace(perception::AmclConfig{}, &known_map_, config_.seed ^ 0xa3c1);
+      amcl_.emplace(perception::AmclConfig{}, &known_map_,
+                    config_.effective_seed() ^ 0xa3c1);
       amcl_->initialize(scenario_.start);
     }
     costmap_.set_static_map(known_map_.to_msg(0.0));
@@ -543,19 +549,27 @@ void MissionRunner::integrate_energy(double now, double prev_speed) {
 }
 
 MissionReport MissionRunner::run() {
+  start();
+  while (step()) {
+  }
+  return finalize();
+}
+
+void MissionRunner::start() {
   report_ = MissionReport{};
   report_.deployment = runtime_.plan().name;
   report_.min_active_threads = runtime_.active_threads();
   report_.workload = runtime_.plan().workload == WorkloadKind::kNavigationWithMap
                          ? "navigation"
                          : "exploration";
-
+  done_ = false;
   runtime_.apply_initial_placement();
+}
 
+bool MissionRunner::step() {
   SimClock& clock = runtime_.clock();
-  bool done = false;
-
-  while (!done && clock.now() < config_.timeout) {
+  if (done_ || clock.now() >= config_.timeout) return false;
+  {
     const double now = clock.now();
 
     // ---- scripted faults overlay the channel before anything else moves
@@ -661,7 +675,7 @@ MissionReport MissionRunner::run() {
       }
       if (d < config_.goal_tolerance) {
         report_.success = true;
-        done = true;
+        done_ = true;
       }
       if (now - last_progress_time_ > 60.0) {
         run_planning(now, /*force=*/true);
@@ -670,16 +684,19 @@ MissionReport MissionRunner::run() {
     }
     if (explored_) {
       report_.success = true;
-      done = true;
+      done_ = true;
     }
     if (battery_.depleted()) {
       report_.success = false;
-      done = true;
+      done_ = true;
     }
-
-    clock.advance(config_.tick);
   }
+  clock.advance(config_.tick);
+  return !done_ && clock.now() < config_.timeout;
+}
 
+MissionReport MissionRunner::finalize() {
+  const SimClock& clock = runtime_.clock();
   report_.completion_time = clock.now();
   report_.distance_traveled = robot_.distance_traveled();
   report_.average_velocity =

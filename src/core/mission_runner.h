@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "control/recovery.h"
 #include "control/safety_controller.h"
 #include "control/trajectory_rollout.h"
@@ -52,7 +53,24 @@ struct MissionConfig {
   int rollout_samples = 2000;  ///< Fig. 10's default operating point
   int slam_particles = 30;
   double explore_done_grace = 8.0;  ///< min mission time before "explored"
+  /// Fleet seed. A single vehicle uses it directly; in a fleet, each
+  /// vehicle's subsystem seeds derive from (seed, vehicle_index) via
+  /// splitmix64 (see effective_seed()) so vehicles never share RNG streams —
+  /// N copies of the same MissionConfig with distinct indices are N
+  /// *different* missions, not N replays of one.
   uint64_t seed = 0x5eed;
+  /// This vehicle's index in the fleet; -1 = standalone (seed used as-is).
+  /// Also stamps the wire session id and the telemetry vehicle_id.
+  int vehicle_index = -1;
+  /// Shared fleet worker (see FleetAttachment); nullptr = the runtime owns
+  /// its remote compute as before. Must outlive the runner.
+  WorkerPool* worker_pool = nullptr;
+  /// The seed the vehicle's subsystems actually derive from.
+  uint64_t effective_seed() const {
+    return vehicle_index < 0
+               ? seed
+               : vehicle_seed(seed, static_cast<uint32_t>(vehicle_index));
+  }
   /// Wireless environment (WAP position comes from the scenario).
   net::ChannelConfig channel;
   /// Battery capacity (Wh); the mission fails if it empties (Turtlebot3
@@ -141,7 +159,17 @@ class MissionRunner {
   MissionRunner(sim::Scenario scenario, DeploymentPlan plan, MissionConfig config = {});
 
   /// Run the mission to completion (or timeout) and return the report.
+  /// Equivalent to start(); while (step()) {}; finalize().
   MissionReport run();
+
+  /// Steppable form, so a fleet harness can drive N runners in lockstep
+  /// against one shared WorkerPool: start() applies the initial placement,
+  /// each step() executes one tick and advances the clock, returning false
+  /// once the mission is done (success, battery, or timeout), and finalize()
+  /// closes out and returns the report.
+  void start();
+  bool step();
+  MissionReport finalize();
 
   /// Invoked once per simulation tick with the live state. Install before
   /// run(); used by examples for visualization and by debugging tools.
@@ -247,6 +275,7 @@ class MissionRunner {
   double best_goal_distance_ = 1e18;
   double frozen_until_ = 0.0;  ///< state-migration freeze (Algorithm 2)
   bool explored_ = false;
+  bool done_ = false;  ///< set by step() when the mission ends
   /// Frontier goals that made no progress for a while — treated as
   /// unreachable (e.g. slivers inside inflation) and skipped.
   std::vector<Point2D> frontier_blacklist_;

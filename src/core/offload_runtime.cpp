@@ -38,7 +38,8 @@ net::ChannelConfig adjust_channel(net::ChannelConfig cfg, Point2D wap,
 
 OffloadRuntime::OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
                                net::ChannelConfig channel_config,
-                               telemetry::TelemetryConfig telemetry_config)
+                               telemetry::TelemetryConfig telemetry_config,
+                               FleetAttachment fleet)
     : plan_(std::move(plan)),
       channel_(adjust_channel(channel_config, wap_position, plan_.remote_host)),
       power_(),
@@ -48,6 +49,17 @@ OffloadRuntime::OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
       netctl_({}, plan_.offload ? VdpPlacement::kRemote : VdpPlacement::kLocal),
       planner_(plan_.goal, plan_.remote_host),
       vdp_placement_(plan_.offload ? VdpPlacement::kRemote : VdpPlacement::kLocal) {
+  worker_pool_ = fleet.pool;
+  vehicle_index_ = fleet.vehicle_index;
+  if (vehicle_index_ >= 0) {
+    // Session identity on the wire: every frame this vehicle's Switcher sends
+    // carries its id, so the shared worker sequences each vehicle's stream
+    // independently (no cross-vehicle duplicate rejects).
+    switcher_.set_session_id(static_cast<uint16_t>(vehicle_index_ + 1));
+    if (telemetry_config.vehicle_id.empty()) {
+      telemetry_config.vehicle_id = "lgv-" + std::to_string(vehicle_index_);
+    }
+  }
   cost_models_.emplace(platform::Host::kLgv,
                        platform::CostModel(platform::turtlebot3_spec()));
   cost_models_.emplace(platform::Host::kEdgeGateway,
@@ -67,9 +79,11 @@ OffloadRuntime::OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
   graph_.register_node("worker", plan_.remote_host);
   graph_.set_remote_transport(&switcher_);
 
-  if (plan_.offload && plan_.remote_threads > 1) {
+  if (plan_.offload && plan_.remote_threads > 1 && worker_pool_ == nullptr) {
     // Genuine worker pool for the parallel kernels (Figs. 5/6). Timing still
     // comes from the cost model; the pool provides real concurrent execution.
+    // With a shared fleet WorkerPool attached, the runtime is a tenant of
+    // that pool instead of owning one per vehicle.
     remote_pool_ = std::make_unique<ThreadPool>(
         static_cast<size_t>(plan_.remote_threads));
   }
@@ -171,11 +185,38 @@ platform::ExecutionContext OffloadRuntime::make_context(NodeId id) {
   const platform::Host host = host_of(id);
   const bool parallel_kernels =
       id == NodeId::kPathTracking || id == NodeId::kLocalization;
-  if (host != platform::Host::kLgv && remote_pool_ != nullptr && parallel_kernels &&
-      active_threads_ > 1) {
-    return platform::ExecutionContext(remote_pool_.get(), active_threads_);
+  if (host != platform::Host::kLgv && parallel_kernels && active_threads_ > 1) {
+    if (worker_pool_ != nullptr) {
+      // Shared fleet worker: the kernel's chunks run on the pool's real
+      // threads under this vehicle's session, fair-sharing against the other
+      // tenants. Not admitted right now → serial context; finish_guarded will
+      // count the busy fallback.
+      if (ensure_worker_session(clock_.now())) {
+        return platform::ExecutionContext(&worker_pool_->threads(), active_threads_,
+                                          worker_session_);
+      }
+      return platform::ExecutionContext(nullptr, 1);
+    }
+    if (remote_pool_ != nullptr) {
+      return platform::ExecutionContext(remote_pool_.get(), active_threads_);
+    }
   }
   return platform::ExecutionContext(nullptr, 1);
+}
+
+bool OffloadRuntime::ensure_worker_session(double now) {
+  if (worker_pool_ == nullptr) return false;
+  if (worker_session_ != 0 && worker_pool_->has_session(worker_session_)) {
+    if (worker_pool_->renew(worker_session_, now)) return true;
+  }
+  // First execution, or evicted (lease lapsed while the vehicle ran local):
+  // re-admit. A busy admission is retried on the next execution.
+  const std::string label = vehicle_index_ >= 0
+                                ? "lgv-" + std::to_string(vehicle_index_)
+                                : plan_.name;
+  const Admission a = worker_pool_->open_session(label, now);
+  worker_session_ = a.session;
+  return !a.busy && worker_session_ != 0;
 }
 
 double OffloadRuntime::finish(NodeId id, platform::ExecutionContext& ctx) {
@@ -211,22 +252,74 @@ double OffloadRuntime::finish(NodeId id, platform::ExecutionContext& ctx) {
   return t;
 }
 
+OffloadRuntime::ExecutionOutcome OffloadRuntime::busy_fallback(
+    NodeId id, platform::ExecutionContext& ctx, const char* cause) {
+  ++fallback_count_;
+  ++busy_fallback_count_;
+  const platform::CostModel& local_model = cost_models_.at(platform::Host::kLgv);
+  const double t_local = local_model.execution_time(ctx.profile());
+  meter_.charge(node_name(id), ctx.profile().total_cycles());
+  energy_.add_computer_energy(local_model.dynamic_energy(ctx.profile()));
+  profiler_.record_node_time(id, platform::Host::kLgv, t_local);
+  const char* node = node_name(id);
+  if (telemetry_ != nullptr) {
+    auto& m = telemetry_->metrics();
+    m.counter("fallback_total", {{"node", node}}).inc();
+    m.counter("worker_busy_fallback_total", {{"cause", cause}}).inc();
+    const uint32_t fb_span = telemetry_->tracer().span(
+        node, platform::host_name(platform::Host::kLgv), node, clock_.now(), t_local,
+        {{"outcome", "fallback"}, {"cause", cause}});
+    if (fb_span != 0) {
+      telemetry_->tracer().set_current(
+          telemetry::TraceContext{telemetry_->tracer().current().trace_id, fb_span});
+    }
+    const telemetry::Labels labels = {
+        {"node", node}, {"host", platform::host_name(platform::Host::kLgv)}};
+    m.counter("node_invocations_total", labels).inc();
+    m.histogram("node_exec_seconds", labels).observe(t_local);
+  }
+  // Unlike a lease expiry, the placement is left alone: "busy" is a
+  // retryable refusal, so the next execution tries the worker again —
+  // overload shows up as a fallback *rate*, not a permanent retreat.
+  return {t_local, true};
+}
+
 OffloadRuntime::ExecutionOutcome OffloadRuntime::finish_guarded(
     NodeId id, platform::ExecutionContext& ctx) {
   const platform::Host host = host_of(id);
-  if (host == platform::Host::kLgv || fault_injector_ == nullptr) {
+  if (host == platform::Host::kLgv ||
+      (fault_injector_ == nullptr && worker_pool_ == nullptr)) {
     return {finish(id, ctx), false};
   }
 
   const double now = clock_.now();
   const double t_remote = cost_models_.at(host).execution_time(ctx.profile());
 
-  // When does the remote result actually become usable? Worker stall/crash
-  // windows push the computation out; a forced link outage then blocks the
+  // When does the remote result actually become usable? On a shared fleet
+  // worker the request first waits its turn in the fair-share schedule (or
+  // bounces with "busy" under backpressure); worker stall/crash windows then
+  // push the computation out; a forced link outage finally blocks the
   // result's return until the link is restored.
-  double completion = fault_injector_->remote_completion(now, t_remote);
-  completion = fault_injector_->link_restored_after(completion);
-  const bool crashed = fault_injector_->worker_crashed_in(now, completion);
+  double completion = now + t_remote;
+  bool crashed = false;
+  if (worker_pool_ != nullptr) {
+    if (!ensure_worker_session(now)) {
+      return busy_fallback(id, ctx, "admission");
+    }
+    const KernelKind kind = id == NodeId::kLocalization ? KernelKind::kScanMatch
+                            : id == NodeId::kPathTracking
+                                ? KernelKind::kScoreTrajectory
+                                : KernelKind::kGeneric;
+    const WorkerVerdict v = worker_pool_->execute(worker_session_, kind, now, t_remote,
+                                                  std::max(1, active_threads_));
+    if (v.busy) return busy_fallback(id, ctx, "worker_busy");
+    completion = v.completion;
+  }
+  if (fault_injector_ != nullptr) {
+    completion = fault_injector_->remote_completion(now, completion - now);
+    completion = fault_injector_->link_restored_after(completion);
+    crashed = fault_injector_->worker_crashed_in(now, completion);
+  }
 
   if (!lease_fallback_) {
     // No lease protocol: the caller naively waits for the remote result no
@@ -236,11 +329,16 @@ OffloadRuntime::ExecutionOutcome OffloadRuntime::finish_guarded(
     return {std::max(t, completion - now), false};
   }
 
-  // Lease: profiled T_c for this node on this host (first execution falls
-  // back to the cost-model prediction) plus RTT headroom for the return trip.
-  const double tc = profiler_.node_time(id, host).value_or(t_remote);
+  // Lease: profiled T_c for this node on this host plus RTT headroom for the
+  // return trip. A first execution has no profiled sample — the cost-model
+  // prediction seeds T_c and the *cold-start* floor applies, so estimate
+  // error plus one slow-link round trip can't trigger a spurious expiry
+  // before any history exists.
+  const auto profiled_tc = profiler_.node_time(id, host);
+  const double tc = profiled_tc.value_or(t_remote);
   const double rtt = profiler_.rtt().value_or(2.0 * predicted_network_latency());
-  const double lease = controller_.lease_timeout(tc, rtt);
+  const double lease =
+      controller_.lease_timeout(tc, rtt, /*cold_start=*/!profiled_tc.has_value());
   if (telemetry_ != nullptr) {
     telemetry_->metrics().counter("lease_grants_total").inc();
   }

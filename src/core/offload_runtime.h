@@ -19,6 +19,7 @@
 #include "core/offload_planner.h"
 #include "core/profiler.h"
 #include "core/switcher.h"
+#include "core/worker_pool.h"
 #include "middleware/graph.h"
 #include "net/wireless_channel.h"
 #include "platform/cost_model.h"
@@ -44,11 +45,25 @@ DeploymentPlan local_plan(WorkloadKind workload);
 DeploymentPlan offload_plan(const std::string& name, platform::Host remote, int threads,
                             WorkloadKind workload, Goal goal = Goal::kCompletionTime);
 
+/// Fleet-serving attachment: instead of owning a private remote thread pool,
+/// the runtime becomes one tenant of a shared WorkerPool (one per fleet) —
+/// it opens a leased session, executes remote kernels through the pool's
+/// fair-share schedule, and degrades to local compute when the pool answers
+/// "busy". The pool must outlive every runtime attached to it.
+struct FleetAttachment {
+  WorkerPool* pool = nullptr;
+  /// >= 0 identifies this vehicle in the fleet: stamps the wire session id
+  /// (vehicle_index + 1) on every frame and defaults the telemetry
+  /// vehicle_id to "lgv-<index>".
+  int vehicle_index = -1;
+};
+
 class OffloadRuntime {
  public:
   OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
                  net::ChannelConfig channel_config = {},
-                 telemetry::TelemetryConfig telemetry_config = {});
+                 telemetry::TelemetryConfig telemetry_config = {},
+                 FleetAttachment fleet = {});
 
   const DeploymentPlan& plan() const { return plan_; }
 
@@ -136,8 +151,17 @@ class OffloadRuntime {
   /// forced to kLocal so Algorithm 2 doesn't re-offload into the same hole.
   ExecutionOutcome finish_guarded(NodeId id, platform::ExecutionContext& ctx);
 
-  /// Lease expirations → local re-executions so far.
+  /// Lease expirations → local re-executions so far (includes busy bounces).
   uint64_t fallback_count() const { return fallback_count_; }
+  /// Subset of fallback_count(): executions the shared worker refused with a
+  /// retryable "busy" (admission backpressure), run locally instead.
+  uint64_t busy_fallback_count() const { return busy_fallback_count_; }
+
+  /// The shared fleet worker this runtime is a tenant of (nullptr when it
+  /// owns its compute), and its session there (0 until first admitted).
+  WorkerPool* worker_pool() { return worker_pool_; }
+  SessionId worker_session() const { return worker_session_; }
+  int vehicle_index() const { return vehicle_index_; }
 
   const platform::CostModel& cost_model(platform::Host host) const;
 
@@ -146,6 +170,16 @@ class OffloadRuntime {
   double predicted_network_latency();
 
  private:
+  /// Open (or re-open after eviction) this runtime's session on the shared
+  /// worker. False = not admitted right now (pool full) → caller degrades to
+  /// local compute and retries on the next execution.
+  bool ensure_worker_session(double now);
+  /// The "busy" degradation: run the node locally, count it as a fallback
+  /// with `cause`, and leave the placement alone — a busy verdict is a
+  /// retryable refusal, not a dead link, so the next tick tries remote again.
+  ExecutionOutcome busy_fallback(NodeId id, platform::ExecutionContext& ctx,
+                                 const char* cause);
+
   DeploymentPlan plan_;
   /// Declared before remote_pool_ so the pool's destructor (which joins the
   /// workers) runs first: a worker released from parallel_chunks() may still
@@ -164,7 +198,11 @@ class OffloadRuntime {
   platform::WorkMeter meter_;
   std::map<NodeId, platform::Host> placement_;
   std::map<NodeId, NodeTraits> traits_;
+  /// Private remote pool — only when no shared WorkerPool is attached.
   std::unique_ptr<ThreadPool> remote_pool_;
+  WorkerPool* worker_pool_ = nullptr;  ///< shared fleet worker (not owned)
+  SessionId worker_session_ = 0;
+  int vehicle_index_ = -1;
   std::map<platform::Host, platform::CostModel> cost_models_;
   VdpPlacement vdp_placement_ = VdpPlacement::kLocal;
   int active_threads_ = 1;
@@ -172,6 +210,7 @@ class OffloadRuntime {
   sim::FaultInjector* fault_injector_ = nullptr;
   bool lease_fallback_ = true;
   uint64_t fallback_count_ = 0;
+  uint64_t busy_fallback_count_ = 0;
 };
 
 }  // namespace lgv::core

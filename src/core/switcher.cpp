@@ -87,17 +87,24 @@ constexpr uint8_t kDirControl = 2;
 
 std::vector<uint8_t> frame_wrap(uint8_t direction, uint16_t topic_id,
                                 uint32_t seq, const std::vector<uint8_t>& payload,
-                                uint32_t trace_id, uint32_t span_id) {
-  std::vector<uint8_t> f(kFrameHeaderSize + payload.size());
+                                uint32_t trace_id, uint32_t span_id,
+                                uint16_t session_id) {
+  // Session 0 emits v2 so single-vehicle traffic stays byte-identical to the
+  // previous wire format (golden-frame compatibility); a fleet's nonzero
+  // sessions ride the two extra v3 bytes.
+  const bool v3 = session_id != 0;
+  const size_t header = v3 ? kFrameHeaderSizeV3 : kFrameHeaderSize;
+  std::vector<uint8_t> f(header + payload.size());
   store_u16(f, 0, kFrameMagic);
-  f[2] = kFrameVersion;
+  f[2] = v3 ? kFrameVersion : uint8_t{2};
   f[3] = direction;
   store_u16(f, 4, topic_id);
   store_u32(f, 6, seq);
   store_u32(f, 10, static_cast<uint32_t>(payload.size()));
   store_u32(f, 18, trace_id);
   store_u32(f, 22, span_id);
-  std::copy(payload.begin(), payload.end(), f.begin() + kFrameHeaderSize);
+  if (v3) store_u16(f, 26, session_id);
+  std::copy(payload.begin(), payload.end(), f.begin() + header);
   store_u32(f, 14, frame_crc(f));
   return f;
 }
@@ -121,7 +128,9 @@ const char* frame_check(const std::vector<uint8_t>& frame) {
   if (load_u16(frame, 0) != kFrameMagic) return "bad_magic";
   const uint8_t version = frame[2];
   if (version == 0 || version > kFrameVersion) return "bad_version";
-  const size_t header = version == 1 ? kFrameHeaderSizeV1 : kFrameHeaderSize;
+  const size_t header = version == 1   ? kFrameHeaderSizeV1
+                        : version == 2 ? kFrameHeaderSize
+                                       : kFrameHeaderSizeV3;
   if (frame.size() < header) return "runt";
   if (load_u32(frame, 10) != frame.size() - header) {
     return "length_mismatch";
@@ -133,7 +142,15 @@ const char* frame_check(const std::vector<uint8_t>& frame) {
 uint32_t frame_seq(const std::vector<uint8_t>& frame) { return load_u32(frame, 6); }
 
 size_t frame_header_size(const std::vector<uint8_t>& frame) {
-  return frame.size() > 2 && frame[2] == 1 ? kFrameHeaderSizeV1 : kFrameHeaderSize;
+  if (frame.size() <= 2) return kFrameHeaderSize;
+  switch (frame[2]) {
+    case 1:
+      return kFrameHeaderSizeV1;
+    case 2:
+      return kFrameHeaderSize;
+    default:
+      return kFrameHeaderSizeV3;
+  }
 }
 
 uint32_t frame_trace_id(const std::vector<uint8_t>& frame) {
@@ -142,6 +159,10 @@ uint32_t frame_trace_id(const std::vector<uint8_t>& frame) {
 
 uint32_t frame_span_id(const std::vector<uint8_t>& frame) {
   return frame_header_size(frame) == kFrameHeaderSizeV1 ? 0 : load_u32(frame, 22);
+}
+
+uint16_t frame_session_id(const std::vector<uint8_t>& frame) {
+  return frame_header_size(frame) == kFrameHeaderSizeV3 ? load_u16(frame, 26) : 0;
 }
 
 Switcher::Switcher(mw::Graph* graph, net::WirelessChannel* channel, const SimClock* clock,
@@ -192,14 +213,15 @@ void Switcher::send(const mw::TopicName& topic, const mw::NodeName& dst,
   const bool up = src_host == platform::Host::kLgv;
   const uint8_t dir = up ? kDirUplink : kDirDownlink;
   const uint16_t tid = topic_id(topic);
-  const uint32_t key = (static_cast<uint32_t>(dir) << 16) | tid;
+  const uint64_t key = (static_cast<uint64_t>(session_id_) << 32) |
+                       (static_cast<uint64_t>(dir) << 16) | tid;
   // The sender's TraceContext rides the frame header so the receiving host
   // re-enters the same trace on delivery.
   telemetry::TraceContext ctx;
   if (telemetry_ != nullptr) ctx = telemetry_->tracer().current();
   std::vector<uint8_t> frame =
       frame_wrap(dir, tid, next_seq_[key]++, pack_envelope(topic, dst, bytes),
-                 ctx.trace_id, ctx.span_id);
+                 ctx.trace_id, ctx.span_id, session_id_);
   if (up) {
     ++stats_.uplink_messages;
     stats_.uplink_bytes += static_cast<double>(frame.size());
@@ -251,7 +273,10 @@ void Switcher::deliver(const net::Packet& packet) {
       telemetry_->metrics().counter("net_frames_v1_total").inc();
     }
   }
-  const uint32_t key = (static_cast<uint32_t>(b[3]) << 16) | load_u16(b, 4);
+  // The session term keeps each vehicle's stream independently sequenced: in
+  // a fleet, vehicle 2's seq-5 scan must not dedupe against vehicle 1's.
+  const uint64_t key = (static_cast<uint64_t>(frame_session_id(b)) << 32) |
+                       (static_cast<uint64_t>(b[3]) << 16) | load_u16(b, 4);
   const uint32_t seq = frame_seq(b);
   const auto seen = last_delivered_seq_.find(key);
   if (seen != last_delivered_seq_.end()) {
@@ -453,12 +478,14 @@ void Switcher::send_stream_packet() {
   // 48 B velocity message (§III-A) as the fixed-rate measurement stream.
   const std::vector<uint8_t> payload(48, 0);
   const uint16_t tid = topic_id("__stream__");
-  const uint32_t key = (static_cast<uint32_t>(kDirDownlink) << 16) | tid;
+  const uint64_t key = (static_cast<uint64_t>(session_id_) << 32) |
+                       (static_cast<uint64_t>(kDirDownlink) << 16) | tid;
   telemetry::TraceContext ctx;
   if (telemetry_ != nullptr) ctx = telemetry_->tracer().current();
   std::vector<uint8_t> frame =
       frame_wrap(kDirDownlink, tid, next_seq_[key]++,
-                 pack_envelope("__stream__", "lgv", payload), ctx.trace_id, ctx.span_id);
+                 pack_envelope("__stream__", "lgv", payload), ctx.trace_id,
+                 ctx.span_id, session_id_);
   ++stats_.downlink_messages;
   stats_.downlink_bytes += static_cast<double>(frame.size());
   if (downlink_bytes_total_ != nullptr) downlink_bytes_total_->inc(frame.size());

@@ -1,0 +1,222 @@
+// The WORKER side of Fig. 8, refactored from a per-runtime private thread
+// pool into a shared multi-tenant service: one WorkerPool admits N vehicles
+// (hundreds of simulated LGVs), each behind a leased *session*, and serves
+// their scanMatch/scoreTrajectory kernel requests on a weighted fair-share
+// schedule over a fixed set of worker cores.
+//
+// Execution follows the repo's "real compute, modeled time" doctrine: the
+// kernels genuinely run on the real ThreadPool (cross-vehicle requests for
+// the same kernel arriving within a tick are coalesced into ONE combined
+// dispatch, reusing the SoA/SIMD block path), while latency comes from a
+// deterministic virtual-time schedule — requests queue per session, the
+// stride scheduler picks the session with the least virtual time (weighted),
+// and a request occupies `threads` virtual cores for its modeled service
+// time. Everything a caller observes (queue wait, completion, busy verdicts,
+// occupancy) is virtual and reproducible bit-for-bit.
+//
+// Admission and eviction reuse the lease protocol: a session is admitted
+// with a lease that traffic renews; a vehicle that goes silent past its
+// lease is evicted and must re-admit. Backpressure is explicit: when a
+// session's outstanding requests hit the queue bound, or the predicted
+// wait for cores crosses the busy threshold, the pool answers with a
+// retryable "busy" verdict instead of queueing unboundedly — the vehicle
+// degrades to local compute via the existing finish_guarded fallback.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/telemetry.h"
+#include "common/thread_pool.h"
+
+namespace lgv::core {
+
+using SessionId = uint32_t;  ///< 0 = no session
+
+/// The two batched kernels of Figs. 5/6, plus everything else.
+enum class KernelKind : uint8_t { kScanMatch = 0, kScoreTrajectory = 1, kGeneric = 2 };
+const char* kernel_kind_name(KernelKind kind);
+
+struct WorkerPoolConfig {
+  int cores = 4;           ///< virtual worker cores (modeled service capacity)
+  int threads = 0;         ///< real pool threads; 0 = same as cores
+  size_t max_sessions = 512;
+  /// Session lease (s): admission grants it, traffic renews it, silence past
+  /// it evicts — the PR 3 lease protocol reused as the admission/eviction
+  /// primitive.
+  double session_lease_s = 2.0;
+  /// Per-session outstanding-request bound: submit answers "busy" once this
+  /// many requests are queued or in flight for one session.
+  size_t max_session_queue = 8;
+  /// Predicted wait for cores above this → "busy" (retryable; the vehicle
+  /// runs the kernel locally this tick instead of queueing behind the fleet).
+  double busy_wait_s = 0.75;
+  /// New sessions are bounced while modeled occupancy exceeds this.
+  double admit_occupancy_max = 0.97;
+  int default_weight = 1;
+  /// Host lane for the per-request trace spans ("cloud_server" /
+  /// "edge_gateway") so the critical-path analyzer buckets pool time as
+  /// remote compute.
+  std::string host_label = "cloud_server";
+};
+
+/// Admission verdict. `busy` distinguishes "pool full right now, retry
+/// later" from a hard reject (never issued today).
+struct Admission {
+  SessionId session = 0;  ///< 0 = not admitted
+  bool busy = false;
+};
+
+/// Outcome of one kernel request, in virtual time.
+struct WorkerVerdict {
+  bool busy = false;        ///< bounced: run locally and retry next tick
+  double queue_wait = 0.0;  ///< arrival → cores granted (s)
+  double service = 0.0;     ///< time on the cores (s)
+  double completion = 0.0;  ///< virtual time the result is ready
+  bool batched = false;     ///< coalesced with another vehicle's request
+};
+
+class WorkerPool {
+ public:
+  /// Kernel body: process items [begin, end), return the cycles performed
+  /// (the same contract as ExecutionContext::parallel_kernel_blocks).
+  using BlockFn = std::function<double(size_t begin, size_t end)>;
+
+  explicit WorkerPool(WorkerPoolConfig config = {},
+                      telemetry::Telemetry* telemetry = nullptr);
+
+  const WorkerPoolConfig& config() const { return config_; }
+  /// The real thread pool (for ExecutionContext attachment). Sessions opened
+  /// here are registered on it, so kernel chunks fair-share per vehicle.
+  ThreadPool& threads() { return pool_; }
+
+  // ---- session table -------------------------------------------------------
+  /// Admit `vehicle` (a label for telemetry) with a fresh lease. `weight`
+  /// <= 0 uses config().default_weight; higher weights get a proportionally
+  /// larger share of the cores under contention (priority).
+  Admission open_session(const std::string& vehicle, double now, int weight = 0);
+  /// Extend the lease. False when the session is unknown or already expired
+  /// (the caller must re-admit).
+  bool renew(SessionId id, double now);
+  void close_session(SessionId id);
+  /// Drop every session whose lease expired before `now`; returns how many.
+  size_t evict_expired(double now);
+  size_t active_sessions() const { return sessions_.size(); }
+  bool has_session(SessionId id) const { return sessions_.count(id) != 0; }
+
+  // ---- request plane -------------------------------------------------------
+  /// Handle for a queued request (valid until the next flush after it).
+  struct Ticket {
+    uint64_t id = 0;
+    bool busy = false;  ///< bounced at submit; verdict() repeats the refusal
+  };
+
+  /// Queue a kernel request with a fixed modeled service time (the
+  /// OffloadRuntime path: the cost model already priced the execution).
+  /// `threads` is how many cores the request occupies while served.
+  Ticket submit(SessionId session, KernelKind kind, double now, double service_s,
+                int threads);
+
+  /// Queue a kernel request whose service time comes from *measured* work:
+  /// at flush the pool coalesces same-kind requests into one real dispatch,
+  /// runs `block` over [0, count) on the real threads, and prices the
+  /// request at cycles × seconds_per_cycle (per core; the caller bakes the
+  /// platform speed and parallel efficiency for `threads` cores into it).
+  Ticket submit_block(SessionId session, KernelKind kind, double now, size_t count,
+                      BlockFn block, double seconds_per_cycle, int threads);
+
+  /// Close the batching window at virtual time `now`: run the coalesced real
+  /// dispatches, then the weighted fair-share virtual schedule that assigns
+  /// every pending request its start/completion. Verdicts become readable.
+  void flush(double now);
+
+  /// Verdict for a ticket from any flushed window.
+  WorkerVerdict verdict(const Ticket& ticket) const;
+
+  /// submit + flush + verdict: the synchronous single-request path
+  /// (per-node offload executions). Batching needs concurrent submitters;
+  /// lone requests pass straight through the same schedule.
+  WorkerVerdict execute(SessionId session, KernelKind kind, double now,
+                        double service_s, int threads);
+
+  // ---- observability -------------------------------------------------------
+  /// Fraction of virtual cores still busy at `now` (0..1).
+  double occupancy(double now) const;
+  /// High-water mark of any single session's outstanding requests — the
+  /// bounded-queueing acceptance number.
+  size_t max_session_depth() const { return max_session_depth_; }
+  uint64_t busy_rejects() const { return busy_rejects_; }
+  uint64_t admission_rejects() const { return admission_rejects_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t batches() const { return batches_; }
+  uint64_t batched_requests() const { return batched_requests_; }
+  uint64_t requests() const { return requests_; }
+
+ private:
+  struct Session {
+    std::string label;
+    uint64_t weight = 1;
+    double vtime = 0.0;         ///< stride virtual time (core-seconds/weight)
+    double lease_expiry = 0.0;
+    std::deque<double> outstanding;  ///< completion times of scheduled work
+    std::vector<uint64_t> pending;   ///< tickets waiting for flush
+  };
+
+  struct Request {
+    SessionId session = 0;
+    KernelKind kind = KernelKind::kGeneric;
+    double arrival = 0.0;
+    double service_s = 0.0;  ///< fixed, or priced at flush for block requests
+    int threads = 1;
+    size_t count = 0;
+    BlockFn block;  ///< null for fixed-service requests
+    double seconds_per_cycle = 0.0;
+    bool batched = false;
+  };
+
+  Session* find_session(SessionId id, double now);
+  size_t outstanding_depth(Session& s, double now);
+  void note_depth(size_t depth);
+  Ticket reject_busy(const char* cause);
+  Ticket enqueue(SessionId session, Request req);
+  void run_batches();
+  void schedule(double now);
+  double start_wait(double now, int threads) const;
+
+  WorkerPoolConfig config_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  ThreadPool pool_;
+
+  std::map<SessionId, Session> sessions_;
+  SessionId next_session_ = 1;
+
+  std::vector<double> core_free_;   ///< virtual time each core frees up
+  std::vector<Request> requests_store_;
+  std::vector<WorkerVerdict> verdicts_;
+  std::vector<uint64_t> pending_;   ///< tickets awaiting flush, arrival order
+
+  uint64_t requests_ = 0;
+  uint64_t busy_rejects_ = 0;
+  uint64_t admission_rejects_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t batched_requests_ = 0;
+  size_t max_session_depth_ = 0;
+
+  // Telemetry handles (null when disabled).
+  telemetry::Counter* requests_total_ = nullptr;
+  telemetry::Counter* busy_total_ = nullptr;
+  telemetry::Counter* evictions_total_ = nullptr;
+  telemetry::Counter* admission_rejects_total_ = nullptr;
+  telemetry::Gauge* sessions_gauge_ = nullptr;
+  telemetry::Gauge* occupancy_gauge_ = nullptr;
+  telemetry::Gauge* session_depth_gauge_ = nullptr;
+  telemetry::Histogram* queue_wait_s_ = nullptr;
+  telemetry::Histogram* batch_size_ = nullptr;
+};
+
+}  // namespace lgv::core

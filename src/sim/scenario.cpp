@@ -113,6 +113,40 @@ Scenario make_chaos_scenario() {
   return s;
 }
 
+Scenario make_fleet_scenario(int vehicle_index, int fleet_size) {
+  // One shared 16×10 m hall; vehicle i runs its own north–south lane, west to
+  // east across the fleet, wrapping when the fleet outgrows the lane count.
+  // The WAP sits at the hall center so every lane has comparable (healthy)
+  // link geometry and fleet results isolate *worker* contention.
+  Scenario s{World(16.0, 10.0), Pose2D(), Pose2D(), Point2D(8.0, 5.0), {}};
+  World& w = s.world;
+  w.add_outer_walls(0.15);
+  // Sparse fixed obstacles shared by every vehicle: enough to keep costmap
+  // generation and rollout honestly loaded, placed between lanes.
+  w.add_box({3.9, 4.4}, {4.5, 5.6});
+  w.add_box({7.7, 1.6}, {8.3, 2.6});
+  w.add_box({7.7, 7.4}, {8.3, 8.4});
+  w.add_box({11.5, 4.4}, {12.1, 5.6});
+  w.add_disc({5.8, 7.2}, 0.3);
+  w.add_disc({10.2, 2.8}, 0.3);
+
+  // Lane count is fixed by the hall width, not the fleet: a 200-vehicle
+  // fleet wraps onto the same 10 lanes rather than shrinking them.
+  constexpr int kLanes = 10;
+  (void)fleet_size;
+  const int lane = ((vehicle_index % kLanes) + kLanes) % kLanes;
+  const double x = 1.4 + 1.46 * lane;  // lane centers across [1.4, 14.6]
+  // Alternate direction per vehicle so opposing lanes exist even in small
+  // fleets; vehicles beyond kLanes share a lane but start from the far end.
+  const bool northbound = ((vehicle_index / kLanes) + vehicle_index) % 2 == 0;
+  const double y0 = northbound ? 1.2 : 8.8;
+  const double y1 = northbound ? 8.8 : 1.2;
+  s.start = Pose2D(x, y0, northbound ? 1.5707963267948966 : -1.5707963267948966);
+  s.goal = Pose2D(x, y1, 0.0);
+  s.waypoints = {{x, y0}, {x, (y0 + y1) / 2.0}, {x, y1}};
+  return s;
+}
+
 std::vector<ScanLogEntry> record_scan_log(const Scenario& scenario, double speed,
                                           double scan_period, size_t max_scans,
                                           uint64_t seed) {

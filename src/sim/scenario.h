@@ -43,6 +43,15 @@ Scenario make_open_scenario();
 /// which keeps the bench_fault_injection sweeps attributable to the faults.
 Scenario make_chaos_scenario();
 
+/// Fleet-serving environment (docs/fleet-serving.md): vehicle `vehicle_index`
+/// of a fleet of `fleet_size` in a shared warehouse hall. All vehicles see
+/// the same walls and the same centrally mounted WAP (so, like the chaos
+/// scenario, link quality is uniform and any offload trouble is attributable
+/// to worker contention), but each gets its own start/goal lane so the
+/// missions are geometrically distinct — fleet-scale results aren't N copies
+/// of one route.
+Scenario make_fleet_scenario(int vehicle_index, int fleet_size);
+
 /// One entry of a recorded SLAM input log: odometry-integrated pose estimate
 /// and the scan taken there.
 struct ScanLogEntry {

@@ -59,5 +59,23 @@ TEST(Controller, LeaseTimeoutFloorsAtMinimum) {
   EXPECT_DOUBLE_EQ(c.lease_timeout(1e-4, 1e-4), c.config().lease_min_s);
 }
 
+TEST(Controller, ColdStartLeaseUsesWiderFloor) {
+  // First remote execution of a node: no profiled sample exists, so T_c is
+  // the analytical estimate — possibly a large underestimate on a machine
+  // the model has never seen. The cold floor buys the first execution room
+  // to *produce* the sample that makes every later lease accurate.
+  Controller c;
+  const ControllerConfig& cfg = c.config();
+  ASSERT_GT(cfg.lease_cold_min_s, cfg.lease_min_s);
+  EXPECT_DOUBLE_EQ(c.lease_timeout(0.0, 0.0, /*cold_start=*/true),
+                   cfg.lease_cold_min_s);
+  // Warm path unchanged.
+  EXPECT_DOUBLE_EQ(c.lease_timeout(0.0, 0.0, /*cold_start=*/false),
+                   cfg.lease_min_s);
+  // A genuinely long cold estimate still scales past the floor.
+  EXPECT_DOUBLE_EQ(c.lease_timeout(2.0, 0.1, /*cold_start=*/true),
+                   cfg.lease_headroom * 2.0 + cfg.lease_rtt_margin * 0.1);
+}
+
 }  // namespace
 }  // namespace lgv::core

@@ -1,0 +1,116 @@
+// Fleet serving (docs/fleet-serving.md): several MissionRunners driven in
+// lockstep as tenants of ONE shared WorkerPool. Exercises the multi-tenancy
+// seams end to end: per-vehicle seed derivation, session-stamped wire frames
+// crossing one emulated channel, worker admission/backpressure, and the
+// busy → local fallback.
+#include <gtest/gtest.h>
+
+#include "core/mission_runner.h"
+#include "core/worker_pool.h"
+
+namespace lgv::core {
+namespace {
+
+using platform::Host;
+
+MissionConfig fleet_config(int vehicle_index, WorkerPool* pool) {
+  MissionConfig cfg;
+  cfg.rollout_samples = 200;
+  cfg.slam_particles = 10;
+  cfg.timeout = 600.0;
+  cfg.vehicle_index = vehicle_index;
+  cfg.worker_pool = pool;
+  return cfg;
+}
+
+TEST(Fleet, TwoVehiclesShareOneWorkerPool) {
+  WorkerPoolConfig wc;
+  wc.cores = 8;
+  wc.threads = 4;
+  WorkerPool pool(wc);
+
+  MissionRunner v0(sim::make_fleet_scenario(0, 2),
+                   offload_plan("cloud_4t", Host::kCloudServer, 4,
+                                WorkloadKind::kNavigationWithMap),
+                   fleet_config(0, &pool));
+  MissionRunner v1(sim::make_fleet_scenario(1, 2),
+                   offload_plan("cloud_4t", Host::kCloudServer, 4,
+                                WorkloadKind::kNavigationWithMap),
+                   fleet_config(1, &pool));
+
+  // Lockstep: both runners advance one tick per round against the shared
+  // pool, exactly how the fleet bench drives N vehicles.
+  v0.start();
+  v1.start();
+  bool r0 = true, r1 = true;
+  while (r0 || r1) {
+    if (r0) r0 = v0.step();
+    if (r1) r1 = v1.step();
+  }
+  const MissionReport m0 = v0.finalize();
+  const MissionReport m1 = v1.finalize();
+
+  EXPECT_TRUE(m0.success) << "t=" << m0.completion_time;
+  EXPECT_TRUE(m1.success) << "t=" << m1.completion_time;
+
+  // Both vehicles were admitted as distinct sessions of the shared pool.
+  EXPECT_NE(v0.runtime().worker_session(), 0u);
+  EXPECT_NE(v1.runtime().worker_session(), 0u);
+  EXPECT_NE(v0.runtime().worker_session(), v1.runtime().worker_session());
+  EXPECT_GT(pool.requests(), 0u);
+
+  // Session-stamped frames: neither vehicle's traffic tripped the other's
+  // duplicate/ordering detection (the v3 sequencing key is per-session).
+  EXPECT_EQ(m0.network.frames_rejected, 0u);
+  EXPECT_EQ(m1.network.frames_rejected, 0u);
+  EXPECT_GT(m0.network.uplink_messages, 10u);
+  EXPECT_GT(m1.network.uplink_messages, 10u);
+
+  // splitmix64 seed derivation: the two missions are genuinely different
+  // runs, not two replays of one RNG stream on different lanes.
+  EXPECT_NE(fleet_config(0, nullptr).effective_seed(),
+            fleet_config(1, nullptr).effective_seed());
+  EXPECT_NE(m0.completion_time, m1.completion_time);
+}
+
+TEST(Fleet, UndersizedPoolDegradesToLocalNotFailure) {
+  // A pool too small for the tenant's parallelism bounces requests; the
+  // vehicle must absorb every bounce as a local re-execution and still
+  // finish the mission.
+  WorkerPoolConfig wc;
+  wc.cores = 1;
+  wc.threads = 1;
+  wc.busy_wait_s = 0.0005;  // nearly any queueing → busy verdict
+  WorkerPool pool(wc);
+
+  MissionRunner v0(sim::make_fleet_scenario(0, 1),
+                   offload_plan("cloud_4t", Host::kCloudServer, 4,
+                                WorkloadKind::kNavigationWithMap),
+                   fleet_config(0, &pool));
+  const MissionReport m = v0.run();
+  EXPECT_TRUE(m.success) << "t=" << m.completion_time;
+  EXPECT_GT(v0.runtime().busy_fallback_count(), 0u);
+  EXPECT_GT(pool.busy_rejects(), 0u);
+}
+
+TEST(Fleet, StandaloneVehicleUnchangedByFleetFields) {
+  // vehicle_index = -1 (the default) must keep the original single-tenant
+  // behavior bit-for-bit: seed used as-is, no session on the wire.
+  MissionConfig cfg;
+  cfg.rollout_samples = 200;
+  cfg.slam_particles = 10;
+  cfg.timeout = 600.0;
+  EXPECT_EQ(cfg.effective_seed(), cfg.seed);
+
+  MissionRunner runner(sim::make_open_scenario(),
+                       offload_plan("cloud_4t", Host::kCloudServer, 4,
+                                    WorkloadKind::kNavigationWithMap),
+                       cfg);
+  const MissionReport m = runner.run();
+  EXPECT_TRUE(m.success);
+  EXPECT_EQ(runner.runtime().worker_pool(), nullptr);
+  EXPECT_EQ(m.network.frames_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace lgv::core

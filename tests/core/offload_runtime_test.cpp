@@ -235,6 +235,64 @@ TEST(OffloadRuntime, ForcedOutageHoldsResultPastLease) {
   EXPECT_EQ(rt.vdp_placement(), VdpPlacement::kLocal);
 }
 
+TEST(OffloadRuntime, ColdStartLeaseSurvivesSlowLinkFirstExecution) {
+  // The cold-start bug (docs/fleet-serving.md): a node's FIRST remote
+  // execution has no profiled T_c, so the lease used to floor at the warm
+  // minimum — on a momentarily slow link the very execution that would have
+  // produced the profile sample was killed, the node was pinned local, and
+  // the vehicle never discovered the link had recovered. The wider cold
+  // floor rides out the hiccup.
+  RemoteRuntime rr;
+  OffloadRuntime& rt = rr.rt;
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kOutage, 0.0, 0.5);  // slow first RTT, then healthy
+  sim::FaultInjector inj(s);
+  rt.set_fault_injector(&inj);
+
+  ASSERT_FALSE(
+      rt.profiler().node_time(NodeId::kCostmapGen, Host::kEdgeGateway).has_value());
+  // 0.5 s sits exactly in the gap between the floors: a warm lease
+  // (lease_min_s) would expire, the cold lease must not.
+  ASSERT_GT(rt.controller().config().lease_cold_min_s, 0.5);
+  ASSERT_LT(rt.controller().config().lease_min_s, 0.5);
+
+  platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+  ctx.serial_work(1e7);  // tiny kernel: the floor decides, not the work
+  const auto outcome = rt.finish_guarded(NodeId::kCostmapGen, ctx);
+  EXPECT_FALSE(outcome.fell_back);
+  EXPECT_GE(outcome.latency, 0.5);  // the outage is paid as latency...
+  EXPECT_EQ(rt.fallback_count(), 0u);
+  EXPECT_EQ(rt.host_of(NodeId::kCostmapGen), Host::kEdgeGateway);
+  // ...and the execution it protected produced the profile sample.
+  EXPECT_TRUE(
+      rt.profiler().node_time(NodeId::kCostmapGen, Host::kEdgeGateway).has_value());
+}
+
+TEST(OffloadRuntime, WarmLeaseStillCatchesGenuineStallsAfterProfiling) {
+  // The cold floor must not blunt the protocol once a profile exists: the
+  // same 0.5 s hiccup on a *profiled* tiny kernel is a lease expiry.
+  RemoteRuntime rr;
+  OffloadRuntime& rt = rr.rt;
+
+  platform::ExecutionContext warm = rt.make_context(NodeId::kCostmapGen);
+  warm.serial_work(1e7);
+  ASSERT_FALSE(rt.finish_guarded(NodeId::kCostmapGen, warm).fell_back);
+  ASSERT_TRUE(
+      rt.profiler().node_time(NodeId::kCostmapGen, Host::kEdgeGateway).has_value());
+
+  rt.clock().advance(10.0);
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kOutage, 10.0, 0.5);
+  sim::FaultInjector inj(s);
+  rt.set_fault_injector(&inj);
+
+  platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+  ctx.serial_work(1e7);
+  const auto outcome = rt.finish_guarded(NodeId::kCostmapGen, ctx);
+  EXPECT_TRUE(outcome.fell_back);
+  EXPECT_EQ(rt.fallback_count(), 1u);
+}
+
 TEST(OffloadRuntime, DisabledLeaseMeansNaiveWaitNotFallback) {
   RemoteRuntime rr;
   OffloadRuntime& rt = rr.rt;

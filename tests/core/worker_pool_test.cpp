@@ -1,0 +1,252 @@
+#include "core/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace lgv::core {
+namespace {
+
+WorkerPoolConfig small_pool(int cores = 2) {
+  WorkerPoolConfig c;
+  c.cores = cores;
+  c.threads = 2;  // real threads; the virtual schedule is what we assert on
+  return c;
+}
+
+TEST(WorkerPool, AdmitsRenewsAndEvictsSessions) {
+  WorkerPool pool(small_pool());
+  const Admission a = pool.open_session("lgv-0", 0.0);
+  ASSERT_NE(a.session, 0u);
+  EXPECT_FALSE(a.busy);
+  EXPECT_EQ(pool.active_sessions(), 1u);
+
+  // Traffic inside the lease renews it.
+  EXPECT_TRUE(pool.renew(a.session, 1.0));
+  // Silence past the lease evicts.
+  EXPECT_EQ(pool.evict_expired(1.0 + pool.config().session_lease_s + 0.1), 1u);
+  EXPECT_FALSE(pool.has_session(a.session));
+  EXPECT_EQ(pool.evictions(), 1u);
+
+  // A request against the evicted session is a retryable refusal, not UB.
+  const WorkerVerdict v =
+      pool.execute(a.session, KernelKind::kGeneric, 10.0, 0.01, 1);
+  EXPECT_TRUE(v.busy);
+}
+
+TEST(WorkerPool, RenewAfterExpiryFailsAndEvicts) {
+  WorkerPool pool(small_pool());
+  const Admission a = pool.open_session("lgv-0", 0.0);
+  EXPECT_FALSE(pool.renew(a.session, pool.config().session_lease_s + 1.0));
+  EXPECT_FALSE(pool.has_session(a.session));
+}
+
+TEST(WorkerPool, AdmissionBouncesWhenSessionTableFull) {
+  WorkerPoolConfig cfg = small_pool();
+  cfg.max_sessions = 3;
+  WorkerPool pool(cfg);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(pool.open_session("lgv-" + std::to_string(i), 0.0).session, 0u);
+  }
+  const Admission bounced = pool.open_session("lgv-3", 0.0);
+  EXPECT_EQ(bounced.session, 0u);
+  EXPECT_TRUE(bounced.busy);
+  EXPECT_EQ(pool.admission_rejects(), 1u);
+}
+
+TEST(WorkerPool, SingleRequestServedWithModeledTiming) {
+  WorkerPool pool(small_pool());
+  const Admission a = pool.open_session("lgv-0", 0.0);
+  const WorkerVerdict v =
+      pool.execute(a.session, KernelKind::kScanMatch, 1.0, 0.25, 1);
+  EXPECT_FALSE(v.busy);
+  EXPECT_DOUBLE_EQ(v.queue_wait, 0.0);  // empty pool: cores free immediately
+  EXPECT_DOUBLE_EQ(v.service, 0.25);
+  EXPECT_DOUBLE_EQ(v.completion, 1.25);
+  EXPECT_FALSE(v.batched);
+}
+
+TEST(WorkerPool, QueueDepthBoundProducesBusyNotUnboundedQueue) {
+  WorkerPoolConfig cfg = small_pool();
+  cfg.max_session_queue = 3;
+  cfg.busy_wait_s = 1e9;  // isolate the depth bound from the wait bound
+  WorkerPool pool(cfg);
+  const Admission a = pool.open_session("lgv-0", 0.0);
+
+  int busy = 0;
+  std::vector<WorkerPool::Ticket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    const auto t = pool.submit(a.session, KernelKind::kGeneric, 0.0, 1.0, 1);
+    busy += t.busy ? 1 : 0;
+    tickets.push_back(t);
+  }
+  // Exactly the overflow beyond the bound is bounced, before any flush.
+  EXPECT_EQ(busy, 3);
+  EXPECT_EQ(pool.busy_rejects(), 3u);
+
+  pool.flush(0.0);
+  EXPECT_LE(pool.max_session_depth(), cfg.max_session_queue);
+  for (const auto& t : tickets) {
+    const WorkerVerdict v = pool.verdict(t);
+    EXPECT_EQ(v.busy, t.busy);
+  }
+}
+
+TEST(WorkerPool, PredictedWaitAboveThresholdIsBusy) {
+  WorkerPoolConfig cfg = small_pool(/*cores=*/1);
+  cfg.busy_wait_s = 0.5;
+  WorkerPool pool(cfg);
+  const Admission a = pool.open_session("lgv-0", 0.0);
+  // Occupy the single core for 2 s.
+  EXPECT_FALSE(pool.execute(a.session, KernelKind::kGeneric, 0.0, 2.0, 1).busy);
+  // A fresh request would wait ~2 s for the core — above the 0.5 s threshold.
+  const WorkerVerdict v = pool.execute(a.session, KernelKind::kGeneric, 0.0, 0.1, 1);
+  EXPECT_TRUE(v.busy);
+  // Once the core frees, the same request is served.
+  const WorkerVerdict later =
+      pool.execute(a.session, KernelKind::kGeneric, 2.0, 0.1, 1);
+  EXPECT_FALSE(later.busy);
+}
+
+TEST(WorkerPool, CoalescesSameKernelBlocksAcrossSessions) {
+  WorkerPool pool(small_pool());
+  const Admission a = pool.open_session("lgv-0", 0.0);
+  const Admission b = pool.open_session("lgv-1", 0.0);
+
+  std::atomic<size_t> items_a{0}, items_b{0};
+  const double spc = 1e-9;
+  const auto ta = pool.submit_block(
+      a.session, KernelKind::kScanMatch, 0.0, 20,
+      [&items_a](size_t begin, size_t end) {
+        items_a.fetch_add(end - begin);
+        return 1000.0 * static_cast<double>(end - begin);
+      },
+      spc, 1);
+  const auto tb = pool.submit_block(
+      b.session, KernelKind::kScanMatch, 0.0, 12,
+      [&items_b](size_t begin, size_t end) {
+        items_b.fetch_add(end - begin);
+        return 1000.0 * static_cast<double>(end - begin);
+      },
+      spc, 1);
+  pool.flush(0.0);
+
+  // Every item of both requests really ran, exactly once (by count).
+  EXPECT_EQ(items_a.load(), 20u);
+  EXPECT_EQ(items_b.load(), 12u);
+  // One combined dispatch; both requests marked batched.
+  EXPECT_EQ(pool.batches(), 1u);
+  EXPECT_EQ(pool.batched_requests(), 2u);
+  const WorkerVerdict va = pool.verdict(ta);
+  const WorkerVerdict vb = pool.verdict(tb);
+  EXPECT_TRUE(va.batched);
+  EXPECT_TRUE(vb.batched);
+  // Service priced from the measured cycles of each request alone.
+  EXPECT_NEAR(va.service, 20 * 1000.0 * spc, 1e-12);
+  EXPECT_NEAR(vb.service, 12 * 1000.0 * spc, 1e-12);
+}
+
+TEST(WorkerPool, DifferentKernelsDoNotCoalesce) {
+  WorkerPool pool(small_pool());
+  const Admission a = pool.open_session("lgv-0", 0.0);
+  const Admission b = pool.open_session("lgv-1", 0.0);
+  const auto fn = [](size_t begin, size_t end) {
+    return static_cast<double>(end - begin);
+  };
+  pool.submit_block(a.session, KernelKind::kScanMatch, 0.0, 8, fn, 1e-9, 1);
+  pool.submit_block(b.session, KernelKind::kScoreTrajectory, 0.0, 8, fn, 1e-9, 1);
+  pool.flush(0.0);
+  EXPECT_EQ(pool.batched_requests(), 0u);
+}
+
+TEST(WorkerPool, FairShareFavorsHigherWeight) {
+  // One core, two sessions, four 1 s requests each. The weight-2 session
+  // must finish its work in roughly half the virtual passes of the weight-1
+  // session — stride scheduling, not FIFO.
+  WorkerPoolConfig cfg = small_pool(/*cores=*/1);
+  cfg.busy_wait_s = 1e9;
+  cfg.max_session_queue = 16;
+  WorkerPool pool(cfg);
+  const Admission a = pool.open_session("lgv-a", 0.0, /*weight=*/1);
+  const Admission b = pool.open_session("lgv-b", 0.0, /*weight=*/2);
+
+  std::vector<WorkerPool::Ticket> ta, tb;
+  for (int i = 0; i < 4; ++i) {
+    ta.push_back(pool.submit(a.session, KernelKind::kGeneric, 0.0, 1.0, 1));
+    tb.push_back(pool.submit(b.session, KernelKind::kGeneric, 0.0, 1.0, 1));
+  }
+  pool.flush(0.0);
+
+  double a_total = 0.0, b_total = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    a_total += pool.verdict(ta[static_cast<size_t>(i)]).completion;
+    b_total += pool.verdict(tb[static_cast<size_t>(i)]).completion;
+  }
+  // Weight 2 drains ~2× as fast → strictly earlier mean completion.
+  EXPECT_LT(b_total, a_total);
+  // All eight seconds of service end up scheduled back-to-back on the core.
+  double last = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    last = std::max(last, pool.verdict(ta[static_cast<size_t>(i)]).completion);
+    last = std::max(last, pool.verdict(tb[static_cast<size_t>(i)]).completion);
+  }
+  EXPECT_DOUBLE_EQ(last, 8.0);
+}
+
+TEST(WorkerPool, ScheduleIsDeterministic) {
+  // Two identical pools fed the same request sequence produce bit-identical
+  // verdicts — the fleet bench's reproducibility contract.
+  auto run = [] {
+    WorkerPool pool(small_pool());
+    const Admission a = pool.open_session("lgv-0", 0.0);
+    const Admission b = pool.open_session("lgv-1", 0.0);
+    std::vector<WorkerVerdict> out;
+    for (int tick = 0; tick < 5; ++tick) {
+      const double now = 0.1 * tick;
+      std::vector<WorkerPool::Ticket> ts;
+      ts.push_back(pool.submit(a.session, KernelKind::kScanMatch, now, 0.08, 2));
+      ts.push_back(pool.submit(b.session, KernelKind::kScanMatch, now, 0.06, 1));
+      ts.push_back(pool.submit(b.session, KernelKind::kScoreTrajectory, now, 0.04, 1));
+      pool.flush(now);
+      for (const auto& t : ts) out.push_back(pool.verdict(t));
+    }
+    return out;
+  };
+  const auto r1 = run();
+  const auto r2 = run();
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].busy, r2[i].busy) << i;
+    EXPECT_DOUBLE_EQ(r1[i].queue_wait, r2[i].queue_wait) << i;
+    EXPECT_DOUBLE_EQ(r1[i].service, r2[i].service) << i;
+    EXPECT_DOUBLE_EQ(r1[i].completion, r2[i].completion) << i;
+  }
+}
+
+TEST(WorkerPool, MultiCoreRequestWaitsForEnoughCores) {
+  WorkerPoolConfig cfg = small_pool(/*cores=*/2);
+  cfg.busy_wait_s = 1e9;  // the point here is the wait, not the busy bound
+  WorkerPool pool(cfg);
+  const Admission a = pool.open_session("lgv-0", 0.0);
+  // Occupy one core until t=1.
+  EXPECT_FALSE(pool.execute(a.session, KernelKind::kGeneric, 0.0, 1.0, 1).busy);
+  // A 2-core request can only start when BOTH cores are free → waits to t=1.
+  const WorkerVerdict v = pool.execute(a.session, KernelKind::kGeneric, 0.0, 0.5, 2);
+  ASSERT_FALSE(v.busy);
+  EXPECT_DOUBLE_EQ(v.queue_wait, 1.0);
+  EXPECT_DOUBLE_EQ(v.completion, 1.5);
+}
+
+TEST(WorkerPool, OccupancyTracksBusyCores) {
+  WorkerPool pool(small_pool(/*cores=*/4));
+  const Admission a = pool.open_session("lgv-0", 0.0);
+  EXPECT_DOUBLE_EQ(pool.occupancy(0.0), 0.0);
+  pool.execute(a.session, KernelKind::kGeneric, 0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(pool.occupancy(0.5), 0.5);  // 2 of 4 cores busy
+  EXPECT_DOUBLE_EQ(pool.occupancy(1.5), 0.0);
+}
+
+}  // namespace
+}  // namespace lgv::core
