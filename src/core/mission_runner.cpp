@@ -21,7 +21,14 @@ MissionRunner::MissionRunner(sim::Scenario scenario, DeploymentPlan plan,
       config_(config),
       runtime_(std::move(plan), scenario_.wap_position, config.channel,
                config.telemetry,
-               FleetAttachment{config.worker_pool, config.vehicle_index}),
+               FleetAttachment{.pool = config.worker_pool,
+                               .vehicle_index = config.vehicle_index,
+                               .standby = config.standby_pool,
+                               // Jitter stream off the effective seed: fleet
+                               // vehicles already derive distinct seeds, so
+                               // no two share a retry schedule.
+                               .backoff_seed = config.effective_seed() ^ 0xba5eba11,
+                               .failover = config.failover}),
       fault_injector_(config.faults),
       // Subsystem seeds derive from the *effective* seed: in a fleet each
       // vehicle's index mixes into the fleet seed via splitmix64, so two
@@ -74,6 +81,24 @@ MissionRunner::MissionRunner(sim::Scenario scenario, DeploymentPlan plan,
     // vs. "adaptive+fallback" ablation).
     runtime_.set_fault_injector(&fault_injector_);
     runtime_.set_lease_fallback(config_.lease_fallback);
+  }
+  if (config_.worker_pool != nullptr) {
+    // Pool faults (pool_crash/degrade/partition) bite at the *shared* pool:
+    // the harness owns the pool, so it attaches the schedule there
+    // (pool.set_fault_injector) — a runner-owned injector would dangle once
+    // its runner dies while the pool lives on.
+    //
+    // Failover snapshots price their transfer off the real serialized state,
+    // and only a committed transfer advances the SLAM delta base — an
+    // aborted failover must never key future deltas on state the standby
+    // never received.
+    runtime_.set_state_snapshot(
+        [this] {
+          return serialized_state_bytes(runtime_.clock().now(), nullptr);
+        },
+        [this] {
+          if (slam_.has_value()) slam_->mark_migration_committed();
+        });
   }
 
   pose_estimate_ = scenario_.start;
@@ -478,19 +503,10 @@ void MissionRunner::run_adjustment(double now) {
     // the first transfer (and any after heavy map churn) falls back to full
     // RLE snapshots per grid.
     const uint64_t cow_before = cow_detach_count();
-    const double costmap_bytes =
-        static_cast<double>(serialize_to_bytes(costmap_.to_msg(now)).size());
-    double slam_bytes = 0.0;
     bool used_delta = false;
-    if (slam_.has_value()) {
-      slam_bytes = static_cast<double>(
-          slam_->serialize_state(perception::StateEncoding::kDelta).size());
-      used_delta = slam_->last_codec_stats().grids_delta > 0;
-    }
-    const double amcl_bytes =
-        amcl_.has_value() ? static_cast<double>(amcl_->serialize_state().size()) : 0.0;
+    const double state_bytes = serialized_state_bytes(now, &used_delta);
     const MigrationResult mig = runtime_.switcher().migrate_state(
-        costmap_bytes + slam_bytes + amcl_bytes, wanted == VdpPlacement::kRemote,
+        state_bytes, wanted == VdpPlacement::kRemote,
         used_delta ? "delta" : "full");
     frozen_until_ = mig.completion;  // a failed transfer still costs its time
     if (telemetry::Telemetry* t = runtime_.telemetry()) {
@@ -525,6 +541,22 @@ void MissionRunner::run_adjustment(double now) {
       }
     }
   }
+}
+
+double MissionRunner::serialized_state_bytes(double now, bool* used_delta) {
+  double bytes =
+      static_cast<double>(serialize_to_bytes(costmap_.to_msg(now)).size());
+  if (slam_.has_value()) {
+    bytes += static_cast<double>(
+        slam_->serialize_state(perception::StateEncoding::kDelta).size());
+    if (used_delta != nullptr) {
+      *used_delta = slam_->last_codec_stats().grids_delta > 0;
+    }
+  }
+  if (amcl_.has_value()) {
+    bytes += static_cast<double>(amcl_->serialize_state().size());
+  }
+  return bytes;
 }
 
 void MissionRunner::integrate_energy(double now, double prev_speed) {
@@ -597,6 +629,11 @@ bool MissionRunner::step() {
       last_adjust_ = now;
       run_adjustment(now);
     }
+
+    // ---- pool failover plane: keep the breaker/standby machinery moving
+    // even when Algorithm 2 has retreated local (a crashed pool pollutes the
+    // remote makespan, so without this probe the failover would starve).
+    runtime_.step_failover(now);
 
     // ---- stuck recovery (local, ROS-style recovery behavior)
     {
@@ -706,6 +743,8 @@ MissionReport MissionRunner::finalize() {
   report_.network = runtime_.switcher().stats();
   report_.placement_switches = runtime_.network_controller().switches();
   report_.fallbacks = runtime_.fallback_count();
+  report_.busy_fallbacks = runtime_.busy_fallback_count();
+  report_.pool_failovers = runtime_.pool_failovers();
   report_.faults_injected = fault_injector_.activated_events();
   report_.battery_state_of_charge = battery_.state_of_charge();
   report_.cloud_core_seconds = runtime_.cloud_core_seconds();

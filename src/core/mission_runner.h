@@ -65,6 +65,12 @@ struct MissionConfig {
   /// Shared fleet worker (see FleetAttachment); nullptr = the runtime owns
   /// its remote compute as before. Must outlive the runner.
   WorkerPool* worker_pool = nullptr;
+  /// Standby pool for failover (PR 9): on primary loss the runtime ships a
+  /// crash-consistent state snapshot and re-admits here. Must outlive the
+  /// runner; nullptr = no failover target.
+  WorkerPool* standby_pool = nullptr;
+  /// Busy-retry backoff and circuit-breaker policy for the pool attachment.
+  FailoverConfig failover;
   /// The seed the vehicle's subsystems actually derive from.
   uint64_t effective_seed() const {
     return vehicle_index < 0
@@ -124,6 +130,8 @@ struct MissionReport {
   SwitcherStats network;
   uint64_t placement_switches = 0;  ///< Algorithm 2 activations
   uint64_t fallbacks = 0;           ///< lease expirations → local re-executions
+  uint64_t busy_fallbacks = 0;      ///< pool refusals degraded to local compute
+  uint64_t pool_failovers = 0;      ///< committed pool switches (PR 9)
   uint64_t faults_injected = 0;     ///< scripted fault events that activated
   double explored_area_m2 = 0.0;    ///< exploration workload only
   double battery_state_of_charge = 1.0;  ///< remaining fraction at mission end
@@ -194,6 +202,11 @@ class MissionRunner {
   void run_planning(double now, bool force);
   void run_exploration(double now);
   void run_adjustment(double now);
+  /// Serialized size of the migratable state right now (costmap snapshot +
+  /// SLAM/AMCL filter state) — Algorithm 2's migrations and the failover
+  /// snapshot path both price their transfer off this. `used_delta` (may be
+  /// null) reports whether the SLAM codec managed a delta encoding.
+  double serialized_state_bytes(double now, bool* used_delta);
   void integrate_energy(double now, double prev_speed);
   void defer(double due, std::function<void()> fn);
   void pump(double now);

@@ -51,6 +51,9 @@ OffloadRuntime::OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
       vdp_placement_(plan_.offload ? VdpPlacement::kRemote : VdpPlacement::kLocal) {
   worker_pool_ = fleet.pool;
   vehicle_index_ = fleet.vehicle_index;
+  standby_pool_ = fleet.standby;
+  standby_host_ = fleet.standby_host;
+  remote_host_ = plan_.remote_host;
   if (vehicle_index_ >= 0) {
     // Session identity on the wire: every frame this vehicle's Switcher sends
     // carries its id, so the shared worker sequences each vehicle's stream
@@ -88,6 +91,21 @@ OffloadRuntime::OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
         static_cast<size_t>(plan_.remote_threads));
   }
   active_threads_ = plan_.offload ? plan_.remote_threads : 1;
+
+  if (worker_pool_ != nullptr) {
+    // Every pool tenant gets the failover policy (even standby-less: the
+    // jittered backoff and the breaker still pace a busy/dead primary). The
+    // jitter stream must differ per vehicle or 128 bounced tenants retry in
+    // lockstep — an unseeded attachment falls back to the vehicle index.
+    const uint64_t seed = fleet.backoff_seed != 0
+                              ? fleet.backoff_seed
+                              : static_cast<uint64_t>(vehicle_index_ + 2);
+    const std::string label = vehicle_index_ >= 0
+                                  ? "lgv-" + std::to_string(vehicle_index_)
+                                  : plan_.name;
+    failover_ = std::make_unique<PoolFailoverClient>(worker_pool_, standby_pool_,
+                                                     seed, label, fleet.failover);
+  }
 
   if (telemetry_config.enabled) {
     telemetry_ = std::make_unique<telemetry::Telemetry>(telemetry_config);
@@ -175,7 +193,9 @@ bool OffloadRuntime::set_vdp_placement(VdpPlacement placement) {
         cls == NodeClass::kT3 || (plan_.goal == Goal::kEnergy && cls == NodeClass::kT1) ||
         (plan_.goal == Goal::kCompletionTime && cls == NodeClass::kT1);
     if (!offloadable) continue;
-    place(id, placement == VdpPlacement::kRemote ? plan_.remote_host
+    // remote_host_, not the plan's: after a committed pool failover the
+    // remote set lives on the standby's host until a failback.
+    place(id, placement == VdpPlacement::kRemote ? remote_host_
                                                  : platform::Host::kLgv);
   }
   return true;
@@ -187,12 +207,13 @@ platform::ExecutionContext OffloadRuntime::make_context(NodeId id) {
       id == NodeId::kPathTracking || id == NodeId::kLocalization;
   if (host != platform::Host::kLgv && parallel_kernels && active_threads_ > 1) {
     if (worker_pool_ != nullptr) {
-      // Shared fleet worker: the kernel's chunks run on the pool's real
-      // threads under this vehicle's session, fair-sharing against the other
-      // tenants. Not admitted right now → serial context; finish_guarded will
-      // count the busy fallback.
+      // Shared fleet worker: the kernel's chunks run on the serving pool's
+      // real threads under this vehicle's session, fair-sharing against the
+      // other tenants. Not admitted right now (busy, backoff window, breaker
+      // open, failover snapshot in flight) → serial context; finish_guarded
+      // will count the busy fallback.
       if (ensure_worker_session(clock_.now())) {
-        return platform::ExecutionContext(&worker_pool_->threads(), active_threads_,
+        return platform::ExecutionContext(&active_pool_->threads(), active_threads_,
                                           worker_session_);
       }
       return platform::ExecutionContext(nullptr, 1);
@@ -204,19 +225,122 @@ platform::ExecutionContext OffloadRuntime::make_context(NodeId id) {
   return platform::ExecutionContext(nullptr, 1);
 }
 
+WorkerPool* OffloadRuntime::pool_at(int index) const {
+  return index == 1 ? standby_pool_ : worker_pool_;
+}
+
+void OffloadRuntime::complete_failover(int target, double now) {
+  // The snapshot round-tripped its commit record and has now fully landed:
+  // the target pool's host provably holds this vehicle's exact state, so
+  // remote execution there is crash-consistent from here on.
+  failover_->migration_committed(target);
+  ++pool_failovers_;
+  if (snapshot_committed_fn_) snapshot_committed_fn_();
+  remote_host_ = target == 1 ? standby_host_ : plan_.remote_host;
+  for (const auto& [id, host] : placement_) {
+    if (host != platform::Host::kLgv && host != remote_host_) {
+      place(id, remote_host_);
+    }
+  }
+  failover_target_ = -1;
+  failover_ready_at_ = -1.0;
+  if (vdp_placement_ == VdpPlacement::kLocal) {
+    // The crash drove Algorithm 2 local, and the remote makespan it would
+    // consult was measured against the dead pool — stale evidence that would
+    // veto the healthy standby indefinitely. Drop it, and re-arm remote
+    // directly: the committed snapshot IS the state migration, so flipping
+    // here is crash-consistent without another transfer.
+    profiler_.reset_vdp_makespan(VdpPlacement::kRemote);
+    netctl_.force(VdpPlacement::kRemote);
+    set_vdp_placement(VdpPlacement::kRemote);
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics()
+        .counter("pool_failovers_total", {{"outcome", "committed"}})
+        .inc();
+    telemetry_->tracer().instant_now(
+        "pool.failover", "decisions", "failover",
+        {{"to", target == 1 ? "standby" : "primary"},
+         {"host", platform::host_name(remote_host_)},
+         {"at", std::to_string(now)}});
+    // First failover of the run snapshots the flight recorder: the events
+    // leading up to the primary loss are the post-mortem.
+    telemetry_->dump_flight("pool_failover");
+  }
+}
+
 bool OffloadRuntime::ensure_worker_session(double now) {
   if (worker_pool_ == nullptr) return false;
-  if (worker_session_ != 0 && worker_pool_->has_session(worker_session_)) {
-    if (worker_pool_->renew(worker_session_, now)) return true;
+  const PoolFailoverClient::Acquire acq = failover_->acquire(now);
+  if (acq.pool == nullptr) {
+    // "backoff"/"breaker" refusals blame the pool whose failures opened the
+    // window; an "admission" refusal blames the pool that just said no.
+    attempted_pool_ =
+        pool_at(acq.pool_index >= 0 ? acq.pool_index : failover_->active_index());
+    last_refusal_cause_ = acq.blocked;
+    return false;
   }
-  // First execution, or evicted (lease lapsed while the vehicle ran local):
-  // re-admit. A busy admission is retried on the next execution.
-  const std::string label = vehicle_index_ >= 0
-                                ? "lgv-" + std::to_string(vehicle_index_)
-                                : plan_.name;
-  const Admission a = worker_pool_->open_session(label, now);
-  worker_session_ = a.session;
-  return !a.busy && worker_session_ != 0;
+  if (acq.needs_migration) {
+    // Crash-consistent re-admission (the PR 4 commit discipline, one pool
+    // up): before any kernel runs on the new pool, its host must hold a
+    // complete, verified state image. The snapshot rides the same chunked
+    // CRC+commit transfer as Algorithm 2's migrations, in "failover" mode.
+    if (failover_target_ != acq.pool_index) {
+      const double bytes =
+          snapshot_bytes_fn_ ? snapshot_bytes_fn_() : 16.0 * 1024.0;
+      const MigrationResult mig =
+          switcher_.migrate_state(bytes, /*uplink=*/true, "failover");
+      if (!mig.committed) {
+        // Torn transfer: committed pool and delta base unchanged; the target
+        // takes a breaker failure and the backoff paces the retry.
+        ++failovers_aborted_;
+        failover_->migration_aborted(now);
+        if (telemetry_ != nullptr) {
+          telemetry_->metrics()
+              .counter("pool_failovers_total", {{"outcome", "aborted"}})
+              .inc();
+          telemetry_->tracer().instant_now(
+              "pool.failover_abort", "decisions", "failover",
+              {{"attempts", std::to_string(mig.attempts)}});
+        }
+        attempted_pool_ = acq.pool;
+        last_refusal_cause_ = "migrating";
+        return false;
+      }
+      failover_target_ = acq.pool_index;
+      failover_ready_at_ = mig.completion;
+    }
+    if (now < failover_ready_at_) {
+      // Transfer still in flight: the vehicle keeps executing locally until
+      // the committed image lands — never remote against a partial set.
+      attempted_pool_ = acq.pool;
+      last_refusal_cause_ = "migrating";
+      return false;
+    }
+    complete_failover(acq.pool_index, now);
+  } else if (acq.pool_index == failover_->committed_index()) {
+    // Serving the committed pool again (e.g. the primary recovered before
+    // the standby snapshot landed): abandon the stale pending failover so a
+    // later pool loss starts a fresh transfer instead of reusing this one.
+    failover_target_ = -1;
+    failover_ready_at_ = -1.0;
+  }
+  active_pool_ = acq.pool;
+  worker_session_ = acq.session;
+  return true;
+}
+
+void OffloadRuntime::step_failover(double now) {
+  if (worker_pool_ == nullptr) return;
+  // Only probe when the failure plane is actually in play: a pending
+  // snapshot transfer, an open breaker on the committed pool, or a busy
+  // streak pacing retries. A healthy, idle runtime skips the acquire so the
+  // backoff/lease cadence stays identical to a purely execution-driven run.
+  const bool pending = failover_target_ >= 0;
+  const bool committed_down =
+      failover_->breaker_open(failover_->committed_index(), now);
+  if (!pending && !committed_down && failover_->busy_streak() == 0) return;
+  (void)ensure_worker_session(now);
 }
 
 double OffloadRuntime::finish(NodeId id, platform::ExecutionContext& ctx) {
@@ -253,9 +377,14 @@ double OffloadRuntime::finish(NodeId id, platform::ExecutionContext& ctx) {
 }
 
 OffloadRuntime::ExecutionOutcome OffloadRuntime::busy_fallback(
-    NodeId id, platform::ExecutionContext& ctx, const char* cause) {
+    NodeId id, platform::ExecutionContext& ctx, const char* cause,
+    WorkerPool* pool) {
   ++fallback_count_;
   ++busy_fallback_count_;
+  // Mirror the per-vehicle increment on the pool that refused, so
+  // Σ busy_fallback_count over the fleet == Σ busy_fallbacks over the pools
+  // (the accounting invariant FleetTest pins).
+  if (pool != nullptr) pool->note_busy_fallback();
   const platform::CostModel& local_model = cost_models_.at(platform::Host::kLgv);
   const double t_local = local_model.execution_time(ctx.profile());
   meter_.charge(node_name(id), ctx.profile().total_cycles());
@@ -302,18 +431,35 @@ OffloadRuntime::ExecutionOutcome OffloadRuntime::finish_guarded(
   // result's return until the link is restored.
   double completion = now + t_remote;
   bool crashed = false;
+  bool pool_lost = false;
   if (worker_pool_ != nullptr) {
     if (!ensure_worker_session(now)) {
-      return busy_fallback(id, ctx, "admission");
+      return busy_fallback(id, ctx, last_refusal_cause_, attempted_pool_);
     }
     const KernelKind kind = id == NodeId::kLocalization ? KernelKind::kScanMatch
                             : id == NodeId::kPathTracking
                                 ? KernelKind::kScoreTrajectory
                                 : KernelKind::kGeneric;
-    const WorkerVerdict v = worker_pool_->execute(worker_session_, kind, now, t_remote,
+    const WorkerVerdict v = active_pool_->execute(worker_session_, kind, now, t_remote,
                                                   std::max(1, active_threads_));
-    if (v.busy) return busy_fallback(id, ctx, "worker_busy");
+    if (v.busy) {
+      // Jittered exponential backoff instead of "retry next tick": the
+      // refusal opens this vehicle's backoff window and counts toward the
+      // serving pool's breaker, so 128 bounced vehicles desynchronize.
+      failover_->on_busy(now);
+      return busy_fallback(id, ctx, v.busy_cause != nullptr ? v.busy_cause : "worker_busy",
+                           active_pool_);
+    }
     completion = v.completion;
+    if (active_pool_->result_lost_in(now, completion)) {
+      // The pool crashed under the in-flight request: the result died with
+      // it. The lease-expiry path below re-executes locally, and the loss
+      // counts toward the breaker so the next acquires route to the standby.
+      pool_lost = true;
+      failover_->on_pool_loss(now);
+    } else {
+      failover_->on_served();
+    }
   }
   if (fault_injector_ != nullptr) {
     completion = fault_injector_->remote_completion(now, completion - now);
@@ -343,7 +489,7 @@ OffloadRuntime::ExecutionOutcome OffloadRuntime::finish_guarded(
     telemetry_->metrics().counter("lease_grants_total").inc();
   }
 
-  if (!crashed && completion - now <= lease) {
+  if (!crashed && !pool_lost && completion - now <= lease) {
     // Result lands inside the lease; the normal bookkeeping applies, with
     // any stall/outage delay visible as extra pipeline latency.
     const double t = finish(id, ctx);
@@ -366,7 +512,9 @@ OffloadRuntime::ExecutionOutcome OffloadRuntime::finish_guarded(
     auto& m = telemetry_->metrics();
     m.counter("fallback_total", {{"node", node}}).inc();
     m.counter("lease_expired_total",
-              {{"cause", crashed ? "worker_crash" : "lease_timeout"}})
+              {{"cause", crashed      ? "worker_crash"
+                         : pool_lost ? "pool_crash"
+                                     : "lease_timeout"}})
         .inc();
     // The wasted remote wait, then the local re-execution, as spans: the
     // trace shows the node's lane hop back to the LGV group at the fallback.
@@ -386,7 +534,9 @@ OffloadRuntime::ExecutionOutcome OffloadRuntime::finish_guarded(
         "alg2.fallback", "decisions", "algorithm2",
         {{"node", node},
          {"lease_s", std::to_string(lease)},
-         {"cause", crashed ? "worker_crash" : "lease_timeout"}});
+         {"cause", crashed      ? "worker_crash"
+                   : pool_lost ? "pool_crash"
+                               : "lease_timeout"}});
     const telemetry::Labels labels = {
         {"node", node}, {"host", platform::host_name(platform::Host::kLgv)}};
     m.counter("node_invocations_total", labels).inc();
@@ -396,9 +546,15 @@ OffloadRuntime::ExecutionOutcome OffloadRuntime::finish_guarded(
   // Pull the whole VDP home and pin Algorithm 2 local; its normal
   // bandwidth/direction rule takes over again from the local placement once
   // the stream recovers, re-offloading (with a fresh state migration) only
-  // when the link has genuinely healed.
-  network_controller().force(VdpPlacement::kLocal);
-  set_vdp_placement(VdpPlacement::kLocal);
+  // when the link has genuinely healed. Exception: a pool loss with a standby
+  // configured is NOT a network problem — the link is fine, only the serving
+  // pool died — so the placement stays remote and the next executions route
+  // through the breaker to the standby (failover), instead of waiting for the
+  // bandwidth/direction rule to dare offloading again.
+  if (!(pool_lost && standby_pool_ != nullptr)) {
+    network_controller().force(VdpPlacement::kLocal);
+    set_vdp_placement(VdpPlacement::kLocal);
+  }
 
   // The failure is only *observed* at the lease deadline; the local
   // re-execution starts then.

@@ -6,6 +6,7 @@
 // also use it directly.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 #include "core/network_quality.h"
 #include "core/node_classifier.h"
 #include "core/offload_planner.h"
+#include "core/pool_failover.h"
 #include "core/profiler.h"
 #include "core/switcher.h"
 #include "core/worker_pool.h"
@@ -56,6 +58,21 @@ struct FleetAttachment {
   /// (vehicle_index + 1) on every frame and defaults the telemetry
   /// vehicle_id to "lgv-<index>".
   int vehicle_index = -1;
+  /// Standby pool (PR 9): on primary loss, once the per-vehicle circuit
+  /// breaker opens, the runtime ships a crash-consistent state snapshot to
+  /// the standby's host and re-admits there with a fresh session. nullptr =
+  /// no failover target (backoff and breaker still protect the primary).
+  WorkerPool* standby = nullptr;
+  /// Host the standby pool runs on — placement and cost-model pricing follow
+  /// a committed failover there (the edge-gateway story: nearer but slower).
+  platform::Host standby_host = platform::Host::kEdgeGateway;
+  /// Seed of the vehicle's splitmix64 busy-retry jitter stream. 0 derives a
+  /// stream from vehicle_index so even unseeded vehicles never share a retry
+  /// schedule; fleets should pass vehicle_seed(fleet_seed, index)-derived
+  /// values for full determinism under reseeding.
+  uint64_t backoff_seed = 0;
+  /// Backoff / circuit-breaker policy knobs.
+  FailoverConfig failover;
 };
 
 class OffloadRuntime {
@@ -163,6 +180,39 @@ class OffloadRuntime {
   SessionId worker_session() const { return worker_session_; }
   int vehicle_index() const { return vehicle_index_; }
 
+  // ---- pool failover (PR 9) ----
+  /// Per-vehicle failover/backoff/breaker policy; nullptr when no shared
+  /// pool is attached.
+  PoolFailoverClient* failover_client() { return failover_.get(); }
+  const PoolFailoverClient* failover_client() const { return failover_.get(); }
+  /// Committed pool switches (primary → standby or back) so far. Each one
+  /// rode a committed "failover"-mode state migration — never a torn set.
+  uint64_t pool_failovers() const { return pool_failovers_; }
+  /// Failover snapshot transfers that aborted (torn): the committed pool and
+  /// the SLAM delta base are unchanged; the vehicle kept running local.
+  uint64_t failovers_aborted() const { return failovers_aborted_; }
+  /// Host currently serving this vehicle's remote nodes — the plan's remote
+  /// host until a committed failover re-points it at the standby's host.
+  platform::Host remote_host() const { return remote_host_; }
+  /// Failover snapshot provider: `bytes` returns the serialized state size
+  /// (costmap + filter state) right now; `committed` is invoked only when
+  /// the transfer commits — the delta-base-advance hook, so an aborted
+  /// failover can never advance the base past state the far side lacks.
+  void set_state_snapshot(std::function<double()> bytes,
+                          std::function<void()> committed) {
+    snapshot_bytes_fn_ = std::move(bytes);
+    snapshot_committed_fn_ = std::move(committed);
+  }
+
+  /// Advance the pool-failover state machine even while Algorithm 2 runs the
+  /// VDP locally. Without this, a crash that pollutes the remote makespan
+  /// profile pins the placement local and the standby snapshot — which only
+  /// progresses when a remote execution calls ensure_worker_session — starves
+  /// forever. Call once per control tick; it is a no-op unless a failover is
+  /// pending, the committed pool's breaker is open, or busy verdicts are
+  /// accumulating. Refusals here do not count as busy fallbacks (no node ran).
+  void step_failover(double now);
+
   const platform::CostModel& cost_model(platform::Host host) const;
 
   /// Estimated one-way uplink network latency for a scan-sized message under
@@ -170,15 +220,23 @@ class OffloadRuntime {
   double predicted_network_latency();
 
  private:
-  /// Open (or re-open after eviction) this runtime's session on the shared
-  /// worker. False = not admitted right now (pool full) → caller degrades to
-  /// local compute and retries on the next execution.
+  /// Acquire a serving pool + live session via the failover client (backoff
+  /// window, breakers, primary/standby selection, crash-consistent snapshot
+  /// commit on a pool switch). False = run locally this time; the refusal
+  /// cause is in last_refusal_cause_ and the refusing pool in attempted_pool_.
   bool ensure_worker_session(double now);
+  /// targets_[idx] of the failover client as a pool pointer.
+  WorkerPool* pool_at(int index) const;
+  /// Flip the committed pool to `target` after its failover snapshot landed:
+  /// client commit, delta-base advance, remote nodes re-placed onto the new
+  /// pool's host, pool_failovers_total + flight-recorder coverage.
+  void complete_failover(int target, double now);
   /// The "busy" degradation: run the node locally, count it as a fallback
-  /// with `cause`, and leave the placement alone — a busy verdict is a
-  /// retryable refusal, not a dead link, so the next tick tries remote again.
+  /// with `cause` against `pool` (pool_busy_fallback_total accounting), and
+  /// leave the placement alone — a busy verdict is a retryable refusal, not
+  /// a dead link, so the next tick tries remote again.
   ExecutionOutcome busy_fallback(NodeId id, platform::ExecutionContext& ctx,
-                                 const char* cause);
+                                 const char* cause, WorkerPool* pool);
 
   DeploymentPlan plan_;
   /// Declared before remote_pool_ so the pool's destructor (which joins the
@@ -203,6 +261,25 @@ class OffloadRuntime {
   WorkerPool* worker_pool_ = nullptr;  ///< shared fleet worker (not owned)
   SessionId worker_session_ = 0;
   int vehicle_index_ = -1;
+  WorkerPool* standby_pool_ = nullptr;  ///< failover target (not owned)
+  platform::Host standby_host_ = platform::Host::kEdgeGateway;
+  std::unique_ptr<PoolFailoverClient> failover_;
+  /// Pool the last successful ensure_worker_session() selected (primary or
+  /// standby); the one make_context attaches and finish_guarded executes on.
+  WorkerPool* active_pool_ = nullptr;
+  /// Pool blamed for the last refusal (note_busy_fallback accounting) and why.
+  WorkerPool* attempted_pool_ = nullptr;
+  const char* last_refusal_cause_ = "admission";
+  /// In-flight failover snapshot: target pool index and the virtual time the
+  /// committed transfer lands (execution stays local until then). -1 = none.
+  int failover_target_ = -1;
+  double failover_ready_at_ = -1.0;
+  std::function<double()> snapshot_bytes_fn_;
+  std::function<void()> snapshot_committed_fn_;
+  uint64_t pool_failovers_ = 0;
+  uint64_t failovers_aborted_ = 0;
+  /// Host serving remote nodes now (standby's host after failover).
+  platform::Host remote_host_ = platform::Host::kEdgeGateway;
   std::map<platform::Host, platform::CostModel> cost_models_;
   VdpPlacement vdp_placement_ = VdpPlacement::kLocal;
   int active_threads_ = 1;

@@ -33,6 +33,10 @@ class Profiler {
   /// local node times; remote: cloud times + RTT — §VII's Profiler protocol).
   void record_vdp_makespan(VdpPlacement placement, double seconds);
   std::optional<double> vdp_makespan(VdpPlacement placement) const;
+  /// Forget one placement's makespan profile. A committed pool failover calls
+  /// this for kRemote: the samples were measured against the dead pool and
+  /// would otherwise veto re-offloading onto the healthy standby forever.
+  void reset_vdp_makespan(VdpPlacement placement) { vdp_times_.erase(placement); }
 
   /// Mirror the profiler's observables into `telemetry`: the RTT histogram
   /// (`net_rtt_ms`), VDP makespan histograms per placement, and the r_t/d_t

@@ -353,6 +353,7 @@ void Switcher::step() {
 
 MigrationResult Switcher::migrate_state(double bytes, bool uplink, const char* mode) {
   ++stats_.state_migrations;
+  if (std::strcmp(mode, "failover") == 0) ++stats_.failover_migrations;
   stats_.state_migration_bytes += bytes;
   const double now = clock_->now();
   // Reliable transfer at the effective rate of the direction the bytes

@@ -101,6 +101,9 @@ struct SwitcherStats {
   double downlink_bytes = 0.0;
   uint64_t state_migrations = 0;
   uint64_t migrations_aborted = 0;  ///< both attempts failed; placement reverts
+  /// Subset of state_migrations: failover snapshots shipped to a standby
+  /// WorkerPool's host before re-admitting there (mode == "failover").
+  uint64_t failover_migrations = 0;
   double state_migration_bytes = 0.0;
   double max_message_bytes = 0.0;  ///< the paper reports 2.94 KB (laser scan)
 

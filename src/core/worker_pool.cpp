@@ -57,7 +57,8 @@ WorkerPool::WorkerPool(WorkerPoolConfig config, telemetry::Telemetry* telemetry)
 
 Admission WorkerPool::open_session(const std::string& vehicle, double now,
                                    int weight) {
-  if (sessions_.size() >= config_.max_sessions ||
+  step(now);
+  if (draining_ || crashed(now) || sessions_.size() >= config_.max_sessions ||
       occupancy(now) > config_.admit_occupancy_max) {
     ++admission_rejects_;
     if (admission_rejects_total_ != nullptr) admission_rejects_total_->inc();
@@ -92,20 +93,41 @@ bool WorkerPool::renew(SessionId id, double now) {
   return true;
 }
 
-void WorkerPool::close_session(SessionId id) {
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) return;
-  // Requests still waiting for a flush become busy verdicts: the session is
-  // gone, so the vehicle must fall back locally rather than wait forever.
-  for (const uint64_t t : it->second.pending) {
+void WorkerPool::fail_pending(Session& s, const char* cause) {
+  // Accepted requests the flush has not served yet: the session is going
+  // away, so each one is *explicitly* failed — a busy verdict carrying the
+  // eviction cause — and withdrawn from the flush list. Before PR 9 the
+  // ticket went busy but the request stayed in pending_: the dead vehicle's
+  // coalesced block still ran (wasted real dispatch) and inflated the
+  // survivors' batch accounting (a lone survivor was marked "batched" with a
+  // ghost). The regression test evicts mid-flush-window and pins both.
+  for (const uint64_t t : s.pending) {
     verdicts_[t] = WorkerVerdict{};
     verdicts_[t].busy = true;
+    verdicts_[t].busy_cause = cause;
+    ++evicted_requests_;
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics()
+          .counter("worker_busy_cause_total", {{"cause", cause}})
+          .inc();
+    }
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), t),
+                   pending_.end());
   }
+  s.pending.clear();
+}
+
+void WorkerPool::close_session_with(SessionId id, const char* cause) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  fail_pending(it->second, cause);
   sessions_.erase(it);
   if (sessions_gauge_ != nullptr) {
     sessions_gauge_->set(static_cast<double>(sessions_.size()));
   }
 }
+
+void WorkerPool::close_session(SessionId id) { close_session_with(id, "evicted"); }
 
 size_t WorkerPool::evict_expired(double now) {
   std::vector<SessionId> expired;
@@ -155,6 +177,7 @@ WorkerPool::Ticket WorkerPool::reject_busy(const char* cause) {
   }
   Ticket t;
   t.busy = true;
+  t.cause = cause;
   return t;
 }
 
@@ -169,6 +192,18 @@ double WorkerPool::start_wait(double now, int threads) const {
 }
 
 WorkerPool::Ticket WorkerPool::enqueue(SessionId session, Request req) {
+  step(req.arrival);
+  // Failure plane first: a draining or crashed pool refuses everything, and
+  // a partitioned session's request never reaches the pool at all — in
+  // particular it does NOT renew the lease, so a vehicle stuck behind the
+  // partition ages out of the session table like any silent tenant.
+  if (draining_) return reject_busy("draining");
+  if (fault_injector_ != nullptr) {
+    if (fault_injector_->pool_down(req.arrival)) return reject_busy("pool_crash");
+    if (fault_injector_->session_partitioned(session, req.arrival)) {
+      return reject_busy("pool_partition");
+    }
+  }
   Session* s = find_session(session, req.arrival);
   if (s == nullptr) return reject_busy("no_session");
   const size_t depth = outstanding_depth(*s, req.arrival);
@@ -334,7 +369,103 @@ void WorkerPool::schedule(double now) {
   if (occupancy_gauge_ != nullptr) occupancy_gauge_->set(occupancy(now));
 }
 
+void WorkerPool::apply_crash(double crash_end) {
+  ++pool_crashes_;
+  // The crash wipes the session table (leased state died with the process)
+  // and whatever work the cores held; the pool restarts *empty* at the end
+  // of the window. Results already promised to callers are reclaimed by the
+  // vehicle side: result_lost_in() tells the lease path they never arrive.
+  std::vector<SessionId> all;
+  all.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) all.push_back(id);
+  for (const SessionId id : all) close_session_with(id, "pool_crash");
+  evictions_ += all.size();
+  if (evictions_total_ != nullptr && !all.empty()) {
+    evictions_total_->inc(all.size());
+  }
+  std::fill(core_free_.begin(), core_free_.end(), crash_end);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().counter("pool_crashes_total").inc();
+  }
+}
+
+void WorkerPool::step(double now) {
+  if (now < fault_step_time_) return;  // virtual time never runs backwards
+  if (fault_injector_ != nullptr) {
+    // Apply each pool_crash whose start this step crosses, exactly once.
+    for (const sim::FaultEvent& e : fault_injector_->schedule().events) {
+      if (e.kind != sim::FaultKind::kPoolCrash) continue;
+      if (e.start > fault_step_time_ && e.start <= now) apply_crash(e.end());
+    }
+    // Degrade: the lost cores are parked until the window closes. Idempotent
+    // — re-applying the same window is a no-op thanks to the max().
+    const int lost = fault_injector_->pool_cores_lost(now);
+    if (lost > 0) {
+      const double until = fault_injector_->pool_degrade_end(now);
+      const size_t k = std::min(static_cast<size_t>(lost), core_free_.size());
+      for (size_t i = core_free_.size() - k; i < core_free_.size(); ++i) {
+        core_free_[i] = std::max(core_free_[i], until);
+      }
+    }
+  }
+  if (draining_) {
+    // Evict every session whose in-flight work has landed; their (empty)
+    // pending lists make the close a pure table drop.
+    std::vector<SessionId> done;
+    for (auto& [id, s] : sessions_) {
+      if (outstanding_depth(s, now) == 0) done.push_back(id);
+    }
+    for (const SessionId id : done) close_session_with(id, "draining");
+    drain_evictions_ += done.size();
+    evictions_ += done.size();
+    if (evictions_total_ != nullptr && !done.empty()) {
+      evictions_total_->inc(done.size());
+    }
+  }
+  fault_step_time_ = now;
+}
+
+bool WorkerPool::result_lost_in(double t0, double t1) const {
+  return fault_injector_ != nullptr && fault_injector_->pool_crashed_in(t0, t1);
+}
+
+bool WorkerPool::crashed(double t) const {
+  return fault_injector_ != nullptr && fault_injector_->pool_down(t);
+}
+
+void WorkerPool::begin_drain(double now) {
+  if (draining_) return;
+  draining_ = true;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().counter("pool_drains_total").inc();
+    telemetry_->tracer().instant_now("pool.drain", "decisions", "worker_pool",
+                                     {{"sessions", std::to_string(sessions_.size())}});
+    // Post-mortem context for the rolling restart: what the fleet was doing
+    // when the operator pulled this replica.
+    telemetry_->dump_flight("pool_drain");
+  }
+  step(now);
+}
+
+void WorkerPool::end_drain() { draining_ = false; }
+
+bool WorkerPool::drained(double now) const {
+  if (!sessions_.empty() || !pending_.empty()) return false;
+  for (const double free : core_free_) {
+    if (free > now) return false;
+  }
+  return true;
+}
+
+void WorkerPool::note_busy_fallback() {
+  ++busy_fallbacks_;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().counter("pool_busy_fallback_total").inc();
+  }
+}
+
 void WorkerPool::flush(double now) {
+  step(now);
   run_batches();
   schedule(now);
 }
@@ -343,6 +474,7 @@ WorkerVerdict WorkerPool::verdict(const Ticket& ticket) const {
   if (ticket.busy) {
     WorkerVerdict v;
     v.busy = true;
+    v.busy_cause = ticket.cause;
     return v;
   }
   assert(ticket.id < verdicts_.size());

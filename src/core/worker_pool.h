@@ -21,6 +21,14 @@
 // wait for cores crosses the busy threshold, the pool answers with a
 // retryable "busy" verdict instead of queueing unboundedly — the vehicle
 // degrades to local compute via the existing finish_guarded fallback.
+//
+// The pool is also the fleet's failure plane (PR 9): an attached
+// sim::FaultInjector scripts pool_crash (the pool dies, every session is
+// lost, submissions bounce until it restarts), pool_degrade (k virtual cores
+// vanish for a window) and pool_partition (a deterministic subset of
+// sessions becomes unreachable) in virtual time; begin_drain() is the
+// rolling-restart story — stop admitting, let in-flight work finish, evict
+// sessions with a retryable "draining" verdict.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,7 @@
 
 #include "common/telemetry/telemetry.h"
 #include "common/thread_pool.h"
+#include "sim/fault_injector.h"
 
 namespace lgv::core {
 
@@ -73,11 +82,15 @@ struct Admission {
 
 /// Outcome of one kernel request, in virtual time.
 struct WorkerVerdict {
-  bool busy = false;        ///< bounced: run locally and retry next tick
+  bool busy = false;        ///< bounced: run locally and retry after backoff
   double queue_wait = 0.0;  ///< arrival → cores granted (s)
   double service = 0.0;     ///< time on the cores (s)
   double completion = 0.0;  ///< virtual time the result is ready
   bool batched = false;     ///< coalesced with another vehicle's request
+  /// Why the request bounced ("queue_depth", "pool_wait", "no_session",
+  /// "pool_crash", "pool_partition", "draining", "evicted"); nullptr when
+  /// served. Static strings — safe to hold.
+  const char* busy_cause = nullptr;
 };
 
 class WorkerPool {
@@ -113,6 +126,7 @@ class WorkerPool {
   struct Ticket {
     uint64_t id = 0;
     bool busy = false;  ///< bounced at submit; verdict() repeats the refusal
+    const char* cause = nullptr;  ///< refusal cause when busy
   };
 
   /// Queue a kernel request with a fixed modeled service time (the
@@ -143,9 +157,45 @@ class WorkerPool {
   WorkerVerdict execute(SessionId session, KernelKind kind, double now,
                         double service_s, int threads);
 
+  // ---- failure plane -------------------------------------------------------
+  /// Attach the scripted pool-fault schedule (docs/faults.md): pool_crash
+  /// kills the pool (sessions lost, submissions bounce until restart),
+  /// pool_degrade removes virtual cores, pool_partition makes a subset of
+  /// sessions unreachable. nullptr detaches. The injector is consulted on
+  /// every submit and applied by step() — call step(now) once per tick
+  /// (flush() calls it too, so submit/flush loops get it for free).
+  void set_fault_injector(const sim::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  /// Advance fault and drain state to `now`: crossing a pool_crash start
+  /// evicts every session (their pending requests fail with an explicit
+  /// "pool_crash" verdict — state died with the pool) and resets the cores
+  /// to restart idle at the window's end; active pool_degrade windows park
+  /// the lost cores until the window closes; a draining pool evicts sessions
+  /// whose outstanding work has finished.
+  void step(double now);
+  /// A pool_crash overlaps [t0, t1): a result in flight across it is lost
+  /// and the caller's lease-expiry path must re-execute locally.
+  bool result_lost_in(double t0, double t1) const;
+  /// The pool is down (crash window) at `t`.
+  bool crashed(double t) const;
+
+  // ---- graceful drain (rolling restart) ------------------------------------
+  /// Stop admitting: new sessions and new requests bounce with a retryable
+  /// "draining" verdict, in-flight requests keep their completions, and
+  /// step() evicts each session once its outstanding work lands. Fires the
+  /// flight recorder ("pool_drain") once.
+  void begin_drain(double now);
+  /// Reopen for admission (the restarted replica is back).
+  void end_drain();
+  bool draining() const { return draining_; }
+  /// The drain is complete: no admitted sessions and every core idle by `now`.
+  bool drained(double now) const;
+
   // ---- observability -------------------------------------------------------
   /// Fraction of virtual cores still busy at `now` (0..1).
   double occupancy(double now) const;
+
   /// High-water mark of any single session's outstanding requests — the
   /// bounded-queueing acceptance number.
   size_t max_session_depth() const { return max_session_depth_; }
@@ -155,6 +205,22 @@ class WorkerPool {
   uint64_t batches() const { return batches_; }
   uint64_t batched_requests() const { return batched_requests_; }
   uint64_t requests() const { return requests_; }
+  /// Accepted requests explicitly failed because their session was evicted
+  /// (lease lapse, crash, drain) before the flush served them.
+  uint64_t evicted_requests() const { return evicted_requests_; }
+  /// Sessions evicted by the drain path specifically.
+  uint64_t drain_evictions() const { return drain_evictions_; }
+  /// pool_crash windows this pool has crossed (sessions were wiped).
+  uint64_t pool_crashes() const { return pool_crashes_; }
+
+  /// Pool-level aggregate of the tenants' busy fallbacks: every time a
+  /// runtime degrades an execution to local because of *this* pool (busy
+  /// verdict, refused admission, backoff window, breaker open) it calls
+  /// note_busy_fallback(), so Σ per-vehicle busy_fallback_count over the
+  /// fleet equals Σ busy_fallbacks() over the pools it talked to — the
+  /// accounting invariant FleetTest pins (pool_busy_fallback_total metric).
+  void note_busy_fallback();
+  uint64_t busy_fallbacks() const { return busy_fallbacks_; }
 
  private:
   struct Session {
@@ -186,6 +252,12 @@ class WorkerPool {
   void run_batches();
   void schedule(double now);
   double start_wait(double now, int threads) const;
+  /// Explicitly fail a closing session's still-pending requests with `cause`
+  /// and remove them from the flush list, so an evicted vehicle's block is
+  /// never dispatched and never perturbs the survivors' batch accounting.
+  void fail_pending(Session& s, const char* cause);
+  void close_session_with(SessionId id, const char* cause);
+  void apply_crash(double crash_end);
 
   WorkerPoolConfig config_;
   telemetry::Telemetry* telemetry_ = nullptr;
@@ -206,6 +278,16 @@ class WorkerPool {
   uint64_t batches_ = 0;
   uint64_t batched_requests_ = 0;
   size_t max_session_depth_ = 0;
+  uint64_t evicted_requests_ = 0;
+  uint64_t drain_evictions_ = 0;
+  uint64_t pool_crashes_ = 0;
+  uint64_t busy_fallbacks_ = 0;
+
+  const sim::FaultInjector* fault_injector_ = nullptr;
+  /// Last step() time: crash starts in (prev, now] apply exactly once.
+  /// Starts below zero so a crash scripted at t=0 still applies.
+  double fault_step_time_ = -1.0;
+  bool draining_ = false;
 
   // Telemetry handles (null when disabled).
   telemetry::Counter* requests_total_ = nullptr;

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/rng.h"
+
 namespace lgv::sim {
 
 namespace {
@@ -23,11 +25,16 @@ constexpr struct {
     {FaultKind::kTruncate, "truncate"},
     {FaultKind::kDuplicate, "duplicate"},
     {FaultKind::kReorder, "reorder"},
+    {FaultKind::kPoolCrash, "pool_crash"},
+    {FaultKind::kPoolDegrade, "pool_degrade"},
+    {FaultKind::kPoolPartition, "pool_partition"},
 };
 
 bool is_worker_fault(FaultKind kind) {
   return kind == FaultKind::kWorkerStall || kind == FaultKind::kWorkerCrash;
 }
+
+bool is_pool_crash(FaultKind kind) { return kind == FaultKind::kPoolCrash; }
 
 /// Collect the [start, end) windows of the matching events, merged and sorted.
 std::vector<std::pair<double, double>> merged_windows(
@@ -114,6 +121,7 @@ FaultInjector::FaultInjector(FaultSchedule schedule)
       worker_down_(merged_windows(schedule_, is_worker_fault)),
       outage_windows_(merged_windows(
           schedule_, +[](FaultKind k) { return k == FaultKind::kOutage; })),
+      pool_down_(merged_windows(schedule_, is_pool_crash)),
       activated_(schedule_.events.size(), false) {}
 
 void FaultInjector::set_telemetry(telemetry::Telemetry* telemetry) {
@@ -152,7 +160,10 @@ net::ChannelOverride FaultInjector::override_at(double t) const {
         break;
       case FaultKind::kWorkerStall:
       case FaultKind::kWorkerCrash:
-        break;  // worker faults don't touch the channel
+      case FaultKind::kPoolCrash:
+      case FaultKind::kPoolDegrade:
+      case FaultKind::kPoolPartition:
+        break;  // worker and pool faults don't touch the channel
     }
   }
   return o;
@@ -226,6 +237,67 @@ bool FaultInjector::link_forced_out(double t) const {
   return false;
 }
 
+bool FaultInjector::pool_down(double t) const {
+  for (const auto& [s, e] : pool_down_) {
+    if (t >= s && t < e) return true;
+    if (s > t) break;
+  }
+  return false;
+}
+
+bool FaultInjector::pool_crashed_in(double t0, double t1) const {
+  for (const auto& [s, e] : pool_down_) {
+    if (s < t1 && e > t0) return true;
+    if (s >= t1) break;
+  }
+  return false;
+}
+
+double FaultInjector::pool_restored_after(double t) const {
+  double restored = t;
+  for (const auto& [s, e] : pool_down_) {
+    if (restored >= s && restored < e) restored = e;
+    if (s > restored) break;
+  }
+  return restored;
+}
+
+int FaultInjector::pool_cores_lost(double t) const {
+  double lost = 0.0;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultKind::kPoolDegrade && e.active(t)) {
+      lost = std::max(lost, e.magnitude);
+    }
+  }
+  return static_cast<int>(lost);
+}
+
+double FaultInjector::pool_degrade_end(double t) const {
+  double end = t;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultKind::kPoolDegrade && e.active(t)) {
+      end = std::max(end, e.end());
+    }
+  }
+  return end;
+}
+
+bool FaultInjector::session_partitioned(uint32_t session, double t) const {
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind != FaultKind::kPoolPartition || !e.active(t)) continue;
+    // Deterministic subset selection: hash the session id with the window's
+    // start (so two partition windows cut *different* subsets) and compare
+    // the resulting uniform [0,1) draw against the magnitude. Pure in the
+    // schedule — no injector state, reproducible across pools and runs.
+    const uint64_t salt = static_cast<uint64_t>(e.start * 1e3);
+    const uint64_t h = splitmix64(static_cast<uint64_t>(session) ^
+                                  (salt * 0x9e3779b97f4a7c15ULL));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < e.magnitude) return true;
+  }
+  return false;
+}
+
 FaultSchedule make_chaos_schedule(double outage_s, double stall_fraction,
                                   double horizon_s) {
   // `horizon_s` is the *nominal* (fault-free) mission duration: the outage
@@ -266,6 +338,25 @@ FaultSchedule make_corruption_schedule(double flip_prob, double jitter_s,
   // dominating the corruption axis under study.
   s.add(FaultKind::kTruncate, 0.25 * horizon_s, 10.0, 0.2);
   s.add(FaultKind::kDuplicate, 0.55 * horizon_s, 10.0, 0.3);
+  return s;
+}
+
+FaultSchedule make_pool_chaos_schedule(double crash_at, double crash_s,
+                                       double partition_frac,
+                                       double degraded_cores, double degrade_s) {
+  FaultSchedule s;
+  // A reachability brown-out precedes the crash: a subset of sessions starts
+  // bouncing while the pool still looks healthy to everyone else — the case
+  // that must drive *selective* failover, not a fleet-wide stampede.
+  if (partition_frac > 0.0 && crash_at > 4.0) {
+    s.add(FaultKind::kPoolPartition, crash_at - 4.0, 4.0, partition_frac);
+  }
+  if (crash_s > 0.0) s.add(FaultKind::kPoolCrash, crash_at, crash_s);
+  // The restarted pool comes back short-handed (warm-up, lost replicas)
+  // before recovering full capacity.
+  if (degraded_cores > 0.0 && degrade_s > 0.0) {
+    s.add(FaultKind::kPoolDegrade, crash_at + crash_s, degrade_s, degraded_cores);
+  }
   return s;
 }
 

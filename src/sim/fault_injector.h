@@ -11,10 +11,19 @@
 // Schedule text format (docs/faults.md): one event per line,
 //   <kind> <start_s> <duration_s> [magnitude]
 // with '#' comments; kinds are outage, loss_burst, latency, rssi_cliff,
-// worker_stall, worker_crash, corrupt_burst, truncate, duplicate, reorder.
+// worker_stall, worker_crash, corrupt_burst, truncate, duplicate, reorder,
+// pool_crash, pool_degrade, pool_partition.
 // Magnitude is per-kind: added loss probability, added seconds per packet,
 // dB of RSSI drop, per-byte flip probability, per-packet truncate/duplicate
-// probability, or reorder jitter seconds; outage/stall/crash ignore it.
+// probability, reorder jitter seconds, virtual cores lost (pool_degrade) or
+// fraction of sessions unreachable (pool_partition); outage/stall/crash and
+// pool_crash ignore it.
+//
+// The pool_* kinds are the fleet-scale failure plane (PR 9): where
+// worker_stall/worker_crash hurt one vehicle's private worker, the pool
+// kinds hurt the *shared* core::WorkerPool that serves the whole fleet.
+// They are consulted by WorkerPool::submit/step via the pure queries below,
+// never by the channel.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +51,10 @@ enum class FaultKind {
   kTruncate,          ///< magnitude: per-packet probability of a short read
   kDuplicate,         ///< magnitude: per-packet probability of a duplicate
   kReorder,           ///< magnitude: uniform delay jitter (s) inverting order
+  // Fleet worker-pool faults (consulted by core::WorkerPool, not the channel).
+  kPoolCrash,      ///< shared pool dies at start (all sessions lost), restarts after duration
+  kPoolDegrade,    ///< magnitude: virtual cores lost for the window's duration
+  kPoolPartition,  ///< magnitude: fraction of sessions unreachable (deterministic subset)
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -110,6 +123,28 @@ class FaultInjector {
   double link_restored_after(double t) const;
   bool link_forced_out(double t) const;
 
+  // ---- pool-fault queries for the shared WorkerPool (pure in the schedule) ---
+  /// A pool_crash window covers `t`: the shared pool is down, submissions and
+  /// admissions bounce with a retryable "pool_crash" verdict.
+  bool pool_down(double t) const;
+  /// A pool_crash event overlaps [t0, t1) — results in flight across it are
+  /// lost (the vehicle's lease-expiry path re-executes locally).
+  bool pool_crashed_in(double t0, double t1) const;
+  /// First time >= t with no pool_crash window active (the pool restarts
+  /// empty: every session must re-admit).
+  double pool_restored_after(double t) const;
+  /// Virtual cores lost at `t`: the max magnitude over active pool_degrade
+  /// events (overlapping degrades don't stack beyond the worst one).
+  int pool_cores_lost(double t) const;
+  /// End of the last pool_degrade window covering `t` (t itself when none) —
+  /// the time the lost cores come back.
+  double pool_degrade_end(double t) const;
+  /// Session `session` is inside the unreachable subset of an active
+  /// pool_partition window. The subset is a deterministic hash of the session
+  /// id and the window's start time: the same magnitude partitions the same
+  /// sessions on every run, and distinct windows cut distinct subsets.
+  bool session_partitioned(uint32_t session, double t) const;
+
   const FaultSchedule& schedule() const { return schedule_; }
   /// Events whose start has been crossed by update() so far.
   uint64_t activated_events() const { return activated_count_; }
@@ -120,6 +155,8 @@ class FaultInjector {
   std::vector<std::pair<double, double>> worker_down_;
   /// Merged, sorted forced-outage windows.
   std::vector<std::pair<double, double>> outage_windows_;
+  /// Merged, sorted pool_crash windows (the shared pool is down).
+  std::vector<std::pair<double, double>> pool_down_;
   std::vector<bool> activated_;  ///< per event, for one-shot trace emission
   uint64_t activated_count_ = 0;
 
@@ -145,5 +182,15 @@ FaultSchedule make_chaos_schedule(double outage_s, double stall_fraction,
 /// [0, 3×nominal] so the faults persist however much they slow the run.
 FaultSchedule make_corruption_schedule(double flip_prob, double jitter_s,
                                        double horizon_s);
+
+/// Pool-plane chaos for bench_fleet_chaos: a partial partition
+/// (`partition_frac` of sessions unreachable) opens a few seconds before the
+/// primary pool crashes outright at `crash_at` for `crash_s`; the pool then
+/// restarts degraded, down `degraded_cores` virtual cores for `degrade_s`.
+/// The sequence exercises every pool fault kind plus the failover, backoff
+/// and re-admission machinery in one deterministic script.
+FaultSchedule make_pool_chaos_schedule(double crash_at, double crash_s,
+                                       double partition_frac,
+                                       double degraded_cores, double degrade_s);
 
 }  // namespace lgv::sim

@@ -112,5 +112,122 @@ TEST(Fleet, StandaloneVehicleUnchangedByFleetFields) {
   EXPECT_EQ(m.network.frames_rejected, 0u);
 }
 
+// ---- fleet-scale fault tolerance (PR 9) -------------------------------------
+
+TEST(Fleet, PrimaryPoolCrashFailsOverToStandbyMidMission) {
+  WorkerPoolConfig wc;
+  wc.cores = 8;
+  wc.threads = 4;
+  WorkerPool primary(wc);
+  WorkerPool standby(wc);
+
+  // The primary dies at t=5 (mid-mission) and never comes back; every
+  // vehicle must open its breaker, ship a failover snapshot, and finish on
+  // the standby.
+  sim::FaultSchedule faults;
+  faults.add(sim::FaultKind::kPoolCrash, 5.0, 1e6);
+
+  MissionConfig c0 = fleet_config(0, &primary);
+  MissionConfig c1 = fleet_config(1, &primary);
+  c0.standby_pool = &standby;
+  c1.standby_pool = &standby;
+  c0.faults = faults;
+  c1.faults = faults;
+
+  MissionRunner v0(sim::make_fleet_scenario(0, 2),
+                   offload_plan("cloud_4t", Host::kCloudServer, 4,
+                                WorkloadKind::kNavigationWithMap),
+                   c0);
+  MissionRunner v1(sim::make_fleet_scenario(1, 2),
+                   offload_plan("cloud_4t", Host::kCloudServer, 4,
+                                WorkloadKind::kNavigationWithMap),
+                   c1);
+  // The harness owns the pool and its fault plane: the pool consults one
+  // vehicle's (identical) schedule.
+  ASSERT_NE(v0.runtime().fault_injector(), nullptr);
+  primary.set_fault_injector(v0.runtime().fault_injector());
+
+  v0.start();
+  v1.start();
+  bool r0 = true, r1 = true;
+  while (r0 || r1) {
+    if (r0) r0 = v0.step();
+    if (r1) r1 = v1.step();
+  }
+  const MissionReport m0 = v0.finalize();
+  const MissionReport m1 = v1.finalize();
+
+  // Every mission completes despite losing the primary mid-flight.
+  EXPECT_TRUE(m0.success) << "t=" << m0.completion_time;
+  EXPECT_TRUE(m1.success) << "t=" << m1.completion_time;
+
+  // Both vehicles committed a failover and ended up served by the standby.
+  EXPECT_GE(m0.pool_failovers, 1u);
+  EXPECT_GE(m1.pool_failovers, 1u);
+  EXPECT_GT(standby.requests(), 0u);
+  EXPECT_EQ(v0.runtime().remote_host(), Host::kEdgeGateway);  // standby's host
+
+  // The switch rode a committed "failover" state migration — never a torn
+  // particle set, and no session ever tripped integrity rejection.
+  EXPECT_GE(v0.runtime().switcher().stats().failover_migrations, 1u);
+  EXPECT_EQ(m0.network.frames_rejected, 0u);
+  EXPECT_EQ(m1.network.frames_rejected, 0u);
+
+  // Flight-recorder coverage: the first committed failover fired the trigger.
+  ASSERT_NE(v0.runtime().telemetry(), nullptr);
+  EXPECT_DOUBLE_EQ(v0.runtime()
+                       .telemetry()
+                       ->metrics()
+                       .counter("flight_recorder_dumps_total",
+                                {{"trigger", "pool_failover"}})
+                       .value(),
+                   1.0);
+
+  // Accounting invariant: every per-vehicle busy fallback was attributed to
+  // exactly one pool — the fleet sum matches the pool sum.
+  EXPECT_EQ(m0.busy_fallbacks, v0.runtime().busy_fallback_count());
+  EXPECT_EQ(
+      v0.runtime().busy_fallback_count() + v1.runtime().busy_fallback_count(),
+      primary.busy_fallbacks() + standby.busy_fallbacks());
+}
+
+TEST(Fleet, BusyFallbackAccountingMatchesPoolTotals) {
+  // The undersized-pool scenario bounces constantly: Σ per-vehicle
+  // busy_fallback_count must equal the pool's busy_fallbacks() aggregate
+  // (pool_busy_fallback_total) — no bounce lost, none double-counted.
+  WorkerPoolConfig wc;
+  wc.cores = 1;
+  wc.threads = 1;
+  wc.busy_wait_s = 0.0005;
+  WorkerPool pool(wc);
+
+  MissionRunner v0(sim::make_fleet_scenario(0, 2),
+                   offload_plan("cloud_4t", Host::kCloudServer, 4,
+                                WorkloadKind::kNavigationWithMap),
+                   fleet_config(0, &pool));
+  MissionRunner v1(sim::make_fleet_scenario(1, 2),
+                   offload_plan("cloud_4t", Host::kCloudServer, 4,
+                                WorkloadKind::kNavigationWithMap),
+                   fleet_config(1, &pool));
+  v0.start();
+  v1.start();
+  bool r0 = true, r1 = true;
+  while (r0 || r1) {
+    if (r0) r0 = v0.step();
+    if (r1) r1 = v1.step();
+  }
+  const MissionReport m0 = v0.finalize();
+  const MissionReport m1 = v1.finalize();
+  EXPECT_TRUE(m0.success);
+  EXPECT_TRUE(m1.success);
+  EXPECT_GT(v0.runtime().busy_fallback_count() +
+                v1.runtime().busy_fallback_count(),
+            0u);
+  EXPECT_EQ(
+      v0.runtime().busy_fallback_count() + v1.runtime().busy_fallback_count(),
+      pool.busy_fallbacks());
+  EXPECT_EQ(m0.busy_fallbacks + m1.busy_fallbacks, pool.busy_fallbacks());
+}
+
 }  // namespace
 }  // namespace lgv::core

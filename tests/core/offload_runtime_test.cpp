@@ -327,6 +327,63 @@ TEST(OffloadRuntime, LocalNodesBypassTheLease) {
   EXPECT_EQ(rt.fallback_count(), 0u);
 }
 
+// ---- pool failover (PR 9): crash-consistent re-admission --------------------
+
+TEST(OffloadRuntime, AbortedFailoverNeverAdvancesDeltaBase) {
+  WorkerPoolConfig wc;
+  wc.cores = 4;
+  wc.threads = 2;
+  WorkerPool primary(wc);
+  WorkerPool standby(wc);
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kPoolCrash, 0.0, 1e6);  // primary never comes back
+  s.add(sim::FaultKind::kCorruptBurst, 0.0, 60.0, 0.2);  // tears the snapshot
+  sim::FaultInjector inj(std::move(s));
+  primary.set_fault_injector(&inj);
+
+  FleetAttachment fleet;
+  fleet.pool = &primary;
+  fleet.vehicle_index = 0;
+  fleet.standby = &standby;
+  OffloadRuntime rt(offload_plan("cloud", Host::kCloudServer, 4,
+                                 WorkloadKind::kNavigationWithMap),
+                    {0, 0}, {}, {}, fleet);
+  rt.channel().set_robot_position({2.0, 0.0});
+  rt.apply_initial_placement();
+  rt.set_fault_injector(&inj);
+  inj.attach_channel(&rt.channel());
+
+  int commits = 0;
+  rt.set_state_snapshot([] { return 8.0 * 1024.0; }, [&] { ++commits; });
+
+  auto drive_until = [&](double deadline, auto done) {
+    while (rt.clock().now() < deadline && !done()) {
+      inj.update(rt.clock().now());
+      platform::ExecutionContext ctx = rt.make_context(NodeId::kCostmapGen);
+      ctx.serial_work(1e8);
+      rt.finish_guarded(NodeId::kCostmapGen, ctx);
+      rt.clock().advance(1.0);
+    }
+  };
+
+  // Phase 1: wire corruption tears every failover snapshot. The committed
+  // pool, the delta base (commit hook) and the serving host must not move.
+  drive_until(55.0, [] { return false; });
+  EXPECT_GE(rt.failovers_aborted(), 1u);
+  EXPECT_EQ(rt.pool_failovers(), 0u);
+  EXPECT_EQ(commits, 0);
+  EXPECT_EQ(rt.remote_host(), Host::kCloudServer);
+
+  // Phase 2: the corruption clears at t=60; the next attempt commits, and
+  // only then does the delta base advance and the placement follow.
+  drive_until(200.0, [&] { return rt.pool_failovers() > 0; });
+  EXPECT_EQ(rt.pool_failovers(), 1u);
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(rt.remote_host(), Host::kEdgeGateway);  // the standby's host
+  EXPECT_GE(rt.switcher().stats().failover_migrations, 1u);
+  EXPECT_EQ(rt.host_of(NodeId::kCostmapGen), Host::kEdgeGateway);
+}
+
 TEST(OffloadRuntime, CloudChannelIncludesWanLatency) {
   OffloadRuntime edge(offload_plan("gw", Host::kEdgeGateway, 1,
                                    WorkloadKind::kNavigationWithMap),

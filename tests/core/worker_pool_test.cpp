@@ -248,5 +248,240 @@ TEST(WorkerPool, OccupancyTracksBusyCores) {
   EXPECT_DOUBLE_EQ(pool.occupancy(1.5), 0.0);
 }
 
+// ---- failure plane: scripted pool faults (PR 9) -----------------------------
+
+TEST(WorkerPool, PoolCrashEvictsSessionsAndBouncesUntilRestart) {
+  WorkerPool pool(small_pool());
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kPoolCrash, 5.0, 3.0);  // down on [5, 8)
+  const sim::FaultInjector inj(std::move(s));
+  pool.set_fault_injector(&inj);
+
+  const Admission a = pool.open_session("lgv-0", 0.0);
+  ASSERT_NE(a.session, 0u);
+  EXPECT_FALSE(pool.execute(a.session, KernelKind::kGeneric, 1.0, 0.1, 1).busy);
+
+  // Inside the window: the crash wiped the session table and submissions
+  // bounce with the explicit cause.
+  const WorkerVerdict v =
+      pool.execute(a.session, KernelKind::kGeneric, 6.0, 0.1, 1);
+  EXPECT_TRUE(v.busy);
+  EXPECT_STREQ(v.busy_cause, "pool_crash");
+  EXPECT_FALSE(pool.has_session(a.session));
+  EXPECT_EQ(pool.pool_crashes(), 1u);
+  EXPECT_TRUE(pool.crashed(6.0));
+  EXPECT_TRUE(pool.open_session("lgv-1", 6.5).busy);  // no admission while down
+
+  // A result in flight across the window is lost; one before it is not.
+  EXPECT_TRUE(pool.result_lost_in(4.0, 9.0));
+  EXPECT_FALSE(pool.result_lost_in(0.0, 5.0));
+
+  // After the window the pool restarts empty and serves again from idle
+  // cores — the pre-crash backlog did not survive the restart.
+  const Admission b = pool.open_session("lgv-0", 8.5);
+  ASSERT_NE(b.session, 0u);
+  const WorkerVerdict after =
+      pool.execute(b.session, KernelKind::kGeneric, 8.5, 0.25, 1);
+  ASSERT_FALSE(after.busy);
+  EXPECT_DOUBLE_EQ(after.queue_wait, 0.0);
+  EXPECT_DOUBLE_EQ(after.completion, 8.75);
+}
+
+TEST(WorkerPool, DegradeParksCoresForTheWindow) {
+  WorkerPool pool(small_pool(/*cores=*/4));
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kPoolDegrade, 0.0, 10.0, 2.0);  // 2 of 4 cores gone
+  const sim::FaultInjector inj(std::move(s));
+  pool.set_fault_injector(&inj);
+
+  const Admission a = pool.open_session("lgv-0", 1.0);
+  ASSERT_NE(a.session, 0u);
+  // Half the cores are parked until t=10.
+  EXPECT_DOUBLE_EQ(pool.occupancy(1.0), 0.5);
+  // A 1-core request still runs immediately on a surviving core.
+  const WorkerVerdict ok =
+      pool.execute(a.session, KernelKind::kGeneric, 1.0, 0.5, 1);
+  ASSERT_FALSE(ok.busy);
+  EXPECT_DOUBLE_EQ(ok.queue_wait, 0.0);
+  // A 3-core request would have to wait for a parked core (~9 s) — that is a
+  // busy verdict, not unbounded queueing.
+  const WorkerVerdict wide =
+      pool.execute(a.session, KernelKind::kGeneric, 1.0, 0.5, 3);
+  EXPECT_TRUE(wide.busy);
+  EXPECT_STREQ(wide.busy_cause, "pool_wait");
+  // Past the window the cores are back.
+  const WorkerVerdict later =
+      pool.execute(a.session, KernelKind::kGeneric, 10.5, 0.5, 3);
+  EXPECT_FALSE(later.busy);
+}
+
+TEST(WorkerPool, PartitionBouncesDeterministicSubsetWithoutRenewingLeases) {
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kPoolPartition, 10.0, 5.0, 0.5);
+  const sim::FaultInjector inj(std::move(s));
+
+  auto run = [&inj](std::vector<uint32_t>* bounced) {
+    WorkerPoolConfig cfg = small_pool(/*cores=*/8);
+    cfg.max_sessions = 64;
+    WorkerPool pool(cfg);
+    pool.set_fault_injector(&inj);
+    std::vector<SessionId> ids;
+    // Admitted just before the window so every lease is live at t=11.
+    for (int i = 0; i < 32; ++i)
+      ids.push_back(pool.open_session("lgv-" + std::to_string(i), 9.5).session);
+    for (SessionId id : ids) {
+      const WorkerVerdict v =
+          pool.execute(id, KernelKind::kGeneric, 11.0, 0.001, 1);
+      if (v.busy) {
+        EXPECT_STREQ(v.busy_cause, "pool_partition");
+        bounced->push_back(id);
+      }
+    }
+    // Partitioned traffic must NOT renew the lease (the vehicle is
+    // unreachable from the pool's point of view) — silence evicts it on
+    // schedule while the served sessions, renewed at t=11, survive.
+    const double expiry = 9.5 + pool.config().session_lease_s + 0.1;
+    for (uint32_t id : *bounced) {
+      pool.evict_expired(expiry);
+      EXPECT_FALSE(pool.has_session(id));
+    }
+  };
+
+  std::vector<uint32_t> first, second;
+  run(&first);
+  run(&second);
+  // A real partition: some sessions cut, some fine, and the subset is the
+  // same deterministic one on every run.
+  EXPECT_GT(first.size(), 0u);
+  EXPECT_LT(first.size(), 32u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(WorkerPool, DrainLetsInflightFinishThenEvicts) {
+  WorkerPool pool(small_pool());
+  const Admission a = pool.open_session("lgv-0", 0.0);
+  const Admission b = pool.open_session("lgv-1", 0.0);
+  ASSERT_NE(a.session, 0u);
+  ASSERT_NE(b.session, 0u);
+
+  // In-flight work admitted before the drain keeps its completion.
+  const WorkerVerdict va =
+      pool.execute(a.session, KernelKind::kGeneric, 0.0, 1.0, 1);
+  ASSERT_FALSE(va.busy);
+
+  pool.begin_drain(0.1);
+  EXPECT_TRUE(pool.draining());
+  EXPECT_FALSE(pool.drained(0.1));  // a's work is still on the cores
+
+  // New admissions and new requests bounce with the retryable cause.
+  EXPECT_TRUE(pool.open_session("lgv-2", 0.2).busy);
+  const WorkerVerdict vb =
+      pool.execute(b.session, KernelKind::kGeneric, 0.2, 0.1, 1);
+  EXPECT_TRUE(vb.busy);
+  EXPECT_STREQ(vb.busy_cause, "draining");
+
+  // Once the outstanding work lands, step() evicts the sessions and the
+  // drain is complete.
+  pool.step(1.5);
+  EXPECT_EQ(pool.active_sessions(), 0u);
+  EXPECT_TRUE(pool.drained(1.5));
+  EXPECT_GE(pool.drain_evictions(), 2u);
+
+  // end_drain() reopens admission (the restarted replica).
+  pool.end_drain();
+  EXPECT_FALSE(pool.draining());
+  EXPECT_NE(pool.open_session("lgv-0", 2.0).session, 0u);
+}
+
+// Regression (PR 9 satellite): evicting a session mid-flush-window must
+// explicitly fail its pending coalesced requests — not silently drop them —
+// and must not dispatch the evicted vehicle's block or corrupt the
+// survivors' batch accounting.
+TEST(WorkerPool, EvictionMidFlushWindowFailsPendingExplicitly) {
+  WorkerPool pool(small_pool(/*cores=*/4));
+  const Admission a = pool.open_session("lgv-0", 0.0);
+  const Admission b = pool.open_session("lgv-1", 0.0);
+
+  std::atomic<int> a_items{0};
+  std::atomic<int> b_items{0};
+  const double spc = 1e-9;
+  const WorkerPool::Ticket ta = pool.submit_block(
+      a.session, KernelKind::kScanMatch, 0.0, 16,
+      [&a_items](size_t begin, size_t end) {
+        a_items += static_cast<int>(end - begin);
+        return static_cast<double>(end - begin);
+      },
+      spc, 1);
+  const WorkerPool::Ticket tb = pool.submit_block(
+      b.session, KernelKind::kScanMatch, 0.0, 16,
+      [&b_items](size_t begin, size_t end) {
+        b_items += static_cast<int>(end - begin);
+        return static_cast<double>(end - begin);
+      },
+      spc, 1);
+  ASSERT_FALSE(ta.busy);
+  ASSERT_FALSE(tb.busy);
+
+  // The eviction lands between submit and flush — the coalescing window.
+  pool.close_session(a.session);
+  pool.flush(0.0);
+
+  // The evicted request has an explicit retryable failure, not a dangling
+  // ticket.
+  const WorkerVerdict va = pool.verdict(ta);
+  EXPECT_TRUE(va.busy);
+  EXPECT_STREQ(va.busy_cause, "evicted");
+  EXPECT_EQ(pool.evicted_requests(), 1u);
+  EXPECT_EQ(a_items.load(), 0);  // the evicted block never ran
+
+  // The survivor was served over ALL of its items and — with the evicted
+  // peer removed before dispatch — was not marked as coalesced with it.
+  const WorkerVerdict vb = pool.verdict(tb);
+  ASSERT_FALSE(vb.busy);
+  EXPECT_FALSE(vb.batched);
+  EXPECT_EQ(b_items.load(), 16);
+  EXPECT_EQ(pool.batched_requests(), 0u);
+}
+
+TEST(WorkerPool, FailurePlaneTelemetryCoverage) {
+  telemetry::Telemetry t;
+  WorkerPool pool(small_pool(), &t);
+  sim::FaultSchedule s;
+  s.add(sim::FaultKind::kPoolCrash, 5.0, 1.0);
+  const sim::FaultInjector inj(std::move(s));
+  pool.set_fault_injector(&inj);
+
+  pool.open_session("lgv-0", 0.0);
+  pool.step(6.0);  // crosses the crash start
+  EXPECT_DOUBLE_EQ(t.metrics().counter("pool_crashes_total").value(), 1.0);
+
+  pool.begin_drain(7.0);
+  EXPECT_DOUBLE_EQ(t.metrics().counter("pool_drains_total").value(), 1.0);
+  // The drain fires the flight recorder exactly once (repeats are no-ops).
+  EXPECT_DOUBLE_EQ(
+      t.metrics()
+          .counter("flight_recorder_dumps_total", {{"trigger", "pool_drain"}})
+          .value(),
+      1.0);
+  pool.end_drain();
+  pool.begin_drain(8.0);
+  EXPECT_DOUBLE_EQ(
+      t.metrics()
+          .counter("flight_recorder_dumps_total", {{"trigger", "pool_drain"}})
+          .value(),
+      1.0);
+
+  pool.note_busy_fallback();
+  EXPECT_DOUBLE_EQ(t.metrics().counter("pool_busy_fallback_total").value(), 1.0);
+}
+
+TEST(WorkerPool, NoteBusyFallbackAggregatesTenantAccounting) {
+  WorkerPool pool(small_pool());
+  EXPECT_EQ(pool.busy_fallbacks(), 0u);
+  pool.note_busy_fallback();
+  pool.note_busy_fallback();
+  EXPECT_EQ(pool.busy_fallbacks(), 2u);
+}
+
 }  // namespace
 }  // namespace lgv::core

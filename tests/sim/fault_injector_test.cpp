@@ -242,5 +242,138 @@ TEST(FaultInjector, CorruptionScheduleCoversWholeMission) {
   EXPECT_FALSE(make_corruption_schedule(0.0, 0.0, 100.0).empty());
 }
 
+// ---- fleet worker-pool faults (PR 9) ----------------------------------------
+
+TEST(FaultInjector, PoolFaultKindsRoundTripThroughScheduleText) {
+  FaultSchedule s;
+  s.add(FaultKind::kPoolCrash, 30.0, 10.0);
+  s.add(FaultKind::kPoolDegrade, 45.0, 20.0, 2.0);
+  s.add(FaultKind::kPoolPartition, 26.0, 4.0, 0.5);
+  const FaultSchedule back = parse_fault_schedule(format_fault_schedule(s));
+  ASSERT_EQ(back.events.size(), 3u);
+  EXPECT_EQ(back.events[0].kind, FaultKind::kPoolCrash);
+  EXPECT_EQ(back.events[1].kind, FaultKind::kPoolDegrade);
+  EXPECT_DOUBLE_EQ(back.events[1].magnitude, 2.0);
+  EXPECT_EQ(back.events[2].kind, FaultKind::kPoolPartition);
+  EXPECT_DOUBLE_EQ(back.events[2].magnitude, 0.5);
+  // The names are queryable like every other kind.
+  EXPECT_EQ(fault_kind_from_name("pool_crash"), FaultKind::kPoolCrash);
+  EXPECT_STREQ(fault_kind_name(FaultKind::kPoolPartition), "pool_partition");
+}
+
+TEST(FaultInjector, PoolQueriesFollowCrashWindows) {
+  FaultSchedule s;
+  s.add(FaultKind::kPoolCrash, 10.0, 5.0);
+  s.add(FaultKind::kPoolCrash, 14.0, 6.0);  // overlapping → merged to [10,20)
+  s.add(FaultKind::kWorkerCrash, 50.0, 5.0);  // private-worker fault: ignored
+  const FaultInjector inj(std::move(s));
+
+  EXPECT_FALSE(inj.pool_down(9.9));
+  EXPECT_TRUE(inj.pool_down(10.0));
+  EXPECT_TRUE(inj.pool_down(19.9));
+  EXPECT_FALSE(inj.pool_down(20.0));
+  EXPECT_FALSE(inj.pool_down(52.0));  // worker_crash is not a pool fault
+
+  EXPECT_TRUE(inj.pool_crashed_in(5.0, 11.0));   // crosses the start
+  EXPECT_TRUE(inj.pool_crashed_in(12.0, 13.0));  // entirely inside
+  EXPECT_FALSE(inj.pool_crashed_in(0.0, 10.0));  // [t0, t1) excludes start
+  EXPECT_FALSE(inj.pool_crashed_in(20.0, 60.0));
+
+  EXPECT_DOUBLE_EQ(inj.pool_restored_after(12.0), 20.0);
+  EXPECT_DOUBLE_EQ(inj.pool_restored_after(25.0), 25.0);
+}
+
+TEST(FaultInjector, PoolDegradeReportsWorstActiveWindow) {
+  FaultSchedule s;
+  s.add(FaultKind::kPoolDegrade, 10.0, 20.0, 2.0);
+  s.add(FaultKind::kPoolDegrade, 15.0, 5.0, 3.0);  // worse, shorter
+  const FaultInjector inj(std::move(s));
+
+  EXPECT_EQ(inj.pool_cores_lost(5.0), 0);
+  EXPECT_EQ(inj.pool_cores_lost(12.0), 2);
+  EXPECT_EQ(inj.pool_cores_lost(17.0), 3);  // max over active, not the sum
+  EXPECT_EQ(inj.pool_cores_lost(25.0), 2);
+  EXPECT_EQ(inj.pool_cores_lost(30.0), 0);
+  EXPECT_DOUBLE_EQ(inj.pool_degrade_end(12.0), 30.0);
+  EXPECT_DOUBLE_EQ(inj.pool_degrade_end(40.0), 40.0);  // none active → t
+}
+
+TEST(FaultInjector, SessionPartitionIsDeterministicAndApproximatesFraction) {
+  FaultSchedule s;
+  s.add(FaultKind::kPoolPartition, 10.0, 5.0, 0.5);
+  const FaultInjector a(s);
+  const FaultInjector b(s);
+
+  int cut = 0;
+  for (uint32_t id = 1; id <= 256; ++id) {
+    const bool p = a.session_partitioned(id, 12.0);
+    // Same schedule → same subset, on every injector instance.
+    EXPECT_EQ(p, b.session_partitioned(id, 12.0));
+    // Stable for the whole window.
+    EXPECT_EQ(p, a.session_partitioned(id, 14.9));
+    if (p) ++cut;
+  }
+  // The hash splits ~half the sessions; allow a generous band.
+  EXPECT_GT(cut, 256 / 4);
+  EXPECT_LT(cut, 3 * 256 / 4);
+  // Outside the window nobody is partitioned.
+  EXPECT_FALSE(a.session_partitioned(1, 9.9));
+  EXPECT_FALSE(a.session_partitioned(1, 15.0));
+}
+
+TEST(FaultInjector, DistinctPartitionWindowsCutDistinctSubsets) {
+  FaultSchedule s;
+  s.add(FaultKind::kPoolPartition, 10.0, 5.0, 0.5);
+  s.add(FaultKind::kPoolPartition, 30.0, 5.0, 0.5);
+  const FaultInjector inj(std::move(s));
+
+  // The subset is salted with the window's start time: the two windows must
+  // not strand the same vehicles twice.
+  int differing = 0;
+  for (uint32_t id = 1; id <= 256; ++id) {
+    if (inj.session_partitioned(id, 12.0) != inj.session_partitioned(id, 32.0))
+      ++differing;
+  }
+  EXPECT_GT(differing, 0);
+  // Magnitude extremes: 0 cuts nobody, 1 cuts everybody.
+  FaultSchedule ext;
+  ext.add(FaultKind::kPoolPartition, 0.0, 5.0, 0.0);
+  ext.add(FaultKind::kPoolPartition, 10.0, 5.0, 1.0);
+  const FaultInjector e(std::move(ext));
+  for (uint32_t id = 1; id <= 32; ++id) {
+    EXPECT_FALSE(e.session_partitioned(id, 2.0));
+    EXPECT_TRUE(e.session_partitioned(id, 12.0));
+  }
+}
+
+TEST(FaultInjector, PoolChaosScheduleShape) {
+  const FaultSchedule s = make_pool_chaos_schedule(/*crash_at=*/60.0,
+                                                   /*crash_s=*/10.0,
+                                                   /*partition_frac=*/0.25,
+                                                   /*degraded_cores=*/2.0,
+                                                   /*degrade_s=*/20.0);
+  bool has_crash = false, has_partition = false, has_degrade = false;
+  for (const FaultEvent& e : s.events) {
+    if (e.kind == FaultKind::kPoolCrash) {
+      has_crash = true;
+      EXPECT_DOUBLE_EQ(e.start, 60.0);
+      EXPECT_DOUBLE_EQ(e.duration, 10.0);
+    }
+    if (e.kind == FaultKind::kPoolPartition) {
+      has_partition = true;
+      EXPECT_DOUBLE_EQ(e.magnitude, 0.25);
+      EXPECT_LE(e.end(), 60.0);  // the partition foreshadows the crash
+    }
+    if (e.kind == FaultKind::kPoolDegrade) {
+      has_degrade = true;
+      EXPECT_DOUBLE_EQ(e.magnitude, 2.0);
+      EXPECT_GE(e.start, 70.0);  // the pool restarts degraded
+    }
+  }
+  EXPECT_TRUE(has_crash);
+  EXPECT_TRUE(has_partition);
+  EXPECT_TRUE(has_degrade);
+}
+
 }  // namespace
 }  // namespace lgv::sim
