@@ -19,6 +19,7 @@ namespace {
 // safety) that tick underneath every offloaded cycle.
 enum BucketIndex {
   kMigration = 0,
+  kPlacement,  ///< multi-tier placement solves (the engine's search spans)
   kFallback,
   kRemoteCompute,
   kSerialize,
@@ -31,8 +32,8 @@ enum BucketIndex {
 };
 
 constexpr const char* kBucketNames[kBucketCount] = {
-    "migration",    "fallback", "remote_compute", "serialize",     "uplink_queue",
-    "wire",         "downlink", "local_compute",  "other",
+    "migration", "placement", "fallback",      "remote_compute", "serialize",
+    "uplink_queue", "wire",   "downlink",      "local_compute",  "other",
 };
 
 bool has_outcome(const TraceEvent& e, const char* outcome) {
@@ -45,6 +46,7 @@ bool has_outcome(const TraceEvent& e, const char* outcome) {
 int classify(const TraceEvent& e) {
   if (e.phase != 'X') return -1;
   if (e.name == "switcher.migrate") return kMigration;
+  if (e.name == "placement.solve") return kPlacement;
   if (has_outcome(e, "fallback") || has_outcome(e, "lease_expired")) return kFallback;
   if (e.name == "net.queue") return e.tid == "downlink" ? kDownlink : kUplinkQueue;
   if (e.name == "net.wire") return e.tid == "downlink" ? kDownlink : kWire;

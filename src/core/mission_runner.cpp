@@ -494,7 +494,15 @@ void MissionRunner::run_adjustment(double now) {
     }
   }
 
-  if (runtime_.set_vdp_placement(wanted)) {
+  const bool switched = runtime_.set_vdp_placement(wanted);
+
+  // ---- multi-tier re-trigger: while the VDP is remote, every adjustment
+  // epoch (and every Algorithm 2 switch) runs a *bounded* re-optimization of
+  // the N-host plan against the live link model — never a full solve. A no-op
+  // for two-host plans or while Algorithm 2 holds the vehicle local.
+  runtime_.reoptimize_placement(switched ? "alg2_switch" : "adjust_epoch");
+
+  if (switched) {
     // State migration: the costmap snapshot plus the actual serialized filter
     // state (RBPF particle poses, weights and maps for exploration; AMCL's
     // pose cloud for known-map missions). The byte counts are real encoded

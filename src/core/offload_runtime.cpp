@@ -25,7 +25,23 @@ DeploymentPlan offload_plan(const std::string& name, platform::Host remote, int 
   return p;
 }
 
+DeploymentPlan three_tier_plan(const std::string& name, int cloud_threads,
+                               WorkloadKind workload, Goal goal) {
+  DeploymentPlan p =
+      offload_plan(name, platform::Host::kCloudServer, cloud_threads, workload, goal);
+  p.multi_tier = true;
+  return p;
+}
+
 namespace {
+
+/// Round-trip WAN leg to the datacenter (2 × the one-way wired latency
+/// adjust_channel adds for cloud deployments) — what separates the vehicle →
+/// cloud path from the vehicle → gateway path in the three-tier topology.
+constexpr double kWanRttS = 0.024;
+/// Scan payload the receive-side stream rate is counted in (bytes).
+constexpr double kStreamPayloadBytes = 3000.0;
+
 net::ChannelConfig adjust_channel(net::ChannelConfig cfg, Point2D wap,
                                   platform::Host remote) {
   cfg.wap_position = wap;
@@ -118,6 +134,19 @@ OffloadRuntime::OffloadRuntime(DeploymentPlan plan, Point2D wap_position,
                                   platform::host_name(plan_.remote_host));
     }
   }
+
+  if (plan_.multi_tier && plan_.offload) {
+    // The three-tier world the engine prices: WLAN numbers seeded from the
+    // channel config (uplink rate is bits/s on the wire, bytes/s in the
+    // topology), refreshed live from the Profiler as the mission runs.
+    HostTopology topo = HostTopology::three_tier(
+        plan_.edge_threads, std::max(1, plan_.remote_threads),
+        channel_config.uplink_rate_bps / 8.0,
+        2.0 * channel_config.base_latency_s, /*wlan_loss=*/0.0, kWanRttS);
+    placement_engine_ = std::make_unique<PlacementEngine>(
+        make_pipeline_dag(), std::move(topo), plan_.placement);
+    placement_engine_->set_telemetry(telemetry_.get());
+  }
 }
 
 void OffloadRuntime::set_active_threads(int threads) {
@@ -156,6 +185,24 @@ OffloadDecision OffloadRuntime::apply_initial_placement() {
     decision = planner_.decide(traits_, tl, tc);
   }
   for (const auto& [id, host] : decision.placement) place(id, host);
+  if (placement_engine_ != nullptr && plan_.offload) {
+    // Multi-tier: Algorithm 1's two-host answer seeds (and lower-bounds) a
+    // full engine solve over the three-tier topology.
+    refresh_placement_model();
+    const std::vector<NodeId> nodes = all_nodes();
+    const HostTopology& topo = placement_engine_->topology();
+    std::vector<uint8_t> seed(placement_engine_->dag().node_count(), 0);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const int idx = topo.index_of(decision.placement.at(nodes[i]));
+      seed[i] = static_cast<uint8_t>(idx >= 0 ? idx : 0);
+    }
+    const PlacementResult r = placement_engine_->solve(seed);
+    decision.vdp_offloaded =
+        apply_engine_assignment(r.assignment.data(), r.assignment.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      decision.placement[nodes[i]] = placement_.at(nodes[i]);
+    }
+  }
   vdp_placement_ = decision.vdp_offloaded ? VdpPlacement::kRemote : VdpPlacement::kLocal;
   netctl_.force(vdp_placement_);
   if (telemetry_ != nullptr) {
@@ -187,6 +234,23 @@ bool OffloadRuntime::set_vdp_placement(VdpPlacement placement) {
                  {{"to", placement == VdpPlacement::kRemote ? "remote" : "local"}})
         .inc();
   }
+  if (placement_engine_ != nullptr) {
+    // Multi-tier cooperation: a retreat pulls *every* node home (the engine
+    // may have placed non-ECN nodes remote too); a re-offload restores the
+    // engine's incumbent N-host plan instead of the binary all-to-remote
+    // flip. Algorithm 2 keeps the when; the engine owns the where.
+    if (placement == VdpPlacement::kLocal) {
+      for (NodeId id : all_nodes()) {
+        if (placement_.at(id) != platform::Host::kLgv) {
+          place(id, platform::Host::kLgv);
+        }
+      }
+    } else if (placement_engine_->has_incumbent()) {
+      const PlacementCandidate& inc = placement_engine_->incumbent();
+      apply_engine_assignment(inc.host.data(), inc.host.size());
+    }
+    return true;
+  }
   for (NodeId id : all_nodes()) {
     const NodeClass cls = traits_.at(id).node_class();
     const bool offloadable =
@@ -199,6 +263,65 @@ bool OffloadRuntime::set_vdp_placement(VdpPlacement placement) {
                                                  : platform::Host::kLgv);
   }
   return true;
+}
+
+bool OffloadRuntime::apply_engine_assignment(const uint8_t* assignment, size_t n) {
+  const HostTopology& topo = placement_engine_->topology();
+  const std::vector<NodeId> nodes = all_nodes();
+  bool vdp_remote = false;
+  for (size_t i = 0; i < nodes.size() && i < n; ++i) {
+    const platform::Host kind = topo.host(assignment[i]).kind;
+    if (placement_.at(nodes[i]) != kind) place(nodes[i], kind);
+    if (traits_.at(nodes[i]).node_class() == NodeClass::kT3 &&
+        kind != platform::Host::kLgv) {
+      vdp_remote = true;
+    }
+  }
+  return vdp_remote;
+}
+
+void OffloadRuntime::refresh_placement_model() {
+  if (placement_engine_ == nullptr) return;
+  HostTopology& topo = placement_engine_->topology();
+  const auto rtt = profiler_.rtt();
+  if (!rtt.has_value()) return;  // no live evidence yet: keep the seed model
+  // The measured RTT is vehicle ↔ serving host; peel the WAN leg off when the
+  // datacenter is serving to recover the WLAN hop both paths share.
+  const double wlan_rtt = std::max(
+      1e-4, *rtt - (remote_host_ == platform::Host::kCloudServer ? kWanRttS : 0.0));
+  // Receive-side stream rate (Algorithm 2's r_t) → offered bytes/s. A quiet
+  // stream is absence of evidence: the link keeps its last bandwidth.
+  const double stream_hz = profiler_.observe(clock_.now()).bandwidth_hz;
+  const auto feed = [&](int a, int b, double rtt_s) {
+    if (a < 0 || b < 0) return;
+    const TopologyLink& l = topo.link(a, b);
+    const double bw =
+        stream_hz > 0.0 ? stream_hz * kStreamPayloadBytes : l.bandwidth_bps;
+    topo.observe_link(a, b, bw, rtt_s, l.loss);
+  };
+  const int edge = topo.index_of(platform::Host::kEdgeGateway);
+  const int cloud = topo.index_of(platform::Host::kCloudServer);
+  feed(0, edge, wlan_rtt);
+  feed(edge, 0, wlan_rtt);
+  feed(0, cloud, wlan_rtt + kWanRttS);
+  feed(cloud, 0, wlan_rtt + kWanRttS);
+}
+
+PlacementResult OffloadRuntime::reoptimize_placement(const char* trigger) {
+  PlacementResult r;
+  if (placement_engine_ == nullptr || !placement_engine_->has_incumbent()) return r;
+  if (vdp_placement_ != VdpPlacement::kRemote) return r;  // Alg 2's retreat holds
+  refresh_placement_model();
+  r = placement_engine_->reoptimize();
+  apply_engine_assignment(r.assignment.data(), r.assignment.size());
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer().instant_now(
+        "placement.retrigger", "decisions", "placement",
+        {{"trigger", trigger},
+         {"cost_s", std::to_string(r.cost_s)},
+         {"improved", r.improved ? "true" : "false"}});
+  }
+  return r;
 }
 
 platform::ExecutionContext OffloadRuntime::make_context(NodeId id) {

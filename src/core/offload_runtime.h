@@ -18,6 +18,7 @@
 #include "core/network_quality.h"
 #include "core/node_classifier.h"
 #include "core/offload_planner.h"
+#include "core/placement_engine.h"
 #include "core/pool_failover.h"
 #include "core/profiler.h"
 #include "core/switcher.h"
@@ -41,11 +42,24 @@ struct DeploymentPlan {
   Goal goal = Goal::kCompletionTime;        ///< Algorithm 1 optimization goal
   bool adaptive = true;                     ///< Algorithm 2 enabled
   WorkloadKind workload = WorkloadKind::kNavigationWithMap;
+  /// N-host mode: place the pipeline over a lgv → edge_gateway → cloud_server
+  /// HostTopology with the PlacementEngine, seeded by Algorithm 1's two-host
+  /// answer. Algorithm 2 keeps its retreat-local authority; while the VDP is
+  /// remote, adjustment epochs run bounded re-optimizations instead of the
+  /// binary flip.
+  bool multi_tier = false;
+  int edge_threads = 8;  ///< gateway parallel width in the three-tier topology
+  PlacementEngineConfig placement;  ///< optimizer knobs (multi_tier only)
 };
 
 DeploymentPlan local_plan(WorkloadKind workload);
 DeploymentPlan offload_plan(const std::string& name, platform::Host remote, int threads,
                             WorkloadKind workload, Goal goal = Goal::kCompletionTime);
+/// Three-tier deployment: remote set defaults to the cloud (Algorithm 1's
+/// seed), with the edge gateway available as a middle tier for the engine.
+DeploymentPlan three_tier_plan(const std::string& name, int cloud_threads,
+                               WorkloadKind workload,
+                               Goal goal = Goal::kCompletionTime);
 
 /// Fleet-serving attachment: instead of owning a private remote thread pool,
 /// the runtime becomes one tenant of a shared WorkerPool (one per fleet) —
@@ -107,8 +121,25 @@ class OffloadRuntime {
   // ---- placement ----
   platform::Host host_of(NodeId id) const;
   void place(NodeId id, platform::Host host);
-  /// Run Algorithm 1 with the current profiled VDP times and apply it.
+  /// Run Algorithm 1 with the current profiled VDP times and apply it. In
+  /// multi-tier mode the two-host answer then seeds a full PlacementEngine
+  /// solve over the three-tier topology, and the engine's (never-worse) plan
+  /// is what gets applied.
   OffloadDecision apply_initial_placement();
+
+  /// The N-host optimizer (nullptr unless plan().multi_tier).
+  PlacementEngine* placement_engine() { return placement_engine_.get(); }
+  /// Feed the profiler's live observables (RTT, receive-side bandwidth) into
+  /// the topology's links. Material changes bump the topology generation and
+  /// invalidate the cost tables; unchanged numbers are free (satellite:
+  /// repeated steps with unchanged profiles rebuild nothing).
+  void refresh_placement_model();
+  /// Bounded re-optimization re-trigger (the cooperating layer Algorithm 2
+  /// and AP-handoff events invoke instead of a full solve). Applies the
+  /// improved assignment while the VDP is remote; a no-op when the vehicle
+  /// has retreated local (Algorithm 2 keeps that authority) or when not in
+  /// multi-tier mode. `trigger` labels the telemetry marker.
+  PlacementResult reoptimize_placement(const char* trigger);
   /// Algorithm 2 outcome: move every currently-remote node local (or the
   /// plan's remote set back out). Returns true when anything moved.
   bool set_vdp_placement(VdpPlacement placement);
@@ -237,6 +268,9 @@ class OffloadRuntime {
   /// a dead link, so the next tick tries remote again.
   ExecutionOutcome busy_fallback(NodeId id, platform::ExecutionContext& ctx,
                                  const char* cause, WorkerPool* pool);
+  /// Apply an engine assignment (dag index i < |all_nodes()| ↔ all_nodes()[i])
+  /// through place(). Returns whether any T3 node ended up remote.
+  bool apply_engine_assignment(const uint8_t* assignment, size_t n);
 
   DeploymentPlan plan_;
   /// Declared before remote_pool_ so the pool's destructor (which joins the
@@ -281,6 +315,8 @@ class OffloadRuntime {
   /// Host serving remote nodes now (standby's host after failover).
   platform::Host remote_host_ = platform::Host::kEdgeGateway;
   std::map<platform::Host, platform::CostModel> cost_models_;
+  /// N-host placement optimizer (multi_tier plans only).
+  std::unique_ptr<PlacementEngine> placement_engine_;
   VdpPlacement vdp_placement_ = VdpPlacement::kLocal;
   int active_threads_ = 1;
   double cloud_core_seconds_ = 0.0;

@@ -29,7 +29,8 @@ TEST(CriticalPath, HandBuiltDagChargesEveryBucket) {
   // A ten-second "mission" whose spans exercise one bucket each:
   //   [0,1) local compute, [1,2) remote compute, [2,2.5) uplink queue,
   //   [2.5,3) wire, [3,3.5) downlink, [3.5,4) serialize, [4,5) migration,
-  //   [5,6) fallback re-execution, [6,7) unclassifiable, [7,10) idle.
+  //   [5,6) fallback re-execution, [6,7) unclassifiable, [7,7.5) placement
+  //   solve, [7.5,10) idle.
   std::vector<TraceEvent> events = {
       make_span("node.localization", "lgv", "localization", 0.0, 1.0),
       make_span("node.path_tracking", "edge_gateway", "path_tracking", 1.0, 1.0),
@@ -41,11 +42,12 @@ TEST(CriticalPath, HandBuiltDagChargesEveryBucket) {
       make_span("node.retry", "lgv", "path_tracking", 5.0, 1.0,
                 {{"outcome", "fallback"}}),
       make_span("mystery.span", "weird_host", "??", 6.0, 1.0),
+      make_span("placement.solve", "lgv", "placement", 7.0, 0.5),
   };
 
   const CriticalPathResult r = attribute_critical_path(events, 10.0);
   EXPECT_DOUBLE_EQ(r.makespan_s, 10.0);
-  EXPECT_EQ(r.spans_total, 9u);
+  EXPECT_EQ(r.spans_total, 10u);
   EXPECT_EQ(r.orphan_spans, 0u);
 
   const auto seconds = [&](const char* name) {
@@ -61,7 +63,8 @@ TEST(CriticalPath, HandBuiltDagChargesEveryBucket) {
   EXPECT_DOUBLE_EQ(seconds("migration"), 1.0);
   EXPECT_DOUBLE_EQ(seconds("fallback"), 1.0);
   EXPECT_DOUBLE_EQ(seconds("other"), 1.0);
-  EXPECT_DOUBLE_EQ(seconds("pipeline_idle"), 3.0);
+  EXPECT_DOUBLE_EQ(seconds("placement"), 0.5);
+  EXPECT_DOUBLE_EQ(seconds("pipeline_idle"), 2.5);
 
   EXPECT_DOUBLE_EQ(r.residual_s, 1.0);
   EXPECT_DOUBLE_EQ(r.named_fraction(), 0.9);

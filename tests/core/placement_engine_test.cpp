@@ -1,0 +1,373 @@
+#include "core/placement_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/host_topology.h"
+#include "core/offload_runtime.h"
+#include "core/profiler.h"
+
+namespace lgv::core {
+namespace {
+
+using platform::Host;
+
+// Deterministic uniform draws for the test harness.
+struct TestRng {
+  uint64_t state;
+  explicit TestRng(uint64_t seed) : state(seed) {}
+  double next01() {
+    state = splitmix64(state);
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  }
+  uint32_t index(uint32_t n) { return static_cast<uint32_t>(next01() * n) % n; }
+};
+
+// Layered random DAG: edges always point at later nodes, degree stays small
+// (the shape of a processing pipeline, and what keeps delta eval O(degree)).
+PlacementDag random_dag(TestRng& rng, size_t nodes, size_t edges_per_node) {
+  PlacementDag d;
+  for (size_t i = 0; i < nodes; ++i) {
+    // Pin ~1/8 of nodes to a host (sensors/actuators that cannot move).
+    const uint8_t pin =
+        rng.next01() < 0.125 ? static_cast<uint8_t>(rng.index(2)) : PlacementDag::kFreeHost;
+    std::string name = "n";
+    name += std::to_string(i);
+    d.add_node(std::move(name), 1e5 + rng.next01() * 5e6,
+               rng.next01() < 0.3 ? rng.next01() * 3e7 : 0.0, pin);
+  }
+  for (size_t i = 1; i < nodes; ++i) {
+    for (size_t e = 0; e < edges_per_node; ++e) {
+      const int src = static_cast<int>(rng.index(static_cast<uint32_t>(i)));
+      d.add_edge(src, static_cast<int>(i), 32.0 + rng.next01() * 8192.0,
+                 0.5 + rng.next01() * 9.5);
+    }
+  }
+  return d;
+}
+
+HostTopology random_topology(TestRng& rng) {
+  HostTopology t;
+  t.add_host({"lgv", Host::kLgv, 1});
+  const int hosts = 2 + static_cast<int>(rng.index(3));  // 2..4 total
+  for (int i = 1; i < hosts; ++i) {
+    std::string name = "h";
+    name += std::to_string(i);
+    t.add_host({std::move(name),
+                rng.next01() < 0.5 ? Host::kEdgeGateway : Host::kCloudServer,
+                1 + static_cast<int>(rng.index(24))});
+  }
+  for (int s = 0; s < hosts; ++s) {
+    for (int d = 0; d < hosts; ++d) {
+      if (s == d) continue;
+      // Bandwidth chosen low enough that some placements saturate links, so
+      // the capacity penalty term is genuinely exercised.
+      t.set_link(s, d,
+                 {1e4 + rng.next01() * 5e6, rng.next01() * 0.2, rng.next01() * 0.3});
+    }
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// HostTopology
+
+TEST(HostTopology, ThreeTierFactoryShape) {
+  const HostTopology t = HostTopology::three_tier(8, 48, 2.5e6, 0.005);
+  ASSERT_EQ(t.host_count(), 3);
+  EXPECT_EQ(t.host(0).kind, Host::kLgv);
+  EXPECT_EQ(t.index_of(Host::kEdgeGateway), 1);
+  EXPECT_EQ(t.index_of(Host::kCloudServer), 2);
+  // Self links are free; vehicle → cloud stacks the WLAN and WAN latencies.
+  EXPECT_TRUE(std::isinf(t.link(0, 0).bandwidth_bps));
+  EXPECT_DOUBLE_EQ(t.link(0, 1).rtt_s, 0.005);
+  EXPECT_GT(t.link(0, 2).rtt_s, t.link(0, 1).rtt_s);
+  EXPECT_DOUBLE_EQ(t.link(0, 2).bandwidth_bps, t.link(0, 1).bandwidth_bps);
+}
+
+TEST(HostTopology, ObserveLinkBumpsGenerationOnlyOnMaterialChange) {
+  HostTopology t = HostTopology::three_tier(8, 48, 2.5e6, 0.005);
+  const uint64_t gen = t.generation();
+  // Identical numbers: free, no invalidation.
+  t.observe_link(0, 1, 2.5e6, 0.005, 0.0);
+  EXPECT_EQ(t.generation(), gen);
+  // Sub-epsilon wiggle: still the same number.
+  t.observe_link(0, 1, 2.5e6 * (1.0 + 1e-9), 0.005, 0.0);
+  EXPECT_EQ(t.generation(), gen);
+  // A real change moves the stamp.
+  t.observe_link(0, 1, 1.0e6, 0.009, 0.0);
+  EXPECT_GT(t.generation(), gen);
+}
+
+// ---------------------------------------------------------------------------
+// Cost tables + generation stamping
+
+TEST(PlacementEngine, TablesRebuildOnlyWhenGenerationsMove) {
+  PlacementEngine engine(make_pipeline_dag(),
+                         HostTopology::three_tier(8, 48, 2.5e6, 0.005), {});
+  const uint64_t built = engine.table_rebuilds();
+  EXPECT_GE(built, 1u);
+  // Nothing changed: refresh is free.
+  EXPECT_FALSE(engine.refresh_tables());
+  EXPECT_FALSE(engine.refresh_tables());
+  EXPECT_EQ(engine.table_rebuilds(), built);
+  // Unchanged observation: still free.
+  engine.topology().observe_link(0, 1, 2.5e6, 0.005, 0.0);
+  EXPECT_FALSE(engine.refresh_tables());
+  EXPECT_EQ(engine.table_rebuilds(), built);
+  // Material link change: one rebuild.
+  engine.topology().observe_link(0, 1, 1.2e6, 0.04, 0.01);
+  EXPECT_TRUE(engine.refresh_tables());
+  EXPECT_EQ(engine.table_rebuilds(), built + 1);
+}
+
+TEST(Profiler, GenerationStableUnderUnchangedProfiles) {
+  Profiler p({}, {0, 0});
+  p.record_node_time(NodeId::kPathTracking, Host::kLgv, 0.05);
+  p.record_rtt(1.0, 1.03);
+  const uint64_t gen = p.generation();
+  // Re-recording the same numbers converges the EMA to itself exactly and
+  // repeats the same RTT: no generation movement.
+  for (int i = 0; i < 10; ++i) {
+    p.record_node_time(NodeId::kPathTracking, Host::kLgv, 0.05);
+    p.record_rtt(2.0 + i, 2.03 + i);
+  }
+  EXPECT_EQ(p.generation(), gen);
+  // A different sample moves it.
+  p.record_node_time(NodeId::kPathTracking, Host::kLgv, 0.5);
+  EXPECT_GT(p.generation(), gen);
+}
+
+// The satellite's end-to-end form: repeated adjustment steps with unchanged
+// profiles perform zero cost-table rebuilds.
+TEST(PlacementEngine, UnchangedProfilesRebuildNothing) {
+  OffloadRuntime rt(three_tier_plan("3tier", 24, WorkloadKind::kNavigationWithMap),
+                    {0.0, 0.0});
+  ASSERT_NE(rt.placement_engine(), nullptr);
+  rt.profiler().record_rtt(0.0, 0.006);
+  rt.apply_initial_placement();
+  const uint64_t built = rt.placement_engine()->table_rebuilds();
+  // Feed the identical RTT every epoch: the model sees the same numbers, the
+  // topology generation holds, and re-optimization re-prices nothing.
+  for (int i = 0; i < 5; ++i) {
+    rt.profiler().record_rtt(10.0 + i, 10.006 + i);
+    rt.reoptimize_placement("test_epoch");
+  }
+  EXPECT_EQ(rt.placement_engine()->table_rebuilds(), built);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental evaluator ≡ full re-pricing
+
+TEST(PlacementEngine, DeltaMatchesFullOnRandomMoves) {
+  TestRng rng(0xfeedbeef);
+  int moves_checked = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    PlacementDag dag = random_dag(rng, 24 + 16 * static_cast<size_t>(trial), 2);
+    HostTopology topo = random_topology(rng);
+    const uint32_t hosts = static_cast<uint32_t>(topo.host_count());
+    PlacementEngine engine(std::move(dag), std::move(topo), {});
+    const size_t n = engine.dag().node_count();
+
+    std::vector<uint8_t> assignment(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      assignment[i] = engine.dag().pinned[i] != PlacementDag::kFreeHost
+                          ? engine.dag().pinned[i]
+                          : static_cast<uint8_t>(rng.index(hosts));
+    }
+    PlacementCandidate c = engine.make_candidate(assignment);
+
+    for (int m = 0; m < 125; ++m, ++moves_checked) {
+      const int node = static_cast<int>(rng.index(static_cast<uint32_t>(n)));
+      const uint8_t to = static_cast<uint8_t>(rng.index(hosts));
+      const double before = engine.full_cost(assignment);
+      const PlacementEngine::MoveDelta delta = engine.preview_move(c, node, to);
+      std::vector<uint8_t> moved = assignment;
+      moved[static_cast<size_t>(node)] = to;
+      const double after = engine.full_cost(moved);
+      const double tol =
+          1e-9 * std::max(1.0, std::fabs(before) + std::fabs(after));
+      ASSERT_NEAR(delta.total(), after - before, tol)
+          << "trial " << trial << " move " << m;
+      // Keep walking: apply the move and check the cached terms track the
+      // reference (this is where incremental drift would accumulate).
+      engine.apply_move(c, node, to);
+      assignment = moved;
+      ASSERT_NEAR(c.cost(), after, tol);
+    }
+  }
+  EXPECT_EQ(moves_checked, 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Search
+
+PlacementEngineConfig small_search() {
+  PlacementEngineConfig cfg;
+  cfg.candidates = 8;
+  cfg.iterations = 12;
+  return cfg;
+}
+
+std::vector<uint8_t> two_host_seed(const PlacementEngine& engine) {
+  // Algorithm 1's shape: ECN-ish parallel nodes remote, rest local.
+  const PlacementDag& dag = engine.dag();
+  std::vector<uint8_t> seed(dag.node_count(), 0);
+  const uint8_t remote =
+      static_cast<uint8_t>(engine.topology().host_count() - 1);
+  for (size_t i = 0; i < dag.node_count(); ++i) {
+    if (dag.pinned[i] != PlacementDag::kFreeHost) {
+      seed[i] = dag.pinned[i];
+    } else if (dag.parallel_cycles[i] > 0.0) {
+      seed[i] = remote;
+    }
+  }
+  return seed;
+}
+
+TEST(PlacementEngine, SolveNeverWorseThanSeedAndRespectsPins) {
+  PlacementEngine engine(make_pipeline_dag(),
+                         HostTopology::three_tier(8, 48, 2.5e6, 0.005),
+                         small_search());
+  const std::vector<uint8_t> seed = two_host_seed(engine);
+  const PlacementResult r = engine.solve(seed);
+  EXPECT_LE(r.cost_s, r.seed_cost_s + 1e-12);
+  EXPECT_GT(r.delta_evals, 0u);
+  EXPECT_GT(r.modeled_solve_s, 0.0);
+  const PlacementDag& dag = engine.dag();
+  for (size_t i = 0; i < dag.node_count(); ++i) {
+    if (dag.pinned[i] != PlacementDag::kFreeHost) {
+      EXPECT_EQ(r.assignment[i], dag.pinned[i]) << dag.names[i];
+    }
+  }
+}
+
+TEST(PlacementEngine, SearchIsDeterministicAtAnyWorkerCount) {
+  TestRng rng(0xabcdef12);
+  PlacementDag dag = random_dag(rng, 48, 2);
+  HostTopology topo = HostTopology::three_tier(8, 48, 2.0e6, 0.02);
+
+  std::vector<std::vector<uint8_t>> results;
+  std::vector<double> costs;
+  for (const size_t workers : {size_t{0}, size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    PlacementDag d = dag;       // engines own their inputs
+    HostTopology t = topo;
+    PlacementEngine engine(std::move(d), std::move(t), small_search());
+    std::unique_ptr<ThreadPool> pool;
+    if (workers > 0) {
+      pool = std::make_unique<ThreadPool>(workers);
+      engine.set_thread_pool(pool.get());
+    }
+    const PlacementResult r = engine.solve(two_host_seed(engine));
+    // A reoptimize epoch must be replay-stable too.
+    const PlacementResult r2 = engine.reoptimize();
+    results.push_back(r2.assignment);
+    costs.push_back(r2.cost_s);
+    EXPECT_LE(r2.cost_s, r.cost_s + 1e-12);  // continuation never regresses
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0]) << "worker count variant " << i;
+    EXPECT_EQ(costs[i], costs[0]);  // bit-identical, not just close
+  }
+}
+
+TEST(PlacementEngine, ThreeTierBeatsTwoHostWhenGatewayIsCloser) {
+  // A constrained WLAN with WAN latency on top: the optimizer should find a
+  // plan at least as good as the two-host (all-remote-to-cloud) seed, and on
+  // this shape strictly better, by using the gateway tier.
+  PlacementEngineConfig cfg = small_search();
+  cfg.iterations = 24;
+  PlacementEngine engine(make_pipeline_dag(),
+                         HostTopology::three_tier(8, 48, 6.0e5, 0.08), cfg);
+  const PlacementResult r = engine.solve(two_host_seed(engine));
+  EXPECT_LE(r.cost_s, r.seed_cost_s + 1e-12);
+  EXPECT_TRUE(r.improved);
+}
+
+TEST(PlacementEngine, ReoptimizeRepricesAfterTopologyChange) {
+  PlacementEngine engine(make_pipeline_dag(),
+                         HostTopology::three_tier(8, 48, 2.5e6, 0.005),
+                         small_search());
+  engine.solve(two_host_seed(engine));
+  const uint64_t built = engine.table_rebuilds();
+  // Degrade the WLAN: the incumbent's cached cost is stale, reoptimize must
+  // rebuild tables once and still return a plan priced against the new world.
+  engine.topology().observe_link(0, 1, 2.0e5, 0.15, 0.05);
+  engine.topology().observe_link(1, 0, 2.0e5, 0.15, 0.05);
+  engine.topology().observe_link(0, 2, 2.0e5, 0.174, 0.05);
+  engine.topology().observe_link(2, 0, 2.0e5, 0.174, 0.05);
+  const PlacementResult r = engine.reoptimize();
+  EXPECT_EQ(engine.table_rebuilds(), built + 1);
+  // Price the returned assignment from scratch: must agree with the result.
+  const double reference = engine.full_cost(r.assignment);
+  EXPECT_NEAR(r.cost_s, reference, 1e-9 * std::max(1.0, reference));
+}
+
+// ---------------------------------------------------------------------------
+// Runtime integration
+
+TEST(PlacementEngine, MultiTierRuntimeAppliesEnginePlacement) {
+  OffloadRuntime rt(three_tier_plan("3tier", 24, WorkloadKind::kNavigationWithMap),
+                    {0.0, 0.0});
+  ASSERT_NE(rt.placement_engine(), nullptr);
+  const OffloadDecision d = rt.apply_initial_placement();
+  EXPECT_EQ(rt.placement_engine()->solves_total(), 1u);
+  // The mux never leaves the vehicle; every node has a valid host.
+  EXPECT_EQ(rt.host_of(NodeId::kVelocityMux), Host::kLgv);
+  EXPECT_EQ(d.placement.size(), all_nodes().size());
+  // Telemetry surfaced the solve.
+  ASSERT_NE(rt.telemetry(), nullptr);
+  const auto snap = rt.telemetry()->metrics().snapshot();
+  bool saw_solves = false;
+  for (const auto& s : snap.samples) {
+    if (s.name == "placement_solves_total" && s.value >= 1.0) saw_solves = true;
+  }
+  EXPECT_TRUE(saw_solves);
+}
+
+TEST(PlacementEngine, ReoptimizeRespectsAlgorithm2Retreat) {
+  OffloadRuntime rt(three_tier_plan("3tier", 24, WorkloadKind::kNavigationWithMap),
+                    {0.0, 0.0});
+  rt.apply_initial_placement();
+  ASSERT_EQ(rt.vdp_placement(), VdpPlacement::kRemote);
+  const uint64_t solves = rt.placement_engine()->solves_total();
+
+  // Algorithm 2 retreats local: everything comes home and re-optimization
+  // stands down (Alg 2 keeps the when).
+  EXPECT_TRUE(rt.set_vdp_placement(VdpPlacement::kLocal));
+  for (NodeId id : all_nodes()) EXPECT_EQ(rt.host_of(id), Host::kLgv);
+  const PlacementResult idle = rt.reoptimize_placement("while_local");
+  EXPECT_EQ(idle.iterations, 0);
+  EXPECT_EQ(rt.placement_engine()->solves_total(), solves);
+
+  // Re-offload restores the engine's incumbent multi-tier plan.
+  EXPECT_TRUE(rt.set_vdp_placement(VdpPlacement::kRemote));
+  bool any_remote = false;
+  for (NodeId id : all_nodes()) any_remote |= rt.host_of(id) != Host::kLgv;
+  EXPECT_TRUE(any_remote);
+  const PlacementResult r = rt.reoptimize_placement("re_trigger");
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_EQ(rt.placement_engine()->solves_total(), solves + 1);
+}
+
+TEST(PlacementEngine, PipelineDagMatchesNodeIds) {
+  const PlacementDag dag = make_pipeline_dag();
+  const std::vector<NodeId> nodes = all_nodes();
+  ASSERT_GE(dag.node_count(), nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(dag.names[i], node_name(nodes[i]));
+  }
+  // The sensor source is pinned to the vehicle, as is the mux.
+  for (size_t i = 0; i < dag.node_count(); ++i) {
+    if (dag.names[i] == "velocity_mux" || dag.names[i] == "lidar_driver") {
+      EXPECT_EQ(dag.pinned[i], 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lgv::core
